@@ -1,0 +1,302 @@
+//! Bound-to-bound (B2B) net model assembly.
+//!
+//! The B2B model (Spindler et al., used by modern quadratic placers)
+//! linearises HPWL: every pin of a net connects to the net's two extreme
+//! pins on each axis with weights `2 / ((k−1)·|cᵢ − c_b|)`, re-derived from
+//! the positions of the previous iterate. Minimising the resulting quadratic
+//! reproduces the HPWL value at the linearisation point.
+
+use crate::sparse::Triplets;
+use mmp_geom::Point;
+use mmp_netlist::{Design, NodeRef};
+
+/// Placement axis selector (x and y systems are independent, as the paper
+/// notes for its LP step).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Axis {
+    /// Horizontal.
+    X,
+    /// Vertical.
+    Y,
+}
+
+impl Axis {
+    /// The coordinate of `p` on this axis.
+    #[inline]
+    pub fn of(self, p: Point) -> f64 {
+        match self {
+            Axis::X => p.x,
+            Axis::Y => p.y,
+        }
+    }
+}
+
+/// Minimum pin separation used in B2B weights, avoiding division blow-up
+/// when pins coincide (e.g. the all-at-center initial placement).
+const B2B_EPS: f64 = 1e-3;
+
+/// Assembles the quadratic system `A·x = b` for one axis with the B2B net
+/// model.
+///
+/// * `var_of(node)` maps a node to its variable index, or `None` when the
+///   node is fixed this solve.
+/// * `pos_of(node)` yields every node's current center (used both for B2B
+///   weights and as the fixed coordinates).
+/// * `n_vars` is the variable count.
+///
+/// Returns the triplet accumulator (convert with
+/// [`Triplets::to_csr`]) and the right-hand side.
+pub fn build_system(
+    design: &Design,
+    axis: Axis,
+    var_of: &dyn Fn(NodeRef) -> Option<usize>,
+    pos_of: &dyn Fn(NodeRef) -> Point,
+    n_vars: usize,
+) -> (Triplets, Vec<f64>) {
+    let mut a = Triplets::new(n_vars);
+    let mut b = vec![0.0; n_vars];
+
+    let mut add_connection = |wi: f64, node_i: NodeRef, off_i: f64, node_j: NodeRef, off_j: f64| {
+        let vi = var_of(node_i);
+        let vj = var_of(node_j);
+        match (vi, vj) {
+            (Some(i), Some(j)) => {
+                a.add(i, i, wi);
+                a.add(j, j, wi);
+                a.add(i, j, -wi);
+                a.add(j, i, -wi);
+                b[i] += wi * (off_j - off_i);
+                b[j] += wi * (off_i - off_j);
+            }
+            (Some(i), None) => {
+                let fixed = axis.of(pos_of(node_j)) + off_j;
+                a.add(i, i, wi);
+                b[i] += wi * (fixed - off_i);
+            }
+            (None, Some(j)) => {
+                let fixed = axis.of(pos_of(node_i)) + off_i;
+                a.add(j, j, wi);
+                b[j] += wi * (fixed - off_j);
+            }
+            (None, None) => {}
+        }
+    };
+
+    for net in design.nets() {
+        let k = net.pins.len();
+        if k < 2 {
+            continue;
+        }
+        // Current pin coordinates on this axis.
+        let coords: Vec<f64> = net
+            .pins
+            .iter()
+            .map(|p| axis.of(pos_of(p.node)) + axis.of(p.offset))
+            .collect();
+        let (mut lo, mut hi) = (0usize, 0usize);
+        for (i, &c) in coords.iter().enumerate() {
+            if c < coords[lo] {
+                lo = i;
+            }
+            if c > coords[hi] {
+                hi = i;
+            }
+        }
+        let base = net.weight * 2.0 / (k as f64 - 1.0);
+        for i in 0..k {
+            for &b_idx in &[lo, hi] {
+                if i == b_idx {
+                    continue;
+                }
+                // The (lo, hi) pair appears once (skip its mirror).
+                if i == lo && b_idx == hi {
+                    continue;
+                }
+                let sep = (coords[i] - coords[b_idx]).abs().max(B2B_EPS);
+                let w = base / sep;
+                add_connection(
+                    w,
+                    net.pins[i].node,
+                    axis.of(net.pins[i].offset),
+                    net.pins[b_idx].node,
+                    axis.of(net.pins[b_idx].offset),
+                );
+            }
+        }
+    }
+    (a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cg;
+    use mmp_geom::Rect;
+    use mmp_netlist::{DesignBuilder, Placement};
+
+    /// One movable macro on a 2-pin net with a fixed pad: the quadratic
+    /// minimum is exactly the pad position.
+    #[test]
+    fn single_movable_snaps_to_fixed_partner() {
+        let mut bld = DesignBuilder::new("d", Rect::new(0.0, 0.0, 100.0, 100.0));
+        let m = bld.add_macro("m", 2.0, 2.0, "");
+        let p = bld.add_pad("p", Point::new(30.0, 70.0));
+        bld.add_net(
+            "n",
+            [
+                (NodeRef::Macro(m), Point::ORIGIN),
+                (NodeRef::Pad(p), Point::ORIGIN),
+            ],
+            1.0,
+        )
+        .unwrap();
+        let d = bld.build().unwrap();
+        let pl = Placement::initial(&d);
+        let var_of = |n: NodeRef| match n {
+            NodeRef::Macro(_) => Some(0),
+            _ => None,
+        };
+        let pos_of = |n: NodeRef| match n {
+            NodeRef::Macro(id) => pl.macro_center(id),
+            NodeRef::Pad(id) => d.pad(id).position,
+            NodeRef::Cell(id) => pl.cell_center(id),
+        };
+        for (axis, want) in [(Axis::X, 30.0), (Axis::Y, 70.0)] {
+            let (a, b) = build_system(&d, axis, &var_of, &pos_of, 1);
+            let out = cg::solve(&a.to_csr(), &b, &[0.0], 1e-12, 100);
+            assert!((out.x[0] - want).abs() < 1e-9, "axis {axis:?}");
+        }
+    }
+
+    /// Two movables between two fixed pads: minimum spreads them evenly —
+    /// and the B2B system must be symmetric.
+    #[test]
+    fn chain_between_pads_is_solved_and_symmetric() {
+        let mut bld = DesignBuilder::new("d", Rect::new(0.0, 0.0, 100.0, 10.0));
+        let m0 = bld.add_macro("m0", 1.0, 1.0, "");
+        let m1 = bld.add_macro("m1", 1.0, 1.0, "");
+        let pl_left = bld.add_pad("pl", Point::new(0.0, 5.0));
+        let pl_right = bld.add_pad("pr", Point::new(90.0, 5.0));
+        bld.add_net(
+            "a",
+            [
+                (NodeRef::Pad(pl_left), Point::ORIGIN),
+                (NodeRef::Macro(m0), Point::ORIGIN),
+            ],
+            1.0,
+        )
+        .unwrap();
+        bld.add_net(
+            "b",
+            [
+                (NodeRef::Macro(m0), Point::ORIGIN),
+                (NodeRef::Macro(m1), Point::ORIGIN),
+            ],
+            1.0,
+        )
+        .unwrap();
+        bld.add_net(
+            "c",
+            [
+                (NodeRef::Macro(m1), Point::ORIGIN),
+                (NodeRef::Pad(pl_right), Point::ORIGIN),
+            ],
+            1.0,
+        )
+        .unwrap();
+        let d = bld.build().unwrap();
+        // Seed positions that make all B2B weights equal: 0, 30, 60, 90.
+        let mut pl = Placement::initial(&d);
+        pl.set_macro_center(m0, Point::new(30.0, 5.0));
+        pl.set_macro_center(m1, Point::new(60.0, 5.0));
+        let var_of = |n: NodeRef| match n {
+            NodeRef::Macro(id) => Some(id.index()),
+            _ => None,
+        };
+        let pos_of = |n: NodeRef| match n {
+            NodeRef::Macro(id) => pl.macro_center(id),
+            NodeRef::Pad(id) => d.pad(id).position,
+            NodeRef::Cell(id) => pl.cell_center(id),
+        };
+        let (a, b) = build_system(&d, Axis::X, &var_of, &pos_of, 2);
+        let csr = a.to_csr();
+        assert!(csr.is_symmetric(1e-12));
+        let out = cg::solve(&csr, &b, &[0.0, 0.0], 1e-12, 100);
+        // With equal weights the chain equilibrium is at 30 and 60.
+        assert!((out.x[0] - 30.0).abs() < 1e-6, "got {}", out.x[0]);
+        assert!((out.x[1] - 60.0).abs() < 1e-6, "got {}", out.x[1]);
+    }
+
+    /// Pins on the same node cancel: a net entirely inside one node adds no
+    /// net force.
+    #[test]
+    fn intra_node_net_contributes_nothing() {
+        let mut bld = DesignBuilder::new("d", Rect::new(0.0, 0.0, 10.0, 10.0));
+        let m = bld.add_macro("m", 4.0, 4.0, "");
+        bld.add_net(
+            "n",
+            [
+                (NodeRef::Macro(m), Point::new(-1.0, 0.0)),
+                (NodeRef::Macro(m), Point::new(1.0, 0.0)),
+            ],
+            1.0,
+        )
+        .unwrap();
+        let d = bld.build().unwrap();
+        let pl = Placement::initial(&d);
+        let var_of = |n: NodeRef| match n {
+            NodeRef::Macro(_) => Some(0),
+            _ => None,
+        };
+        let pos_of = |n: NodeRef| match n {
+            NodeRef::Macro(id) => pl.macro_center(id),
+            NodeRef::Pad(id) => d.pad(id).position,
+            NodeRef::Cell(id) => pl.cell_center(id),
+        };
+        let (a, b) = build_system(&d, Axis::X, &var_of, &pos_of, 1);
+        let csr = a.to_csr();
+        // Diagonal cancels to zero and rhs is zero: no force.
+        assert_eq!(csr.get(0, 0), 0.0);
+        assert_eq!(b[0], 0.0);
+    }
+
+    /// Multi-pin nets: every pin couples to both extremes; the system stays
+    /// symmetric and positive on the diagonal.
+    #[test]
+    fn multi_pin_net_system_is_well_formed() {
+        let mut bld = DesignBuilder::new("d", Rect::new(0.0, 0.0, 100.0, 100.0));
+        let ms: Vec<_> = (0..5)
+            .map(|i| bld.add_macro(format!("m{i}"), 1.0, 1.0, ""))
+            .collect();
+        bld.add_net(
+            "n",
+            ms.iter().map(|&m| (NodeRef::Macro(m), Point::ORIGIN)),
+            1.0,
+        )
+        .unwrap();
+        let d = bld.build().unwrap();
+        let mut pl = Placement::initial(&d);
+        for (i, &m) in ms.iter().enumerate() {
+            pl.set_macro_center(m, Point::new(10.0 * i as f64, 50.0));
+        }
+        let var_of = |n: NodeRef| match n {
+            NodeRef::Macro(id) => Some(id.index()),
+            _ => None,
+        };
+        let pos_of = |n: NodeRef| match n {
+            NodeRef::Macro(id) => pl.macro_center(id),
+            NodeRef::Pad(id) => d.pad(id).position,
+            NodeRef::Cell(id) => pl.cell_center(id),
+        };
+        let (a, _b) = build_system(&d, Axis::X, &var_of, &pos_of, 5);
+        let csr = a.to_csr();
+        assert!(csr.is_symmetric(1e-12));
+        for i in 0..5 {
+            assert!(csr.get(i, i) > 0.0, "diag {i} must be positive");
+        }
+        // Middle pins couple only to the extremes: pin 2 has no edge to 1.
+        assert_eq!(csr.get(2, 1), 0.0);
+        assert!(csr.get(2, 0) < 0.0);
+        assert!(csr.get(2, 4) < 0.0);
+    }
+}

@@ -1,0 +1,211 @@
+//! Jacobi-preconditioned conjugate gradient for the SPD placement systems.
+
+use crate::sparse::CsrMatrix;
+use serde::{Deserialize, Serialize};
+
+/// Result of a conjugate-gradient solve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CgOutcome {
+    /// The solution vector.
+    pub x: Vec<f64>,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Final residual 2-norm.
+    pub residual: f64,
+    /// `true` when the residual target was met within the iteration budget.
+    pub converged: bool,
+}
+
+/// Solves `A·x = b` for symmetric positive-definite `A` with
+/// Jacobi-preconditioned CG, warm-started from `x0`.
+///
+/// Rows whose diagonal is zero (fully unconstrained variables) keep their
+/// warm-start value — placement systems produce these for nodes with no
+/// nets, and pinning them is the sensible physical answer.
+///
+/// # Panics
+///
+/// Panics when `b.len()` or `x0.len()` differ from the matrix dimension.
+pub fn solve(a: &CsrMatrix, b: &[f64], x0: &[f64], tol: f64, max_iters: usize) -> CgOutcome {
+    let n = a.dim();
+    assert_eq!(b.len(), n, "rhs length mismatch");
+    assert_eq!(x0.len(), n, "warm start length mismatch");
+
+    let diag = a.diagonal();
+    let inv_diag: Vec<f64> = diag
+        .iter()
+        .map(|&d| if d.abs() > 1e-300 { 1.0 / d } else { 0.0 })
+        .collect();
+
+    let mut x = x0.to_vec();
+    let mut ax = vec![0.0; n];
+    a.multiply_into(&x, &mut ax);
+    let mut r: Vec<f64> = b.iter().zip(&ax).map(|(bi, axi)| bi - axi).collect();
+    // Zero residual components of unconstrained rows so they stay put.
+    for i in 0..n {
+        if inv_diag[i] == 0.0 {
+            r[i] = 0.0;
+        }
+    }
+    let mut z: Vec<f64> = r.iter().zip(&inv_diag).map(|(ri, di)| ri * di).collect();
+    let mut p = z.clone();
+    let mut rz: f64 = r.iter().zip(&z).map(|(a, b)| a * b).sum();
+    let b_norm = b.iter().map(|v| v * v).sum::<f64>().sqrt().max(1e-30);
+    let target = tol * b_norm;
+
+    let mut residual = r.iter().map(|v| v * v).sum::<f64>().sqrt();
+    if residual <= target {
+        return CgOutcome {
+            x,
+            iterations: 0,
+            residual,
+            converged: true,
+        };
+    }
+
+    let mut ap = vec![0.0; n];
+    for iter in 0..max_iters {
+        a.multiply_into(&p, &mut ap);
+        let pap: f64 = p.iter().zip(&ap).map(|(a, b)| a * b).sum();
+        if pap.abs() < 1e-300 {
+            return CgOutcome {
+                x,
+                iterations: iter,
+                residual,
+                converged: residual <= target,
+            };
+        }
+        let alpha = rz / pap;
+        for i in 0..n {
+            x[i] += alpha * p[i];
+            r[i] -= alpha * ap[i];
+            if inv_diag[i] == 0.0 {
+                r[i] = 0.0;
+            }
+        }
+        residual = r.iter().map(|v| v * v).sum::<f64>().sqrt();
+        if residual <= target {
+            return CgOutcome {
+                x,
+                iterations: iter + 1,
+                residual,
+                converged: true,
+            };
+        }
+        for i in 0..n {
+            z[i] = r[i] * inv_diag[i];
+        }
+        let rz_next: f64 = r.iter().zip(&z).map(|(a, b)| a * b).sum();
+        let beta = rz_next / rz;
+        rz = rz_next;
+        for i in 0..n {
+            p[i] = z[i] + beta * p[i];
+        }
+    }
+    CgOutcome {
+        x,
+        iterations: max_iters,
+        residual,
+        converged: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sparse::Triplets;
+    use proptest::prelude::*;
+
+    fn laplacian_2d(n: usize) -> CsrMatrix {
+        // Tridiagonal SPD: 2 on diag (3 at ends via +1 boundary), -1 off.
+        let mut t = Triplets::new(n);
+        for i in 0..n {
+            t.add(i, i, 2.0 + if i == 0 || i == n - 1 { 1.0 } else { 0.0 });
+            if i + 1 < n {
+                t.add(i, i + 1, -1.0);
+                t.add(i + 1, i, -1.0);
+            }
+        }
+        t.to_csr()
+    }
+
+    #[test]
+    fn solves_identity() {
+        let mut t = Triplets::new(3);
+        for i in 0..3 {
+            t.add(i, i, 1.0);
+        }
+        let out = solve(&t.to_csr(), &[1.0, -2.0, 3.0], &[0.0; 3], 1e-12, 100);
+        assert!(out.converged);
+        for (got, want) in out.x.iter().zip([1.0, -2.0, 3.0]) {
+            assert!((got - want).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn solves_tridiagonal_system() {
+        let a = laplacian_2d(50);
+        let x_true: Vec<f64> = (0..50).map(|i| (i as f64 * 0.37).sin()).collect();
+        let b = a.multiply(&x_true);
+        let out = solve(&a, &b, &vec![0.0; 50], 1e-10, 500);
+        assert!(out.converged, "residual {}", out.residual);
+        for (got, want) in out.x.iter().zip(&x_true) {
+            assert!((got - want).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn warm_start_reduces_iterations() {
+        let a = laplacian_2d(80);
+        let x_true: Vec<f64> = (0..80).map(|i| (i as f64 * 0.11).cos()).collect();
+        let b = a.multiply(&x_true);
+        let cold = solve(&a, &b, &vec![0.0; 80], 1e-10, 1000);
+        let warm = solve(&a, &b, &x_true, 1e-10, 1000);
+        assert!(warm.iterations <= cold.iterations);
+        assert_eq!(warm.iterations, 0, "exact warm start converges instantly");
+    }
+
+    #[test]
+    fn unconstrained_rows_keep_warm_start() {
+        // Row 1 has zero diagonal: variable 1 must stay at its warm start.
+        let mut t = Triplets::new(2);
+        t.add(0, 0, 4.0);
+        let a = t.to_csr();
+        let out = solve(&a, &[8.0, 123.0], &[0.0, 7.0], 1e-12, 50);
+        assert!((out.x[0] - 2.0).abs() < 1e-10);
+        assert_eq!(out.x[1], 7.0);
+    }
+
+    #[test]
+    fn zero_rhs_converges_immediately_at_zero() {
+        let a = laplacian_2d(5);
+        let out = solve(&a, &[0.0; 5], &[0.0; 5], 1e-12, 50);
+        assert!(out.converged);
+        assert_eq!(out.iterations, 0);
+    }
+
+    #[test]
+    fn iteration_budget_is_respected() {
+        let a = laplacian_2d(200);
+        let b = vec![1.0; 200];
+        let out = solve(&a, &b, &vec![0.0; 200], 1e-14, 3);
+        assert_eq!(out.iterations, 3);
+        assert!(!out.converged);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn cg_recovers_random_solutions(
+            vals in proptest::collection::vec(-1.0f64..1.0, 12),
+        ) {
+            let a = laplacian_2d(12);
+            let b = a.multiply(&vals);
+            let out = solve(&a, &b, &vec![0.0; 12], 1e-12, 200);
+            prop_assert!(out.converged);
+            for (got, want) in out.x.iter().zip(&vals) {
+                prop_assert!((got - want).abs() < 1e-7);
+            }
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! RUDY congestion estimation (Spindler & Johannes).
+//!
+//! RUDY (Rectangular Uniform wire DensitY) spreads each net's expected
+//! wire volume uniformly over its bounding box: a net with half-perimeter
+//! `w + h` over box area `w·h` contributes density `(w + h)/(w·h)` to every
+//! point it covers. Summed over nets on a bin grid this is the standard
+//! cheap routability proxy — the paper's related work (routability-driven
+//! placers) motivates tracking it alongside HPWL.
+
+use mmp_geom::{BoundingBox, Rect};
+use mmp_netlist::{Design, Placement};
+
+/// A congestion map over `bins × bins` uniform bins.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CongestionMap {
+    bins: usize,
+    /// Row-major densities (dimensionless wire-volume per unit area).
+    density: Vec<f64>,
+}
+
+impl CongestionMap {
+    /// Bin grid resolution.
+    pub fn bins(&self) -> usize {
+        self.bins
+    }
+
+    /// Density of bin `(col, row)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of range.
+    pub fn at(&self, col: usize, row: usize) -> f64 {
+        assert!(col < self.bins && row < self.bins, "bin out of range");
+        self.density[row * self.bins + col]
+    }
+
+    /// Flat row-major view of the map.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.density
+    }
+
+    /// Maximum bin density — the headline congestion figure.
+    pub fn peak(&self) -> f64 {
+        self.density.iter().fold(0.0f64, |m, &d| m.max(d))
+    }
+
+    /// Mean bin density.
+    pub fn mean(&self) -> f64 {
+        if self.density.is_empty() {
+            0.0
+        } else {
+            self.density.iter().sum::<f64>() / self.density.len() as f64
+        }
+    }
+}
+
+/// Computes the RUDY map of `placement` over `bins × bins` bins.
+///
+/// Single-pin nets and empty boxes contribute nothing; degenerate
+/// (zero-width or zero-height) boxes fall back to a thin box one bin wide
+/// so straight wires still register.
+///
+/// # Panics
+///
+/// Panics when `bins == 0`.
+pub fn rudy(design: &Design, placement: &Placement, bins: usize) -> CongestionMap {
+    assert!(bins > 0, "need at least one bin");
+    let region = *design.region();
+    let bw = region.width / bins as f64;
+    let bh = region.height / bins as f64;
+    let mut density = vec![0.0f64; bins * bins];
+
+    for net in design.nets() {
+        let mut bb = BoundingBox::empty();
+        for pin in &net.pins {
+            bb.extend(placement.pin_position(design, pin.node, pin.offset));
+        }
+        if bb.len() < 2 || bb.half_perimeter() <= 0.0 {
+            continue;
+        }
+        let (min, max) = (bb.min().expect("nonempty"), bb.max().expect("nonempty"));
+        // Degenerate boxes: widen to one bin so the wire registers.
+        let net_rect = Rect::new(
+            min.x,
+            min.y,
+            (max.x - min.x).max(bw),
+            (max.y - min.y).max(bh),
+        );
+        let wire = net.weight * bb.half_perimeter();
+        let rho = wire / net_rect.area();
+        // Spread ρ over covered bins, proportional to overlap area.
+        let c0 = (((net_rect.x - region.x) / bw).floor().max(0.0)) as usize;
+        let r0 = (((net_rect.y - region.y) / bh).floor().max(0.0)) as usize;
+        let c1 = ((((net_rect.right() - region.x) / bw).ceil() as usize).max(1) - 1).min(bins - 1);
+        let r1 = ((((net_rect.top() - region.y) / bh).ceil() as usize).max(1) - 1).min(bins - 1);
+        for r in r0..=r1 {
+            for c in c0..=c1 {
+                let bin = Rect::new(region.x + c as f64 * bw, region.y + r as f64 * bh, bw, bh);
+                let overlap = bin.overlap_area(&net_rect);
+                if overlap > 0.0 {
+                    density[r * bins + c] += rho * overlap / bin.area();
+                }
+            }
+        }
+    }
+    CongestionMap { bins, density }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmp_geom::Point;
+    use mmp_netlist::{DesignBuilder, NodeRef, SyntheticSpec};
+
+    #[test]
+    fn empty_design_has_zero_congestion() {
+        let d = DesignBuilder::new("e", Rect::new(0.0, 0.0, 10.0, 10.0))
+            .build()
+            .unwrap();
+        let map = rudy(&d, &Placement::initial(&d), 4);
+        assert_eq!(map.peak(), 0.0);
+        assert_eq!(map.mean(), 0.0);
+        assert_eq!(map.bins(), 4);
+    }
+
+    #[test]
+    fn single_net_density_lands_in_its_bbox() {
+        let mut b = DesignBuilder::new("n", Rect::new(0.0, 0.0, 100.0, 100.0));
+        let p0 = b.add_pad("p0", Point::new(10.0, 10.0));
+        let p1 = b.add_pad("p1", Point::new(40.0, 40.0));
+        b.add_net(
+            "n",
+            [(NodeRef::Pad(p0), Point::ORIGIN), (NodeRef::Pad(p1), Point::ORIGIN)],
+            1.0,
+        )
+        .unwrap();
+        let d = b.build().unwrap();
+        let map = rudy(&d, &Placement::initial(&d), 10);
+        // The bbox covers bins (1..4, 1..4); a far corner bin must read 0.
+        assert!(map.at(2, 2) > 0.0);
+        assert_eq!(map.at(9, 9), 0.0);
+    }
+
+    #[test]
+    fn clumped_placement_is_more_congested_than_spread() {
+        let d = SyntheticSpec::small("cg", 6, 0, 8, 80, 140, false, 8).generate();
+        // Spread: the analytical placement.
+        let spread = crate::GlobalPlacer::new(crate::GlobalPlacerConfig::fast()).place_mixed(&d);
+        // Clump: everything at the center.
+        let clumped = Placement::initial(&d);
+        let peak_spread = rudy(&d, &spread, 8).peak();
+        let peak_clumped = rudy(&d, &clumped, 8).peak();
+        assert!(
+            peak_clumped > peak_spread,
+            "clumped {peak_clumped} should exceed spread {peak_spread}"
+        );
+    }
+
+    #[test]
+    fn degenerate_straight_nets_still_register() {
+        let mut b = DesignBuilder::new("s", Rect::new(0.0, 0.0, 100.0, 100.0));
+        let p0 = b.add_pad("p0", Point::new(10.0, 50.0));
+        let p1 = b.add_pad("p1", Point::new(90.0, 50.0)); // same y: zero-height box
+        b.add_net(
+            "n",
+            [(NodeRef::Pad(p0), Point::ORIGIN), (NodeRef::Pad(p1), Point::ORIGIN)],
+            1.0,
+        )
+        .unwrap();
+        let d = b.build().unwrap();
+        let map = rudy(&d, &Placement::initial(&d), 10);
+        assert!(map.peak() > 0.0, "straight wire must register");
+    }
+
+    #[test]
+    fn net_weight_scales_density() {
+        let build = |w: f64| {
+            let mut b = DesignBuilder::new("w", Rect::new(0.0, 0.0, 100.0, 100.0));
+            let p0 = b.add_pad("p0", Point::new(10.0, 10.0));
+            let p1 = b.add_pad("p1", Point::new(60.0, 60.0));
+            b.add_net(
+                "n",
+                [(NodeRef::Pad(p0), Point::ORIGIN), (NodeRef::Pad(p1), Point::ORIGIN)],
+                w,
+            )
+            .unwrap();
+            b.build().unwrap()
+        };
+        let d1 = build(1.0);
+        let d2 = build(2.0);
+        let m1 = rudy(&d1, &Placement::initial(&d1), 8);
+        let m2 = rudy(&d2, &Placement::initial(&d2), 8);
+        assert!((m2.peak() - 2.0 * m1.peak()).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_panics() {
+        let d = SyntheticSpec::small("z", 2, 0, 4, 10, 20, false, 9).generate();
+        let _ = rudy(&d, &Placement::initial(&d), 0);
+    }
+}

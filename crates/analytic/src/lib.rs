@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+
+//! Analytical global placement for the MMP macro placer.
+//!
+//! This crate stands in for [DREAMPlace] in the paper's pipeline (see
+//! DESIGN.md §3): a quadratic wirelength placer with
+//!
+//! * a bound-to-bound (B2B) net model re-linearised every iteration
+//!   ([`b2b`]),
+//! * Jacobi-preconditioned conjugate gradient solves ([`cg`]) over CSR
+//!   sparse systems ([`sparse`]),
+//! * FastPlace-style cell-shifting density spreading with anchor pseudo-nets
+//!   ([`density`]),
+//! * a driver loop ([`placer::GlobalPlacer`]) with two entry points:
+//!   [`placer::GlobalPlacer::place_mixed`] (macros + cells movable — the
+//!   prototyping placement that feeds clustering) and
+//!   [`placer::GlobalPlacer::place_cells`] (macros fixed — the cell placement
+//!   + HPWL measurement step of Sec. II-C).
+//!
+//! [DREAMPlace]: https://github.com/limbo018/DREAMPlace
+//!
+//! # Example
+//!
+//! ```
+//! use mmp_analytic::{GlobalPlacer, GlobalPlacerConfig};
+//! use mmp_netlist::{Placement, SyntheticSpec};
+//!
+//! let design = SyntheticSpec::small("gp", 4, 0, 8, 60, 90, false, 5).generate();
+//! let placer = GlobalPlacer::new(GlobalPlacerConfig::fast());
+//! let placement = placer.place_mixed(&design);
+//! assert!(placement.macros_inside_region(&design));
+//! ```
+
+pub mod b2b;
+pub mod cg;
+pub mod congestion;
+pub mod density;
+pub mod placer;
+pub mod rows;
+pub mod sparse;
+
+pub use cg::CgOutcome;
+pub use congestion::{rudy, CongestionMap};
+pub use placer::{CellPlaceOutcome, GlobalPlacer, GlobalPlacerConfig};
+pub use rows::{legalize_cells_into_rows, RowLegalizeOutcome};
+pub use sparse::{CsrMatrix, Triplets};

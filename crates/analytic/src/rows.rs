@@ -1,0 +1,331 @@
+//! Row-based standard-cell legalization (Abacus-style).
+//!
+//! The analytical cell placer emits real-valued positions with residual
+//! overlap; real flows then snap cells into site rows. This module
+//! implements the classic Abacus recipe (Spindler et al.): cells are sorted
+//! by x, greedily assigned to their best row, and placed by *cluster
+//! collapsing* — abutting cells merge into clusters whose optimal position
+//! is the weighted mean of their members, clamped to the row, which
+//! minimises total squared displacement within the row.
+//!
+//! Macros (movable and preplaced) are obstacles: they split rows into
+//! segments and cells are only legalized into free segments.
+
+use mmp_geom::{Point, Rect};
+use mmp_netlist::{CellId, Design, MacroId, Placement};
+
+/// One free segment of a row: `[x_min, x_max)` at height `y`.
+#[derive(Debug, Clone, PartialEq)]
+struct Segment {
+    x_min: f64,
+    x_max: f64,
+    /// Clusters already committed to this segment, kept packed.
+    clusters: Vec<Cluster>,
+}
+
+/// An Abacus cluster: a maximal run of abutting cells.
+#[derive(Debug, Clone, PartialEq)]
+struct Cluster {
+    /// Leftmost x of the cluster.
+    x: f64,
+    /// Total width.
+    width: f64,
+    /// Σ weight (cell count here; displacement weighting is uniform).
+    weight: f64,
+    /// Σ weight · (desired x − offset within cluster).
+    q: f64,
+    /// Member cells with their offset from the cluster's left edge.
+    members: Vec<(CellId, f64)>,
+}
+
+impl Cluster {
+    fn optimal_x(&self) -> f64 {
+        self.q / self.weight
+    }
+}
+
+/// Result of row legalization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowLegalizeOutcome {
+    /// The legalized placement (macros untouched).
+    pub placement: Placement,
+    /// Cells that did not fit any row segment and were left at their input
+    /// position (0 for sanely-sized designs).
+    pub unplaced: usize,
+    /// Mean displacement of legalized cells (µm).
+    pub mean_displacement: f64,
+}
+
+/// Legalizes standard cells into uniform rows of height `row_height`,
+/// avoiding macro outlines.
+///
+/// Cells wider than the widest free segment, or designs with zero free
+/// area, leave those cells unplaced (counted in the outcome).
+///
+/// # Panics
+///
+/// Panics when `row_height` is not positive.
+pub fn legalize_cells_into_rows(
+    design: &Design,
+    placement: &Placement,
+    row_height: f64,
+) -> RowLegalizeOutcome {
+    assert!(row_height > 0.0, "row height must be positive");
+    let region = *design.region();
+    let rows = ((region.height / row_height).floor() as usize).max(1);
+
+    // Build free segments per row by cutting macro outlines out.
+    let obstacles: Vec<Rect> = (0..design.macros().len())
+        .map(|i| placement.macro_rect(design, MacroId::from_index(i)))
+        .collect();
+    let mut row_segments: Vec<Vec<Segment>> = Vec::with_capacity(rows);
+    for r in 0..rows {
+        let y0 = region.y + r as f64 * row_height;
+        let y1 = y0 + row_height;
+        // Collect x-intervals blocked in this row band.
+        let mut blocked: Vec<(f64, f64)> = obstacles
+            .iter()
+            .filter(|o| o.y < y1 && o.top() > y0)
+            .map(|o| (o.x, o.right()))
+            .collect();
+        blocked.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+        let mut segments = Vec::new();
+        let mut cursor = region.x;
+        for (bx0, bx1) in blocked {
+            if bx0 > cursor {
+                segments.push(Segment {
+                    x_min: cursor,
+                    x_max: bx0,
+                    clusters: Vec::new(),
+                });
+            }
+            cursor = cursor.max(bx1);
+        }
+        if cursor < region.right() {
+            segments.push(Segment {
+                x_min: cursor,
+                x_max: region.right(),
+                clusters: Vec::new(),
+            });
+        }
+        row_segments.push(segments);
+    }
+
+    // Cells sorted by x (the Abacus processing order).
+    let mut order: Vec<CellId> = (0..design.cells().len()).map(CellId::from_index).collect();
+    order.sort_by(|&a, &b| {
+        placement
+            .cell_center(a)
+            .x
+            .partial_cmp(&placement.cell_center(b).x)
+            .expect("finite")
+    });
+
+    let mut out = placement.clone();
+    let mut unplaced = 0usize;
+    let mut total_disp = 0.0f64;
+    let mut placed = 0usize;
+
+    for id in order {
+        let cell = design.cell(id);
+        let desired = placement.cell_center(id);
+        let desired_left = desired.x - cell.width / 2.0;
+        // Candidate rows near the desired y, best (cheapest) insertion wins.
+        let desired_row = (((desired.y - region.y) / row_height) as isize)
+            .clamp(0, rows as isize - 1) as usize;
+        let mut best: Option<(usize, usize, f64)> = None; // (row, segment, cost)
+        let span = 3usize.max(rows / 8);
+        let lo = desired_row.saturating_sub(span);
+        let hi = (desired_row + span).min(rows - 1);
+        for r in lo..=hi {
+            let y_cost = {
+                let y = region.y + r as f64 * row_height + row_height / 2.0;
+                (y - desired.y).abs()
+            };
+            for (si, seg) in row_segments[r].iter().enumerate() {
+                let used: f64 = seg.clusters.iter().map(|c| c.width).sum();
+                if seg.x_max - seg.x_min - used < cell.width {
+                    continue;
+                }
+                // Approximate x cost: clamped desired position.
+                let x = desired_left.clamp(seg.x_min, seg.x_max - cell.width);
+                let cost = y_cost + (x - desired_left).abs();
+                if best.map_or(true, |(_, _, c)| cost < c) {
+                    best = Some((r, si, cost));
+                }
+            }
+        }
+        let Some((r, si, _)) = best else {
+            unplaced += 1;
+            continue;
+        };
+        // Abacus insert: append as a new cluster, then collapse while the
+        // optimal positions overlap.
+        let seg = &mut row_segments[r][si];
+        let mut cluster = Cluster {
+            x: desired_left,
+            width: cell.width,
+            weight: 1.0,
+            q: desired_left,
+            members: vec![(id, 0.0)],
+        };
+        loop {
+            let opt = cluster
+                .optimal_x()
+                .clamp(seg.x_min, seg.x_max - cluster.width);
+            cluster.x = opt;
+            match seg.clusters.last() {
+                Some(prev) if prev.x + prev.width > cluster.x => {
+                    // Collapse with the previous cluster.
+                    let prev = seg.clusters.pop().expect("checked last");
+                    let mut merged = prev.clone();
+                    for (m, off) in &cluster.members {
+                        merged.members.push((*m, prev.width + off));
+                    }
+                    merged.q += cluster.q - cluster.weight * prev.width;
+                    merged.weight += cluster.weight;
+                    merged.width += cluster.width;
+                    cluster = merged;
+                }
+                _ => break,
+            }
+        }
+        seg.clusters.push(cluster);
+        placed += 1;
+        let _ = placed;
+    }
+
+    // Write back final coordinates.
+    for (r, segments) in row_segments.iter().enumerate() {
+        let y = region.y + r as f64 * row_height + row_height / 2.0;
+        for seg in segments {
+            for cluster in &seg.clusters {
+                for &(id, off) in &cluster.members {
+                    let cell = design.cell(id);
+                    let c = Point::new(cluster.x + off + cell.width / 2.0, y);
+                    total_disp += placement.cell_center(id).manhattan_distance(c);
+                    out.set_cell_center(id, c);
+                }
+            }
+        }
+    }
+
+    let legal_count = design.cells().len() - unplaced;
+    RowLegalizeOutcome {
+        placement: out,
+        unplaced,
+        mean_displacement: if legal_count == 0 {
+            0.0
+        } else {
+            total_disp / legal_count as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmp_netlist::{DesignBuilder, SyntheticSpec};
+
+    fn cell_rects(design: &Design, pl: &Placement) -> Vec<Rect> {
+        (0..design.cells().len())
+            .map(|i| {
+                let id = CellId::from_index(i);
+                let c = design.cell(id);
+                Rect::centered_at(pl.cell_center(id), c.width, c.height)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn legalized_cells_do_not_overlap_each_other() {
+        let d = SyntheticSpec::small("rows", 4, 0, 8, 120, 200, false, 3).generate();
+        let pl = mmp_analytic_place(&d);
+        let out = legalize_cells_into_rows(&d, &pl, 1.0);
+        assert_eq!(out.unplaced, 0);
+        let rects = cell_rects(&d, &out.placement);
+        for i in 0..rects.len() {
+            for j in (i + 1)..rects.len() {
+                assert!(
+                    !rects[i].overlaps(&rects[j]),
+                    "cells {i} and {j} overlap: {} vs {}",
+                    rects[i],
+                    rects[j]
+                );
+            }
+        }
+    }
+
+    fn mmp_analytic_place(d: &Design) -> Placement {
+        crate::GlobalPlacer::new(crate::GlobalPlacerConfig::fast()).place_mixed(d)
+    }
+
+    #[test]
+    fn legalized_cells_avoid_macros() {
+        let d = SyntheticSpec::small("rows2", 6, 1, 8, 100, 170, false, 4).generate();
+        let pl = mmp_analytic_place(&d);
+        let out = legalize_cells_into_rows(&d, &pl, 1.0);
+        let macro_rects: Vec<Rect> = (0..d.macros().len())
+            .map(|i| out.placement.macro_rect(&d, MacroId::from_index(i)))
+            .collect();
+        for (i, cr) in cell_rects(&d, &out.placement).iter().enumerate() {
+            if out.unplaced > 0 {
+                // Unplaced cells stay wherever they were — skip strictness.
+                break;
+            }
+            for mr in &macro_rects {
+                assert!(
+                    cr.overlap_area(mr) < 1e-9,
+                    "cell {i} lands on a macro: {cr} vs {mr}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cells_snap_to_row_centers() {
+        let d = SyntheticSpec::small("rows3", 4, 0, 8, 60, 100, false, 5).generate();
+        let pl = mmp_analytic_place(&d);
+        let out = legalize_cells_into_rows(&d, &pl, 1.0);
+        let region = d.region();
+        for i in 0..d.cells().len() {
+            let y = out.placement.cell_center(CellId::from_index(i)).y;
+            let rel = (y - region.y) / 1.0 - 0.5;
+            assert!(
+                (rel - rel.round()).abs() < 1e-9,
+                "cell {i} not on a row center: y = {y}"
+            );
+        }
+    }
+
+    #[test]
+    fn displacement_is_reported_and_modest() {
+        let d = SyntheticSpec::small("rows4", 4, 0, 8, 100, 160, false, 6).generate();
+        let pl = mmp_analytic_place(&d);
+        let out = legalize_cells_into_rows(&d, &pl, 1.0);
+        assert!(out.mean_displacement >= 0.0);
+        assert!(
+            out.mean_displacement < d.region().width / 2.0,
+            "mean displacement {} too large",
+            out.mean_displacement
+        );
+    }
+
+    #[test]
+    fn oversized_cell_is_left_unplaced_not_crashed() {
+        let mut b = DesignBuilder::new("big", Rect::new(0.0, 0.0, 10.0, 10.0));
+        b.add_cell("huge", 50.0, 1.0, "");
+        let d = b.build().unwrap();
+        let pl = Placement::initial(&d);
+        let out = legalize_cells_into_rows(&d, &pl, 1.0);
+        assert_eq!(out.unplaced, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "row height")]
+    fn zero_row_height_panics() {
+        let d = SyntheticSpec::small("rows5", 2, 0, 4, 10, 20, false, 7).generate();
+        let pl = Placement::initial(&d);
+        let _ = legalize_cells_into_rows(&d, &pl, 0.0);
+    }
+}

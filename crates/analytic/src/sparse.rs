@@ -1,0 +1,278 @@
+//! Compressed-sparse-row matrices for the quadratic placement systems.
+
+use serde::{Deserialize, Serialize};
+
+/// A coordinate-format accumulator for building sparse systems.
+///
+/// Duplicate `(row, col)` entries are summed on conversion to CSR — exactly
+/// what net-model assembly wants.
+///
+/// # Example
+///
+/// ```
+/// use mmp_analytic::Triplets;
+///
+/// let mut t = Triplets::new(2);
+/// t.add(0, 0, 2.0);
+/// t.add(0, 1, -1.0);
+/// t.add(1, 0, -1.0);
+/// t.add(1, 1, 2.0);
+/// t.add(0, 0, 1.0); // accumulates onto (0,0)
+/// let m = t.to_csr();
+/// assert_eq!(m.multiply(&[1.0, 1.0]), vec![2.0, 1.0]);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Triplets {
+    n: usize,
+    entries: Vec<(u32, u32, f64)>,
+}
+
+impl Triplets {
+    /// An empty accumulator for an `n`×`n` system.
+    pub fn new(n: usize) -> Self {
+        Triplets {
+            n,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Matrix dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Adds `value` at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the indices are out of range.
+    #[inline]
+    pub fn add(&mut self, row: usize, col: usize, value: f64) {
+        assert!(row < self.n && col < self.n, "triplet index out of range");
+        self.entries.push((row as u32, col as u32, value));
+    }
+
+    /// Number of raw (pre-merge) entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The accumulated diagonal of the matrix (zeros where absent).
+    pub fn diagonal(&self) -> Vec<f64> {
+        let mut d = vec![0.0; self.n];
+        for &(r, c, v) in &self.entries {
+            if r == c {
+                d[r as usize] += v;
+            }
+        }
+        d
+    }
+
+    /// `true` when no entries have been added.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Converts to CSR, summing duplicates and dropping exact zeros.
+    pub fn to_csr(&self) -> CsrMatrix {
+        let mut sorted = self.entries.clone();
+        sorted.sort_unstable_by_key(|&(r, c, _)| (r, c));
+        let mut row_ptr = Vec::with_capacity(self.n + 1);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        row_ptr.push(0usize);
+        let mut k = 0usize;
+        for row in 0..self.n as u32 {
+            while k < sorted.len() && sorted[k].0 == row {
+                let col = sorted[k].1;
+                let mut v = 0.0;
+                while k < sorted.len() && sorted[k].0 == row && sorted[k].1 == col {
+                    v += sorted[k].2;
+                    k += 1;
+                }
+                if v != 0.0 {
+                    col_idx.push(col);
+                    values.push(v);
+                }
+            }
+            row_ptr.push(col_idx.len());
+        }
+        CsrMatrix {
+            n: self.n,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+}
+
+/// An `n`×`n` sparse matrix in compressed-sparse-row layout.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CsrMatrix {
+    n: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Matrix dimension.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Number of stored non-zeros.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `y = A·x` as a fresh vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x.len() != dim()`.
+    pub fn multiply(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.n];
+        self.multiply_into(x, &mut y);
+        y
+    }
+
+    /// `y = A·x` into a caller-provided buffer (hot path of CG).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the slice lengths differ from `dim()`.
+    pub fn multiply_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.n, "input length mismatch");
+        assert_eq!(y.len(), self.n, "output length mismatch");
+        for row in 0..self.n {
+            let mut acc = 0.0;
+            for k in self.row_ptr[row]..self.row_ptr[row + 1] {
+                acc += self.values[k] * x[self.col_idx[k] as usize];
+            }
+            y[row] = acc;
+        }
+    }
+
+    /// The diagonal of the matrix (zeros where absent) — the Jacobi
+    /// preconditioner.
+    pub fn diagonal(&self) -> Vec<f64> {
+        let mut d = vec![0.0; self.n];
+        for row in 0..self.n {
+            for k in self.row_ptr[row]..self.row_ptr[row + 1] {
+                if self.col_idx[k] as usize == row {
+                    d[row] = self.values[k];
+                }
+            }
+        }
+        d
+    }
+
+    /// `true` when the stored pattern and values are exactly symmetric.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        for row in 0..self.n {
+            for k in self.row_ptr[row]..self.row_ptr[row + 1] {
+                let col = self.col_idx[k] as usize;
+                let v = self.values[k];
+                let mirrored = self.get(col, row);
+                if (v - mirrored).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// The entry at `(row, col)` (zero when absent).
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        for k in self.row_ptr[row]..self.row_ptr[row + 1] {
+            if self.col_idx[k] as usize == col {
+                return self.values[k];
+            }
+        }
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_matrix_multiplies_to_zero() {
+        let m = Triplets::new(3).to_csr();
+        assert_eq!(m.multiply(&[1.0, 2.0, 3.0]), vec![0.0; 3]);
+        assert_eq!(m.nnz(), 0);
+    }
+
+    #[test]
+    fn duplicates_accumulate() {
+        let mut t = Triplets::new(2);
+        t.add(1, 1, 1.0);
+        t.add(1, 1, 2.5);
+        let m = t.to_csr();
+        assert_eq!(m.nnz(), 1);
+        assert_eq!(m.get(1, 1), 3.5);
+    }
+
+    #[test]
+    fn exact_zero_entries_are_dropped() {
+        let mut t = Triplets::new(2);
+        t.add(0, 1, 1.0);
+        t.add(0, 1, -1.0);
+        let m = t.to_csr();
+        assert_eq!(m.nnz(), 0);
+    }
+
+    #[test]
+    fn multiply_matches_dense() {
+        // [[2, -1], [-1, 2]] * [3, 4] = [2, 5]
+        let mut t = Triplets::new(2);
+        t.add(0, 0, 2.0);
+        t.add(0, 1, -1.0);
+        t.add(1, 0, -1.0);
+        t.add(1, 1, 2.0);
+        let m = t.to_csr();
+        assert_eq!(m.multiply(&[3.0, 4.0]), vec![2.0, 5.0]);
+        assert!(m.is_symmetric(0.0));
+        assert_eq!(m.diagonal(), vec![2.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_add_panics() {
+        let mut t = Triplets::new(2);
+        t.add(2, 0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn multiply_length_mismatch_panics() {
+        let m = Triplets::new(2).to_csr();
+        let _ = m.multiply(&[1.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn csr_multiply_matches_naive(
+            entries in proptest::collection::vec((0usize..6, 0usize..6, -5.0f64..5.0), 0..40),
+            x in proptest::collection::vec(-3.0f64..3.0, 6),
+        ) {
+            let mut t = Triplets::new(6);
+            let mut dense = vec![vec![0.0; 6]; 6];
+            for &(r, c, v) in &entries {
+                t.add(r, c, v);
+                dense[r][c] += v;
+            }
+            let m = t.to_csr();
+            let got = m.multiply(&x);
+            for r in 0..6 {
+                let want: f64 = (0..6).map(|c| dense[r][c] * x[c]).sum();
+                prop_assert!((got[r] - want).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! CT-like baseline: per-macro actor-critic RL without grouping or MCTS.
+//!
+//! Mirhoseini et al.'s CT places macros one at a time with a learned
+//! policy. We reuse the exact RL machinery of `mmp-rl` but disable macro
+//! grouping (every macro is its own group — the `group_macros = false`
+//! trainer mode) and take the greedy rollout of the trained policy as the
+//! answer, with no tree search. The episode is therefore much longer and
+//! the state much sparser, which is precisely the complexity argument the
+//! paper makes for grouping.
+
+use crate::placer::MacroPlacer;
+use mmp_legal::MacroLegalizer;
+use mmp_netlist::{Design, Placement};
+use mmp_rl::{PlacementEnv, Trainer, TrainerConfig};
+
+/// Per-macro RL placer.
+#[derive(Debug, Clone)]
+pub struct CtLike {
+    /// Trainer settings (forced to `group_macros = false`).
+    pub config: TrainerConfig,
+}
+
+impl CtLike {
+    /// A CT-like placer with the given budget; `config.group_macros` is
+    /// overridden to `false`.
+    pub fn new(mut config: TrainerConfig) -> Self {
+        config.group_macros = false;
+        CtLike { config }
+    }
+
+    /// A laptop-scale budget on a ζ×ζ grid.
+    pub fn tiny(zeta: usize, episodes: usize, seed: u64) -> Self {
+        let mut cfg = TrainerConfig::tiny(zeta);
+        cfg.episodes = episodes;
+        cfg.seed = seed;
+        CtLike::new(cfg)
+    }
+}
+
+impl MacroPlacer for CtLike {
+    fn name(&self) -> &str {
+        "CT-like"
+    }
+
+    fn place_macros(&self, design: &Design) -> Placement {
+        let trainer = Trainer::new(design, self.config.clone());
+        let mut outcome = trainer.train();
+        // Greedy rollout of the trained per-macro policy.
+        let mut env = PlacementEnv::new(design, trainer.coarse(), trainer.grid().clone());
+        while !env.is_terminal() {
+            let s = env.state();
+            let a = outcome.agent.greedy_action(&s);
+            env.step(a);
+        }
+        MacroLegalizer::new()
+            .legalize(design, trainer.coarse(), env.assignment(), trainer.grid())
+            .expect("assignment matches group count")
+            .placement
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmp_netlist::SyntheticSpec;
+
+    #[test]
+    fn ct_like_places_every_macro_individually() {
+        let d = SyntheticSpec::small("ct", 6, 0, 8, 40, 70, false, 7).generate();
+        let placer = CtLike::tiny(4, 3, 0);
+        // Per-macro mode: group count equals macro count.
+        let trainer = Trainer::new(&d, placer.config.clone());
+        assert_eq!(trainer.coarse().macro_groups().len(), 6);
+        let pl = placer.place_macros(&d);
+        assert!(pl.macro_overlap_area(&d) < 1e-6);
+    }
+
+    #[test]
+    fn ct_like_is_deterministic() {
+        let d = SyntheticSpec::small("ctd", 5, 0, 8, 40, 70, false, 8).generate();
+        let placer = CtLike::tiny(4, 2, 1);
+        assert_eq!(placer.place_macros(&d), placer.place_macros(&d));
+    }
+}

@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+
+//! Comparison macro placers (the other columns of Tables II and III).
+//!
+//! The paper compares against closed-source or heavyweight systems; this
+//! crate reimplements each at algorithmic fidelity (DESIGN.md §3):
+//!
+//! | Paper baseline | Here | Algorithm |
+//! |---|---|---|
+//! | DREAMPlace \[25\] | [`AnalyticOnly`] | mixed-size quadratic placement, macros snapped legal afterwards |
+//! | RePlAce \[10\] | [`ReplaceLike`] | same family, heavier density schedule |
+//! | CT \[27\] | [`CtLike`] | per-macro (ungrouped) actor-critic RL, greedy rollout, no MCTS |
+//! | MaskPlace \[19\] | [`MaskPlaceLike`] | greedy per-macro placement minimising an incremental-HPWL "wiremask" |
+//! | SE placer \[26\] | [`SePlacer`] | simulated evolution: score, select, ripple re-place, hierarchy-aware |
+//! | early SA works [6-9,20,36] | [`SaPlacer`] | simulated annealing over grid assignments |
+//! | — | [`RandomPlacer`] | availability-weighted random assignment (the calibration policy) |
+//!
+//! All placers emit a **legal** macro placement through the shared
+//! legalization of `mmp-legal`; [`score_hpwl`] then runs the same
+//! cells-placement + HPWL measurement for every contender, so comparisons
+//! are apples-to-apples.
+
+pub mod analytic_like;
+pub mod ct;
+pub mod maskplace;
+pub mod placer;
+pub mod sa;
+pub mod se;
+
+pub use analytic_like::{AnalyticOnly, ReplaceLike};
+pub use ct::CtLike;
+pub use maskplace::MaskPlaceLike;
+pub use placer::{score_hpwl, MacroPlacer, RandomPlacer};
+pub use sa::SaPlacer;
+pub use se::SePlacer;

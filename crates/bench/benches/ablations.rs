@@ -1,0 +1,54 @@
+//! Criterion bench for the ablation axes: grouped vs per-macro coarsening
+//! cost, and coarse-proxy vs full-pipeline episode evaluation cost (the
+//! trade the paper's grouping + value-network tricks are about).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mmp_core::{ClusterParams, Coarsener, Grid, Placement, SyntheticSpec};
+use mmp_rl::{CoarseEvaluator, FullEvaluator, PlacementEnv, WirelengthEvaluator};
+
+fn bench_ablation_axes(c: &mut Criterion) {
+    let design = SyntheticSpec::small("abl", 12, 0, 12, 200, 320, true, 4).generate();
+    let grid = Grid::new(*design.region(), 8);
+    let initial = Placement::initial(&design);
+
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+
+    // Grouped vs ungrouped coarsening.
+    group.bench_function("coarsen/grouped", |b| {
+        b.iter(|| {
+            let c2 =
+                Coarsener::new(&ClusterParams::paper(grid.cell_area())).coarsen(&design, &initial);
+            criterion::black_box(c2.macro_groups().len())
+        });
+    });
+    group.bench_function("coarsen/per_macro", |b| {
+        b.iter(|| {
+            let mut params = ClusterParams::paper(grid.cell_area());
+            params.nu = f64::INFINITY;
+            let c2 = Coarsener::new(&params).coarsen(&design, &initial);
+            criterion::black_box(c2.macro_groups().len())
+        });
+    });
+
+    // Episode evaluation: coarse proxy vs full pipeline.
+    let coarse = Coarsener::new(&ClusterParams::paper(grid.cell_area())).coarsen(&design, &initial);
+    let mut env = PlacementEnv::new(&design, &coarse, grid.clone());
+    let mut k = 0usize;
+    while !env.is_terminal() {
+        env.step((k * 13 + 5) % grid.cell_count());
+        k += 1;
+    }
+    group.bench_function("episode_eval/coarse_proxy", |b| {
+        let eval = CoarseEvaluator::new();
+        b.iter(|| criterion::black_box(eval.wirelength(&env)));
+    });
+    group.bench_function("episode_eval/full_pipeline", |b| {
+        let eval = FullEvaluator::fast();
+        b.iter(|| criterion::black_box(eval.wirelength(&env)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation_axes);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion bench for the Fig. 4 experiment's hot kernel: one training
+//! episode (sample → legalize → place cells → reward) under each reward
+//! function, plus one A2C update.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mmp_core::{RewardKind, SyntheticSpec, Trainer, TrainerConfig};
+
+fn bench_training_episode(c: &mut Criterion) {
+    let design = SyntheticSpec::small("f4", 8, 0, 12, 120, 200, false, 1).generate();
+    let mut group = c.benchmark_group("fig4_reward");
+    group.sample_size(10);
+    for (label, kind) in [
+        ("eq9_with_alpha", RewardKind::Paper { alpha: 0.75 }),
+        ("eq9_no_alpha", RewardKind::PaperNoAlpha),
+        ("neg_wirelength", RewardKind::NegWirelength),
+    ] {
+        group.bench_function(format!("train_5_episodes/{label}"), |b| {
+            b.iter(|| {
+                let mut cfg = TrainerConfig::tiny(8);
+                cfg.coarse_eval = false;
+                cfg.episodes = 5;
+                cfg.calibration_episodes = 2;
+                cfg.update_every = 5;
+                cfg.reward = kind;
+                let out = Trainer::new(&design, cfg).train();
+                criterion::black_box(out.history.episode_rewards.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_training_episode);
+criterion_main!(benches);

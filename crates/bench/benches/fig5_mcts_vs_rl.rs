@@ -1,0 +1,40 @@
+//! Criterion bench for the Fig. 5 experiment's hot kernels: a greedy RL
+//! rollout vs a full MCTS placement with the same agent.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mmp_core::{SyntheticSpec, Trainer, TrainerConfig};
+use mmp_mcts::{MctsConfig, MctsPlacer};
+
+fn bench_rollouts(c: &mut Criterion) {
+    let design = SyntheticSpec::small("f5", 8, 0, 12, 120, 200, false, 2).generate();
+    let mut cfg = TrainerConfig::tiny(8);
+    cfg.episodes = 6;
+    cfg.calibration_episodes = 3;
+    let trainer = Trainer::new(&design, cfg);
+    let out = trainer.train();
+
+    let mut group = c.benchmark_group("fig5_mcts_vs_rl");
+    group.sample_size(10);
+    group.bench_function("greedy_rl_rollout", |b| {
+        b.iter(|| {
+            let mut agent = out.agent.clone();
+            criterion::black_box(trainer.greedy_episode(&mut agent).1)
+        });
+    });
+    for gamma in [8usize, 32] {
+        group.bench_function(format!("mcts_place/gamma_{gamma}"), |b| {
+            b.iter(|| {
+                let mut agent = out.agent.clone();
+                let placer = MctsPlacer::new(MctsConfig {
+                    explorations: gamma,
+                    ..MctsConfig::default()
+                });
+                criterion::black_box(placer.place(&trainer, &mut agent, &out.scale).wirelength)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rollouts);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion bench for the Table II pipeline pieces on an industrial-like
+//! circuit (hierarchy + preplaced macros): coarsening, 3-step legalization
+//! and the SE baseline generation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mmp_baselines::{MacroPlacer as _, SePlacer};
+use mmp_core::{ClusterParams, Coarsener, Grid, MacroLegalizer, Placement};
+
+fn bench_industrial_pipeline(c: &mut Criterion) {
+    let spec = mmp_core::industrial_suite()[0].scaled(0.0005);
+    let design = spec.generate();
+    let grid = Grid::new(*design.region(), 16);
+    let initial = Placement::initial(&design);
+    let coarse = Coarsener::new(&ClusterParams::paper(grid.cell_area())).coarsen(&design, &initial);
+    let assignment: Vec<_> = (0..coarse.macro_groups().len())
+        .map(|g| grid.unflatten((g * 11 + 5) % grid.cell_count()))
+        .collect();
+
+    let mut group = c.benchmark_group("table2_industrial");
+    group.sample_size(10);
+    group.bench_function("coarsen", |b| {
+        b.iter(|| {
+            let c2 =
+                Coarsener::new(&ClusterParams::paper(grid.cell_area())).coarsen(&design, &initial);
+            criterion::black_box(c2.macro_groups().len())
+        });
+    });
+    group.bench_function("legalize_3step", |b| {
+        b.iter(|| {
+            let out = MacroLegalizer::new()
+                .legalize(&design, &coarse, &assignment, &grid)
+                .expect("valid assignment");
+            criterion::black_box(out.overlap_area)
+        });
+    });
+    group.bench_function("se_baseline", |b| {
+        b.iter(|| {
+            let pl = SePlacer::new(1, 8, 1).place_macros(&design);
+            criterion::black_box(pl.macro_count())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_industrial_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion bench for Table III: the full placement flow and each
+//! contender on a tiny ibm01-like circuit.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mmp_baselines::{MacroPlacer as _, MaskPlaceLike, ReplaceLike};
+use mmp_core::{MacroPlacer, PlacerConfig};
+
+fn bench_contenders(c: &mut Criterion) {
+    let spec = mmp_core::iccad04_suite()[0].scaled(0.001);
+    let design = spec.generate();
+
+    let mut group = c.benchmark_group("table3_iccad04");
+    group.sample_size(10);
+    group.bench_function("ours_full_flow", |b| {
+        b.iter(|| {
+            let mut cfg = PlacerConfig::fast(8);
+            cfg.trainer.episodes = 5;
+            cfg.mcts.explorations = 8;
+            let result = MacroPlacer::new(cfg).place(&design).expect("feasible");
+            criterion::black_box(result.hpwl)
+        });
+    });
+    group.bench_function("maskplace_like", |b| {
+        b.iter(|| {
+            let pl = MaskPlaceLike::new(16).place_macros(&design);
+            criterion::black_box(pl.macro_count())
+        });
+    });
+    group.bench_function("replace_like", |b| {
+        b.iter(|| {
+            let pl = ReplaceLike::new().place_macros(&design);
+            criterion::black_box(pl.macro_count())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_contenders);
+criterion_main!(benches);

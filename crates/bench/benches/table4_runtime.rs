@@ -1,0 +1,43 @@
+//! Criterion bench for Table IV: MCTS search throughput as a function of
+//! macro count (the table's runtime-vs-size correlation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mmp_core::{SyntheticSpec, Trainer, TrainerConfig};
+use mmp_mcts::{MctsConfig, MctsPlacer};
+
+fn bench_mcts_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4_runtime");
+    group.sample_size(10);
+    for macros in [6usize, 12, 24] {
+        let design = SyntheticSpec::small(
+            format!("t4_{macros}"),
+            macros,
+            0,
+            12,
+            40 * macros,
+            70 * macros,
+            false,
+            9,
+        )
+        .generate();
+        let mut cfg = TrainerConfig::tiny(8);
+        cfg.episodes = 4;
+        cfg.calibration_episodes = 2;
+        let trainer = Trainer::new(&design, cfg);
+        let out = trainer.train();
+        group.bench_function(format!("mcts_place/{macros}_macros"), |b| {
+            b.iter(|| {
+                let mut agent = out.agent.clone();
+                let placer = MctsPlacer::new(MctsConfig {
+                    explorations: 16,
+                    ..MctsConfig::default()
+                });
+                criterion::black_box(placer.place(&trainer, &mut agent, &out.scale).wirelength)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mcts_scaling);
+criterion_main!(benches);

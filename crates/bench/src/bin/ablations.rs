@@ -1,0 +1,111 @@
+//! Ablations over the design choices DESIGN.md calls out:
+//!
+//! 1. **macro grouping** (the paper's complexity-reduction transform) vs
+//!    per-macro allocation (the CT/MaskPlace formulation),
+//! 2. **exploration budget γ** (how much search the pre-trained agent
+//!    needs),
+//! 3. **PUCT constant c** around the paper's 1.05,
+//! 4. **value-network leaf evaluation** vs committing with the raw policy
+//!    (γ = 1 degenerates MCTS to near-greedy-RL).
+//!
+//! ```sh
+//! cargo run --release -p mmp-bench --bin ablations
+//! ```
+
+use mmp_bench::{header, iccad_scale, scaled_count};
+use mmp_core::{iccad04_suite, Trainer, TrainerConfig};
+use mmp_mcts::{MctsConfig, MctsPlacer};
+
+fn trainer_config(_group_macros: bool, episodes: usize) -> TrainerConfig {
+    let mut cfg = TrainerConfig::tiny(8);
+    cfg.prototype_placement = true;
+    cfg.coarse_eval = false;
+    cfg.update_every = 10;
+    cfg.calibration_episodes = (episodes / 6).max(5);
+    cfg.episodes = episodes;
+    cfg
+}
+
+fn main() {
+    header(
+        "Ablations — grouping, exploration budget, PUCT constant",
+        "circuit: ibm01-like; metric: final HPWL after legalize + cell placement",
+    );
+    let spec = iccad04_suite()[0].scaled(iccad_scale());
+    let design = spec.generate();
+    println!(
+        "circuit: {} ({} macros, {} cells)\n",
+        design.name(),
+        design.movable_macros().len(),
+        design.cells().len()
+    );
+    let episodes = scaled_count(240, 30);
+    let explorations = scaled_count(300, 16);
+
+    // --- 1) grouping on/off -------------------------------------------
+    println!("[1] macro grouping (the paper's coarsening) vs per-macro:");
+    for group in [true, false] {
+        let mut cfg = trainer_config(group, episodes);
+        cfg.group_macros = group;
+        let trainer = Trainer::new(&design, cfg);
+        let t0 = std::time::Instant::now();
+        let mut out = trainer.train();
+        let result = MctsPlacer::new(MctsConfig {
+            explorations,
+            ..MctsConfig::default()
+        })
+        .place(&trainer, &mut out.agent, &out.scale);
+        println!(
+            "  group_macros={group:<5} groups={:<4} wirelength={:<10.0} total {:?}",
+            trainer.coarse().macro_groups().len(),
+            result.wirelength,
+            t0.elapsed()
+        );
+    }
+
+    // --- 2) exploration budget sweep ------------------------------------
+    println!("\n[2] exploration budget gamma (same trained agent):");
+    let trainer = Trainer::new(&design, trainer_config(true, episodes));
+    let out = trainer.train();
+    for gamma in [1usize, 8, 32, 128, explorations] {
+        let mut agent = out.agent.clone();
+        let result = MctsPlacer::new(MctsConfig {
+            explorations: gamma,
+            ..MctsConfig::default()
+        })
+        .place(&trainer, &mut agent, &out.scale);
+        println!(
+            "  gamma={gamma:<5} wirelength={:<10.0} terminal evals={} nodes={}",
+            result.wirelength, result.stats.terminal_evaluations, result.stats.nodes
+        );
+    }
+
+    // --- 3) PUCT constant sweep -----------------------------------------
+    println!("\n[3] PUCT constant c (paper: 1.05):");
+    for c in [0.2, 1.05, 3.0, 8.0] {
+        let mut agent = out.agent.clone();
+        let result = MctsPlacer::new(MctsConfig {
+            c_puct: c,
+            explorations: explorations / 2,
+            ..MctsConfig::default()
+        })
+        .place(&trainer, &mut agent, &out.scale);
+        println!("  c={c:<5} wirelength={:<10.0}", result.wirelength);
+    }
+
+    // --- 4) greedy RL vs MCTS (value-net guidance) ----------------------
+    println!("\n[4] greedy RL rollout vs MCTS with the same agent:");
+    let mut agent = out.agent.clone();
+    let (_, rl_w) = trainer.greedy_episode(&mut agent);
+    let mcts_w = MctsPlacer::new(MctsConfig {
+        explorations,
+        ..MctsConfig::default()
+    })
+    .place(&trainer, &mut agent, &out.scale)
+    .wirelength;
+    println!("  greedy RL:  {rl_w:.0}");
+    println!(
+        "  MCTS:       {mcts_w:.0} ({:+.1}%)",
+        (mcts_w / rl_w - 1.0) * 100.0
+    );
+}

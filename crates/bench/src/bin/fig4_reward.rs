@@ -1,0 +1,107 @@
+//! Fig. 4 — RL training convergence under three reward functions on an
+//! ibm10-like circuit: Eq. 9 with α (orange), Eq. 9 without α (blue), the
+//! intuitive −W (red).
+//!
+//! ```sh
+//! cargo run --release -p mmp-bench --bin fig4_reward
+//! ```
+//!
+//! Paper expectation: the α-shifted reward rises fastest; the α-free
+//! variant rises slower; −W does not converge at all.
+
+use mmp_bench::{header, iccad_scale, scaled_count};
+use mmp_core::{iccad04_suite, RewardKind, Trainer, TrainerConfig};
+
+fn smoothed(series: &[f64], window: usize) -> Vec<f64> {
+    series
+        .windows(window.min(series.len()).max(1))
+        .map(|w| w.iter().sum::<f64>() / w.len() as f64)
+        .collect()
+}
+
+fn main() {
+    header(
+        "Fig. 4 — reward-function convergence on ibm10",
+        "series: smoothed per-episode reward; the paper plots raw reward vs iteration",
+    );
+    let spec = iccad04_suite()[9].scaled(iccad_scale().max(0.002));
+    let design = spec.generate();
+    println!(
+        "circuit: {} ({} macros, {} cells, {} nets)\n",
+        design.name(),
+        design.movable_macros().len(),
+        design.cells().len(),
+        design.nets().len()
+    );
+
+    let episodes = scaled_count(240, 40);
+    const SEEDS: [u64; 3] = [0, 1, 2];
+    let kinds = [
+        ("eq9_with_alpha", RewardKind::Paper { alpha: 0.75 }),
+        ("eq9_no_alpha", RewardKind::PaperNoAlpha),
+        ("neg_wirelength", RewardKind::NegWirelength),
+    ];
+
+    // Per kind: per-episode reward/wirelength averaged over the seeds
+    // (single-seed curves at this scale are noisy; the paper trains orders
+    // of magnitude longer).
+    let mut curves: Vec<(&str, Vec<f64>, Vec<f64>)> = Vec::new();
+    for (label, kind) in kinds {
+        let mut rewards = vec![0.0f64; episodes];
+        let mut wirelengths = vec![0.0f64; episodes];
+        for seed in SEEDS {
+            let mut cfg = TrainerConfig::tiny(8);
+            cfg.prototype_placement = true;
+            cfg.coarse_eval = false;
+            cfg.episodes = episodes;
+            cfg.calibration_episodes = 50.min(episodes / 4).max(5);
+            cfg.update_every = 10;
+            cfg.reward = kind;
+            cfg.seed = seed;
+            let out = Trainer::new(&design, cfg).train();
+            for (acc, r) in rewards.iter_mut().zip(&out.history.episode_rewards) {
+                *acc += r / SEEDS.len() as f64;
+            }
+            for (acc, w) in wirelengths.iter_mut().zip(&out.history.episode_wirelengths) {
+                *acc += w / SEEDS.len() as f64;
+            }
+        }
+        curves.push((label, rewards, wirelengths));
+    }
+    println!("(averaged over {} seeds)\n", SEEDS.len());
+
+    // Print the reward series, decimated to ~20 points.
+    let window = (episodes / 10).max(1);
+    println!("episode |  eq9+alpha |  eq9 (a=0) |        -W");
+    let smoothed_curves: Vec<Vec<f64>> =
+        curves.iter().map(|(_, r, _)| smoothed(r, window)).collect();
+    let len = smoothed_curves[0].len();
+    let step = (len / 20).max(1);
+    for i in (0..len).step_by(step) {
+        println!(
+            "{:>7} | {:>10.3} | {:>10.3} | {:>9.1}",
+            i + window,
+            smoothed_curves[0][i],
+            smoothed_curves[1][i],
+            smoothed_curves[2][i]
+        );
+    }
+
+    println!("\nsummary (reward trend = late mean − early mean; wirelength drop %):");
+    for (label, rewards, wl) in &curves {
+        let q = (rewards.len() / 4).max(1);
+        let early_r: f64 = rewards[..q].iter().sum::<f64>() / q as f64;
+        let late_r: f64 = rewards[rewards.len() - q..].iter().sum::<f64>() / q as f64;
+        let early_w: f64 = wl[..q].iter().sum::<f64>() / q as f64;
+        let late_w: f64 = wl[wl.len() - q..].iter().sum::<f64>() / q as f64;
+        println!(
+            "  {label:<16} reward {early_r:>9.3} -> {late_r:>9.3} (trend {:+.3}); wirelength {:+.1}%",
+            late_r - early_r,
+            (late_w / early_w - 1.0) * 100.0
+        );
+    }
+    println!(
+        "\npaper-vs-measured: Fig. 4 shows the alpha-shifted Eq. 9 reward rising\n\
+         fastest and -W failing to converge; compare the trends above."
+    );
+}

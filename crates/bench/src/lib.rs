@@ -1,0 +1,97 @@
+//! Shared plumbing for the experiment harness.
+//!
+//! Every table and figure of the paper's evaluation has a binary here
+//! (`cargo run --release -p mmp-bench --bin <exp>`) that regenerates it on
+//! the synthetic benchmark suites, plus a Criterion bench
+//! (`cargo bench -p mmp-bench`) timing the experiment's hot kernel.
+//!
+//! Two environment variables control cost:
+//!
+//! * `MMP_SCALE` — circuit scale factor in `(0, 1]` (default `0.002` for
+//!   the ICCAD04-like suite, `0.0005` for the industrial-like one whose
+//!   originals carry up to 1.1 M cells). `1.0` reproduces published sizes.
+//! * `MMP_BUDGET` — multiplier on training episodes / search explorations
+//!   (default `1.0`).
+
+use mmp_core::{MacroPlacer, PlacementResult, PlacerConfig, SyntheticSpec};
+
+/// Reads a positive float env var with a default.
+pub fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .filter(|v| *v > 0.0)
+        .unwrap_or(default)
+}
+
+/// The harness scale factor for the ICCAD04-like suite.
+pub fn iccad_scale() -> f64 {
+    env_f64("MMP_SCALE", 0.002).min(1.0)
+}
+
+/// The harness scale factor for the industrial-like suite.
+pub fn industrial_scale() -> f64 {
+    env_f64("MMP_SCALE", 0.0005).min(1.0)
+}
+
+/// The budget multiplier.
+pub fn budget() -> f64 {
+    env_f64("MMP_BUDGET", 1.0)
+}
+
+/// Applies the budget multiplier to a count with a sensible floor.
+pub fn scaled_count(base: usize, floor: usize) -> usize {
+    ((base as f64 * budget()) as usize).max(floor)
+}
+
+/// The harness configuration for "Ours": the paper's flow at bench scale.
+pub fn ours_config(zeta: usize) -> PlacerConfig {
+    let mut cfg = PlacerConfig::bench(zeta);
+    cfg.trainer.episodes = scaled_count(cfg.trainer.episodes, 20);
+    cfg.mcts.explorations = scaled_count(cfg.mcts.explorations, 16);
+    cfg
+}
+
+/// Runs "Ours" on a spec and returns the result.
+///
+/// # Panics
+///
+/// Panics when the flow rejects the design (the synthetic suites are
+/// always feasible).
+pub fn run_ours(spec: &SyntheticSpec, zeta: usize) -> PlacementResult {
+    let design = spec.generate();
+    MacroPlacer::new(ours_config(zeta))
+        .place(&design)
+        .expect("synthetic suites are feasible")
+}
+
+/// Pretty-prints one experiment header.
+pub fn header(title: &str, detail: &str) {
+    println!("================================================================");
+    println!("{title}");
+    println!("{detail}");
+    println!("================================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_f64_parses_and_defaults() {
+        std::env::remove_var("MMP_TEST_VAR");
+        assert_eq!(env_f64("MMP_TEST_VAR", 0.5), 0.5);
+        std::env::set_var("MMP_TEST_VAR", "0.25");
+        assert_eq!(env_f64("MMP_TEST_VAR", 0.5), 0.25);
+        std::env::set_var("MMP_TEST_VAR", "-1");
+        assert_eq!(env_f64("MMP_TEST_VAR", 0.5), 0.5);
+        std::env::set_var("MMP_TEST_VAR", "junk");
+        assert_eq!(env_f64("MMP_TEST_VAR", 0.5), 0.5);
+        std::env::remove_var("MMP_TEST_VAR");
+    }
+
+    #[test]
+    fn scaled_count_has_floor() {
+        assert!(scaled_count(100, 10) >= 10);
+    }
+}

@@ -1,0 +1,367 @@
+//! The coarsened netlist: original nets projected onto macro/cell groups.
+//!
+//! This is the object the RL environment and MCTS operate on — it "reduces
+//! the complexity of a design while retaining essential connectivity
+//! information" (Sec. II of the paper).
+
+use crate::cell_group::{cluster_cells, CellGroup};
+use crate::macro_group::{cluster_macros, MacroGroup};
+use crate::params::ClusterParams;
+use mmp_geom::{BoundingBox, Point};
+use mmp_netlist::{Design, MacroId, NodeRef, Placement};
+use serde::{Deserialize, Serialize};
+
+/// An endpoint of a coarsened net.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum GroupRef {
+    /// Index into [`CoarsenedNetlist::macro_groups`].
+    MacroGroup(usize),
+    /// Index into [`CoarsenedNetlist::cell_groups`].
+    CellGroup(usize),
+    /// A fixed location: an I/O pad or a preplaced macro center.
+    Fixed(Point),
+}
+
+/// A net of the coarsened netlist.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GroupNet {
+    /// Distinct group endpoints plus fixed points.
+    pub endpoints: Vec<GroupRef>,
+    /// Accumulated weight of the underlying nets.
+    pub weight: f64,
+}
+
+/// The coarsened design: groups plus projected connectivity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoarsenedNetlist {
+    macro_groups: Vec<MacroGroup>,
+    cell_groups: Vec<CellGroup>,
+    nets: Vec<GroupNet>,
+    macro_to_group: Vec<Option<usize>>,
+    cell_to_group: Vec<usize>,
+}
+
+impl CoarsenedNetlist {
+    /// Macro groups, sorted by non-increasing area (the RL/MCTS placement
+    /// sequence of Algorithm 1).
+    #[inline]
+    pub fn macro_groups(&self) -> &[MacroGroup] {
+        &self.macro_groups
+    }
+
+    /// Cell groups.
+    #[inline]
+    pub fn cell_groups(&self) -> &[CellGroup] {
+        &self.cell_groups
+    }
+
+    /// Projected nets (each touches at least one group and two endpoints).
+    #[inline]
+    pub fn nets(&self) -> &[GroupNet] {
+        &self.nets
+    }
+
+    /// The macro-group index containing macro `id`, or `None` for preplaced
+    /// macros (they are never grouped).
+    #[inline]
+    pub fn group_of_macro(&self, id: MacroId) -> Option<usize> {
+        self.macro_to_group[id.index()]
+    }
+
+    /// The cell-group index containing cell `id`.
+    #[inline]
+    pub fn group_of_cell(&self, id: mmp_netlist::CellId) -> usize {
+        self.cell_to_group[id.index()]
+    }
+
+    /// Coarse weighted HPWL given center positions for every macro group and
+    /// cell group. This is the cheap proxy used for fast evaluation; the
+    /// definitive metric is the full-netlist HPWL after cell placement.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the slices are shorter than the group counts.
+    pub fn hpwl(&self, macro_group_centers: &[Point], cell_group_centers: &[Point]) -> f64 {
+        assert!(macro_group_centers.len() >= self.macro_groups.len());
+        assert!(cell_group_centers.len() >= self.cell_groups.len());
+        let mut total = 0.0;
+        for net in &self.nets {
+            let mut bb = BoundingBox::empty();
+            for ep in &net.endpoints {
+                let p = match *ep {
+                    GroupRef::MacroGroup(i) => macro_group_centers[i],
+                    GroupRef::CellGroup(i) => cell_group_centers[i],
+                    GroupRef::Fixed(p) => p,
+                };
+                bb.extend(p);
+            }
+            total += net.weight * bb.half_perimeter();
+        }
+        total
+    }
+
+    /// Initial centers of macro groups (from the clustering placement).
+    pub fn macro_group_centers(&self) -> Vec<Point> {
+        self.macro_groups.iter().map(|g| g.center).collect()
+    }
+
+    /// Initial centers of cell groups (from the clustering placement).
+    pub fn cell_group_centers(&self) -> Vec<Point> {
+        self.cell_groups.iter().map(|g| g.center).collect()
+    }
+}
+
+/// Runs macro grouping, cell grouping and net projection.
+///
+/// # Example
+///
+/// ```
+/// use mmp_cluster::{ClusterParams, Coarsener};
+/// use mmp_netlist::{Placement, SyntheticSpec};
+///
+/// let design = SyntheticSpec::small("c", 6, 0, 8, 50, 80, false, 2).generate();
+/// let initial = Placement::initial(&design);
+/// let coarse = Coarsener::new(&ClusterParams::paper(100.0)).coarsen(&design, &initial);
+/// assert!(coarse.macro_groups().len() >= 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Coarsener {
+    params: ClusterParams,
+}
+
+impl Coarsener {
+    /// Creates a coarsener with the given clustering parameters.
+    pub fn new(params: &ClusterParams) -> Self {
+        Coarsener {
+            params: params.clone(),
+        }
+    }
+
+    /// Clusters `design` and projects its nets onto the groups.
+    ///
+    /// `placement` provides the initial positions for the distance terms of
+    /// Eqs. 1–2 (run the analytical global placer first for the paper's
+    /// exact flow).
+    pub fn coarsen(&self, design: &Design, placement: &Placement) -> CoarsenedNetlist {
+        let macro_groups = cluster_macros(design, placement, &self.params);
+        let cell_groups = cluster_cells(design, placement, &self.params);
+
+        let mut macro_to_group = vec![None; design.macros().len()];
+        for (gi, g) in macro_groups.iter().enumerate() {
+            for &m in &g.members {
+                macro_to_group[m.index()] = Some(gi);
+            }
+        }
+        let mut cell_to_group = vec![usize::MAX; design.cells().len()];
+        for (gi, g) in cell_groups.iter().enumerate() {
+            for &c in &g.members {
+                cell_to_group[c.index()] = gi;
+            }
+        }
+
+        let mut nets = Vec::new();
+        for net in design.nets() {
+            let mut endpoints: Vec<GroupRef> = Vec::with_capacity(net.pins.len());
+            let mut group_count = 0usize;
+            for pin in &net.pins {
+                let ep = match pin.node {
+                    NodeRef::Macro(id) => match macro_to_group[id.index()] {
+                        Some(g) => GroupRef::MacroGroup(g),
+                        // preplaced macro: a fixed point at its center
+                        None => GroupRef::Fixed(
+                            design
+                                .macro_(id)
+                                .fixed_center
+                                .expect("ungrouped macro is preplaced")
+                                + pin.offset,
+                        ),
+                    },
+                    NodeRef::Cell(id) => GroupRef::CellGroup(cell_to_group[id.index()]),
+                    NodeRef::Pad(id) => GroupRef::Fixed(design.pad(id).position),
+                };
+                // Dedupe group endpoints; fixed points are kept as-is (they
+                // cannot bias a bounding box).
+                let duplicate = match ep {
+                    GroupRef::MacroGroup(_) | GroupRef::CellGroup(_) => endpoints.contains(&ep),
+                    GroupRef::Fixed(_) => false,
+                };
+                if !duplicate {
+                    if matches!(ep, GroupRef::MacroGroup(_) | GroupRef::CellGroup(_)) {
+                        group_count += 1;
+                    }
+                    endpoints.push(ep);
+                }
+            }
+            // Keep nets that can influence group placement: at least one
+            // movable group and at least two endpoints overall.
+            if group_count >= 1 && endpoints.len() >= 2 {
+                nets.push(GroupNet {
+                    endpoints,
+                    weight: net.weight,
+                });
+            }
+        }
+
+        CoarsenedNetlist {
+            macro_groups,
+            cell_groups,
+            nets,
+            macro_to_group,
+            cell_to_group,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmp_geom::Rect;
+    use mmp_netlist::{DesignBuilder, SyntheticSpec};
+
+    fn coarse_of(design: &Design) -> CoarsenedNetlist {
+        let pl = Placement::initial(design);
+        let params = ClusterParams::paper(design.region().area() / 256.0);
+        Coarsener::new(&params).coarsen(design, &pl)
+    }
+
+    #[test]
+    fn every_movable_macro_is_grouped() {
+        let d = SyntheticSpec::small("g", 15, 3, 8, 100, 200, true, 31).generate();
+        let c = coarse_of(&d);
+        for id in d.movable_macros() {
+            assert!(c.group_of_macro(id).is_some());
+        }
+        for id in d.preplaced_macros() {
+            assert!(c.group_of_macro(id).is_none());
+        }
+    }
+
+    #[test]
+    fn every_cell_is_grouped() {
+        let d = SyntheticSpec::small("g", 6, 0, 8, 150, 250, false, 32).generate();
+        let c = coarse_of(&d);
+        for i in 0..d.cells().len() {
+            let g = c.group_of_cell(mmp_netlist::CellId::from_index(i));
+            assert!(g < c.cell_groups().len());
+        }
+    }
+
+    #[test]
+    fn internal_nets_are_dropped() {
+        // Two cells that end up in the same group; their private net
+        // projects to a single endpoint and must be dropped.
+        let mut b = DesignBuilder::new("i", Rect::new(0.0, 0.0, 100.0, 100.0));
+        let c0 = b.add_cell("c0", 1.0, 1.0, "");
+        let c1 = b.add_cell("c1", 1.0, 1.0, "");
+        b.add_net(
+            "n",
+            [
+                (NodeRef::Cell(c0), Point::ORIGIN),
+                (NodeRef::Cell(c1), Point::ORIGIN),
+            ],
+            1.0,
+        )
+        .unwrap();
+        let d = b.build().unwrap();
+        let pl = Placement::initial(&d);
+        // Huge grid area: the two cells merge into one group.
+        let c = Coarsener::new(&ClusterParams::paper(1e9)).coarsen(&d, &pl);
+        assert_eq!(c.cell_groups().len(), 1);
+        assert!(c.nets().is_empty());
+    }
+
+    #[test]
+    fn preplaced_macros_become_fixed_endpoints() {
+        let mut b = DesignBuilder::new("f", Rect::new(0.0, 0.0, 100.0, 100.0));
+        let m = b.add_macro("m", 2.0, 2.0, "");
+        let f = b.add_preplaced_macro("f", 2.0, 2.0, "", Point::new(70.0, 80.0));
+        b.add_net(
+            "n",
+            [
+                (NodeRef::Macro(m), Point::ORIGIN),
+                (NodeRef::Macro(f), Point::new(1.0, 0.0)),
+            ],
+            1.0,
+        )
+        .unwrap();
+        let d = b.build().unwrap();
+        let pl = Placement::initial(&d);
+        let c = Coarsener::new(&ClusterParams::paper(4.0)).coarsen(&d, &pl);
+        assert_eq!(c.nets().len(), 1);
+        let fixed: Vec<Point> = c.nets()[0]
+            .endpoints
+            .iter()
+            .filter_map(|e| match e {
+                GroupRef::Fixed(p) => Some(*p),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(fixed, vec![Point::new(71.0, 80.0)]);
+    }
+
+    #[test]
+    fn coarse_hpwl_reacts_to_group_moves() {
+        let d = SyntheticSpec::small("h", 8, 0, 8, 60, 90, false, 33).generate();
+        let c = coarse_of(&d);
+        let mut mc = c.macro_group_centers();
+        let cc = c.cell_group_centers();
+        let before = c.hpwl(&mc, &cc);
+        for p in &mut mc {
+            *p = Point::new(p.x + 1000.0, p.y);
+        }
+        let after = c.hpwl(&mc, &cc);
+        assert!(after > before, "moving all groups away must grow HPWL");
+    }
+
+    #[test]
+    fn coarse_hpwl_translation_of_everything_is_invariant_modulo_fixed() {
+        // With no pads/preplaced, translating all groups leaves HPWL fixed.
+        let mut b = DesignBuilder::new("t", Rect::new(0.0, 0.0, 100.0, 100.0));
+        let m0 = b.add_macro("m0", 2.0, 2.0, "");
+        let m1 = b.add_macro("m1", 3.0, 3.0, "");
+        b.add_net(
+            "n",
+            [
+                (NodeRef::Macro(m0), Point::ORIGIN),
+                (NodeRef::Macro(m1), Point::ORIGIN),
+            ],
+            1.0,
+        )
+        .unwrap();
+        let d = b.build().unwrap();
+        let pl = Placement::initial(&d);
+        let c = Coarsener::new(&ClusterParams::paper(4.0)).coarsen(&d, &pl);
+        let mc = vec![Point::new(0.0, 0.0), Point::new(10.0, 0.0)];
+        let shifted = vec![Point::new(5.0, 5.0), Point::new(15.0, 5.0)];
+        let cc: Vec<Point> = Vec::new();
+        assert!((c.hpwl(&mc, &cc) - c.hpwl(&shifted, &cc)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weights_are_preserved() {
+        let mut b = DesignBuilder::new("w", Rect::new(0.0, 0.0, 100.0, 100.0));
+        let m0 = b.add_macro("m0", 2.0, 2.0, "");
+        let p = b.add_pad("p", Point::new(0.0, 0.0));
+        b.add_net(
+            "n",
+            [
+                (NodeRef::Macro(m0), Point::ORIGIN),
+                (NodeRef::Pad(p), Point::ORIGIN),
+            ],
+            2.5,
+        )
+        .unwrap();
+        let d = b.build().unwrap();
+        let pl = Placement::initial(&d);
+        let c = Coarsener::new(&ClusterParams::paper(4.0)).coarsen(&d, &pl);
+        assert_eq!(c.nets()[0].weight, 2.5);
+    }
+
+    #[test]
+    fn zero_macro_design_coarsens() {
+        let d = SyntheticSpec::small("z", 0, 0, 8, 60, 80, false, 3).generate();
+        let c = coarse_of(&d);
+        assert!(c.macro_groups().is_empty());
+        assert!(!c.cell_groups().is_empty());
+    }
+}

@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! Netlist coarsening for the MMP macro placer.
+//!
+//! The paper reduces problem complexity by transforming macro *placement*
+//! into macro-group *allocation* (Sec. II-A): macros are agglomerated with
+//! the score function Γ (Eq. 1) and cells with φ (Eq. 2), both greedy
+//! highest-score-first, terminating when every group exceeds one grid cell
+//! in area or the best score drops below the threshold ν.
+//!
+//! The outputs are [`MacroGroup`]s / [`CellGroup`]s plus the
+//! [`CoarsenedNetlist`] — the original nets projected onto groups — which is
+//! what the RL environment and MCTS operate on.
+//!
+//! # Example
+//!
+//! ```
+//! use mmp_cluster::{ClusterParams, Coarsener};
+//! use mmp_netlist::{Placement, SyntheticSpec};
+//!
+//! let design = SyntheticSpec::small("x", 8, 0, 8, 60, 90, true, 1).generate();
+//! let initial = Placement::initial(&design);
+//! let params = ClusterParams::paper(design.region().area() / 256.0);
+//! let coarse = Coarsener::new(&params).coarsen(&design, &initial);
+//! assert!(coarse.macro_groups().len() <= 8);
+//! assert!(!coarse.nets().is_empty());
+//! ```
+
+pub mod cell_group;
+pub mod coarsen;
+pub mod macro_group;
+pub mod params;
+
+pub use cell_group::{cluster_cells, CellGroup};
+pub use coarsen::{CoarsenedNetlist, Coarsener, GroupNet, GroupRef};
+pub use macro_group::{cluster_macros, MacroGroup};
+pub use params::ClusterParams;

@@ -1,0 +1,310 @@
+//! Macro grouping with the score function Γ of Eq. 1.
+//!
+//! Γ(gᵢ, gⱼ) = 1/ΔD + δ·H + ε·w + κ·1/(ΔA + 1)
+//!
+//! where ΔD is the distance between the groups in the initial placement,
+//! H the shared hierarchy depth, w the connectivity and ΔA the area
+//! difference. Pairs are merged greedily highest-Γ-first until every group
+//! reaches one grid cell in area or the best score drops below ν.
+
+use crate::params::ClusterParams;
+use mmp_geom::Point;
+use mmp_netlist::{hierarchy_affinity, Design, MacroId, Placement};
+use serde::{Deserialize, Serialize};
+
+/// A cluster of macros treated as one placeable unit by RL and MCTS.
+///
+/// The group's outline is a square of equivalent area (`width == height ==
+/// √area`): the paper places groups on grid cells by occupancy, so only the
+/// area footprint matters, and a square is the least-biased shape.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MacroGroup {
+    /// Member macros, in merge order.
+    pub members: Vec<MacroId>,
+    /// Total member area (µm²).
+    pub area: f64,
+    /// Equivalent-square width (µm).
+    pub width: f64,
+    /// Equivalent-square height (µm).
+    pub height: f64,
+    /// Area-weighted centroid in the initial placement (µm).
+    pub center: Point,
+    /// Hierarchy path of the largest member (the group's representative).
+    pub hierarchy: String,
+}
+
+impl MacroGroup {
+    fn singleton(design: &Design, placement: &Placement, id: MacroId) -> Self {
+        let m = design.macro_(id);
+        MacroGroup {
+            members: vec![id],
+            area: m.area(),
+            width: m.area().sqrt(),
+            height: m.area().sqrt(),
+            center: placement.macro_center(id),
+            hierarchy: m.hierarchy.clone(),
+        }
+    }
+
+    fn merged(a: &MacroGroup, b: &MacroGroup) -> MacroGroup {
+        let area = a.area + b.area;
+        let center = Point::new(
+            (a.center.x * a.area + b.center.x * b.area) / area,
+            (a.center.y * a.area + b.center.y * b.area) / area,
+        );
+        let (big, small) = if a.area >= b.area { (a, b) } else { (b, a) };
+        let mut members = big.members.clone();
+        members.extend_from_slice(&small.members);
+        MacroGroup {
+            members,
+            area,
+            width: area.sqrt(),
+            height: area.sqrt(),
+            center,
+            hierarchy: big.hierarchy.clone(),
+        }
+    }
+
+    /// Number of member macros.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// `true` when the group has no members (never produced by clustering).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+}
+
+/// The score Γ of Eq. 1 for a candidate merge.
+fn gamma(a: &MacroGroup, b: &MacroGroup, connectivity: f64, params: &ClusterParams) -> f64 {
+    let dd = a.center.euclidean_distance(b.center).max(1e-9);
+    let h = hierarchy_affinity(&a.hierarchy, &b.hierarchy) as f64;
+    let da = (a.area - b.area).abs();
+    1.0 / dd + params.delta * h + params.epsilon * connectivity + params.kappa / (da + 1.0)
+}
+
+/// Greedy agglomerative macro clustering per Sec. II-A.
+///
+/// Returns groups sorted by **non-increasing area** — the macro placement
+/// sequence of Algorithm 1 ("macro groups with larger areas ... are given
+/// higher priority").
+///
+/// `placement` supplies the initial positions for the ΔD term (the paper
+/// runs an analytical global placement first; pass
+/// [`Placement::initial`] if none is available — all-equal distances simply
+/// neutralise the term).
+pub fn cluster_macros(
+    design: &Design,
+    placement: &Placement,
+    params: &ClusterParams,
+) -> Vec<MacroGroup> {
+    let ids = design.movable_macros();
+    let n = ids.len();
+    let mut groups: Vec<Option<MacroGroup>> = ids
+        .iter()
+        .map(|&id| Some(MacroGroup::singleton(design, placement, id)))
+        .collect();
+
+    // Pairwise connectivity between current groups, merged additively.
+    let mut conn: Vec<Vec<f64>> = vec![vec![0.0; n]; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let w = design.macro_connectivity(ids[i], ids[j]);
+            conn[i][j] = w;
+            conn[j][i] = w;
+        }
+    }
+
+    loop {
+        // Find the best mergeable pair. Groups at or above one grid cell in
+        // area no longer merge.
+        let mut best: Option<(usize, usize, f64)> = None;
+        for i in 0..n {
+            let Some(gi) = groups[i].as_ref() else {
+                continue;
+            };
+            if gi.area >= params.grid_area {
+                continue;
+            }
+            for j in (i + 1)..n {
+                let Some(gj) = groups[j].as_ref() else {
+                    continue;
+                };
+                if gj.area >= params.grid_area {
+                    continue;
+                }
+                let score = gamma(gi, gj, conn[i][j], params);
+                if best.map_or(true, |(_, _, s)| score > s) {
+                    best = Some((i, j, score));
+                }
+            }
+        }
+        let Some((i, j, score)) = best else { break };
+        if score < params.nu {
+            break;
+        }
+        let merged = MacroGroup::merged(
+            groups[i].as_ref().expect("live group"),
+            groups[j].as_ref().expect("live group"),
+        );
+        groups[i] = Some(merged);
+        groups[j] = None;
+        for k in 0..n {
+            if k != i {
+                conn[i][k] += conn[j][k];
+                conn[k][i] = conn[i][k];
+            }
+            conn[j][k] = 0.0;
+            conn[k][j] = 0.0;
+        }
+    }
+
+    let mut out: Vec<MacroGroup> = groups.into_iter().flatten().collect();
+    out.sort_by(|a, b| b.area.partial_cmp(&a.area).expect("finite areas"));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmp_geom::Rect;
+    use mmp_netlist::{DesignBuilder, NodeRef, SyntheticSpec};
+
+    fn params(grid_area: f64) -> ClusterParams {
+        ClusterParams::paper(grid_area)
+    }
+
+    #[test]
+    fn empty_design_yields_no_groups() {
+        let d = DesignBuilder::new("e", Rect::new(0.0, 0.0, 10.0, 10.0))
+            .build()
+            .unwrap();
+        let pl = Placement::initial(&d);
+        assert!(cluster_macros(&d, &pl, &params(1.0)).is_empty());
+    }
+
+    #[test]
+    fn single_macro_is_one_group() {
+        let mut b = DesignBuilder::new("s", Rect::new(0.0, 0.0, 10.0, 10.0));
+        let m = b.add_macro("m", 2.0, 3.0, "top");
+        let d = b.build().unwrap();
+        let pl = Placement::initial(&d);
+        let gs = cluster_macros(&d, &pl, &params(1.0));
+        assert_eq!(gs.len(), 1);
+        assert_eq!(gs[0].members, vec![m]);
+        assert_eq!(gs[0].area, 6.0);
+        assert!((gs[0].width - 6f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn preplaced_macros_are_excluded() {
+        let mut b = DesignBuilder::new("p", Rect::new(0.0, 0.0, 100.0, 100.0));
+        b.add_macro("m", 2.0, 2.0, "");
+        b.add_preplaced_macro("f", 2.0, 2.0, "", Point::new(50.0, 50.0));
+        let d = b.build().unwrap();
+        let pl = Placement::initial(&d);
+        let gs = cluster_macros(&d, &pl, &params(1e6));
+        let member_count: usize = gs.iter().map(|g| g.len()).sum();
+        assert_eq!(member_count, 1);
+    }
+
+    #[test]
+    fn close_connected_same_hierarchy_macros_merge_first() {
+        // Four macros: m0,m1 near each other / connected / same hierarchy;
+        // m2,m3 far away, unconnected, different hierarchy.
+        let mut b = DesignBuilder::new("m", Rect::new(0.0, 0.0, 1000.0, 1000.0));
+        let m0 = b.add_macro("m0", 2.0, 2.0, "top/a");
+        let m1 = b.add_macro("m1", 2.0, 2.0, "top/a");
+        let m2 = b.add_macro("m2", 2.0, 2.0, "top/b");
+        let m3 = b.add_macro("m3", 2.0, 2.0, "top/c");
+        b.add_net(
+            "n",
+            [
+                (NodeRef::Macro(m0), Point::ORIGIN),
+                (NodeRef::Macro(m1), Point::ORIGIN),
+            ],
+            1.0,
+        )
+        .unwrap();
+        let d = b.build().unwrap();
+        let mut pl = Placement::initial(&d);
+        pl.set_macro_center(m0, Point::new(10.0, 10.0));
+        pl.set_macro_center(m1, Point::new(12.0, 10.0));
+        pl.set_macro_center(m2, Point::new(900.0, 900.0));
+        pl.set_macro_center(m3, Point::new(100.0, 900.0));
+        // Grid area big enough for exactly one merge of the small macros
+        // (2x2 macros have area 4; grid area 8 lets singletons merge once,
+        // after which every resulting pair is >= 8).
+        let p = params(8.0);
+        let gs = cluster_macros(&d, &pl, &p);
+        // m0+m1 must be in one group.
+        let g01 = gs
+            .iter()
+            .find(|g| g.members.contains(&m0))
+            .expect("group with m0");
+        assert!(g01.members.contains(&m1), "m0 and m1 should merge first");
+    }
+
+    #[test]
+    fn groups_stop_growing_at_grid_area() {
+        let d = SyntheticSpec::small("g", 20, 0, 8, 50, 120, true, 42).generate();
+        let pl = Placement::initial(&d);
+        let grid_area = d.region().area() / 256.0;
+        let gs = cluster_macros(&d, &pl, &params(grid_area));
+        // No *merged* group may exceed 2x the grid area (one merge combines
+        // two sub-grid-area groups). Singleton macros may be any size.
+        for g in &gs {
+            if g.len() >= 2 {
+                assert!(
+                    g.area < 2.0 * grid_area + 1e-9,
+                    "group area {} too big",
+                    g.area
+                );
+            }
+        }
+        // All macros are covered exactly once.
+        let mut seen: Vec<MacroId> = gs.iter().flat_map(|g| g.members.clone()).collect();
+        seen.sort();
+        assert_eq!(seen, d.movable_macros());
+    }
+
+    #[test]
+    fn output_sorted_by_nonincreasing_area() {
+        let d = SyntheticSpec::small("s", 24, 0, 8, 60, 140, false, 7).generate();
+        let pl = Placement::initial(&d);
+        let gs = cluster_macros(&d, &pl, &params(d.region().area() / 256.0));
+        for w in gs.windows(2) {
+            assert!(w[0].area >= w[1].area);
+        }
+    }
+
+    #[test]
+    fn nu_threshold_stops_merging() {
+        // With an astronomically high nu nothing merges.
+        let d = SyntheticSpec::small("t", 10, 0, 8, 30, 60, false, 9).generate();
+        let pl = Placement::initial(&d);
+        let mut p = params(1e12);
+        p.nu = f64::INFINITY;
+        let gs = cluster_macros(&d, &pl, &p);
+        assert_eq!(gs.len(), 10, "no merges expected");
+    }
+
+    #[test]
+    fn merged_centroid_is_area_weighted() {
+        let mut b = DesignBuilder::new("c", Rect::new(0.0, 0.0, 100.0, 100.0));
+        let m0 = b.add_macro("m0", 2.0, 2.0, "h"); // area 4
+        let m1 = b.add_macro("m1", 4.0, 3.0, "h"); // area 12
+        let d = b.build().unwrap();
+        let mut pl = Placement::initial(&d);
+        pl.set_macro_center(m0, Point::new(0.0, 0.0));
+        pl.set_macro_center(m1, Point::new(16.0, 0.0));
+        let gs = cluster_macros(&d, &pl, &params(1e9));
+        assert_eq!(gs.len(), 1);
+        // centroid = (4*0 + 12*16)/16 = 12
+        assert!((gs[0].center.x - 12.0).abs() < 1e-9);
+        // representative hierarchy from the larger member
+        assert_eq!(gs[0].hierarchy, "h");
+        assert_eq!(gs[0].members[0], m1, "largest member listed first");
+    }
+}

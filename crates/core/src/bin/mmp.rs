@@ -1,0 +1,229 @@
+//! `mmp` — command-line front end for the macro placer.
+//!
+//! ```text
+//! mmp generate --circuit ibm01 --scale 0.002 --out ibm01.bks
+//! mmp generate --spec 12,2,24,400,650 --hierarchy --seed 42 --out d.bks
+//! mmp stats    --in d.bks
+//! mmp place    --in d.bks --zeta 8 --episodes 100 --explorations 200 \
+//!              --out placed.bks --svg placed.svg
+//! mmp svg      --in placed.bks --out view.svg
+//! ```
+
+use mmp_core::{DesignStats, MacroPlacer, PlacerConfig, SyntheticSpec};
+use mmp_legal::BoundaryRefiner;
+use mmp_netlist::{bookshelf, bookshelf_aux, svg, Placement};
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::path::Path;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n\
+         \x20 mmp generate (--circuit <ibmNN|CirN> | --spec M,P,IO,CELLS,NETS) \\\n\
+         \x20              [--scale F] [--seed N] [--hierarchy] --out FILE\n\
+         \x20 mmp stats    --in FILE\n\
+         \x20 mmp place    --in FILE [--zeta N] [--episodes N] [--explorations N] \\\n\
+         \x20              [--seed N] [--ensemble N] [--refine] [--out FILE] [--svg FILE]\n\
+         \x20 mmp svg      --in FILE --out FILE [--labels]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_flags(args: &[String]) -> (HashMap<String, String>, Vec<String>) {
+    let mut flags = HashMap::new();
+    let mut bare = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(name) = args[i].strip_prefix("--") {
+            if i + 1 < args.len() && !args[i + 1].starts_with("--") {
+                flags.insert(name.to_owned(), args[i + 1].clone());
+                i += 2;
+            } else {
+                flags.insert(name.to_owned(), String::from("true"));
+                i += 1;
+            }
+        } else {
+            bare.push(args[i].clone());
+            i += 1;
+        }
+    }
+    (flags, bare)
+}
+
+fn load(path: &str) -> Result<(mmp_core::Design, Option<Placement>), String> {
+    if path.ends_with(".aux") {
+        let (design, placement) =
+            bookshelf_aux::read_aux(Path::new(path), 4.0).map_err(|e| e.to_string())?;
+        return Ok((design, Some(placement)));
+    }
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    bookshelf::read(path, BufReader::new(file)).map_err(|e| e.to_string())
+}
+
+fn store(design: &mmp_core::Design, placement: &Placement, path: &str) -> Result<(), String> {
+    if path.ends_with(".aux") {
+        bookshelf_aux::write_aux(design, placement, Path::new(path)).map_err(|e| e.to_string())?;
+        return Ok(());
+    }
+    let file = File::create(path).map_err(|e| e.to_string())?;
+    bookshelf::write(design, Some(placement), BufWriter::new(file)).map_err(|e| e.to_string())
+}
+
+fn find_spec(name: &str) -> Option<SyntheticSpec> {
+    mmp_core::iccad04_suite()
+        .into_iter()
+        .chain(mmp_core::industrial_suite())
+        .find(|s| s.name.eq_ignore_ascii_case(name))
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return Err("missing subcommand".into());
+    };
+    let (flags, _) = parse_flags(&args[1..]);
+    let get = |k: &str| flags.get(k).cloned();
+    let get_usize = |k: &str, d: usize| -> Result<usize, String> {
+        match flags.get(k) {
+            None => Ok(d),
+            Some(v) => v.parse().map_err(|_| format!("bad --{k}: {v}")),
+        }
+    };
+
+    match cmd.as_str() {
+        "generate" => {
+            let out_path = get("out").ok_or("generate needs --out")?;
+            let scale: f64 = get("scale")
+                .map(|v| v.parse().map_err(|_| format!("bad --scale: {v}")))
+                .transpose()?
+                .unwrap_or(1.0);
+            let seed = get_usize("seed", 42)? as u64;
+            let spec = if let Some(name) = get("circuit") {
+                let mut s = find_spec(&name).ok_or(format!("unknown circuit {name}"))?;
+                s.seed = seed;
+                if scale < 1.0 {
+                    s = s.scaled(scale);
+                }
+                s
+            } else if let Some(spec_str) = get("spec") {
+                let parts: Vec<usize> = spec_str
+                    .split(',')
+                    .map(|p| {
+                        p.trim()
+                            .parse()
+                            .map_err(|_| format!("bad --spec: {spec_str}"))
+                    })
+                    .collect::<Result<_, _>>()?;
+                if parts.len() != 5 {
+                    return Err("--spec wants M,P,IO,CELLS,NETS".into());
+                }
+                SyntheticSpec::small(
+                    "custom",
+                    parts[0],
+                    parts[1],
+                    parts[2],
+                    parts[3],
+                    parts[4],
+                    flags.contains_key("hierarchy"),
+                    seed,
+                )
+            } else {
+                return Err("generate needs --circuit or --spec".into());
+            };
+            let design = spec.generate();
+            let file = File::create(&out_path).map_err(|e| e.to_string())?;
+            bookshelf::write(&design, None, BufWriter::new(file)).map_err(|e| e.to_string())?;
+            println!("{}", DesignStats::of(&design));
+            println!("wrote {out_path}");
+            Ok(())
+        }
+        "stats" => {
+            let in_path = get("in").ok_or("stats needs --in")?;
+            let (design, placement) = load(&in_path)?;
+            println!("{}", DesignStats::of(&design));
+            if let Some(pl) = placement {
+                println!("placement present: HPWL = {:.1}", pl.hpwl(&design));
+                println!("macro overlap     = {:.3}", pl.macro_overlap_area(&design));
+            }
+            Ok(())
+        }
+        "place" => {
+            let in_path = get("in").ok_or("place needs --in")?;
+            let (design, _) = load(&in_path)?;
+            let zeta = get_usize("zeta", 8)?;
+            let mut cfg = PlacerConfig::bench(zeta);
+            cfg.trainer.episodes = get_usize("episodes", cfg.trainer.episodes)?;
+            cfg.mcts.explorations = get_usize("explorations", cfg.mcts.explorations)?;
+            cfg.trainer.seed = get_usize("seed", 0)? as u64;
+            cfg.ensemble_runs = get_usize("ensemble", 1)?;
+            let result = MacroPlacer::new(cfg)
+                .place(&design)
+                .map_err(|e| e.to_string())?;
+            println!(
+                "HPWL = {:.1}, overlap = {:.3}, mcts = {:?}",
+                result.hpwl,
+                result.placement.macro_overlap_area(&design),
+                result.timings.mcts
+            );
+            let mut placement = result.placement;
+            if flags.contains_key("refine") {
+                let refined = BoundaryRefiner::new().refine(&design, &placement);
+                println!(
+                    "refined: HPWL {:.1} -> {:.1} ({} boundary moves)",
+                    refined.hpwl_before, refined.hpwl_after, refined.moves
+                );
+                let flipped =
+                    mmp_legal::optimize_orientations(&design, &refined.placement, 4);
+                println!(
+                    "flipped: HPWL {:.1} -> {:.1} ({} orientation changes)",
+                    flipped.hpwl_before, flipped.hpwl_after, flipped.flips
+                );
+                placement = flipped.placement;
+            }
+            if let Some(out_path) = get("out") {
+                store(&design, &placement, &out_path)?;
+                println!("wrote {out_path}");
+            }
+            if let Some(svg_path) = get("svg") {
+                let file = File::create(&svg_path).map_err(|e| e.to_string())?;
+                svg::write(
+                    &design,
+                    &placement,
+                    &svg::SvgOptions::default(),
+                    BufWriter::new(file),
+                )
+                .map_err(|e| e.to_string())?;
+                println!("wrote {svg_path}");
+            }
+            Ok(())
+        }
+        "svg" => {
+            let in_path = get("in").ok_or("svg needs --in")?;
+            let out_path = get("out").ok_or("svg needs --out")?;
+            let (design, placement) = load(&in_path)?;
+            let placement = placement.unwrap_or_else(|| Placement::initial(&design));
+            let opts = svg::SvgOptions {
+                macro_labels: flags.contains_key("labels"),
+                ..svg::SvgOptions::default()
+            };
+            let file = File::create(&out_path).map_err(|e| e.to_string())?;
+            svg::write(&design, &placement, &opts, BufWriter::new(file))
+                .map_err(|e| e.to_string())?;
+            println!("wrote {out_path}");
+            Ok(())
+        }
+        _ => Err(format!("unknown subcommand {cmd}")),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            usage()
+        }
+    }
+}

@@ -1,0 +1,325 @@
+//! Algorithm 1: preprocess → pre-train → MCTS → legalize → place cells.
+
+use mmp_analytic::{GlobalPlacer, GlobalPlacerConfig};
+use mmp_geom::GridIndex;
+use mmp_legal::MacroLegalizer;
+use mmp_mcts::{place_ensemble, EnsembleConfig, MctsConfig, MctsPlacer, SearchStats};
+use mmp_netlist::{Design, Placement};
+use mmp_rl::{Agent, Trainer, TrainerConfig, TrainingHistory};
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Full-flow configuration. `fast(ζ)` gives laptop-scale settings used by
+/// tests; `paper()` the published ones.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlacerConfig {
+    /// RL pre-training settings (grid ζ, network, episodes, reward).
+    pub trainer: TrainerConfig,
+    /// MCTS settings (c, γ explorations).
+    pub mcts: MctsConfig,
+    /// Independent parallel MCTS runs (1 = the paper's single search;
+    /// more runs diversify priors per worker and keep the best result).
+    pub ensemble_runs: usize,
+    /// Final cell-placement effort.
+    pub final_placer: GlobalPlacerConfig,
+}
+
+impl PlacerConfig {
+    /// The paper's configuration: ζ = 16, Table I network, c = 1.05.
+    pub fn paper() -> Self {
+        PlacerConfig {
+            trainer: TrainerConfig::paper(),
+            mcts: MctsConfig::default(),
+            ensemble_runs: 1,
+            final_placer: GlobalPlacerConfig::quality(),
+        }
+    }
+
+    /// Laptop-scale configuration over a ζ×ζ grid: tiny network, short
+    /// training, shallow search, fast final placement.
+    pub fn fast(zeta: usize) -> Self {
+        let mut trainer = TrainerConfig::tiny(zeta);
+        // The coarse reward is only informative when cell groups carry real
+        // positions, so the prototyping placement stays on even at laptop
+        // scale.
+        trainer.prototype_placement = true;
+        PlacerConfig {
+            trainer,
+            mcts: MctsConfig {
+                explorations: 16,
+                ..MctsConfig::default()
+            },
+            ensemble_runs: 1,
+            final_placer: GlobalPlacerConfig::fast(),
+        }
+    }
+
+    /// The benchmark-harness configuration: the paper's flow (full
+    /// legalize-and-place reward, prototyping placement) at a budget that
+    /// runs in seconds per scaled circuit and reproduces the paper's
+    /// quality ordering against the baselines.
+    pub fn bench(zeta: usize) -> Self {
+        let mut cfg = PlacerConfig::fast(zeta);
+        cfg.trainer.coarse_eval = false;
+        cfg.trainer.episodes = 400;
+        cfg.trainer.update_every = 10;
+        cfg.trainer.calibration_episodes = 20;
+        cfg.mcts.explorations = 500;
+        cfg
+    }
+}
+
+/// Wall-clock spent per stage (Table IV reports the MCTS stage).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageTimings {
+    /// Preprocessing: prototyping placement + clustering.
+    pub preprocess: Duration,
+    /// RL pre-training.
+    pub training: Duration,
+    /// MCTS placement optimization.
+    pub mcts: Duration,
+    /// Legalization + final cell placement.
+    pub finalize: Duration,
+}
+
+/// Everything the flow returns.
+#[derive(Debug, Clone)]
+pub struct PlacementResult {
+    /// The final legal mixed-size placement.
+    pub placement: Placement,
+    /// Its full-netlist HPWL (the metric of Tables II/III).
+    pub hpwl: f64,
+    /// The MCTS grid assignment per macro group.
+    pub assignment: Vec<GridIndex>,
+    /// RL training curves (Fig. 4 data).
+    pub training: TrainingHistory,
+    /// MCTS search-effort counters.
+    pub mcts_stats: SearchStats,
+    /// Per-stage wall-clock (Table IV data).
+    pub timings: StageTimings,
+    /// The trained agent (reusable for further searches).
+    pub agent: Agent,
+}
+
+/// Flow-level failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlaceError {
+    /// The design's region cannot host its macros at all (sum of macro
+    /// areas exceeds the region).
+    MacrosExceedRegion,
+}
+
+impl fmt::Display for PlaceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlaceError::MacrosExceedRegion => {
+                write!(f, "total macro area exceeds the placement region")
+            }
+        }
+    }
+}
+
+impl Error for PlaceError {}
+
+/// The end-to-end placer (Algorithm 1).
+#[derive(Debug, Clone)]
+pub struct MacroPlacer {
+    config: PlacerConfig,
+}
+
+impl MacroPlacer {
+    /// Creates a placer with the given configuration.
+    pub fn new(config: PlacerConfig) -> Self {
+        MacroPlacer { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &PlacerConfig {
+        &self.config
+    }
+
+    /// Runs the full flow on `design`.
+    ///
+    /// Designs without movable macros (the `ibm05` case) skip the RL and
+    /// MCTS stages and go straight to cell placement.
+    ///
+    /// # Errors
+    ///
+    /// [`PlaceError::MacrosExceedRegion`] when the instance is trivially
+    /// infeasible.
+    pub fn place(&self, design: &Design) -> Result<PlacementResult, PlaceError> {
+        if design.total_macro_area() > design.region().area() {
+            return Err(PlaceError::MacrosExceedRegion);
+        }
+
+        // Stage 1: preprocessing (inside Trainer::new — prototyping
+        // placement + grouping + coarsening).
+        let t0 = Instant::now();
+        let trainer = Trainer::new(design, self.config.trainer.clone());
+        let preprocess = t0.elapsed();
+
+        if design.movable_macros().is_empty() {
+            // ibm05 path: nothing to allocate.
+            let t3 = Instant::now();
+            let out = GlobalPlacer::new(self.config.final_placer.clone())
+                .place_cells(design, &Placement::initial(design));
+            return Ok(PlacementResult {
+                placement: out.placement,
+                hpwl: out.hpwl,
+                assignment: Vec::new(),
+                training: TrainingHistory::default(),
+                mcts_stats: SearchStats::default(),
+                timings: StageTimings {
+                    preprocess,
+                    finalize: t3.elapsed(),
+                    ..StageTimings::default()
+                },
+                agent: Agent::new(self.config.trainer.net),
+            });
+        }
+
+        // Stage 2: pre-training by RL.
+        let t1 = Instant::now();
+        let mut outcome = trainer.train();
+        let training_time = t1.elapsed();
+
+        // Stage 3: placement optimization by MCTS (optionally an ensemble
+        // of diversified parallel searches).
+        let t2 = Instant::now();
+        let search = if self.config.ensemble_runs > 1 {
+            place_ensemble(
+                &trainer,
+                &outcome.agent,
+                &outcome.scale,
+                &EnsembleConfig {
+                    runs: self.config.ensemble_runs,
+                    base: self.config.mcts.clone(),
+                    ..EnsembleConfig::default()
+                },
+            )
+            .best
+        } else {
+            MctsPlacer::new(self.config.mcts.clone()).place(
+                &trainer,
+                &mut outcome.agent,
+                &outcome.scale,
+            )
+        };
+        let mcts_time = t2.elapsed();
+
+        // Stage 4: legalization + final cell placement.
+        let t3 = Instant::now();
+        let legal = MacroLegalizer::new()
+            .legalize(design, trainer.coarse(), &search.assignment, trainer.grid())
+            .expect("MCTS assignment covers every group");
+        let out = GlobalPlacer::new(self.config.final_placer.clone())
+            .place_cells(design, &legal.placement);
+        let finalize = t3.elapsed();
+
+        Ok(PlacementResult {
+            placement: out.placement,
+            hpwl: out.hpwl,
+            assignment: search.assignment,
+            training: outcome.history,
+            mcts_stats: search.stats,
+            timings: StageTimings {
+                preprocess,
+                training: training_time,
+                mcts: mcts_time,
+                finalize,
+            },
+            agent: outcome.agent,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmp_netlist::SyntheticSpec;
+
+    fn fast_config() -> PlacerConfig {
+        let mut cfg = PlacerConfig::fast(4);
+        cfg.trainer.episodes = 4;
+        cfg.mcts.explorations = 6;
+        cfg
+    }
+
+    #[test]
+    fn full_flow_produces_legal_placement() {
+        let d = SyntheticSpec::small("flow", 6, 1, 8, 50, 90, true, 1).generate();
+        let result = MacroPlacer::new(fast_config()).place(&d).unwrap();
+        assert!(result.hpwl > 0.0);
+        assert!(result.placement.macro_overlap_area(&d) < 1e-6);
+        assert_eq!(result.training.episode_rewards.len(), 4);
+        assert!(result.mcts_stats.explorations > 0);
+        assert!(!result.assignment.is_empty());
+    }
+
+    #[test]
+    fn flow_is_deterministic() {
+        let d = SyntheticSpec::small("det", 5, 0, 8, 40, 70, false, 2).generate();
+        let placer = MacroPlacer::new(fast_config());
+        let a = placer.place(&d).unwrap();
+        let b = placer.place(&d).unwrap();
+        assert_eq!(a.hpwl, b.hpwl);
+        assert_eq!(a.assignment, b.assignment);
+    }
+
+    #[test]
+    fn zero_macro_design_skips_rl_and_mcts() {
+        let d = SyntheticSpec::small("ibm05", 0, 0, 8, 60, 90, false, 3).generate();
+        let result = MacroPlacer::new(fast_config()).place(&d).unwrap();
+        assert!(result.assignment.is_empty());
+        assert_eq!(result.mcts_stats.explorations, 0);
+        assert!(result.hpwl > 0.0);
+    }
+
+    #[test]
+    fn infeasible_design_is_rejected() {
+        use mmp_geom::{Point, Rect};
+        let mut b = mmp_netlist::DesignBuilder::new("inf", Rect::new(0.0, 0.0, 10.0, 10.0));
+        b.add_macro("m0", 9.0, 9.0, "");
+        b.add_macro("m1", 9.0, 9.0, "");
+        let p = b.add_pad("p", Point::new(0.0, 0.0));
+        b.add_net(
+            "n",
+            [
+                (mmp_netlist::MacroId(0).into(), Point::ORIGIN),
+                (p.into(), Point::ORIGIN),
+            ],
+            1.0,
+        )
+        .unwrap();
+        let d = b.build().unwrap();
+        let err = MacroPlacer::new(fast_config()).place(&d).unwrap_err();
+        assert_eq!(err, PlaceError::MacrosExceedRegion);
+        assert!(err.to_string().contains("macro area"));
+    }
+
+    #[test]
+    fn ensemble_flow_matches_or_beats_single_search() {
+        let d = SyntheticSpec::small("ens_flow", 6, 0, 8, 50, 90, false, 5).generate();
+        let mut single_cfg = fast_config();
+        single_cfg.mcts.explorations = 8;
+        let single = MacroPlacer::new(single_cfg.clone()).place(&d).unwrap();
+        let mut ens_cfg = single_cfg;
+        ens_cfg.ensemble_runs = 3;
+        let ens = MacroPlacer::new(ens_cfg).place(&d).unwrap();
+        // Run 0 of the ensemble is the noise-free search, so the ensemble's
+        // *assignment-level* score cannot be worse; the final HPWL after
+        // cell placement tracks it closely.
+        assert!(ens.hpwl <= single.hpwl * 1.05);
+        assert!(ens.placement.macro_overlap_area(&d) < 1e-6);
+    }
+
+    #[test]
+    fn timings_are_recorded() {
+        let d = SyntheticSpec::small("time", 5, 0, 8, 40, 70, false, 4).generate();
+        let result = MacroPlacer::new(fast_config()).place(&d).unwrap();
+        assert!(result.timings.mcts > Duration::ZERO);
+        assert!(result.timings.training > Duration::ZERO);
+    }
+}

@@ -1,0 +1,54 @@
+#![warn(missing_docs)]
+
+//! The MMP macro placer: MCTS guided by pre-trained RL.
+//!
+//! This crate is the public face of the workspace — a full reimplementation
+//! of *"Effective Macro Placement for Very Large Scale Designs Using MCTS
+//! Guided by Pre-trained RL"* (Lin, Lee & Lin, DATE 2025). It wires the
+//! stage crates into Algorithm 1:
+//!
+//! 1. **Preprocessing** — ζ×ζ grid partition + netlist coarsening into
+//!    macro/cell groups (`mmp-cluster`, fed by the analytical prototyping
+//!    placement of `mmp-analytic`).
+//! 2. **Pre-training by RL** — an actor-critic agent learns macro-group
+//!    allocation with the calibrated reward of Eq. 9 (`mmp-rl` on the
+//!    from-scratch `mmp-nn`).
+//! 3. **Placement optimization by MCTS** — one PUCT search guided by π_θ
+//!    with V_θ leaf evaluation (`mmp-mcts`).
+//! 4. **Legalization + cell placement** — the 3-step QP/sequence-pair flow
+//!    (`mmp-legal`) and the mixed-size analytical cell placer, which also
+//!    measures the final HPWL.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use mmp_core::{MacroPlacer, PlacerConfig};
+//! use mmp_netlist::SyntheticSpec;
+//!
+//! let design = SyntheticSpec::small("quick", 6, 0, 8, 40, 70, false, 1).generate();
+//! let placer = MacroPlacer::new(PlacerConfig::fast(4));
+//! let result = placer.place(&design)?;
+//! assert!(result.hpwl > 0.0);
+//! assert!(result.placement.macro_overlap_area(&design) < 1e-6);
+//! # Ok::<(), mmp_core::PlaceError>(())
+//! ```
+
+pub mod flow;
+pub mod report;
+
+pub use flow::{MacroPlacer, PlaceError, PlacementResult, PlacerConfig, StageTimings};
+pub use report::{geometric_mean, normalize_rows, TableRow};
+
+// Re-export the stage APIs so downstream users (examples, benches) need a
+// single dependency.
+pub use mmp_analytic::{GlobalPlacer, GlobalPlacerConfig};
+pub use mmp_cluster::{ClusterParams, CoarsenedNetlist, Coarsener};
+pub use mmp_geom::{Grid, GridIndex, Point, Rect};
+pub use mmp_legal::MacroLegalizer;
+pub use mmp_mcts::{MctsConfig, MctsPlacer, SearchStats};
+pub use mmp_netlist::{
+    iccad04_suite, industrial_suite, Design, DesignBuilder, DesignStats, Placement, SyntheticSpec,
+};
+pub use mmp_rl::{
+    Agent, AgentConfig, RewardKind, RewardScale, Trainer, TrainerConfig, TrainingHistory,
+};

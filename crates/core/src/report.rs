@@ -1,0 +1,103 @@
+//! Experiment reporting helpers: the normalized comparison rows of the
+//! paper's tables.
+
+use serde::{Deserialize, Serialize};
+
+/// One row of a comparison table: a circuit and the HPWL each contender
+/// achieved on it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableRow {
+    /// Circuit name (e.g. `"ibm01"`).
+    pub circuit: String,
+    /// `(placer name, HPWL)` pairs, one per contender.
+    pub results: Vec<(String, f64)>,
+}
+
+/// Geometric mean of positive values (0 for an empty slice) — the "Nor."
+/// aggregation of Tables II and III.
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.max(1e-300).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// The normalized summary of a comparison table: per contender, the
+/// geometric mean of its per-circuit HPWL ratio against the **last**
+/// contender (the paper normalizes against "Ours", listed last).
+///
+/// Returns `(name, normalized)` pairs; the reference contender reads 1.0.
+///
+/// # Panics
+///
+/// Panics when rows disagree on the contender list or the list is empty.
+pub fn normalize_rows(rows: &[TableRow]) -> Vec<(String, f64)> {
+    assert!(!rows.is_empty(), "need at least one row");
+    let names: Vec<String> = rows[0].results.iter().map(|(n, _)| n.clone()).collect();
+    assert!(!names.is_empty(), "need at least one contender");
+    for row in rows {
+        let row_names: Vec<&String> = row.results.iter().map(|(n, _)| n).collect();
+        assert!(
+            row_names.iter().zip(&names).all(|(a, b)| *a == b),
+            "contender lists differ between rows"
+        );
+    }
+    let reference = names.len() - 1;
+    names
+        .iter()
+        .enumerate()
+        .map(|(k, name)| {
+            let ratios: Vec<f64> = rows
+                .iter()
+                .map(|row| row.results[k].1 / row.results[reference].1.max(1e-300))
+                .collect();
+            (name.clone(), geometric_mean(&ratios))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(circuit: &str, ours: f64, other: f64) -> TableRow {
+        TableRow {
+            circuit: circuit.into(),
+            results: vec![("Other".into(), other), ("Ours".into(), ours)],
+        }
+    }
+
+    #[test]
+    fn geometric_mean_basics() {
+        assert_eq!(geometric_mean(&[]), 0.0);
+        assert!((geometric_mean(&[4.0]) - 4.0).abs() < 1e-12);
+        assert!((geometric_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geometric_mean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalization_reads_one_for_reference() {
+        let rows = vec![row("c1", 10.0, 11.0), row("c2", 20.0, 26.0)];
+        let norm = normalize_rows(&rows);
+        assert_eq!(norm[1].0, "Ours");
+        assert!((norm[1].1 - 1.0).abs() < 1e-12);
+        // Other is 10% and 30% worse: geomean of (1.1, 1.3) ≈ 1.196.
+        assert!((norm[0].1 - (1.1f64 * 1.3).sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "differ between rows")]
+    fn mismatched_contender_lists_panic() {
+        let a = row("c1", 1.0, 1.0);
+        let mut b = row("c2", 1.0, 1.0);
+        b.results[0].0 = "Different".into();
+        let _ = normalize_rows(&[a, b]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one row")]
+    fn empty_rows_panic() {
+        let _ = normalize_rows(&[]);
+    }
+}

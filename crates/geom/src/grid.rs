@@ -1,0 +1,299 @@
+//! The ζ×ζ grid partition of the placement region (Sec. II-A of the paper).
+
+use crate::{Point, Rect};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of a grid cell as `(col, row)` with the origin at the lower-left.
+///
+/// `col` advances along +x, `row` along +y. The linearised index used by the
+/// RL action space is `row * zeta + col` (row-major from the bottom), matching
+/// the flattened 16×16 policy output of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct GridIndex {
+    /// Column (x direction), `0..zeta`.
+    pub col: usize,
+    /// Row (y direction), `0..zeta`.
+    pub row: usize,
+}
+
+impl GridIndex {
+    /// Creates an index; no bounds are enforced here (the [`Grid`] methods
+    /// validate against their own ζ).
+    #[inline]
+    pub const fn new(col: usize, row: usize) -> Self {
+        GridIndex { col, row }
+    }
+}
+
+impl fmt::Display for GridIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g({},{})", self.col, self.row)
+    }
+}
+
+/// A ζ×ζ uniform partition of a placement region.
+///
+/// The paper divides the placement area into ζ×ζ grids (ζ = 16) and poses
+/// macro placement as the allocation of macro *groups* to these cells. The
+/// same grid underlies the RL state tensors and the MCTS action space.
+///
+/// # Example
+///
+/// ```
+/// use mmp_geom::{Grid, GridIndex, Point, Rect};
+///
+/// let grid = Grid::new(Rect::new(0.0, 0.0, 160.0, 160.0), 16);
+/// assert_eq!(grid.cell_width(), 10.0);
+/// let idx = grid.locate(Point::new(25.0, 155.0)).unwrap();
+/// assert_eq!(idx, GridIndex::new(2, 15));
+/// assert_eq!(grid.flat_index(idx), 15 * 16 + 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Grid {
+    region: Rect,
+    zeta: usize,
+}
+
+impl Grid {
+    /// Creates a ζ×ζ grid over `region`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `zeta == 0` or `region` is empty — a degenerate grid has no
+    /// meaningful action space.
+    pub fn new(region: Rect, zeta: usize) -> Self {
+        assert!(zeta > 0, "grid resolution zeta must be positive");
+        assert!(
+            !region.is_empty(),
+            "placement region must have positive area"
+        );
+        Grid { region, zeta }
+    }
+
+    /// The partitioned region.
+    #[inline]
+    pub fn region(&self) -> &Rect {
+        &self.region
+    }
+
+    /// Grid resolution ζ (cells per side).
+    #[inline]
+    pub fn zeta(&self) -> usize {
+        self.zeta
+    }
+
+    /// Total number of cells, ζ².
+    #[inline]
+    pub fn cell_count(&self) -> usize {
+        self.zeta * self.zeta
+    }
+
+    /// Width of one cell in µm.
+    #[inline]
+    pub fn cell_width(&self) -> f64 {
+        self.region.width / self.zeta as f64
+    }
+
+    /// Height of one cell in µm.
+    #[inline]
+    pub fn cell_height(&self) -> f64 {
+        self.region.height / self.zeta as f64
+    }
+
+    /// Area of one cell in µm².
+    #[inline]
+    pub fn cell_area(&self) -> f64 {
+        self.cell_width() * self.cell_height()
+    }
+
+    /// The rectangle of cell `(col, row)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `col` or `row` is out of `0..zeta`.
+    pub fn cell(&self, col: usize, row: usize) -> Rect {
+        assert!(
+            col < self.zeta && row < self.zeta,
+            "grid index out of range"
+        );
+        Rect::new(
+            self.region.x + col as f64 * self.cell_width(),
+            self.region.y + row as f64 * self.cell_height(),
+            self.cell_width(),
+            self.cell_height(),
+        )
+    }
+
+    /// The rectangle of the cell at `idx`.
+    #[inline]
+    pub fn cell_at(&self, idx: GridIndex) -> Rect {
+        self.cell(idx.col, idx.row)
+    }
+
+    /// Maps a point to the cell containing it, or `None` when outside the
+    /// region. Points exactly on the upper/right boundary map to the last
+    /// cell.
+    pub fn locate(&self, p: Point) -> Option<GridIndex> {
+        if !self.region.contains_point(p) {
+            return None;
+        }
+        let col = (((p.x - self.region.x) / self.cell_width()) as usize).min(self.zeta - 1);
+        let row = (((p.y - self.region.y) / self.cell_height()) as usize).min(self.zeta - 1);
+        Some(GridIndex::new(col, row))
+    }
+
+    /// Row-major (bottom-up) linear index of a cell, `row * ζ + col`.
+    #[inline]
+    pub fn flat_index(&self, idx: GridIndex) -> usize {
+        idx.row * self.zeta + idx.col
+    }
+
+    /// Inverse of [`Grid::flat_index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `flat >= ζ²`.
+    #[inline]
+    pub fn unflatten(&self, flat: usize) -> GridIndex {
+        assert!(flat < self.cell_count(), "flat index out of range");
+        GridIndex::new(flat % self.zeta, flat / self.zeta)
+    }
+
+    /// Iterates over all cell indices in flat order.
+    pub fn indices(&self) -> impl Iterator<Item = GridIndex> + '_ {
+        (0..self.cell_count()).map(|f| self.unflatten(f))
+    }
+
+    /// Number of whole-or-partial cells a footprint of size `w`×`h` spans,
+    /// per axis: `(cols, rows)`, each at least 1 and at most ζ.
+    ///
+    /// This is the dimension of the paper's s_m matrix (Fig. 1): an outline
+    /// that occupies two grid cells yields a 2×1 window.
+    pub fn span_of(&self, w: f64, h: f64) -> (usize, usize) {
+        let cols = (w / self.cell_width()).ceil().max(1.0) as usize;
+        let rows = (h / self.cell_height()).ceil().max(1.0) as usize;
+        (cols.min(self.zeta), rows.min(self.zeta))
+    }
+
+    /// Fraction of cell `(col, row)` covered by `r`, in `[0, 1]`.
+    pub fn coverage(&self, col: usize, row: usize, r: &Rect) -> f64 {
+        let cell = self.cell(col, row);
+        cell.overlap_area(r) / cell.area()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn grid16() -> Grid {
+        Grid::new(Rect::new(0.0, 0.0, 160.0, 160.0), 16)
+    }
+
+    #[test]
+    fn basic_dimensions() {
+        let g = grid16();
+        assert_eq!(g.zeta(), 16);
+        assert_eq!(g.cell_count(), 256);
+        assert_eq!(g.cell_width(), 10.0);
+        assert_eq!(g.cell_height(), 10.0);
+        assert_eq!(g.cell_area(), 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zeta must be positive")]
+    fn zero_zeta_panics() {
+        let _ = Grid::new(Rect::new(0.0, 0.0, 1.0, 1.0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive area")]
+    fn empty_region_panics() {
+        let _ = Grid::new(Rect::new(0.0, 0.0, 0.0, 1.0), 4);
+    }
+
+    #[test]
+    fn cell_rectangles_tile_the_region() {
+        let g = grid16();
+        let total: f64 = g.indices().map(|i| g.cell_at(i).area()).sum();
+        assert!((total - g.region().area()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn locate_interior_and_boundary() {
+        let g = grid16();
+        assert_eq!(g.locate(Point::new(0.0, 0.0)), Some(GridIndex::new(0, 0)));
+        assert_eq!(
+            g.locate(Point::new(160.0, 160.0)),
+            Some(GridIndex::new(15, 15))
+        );
+        assert_eq!(g.locate(Point::new(-0.1, 5.0)), None);
+        assert_eq!(g.locate(Point::new(5.0, 160.1)), None);
+        assert_eq!(g.locate(Point::new(15.0, 25.0)), Some(GridIndex::new(1, 2)));
+    }
+
+    #[test]
+    fn flat_index_roundtrip() {
+        let g = grid16();
+        for f in 0..g.cell_count() {
+            assert_eq!(g.flat_index(g.unflatten(f)), f);
+        }
+    }
+
+    #[test]
+    fn span_matches_paper_example() {
+        // Fig. 1: a macro group occupying two grids vertically gives a 2x1
+        // window (rows x cols); span_of returns (cols, rows).
+        let g = grid16();
+        let (cols, rows) = g.span_of(8.0, 18.0);
+        assert_eq!((cols, rows), (1, 2));
+        // Tiny outlines still take one cell.
+        assert_eq!(g.span_of(0.1, 0.1), (1, 1));
+        // Exact multiples do not round up an extra cell.
+        assert_eq!(g.span_of(20.0, 10.0), (2, 1));
+        // Span is clamped to the grid size.
+        assert_eq!(g.span_of(1e9, 1e9), (16, 16));
+    }
+
+    #[test]
+    fn coverage_of_centered_rect() {
+        let g = grid16();
+        // Rect covering exactly the cell (3, 4).
+        let r = g.cell(3, 4);
+        assert!((g.coverage(3, 4, &r) - 1.0).abs() < 1e-12);
+        assert_eq!(g.coverage(4, 4, &r), 0.0);
+        // Half-covering rect.
+        let half = Rect::new(r.x, r.y, r.width / 2.0, r.height);
+        assert!((g.coverage(3, 4, &half) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_square_region() {
+        let g = Grid::new(Rect::new(10.0, 20.0, 64.0, 32.0), 8);
+        assert_eq!(g.cell_width(), 8.0);
+        assert_eq!(g.cell_height(), 4.0);
+        assert_eq!(g.cell(0, 0), Rect::new(10.0, 20.0, 8.0, 4.0));
+        assert_eq!(g.locate(Point::new(10.0, 20.0)), Some(GridIndex::new(0, 0)));
+    }
+
+    proptest! {
+        #[test]
+        fn locate_agrees_with_cell_rect(x in 0f64..160.0, y in 0f64..160.0) {
+            let g = grid16();
+            let idx = g.locate(Point::new(x, y)).unwrap();
+            let cell = g.cell_at(idx);
+            prop_assert!(cell.contains_point(Point::new(x, y)));
+        }
+
+        #[test]
+        fn coverage_is_in_unit_interval(col in 0usize..16, row in 0usize..16,
+                                        rx in -50f64..200.0, ry in -50f64..200.0,
+                                        rw in 0f64..100.0, rh in 0f64..100.0) {
+            let g = grid16();
+            let c = g.coverage(col, row, &Rect::new(rx, ry, rw, rh));
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&c));
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! Half-perimeter wirelength (HPWL) — the paper's quality metric.
+//!
+//! Every experiment in the paper (Tables II & III, the reward of Eq. 9)
+//! scores a placement by the sum over nets of the half-perimeter of the
+//! bounding box of the net's pins.
+
+use crate::Point;
+use serde::{Deserialize, Serialize};
+
+/// An incrementally-built bounding box over a set of points.
+///
+/// Start [`BoundingBox::empty`], [`BoundingBox::extend`] with each pin
+/// position, then read [`BoundingBox::half_perimeter`].
+///
+/// # Example
+///
+/// ```
+/// use mmp_geom::{BoundingBox, Point};
+///
+/// let mut bb = BoundingBox::empty();
+/// bb.extend(Point::new(0.0, 0.0));
+/// bb.extend(Point::new(3.0, 4.0));
+/// assert_eq!(bb.half_perimeter(), 7.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BoundingBox {
+    min_x: f64,
+    min_y: f64,
+    max_x: f64,
+    max_y: f64,
+    count: usize,
+}
+
+impl BoundingBox {
+    /// A bounding box containing no points; its half-perimeter is zero.
+    pub fn empty() -> Self {
+        BoundingBox {
+            min_x: f64::INFINITY,
+            min_y: f64::INFINITY,
+            max_x: f64::NEG_INFINITY,
+            max_y: f64::NEG_INFINITY,
+            count: 0,
+        }
+    }
+
+    /// Grows the box to contain `p`.
+    #[inline]
+    pub fn extend(&mut self, p: Point) {
+        self.min_x = self.min_x.min(p.x);
+        self.min_y = self.min_y.min(p.y);
+        self.max_x = self.max_x.max(p.x);
+        self.max_y = self.max_y.max(p.y);
+        self.count += 1;
+    }
+
+    /// Number of points absorbed so far.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// `true` when no point has been absorbed.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Horizontal extent; zero for fewer than two distinct x's.
+    #[inline]
+    pub fn width(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max_x - self.min_x
+        }
+    }
+
+    /// Vertical extent; zero for fewer than two distinct y's.
+    #[inline]
+    pub fn height(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max_y - self.min_y
+        }
+    }
+
+    /// Half-perimeter wirelength of the box: width + height.
+    ///
+    /// Nets with fewer than two pins contribute zero.
+    #[inline]
+    pub fn half_perimeter(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.width() + self.height()
+        }
+    }
+
+    /// Minimum corner of the box, or `None` when empty.
+    pub fn min(&self) -> Option<Point> {
+        (self.count > 0).then(|| Point::new(self.min_x, self.min_y))
+    }
+
+    /// Maximum corner of the box, or `None` when empty.
+    pub fn max(&self) -> Option<Point> {
+        (self.count > 0).then(|| Point::new(self.max_x, self.max_y))
+    }
+}
+
+impl Default for BoundingBox {
+    fn default() -> Self {
+        BoundingBox::empty()
+    }
+}
+
+impl FromIterator<Point> for BoundingBox {
+    fn from_iter<I: IntoIterator<Item = Point>>(iter: I) -> Self {
+        let mut bb = BoundingBox::empty();
+        for p in iter {
+            bb.extend(p);
+        }
+        bb
+    }
+}
+
+impl Extend<Point> for BoundingBox {
+    fn extend<I: IntoIterator<Item = Point>>(&mut self, iter: I) {
+        for p in iter {
+            BoundingBox::extend(self, p);
+        }
+    }
+}
+
+/// HPWL of a single net given its pin positions.
+///
+/// # Example
+///
+/// ```
+/// use mmp_geom::{hpwl_of_points, Point};
+///
+/// let pins = [Point::new(0.0, 0.0), Point::new(2.0, 0.0), Point::new(1.0, 5.0)];
+/// assert_eq!(hpwl_of_points(pins.iter().copied()), 7.0);
+/// ```
+pub fn hpwl_of_points<I: IntoIterator<Item = Point>>(pins: I) -> f64 {
+    pins.into_iter().collect::<BoundingBox>().half_perimeter()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_and_singleton_have_zero_hpwl() {
+        assert_eq!(BoundingBox::empty().half_perimeter(), 0.0);
+        assert_eq!(hpwl_of_points(std::iter::empty()), 0.0);
+        assert_eq!(hpwl_of_points([Point::new(5.0, 5.0)]), 0.0);
+    }
+
+    #[test]
+    fn two_pin_net_is_manhattan_distance() {
+        let a = Point::new(1.0, 1.0);
+        let b = Point::new(4.0, 5.0);
+        assert_eq!(hpwl_of_points([a, b]), a.manhattan_distance(b));
+    }
+
+    #[test]
+    fn multi_pin_net_hpwl() {
+        let pins = [
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 2.0),
+            Point::new(5.0, 8.0),
+            Point::new(3.0, 3.0),
+        ];
+        assert_eq!(hpwl_of_points(pins), 10.0 + 8.0);
+    }
+
+    #[test]
+    fn from_iterator_and_extend_agree() {
+        let pins = [
+            Point::new(0.0, 0.0),
+            Point::new(3.0, 7.0),
+            Point::new(-1.0, 2.0),
+        ];
+        let a: BoundingBox = pins.iter().copied().collect();
+        let mut b = BoundingBox::empty();
+        Extend::extend(&mut b, pins.iter().copied());
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.min(), Some(Point::new(-1.0, 0.0)));
+        assert_eq!(a.max(), Some(Point::new(3.0, 7.0)));
+    }
+
+    proptest! {
+        #[test]
+        fn hpwl_invariant_under_translation(
+            pts in proptest::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 2..20),
+            dx in -1e3f64..1e3, dy in -1e3f64..1e3,
+        ) {
+            let base: Vec<Point> = pts.iter().map(|&(x, y)| Point::new(x, y)).collect();
+            let shifted: Vec<Point> =
+                base.iter().map(|p| Point::new(p.x + dx, p.y + dy)).collect();
+            let a = hpwl_of_points(base);
+            let b = hpwl_of_points(shifted);
+            prop_assert!((a - b).abs() < 1e-6);
+        }
+
+        #[test]
+        fn hpwl_monotone_under_extension(
+            pts in proptest::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 2..20),
+            extra_x in -1e3f64..1e3, extra_y in -1e3f64..1e3,
+        ) {
+            let base: Vec<Point> = pts.iter().map(|&(x, y)| Point::new(x, y)).collect();
+            let before = hpwl_of_points(base.iter().copied());
+            let after = hpwl_of_points(base.into_iter().chain([Point::new(extra_x, extra_y)]));
+            prop_assert!(after + 1e-9 >= before);
+        }
+
+        #[test]
+        fn hpwl_nonnegative(
+            pts in proptest::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 0..20),
+        ) {
+            let pins = pts.iter().map(|&(x, y)| Point::new(x, y));
+            prop_assert!(hpwl_of_points(pins) >= 0.0);
+        }
+    }
+}

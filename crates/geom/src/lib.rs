@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+
+//! Geometry kernel for the MMP macro placer.
+//!
+//! This crate provides the low-level geometric vocabulary shared by every
+//! other crate in the workspace:
+//!
+//! * [`Point`] — a 2-D position in micrometres.
+//! * [`Rect`] — an axis-aligned rectangle (macro outlines, the chip region,
+//!   grid cells).
+//! * [`Grid`] — the ζ×ζ partition of the placement region used by both the
+//!   RL agent and MCTS (Sec. II-A of the paper; ζ = 16 in the experiments).
+//! * [`hpwl`] — half-perimeter wirelength estimation, the paper's quality
+//!   metric everywhere (Tables II and III report HPWL).
+//!
+//! # Example
+//!
+//! ```
+//! use mmp_geom::{Grid, Point, Rect};
+//!
+//! let region = Rect::new(0.0, 0.0, 1600.0, 1600.0);
+//! let grid = Grid::new(region, 16);
+//! assert_eq!(grid.cell_count(), 256);
+//! let cell = grid.cell(3, 5);
+//! assert!(region.contains_rect(&cell));
+//! ```
+
+pub mod grid;
+pub mod hpwl;
+pub mod point;
+pub mod rect;
+
+pub use grid::{Grid, GridIndex};
+pub use hpwl::{hpwl_of_points, BoundingBox};
+pub use point::Point;
+pub use rect::Rect;

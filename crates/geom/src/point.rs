@@ -1,0 +1,211 @@
+//! 2-D points in placement coordinates (micrometres).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, Sub, SubAssign};
+
+/// A position in the placement plane, in micrometres.
+///
+/// Coordinates are `f64` throughout the workspace: placement maths (quadratic
+/// solves, HPWL gradients) needs the head-room and the designs involved never
+/// exceed what `f64` resolves exactly.
+///
+/// # Example
+///
+/// ```
+/// use mmp_geom::Point;
+///
+/// let a = Point::new(1.0, 2.0);
+/// let b = Point::new(4.0, 6.0);
+/// assert_eq!(a.manhattan_distance(b), 7.0);
+/// assert_eq!((a + b), Point::new(5.0, 8.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point {
+    /// Horizontal coordinate (µm).
+    pub x: f64,
+    /// Vertical coordinate (µm).
+    pub y: f64,
+}
+
+impl Point {
+    /// The origin, `(0, 0)`.
+    pub const ORIGIN: Point = Point { x: 0.0, y: 0.0 };
+
+    /// Creates a point at `(x, y)`.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Manhattan (L1) distance to `other`, the metric underlying HPWL.
+    #[inline]
+    pub fn manhattan_distance(self, other: Point) -> f64 {
+        (self.x - other.x).abs() + (self.y - other.y).abs()
+    }
+
+    /// Euclidean (L2) distance to `other`, used by the clustering score
+    /// functions (Δ𝐷 in Eqs. 1 and 2 of the paper).
+    #[inline]
+    pub fn euclidean_distance(self, other: Point) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+
+    /// Component-wise minimum of two points.
+    #[inline]
+    pub fn min(self, other: Point) -> Point {
+        Point::new(self.x.min(other.x), self.y.min(other.y))
+    }
+
+    /// Component-wise maximum of two points.
+    #[inline]
+    pub fn max(self, other: Point) -> Point {
+        Point::new(self.x.max(other.x), self.y.max(other.y))
+    }
+
+    /// Returns `true` when both coordinates are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl Add for Point {
+    type Output = Point;
+    #[inline]
+    fn add(self, rhs: Point) -> Point {
+        Point::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl AddAssign for Point {
+    #[inline]
+    fn add_assign(&mut self, rhs: Point) {
+        self.x += rhs.x;
+        self.y += rhs.y;
+    }
+}
+
+impl Sub for Point {
+    type Output = Point;
+    #[inline]
+    fn sub(self, rhs: Point) -> Point {
+        Point::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl SubAssign for Point {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Point) {
+        self.x -= rhs.x;
+        self.y -= rhs.y;
+    }
+}
+
+impl Mul<f64> for Point {
+    type Output = Point;
+    #[inline]
+    fn mul(self, rhs: f64) -> Point {
+        Point::new(self.x * rhs, self.y * rhs)
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    #[inline]
+    fn from((x, y): (f64, f64)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn manhattan_distance_basics() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.manhattan_distance(b), 7.0);
+        assert_eq!(b.manhattan_distance(a), 7.0);
+        assert_eq!(a.manhattan_distance(a), 0.0);
+    }
+
+    #[test]
+    fn euclidean_distance_345() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert!((a.euclidean_distance(b) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(10.0, 20.0);
+        assert_eq!(a + b, Point::new(11.0, 22.0));
+        assert_eq!(b - a, Point::new(9.0, 18.0));
+        assert_eq!(a * 3.0, Point::new(3.0, 6.0));
+        let mut c = a;
+        c += b;
+        assert_eq!(c, a + b);
+        c -= b;
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn min_max_are_componentwise() {
+        let a = Point::new(1.0, 20.0);
+        let b = Point::new(10.0, 2.0);
+        assert_eq!(a.min(b), Point::new(1.0, 2.0));
+        assert_eq!(a.max(b), Point::new(10.0, 20.0));
+    }
+
+    #[test]
+    fn from_tuple_and_display() {
+        let p: Point = (1.5, -2.5).into();
+        assert_eq!(p, Point::new(1.5, -2.5));
+        assert_eq!(p.to_string(), "(1.5, -2.5)");
+    }
+
+    #[test]
+    fn origin_is_finite() {
+        assert!(Point::ORIGIN.is_finite());
+        assert!(!Point::new(f64::NAN, 0.0).is_finite());
+        assert!(!Point::new(0.0, f64::INFINITY).is_finite());
+    }
+
+    proptest! {
+        #[test]
+        fn manhattan_is_symmetric(ax in -1e6f64..1e6, ay in -1e6f64..1e6,
+                                  bx in -1e6f64..1e6, by in -1e6f64..1e6) {
+            let a = Point::new(ax, ay);
+            let b = Point::new(bx, by);
+            prop_assert!((a.manhattan_distance(b) - b.manhattan_distance(a)).abs() < 1e-9);
+        }
+
+        #[test]
+        fn manhattan_triangle_inequality(ax in -1e3f64..1e3, ay in -1e3f64..1e3,
+                                         bx in -1e3f64..1e3, by in -1e3f64..1e3,
+                                         cx in -1e3f64..1e3, cy in -1e3f64..1e3) {
+            let a = Point::new(ax, ay);
+            let b = Point::new(bx, by);
+            let c = Point::new(cx, cy);
+            prop_assert!(a.manhattan_distance(c)
+                <= a.manhattan_distance(b) + b.manhattan_distance(c) + 1e-9);
+        }
+
+        #[test]
+        fn euclidean_never_exceeds_manhattan(ax in -1e3f64..1e3, ay in -1e3f64..1e3,
+                                             bx in -1e3f64..1e3, by in -1e3f64..1e3) {
+            let a = Point::new(ax, ay);
+            let b = Point::new(bx, by);
+            prop_assert!(a.euclidean_distance(b) <= a.manhattan_distance(b) + 1e-9);
+        }
+    }
+}

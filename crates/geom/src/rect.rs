@@ -1,0 +1,333 @@
+//! Axis-aligned rectangles: macro outlines, the chip region, grid cells.
+
+use crate::Point;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An axis-aligned rectangle described by its lower-left corner and size.
+///
+/// All macros, the placement region and individual grid cells are `Rect`s.
+/// Invariant: `width >= 0` and `height >= 0` (constructors normalise).
+///
+/// # Example
+///
+/// ```
+/// use mmp_geom::{Point, Rect};
+///
+/// let r = Rect::new(10.0, 20.0, 30.0, 40.0);
+/// assert_eq!(r.area(), 1200.0);
+/// assert_eq!(r.center(), Point::new(25.0, 40.0));
+/// assert!(r.contains_point(Point::new(10.0, 20.0)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Rect {
+    /// X of the lower-left corner (µm).
+    pub x: f64,
+    /// Y of the lower-left corner (µm).
+    pub y: f64,
+    /// Horizontal extent (µm), non-negative.
+    pub width: f64,
+    /// Vertical extent (µm), non-negative.
+    pub height: f64,
+}
+
+impl Rect {
+    /// Creates a rectangle from its lower-left corner and size.
+    ///
+    /// Negative sizes are clamped to zero so that the non-negativity
+    /// invariant always holds.
+    #[inline]
+    pub fn new(x: f64, y: f64, width: f64, height: f64) -> Self {
+        Rect {
+            x,
+            y,
+            width: width.max(0.0),
+            height: height.max(0.0),
+        }
+    }
+
+    /// Creates a rectangle from two opposite corners, in any order.
+    pub fn from_corners(a: Point, b: Point) -> Self {
+        let ll = a.min(b);
+        let ur = a.max(b);
+        Rect::new(ll.x, ll.y, ur.x - ll.x, ur.y - ll.y)
+    }
+
+    /// Creates a rectangle of the given size centred on `center`.
+    pub fn centered_at(center: Point, width: f64, height: f64) -> Self {
+        Rect::new(
+            center.x - width / 2.0,
+            center.y - height / 2.0,
+            width,
+            height,
+        )
+    }
+
+    /// Lower-left corner.
+    #[inline]
+    pub fn lower_left(&self) -> Point {
+        Point::new(self.x, self.y)
+    }
+
+    /// Upper-right corner.
+    #[inline]
+    pub fn upper_right(&self) -> Point {
+        Point::new(self.x + self.width, self.y + self.height)
+    }
+
+    /// Geometric centre.
+    #[inline]
+    pub fn center(&self) -> Point {
+        Point::new(self.x + self.width / 2.0, self.y + self.height / 2.0)
+    }
+
+    /// Area in µm².
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.width * self.height
+    }
+
+    /// `true` when the rectangle has zero area.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.width == 0.0 || self.height == 0.0
+    }
+
+    /// Right edge X coordinate.
+    #[inline]
+    pub fn right(&self) -> f64 {
+        self.x + self.width
+    }
+
+    /// Top edge Y coordinate.
+    #[inline]
+    pub fn top(&self) -> f64 {
+        self.y + self.height
+    }
+
+    /// `true` when `p` lies inside the rectangle (closed on all edges).
+    #[inline]
+    pub fn contains_point(&self, p: Point) -> bool {
+        p.x >= self.x && p.x <= self.right() && p.y >= self.y && p.y <= self.top()
+    }
+
+    /// `true` when `other` lies fully inside `self` (closed comparison).
+    #[inline]
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        other.x >= self.x - 1e-9
+            && other.y >= self.y - 1e-9
+            && other.right() <= self.right() + 1e-9
+            && other.top() <= self.top() + 1e-9
+    }
+
+    /// `true` when the *open interiors* of the two rectangles intersect.
+    ///
+    /// Edge-sharing rectangles do **not** overlap; this is the test the
+    /// legalizer uses to certify an overlap-free macro placement.
+    #[inline]
+    pub fn overlaps(&self, other: &Rect) -> bool {
+        self.x < other.right()
+            && other.x < self.right()
+            && self.y < other.top()
+            && other.y < self.top()
+    }
+
+    /// The intersection rectangle, or `None` when interiors are disjoint.
+    pub fn intersection(&self, other: &Rect) -> Option<Rect> {
+        if !self.overlaps(other) {
+            return None;
+        }
+        let ll = self.lower_left().max(other.lower_left());
+        let ur = self.upper_right().min(other.upper_right());
+        Some(Rect::from_corners(ll, ur))
+    }
+
+    /// Area of the intersection (zero when disjoint).
+    #[inline]
+    pub fn overlap_area(&self, other: &Rect) -> f64 {
+        let w = (self.right().min(other.right()) - self.x.max(other.x)).max(0.0);
+        let h = (self.top().min(other.top()) - self.y.max(other.y)).max(0.0);
+        w * h
+    }
+
+    /// Smallest rectangle containing both `self` and `other`.
+    pub fn union(&self, other: &Rect) -> Rect {
+        Rect::from_corners(
+            self.lower_left().min(other.lower_left()),
+            self.upper_right().max(other.upper_right()),
+        )
+    }
+
+    /// The same rectangle translated by `(dx, dy)`.
+    #[inline]
+    pub fn translated(&self, dx: f64, dy: f64) -> Rect {
+        Rect::new(self.x + dx, self.y + dy, self.width, self.height)
+    }
+
+    /// The same outline moved so its lower-left corner is `ll`.
+    #[inline]
+    pub fn at(&self, ll: Point) -> Rect {
+        Rect::new(ll.x, ll.y, self.width, self.height)
+    }
+
+    /// The same outline moved so its centre is `c`.
+    #[inline]
+    pub fn centered_on(&self, c: Point) -> Rect {
+        Rect::centered_at(c, self.width, self.height)
+    }
+
+    /// Clamps the rectangle's position so it lies inside `bounds`.
+    ///
+    /// When the rectangle is larger than `bounds` in a dimension it is
+    /// aligned to the lower/left edge of `bounds` in that dimension.
+    pub fn clamped_inside(&self, bounds: &Rect) -> Rect {
+        let x = if self.width >= bounds.width {
+            bounds.x
+        } else {
+            self.x.clamp(bounds.x, bounds.right() - self.width)
+        };
+        let y = if self.height >= bounds.height {
+            bounds.y
+        } else {
+            self.y.clamp(bounds.y, bounds.top() - self.height)
+        };
+        Rect::new(x, y, self.width, self.height)
+    }
+}
+
+impl fmt::Display for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{} .. {}] x [{} .. {}]",
+            self.x,
+            self.right(),
+            self.y,
+            self.top()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn corners_and_center() {
+        let r = Rect::new(1.0, 2.0, 3.0, 4.0);
+        assert_eq!(r.lower_left(), Point::new(1.0, 2.0));
+        assert_eq!(r.upper_right(), Point::new(4.0, 6.0));
+        assert_eq!(r.center(), Point::new(2.5, 4.0));
+        assert_eq!(r.area(), 12.0);
+    }
+
+    #[test]
+    fn from_corners_normalizes_order() {
+        let a = Rect::from_corners(Point::new(4.0, 6.0), Point::new(1.0, 2.0));
+        let b = Rect::from_corners(Point::new(1.0, 2.0), Point::new(4.0, 6.0));
+        assert_eq!(a, b);
+        assert_eq!(a, Rect::new(1.0, 2.0, 3.0, 4.0));
+    }
+
+    #[test]
+    fn negative_sizes_clamp_to_zero() {
+        let r = Rect::new(0.0, 0.0, -5.0, -1.0);
+        assert_eq!(r.width, 0.0);
+        assert_eq!(r.height, 0.0);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn edge_sharing_rects_do_not_overlap() {
+        let a = Rect::new(0.0, 0.0, 10.0, 10.0);
+        let b = Rect::new(10.0, 0.0, 10.0, 10.0);
+        assert!(!a.overlaps(&b));
+        assert_eq!(a.overlap_area(&b), 0.0);
+        assert!(a.intersection(&b).is_none());
+    }
+
+    #[test]
+    fn overlapping_rects_intersection() {
+        let a = Rect::new(0.0, 0.0, 10.0, 10.0);
+        let b = Rect::new(5.0, 5.0, 10.0, 10.0);
+        assert!(a.overlaps(&b));
+        let i = a.intersection(&b).expect("overlap");
+        assert_eq!(i, Rect::new(5.0, 5.0, 5.0, 5.0));
+        assert_eq!(a.overlap_area(&b), 25.0);
+    }
+
+    #[test]
+    fn union_covers_both() {
+        let a = Rect::new(0.0, 0.0, 1.0, 1.0);
+        let b = Rect::new(5.0, 5.0, 1.0, 1.0);
+        let u = a.union(&b);
+        assert!(u.contains_rect(&a));
+        assert!(u.contains_rect(&b));
+        assert_eq!(u, Rect::new(0.0, 0.0, 6.0, 6.0));
+    }
+
+    #[test]
+    fn clamp_keeps_rect_inside() {
+        let bounds = Rect::new(0.0, 0.0, 100.0, 100.0);
+        let r = Rect::new(95.0, -20.0, 10.0, 10.0);
+        let c = r.clamped_inside(&bounds);
+        assert!(bounds.contains_rect(&c));
+        assert_eq!(c, Rect::new(90.0, 0.0, 10.0, 10.0));
+    }
+
+    #[test]
+    fn clamp_oversized_aligns_to_origin_of_bounds() {
+        let bounds = Rect::new(10.0, 10.0, 5.0, 5.0);
+        let r = Rect::new(0.0, 0.0, 50.0, 50.0);
+        let c = r.clamped_inside(&bounds);
+        assert_eq!(c.lower_left(), bounds.lower_left());
+    }
+
+    #[test]
+    fn centered_constructors_agree() {
+        let c = Point::new(7.0, 9.0);
+        let a = Rect::centered_at(c, 4.0, 6.0);
+        let b = Rect::new(0.0, 0.0, 4.0, 6.0).centered_on(c);
+        assert_eq!(a, b);
+        assert_eq!(a.center(), c);
+    }
+
+    proptest! {
+        #[test]
+        fn overlap_area_is_symmetric(ax in -100f64..100.0, ay in -100f64..100.0,
+                                     aw in 0f64..50.0, ah in 0f64..50.0,
+                                     bx in -100f64..100.0, by in -100f64..100.0,
+                                     bw in 0f64..50.0, bh in 0f64..50.0) {
+            let a = Rect::new(ax, ay, aw, ah);
+            let b = Rect::new(bx, by, bw, bh);
+            prop_assert!((a.overlap_area(&b) - b.overlap_area(&a)).abs() < 1e-9);
+        }
+
+        #[test]
+        fn overlap_area_bounded_by_min_area(ax in -100f64..100.0, ay in -100f64..100.0,
+                                            aw in 0f64..50.0, ah in 0f64..50.0,
+                                            bx in -100f64..100.0, by in -100f64..100.0,
+                                            bw in 0f64..50.0, bh in 0f64..50.0) {
+            let a = Rect::new(ax, ay, aw, ah);
+            let b = Rect::new(bx, by, bw, bh);
+            prop_assert!(a.overlap_area(&b) <= a.area().min(b.area()) + 1e-9);
+        }
+
+        #[test]
+        fn translation_preserves_area(x in -100f64..100.0, y in -100f64..100.0,
+                                      w in 0f64..50.0, h in 0f64..50.0,
+                                      dx in -10f64..10.0, dy in -10f64..10.0) {
+            let r = Rect::new(x, y, w, h);
+            prop_assert!((r.translated(dx, dy).area() - r.area()).abs() < 1e-9);
+        }
+
+        #[test]
+        fn clamped_rect_is_inside_when_it_fits(x in -500f64..500.0, y in -500f64..500.0,
+                                               w in 0f64..99.0, h in 0f64..99.0) {
+            let bounds = Rect::new(0.0, 0.0, 100.0, 100.0);
+            let c = Rect::new(x, y, w, h).clamped_inside(&bounds);
+            prop_assert!(bounds.contains_rect(&c));
+        }
+    }
+}

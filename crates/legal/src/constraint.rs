@@ -1,0 +1,222 @@
+//! Constraint graphs derived from a sequence pair, and longest-path packing.
+
+use crate::sequence_pair::{Relation, SequencePair};
+use serde::{Deserialize, Serialize};
+
+/// The horizontal *or* vertical constraint graph of a sequence pair: a DAG
+/// whose edge `i → j` means "block `i`'s far edge must not pass block `j`'s
+/// near edge" (`coord_i + size_i ≤ coord_j`).
+///
+/// Built per axis from every pairwise relation (O(n²) edges — macro counts
+/// per design are at most ~800, so this is fine and keeps the structure
+/// simple for the median-descent optimizer).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConstraintGraph {
+    preds: Vec<Vec<usize>>,
+    succs: Vec<Vec<usize>>,
+    topo: Vec<usize>,
+}
+
+impl ConstraintGraph {
+    /// Builds the horizontal (`horizontal = true`) or vertical constraint
+    /// graph of `sp`.
+    ///
+    /// Horizontal edges come from `LeftOf`; vertical edges from `Below`
+    /// (the block below constrains the one above: `y_below + h ≤ y_above`).
+    pub fn from_sequence_pair(sp: &SequencePair, horizontal: bool) -> Self {
+        let n = sp.len();
+        let mut preds = vec![Vec::new(); n];
+        let mut succs = vec![Vec::new(); n];
+        for a in 0..n {
+            for b in 0..n {
+                if a == b {
+                    continue;
+                }
+                let edge = match sp.relation(a, b) {
+                    Relation::LeftOf => horizontal,
+                    Relation::Below => !horizontal,
+                    _ => false,
+                };
+                if edge {
+                    succs[a].push(b);
+                    preds[b].push(a);
+                }
+            }
+        }
+        // Topological order: since edges follow a sequence order, sorting by
+        // in-degree peeling (Kahn) is straightforward.
+        let mut indeg: Vec<usize> = preds.iter().map(Vec::len).collect();
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut topo = Vec::with_capacity(n);
+        while let Some(i) = queue.pop() {
+            topo.push(i);
+            for &j in &succs[i] {
+                indeg[j] -= 1;
+                if indeg[j] == 0 {
+                    queue.push(j);
+                }
+            }
+        }
+        debug_assert_eq!(topo.len(), n, "constraint graph must be acyclic");
+        ConstraintGraph { preds, succs, topo }
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.preds.len()
+    }
+
+    /// `true` for the empty graph.
+    pub fn is_empty(&self) -> bool {
+        self.preds.is_empty()
+    }
+
+    /// Predecessors of block `i` (blocks that must end before it).
+    pub fn preds(&self, i: usize) -> &[usize] {
+        &self.preds[i]
+    }
+
+    /// Successors of block `i`.
+    pub fn succs(&self, i: usize) -> &[usize] {
+        &self.succs[i]
+    }
+
+    /// A topological order of the blocks.
+    pub fn topo_order(&self) -> &[usize] {
+        &self.topo
+    }
+}
+
+/// Longest-path (ASAP) packing: the minimal coordinate of each block along
+/// one axis, starting at `lo`, honouring the constraint graph.
+///
+/// Returns the packed near-edge coordinates (lower-left corner component).
+///
+/// # Panics
+///
+/// Panics when `sizes.len() != graph.len()`.
+pub fn pack(graph: &ConstraintGraph, sizes: &[f64], lo: f64) -> Vec<f64> {
+    assert_eq!(sizes.len(), graph.len(), "size count mismatch");
+    let mut coord = vec![lo; graph.len()];
+    for &i in graph.topo_order() {
+        let mut best = lo;
+        for &p in graph.preds(i) {
+            best = best.max(coord[p] + sizes[p]);
+        }
+        coord[i] = best;
+    }
+    coord
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmp_geom::{Point, Rect};
+    use proptest::prelude::*;
+
+    fn packed_rects(centers: &[Point], sizes: &[(f64, f64)]) -> Vec<Rect> {
+        let sp = SequencePair::from_points(centers);
+        let hg = ConstraintGraph::from_sequence_pair(&sp, true);
+        let vg = ConstraintGraph::from_sequence_pair(&sp, false);
+        let ws: Vec<f64> = sizes.iter().map(|s| s.0).collect();
+        let hs: Vec<f64> = sizes.iter().map(|s| s.1).collect();
+        let xs = pack(&hg, &ws, 0.0);
+        let ys = pack(&vg, &hs, 0.0);
+        (0..centers.len())
+            .map(|i| Rect::new(xs[i], ys[i], ws[i], hs[i]))
+            .collect()
+    }
+
+    #[test]
+    fn two_blocks_pack_side_by_side() {
+        let rects = packed_rects(
+            &[Point::new(0.0, 0.0), Point::new(10.0, 0.0)],
+            &[(4.0, 4.0), (6.0, 2.0)],
+        );
+        assert_eq!(rects[0].x, 0.0);
+        assert_eq!(rects[1].x, 4.0);
+        assert!(!rects[0].overlaps(&rects[1]));
+    }
+
+    #[test]
+    fn vertical_stack_packs_bottom_up() {
+        let rects = packed_rects(
+            &[Point::new(0.0, 0.0), Point::new(0.0, 10.0)],
+            &[(4.0, 3.0), (4.0, 5.0)],
+        );
+        // Block 0 below block 1.
+        assert_eq!(rects[0].y, 0.0);
+        assert_eq!(rects[1].y, 3.0);
+        assert!(!rects[0].overlaps(&rects[1]));
+    }
+
+    #[test]
+    fn overlapped_input_becomes_disjoint() {
+        // Three overlapping blocks near each other: packing must separate
+        // them.
+        let rects = packed_rects(
+            &[
+                Point::new(5.0, 5.0),
+                Point::new(6.0, 5.5),
+                Point::new(5.5, 6.0),
+            ],
+            &[(4.0, 4.0), (4.0, 4.0), (4.0, 4.0)],
+        );
+        for i in 0..rects.len() {
+            for j in (i + 1)..rects.len() {
+                assert!(!rects[i].overlaps(&rects[j]), "{i} vs {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn topo_order_respects_edges() {
+        let sp = SequencePair::from_sequences(&[0, 1, 2], &[0, 1, 2]); // chain left→right
+        let g = ConstraintGraph::from_sequence_pair(&sp, true);
+        let order = g.topo_order();
+        let pos: Vec<usize> = {
+            let mut p = vec![0; 3];
+            for (k, &b) in order.iter().enumerate() {
+                p[b] = k;
+            }
+            p
+        };
+        assert!(pos[0] < pos[1] && pos[1] < pos[2]);
+        assert_eq!(g.succs(0), &[1, 2]);
+        assert_eq!(g.preds(2), &[0, 1]);
+    }
+
+    #[test]
+    fn empty_graph_packs_empty() {
+        let sp = SequencePair::from_points(&[]);
+        let g = ConstraintGraph::from_sequence_pair(&sp, true);
+        assert!(g.is_empty());
+        assert!(pack(&g, &[], 5.0).is_empty());
+    }
+
+    #[test]
+    fn pack_starts_at_lo() {
+        let sp = SequencePair::from_points(&[Point::ORIGIN]);
+        let g = ConstraintGraph::from_sequence_pair(&sp, true);
+        assert_eq!(pack(&g, &[3.0], 7.5), vec![7.5]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn packing_never_overlaps(
+            blocks in proptest::collection::vec(
+                (-50.0f64..50.0, -50.0f64..50.0, 1.0f64..10.0, 1.0f64..10.0), 1..12),
+        ) {
+            let centers: Vec<Point> = blocks.iter().map(|b| Point::new(b.0, b.1)).collect();
+            let sizes: Vec<(f64, f64)> = blocks.iter().map(|b| (b.2, b.3)).collect();
+            let rects = packed_rects(&centers, &sizes);
+            for i in 0..rects.len() {
+                for j in (i + 1)..rects.len() {
+                    prop_assert!(!rects[i].overlaps(&rects[j]),
+                        "blocks {} and {} overlap: {} vs {}", i, j, rects[i], rects[j]);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Orientation refinement: greedy per-macro flip selection.
+//!
+//! The axis-preserving orientations (N/S/FN/FS, see
+//! [`mmp_netlist::orientation`]) keep every outline — and therefore
+//! legality and the grid footprints — unchanged while moving the pins.
+//! Sweeping the macros and keeping the best of the four orientations per
+//! macro is a classic zero-risk post-pass: HPWL can only go down.
+
+use mmp_netlist::{Design, Orientation, Placement};
+
+/// Outcome of an orientation sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlipOutcome {
+    /// The refined placement (same coordinates, possibly new orientations).
+    pub placement: Placement,
+    /// HPWL before the sweep.
+    pub hpwl_before: f64,
+    /// HPWL after the sweep (≤ before).
+    pub hpwl_after: f64,
+    /// Macros whose orientation changed.
+    pub flips: usize,
+}
+
+/// Greedily chooses the best orientation for every movable macro,
+/// sweeping until no flip improves HPWL (at most `max_sweeps` rounds).
+///
+/// Preplaced macros keep their designed orientation: flipping fixed IP is
+/// not the placer's call.
+pub fn optimize_orientations(
+    design: &Design,
+    placement: &Placement,
+    max_sweeps: usize,
+) -> FlipOutcome {
+    let mut best = placement.clone();
+    let hpwl_before = best.hpwl(design);
+    let mut flips = 0usize;
+
+    for _ in 0..max_sweeps.max(1) {
+        let mut improved = false;
+        for id in design.movable_macros() {
+            // Only nets touching this macro change; evaluating them alone
+            // keeps the sweep O(pins) instead of O(design).
+            let nets = design.nets_of_macro(id);
+            let current = best.macro_orientation(id);
+            let local = |pl: &Placement| -> f64 {
+                nets.iter().map(|&n| pl.net_hpwl(design, n)).sum()
+            };
+            let base_local = local(&best);
+            let mut chosen = current;
+            let mut chosen_local = base_local;
+            for cand in Orientation::ALL {
+                if cand == current {
+                    continue;
+                }
+                best.set_macro_orientation(id, cand);
+                let l = local(&best);
+                if l < chosen_local - 1e-12 {
+                    chosen = cand;
+                    chosen_local = l;
+                }
+            }
+            best.set_macro_orientation(id, chosen);
+            if chosen != current {
+                debug_assert!(chosen_local < base_local);
+                flips += 1;
+                improved = true;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+
+    let hpwl_after = best.hpwl(design);
+    FlipOutcome {
+        placement: best,
+        hpwl_before,
+        hpwl_after,
+        flips,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmp_geom::{Point, Rect};
+    use mmp_netlist::{DesignBuilder, NodeRef, SyntheticSpec};
+
+    #[test]
+    fn flip_toward_the_pad_is_found() {
+        // Macro pin on its right side, pad on the left: FN shortens the net.
+        let mut b = DesignBuilder::new("f", Rect::new(0.0, 0.0, 100.0, 100.0));
+        let m = b.add_macro("m", 10.0, 10.0, "");
+        let p = b.add_pad("p", Point::new(0.0, 50.0));
+        b.add_net(
+            "n",
+            [
+                (NodeRef::Macro(m), Point::new(4.0, 0.0)),
+                (NodeRef::Pad(p), Point::ORIGIN),
+            ],
+            1.0,
+        )
+        .unwrap();
+        let d = b.build().unwrap();
+        let mut pl = Placement::initial(&d);
+        pl.set_macro_center(m, Point::new(50.0, 50.0));
+        let out = optimize_orientations(&d, &pl, 4);
+        assert_eq!(out.flips, 1);
+        assert!(out.hpwl_after < out.hpwl_before);
+        assert!(matches!(
+            out.placement.macro_orientation(m),
+            Orientation::FN | Orientation::S
+        ));
+    }
+
+    #[test]
+    fn sweep_never_regresses_and_is_idempotent() {
+        let d = SyntheticSpec::small("fl", 8, 1, 10, 80, 140, true, 4).generate();
+        let pl = Placement::initial(&d);
+        let once = optimize_orientations(&d, &pl, 4);
+        assert!(once.hpwl_after <= once.hpwl_before + 1e-9);
+        let twice = optimize_orientations(&d, &once.placement, 4);
+        assert_eq!(twice.flips, 0, "second sweep must find nothing");
+        assert!((twice.hpwl_after - once.hpwl_after).abs() < 1e-6);
+    }
+
+    #[test]
+    fn coordinates_and_legality_are_untouched() {
+        let d = SyntheticSpec::small("fc", 6, 1, 8, 60, 110, false, 5).generate();
+        let pl = Placement::initial(&d);
+        let out = optimize_orientations(&d, &pl, 2);
+        for id in d.movable_macros() {
+            assert_eq!(out.placement.macro_center(id), pl.macro_center(id));
+        }
+        assert_eq!(
+            out.placement.macro_overlap_area(&d),
+            pl.macro_overlap_area(&d)
+        );
+    }
+
+    #[test]
+    fn preplaced_macros_keep_their_orientation() {
+        let mut b = DesignBuilder::new("pp", Rect::new(0.0, 0.0, 100.0, 100.0));
+        let f = b.add_preplaced_macro("f", 10.0, 10.0, "", Point::new(50.0, 50.0));
+        let p = b.add_pad("p", Point::new(0.0, 50.0));
+        b.add_net(
+            "n",
+            [
+                (NodeRef::Macro(f), Point::new(4.0, 0.0)),
+                (NodeRef::Pad(p), Point::ORIGIN),
+            ],
+            1.0,
+        )
+        .unwrap();
+        let d = b.build().unwrap();
+        let out = optimize_orientations(&d, &Placement::initial(&d), 4);
+        assert_eq!(out.flips, 0);
+        assert_eq!(out.placement.macro_orientation(f), Orientation::N);
+    }
+
+    #[test]
+    fn reported_hpwl_matches_the_placement() {
+        let d = SyntheticSpec::small("acct", 10, 0, 12, 100, 180, true, 6).generate();
+        let pl = Placement::initial(&d);
+        let out = optimize_orientations(&d, &pl, 4);
+        assert!((out.hpwl_after - out.placement.hpwl(&d)).abs() < 1e-9);
+        assert!((out.hpwl_before - pl.hpwl(&d)).abs() < 1e-9);
+    }
+}

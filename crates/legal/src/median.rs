@@ -1,0 +1,247 @@
+//! Convex piecewise-linear wirelength descent under sequence-pair
+//! constraints — our equivalent of the white-space LP of Eq. 3.
+//!
+//! Minimising Σ λ·|x_i − t| subject to the difference constraints of a
+//! constraint graph is a linear program. We solve it by iterated weighted-
+//! median moves: starting from the feasible longest-path packing, each block
+//! moves to the weighted median of its pull targets, clamped to the slack
+//! window its neighbours currently allow. Every intermediate state stays
+//! feasible (overlap-free), and the objective is non-increasing, so the
+//! iteration converges; for this separable convex objective the fixpoint
+//! matches the LP optimum up to ties.
+
+use crate::constraint::{pack, ConstraintGraph};
+use serde::{Deserialize, Serialize};
+
+/// One weighted pull target on a block along one axis.
+///
+/// Coordinates refer to the block's **near edge** (lower-left corner
+/// component); callers convert center targets by subtracting half the size.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AxisTarget {
+    /// Desired near-edge coordinate.
+    pub coord: f64,
+    /// Net weight λ.
+    pub weight: f64,
+}
+
+/// Weighted median of targets: the minimiser of Σ wᵢ·|x − cᵢ|.
+///
+/// Returns `None` for an empty (or zero-weight) target set.
+pub fn weighted_median(targets: &[AxisTarget]) -> Option<f64> {
+    let total: f64 = targets.iter().map(|t| t.weight).sum();
+    if targets.is_empty() || total <= 0.0 {
+        return None;
+    }
+    let mut sorted: Vec<&AxisTarget> = targets.iter().collect();
+    sorted.sort_by(|a, b| a.coord.partial_cmp(&b.coord).expect("finite targets"));
+    let mut acc = 0.0;
+    for t in sorted {
+        acc += t.weight;
+        if acc + 1e-15 >= total / 2.0 {
+            return Some(t.coord);
+        }
+    }
+    Some(targets[targets.len() - 1].coord)
+}
+
+/// Solves one axis: near-edge coordinates minimising the weighted-median
+/// objective subject to the constraint graph, blocks kept inside
+/// `[lo, hi]` where the graph allows it.
+///
+/// `targets[i]` are the pulls on block `i`; a block without targets keeps
+/// whatever slack position it has. Returns the coordinates; when the
+/// longest-path packing itself exceeds `hi` the result honours the
+/// constraint graph but overflows the interval (callers detect this with
+/// [`axis_overflow`]).
+///
+/// # Panics
+///
+/// Panics when slice lengths disagree.
+pub fn optimize_axis(
+    graph: &ConstraintGraph,
+    sizes: &[f64],
+    lo: f64,
+    hi: f64,
+    targets: &[Vec<AxisTarget>],
+    max_iters: usize,
+) -> Vec<f64> {
+    let n = graph.len();
+    assert_eq!(sizes.len(), n, "size count mismatch");
+    assert_eq!(targets.len(), n, "target count mismatch");
+    let mut coord = pack(graph, sizes, lo);
+    if n == 0 {
+        return coord;
+    }
+    let topo: Vec<usize> = graph.topo_order().to_vec();
+    for sweep in 0..max_iters {
+        let mut moved = 0.0f64;
+        // Alternate sweep direction: forward passes push right-slack usage,
+        // backward passes pull blocks back toward earlier targets.
+        let iter_order: Box<dyn Iterator<Item = &usize>> = if sweep % 2 == 0 {
+            Box::new(topo.iter())
+        } else {
+            Box::new(topo.iter().rev())
+        };
+        for &i in iter_order {
+            let mut low = lo;
+            for &p in graph.preds(i) {
+                low = low.max(coord[p] + sizes[p]);
+            }
+            let mut high = hi - sizes[i];
+            for &s in graph.succs(i) {
+                high = high.min(coord[s] - sizes[i]);
+            }
+            // Feasibility wrt the graph wins over the interval bound.
+            if high < low {
+                high = low;
+            }
+            let desired = weighted_median(&targets[i]).unwrap_or(coord[i]);
+            let next = desired.clamp(low, high);
+            moved = moved.max((next - coord[i]).abs());
+            coord[i] = next;
+        }
+        if moved < 1e-9 {
+            break;
+        }
+    }
+    coord
+}
+
+/// How far the packed blocks overflow `[lo, hi]` (0 when everything fits).
+pub fn axis_overflow(coord: &[f64], sizes: &[f64], lo: f64, hi: f64) -> f64 {
+    let mut over = 0.0f64;
+    for (c, s) in coord.iter().zip(sizes) {
+        over = over.max(lo - c).max(c + s - hi);
+    }
+    over.max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sequence_pair::SequencePair;
+    use mmp_geom::Point;
+    use proptest::prelude::*;
+
+    fn t(coord: f64, weight: f64) -> AxisTarget {
+        AxisTarget { coord, weight }
+    }
+
+    #[test]
+    fn median_of_empty_is_none() {
+        assert_eq!(weighted_median(&[]), None);
+        assert_eq!(weighted_median(&[t(1.0, 0.0)]), None);
+    }
+
+    #[test]
+    fn median_unweighted() {
+        assert_eq!(
+            weighted_median(&[t(1.0, 1.0), t(5.0, 1.0), t(9.0, 1.0)]),
+            Some(5.0)
+        );
+    }
+
+    #[test]
+    fn median_respects_weights() {
+        // Heavy target at 10 dominates.
+        assert_eq!(weighted_median(&[t(0.0, 1.0), t(10.0, 5.0)]), Some(10.0));
+    }
+
+    #[test]
+    fn median_is_order_independent() {
+        let a = weighted_median(&[t(3.0, 1.0), t(1.0, 2.0), t(7.0, 1.5)]);
+        let b = weighted_median(&[t(7.0, 1.5), t(3.0, 1.0), t(1.0, 2.0)]);
+        assert_eq!(a, b);
+    }
+
+    /// One block, free interval: it goes exactly to its target.
+    #[test]
+    fn single_block_reaches_target() {
+        let sp = SequencePair::from_points(&[Point::ORIGIN]);
+        let g = ConstraintGraph::from_sequence_pair(&sp, true);
+        let out = optimize_axis(&g, &[2.0], 0.0, 100.0, &[vec![t(40.0, 1.0)]], 10);
+        assert_eq!(out, vec![40.0]);
+    }
+
+    /// Two abutting blocks pulled to the same point: they end adjacent
+    /// around it, never overlapping.
+    #[test]
+    fn contested_target_keeps_blocks_disjoint() {
+        let sp = SequencePair::from_points(&[Point::new(0.0, 0.0), Point::new(1.0, 0.0)]);
+        let g = ConstraintGraph::from_sequence_pair(&sp, true);
+        let sizes = [4.0, 4.0];
+        let targets = vec![vec![t(50.0, 1.0)], vec![t(50.0, 1.0)]];
+        let out = optimize_axis(&g, &sizes, 0.0, 100.0, &targets, 50);
+        assert!(out[0] + sizes[0] <= out[1] + 1e-9, "{out:?}");
+        // Both ends near the contested point.
+        assert!(out[0] >= 40.0 && out[1] <= 60.0, "{out:?}");
+    }
+
+    /// Blocks without targets stay put where packing placed them.
+    #[test]
+    fn targetless_block_keeps_position() {
+        let sp = SequencePair::from_points(&[Point::ORIGIN]);
+        let g = ConstraintGraph::from_sequence_pair(&sp, true);
+        let out = optimize_axis(&g, &[2.0], 5.0, 100.0, &[vec![]], 10);
+        assert_eq!(out, vec![5.0]);
+    }
+
+    /// Interval bound is honoured when feasible.
+    #[test]
+    fn targets_outside_interval_clamp() {
+        let sp = SequencePair::from_points(&[Point::ORIGIN]);
+        let g = ConstraintGraph::from_sequence_pair(&sp, true);
+        let out = optimize_axis(&g, &[10.0], 0.0, 50.0, &[vec![t(1000.0, 1.0)]], 10);
+        assert_eq!(out, vec![40.0]);
+        assert_eq!(axis_overflow(&out, &[10.0], 0.0, 50.0), 0.0);
+    }
+
+    /// Oversubscribed interval: the graph stays satisfied and the overflow
+    /// is measurable.
+    #[test]
+    fn overflow_is_reported_when_blocks_do_not_fit() {
+        let sp = SequencePair::from_points(&[Point::new(0.0, 0.0), Point::new(1.0, 0.0)]);
+        let g = ConstraintGraph::from_sequence_pair(&sp, true);
+        let sizes = [30.0, 30.0];
+        let out = optimize_axis(&g, &sizes, 0.0, 50.0, &[vec![], vec![]], 10);
+        assert!(out[0] + sizes[0] <= out[1] + 1e-9);
+        assert!(axis_overflow(&out, &sizes, 0.0, 50.0) > 0.0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn optimizer_preserves_constraints(
+            blocks in proptest::collection::vec(
+                (-20.0f64..20.0, -20.0f64..20.0, 1.0f64..6.0), 1..10),
+            pulls in proptest::collection::vec(0.0f64..80.0, 1..10),
+        ) {
+            let centers: Vec<Point> = blocks.iter().map(|b| Point::new(b.0, b.1)).collect();
+            let sizes: Vec<f64> = blocks.iter().map(|b| b.2).collect();
+            let sp = SequencePair::from_points(&centers);
+            let g = ConstraintGraph::from_sequence_pair(&sp, true);
+            let targets: Vec<Vec<AxisTarget>> = (0..centers.len())
+                .map(|i| vec![t(pulls[i % pulls.len()], 1.0)])
+                .collect();
+            let out = optimize_axis(&g, &sizes, 0.0, 100.0, &targets, 20);
+            for i in 0..centers.len() {
+                for &s in g.succs(i) {
+                    prop_assert!(out[i] + sizes[i] <= out[s] + 1e-9,
+                        "edge {}->{} violated: {} + {} > {}", i, s, out[i], sizes[i], out[s]);
+                }
+            }
+        }
+
+        #[test]
+        fn median_minimizes_objective(
+            targets in proptest::collection::vec((-50.0f64..50.0, 0.1f64..3.0), 1..12),
+            probe in -60.0f64..60.0,
+        ) {
+            let ts: Vec<AxisTarget> = targets.iter().map(|&(c, w)| t(c, w)).collect();
+            let med = weighted_median(&ts).unwrap();
+            let obj = |x: f64| ts.iter().map(|t| t.weight * (x - t.coord).abs()).sum::<f64>();
+            prop_assert!(obj(med) <= obj(probe) + 1e-9);
+        }
+    }
+}

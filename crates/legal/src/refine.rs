@@ -1,0 +1,226 @@
+//! IncreMacro-style boundary refinement (cf. Pu et al., ISPD'24, cited as
+//! \[31\] by the paper).
+//!
+//! Production flows prefer macros hugging the chip boundary: the center
+//! stays free for standard cells and routing. IncreMacro shifts
+//! center-placed macros toward the periphery with gradient steps; this
+//! module implements the discrete analogue — for every movable macro in
+//! the central window, try projecting it onto each of the four boundaries,
+//! keep the best wirelength-improving move, and re-legalize with the
+//! global sequence-pair pass. Purely optional: the core flow does not run
+//! it; examples and ablations do.
+
+use crate::flow::MacroLegalizer;
+use mmp_geom::{Point, Rect};
+use mmp_netlist::{Design, Placement};
+
+/// Configuration of the boundary refinement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoundaryRefiner {
+    /// Macros whose center lies within this central fraction of the region
+    /// (per axis) are candidates; 0.5 means the middle 50% band.
+    pub central_fraction: f64,
+    /// Greedy improvement rounds.
+    pub rounds: usize,
+    /// Accept a move only when it improves HPWL by at least this relative
+    /// margin (guards against churn from re-legalization noise).
+    pub min_gain: f64,
+}
+
+impl Default for BoundaryRefiner {
+    fn default() -> Self {
+        BoundaryRefiner {
+            central_fraction: 0.5,
+            rounds: 2,
+            min_gain: 1e-4,
+        }
+    }
+}
+
+/// Outcome of a refinement run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RefineOutcome {
+    /// The refined (legal) placement.
+    pub placement: Placement,
+    /// HPWL before refinement.
+    pub hpwl_before: f64,
+    /// HPWL after refinement (≤ before, or equal when nothing helped).
+    pub hpwl_after: f64,
+    /// Macros actually moved.
+    pub moves: usize,
+}
+
+impl BoundaryRefiner {
+    /// Creates a refiner with default settings.
+    pub fn new() -> Self {
+        BoundaryRefiner::default()
+    }
+
+    fn central_window(&self, region: &Rect) -> Rect {
+        let fw = region.width * self.central_fraction;
+        let fh = region.height * self.central_fraction;
+        Rect::centered_at(region.center(), fw, fh)
+    }
+
+    /// Runs the refinement on a legal placement.
+    ///
+    /// Cells are held fixed; only macro-to-boundary moves are tried, each
+    /// followed by the global legalization pass. The refined placement is
+    /// kept only when strictly better, so the result never regresses.
+    pub fn refine(&self, design: &Design, placement: &Placement) -> RefineOutcome {
+        let region = *design.region();
+        let window = self.central_window(&region);
+        let legalizer = MacroLegalizer::new();
+        let movable = design.movable_macros();
+
+        let mut best = placement.clone();
+        let hpwl_before = best.hpwl(design);
+        let mut best_hpwl = hpwl_before;
+        let mut moves = 0usize;
+
+        for _ in 0..self.rounds.max(1) {
+            let mut improved_this_round = false;
+            for &id in &movable {
+                let c = best.macro_center(id);
+                if !window.contains_point(c) {
+                    continue;
+                }
+                let m = design.macro_(id);
+                // Candidate boundary projections (centers clamped so the
+                // outline stays inside).
+                let candidates = [
+                    Point::new(region.x + m.width / 2.0, c.y),
+                    Point::new(region.right() - m.width / 2.0, c.y),
+                    Point::new(c.x, region.y + m.height / 2.0),
+                    Point::new(c.x, region.top() - m.height / 2.0),
+                ];
+                for cand in candidates {
+                    // Build the target set: everyone keeps their position
+                    // except `id`, which goes to the candidate.
+                    let targets: Vec<Point> = movable
+                        .iter()
+                        .map(|&other| {
+                            if other == id {
+                                cand
+                            } else {
+                                best.macro_center(other)
+                            }
+                        })
+                        .collect();
+                    let (legal, _, overlap) = legalizer.legalize_targets(design, &targets);
+                    if overlap > 1e-6 {
+                        continue;
+                    }
+                    // Re-attach the cell coordinates of the incumbent.
+                    let mut trial = best.clone();
+                    for &other in &movable {
+                        trial.set_macro_center(other, legal.macro_center(other));
+                    }
+                    let h = trial.hpwl(design);
+                    if h < best_hpwl * (1.0 - self.min_gain) {
+                        best = trial;
+                        best_hpwl = h;
+                        moves += 1;
+                        improved_this_round = true;
+                        break; // re-evaluate remaining macros on the new base
+                    }
+                }
+            }
+            if !improved_this_round {
+                break;
+            }
+        }
+
+        RefineOutcome {
+            placement: best,
+            hpwl_before,
+            hpwl_after: best_hpwl,
+            moves,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmp_geom::Grid;
+    use mmp_netlist::{DesignBuilder, NodeRef, SyntheticSpec};
+
+    #[test]
+    fn refinement_never_regresses() {
+        let d = SyntheticSpec::small("rf", 8, 1, 10, 80, 140, true, 6).generate();
+        // Start from a legal placement produced by the legalizer on a
+        // center-heavy assignment.
+        let grid = Grid::new(*d.region(), 8);
+        let coarse =
+            mmp_cluster::Coarsener::new(&mmp_cluster::ClusterParams::paper(grid.cell_area()))
+                .coarsen(&d, &Placement::initial(&d));
+        let assignment: Vec<_> = (0..coarse.macro_groups().len())
+            .map(|g| grid.unflatten(27 + (g % 2)))
+            .collect();
+        let legal = MacroLegalizer::new()
+            .legalize(&d, &coarse, &assignment, &grid)
+            .unwrap();
+        let out = BoundaryRefiner::new().refine(&d, &legal.placement);
+        assert!(out.hpwl_after <= out.hpwl_before + 1e-9);
+        assert!(out.placement.macro_overlap_area(&d) < 1e-6);
+    }
+
+    #[test]
+    fn boundary_pull_moves_a_center_macro_when_profitable() {
+        // A macro netted only to a left-boundary pad but parked at the
+        // center: refinement must move it to the left edge.
+        let mut b = DesignBuilder::new("pull", mmp_geom::Rect::new(0.0, 0.0, 100.0, 100.0));
+        let m = b.add_macro("m", 10.0, 10.0, "");
+        let p = b.add_pad("p", Point::new(0.0, 50.0));
+        b.add_net(
+            "n",
+            [
+                (NodeRef::Macro(m), Point::ORIGIN),
+                (NodeRef::Pad(p), Point::ORIGIN),
+            ],
+            1.0,
+        )
+        .unwrap();
+        let d = b.build().unwrap();
+        let mut pl = Placement::initial(&d);
+        pl.set_macro_center(m, Point::new(50.0, 50.0));
+        let out = BoundaryRefiner::new().refine(&d, &pl);
+        assert!(out.moves >= 1, "expected a boundary move");
+        assert!(
+            out.placement.macro_center(m).x < 10.0,
+            "macro should hug the left edge, got {}",
+            out.placement.macro_center(m)
+        );
+        assert!(out.hpwl_after < out.hpwl_before);
+    }
+
+    #[test]
+    fn macros_already_at_boundary_are_left_alone() {
+        let mut b = DesignBuilder::new("edge", mmp_geom::Rect::new(0.0, 0.0, 100.0, 100.0));
+        let m = b.add_macro("m", 10.0, 10.0, "");
+        let p = b.add_pad("p", Point::new(0.0, 50.0));
+        b.add_net(
+            "n",
+            [
+                (NodeRef::Macro(m), Point::ORIGIN),
+                (NodeRef::Pad(p), Point::ORIGIN),
+            ],
+            1.0,
+        )
+        .unwrap();
+        let d = b.build().unwrap();
+        let mut pl = Placement::initial(&d);
+        pl.set_macro_center(m, Point::new(5.0, 50.0)); // at the edge already
+        let out = BoundaryRefiner::new().refine(&d, &pl);
+        assert_eq!(out.moves, 0);
+        assert_eq!(out.placement, pl);
+    }
+
+    #[test]
+    fn default_window_is_centered() {
+        let r = BoundaryRefiner::new();
+        let w = r.central_window(&mmp_geom::Rect::new(0.0, 0.0, 100.0, 100.0));
+        assert_eq!(w, mmp_geom::Rect::new(25.0, 25.0, 50.0, 50.0));
+    }
+}

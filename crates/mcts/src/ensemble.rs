@@ -1,0 +1,207 @@
+//! Parallel ensemble search: N independent MCTS runs with diversified
+//! priors, best final allocation wins.
+//!
+//! The paper runs one search per design; on a multicore host the cheapest
+//! robustness upgrade is root-level parallelism — each worker perturbs the
+//! expansion priors slightly (a deterministic analogue of AlphaZero's
+//! Dirichlet root noise), searches independently, and the best-scoring
+//! terminal allocation is kept. Determinism is preserved: worker `k`
+//! always uses noise seed `seed + k`, so results are reproducible.
+
+use crate::search::{MctsConfig, MctsOutcome, MctsPlacer};
+use mmp_rl::{Agent, RewardScale, Trainer};
+use serde::{Deserialize, Serialize};
+
+/// Ensemble parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnsembleConfig {
+    /// Independent search runs (also the thread fan-out).
+    pub runs: usize,
+    /// Per-run search configuration; `prior_noise` is forced positive for
+    /// every run but the first (run 0 reproduces the plain single search).
+    pub base: MctsConfig,
+    /// Noise amplitude for the diversified runs.
+    pub noise: f32,
+    /// Base seed; run `k` uses `seed + k`.
+    pub seed: u64,
+}
+
+impl Default for EnsembleConfig {
+    fn default() -> Self {
+        EnsembleConfig {
+            runs: 4,
+            base: MctsConfig::default(),
+            noise: 0.25,
+            seed: 0,
+        }
+    }
+}
+
+/// Result of an ensemble run: the winning outcome plus each run's score.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnsembleOutcome {
+    /// The best (lowest-wirelength) run's outcome.
+    pub best: MctsOutcome,
+    /// Final wirelength of every run, in run order.
+    pub run_wirelengths: Vec<f64>,
+}
+
+/// Runs the ensemble across `config.runs` threads.
+///
+/// Run 0 uses zero noise (the deterministic single-search result), so the
+/// ensemble can only improve on [`MctsPlacer::place`].
+///
+/// # Panics
+///
+/// Panics when `config.runs == 0` or a worker thread panics.
+pub fn place_ensemble(
+    trainer: &Trainer<'_>,
+    agent: &Agent,
+    scale: &RewardScale,
+    config: &EnsembleConfig,
+) -> EnsembleOutcome {
+    assert!(config.runs > 0, "ensemble needs at least one run");
+    let mut outcomes: Vec<Option<MctsOutcome>> = vec![None; config.runs];
+    crossbeam::thread::scope(|scope| {
+        for (k, slot) in outcomes.iter_mut().enumerate() {
+            let mut worker_agent = agent.clone();
+            let mut cfg = config.base.clone();
+            if k > 0 {
+                cfg.prior_noise = config.noise.max(1e-3);
+                cfg.noise_seed = config.seed.wrapping_add(k as u64);
+            } else {
+                cfg.prior_noise = 0.0;
+            }
+            scope.spawn(move |_| {
+                let placer = MctsPlacer::new(cfg);
+                *slot = Some(placer.place(trainer, &mut worker_agent, scale));
+            });
+        }
+    })
+    .expect("ensemble worker panicked");
+
+    let outcomes: Vec<MctsOutcome> = outcomes
+        .into_iter()
+        .map(|o| o.expect("every worker writes its slot"))
+        .collect();
+    let run_wirelengths: Vec<f64> = outcomes.iter().map(|o| o.wirelength).collect();
+    let best = outcomes
+        .into_iter()
+        .min_by(|a, b| {
+            a.wirelength
+                .partial_cmp(&b.wirelength)
+                .expect("finite wirelengths")
+        })
+        .expect("at least one run");
+    EnsembleOutcome {
+        best,
+        run_wirelengths,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmp_netlist::SyntheticSpec;
+    use mmp_rl::TrainerConfig;
+
+    fn setup() -> (mmp_netlist::Design, TrainerConfig) {
+        let d = SyntheticSpec::small("ens", 7, 0, 8, 60, 100, false, 5).generate();
+        let mut cfg = TrainerConfig::tiny(4);
+        cfg.episodes = 4;
+        (d, cfg)
+    }
+
+    #[test]
+    fn ensemble_never_loses_to_single_search() {
+        let (d, cfg) = setup();
+        let trainer = Trainer::new(&d, cfg);
+        let out = trainer.train();
+        let single = MctsPlacer::new(MctsConfig {
+            explorations: 12,
+            ..MctsConfig::default()
+        })
+        .place(&trainer, &mut out.agent.clone(), &out.scale);
+        let ens = place_ensemble(
+            &trainer,
+            &out.agent,
+            &out.scale,
+            &EnsembleConfig {
+                runs: 3,
+                base: MctsConfig {
+                    explorations: 12,
+                    ..MctsConfig::default()
+                },
+                ..EnsembleConfig::default()
+            },
+        );
+        assert!(ens.best.wirelength <= single.wirelength + 1e-9);
+        assert_eq!(ens.run_wirelengths.len(), 3);
+        // Run 0 is the noise-free search.
+        assert_eq!(ens.run_wirelengths[0], single.wirelength);
+    }
+
+    #[test]
+    fn ensemble_is_deterministic() {
+        let (d, cfg) = setup();
+        let trainer = Trainer::new(&d, cfg);
+        let out = trainer.train();
+        let config = EnsembleConfig {
+            runs: 3,
+            base: MctsConfig {
+                explorations: 8,
+                ..MctsConfig::default()
+            },
+            ..EnsembleConfig::default()
+        };
+        let a = place_ensemble(&trainer, &out.agent, &out.scale, &config);
+        let b = place_ensemble(&trainer, &out.agent, &out.scale, &config);
+        assert_eq!(a.run_wirelengths, b.run_wirelengths);
+        assert_eq!(a.best.assignment, b.best.assignment);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one run")]
+    fn zero_runs_is_rejected() {
+        let (d, cfg) = setup();
+        let trainer = Trainer::new(&d, cfg);
+        let out = trainer.train();
+        let _ = place_ensemble(
+            &trainer,
+            &out.agent,
+            &out.scale,
+            &EnsembleConfig {
+                runs: 0,
+                ..EnsembleConfig::default()
+            },
+        );
+    }
+
+    #[test]
+    fn noisy_runs_explore_different_allocations() {
+        let (d, cfg) = setup();
+        let trainer = Trainer::new(&d, cfg);
+        let out = trainer.train();
+        let ens = place_ensemble(
+            &trainer,
+            &out.agent,
+            &out.scale,
+            &EnsembleConfig {
+                runs: 4,
+                noise: 0.8,
+                base: MctsConfig {
+                    explorations: 8,
+                    ..MctsConfig::default()
+                },
+                ..EnsembleConfig::default()
+            },
+        );
+        // With strong noise, at least two runs should differ in score.
+        let first = ens.run_wirelengths[0];
+        assert!(
+            ens.run_wirelengths.iter().any(|w| (w - first).abs() > 1e-9),
+            "all runs identical despite noise: {:?}",
+            ens.run_wirelengths
+        );
+    }
+}

@@ -1,0 +1,346 @@
+//! The exploration loop: selection → expansion → evaluation →
+//! backpropagation (Sec. IV-B, Fig. 3).
+
+use crate::tree::SearchTree;
+use mmp_geom::GridIndex;
+use mmp_rl::{Agent, PlacementEnv, RewardScale, Trainer};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+
+/// MCTS parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MctsConfig {
+    /// PUCT exploration constant c (paper: 1.05).
+    pub c_puct: f64,
+    /// Explorations γ per macro-group decision.
+    pub explorations: usize,
+    /// Multiplicative noise amplitude applied to expansion priors
+    /// (AlphaZero-style root-diversification). 0 keeps the search fully
+    /// deterministic; the [`ensemble`](crate::ensemble) uses small positive
+    /// values with distinct seeds per worker.
+    pub prior_noise: f32,
+    /// Seed for the prior noise (ignored when `prior_noise == 0`).
+    pub noise_seed: u64,
+}
+
+impl Default for MctsConfig {
+    fn default() -> Self {
+        MctsConfig {
+            c_puct: 1.05,
+            explorations: 64,
+            prior_noise: 0.0,
+            noise_seed: 0,
+        }
+    }
+}
+
+/// Search effort counters — the evidence behind the paper's runtime claim
+/// (real placements run only at terminal leaves).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SearchStats {
+    /// Explorations performed.
+    pub explorations: usize,
+    /// Leaves evaluated by V_θ (cheap).
+    pub value_evaluations: usize,
+    /// Leaves evaluated by the real legalize-and-place pipeline
+    /// (expensive).
+    pub terminal_evaluations: usize,
+    /// Nodes allocated in the tree.
+    pub nodes: usize,
+}
+
+/// Result of one MCTS placement run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MctsOutcome {
+    /// Grid cell per macro group.
+    pub assignment: Vec<GridIndex>,
+    /// Wirelength of the final allocation (trainer's evaluator).
+    pub wirelength: f64,
+    /// Reward 𝔇(W) of the final allocation.
+    pub reward: f64,
+    /// Search effort counters.
+    pub stats: SearchStats,
+}
+
+/// The MCTS placement-optimization stage (Algorithm 1, lines 11–16).
+#[derive(Debug)]
+pub struct MctsPlacer {
+    config: MctsConfig,
+    noise: RefCell<SmallRng>,
+}
+
+impl Default for MctsPlacer {
+    fn default() -> Self {
+        MctsPlacer::new(MctsConfig::default())
+    }
+}
+
+impl Clone for MctsPlacer {
+    fn clone(&self) -> Self {
+        MctsPlacer::new(self.config.clone())
+    }
+}
+
+impl MctsPlacer {
+    /// Creates a placer with the given configuration.
+    pub fn new(config: MctsConfig) -> Self {
+        let noise = RefCell::new(SmallRng::seed_from_u64(config.noise_seed ^ 0x0153));
+        MctsPlacer { config, noise }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &MctsConfig {
+        &self.config
+    }
+
+    /// Runs the full search: γ explorations per macro group, committing the
+    /// most-visited child each time, then scores the final allocation.
+    pub fn place(
+        &self,
+        trainer: &Trainer<'_>,
+        agent: &mut Agent,
+        scale: &RewardScale,
+    ) -> MctsOutcome {
+        let mut env = PlacementEnv::new(trainer.design(), trainer.coarse(), trainer.grid().clone());
+        let mut tree = SearchTree::new();
+        let mut stats = SearchStats::default();
+
+        let steps = env.episode_len();
+        for _ in 0..steps {
+            for _ in 0..self.config.explorations.max(1) {
+                self.explore(&mut tree, &env, trainer, agent, scale, &mut stats);
+            }
+            // Commit the most-visited edge (ties: higher Q, then prior).
+            let root = tree.root();
+            let (edge_idx, action) = {
+                let edges = tree
+                    .node(root)
+                    .edges
+                    .as_ref()
+                    .expect("root expanded by explorations");
+                let best = edges
+                    .iter()
+                    .enumerate()
+                    .max_by(|(_, a), (_, b)| {
+                        (a.n, a.q(), a.p)
+                            .partial_cmp(&(b.n, b.q(), b.p))
+                            .expect("finite stats")
+                    })
+                    .expect("at least one edge");
+                (best.0, best.1.action)
+            };
+            env.step(action);
+            let child = tree.child_of(root, edge_idx);
+            tree.advance_root(child);
+        }
+
+        let wirelength = trainer.wirelength_of(&env);
+        stats.nodes = tree.len();
+        MctsOutcome {
+            assignment: env.assignment().to_vec(),
+            wirelength,
+            reward: scale.reward(wirelength),
+            stats,
+        }
+    }
+
+    /// One exploration from the current root (Fig. 3).
+    fn explore(
+        &self,
+        tree: &mut SearchTree,
+        root_env: &PlacementEnv<'_>,
+        trainer: &Trainer<'_>,
+        agent: &mut Agent,
+        scale: &RewardScale,
+        stats: &mut SearchStats,
+    ) {
+        stats.explorations += 1;
+        let mut sim = root_env.clone();
+        let mut node = tree.root();
+        let mut path: Vec<(usize, usize)> = Vec::new();
+
+        // Selection: descend while the node is expanded.
+        while tree.node(node).edges.is_some() && !sim.is_terminal() {
+            let sum_n = tree.visit_sum(node) as f64;
+            // √ΣN of Eq. 11, floored at 1 so priors break the all-zero tie
+            // on a freshly expanded node.
+            let sqrt_sum = sum_n.sqrt().max(1.0);
+            let (edge_idx, action) = {
+                let edges = tree.node(node).edges.as_ref().expect("expanded");
+                let best = edges
+                    .iter()
+                    .enumerate()
+                    .max_by(|(_, a), (_, b)| {
+                        let ua =
+                            a.q() + self.config.c_puct * a.p as f64 * sqrt_sum / (1.0 + a.n as f64);
+                        let ub =
+                            b.q() + self.config.c_puct * b.p as f64 * sqrt_sum / (1.0 + b.n as f64);
+                        ua.partial_cmp(&ub).expect("finite PUCT scores")
+                    })
+                    .expect("edges exist");
+                (best.0, best.1.action)
+            };
+            path.push((node, edge_idx));
+            sim.step(action);
+            node = tree.child_of(node, edge_idx);
+        }
+
+        // Evaluation (and expansion for non-terminal leaves).
+        let value = if sim.is_terminal() {
+            // Terminal: run the real pipeline once, cache the reward.
+            match tree.node(node).terminal_reward {
+                Some(r) => r,
+                None => {
+                    stats.terminal_evaluations += 1;
+                    let r = scale.reward(trainer.wirelength_of(&sim));
+                    tree.node_mut(node).terminal_reward = Some(r);
+                    r
+                }
+            }
+        } else {
+            // Non-terminal unexplored leaf: expand with π_θ priors and
+            // score it with V_θ instead of a rollout (Sec. IV-B3).
+            stats.value_evaluations += 1;
+            let state = sim.state();
+            let out = agent.policy_value(&state);
+            let priors = if self.config.prior_noise > 0.0 {
+                let mut rng = self.noise.borrow_mut();
+                let amp = self.config.prior_noise;
+                out.probs
+                    .iter()
+                    .map(|&p| p * (1.0 + amp * (rng.gen::<f32>() - 0.5)))
+                    .collect()
+            } else {
+                out.probs
+            };
+            tree.expand(node, &priors);
+            out.value as f64
+        };
+
+        tree.backpropagate(&path, value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmp_netlist::SyntheticSpec;
+    use mmp_rl::TrainerConfig;
+
+    fn trained(seed: u64, episodes: usize) -> (mmp_netlist::Design, TrainerConfig) {
+        let d = SyntheticSpec::small("ms", 6, 0, 8, 40, 70, false, seed).generate();
+        let mut cfg = TrainerConfig::tiny(4);
+        cfg.episodes = episodes;
+        (d, cfg)
+    }
+
+    #[test]
+    fn mcts_places_every_group() {
+        let (d, cfg) = trained(1, 3);
+        let trainer = Trainer::new(&d, cfg);
+        let mut out = trainer.train();
+        let placer = MctsPlacer::new(MctsConfig {
+            explorations: 6,
+            ..MctsConfig::default()
+        });
+        let result = placer.place(&trainer, &mut out.agent, &out.scale);
+        assert_eq!(
+            result.assignment.len(),
+            trainer.coarse().macro_groups().len()
+        );
+        assert!(result.wirelength > 0.0);
+        assert!(result.stats.nodes > 1);
+        assert_eq!(
+            result.stats.explorations,
+            6 * trainer.coarse().macro_groups().len()
+        );
+    }
+
+    #[test]
+    fn mcts_is_deterministic() {
+        let (d, cfg) = trained(2, 2);
+        let trainer = Trainer::new(&d, cfg);
+        let mut out = trainer.train();
+        let placer = MctsPlacer::new(MctsConfig {
+            explorations: 4,
+            ..MctsConfig::default()
+        });
+        let a = placer.place(&trainer, &mut out.agent.clone(), &out.scale);
+        let b = placer.place(&trainer, &mut out.agent, &out.scale);
+        assert_eq!(a.assignment, b.assignment);
+        assert_eq!(a.wirelength, b.wirelength);
+    }
+
+    #[test]
+    fn value_evaluations_dominate_terminal_evaluations() {
+        // The paper's runtime claim: non-terminal leaves are scored by V_θ,
+        // so real placements are rare.
+        let (d, cfg) = trained(3, 2);
+        let trainer = Trainer::new(&d, cfg);
+        let mut out = trainer.train();
+        let placer = MctsPlacer::new(MctsConfig {
+            explorations: 8,
+            ..MctsConfig::default()
+        });
+        let result = placer.place(&trainer, &mut out.agent, &out.scale);
+        assert!(
+            result.stats.value_evaluations >= result.stats.terminal_evaluations,
+            "{:?}",
+            result.stats
+        );
+    }
+
+    #[test]
+    fn more_explorations_never_hurt_much() {
+        // Not a strict guarantee, but with the same agent a deeper search
+        // should not be wildly worse; this guards sign errors in PUCT.
+        let (d, cfg) = trained(4, 3);
+        let trainer = Trainer::new(&d, cfg);
+        let mut out = trainer.train();
+        let shallow = MctsPlacer::new(MctsConfig {
+            explorations: 2,
+            ..MctsConfig::default()
+        })
+        .place(&trainer, &mut out.agent.clone(), &out.scale);
+        let deep = MctsPlacer::new(MctsConfig {
+            explorations: 24,
+            ..MctsConfig::default()
+        })
+        .place(&trainer, &mut out.agent, &out.scale);
+        assert!(
+            deep.wirelength <= shallow.wirelength * 1.5,
+            "deep {} vs shallow {}",
+            deep.wirelength,
+            shallow.wirelength
+        );
+    }
+
+    #[test]
+    fn mcts_beats_or_matches_greedy_rl() {
+        // The Fig. 5 claim at miniature scale: MCTS post-optimization is at
+        // least as good as the greedy RL rollout of the same agent.
+        let (d, cfg) = trained(5, 6);
+        let trainer = Trainer::new(&d, cfg);
+        let mut out = trainer.train();
+        let (_, rl_w) = trainer.greedy_episode(&mut out.agent);
+        let mcts = MctsPlacer::new(MctsConfig {
+            explorations: 32,
+            ..MctsConfig::default()
+        })
+        .place(&trainer, &mut out.agent, &out.scale);
+        assert!(
+            mcts.wirelength <= rl_w * 1.05,
+            "mcts {} should not lose to greedy RL {} by >5%",
+            mcts.wirelength,
+            rl_w
+        );
+    }
+
+    #[test]
+    fn default_config_matches_paper_constant() {
+        let cfg = MctsConfig::default();
+        assert_eq!(cfg.c_puct, 1.05);
+    }
+}

@@ -1,0 +1,289 @@
+//! The search tree: an arena of nodes whose edges carry ⟨N, P, W, Q⟩.
+
+use serde::{Deserialize, Serialize};
+
+/// Statistics of one edge (s_p → s_q) per Sec. IV-A.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EdgeStats {
+    /// Flat grid-cell index this edge allocates the next group to.
+    pub action: usize,
+    /// Child node, created lazily on first traversal.
+    pub child: Option<usize>,
+    /// Visit count N.
+    pub n: u32,
+    /// Prior probability P from π_θ.
+    pub p: f32,
+    /// Accumulated value W.
+    pub w: f64,
+}
+
+impl EdgeStats {
+    /// The mean value Q = W / N (0 before any visit), Eq. 12.
+    #[inline]
+    pub fn q(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.w / self.n as f64
+        }
+    }
+}
+
+/// One node: a partial allocation at depth `depth` (t − 1 groups placed).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Node {
+    /// Tree depth = number of groups already placed.
+    pub depth: usize,
+    /// Outgoing edges, present once the node is *expanded*; `None` marks an
+    /// unexplored node (the selection target s_s).
+    pub edges: Option<Vec<EdgeStats>>,
+    /// Cached terminal reward (terminal nodes are evaluated with the real
+    /// pipeline exactly once).
+    pub terminal_reward: Option<f64>,
+}
+
+/// Arena-allocated search tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchTree {
+    nodes: Vec<Node>,
+    root: usize,
+}
+
+impl SearchTree {
+    /// A tree with a single unexplored root at depth 0 (the empty
+    /// placement).
+    pub fn new() -> Self {
+        SearchTree {
+            nodes: vec![Node {
+                depth: 0,
+                edges: None,
+                terminal_reward: None,
+            }],
+            root: 0,
+        }
+    }
+
+    /// Current root node index.
+    pub fn root(&self) -> usize {
+        self.root
+    }
+
+    /// Moves the root to `child` (tree reuse after committing an action).
+    ///
+    /// # Panics
+    ///
+    /// Panics for an out-of-range node.
+    pub fn advance_root(&mut self, child: usize) {
+        assert!(child < self.nodes.len(), "node index out of range");
+        self.root = child;
+    }
+
+    /// Total node count.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` when the tree holds no nodes (never the case after `new`).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Immutable node access.
+    pub fn node(&self, idx: usize) -> &Node {
+        &self.nodes[idx]
+    }
+
+    /// Mutable node access.
+    pub fn node_mut(&mut self, idx: usize) -> &mut Node {
+        &mut self.nodes[idx]
+    }
+
+    /// Expands `node` with one edge per action, priors `priors`, and marks
+    /// it explored. Edges start with N = W = 0 (Sec. IV-B2).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the node is already expanded.
+    pub fn expand(&mut self, node: usize, priors: &[f32]) {
+        assert!(
+            self.nodes[node].edges.is_none(),
+            "node {node} is already expanded"
+        );
+        let edges = priors
+            .iter()
+            .enumerate()
+            .map(|(action, &p)| EdgeStats {
+                action,
+                child: None,
+                n: 0,
+                p,
+                w: 0.0,
+            })
+            .collect();
+        self.nodes[node].edges = Some(edges);
+    }
+
+    /// The child node behind `(node, edge_idx)`, created on first use.
+    pub fn child_of(&mut self, node: usize, edge_idx: usize) -> usize {
+        let depth = self.nodes[node].depth;
+        let existing = self.nodes[node].edges.as_ref().expect("expanded node")[edge_idx].child;
+        match existing {
+            Some(c) => c,
+            None => {
+                let idx = self.nodes.len();
+                self.nodes.push(Node {
+                    depth: depth + 1,
+                    edges: None,
+                    terminal_reward: None,
+                });
+                self.nodes[node].edges.as_mut().expect("expanded node")[edge_idx].child = Some(idx);
+                idx
+            }
+        }
+    }
+
+    /// Backpropagation (Eq. 12): every edge along `path` gains a visit and
+    /// accumulates `value`.
+    pub fn backpropagate(&mut self, path: &[(usize, usize)], value: f64) {
+        for &(node, edge_idx) in path {
+            let edge = &mut self.nodes[node].edges.as_mut().expect("expanded node")[edge_idx];
+            edge.n += 1;
+            edge.w += value;
+        }
+    }
+
+    /// Sum of child visit counts of `node` (the √Σ N term of Eq. 11).
+    pub fn visit_sum(&self, node: usize) -> u32 {
+        self.nodes[node]
+            .edges
+            .as_ref()
+            .map(|es| es.iter().map(|e| e.n).sum())
+            .unwrap_or(0)
+    }
+}
+
+impl Default for SearchTree {
+    fn default() -> Self {
+        SearchTree::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_tree_has_unexplored_root() {
+        let t = SearchTree::new();
+        assert_eq!(t.len(), 1);
+        assert!(t.node(t.root()).edges.is_none());
+        assert_eq!(t.node(t.root()).depth, 0);
+    }
+
+    #[test]
+    fn expansion_initializes_edges_per_paper() {
+        let mut t = SearchTree::new();
+        t.expand(0, &[0.5, 0.3, 0.2]);
+        let edges = t.node(0).edges.as_ref().unwrap();
+        assert_eq!(edges.len(), 3);
+        for (i, e) in edges.iter().enumerate() {
+            assert_eq!(e.action, i);
+            assert_eq!(e.n, 0);
+            assert_eq!(e.w, 0.0);
+            assert_eq!(e.q(), 0.0);
+        }
+        assert_eq!(edges[0].p, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "already expanded")]
+    fn double_expansion_panics() {
+        let mut t = SearchTree::new();
+        t.expand(0, &[1.0]);
+        t.expand(0, &[1.0]);
+    }
+
+    #[test]
+    fn children_are_created_lazily_and_cached() {
+        let mut t = SearchTree::new();
+        t.expand(0, &[0.6, 0.4]);
+        let c0 = t.child_of(0, 0);
+        let c0_again = t.child_of(0, 0);
+        assert_eq!(c0, c0_again);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.node(c0).depth, 1);
+        let c1 = t.child_of(0, 1);
+        assert_ne!(c0, c1);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn backpropagation_updates_n_w_q() {
+        let mut t = SearchTree::new();
+        t.expand(0, &[1.0, 0.0]);
+        let c = t.child_of(0, 0);
+        t.expand(c, &[1.0]);
+        let _gc = t.child_of(c, 0);
+        let path = vec![(0, 0), (c, 0)];
+        t.backpropagate(&path, 0.5);
+        t.backpropagate(&path, 0.7);
+        let e = &t.node(0).edges.as_ref().unwrap()[0];
+        assert_eq!(e.n, 2);
+        assert!((e.w - 1.2).abs() < 1e-12);
+        assert!((e.q() - 0.6).abs() < 1e-12);
+        assert_eq!(t.visit_sum(0), 2);
+        assert_eq!(t.visit_sum(c), 2);
+    }
+
+    #[test]
+    fn advance_root_moves_subtree_focus() {
+        let mut t = SearchTree::new();
+        t.expand(0, &[1.0]);
+        let c = t.child_of(0, 0);
+        t.advance_root(c);
+        assert_eq!(t.root(), c);
+    }
+
+
+    #[test]
+    fn visit_sum_conserves_backpropagations() {
+        // Property: after any sequence of backpropagations through the
+        // root, the root's visit sum equals the number of backpropagations
+        // that included a root edge.
+        let mut t = SearchTree::new();
+        t.expand(0, &[0.4, 0.3, 0.3]);
+        let mut count = 0u32;
+        for k in 0..50usize {
+            let e = k % 3;
+            let _ = t.child_of(0, e);
+            t.backpropagate(&[(0, e)], (k as f64) * 0.01);
+            count += 1;
+            assert_eq!(t.visit_sum(0), count);
+        }
+        // Q of each edge equals its W/N.
+        for e in t.node(0).edges.as_ref().unwrap() {
+            if e.n > 0 {
+                assert!((e.q() - e.w / e.n as f64).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn deep_chain_allocation_is_linear() {
+        // Each exploration adds exactly one node: a depth-k chain has k+1.
+        let mut t = SearchTree::new();
+        let mut node = 0usize;
+        for depth in 1..=20 {
+            t.expand(node, &[1.0]);
+            node = t.child_of(node, 0);
+            assert_eq!(t.len(), depth + 1);
+            assert_eq!(t.node(node).depth, depth);
+        }
+    }
+
+    #[test]
+    fn visit_sum_of_unexpanded_node_is_zero() {
+        let t = SearchTree::new();
+        assert_eq!(t.visit_sum(0), 0);
+    }
+}

@@ -1,0 +1,530 @@
+//! Classic multi-file Bookshelf layout (.aux + .nodes/.nets/.pl/.scl).
+//!
+//! The single-stream format of [`crate::bookshelf`] is convenient for this
+//! workspace; real GSRC/ICCAD04 distributions ship one file per section
+//! listed in a `.aux` manifest. This module maps between a [`Design`] and
+//! that layout so externally-sourced benchmarks can be dropped in:
+//!
+//! * `.aux`   — `RowBasedPlacement : <file.nodes> <file.nets> <file.pl>`
+//! * `.nodes` — `name width height [terminal]`
+//! * `.nets`  — `NetDegree : k` followed by `name I/O : dx dy` pin lines
+//! * `.pl`    — `name x y : N [/FIXED]`
+//!
+//! Only the subset the placer consumes is read; headers, comments and
+//! unknown directives are skipped. The region is inferred from the `.pl`
+//! coordinates when no `.scl` is present (the ICCAD04 mixed-size flow does
+//! the same).
+
+use crate::builder::{BuildDesignError, DesignBuilder};
+use crate::design::Design;
+use crate::ids::NodeRef;
+use crate::Placement;
+use mmp_geom::{Point, Rect};
+use std::collections::HashMap;
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Error reading an `.aux` bundle.
+#[derive(Debug)]
+pub enum ReadAuxError {
+    /// Underlying I/O failure (file named in the message).
+    Io(String, std::io::Error),
+    /// A line failed to parse.
+    Parse {
+        /// File the line came from.
+        file: String,
+        /// 1-based line number.
+        line: usize,
+        /// Explanation.
+        message: String,
+    },
+    /// The `.aux` manifest names fewer than the three required files.
+    IncompleteManifest,
+    /// The parsed design failed validation.
+    Build(BuildDesignError),
+}
+
+impl fmt::Display for ReadAuxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReadAuxError::Io(file, e) => write!(f, "i/o error on {file}: {e}"),
+            ReadAuxError::Parse {
+                file,
+                line,
+                message,
+            } => {
+                write!(f, "parse error at {file}:{line}: {message}")
+            }
+            ReadAuxError::IncompleteManifest => {
+                write!(f, "aux manifest must list .nodes, .nets and .pl files")
+            }
+            ReadAuxError::Build(e) => write!(f, "invalid design in aux bundle: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReadAuxError {}
+
+impl From<BuildDesignError> for ReadAuxError {
+    fn from(e: BuildDesignError) -> Self {
+        ReadAuxError::Build(e)
+    }
+}
+
+fn read_file(path: &Path) -> Result<String, ReadAuxError> {
+    fs::read_to_string(path).map_err(|e| ReadAuxError::Io(path.display().to_string(), e))
+}
+
+/// Reads a `.aux` bundle rooted at `aux_path`.
+///
+/// Terminals with fixed positions become pads; `/FIXED` non-terminal nodes
+/// become preplaced macros; movable nodes larger than `macro_threshold`
+/// times the median node area are classified as macros, the rest as cells
+/// (Bookshelf does not distinguish them).
+///
+/// # Errors
+///
+/// See [`ReadAuxError`].
+pub fn read_aux(
+    aux_path: &Path,
+    macro_threshold: f64,
+) -> Result<(Design, Placement), ReadAuxError> {
+    let aux_dir = aux_path.parent().unwrap_or_else(|| Path::new("."));
+    let manifest = read_file(aux_path)?;
+    let mut nodes_file = None;
+    let mut nets_file = None;
+    let mut pl_file = None;
+    for token in manifest.split_whitespace() {
+        let lower = token.to_ascii_lowercase();
+        if lower.ends_with(".nodes") {
+            nodes_file = Some(aux_dir.join(token));
+        } else if lower.ends_with(".nets") {
+            nets_file = Some(aux_dir.join(token));
+        } else if lower.ends_with(".pl") {
+            pl_file = Some(aux_dir.join(token));
+        }
+    }
+    let (nodes_file, nets_file, pl_file) = match (nodes_file, nets_file, pl_file) {
+        (Some(a), Some(b), Some(c)) => (a, b, c),
+        _ => return Err(ReadAuxError::IncompleteManifest),
+    };
+
+    // --- .nodes -------------------------------------------------------
+    #[derive(Debug)]
+    struct RawNode {
+        width: f64,
+        height: f64,
+        terminal: bool,
+    }
+    let mut raw: Vec<(String, RawNode)> = Vec::new();
+    let nodes_src = read_file(&nodes_file)?;
+    for (lineno, line) in nodes_src.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty()
+            || line.starts_with('#')
+            || line.starts_with("UCLA")
+            || line.starts_with("NumNodes")
+            || line.starts_with("NumTerminals")
+        {
+            continue;
+        }
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        if toks.len() < 3 {
+            return Err(ReadAuxError::Parse {
+                file: nodes_file.display().to_string(),
+                line: lineno + 1,
+                message: "node line needs name width height".into(),
+            });
+        }
+        let parse = |s: &str| -> Result<f64, ReadAuxError> {
+            s.parse().map_err(|_| ReadAuxError::Parse {
+                file: nodes_file.display().to_string(),
+                line: lineno + 1,
+                message: format!("bad number {s}"),
+            })
+        };
+        raw.push((
+            toks[0].to_owned(),
+            RawNode {
+                width: parse(toks[1])?,
+                height: parse(toks[2])?,
+                terminal: toks.get(3).is_some_and(|t| *t == "terminal"),
+            },
+        ));
+    }
+
+    // --- .pl ------------------------------------------------------------
+    let mut positions: HashMap<String, (Point, bool)> = HashMap::new();
+    let pl_src = read_file(&pl_file)?;
+    for (lineno, line) in pl_src.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with("UCLA") {
+            continue;
+        }
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        if toks.len() < 3 {
+            return Err(ReadAuxError::Parse {
+                file: pl_file.display().to_string(),
+                line: lineno + 1,
+                message: "pl line needs name x y".into(),
+            });
+        }
+        let parse = |s: &str| -> Result<f64, ReadAuxError> {
+            s.parse().map_err(|_| ReadAuxError::Parse {
+                file: pl_file.display().to_string(),
+                line: lineno + 1,
+                message: format!("bad number {s}"),
+            })
+        };
+        let fixed = line.contains("/FIXED");
+        positions.insert(
+            toks[0].to_owned(),
+            (Point::new(parse(toks[1])?, parse(toks[2])?), fixed),
+        );
+    }
+
+    // --- classify + region ------------------------------------------------
+    let mut areas: Vec<f64> = raw
+        .iter()
+        .filter(|(_, n)| !n.terminal)
+        .map(|(_, n)| n.width * n.height)
+        .collect();
+    areas.sort_by(|a, b| a.partial_cmp(b).expect("finite areas"));
+    let median_area = areas
+        .get(areas.len() / 2)
+        .copied()
+        .unwrap_or(1.0)
+        .max(1e-12);
+
+    let mut min = Point::new(f64::INFINITY, f64::INFINITY);
+    let mut max = Point::new(f64::NEG_INFINITY, f64::NEG_INFINITY);
+    for (name, node) in &raw {
+        // Bookshelf .pl coordinates are lower-left corners.
+        let (ll, _) = positions
+            .get(name)
+            .copied()
+            .unwrap_or((Point::ORIGIN, false));
+        min = min.min(ll);
+        max = max.max(ll + Point::new(node.width, node.height));
+    }
+    if !min.is_finite() || !max.is_finite() {
+        min = Point::ORIGIN;
+        max = Point::new(1.0, 1.0);
+    }
+    let region = Rect::from_corners(min, max);
+
+    let mut b = DesignBuilder::new(
+        aux_path
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "aux".into()),
+        region,
+    );
+    let mut refs: HashMap<String, NodeRef> = HashMap::new();
+    for (name, node) in &raw {
+        let (ll, fixed) = positions
+            .get(name)
+            .copied()
+            .unwrap_or((region.center(), false));
+        let center = ll + Point::new(node.width / 2.0, node.height / 2.0);
+        let r: NodeRef = if node.terminal && (node.width == 0.0 || node.height == 0.0) {
+            b.add_pad(name.clone(), ll).into()
+        } else if node.terminal || fixed {
+            b.add_preplaced_macro(name.clone(), node.width, node.height, "", center)
+                .into()
+        } else if node.width * node.height >= macro_threshold * median_area {
+            b.add_macro(name.clone(), node.width, node.height, "")
+                .into()
+        } else {
+            b.add_cell(name.clone(), node.width, node.height, "").into()
+        };
+        refs.insert(name.clone(), r);
+    }
+
+    // --- .nets ---------------------------------------------------------
+    let nets_src = read_file(&nets_file)?;
+    let mut pending: Vec<(NodeRef, Point)> = Vec::new();
+    let mut net_no = 0usize;
+    let flush = |pending: &mut Vec<(NodeRef, Point)>,
+                 b: &mut DesignBuilder,
+                 net_no: &mut usize|
+     -> Result<(), BuildDesignError> {
+        if pending.len() >= 2 {
+            b.add_net(format!("net{net_no}"), pending.drain(..), 1.0)?;
+            *net_no += 1;
+        } else {
+            pending.clear();
+        }
+        Ok(())
+    };
+    for (lineno, line) in nets_src.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty()
+            || line.starts_with('#')
+            || line.starts_with("UCLA")
+            || line.starts_with("NumNets")
+            || line.starts_with("NumPins")
+        {
+            continue;
+        }
+        if line.starts_with("NetDegree") {
+            flush(&mut pending, &mut b, &mut net_no)?;
+            continue;
+        }
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        let Some(&node) = refs.get(toks[0]) else {
+            return Err(ReadAuxError::Parse {
+                file: nets_file.display().to_string(),
+                line: lineno + 1,
+                message: format!("unknown node {}", toks[0]),
+            });
+        };
+        // Optional trailing ": dx dy" pin offset.
+        let offset = if toks.len() >= 5 && toks[2] == ":" {
+            let dx: f64 = toks[3].parse().unwrap_or(0.0);
+            let dy: f64 = toks[4].parse().unwrap_or(0.0);
+            Point::new(dx, dy)
+        } else {
+            Point::ORIGIN
+        };
+        pending.push((node, offset));
+    }
+    flush(&mut pending, &mut b, &mut net_no)?;
+
+    let design = b.build()?;
+    let mut placement = Placement::initial(&design);
+    for (name, &node) in &refs {
+        if let Some(&(ll, _)) = positions.get(name) {
+            match node {
+                NodeRef::Macro(id) => {
+                    let m = design.macro_(id);
+                    if !m.is_preplaced() {
+                        placement
+                            .set_macro_center(id, ll + Point::new(m.width / 2.0, m.height / 2.0));
+                    }
+                }
+                NodeRef::Cell(id) => {
+                    let c = design.cell(id);
+                    placement.set_cell_center(id, ll + Point::new(c.width / 2.0, c.height / 2.0));
+                }
+                NodeRef::Pad(_) => {}
+            }
+        }
+    }
+    Ok((design, placement))
+}
+
+/// Writes `design` (+ `placement`) as a `.aux` bundle next to `aux_path`
+/// (`<stem>.nodes`, `<stem>.nets`, `<stem>.pl`).
+///
+/// # Errors
+///
+/// Propagates file-creation/write failures.
+pub fn write_aux(
+    design: &Design,
+    placement: &Placement,
+    aux_path: &Path,
+) -> Result<Vec<PathBuf>, std::io::Error> {
+    let stem = aux_path
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "design".into());
+    let dir = aux_path.parent().unwrap_or_else(|| Path::new("."));
+    let nodes_path = dir.join(format!("{stem}.nodes"));
+    let nets_path = dir.join(format!("{stem}.nets"));
+    let pl_path = dir.join(format!("{stem}.pl"));
+
+    let mut nodes = String::from("UCLA nodes 1.0\n");
+    nodes.push_str(&format!(
+        "NumNodes : {}\nNumTerminals : {}\n",
+        design.macros().len() + design.cells().len() + design.pads().len(),
+        design.pads().len() + design.preplaced_macros().len()
+    ));
+    for m in design.macros() {
+        let terminal = if m.is_preplaced() { " terminal" } else { "" };
+        nodes.push_str(&format!(
+            "{} {} {}{}\n",
+            m.name, m.width, m.height, terminal
+        ));
+    }
+    for c in design.cells() {
+        nodes.push_str(&format!("{} {} {}\n", c.name, c.width, c.height));
+    }
+    for p in design.pads() {
+        nodes.push_str(&format!("{} 0 0 terminal\n", p.name));
+    }
+
+    let total_pins: usize = design.nets().iter().map(|n| n.pins.len()).sum();
+    let mut nets = String::from("UCLA nets 1.0\n");
+    nets.push_str(&format!(
+        "NumNets : {}\nNumPins : {}\n",
+        design.nets().len(),
+        total_pins
+    ));
+    for net in design.nets() {
+        nets.push_str(&format!("NetDegree : {}\n", net.pins.len()));
+        for pin in &net.pins {
+            let name = match pin.node {
+                NodeRef::Macro(id) => &design.macro_(id).name,
+                NodeRef::Cell(id) => &design.cell(id).name,
+                NodeRef::Pad(id) => &design.pad(id).name,
+            };
+            nets.push_str(&format!(
+                "  {} B : {} {}\n",
+                name, pin.offset.x, pin.offset.y
+            ));
+        }
+    }
+
+    let mut pl = String::from("UCLA pl 1.0\n");
+    for (i, m) in design.macros().iter().enumerate() {
+        let c = placement.macro_center(crate::MacroId::from_index(i));
+        let fixed = if m.is_preplaced() { " /FIXED" } else { "" };
+        pl.push_str(&format!(
+            "{} {} {} : N{}\n",
+            m.name,
+            c.x - m.width / 2.0,
+            c.y - m.height / 2.0,
+            fixed
+        ));
+    }
+    for (i, cell) in design.cells().iter().enumerate() {
+        let c = placement.cell_center(crate::CellId::from_index(i));
+        pl.push_str(&format!(
+            "{} {} {} : N\n",
+            cell.name,
+            c.x - cell.width / 2.0,
+            c.y - cell.height / 2.0
+        ));
+    }
+    for p in design.pads() {
+        pl.push_str(&format!(
+            "{} {} {} : N /FIXED\n",
+            p.name, p.position.x, p.position.y
+        ));
+    }
+
+    fs::write(&nodes_path, nodes)?;
+    fs::write(&nets_path, nets)?;
+    fs::write(&pl_path, pl)?;
+    fs::write(
+        aux_path,
+        format!("RowBasedPlacement : {stem}.nodes {stem}.nets {stem}.pl\n"),
+    )?;
+    Ok(vec![aux_path.to_path_buf(), nodes_path, nets_path, pl_path])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SyntheticSpec;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("mmp_aux_{tag}_{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn aux_roundtrip_preserves_structure_and_hpwl() {
+        let design = SyntheticSpec::small("aux", 6, 1, 8, 60, 100, false, 9).generate();
+        let placement = Placement::initial(&design);
+        let dir = tmp_dir("rt");
+        let aux = dir.join("aux.aux");
+        write_aux(&design, &placement, &aux).unwrap();
+        let (d2, pl2) = read_aux(&aux, 4.0).unwrap();
+        assert_eq!(d2.nets().len(), design.nets().len());
+        assert_eq!(
+            d2.macros().len() + d2.cells().len(),
+            design.macros().len() + design.cells().len()
+        );
+        assert_eq!(d2.pads().len(), design.pads().len());
+        // Same coordinates ⇒ same HPWL (region inference may differ).
+        assert!((pl2.hpwl(&d2) - placement.hpwl(&design)).abs() < 1e-6);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn preplaced_macros_survive_roundtrip_as_fixed() {
+        let design = SyntheticSpec::small("auxf", 4, 2, 8, 40, 70, false, 10).generate();
+        let placement = Placement::initial(&design);
+        let dir = tmp_dir("fx");
+        let aux = dir.join("f.aux");
+        write_aux(&design, &placement, &aux).unwrap();
+        let (d2, _) = read_aux(&aux, 4.0).unwrap();
+        assert_eq!(d2.preplaced_macros().len(), 2);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn incomplete_manifest_is_rejected() {
+        let dir = tmp_dir("bad");
+        let aux = dir.join("bad.aux");
+        fs::write(&aux, "RowBasedPlacement : only.nodes\n").unwrap();
+        let err = read_aux(&aux, 4.0).unwrap_err();
+        assert!(matches!(err, ReadAuxError::IncompleteManifest));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_file_reports_io_error() {
+        let err = read_aux(Path::new("/nonexistent/x.aux"), 4.0).unwrap_err();
+        assert!(matches!(err, ReadAuxError::Io(..)));
+        assert!(err.to_string().contains("nonexistent"));
+    }
+
+    #[test]
+    fn unknown_net_node_is_reported_with_location() {
+        let dir = tmp_dir("un");
+        fs::write(
+            dir.join("u.aux"),
+            "RowBasedPlacement : u.nodes u.nets u.pl\n",
+        )
+        .unwrap();
+        fs::write(dir.join("u.nodes"), "a 2 2\nb 2 2\n").unwrap();
+        fs::write(
+            dir.join("u.nets"),
+            "NetDegree : 2\n a B : 0 0\n ghost B : 0 0\n",
+        )
+        .unwrap();
+        fs::write(dir.join("u.pl"), "a 0 0 : N\nb 5 5 : N\n").unwrap();
+        let err = read_aux(&dir.join("u.aux"), 4.0).unwrap_err();
+        match err {
+            ReadAuxError::Parse { message, .. } => assert!(message.contains("ghost")),
+            other => panic!("unexpected {other:?}"),
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn large_nodes_classify_as_macros() {
+        let dir = tmp_dir("cls");
+        fs::write(
+            dir.join("c.aux"),
+            "RowBasedPlacement : c.nodes c.nets c.pl\n",
+        )
+        .unwrap();
+        // One big node, many small ones.
+        let mut nodes = String::new();
+        nodes.push_str("big 20 20\n");
+        for i in 0..9 {
+            nodes.push_str(&format!("s{i} 1 1\n"));
+        }
+        fs::write(dir.join("c.nodes"), nodes).unwrap();
+        fs::write(
+            dir.join("c.nets"),
+            "NetDegree : 2\n big B : 0 0\n s0 B : 0 0\n",
+        )
+        .unwrap();
+        let mut pl = String::from("big 0 0 : N\n");
+        for i in 0..9 {
+            pl.push_str(&format!("s{i} {} 30 : N\n", i * 2));
+        }
+        fs::write(dir.join("c.pl"), pl).unwrap();
+        let (d, _) = read_aux(&dir.join("c.aux"), 4.0).unwrap();
+        assert_eq!(d.movable_macros().len(), 1);
+        assert_eq!(d.cells().len(), 9);
+        fs::remove_dir_all(&dir).ok();
+    }
+}

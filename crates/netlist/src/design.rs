@@ -1,0 +1,357 @@
+//! The immutable design: nodes, nets and the placement region.
+
+use crate::ids::{CellId, MacroId, NetId, NodeRef, PadId};
+use mmp_geom::{Point, Rect};
+use serde::{Deserialize, Serialize};
+
+/// A macro block. `preplaced` macros are fixed obstacles (the industrial
+/// benchmarks of Table II contain them); movable macros are what the placer
+/// allocates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Macro {
+    /// Instance name, unique among macros.
+    pub name: String,
+    /// Outline width in µm.
+    pub width: f64,
+    /// Outline height in µm.
+    pub height: f64,
+    /// Design-hierarchy path, e.g. `"top/cpu/alu"`. Empty when the benchmark
+    /// carries no hierarchy (the ICCAD04 suite).
+    pub hierarchy: String,
+    /// `Some(center)` when the macro is preplaced (fixed), `None` when
+    /// movable.
+    pub fixed_center: Option<Point>,
+}
+
+impl Macro {
+    /// Outline area in µm².
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.width * self.height
+    }
+
+    /// `true` when the macro cannot be moved by the placer.
+    #[inline]
+    pub fn is_preplaced(&self) -> bool {
+        self.fixed_center.is_some()
+    }
+}
+
+/// A standard cell: small, movable, placed by the analytical cell placer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cell {
+    /// Instance name, unique among cells.
+    pub name: String,
+    /// Outline width in µm.
+    pub width: f64,
+    /// Outline height in µm.
+    pub height: f64,
+    /// Design-hierarchy path (may be empty).
+    pub hierarchy: String,
+}
+
+impl Cell {
+    /// Outline area in µm².
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.width * self.height
+    }
+}
+
+/// A fixed I/O pad on (or near) the chip boundary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Pad {
+    /// Instance name, unique among pads.
+    pub name: String,
+    /// Fixed position (µm).
+    pub position: Point,
+}
+
+/// One connection point of a net.
+///
+/// `offset` is relative to the owning node's **center**; pins of pads ignore
+/// the offset (pads are points).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Pin {
+    /// The node this pin belongs to.
+    pub node: NodeRef,
+    /// Offset from the node center (µm).
+    pub offset: Point,
+}
+
+/// A net: a weighted hyper-edge over pins.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Net {
+    /// Net name, unique among nets.
+    pub name: String,
+    /// The net's pins (at least 1; single-pin nets contribute zero HPWL).
+    pub pins: Vec<Pin>,
+    /// Net weight λ_n used by weighted-wirelength objectives (Eq. 3).
+    pub weight: f64,
+}
+
+impl Net {
+    /// Number of pins.
+    #[inline]
+    pub fn degree(&self) -> usize {
+        self.pins.len()
+    }
+}
+
+/// An immutable mixed-size design.
+///
+/// Construct with [`DesignBuilder`](crate::DesignBuilder) (which validates
+/// invariants) or read one with [`bookshelf::read`](crate::bookshelf::read).
+/// Node and net collections are dense and addressed by the typed ids of
+/// [`crate::ids`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Design {
+    pub(crate) name: String,
+    pub(crate) region: Rect,
+    pub(crate) macros: Vec<Macro>,
+    pub(crate) cells: Vec<Cell>,
+    pub(crate) pads: Vec<Pad>,
+    pub(crate) nets: Vec<Net>,
+    /// For each macro, the nets touching it (derived, kept in sync by the
+    /// builder).
+    pub(crate) macro_nets: Vec<Vec<NetId>>,
+    /// For each cell, the nets touching it.
+    pub(crate) cell_nets: Vec<Vec<NetId>>,
+}
+
+impl Design {
+    /// Design name.
+    #[inline]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Placement region.
+    #[inline]
+    pub fn region(&self) -> &Rect {
+        &self.region
+    }
+
+    /// All macros (movable and preplaced), indexable by [`MacroId`].
+    #[inline]
+    pub fn macros(&self) -> &[Macro] {
+        &self.macros
+    }
+
+    /// All standard cells, indexable by [`CellId`].
+    #[inline]
+    pub fn cells(&self) -> &[Cell] {
+        &self.cells
+    }
+
+    /// All I/O pads, indexable by [`PadId`].
+    #[inline]
+    pub fn pads(&self) -> &[Pad] {
+        &self.pads
+    }
+
+    /// All nets, indexable by [`NetId`].
+    #[inline]
+    pub fn nets(&self) -> &[Net] {
+        &self.nets
+    }
+
+    /// The macro addressed by `id`.
+    #[inline]
+    pub fn macro_(&self, id: MacroId) -> &Macro {
+        &self.macros[id.index()]
+    }
+
+    /// The cell addressed by `id`.
+    #[inline]
+    pub fn cell(&self, id: CellId) -> &Cell {
+        &self.cells[id.index()]
+    }
+
+    /// The pad addressed by `id`.
+    #[inline]
+    pub fn pad(&self, id: PadId) -> &Pad {
+        &self.pads[id.index()]
+    }
+
+    /// The net addressed by `id`.
+    #[inline]
+    pub fn net(&self, id: NetId) -> &Net {
+        &self.nets[id.index()]
+    }
+
+    /// Ids of the movable (non-preplaced) macros.
+    pub fn movable_macros(&self) -> Vec<MacroId> {
+        self.macros
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| !m.is_preplaced())
+            .map(|(i, _)| MacroId::from_index(i))
+            .collect()
+    }
+
+    /// Ids of the preplaced macros.
+    pub fn preplaced_macros(&self) -> Vec<MacroId> {
+        self.macros
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.is_preplaced())
+            .map(|(i, _)| MacroId::from_index(i))
+            .collect()
+    }
+
+    /// Nets incident to macro `id`.
+    #[inline]
+    pub fn nets_of_macro(&self, id: MacroId) -> &[NetId] {
+        &self.macro_nets[id.index()]
+    }
+
+    /// Nets incident to cell `id`.
+    #[inline]
+    pub fn nets_of_cell(&self, id: CellId) -> &[NetId] {
+        &self.cell_nets[id.index()]
+    }
+
+    /// Direct macro-to-macro connectivity: total weight of nets shared by
+    /// macros `a` and `b` (the w(·,·) term of Eq. 1, at macro granularity).
+    pub fn macro_connectivity(&self, a: MacroId, b: MacroId) -> f64 {
+        let (small, large) = if self.macro_nets[a.index()].len() <= self.macro_nets[b.index()].len()
+        {
+            (a, b)
+        } else {
+            (b, a)
+        };
+        let large_set = &self.macro_nets[large.index()];
+        self.macro_nets[small.index()]
+            .iter()
+            .filter(|n| large_set.contains(n))
+            .map(|n| self.net(*n).weight)
+            .sum()
+    }
+
+    /// Sum of macro areas (movable + preplaced) in µm².
+    pub fn total_macro_area(&self) -> f64 {
+        self.macros.iter().map(Macro::area).sum()
+    }
+
+    /// Sum of cell areas in µm².
+    pub fn total_cell_area(&self) -> f64 {
+        self.cells.iter().map(Cell::area).sum()
+    }
+
+    /// Area utilization: (macro + cell area) / region area.
+    pub fn utilization(&self) -> f64 {
+        (self.total_macro_area() + self.total_cell_area()) / self.region.area()
+    }
+
+    /// The width/height of the outline of node `node`; pads have zero size.
+    pub fn node_size(&self, node: NodeRef) -> (f64, f64) {
+        match node {
+            NodeRef::Macro(id) => {
+                let m = self.macro_(id);
+                (m.width, m.height)
+            }
+            NodeRef::Cell(id) => {
+                let c = self.cell(id);
+                (c.width, c.height)
+            }
+            NodeRef::Pad(_) => (0.0, 0.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DesignBuilder;
+
+    fn tiny() -> Design {
+        let mut b = DesignBuilder::new("tiny", Rect::new(0.0, 0.0, 100.0, 100.0));
+        let m0 = b.add_macro("m0", 10.0, 10.0, "top/a");
+        let m1 = b.add_macro("m1", 20.0, 5.0, "top/b");
+        let m2 = b.add_preplaced_macro("m2", 5.0, 5.0, "top/b", Point::new(50.0, 50.0));
+        let c0 = b.add_cell("c0", 1.0, 1.0, "top/a");
+        let p0 = b.add_pad("p0", Point::new(0.0, 50.0));
+        b.add_net(
+            "n0",
+            [
+                (NodeRef::Macro(m0), Point::ORIGIN),
+                (NodeRef::Macro(m1), Point::ORIGIN),
+            ],
+            1.0,
+        )
+        .unwrap();
+        b.add_net(
+            "n1",
+            [
+                (NodeRef::Macro(m0), Point::ORIGIN),
+                (NodeRef::Cell(c0), Point::ORIGIN),
+                (NodeRef::Pad(p0), Point::ORIGIN),
+            ],
+            2.0,
+        )
+        .unwrap();
+        b.add_net(
+            "n2",
+            [
+                (NodeRef::Macro(m1), Point::ORIGIN),
+                (NodeRef::Macro(m2), Point::ORIGIN),
+            ],
+            0.5,
+        )
+        .unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn movable_and_preplaced_partition() {
+        let d = tiny();
+        assert_eq!(d.movable_macros(), vec![MacroId(0), MacroId(1)]);
+        assert_eq!(d.preplaced_macros(), vec![MacroId(2)]);
+        assert!(d.macro_(MacroId(2)).is_preplaced());
+    }
+
+    #[test]
+    fn incidence_lists_are_correct() {
+        let d = tiny();
+        assert_eq!(d.nets_of_macro(MacroId(0)), &[NetId(0), NetId(1)]);
+        assert_eq!(d.nets_of_macro(MacroId(1)), &[NetId(0), NetId(2)]);
+        assert_eq!(d.nets_of_cell(CellId(0)), &[NetId(1)]);
+    }
+
+    #[test]
+    fn macro_connectivity_sums_shared_net_weights() {
+        let d = tiny();
+        assert_eq!(d.macro_connectivity(MacroId(0), MacroId(1)), 1.0);
+        assert_eq!(d.macro_connectivity(MacroId(1), MacroId(2)), 0.5);
+        assert_eq!(d.macro_connectivity(MacroId(0), MacroId(2)), 0.0);
+        // symmetric
+        assert_eq!(
+            d.macro_connectivity(MacroId(1), MacroId(0)),
+            d.macro_connectivity(MacroId(0), MacroId(1))
+        );
+    }
+
+    #[test]
+    fn areas_and_utilization() {
+        let d = tiny();
+        assert_eq!(d.total_macro_area(), 100.0 + 100.0 + 25.0);
+        assert_eq!(d.total_cell_area(), 1.0);
+        assert!((d.utilization() - 226.0 / 10_000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn node_size_covers_all_variants() {
+        let d = tiny();
+        assert_eq!(d.node_size(NodeRef::Macro(MacroId(1))), (20.0, 5.0));
+        assert_eq!(d.node_size(NodeRef::Cell(CellId(0))), (1.0, 1.0));
+        assert_eq!(d.node_size(NodeRef::Pad(PadId(0))), (0.0, 0.0));
+    }
+
+    #[test]
+    fn net_degree() {
+        let d = tiny();
+        assert_eq!(d.net(NetId(0)).degree(), 2);
+        assert_eq!(d.net(NetId(1)).degree(), 3);
+    }
+}

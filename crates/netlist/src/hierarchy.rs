@@ -1,0 +1,84 @@
+//! Design-hierarchy utilities.
+//!
+//! The macro-grouping score Γ (Eq. 1) contains an H(g_i, g_j) term: "the
+//! common parts of the hierarchy names". We model hierarchy paths as
+//! `/`-separated strings and measure affinity as the number of shared leading
+//! components.
+
+/// Number of leading `/`-separated components shared by two hierarchy paths.
+///
+/// Empty paths share nothing. The comparison is exact per component, not
+/// per character, so `"top/alu1"` and `"top/alu2"` share only `"top"`.
+///
+/// # Example
+///
+/// ```
+/// use mmp_netlist::hierarchy_affinity;
+///
+/// assert_eq!(hierarchy_affinity("top/cpu/alu", "top/cpu/fpu"), 2);
+/// assert_eq!(hierarchy_affinity("top/alu1", "top/alu2"), 1);
+/// assert_eq!(hierarchy_affinity("a/b", "c/d"), 0);
+/// assert_eq!(hierarchy_affinity("", "top"), 0);
+/// ```
+pub fn hierarchy_affinity(a: &str, b: &str) -> usize {
+    if a.is_empty() || b.is_empty() {
+        return 0;
+    }
+    a.split('/')
+        .zip(b.split('/'))
+        .take_while(|(x, y)| x == y)
+        .count()
+}
+
+/// Depth (component count) of a hierarchy path; empty paths have depth 0.
+pub fn hierarchy_depth(path: &str) -> usize {
+    if path.is_empty() {
+        0
+    } else {
+        path.split('/').count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identical_paths_share_full_depth() {
+        assert_eq!(hierarchy_affinity("top/a/b", "top/a/b"), 3);
+    }
+
+    #[test]
+    fn affinity_is_component_wise_not_prefix_string() {
+        // "alu1" vs "alu10" share characters but not the component.
+        assert_eq!(hierarchy_affinity("top/alu1", "top/alu10"), 1);
+    }
+
+    #[test]
+    fn depth_counts_components() {
+        assert_eq!(hierarchy_depth(""), 0);
+        assert_eq!(hierarchy_depth("top"), 1);
+        assert_eq!(hierarchy_depth("top/a/b/c"), 4);
+    }
+
+    proptest! {
+        #[test]
+        fn affinity_is_symmetric(a in "[a-c]{1,3}(/[a-c]{1,3}){0,4}",
+                                 b in "[a-c]{1,3}(/[a-c]{1,3}){0,4}") {
+            prop_assert_eq!(hierarchy_affinity(&a, &b), hierarchy_affinity(&b, &a));
+        }
+
+        #[test]
+        fn affinity_bounded_by_min_depth(a in "[a-c]{1,3}(/[a-c]{1,3}){0,4}",
+                                         b in "[a-c]{1,3}(/[a-c]{1,3}){0,4}") {
+            let aff = hierarchy_affinity(&a, &b);
+            prop_assert!(aff <= hierarchy_depth(&a).min(hierarchy_depth(&b)));
+        }
+
+        #[test]
+        fn self_affinity_equals_depth(a in "[a-c]{1,3}(/[a-c]{1,3}){0,4}") {
+            prop_assert_eq!(hierarchy_affinity(&a, &a), hierarchy_depth(&a));
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Typed indices into a [`Design`](crate::Design).
+//!
+//! Macros, cells, pads and nets live in dense `Vec`s inside the design; the
+//! newtypes here keep the index spaces statically apart (C-NEWTYPE) so a
+//! macro index can never be used to address a cell.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_newtype {
+    ($(#[$doc:meta])* $name:ident, $tag:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+        )]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The dense vector index this id addresses.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Builds an id from a dense vector index.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `index` exceeds `u32::MAX`.
+            #[inline]
+            pub fn from_index(index: usize) -> Self {
+                $name(u32::try_from(index).expect("id index exceeds u32 range"))
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+
+        impl From<$name> for usize {
+            #[inline]
+            fn from(id: $name) -> usize {
+                id.index()
+            }
+        }
+    };
+}
+
+id_newtype!(
+    /// Identifies a macro (movable or preplaced) within a design.
+    MacroId, "M"
+);
+id_newtype!(
+    /// Identifies a standard cell within a design.
+    CellId, "C"
+);
+id_newtype!(
+    /// Identifies a fixed I/O pad within a design.
+    PadId, "P"
+);
+id_newtype!(
+    /// Identifies a net within a design.
+    NetId, "N"
+);
+
+/// A reference to any placeable or fixed node a net pin can attach to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum NodeRef {
+    /// A macro (movable or preplaced).
+    Macro(MacroId),
+    /// A standard cell.
+    Cell(CellId),
+    /// A fixed I/O pad.
+    Pad(PadId),
+}
+
+impl fmt::Display for NodeRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeRef::Macro(id) => write!(f, "{id}"),
+            NodeRef::Cell(id) => write!(f, "{id}"),
+            NodeRef::Pad(id) => write!(f, "{id}"),
+        }
+    }
+}
+
+impl From<MacroId> for NodeRef {
+    fn from(id: MacroId) -> Self {
+        NodeRef::Macro(id)
+    }
+}
+
+impl From<CellId> for NodeRef {
+    fn from(id: CellId) -> Self {
+        NodeRef::Cell(id)
+    }
+}
+
+impl From<PadId> for NodeRef {
+    fn from(id: PadId) -> Self {
+        NodeRef::Pad(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_roundtrip_indices() {
+        assert_eq!(MacroId::from_index(7).index(), 7);
+        assert_eq!(CellId::from_index(0).index(), 0);
+        assert_eq!(NetId::from_index(123).index(), 123);
+        assert_eq!(usize::from(PadId(9)), 9);
+    }
+
+    #[test]
+    fn display_tags_distinguish_spaces() {
+        assert_eq!(MacroId(3).to_string(), "M3");
+        assert_eq!(CellId(3).to_string(), "C3");
+        assert_eq!(PadId(3).to_string(), "P3");
+        assert_eq!(NetId(3).to_string(), "N3");
+        assert_eq!(NodeRef::Macro(MacroId(1)).to_string(), "M1");
+    }
+
+    #[test]
+    fn node_ref_from_ids() {
+        assert_eq!(NodeRef::from(MacroId(1)), NodeRef::Macro(MacroId(1)));
+        assert_eq!(NodeRef::from(CellId(2)), NodeRef::Cell(CellId(2)));
+        assert_eq!(NodeRef::from(PadId(3)), NodeRef::Pad(PadId(3)));
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        use std::collections::HashSet;
+        assert!(MacroId(1) < MacroId(2));
+        let set: HashSet<NodeRef> = [NodeRef::Macro(MacroId(0)), NodeRef::Cell(CellId(0))]
+            .into_iter()
+            .collect();
+        assert_eq!(set.len(), 2);
+    }
+}

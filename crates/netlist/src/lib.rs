@@ -1,0 +1,57 @@
+#![warn(missing_docs)]
+
+//! Netlist data model for the MMP macro placer.
+//!
+//! The paper's pipeline consumes mixed-size designs: movable macros,
+//! preplaced macros, I/O pads, standard cells and the nets connecting them,
+//! plus (for the industrial benchmarks) design-hierarchy names. This crate
+//! provides:
+//!
+//! * the typed [`Design`] model with id-indexed [`Macro`]s, [`Cell`]s,
+//!   [`Pad`]s and [`Net`]s,
+//! * [`Placement`] — the mutable coordinate assignment scored by HPWL,
+//! * a [`DesignBuilder`] with validation,
+//! * a Bookshelf-subset reader/writer ([`bookshelf`]),
+//! * deterministic **synthetic benchmark generators** ([`generator`])
+//!   reproducing the published statistics of the ICCAD04 (`ibm01`–`ibm18`)
+//!   and industrial (`Cir1`–`Cir6`) suites the paper evaluates on — the real
+//!   files are not redistributable, so we synthesise workloads with the same
+//!   size and connectivity shape (see DESIGN.md §3).
+//!
+//! # Example
+//!
+//! ```
+//! use mmp_netlist::{DesignBuilder, NodeRef};
+//! use mmp_geom::{Point, Rect};
+//!
+//! # fn main() -> Result<(), mmp_netlist::BuildDesignError> {
+//! let mut b = DesignBuilder::new("demo", Rect::new(0.0, 0.0, 100.0, 100.0));
+//! let m = b.add_macro("m0", 20.0, 10.0, "top/alu");
+//! let c = b.add_cell("c0", 1.0, 1.0, "top/alu");
+//! b.add_net("n0", [(NodeRef::Macro(m), Point::ORIGIN), (NodeRef::Cell(c), Point::ORIGIN)], 1.0)?;
+//! let design = b.build()?;
+//! assert_eq!(design.macros().len(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod bookshelf;
+pub mod bookshelf_aux;
+pub mod builder;
+pub mod design;
+pub mod generator;
+pub mod hierarchy;
+pub mod ids;
+pub mod orientation;
+pub mod placement;
+pub mod stats;
+pub mod svg;
+
+pub use builder::{BuildDesignError, DesignBuilder};
+pub use design::{Cell, Design, Macro, Net, Pad, Pin};
+pub use generator::{iccad04_suite, industrial_suite, SyntheticSpec};
+pub use hierarchy::hierarchy_affinity;
+pub use ids::{CellId, MacroId, NetId, NodeRef, PadId};
+pub use orientation::Orientation;
+pub use placement::Placement;
+pub use stats::DesignStats;

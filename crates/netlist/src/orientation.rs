@@ -1,0 +1,176 @@
+//! Macro orientations (DEF-style N / S / FN / FS).
+//!
+//! Real flows may flip or rotate macros to shorten pin access; the paper's
+//! method places axis-aligned outlines only, so orientation is an
+//! *extension*: [`Placement`](crate::Placement) tracks one orientation per
+//! macro (default [`Orientation::N`]) and applies it when resolving pin
+//! positions. Rotations that swap width/height (E/W family) are excluded —
+//! they would invalidate the grid footprints the RL state is built from —
+//! leaving the four axis-preserving orientations.
+
+use mmp_geom::Point;
+use serde::{Deserialize, Serialize};
+
+/// An axis-preserving macro orientation.
+///
+/// The transform maps a pin offset `(dx, dy)` (relative to the macro
+/// center) as follows:
+///
+/// | orientation | meaning | offset map |
+/// |---|---|---|
+/// | `N` | as designed | `( dx,  dy)` |
+/// | `S` | rotated 180° | `(−dx, −dy)` |
+/// | `FN` | flipped about the y axis | `(−dx,  dy)` |
+/// | `FS` | flipped about the x axis | `( dx, −dy)` |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Orientation {
+    /// North: as designed.
+    #[default]
+    N,
+    /// South: rotated 180°.
+    S,
+    /// Flipped north: mirrored about the vertical axis.
+    FN,
+    /// Flipped south: mirrored about the horizontal axis.
+    FS,
+}
+
+impl Orientation {
+    /// All four orientations, for move enumeration.
+    pub const ALL: [Orientation; 4] = [
+        Orientation::N,
+        Orientation::S,
+        Orientation::FN,
+        Orientation::FS,
+    ];
+
+    /// Applies the orientation to a center-relative pin offset.
+    #[inline]
+    pub fn apply(self, offset: Point) -> Point {
+        match self {
+            Orientation::N => offset,
+            Orientation::S => Point::new(-offset.x, -offset.y),
+            Orientation::FN => Point::new(-offset.x, offset.y),
+            Orientation::FS => Point::new(offset.x, -offset.y),
+        }
+    }
+
+    /// The orientation that undoes this one (each is its own inverse).
+    #[inline]
+    pub fn inverse(self) -> Orientation {
+        self
+    }
+
+    /// Composition: applying `self` after `other`.
+    pub fn compose(self, other: Orientation) -> Orientation {
+        use Orientation::*;
+        // The group is Z2 × Z2 on (flip-x, flip-y).
+        let fx = |o: Orientation| matches!(o, S | FN);
+        let fy = |o: Orientation| matches!(o, S | FS);
+        match (fx(self) ^ fx(other), fy(self) ^ fy(other)) {
+            (false, false) => N,
+            (true, true) => S,
+            (true, false) => FN,
+            (false, true) => FS,
+        }
+    }
+}
+
+impl std::fmt::Display for Orientation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Orientation::N => "N",
+            Orientation::S => "S",
+            Orientation::FN => "FN",
+            Orientation::FS => "FS",
+        };
+        write!(f, "{s}")
+    }
+}
+
+impl std::str::FromStr for Orientation {
+    type Err = ParseOrientationError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "N" => Ok(Orientation::N),
+            "S" => Ok(Orientation::S),
+            "FN" => Ok(Orientation::FN),
+            "FS" => Ok(Orientation::FS),
+            _ => Err(ParseOrientationError),
+        }
+    }
+}
+
+/// Error parsing an [`Orientation`] from a string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParseOrientationError;
+
+impl std::fmt::Display for ParseOrientationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "orientation must be one of N, S, FN, FS")
+    }
+}
+
+impl std::error::Error for ParseOrientationError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn offset_maps_match_the_table() {
+        let p = Point::new(2.0, 3.0);
+        assert_eq!(Orientation::N.apply(p), Point::new(2.0, 3.0));
+        assert_eq!(Orientation::S.apply(p), Point::new(-2.0, -3.0));
+        assert_eq!(Orientation::FN.apply(p), Point::new(-2.0, 3.0));
+        assert_eq!(Orientation::FS.apply(p), Point::new(2.0, -3.0));
+    }
+
+    #[test]
+    fn each_orientation_is_an_involution() {
+        let p = Point::new(1.5, -0.5);
+        for o in Orientation::ALL {
+            assert_eq!(o.apply(o.apply(p)), p, "{o} twice must be identity");
+            assert_eq!(o.compose(o), Orientation::N);
+        }
+    }
+
+    #[test]
+    fn composition_matches_sequential_application() {
+        let p = Point::new(1.0, 2.0);
+        for a in Orientation::ALL {
+            for b in Orientation::ALL {
+                assert_eq!(
+                    a.compose(b).apply(p),
+                    a.apply(b.apply(p)),
+                    "compose({a}, {b})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        for o in Orientation::ALL {
+            let s = o.to_string();
+            assert_eq!(s.parse::<Orientation>().unwrap(), o);
+        }
+        assert!("E".parse::<Orientation>().is_err());
+        let e = "E".parse::<Orientation>().unwrap_err();
+        assert!(e.to_string().contains("N, S, FN, FS"));
+    }
+
+    proptest! {
+        #[test]
+        fn apply_preserves_magnitude(x in -100.0f64..100.0, y in -100.0f64..100.0) {
+            let p = Point::new(x, y);
+            for o in Orientation::ALL {
+                let q = o.apply(p);
+                prop_assert!((q.x.abs() - p.x.abs()).abs() < 1e-12);
+                prop_assert!((q.y.abs() - p.y.abs()).abs() < 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,319 @@
+//! Coordinate assignments and HPWL scoring.
+
+use crate::design::Design;
+use crate::ids::{CellId, MacroId, NodeRef};
+use crate::orientation::Orientation;
+use mmp_geom::{BoundingBox, Point, Rect};
+use serde::{Deserialize, Serialize};
+
+/// A full coordinate assignment for a design: one **center** position per
+/// macro and per cell. Pads are fixed in the [`Design`] itself.
+///
+/// Positions of preplaced macros are kept in sync with their fixed centers
+/// by [`Placement::initial`] and must not be moved (the setters debug-assert
+/// this).
+///
+/// # Example
+///
+/// ```
+/// use mmp_netlist::{DesignBuilder, NodeRef, Placement};
+/// use mmp_geom::{Point, Rect};
+///
+/// # fn main() -> Result<(), mmp_netlist::BuildDesignError> {
+/// let mut b = DesignBuilder::new("d", Rect::new(0.0, 0.0, 10.0, 10.0));
+/// let m = b.add_macro("m", 2.0, 2.0, "");
+/// let p = b.add_pad("p", Point::new(0.0, 0.0));
+/// b.add_net("n", [(m.into(), Point::ORIGIN), (p.into(), Point::ORIGIN)], 1.0)?;
+/// let d = b.build()?;
+/// let mut pl = Placement::initial(&d);
+/// pl.set_macro_center(m, Point::new(3.0, 4.0));
+/// assert_eq!(pl.hpwl(&d), 7.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Placement {
+    macro_centers: Vec<Point>,
+    cell_centers: Vec<Point>,
+    /// One orientation per macro (default N); extension over the paper,
+    /// see [`crate::orientation`].
+    #[serde(default)]
+    macro_orientations: Vec<Orientation>,
+}
+
+impl Placement {
+    /// The canonical starting placement: preplaced macros at their fixed
+    /// centers, everything else at the region center.
+    pub fn initial(design: &Design) -> Self {
+        let c = design.region().center();
+        let macro_centers = design
+            .macros()
+            .iter()
+            .map(|m| m.fixed_center.unwrap_or(c))
+            .collect();
+        let cell_centers = vec![c; design.cells().len()];
+        Placement {
+            macro_orientations: vec![Orientation::N; design.macros().len()],
+            macro_centers,
+            cell_centers,
+        }
+    }
+
+    /// Orientation of macro `id` (N unless set).
+    #[inline]
+    pub fn macro_orientation(&self, id: MacroId) -> Orientation {
+        self.macro_orientations
+            .get(id.index())
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// Sets the orientation of macro `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` is out of range.
+    #[inline]
+    pub fn set_macro_orientation(&mut self, id: MacroId, orientation: Orientation) {
+        self.macro_orientations[id.index()] = orientation;
+    }
+
+    /// Center of macro `id`.
+    #[inline]
+    pub fn macro_center(&self, id: MacroId) -> Point {
+        self.macro_centers[id.index()]
+    }
+
+    /// Center of cell `id`.
+    #[inline]
+    pub fn cell_center(&self, id: CellId) -> Point {
+        self.cell_centers[id.index()]
+    }
+
+    /// Moves macro `id` so its center is `p`.
+    #[inline]
+    pub fn set_macro_center(&mut self, id: MacroId, p: Point) {
+        self.macro_centers[id.index()] = p;
+    }
+
+    /// Moves cell `id` so its center is `p`.
+    #[inline]
+    pub fn set_cell_center(&mut self, id: CellId, p: Point) {
+        self.cell_centers[id.index()] = p;
+    }
+
+    /// Number of macro positions stored.
+    #[inline]
+    pub fn macro_count(&self) -> usize {
+        self.macro_centers.len()
+    }
+
+    /// Number of cell positions stored.
+    #[inline]
+    pub fn cell_count(&self) -> usize {
+        self.cell_centers.len()
+    }
+
+    /// Outline rectangle of macro `id` under this placement.
+    pub fn macro_rect(&self, design: &Design, id: MacroId) -> Rect {
+        let m = design.macro_(id);
+        Rect::centered_at(self.macro_center(id), m.width, m.height)
+    }
+
+    /// Absolute position of a pin under this placement. Macro pin offsets
+    /// are transformed by the macro's orientation.
+    pub fn pin_position(&self, design: &Design, node: NodeRef, offset: Point) -> Point {
+        match node {
+            NodeRef::Macro(id) => {
+                self.macro_center(id) + self.macro_orientation(id).apply(offset)
+            }
+            NodeRef::Cell(id) => self.cell_center(id) + offset,
+            NodeRef::Pad(id) => design.pad(id).position,
+        }
+    }
+
+    /// HPWL of one net under this placement.
+    pub fn net_hpwl(&self, design: &Design, net: crate::ids::NetId) -> f64 {
+        let mut bb = BoundingBox::empty();
+        for pin in &design.net(net).pins {
+            bb.extend(self.pin_position(design, pin.node, pin.offset));
+        }
+        bb.half_perimeter()
+    }
+
+    /// Total (unweighted) HPWL over all nets — the W of Eq. 9 and the metric
+    /// of Tables II and III.
+    pub fn hpwl(&self, design: &Design) -> f64 {
+        (0..design.nets().len())
+            .map(|i| self.net_hpwl(design, crate::ids::NetId::from_index(i)))
+            .sum()
+    }
+
+    /// Weight-scaled HPWL, Σ λ_n · hpwl(n).
+    pub fn weighted_hpwl(&self, design: &Design) -> f64 {
+        (0..design.nets().len())
+            .map(|i| {
+                let id = crate::ids::NetId::from_index(i);
+                design.net(id).weight * self.net_hpwl(design, id)
+            })
+            .sum()
+    }
+
+    /// Total pairwise overlap area between macro outlines (movable and
+    /// preplaced). Zero certifies a legal macro placement.
+    pub fn macro_overlap_area(&self, design: &Design) -> f64 {
+        let rects: Vec<Rect> = (0..design.macros().len())
+            .map(|i| self.macro_rect(design, MacroId::from_index(i)))
+            .collect();
+        let mut total = 0.0;
+        for i in 0..rects.len() {
+            for j in (i + 1)..rects.len() {
+                total += rects[i].overlap_area(&rects[j]);
+            }
+        }
+        total
+    }
+
+    /// `true` when every macro outline lies inside the placement region.
+    pub fn macros_inside_region(&self, design: &Design) -> bool {
+        (0..design.macros().len()).all(|i| {
+            design
+                .region()
+                .contains_rect(&self.macro_rect(design, MacroId::from_index(i)))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DesignBuilder, NetId};
+
+    fn two_macro_design() -> (Design, MacroId, MacroId) {
+        let mut b = DesignBuilder::new("d", Rect::new(0.0, 0.0, 100.0, 100.0));
+        let m0 = b.add_macro("m0", 10.0, 10.0, "");
+        let m1 = b.add_macro("m1", 10.0, 10.0, "");
+        b.add_net(
+            "n",
+            [
+                (NodeRef::Macro(m0), Point::ORIGIN),
+                (NodeRef::Macro(m1), Point::ORIGIN),
+            ],
+            2.0,
+        )
+        .unwrap();
+        (b.build().unwrap(), m0, m1)
+    }
+
+    #[test]
+    fn initial_placement_centers_everything() {
+        let (d, m0, _) = two_macro_design();
+        let pl = Placement::initial(&d);
+        assert_eq!(pl.macro_center(m0), Point::new(50.0, 50.0));
+        assert_eq!(pl.hpwl(&d), 0.0);
+    }
+
+    #[test]
+    fn initial_respects_preplaced() {
+        let mut b = DesignBuilder::new("d", Rect::new(0.0, 0.0, 100.0, 100.0));
+        let m = b.add_preplaced_macro("m", 10.0, 10.0, "", Point::new(20.0, 30.0));
+        let d = b.build().unwrap();
+        let pl = Placement::initial(&d);
+        assert_eq!(pl.macro_center(m), Point::new(20.0, 30.0));
+    }
+
+    #[test]
+    fn hpwl_tracks_moves_and_weights() {
+        let (d, m0, m1) = two_macro_design();
+        let mut pl = Placement::initial(&d);
+        pl.set_macro_center(m0, Point::new(0.0, 0.0));
+        pl.set_macro_center(m1, Point::new(30.0, 40.0));
+        assert_eq!(pl.hpwl(&d), 70.0);
+        assert_eq!(pl.weighted_hpwl(&d), 140.0);
+        assert_eq!(pl.net_hpwl(&d, NetId(0)), 70.0);
+    }
+
+    #[test]
+    fn pin_offsets_shift_positions() {
+        let mut b = DesignBuilder::new("d", Rect::new(0.0, 0.0, 100.0, 100.0));
+        let m = b.add_macro("m", 10.0, 10.0, "");
+        let p = b.add_pad("p", Point::new(0.0, 0.0));
+        b.add_net(
+            "n",
+            [
+                (NodeRef::Macro(m), Point::new(2.0, -3.0)),
+                (NodeRef::Pad(p), Point::ORIGIN),
+            ],
+            1.0,
+        )
+        .unwrap();
+        let d = b.build().unwrap();
+        let mut pl = Placement::initial(&d);
+        pl.set_macro_center(m, Point::new(10.0, 10.0));
+        // pin at (12, 7), pad at (0, 0) -> hpwl 19
+        assert_eq!(pl.hpwl(&d), 19.0);
+    }
+
+    #[test]
+    fn overlap_area_detects_collision() {
+        let (d, m0, m1) = two_macro_design();
+        let mut pl = Placement::initial(&d);
+        pl.set_macro_center(m0, Point::new(50.0, 50.0));
+        pl.set_macro_center(m1, Point::new(55.0, 50.0));
+        assert_eq!(pl.macro_overlap_area(&d), 50.0);
+        pl.set_macro_center(m1, Point::new(65.0, 50.0));
+        assert_eq!(pl.macro_overlap_area(&d), 0.0);
+    }
+
+    #[test]
+    fn region_containment_check() {
+        let (d, m0, _) = two_macro_design();
+        let mut pl = Placement::initial(&d);
+        assert!(pl.macros_inside_region(&d));
+        pl.set_macro_center(m0, Point::new(1.0, 50.0)); // sticks out left
+        assert!(!pl.macros_inside_region(&d));
+    }
+
+    #[test]
+    fn orientation_transforms_macro_pins() {
+        use crate::orientation::Orientation;
+        let mut b = DesignBuilder::new("o", Rect::new(0.0, 0.0, 100.0, 100.0));
+        let m = b.add_macro("m", 10.0, 10.0, "");
+        let p = b.add_pad("p", Point::new(0.0, 0.0));
+        b.add_net(
+            "n",
+            [
+                (NodeRef::Macro(m), Point::new(4.0, 0.0)),
+                (NodeRef::Pad(p), Point::ORIGIN),
+            ],
+            1.0,
+        )
+        .unwrap();
+        let d = b.build().unwrap();
+        let mut pl = Placement::initial(&d);
+        pl.set_macro_center(m, Point::new(50.0, 0.0));
+        assert_eq!(pl.macro_orientation(m), Orientation::N);
+        let north = pl.hpwl(&d); // pin at (54, 0) -> 54
+        pl.set_macro_orientation(m, Orientation::FN);
+        let flipped = pl.hpwl(&d); // pin at (46, 0) -> 46
+        assert_eq!(north, 54.0);
+        assert_eq!(flipped, 46.0);
+        assert!(flipped < north, "flipping toward the pad shortens the net");
+    }
+
+    #[test]
+    fn orientation_defaults_survive_equality() {
+        let (d, _, _) = two_macro_design();
+        let a = Placement::initial(&d);
+        let b = Placement::initial(&d);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn macro_rect_is_centered() {
+        let (d, m0, _) = two_macro_design();
+        let mut pl = Placement::initial(&d);
+        pl.set_macro_center(m0, Point::new(20.0, 20.0));
+        assert_eq!(pl.macro_rect(&d, m0), Rect::new(15.0, 15.0, 10.0, 10.0));
+    }
+}

@@ -1,0 +1,120 @@
+//! Summary statistics of a design, mirroring the benchmark tables of the
+//! paper (columns 2–6 of Table II, rows 2–4 of Table III).
+
+use crate::design::Design;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Headline statistics of a [`Design`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DesignStats {
+    /// Design name.
+    pub name: String,
+    /// Number of movable macros.
+    pub movable_macros: usize,
+    /// Number of preplaced macros.
+    pub preplaced_macros: usize,
+    /// Number of I/O pads.
+    pub io_pads: usize,
+    /// Number of standard cells.
+    pub std_cells: usize,
+    /// Number of nets.
+    pub nets: usize,
+    /// Mean net degree (pins per net).
+    pub avg_net_degree: f64,
+    /// Fraction of region area occupied by nodes.
+    pub utilization: f64,
+}
+
+impl DesignStats {
+    /// Computes the statistics of `design`.
+    pub fn of(design: &Design) -> Self {
+        let total_pins: usize = design.nets().iter().map(|n| n.pins.len()).sum();
+        let nets = design.nets().len();
+        DesignStats {
+            name: design.name().to_owned(),
+            movable_macros: design.movable_macros().len(),
+            preplaced_macros: design.preplaced_macros().len(),
+            io_pads: design.pads().len(),
+            std_cells: design.cells().len(),
+            nets,
+            avg_net_degree: if nets == 0 {
+                0.0
+            } else {
+                total_pins as f64 / nets as f64
+            },
+            utilization: design.utilization(),
+        }
+    }
+}
+
+impl fmt::Display for DesignStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} mov. macros, {} prep. macros, {} pads, {} cells, {} nets \
+             (avg degree {:.2}, util {:.1}%)",
+            self.name,
+            self.movable_macros,
+            self.preplaced_macros,
+            self.io_pads,
+            self.std_cells,
+            self.nets,
+            self.avg_net_degree,
+            self.utilization * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DesignBuilder, NodeRef};
+    use mmp_geom::{Point, Rect};
+
+    #[test]
+    fn stats_of_small_design() {
+        let mut b = DesignBuilder::new("s", Rect::new(0.0, 0.0, 10.0, 10.0));
+        let m = b.add_macro("m", 2.0, 2.0, "");
+        let q = b.add_preplaced_macro("q", 1.0, 1.0, "", Point::new(5.0, 5.0));
+        let c = b.add_cell("c", 1.0, 1.0, "");
+        let p = b.add_pad("p", Point::new(0.0, 0.0));
+        b.add_net(
+            "n0",
+            [
+                (NodeRef::Macro(m), Point::ORIGIN),
+                (NodeRef::Cell(c), Point::ORIGIN),
+            ],
+            1.0,
+        )
+        .unwrap();
+        b.add_net(
+            "n1",
+            [
+                (NodeRef::Macro(q), Point::ORIGIN),
+                (NodeRef::Cell(c), Point::ORIGIN),
+                (NodeRef::Pad(p), Point::ORIGIN),
+            ],
+            1.0,
+        )
+        .unwrap();
+        let s = DesignStats::of(&b.build().unwrap());
+        assert_eq!(s.movable_macros, 1);
+        assert_eq!(s.preplaced_macros, 1);
+        assert_eq!(s.io_pads, 1);
+        assert_eq!(s.std_cells, 1);
+        assert_eq!(s.nets, 2);
+        assert!((s.avg_net_degree - 2.5).abs() < 1e-12);
+        assert!((s.utilization - 0.06).abs() < 1e-12);
+        let line = s.to_string();
+        assert!(line.contains("1 mov. macros"));
+    }
+
+    #[test]
+    fn stats_of_netless_design() {
+        let b = DesignBuilder::new("empty", Rect::new(0.0, 0.0, 1.0, 1.0));
+        let s = DesignStats::of(&b.build().unwrap());
+        assert_eq!(s.nets, 0);
+        assert_eq!(s.avg_net_degree, 0.0);
+    }
+}

@@ -1,0 +1,188 @@
+//! SVG rendering of placements — the quickest way to eyeball a result.
+//!
+//! Produces a self-contained SVG: region outline, preplaced macros (gray),
+//! movable macros (blue), cells (small green dots, optionally subsampled),
+//! pads (orange ticks). Purely `std`; no drawing dependencies.
+
+use crate::design::Design;
+use crate::ids::MacroId;
+use crate::placement::Placement;
+use std::io::{self, Write};
+
+/// Rendering options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SvgOptions {
+    /// Output canvas width in pixels (height follows the aspect ratio).
+    pub width_px: f64,
+    /// Draw at most this many cells (subsampled uniformly); 0 = none.
+    pub max_cells: usize,
+    /// Label macros with their names.
+    pub macro_labels: bool,
+}
+
+impl Default for SvgOptions {
+    fn default() -> Self {
+        SvgOptions {
+            width_px: 800.0,
+            max_cells: 2_000,
+            macro_labels: false,
+        }
+    }
+}
+
+/// Writes an SVG rendering of `placement` to `w`. A mut reference can be
+/// passed as the writer.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `w`.
+///
+/// # Example
+///
+/// ```
+/// use mmp_netlist::{svg, Placement, SyntheticSpec};
+///
+/// # fn main() -> std::io::Result<()> {
+/// let design = SyntheticSpec::small("v", 4, 0, 8, 40, 60, false, 1).generate();
+/// let placement = Placement::initial(&design);
+/// let mut out = Vec::new();
+/// svg::write(&design, &placement, &svg::SvgOptions::default(), &mut out)?;
+/// assert!(String::from_utf8_lossy(&out).starts_with("<svg"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn write<W: Write>(
+    design: &Design,
+    placement: &Placement,
+    options: &SvgOptions,
+    mut w: W,
+) -> io::Result<()> {
+    let region = design.region();
+    let scale = options.width_px / region.width;
+    let height_px = region.height * scale;
+    // SVG y grows downward; flip so the placement's +y is up.
+    let tx = |x: f64| (x - region.x) * scale;
+    let ty = |y: f64| height_px - (y - region.y) * scale;
+
+    writeln!(
+        w,
+        r##"<svg xmlns="http://www.w3.org/2000/svg" width="{:.0}" height="{:.0}" viewBox="0 0 {:.0} {:.0}">"##,
+        options.width_px, height_px, options.width_px, height_px
+    )?;
+    writeln!(
+        w,
+        r##"<rect x="0" y="0" width="{:.1}" height="{:.1}" fill="#fbfbf8" stroke="#333" stroke-width="1"/>"##,
+        options.width_px, height_px
+    )?;
+
+    // Cells first (underneath).
+    if options.max_cells > 0 && !design.cells().is_empty() {
+        let n = design.cells().len();
+        let step = (n / options.max_cells.max(1)).max(1);
+        for i in (0..n).step_by(step) {
+            let c = placement.cell_center(crate::CellId::from_index(i));
+            writeln!(
+                w,
+                r##"<circle cx="{:.1}" cy="{:.1}" r="1.2" fill="#2e8b57" fill-opacity="0.5"/>"##,
+                tx(c.x),
+                ty(c.y)
+            )?;
+        }
+    }
+
+    // Macros.
+    for (i, m) in design.macros().iter().enumerate() {
+        let r = placement.macro_rect(design, MacroId::from_index(i));
+        let (fill, stroke) = if m.is_preplaced() {
+            ("#b0b0b0", "#606060")
+        } else {
+            ("#6fa8dc", "#1f4e79")
+        };
+        writeln!(
+            w,
+            r##"<rect x="{:.1}" y="{:.1}" width="{:.1}" height="{:.1}" fill="{fill}" fill-opacity="0.75" stroke="{stroke}" stroke-width="1"/>"##,
+            tx(r.x),
+            ty(r.top()),
+            r.width * scale,
+            r.height * scale
+        )?;
+        if options.macro_labels {
+            let c = r.center();
+            writeln!(
+                w,
+                r##"<text x="{:.1}" y="{:.1}" font-size="9" text-anchor="middle" fill="#1a1a1a">{}</text>"##,
+                tx(c.x),
+                ty(c.y),
+                m.name
+            )?;
+        }
+    }
+
+    // Pads.
+    for p in design.pads() {
+        writeln!(
+            w,
+            r##"<rect x="{:.1}" y="{:.1}" width="4" height="4" fill="#e69138"/>"##,
+            tx(p.position.x) - 2.0,
+            ty(p.position.y) - 2.0
+        )?;
+    }
+    writeln!(w, "</svg>")?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SyntheticSpec;
+
+    fn render(macro_labels: bool, max_cells: usize) -> String {
+        let design = SyntheticSpec::small("svg", 5, 2, 6, 50, 80, true, 3).generate();
+        let placement = Placement::initial(&design);
+        let mut out = Vec::new();
+        write(
+            &design,
+            &placement,
+            &SvgOptions {
+                width_px: 400.0,
+                max_cells,
+                macro_labels,
+            },
+            &mut out,
+        )
+        .unwrap();
+        String::from_utf8(out).unwrap()
+    }
+
+    #[test]
+    fn produces_well_formed_svg() {
+        let svg = render(false, 100);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        // 7 macros → 7 macro rects (plus background rect and pad rects).
+        assert_eq!(svg.matches("fill-opacity=\"0.75\"").count(), 7);
+    }
+
+    #[test]
+    fn labels_appear_when_requested() {
+        assert!(!render(false, 100).contains("<text"));
+        let labeled = render(true, 100);
+        assert!(labeled.contains("<text"));
+        assert!(labeled.contains(">m0<"));
+    }
+
+    #[test]
+    fn cells_can_be_omitted() {
+        let no_cells = render(false, 0);
+        assert!(!no_cells.contains("<circle"));
+        let with_cells = render(false, 10);
+        assert!(with_cells.contains("<circle"));
+    }
+
+    #[test]
+    fn preplaced_macros_render_gray() {
+        let svg = render(false, 0);
+        assert!(svg.contains("#b0b0b0"));
+        assert!(svg.contains("#6fa8dc"));
+    }
+}

@@ -1,0 +1,139 @@
+//! ReLU and softmax.
+
+use crate::layer::{Layer, Param};
+use crate::tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// ReLU as a layer (caches the activation mask for backward).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Relu {
+    #[serde(skip)]
+    mask: Option<Vec<bool>>,
+}
+
+impl Relu {
+    /// A fresh ReLU layer.
+    pub fn new() -> Self {
+        Relu::default()
+    }
+}
+
+impl Layer for Relu {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        let mut out = input.clone();
+        let mask: Vec<bool> = input.as_slice().iter().map(|&v| v > 0.0).collect();
+        for (v, &m) in out.as_mut_slice().iter_mut().zip(&mask) {
+            if !m {
+                *v = 0.0;
+            }
+        }
+        self.mask = Some(mask);
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mask = self.mask.take().expect("backward without forward");
+        let mut grad_in = grad_out.clone();
+        for (g, m) in grad_in.as_mut_slice().iter_mut().zip(mask) {
+            if !m {
+                *g = 0.0;
+            }
+        }
+        grad_in
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+}
+
+/// Elementwise ReLU of a slice (functional form).
+pub fn relu(x: &[f32]) -> Vec<f32> {
+    x.iter().map(|&v| v.max(0.0)).collect()
+}
+
+/// Gradient of [`relu`]: passes `grad` where the forward input was positive.
+pub fn relu_backward(x: &[f32], grad: &[f32]) -> Vec<f32> {
+    x.iter()
+        .zip(grad)
+        .map(|(&v, &g)| if v > 0.0 { g } else { 0.0 })
+        .collect()
+}
+
+/// Numerically stable softmax of a slice.
+///
+/// An all-`-inf` input yields the uniform distribution rather than NaNs
+/// (every action masked ⇒ no information).
+pub fn softmax(logits: &[f32]) -> Vec<f32> {
+    if logits.is_empty() {
+        return Vec::new();
+    }
+    let max = logits.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    if !max.is_finite() {
+        return vec![1.0 / logits.len() as f32; logits.len()];
+    }
+    let exps: Vec<f32> = logits.iter().map(|&l| (l - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn relu_layer_masks_negatives() {
+        let mut layer = Relu::new();
+        let x = Tensor::from_vec(&[4], vec![-1.0, 0.0, 2.0, -3.0]);
+        let y = layer.forward(&x, true);
+        assert_eq!(y.as_slice(), &[0.0, 0.0, 2.0, 0.0]);
+        let g = layer.backward(&Tensor::from_vec(&[4], vec![1.0; 4]));
+        assert_eq!(g.as_slice(), &[0.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn functional_relu_matches_layer() {
+        let x = vec![-2.0, 5.0, 0.0];
+        assert_eq!(relu(&x), vec![0.0, 5.0, 0.0]);
+        assert_eq!(relu_backward(&x, &[1.0, 1.0, 1.0]), vec![0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn softmax_known_values() {
+        let p = softmax(&[0.0, 0.0]);
+        assert!((p[0] - 0.5).abs() < 1e-6);
+        let p = softmax(&[1000.0, 0.0]);
+        assert!(p[0] > 0.999);
+    }
+
+    #[test]
+    fn softmax_handles_all_masked() {
+        let p = softmax(&[f32::NEG_INFINITY, f32::NEG_INFINITY]);
+        assert_eq!(p, vec![0.5, 0.5]);
+        assert!(softmax(&[]).is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn softmax_is_a_distribution(
+            logits in proptest::collection::vec(-20.0f32..20.0, 1..64),
+        ) {
+            let p = softmax(&logits);
+            let sum: f32 = p.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+
+        #[test]
+        fn softmax_is_shift_invariant(
+            logits in proptest::collection::vec(-10.0f32..10.0, 2..16),
+            shift in -5.0f32..5.0,
+        ) {
+            let a = softmax(&logits);
+            let shifted: Vec<f32> = logits.iter().map(|l| l + shift).collect();
+            let b = softmax(&shifted);
+            for (x, y) in a.iter().zip(&b) {
+                prop_assert!((x - y).abs() < 1e-4);
+            }
+        }
+    }
+}

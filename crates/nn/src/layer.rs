@@ -1,0 +1,75 @@
+//! The layer abstraction: forward, backward, and parameter visitation.
+
+use crate::tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// A trainable parameter: value + accumulated gradient.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Param {
+    /// Parameter values.
+    pub value: Tensor,
+    /// Gradient accumulated by `backward` calls (reset with
+    /// [`Param::zero_grad`]).
+    pub grad: Tensor,
+}
+
+impl Param {
+    /// A parameter initialised to `value` with a zero gradient.
+    pub fn new(value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.shape());
+        Param { value, grad }
+    }
+
+    /// Resets the gradient to zero.
+    pub fn zero_grad(&mut self) {
+        self.grad.fill_zero();
+    }
+}
+
+/// A differentiable layer.
+///
+/// `forward` caches whatever the matching `backward` needs; `backward`
+/// consumes the cache, accumulates parameter gradients and returns the
+/// gradient w.r.t. the layer input. Layers are used strictly in
+/// forward-then-backward pairs (standard tape discipline).
+pub trait Layer {
+    /// Computes the layer output. `train` selects training behaviour
+    /// (batch statistics in batch-norm).
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor;
+
+    /// Propagates `grad_out` (∂loss/∂output) to ∂loss/∂input, accumulating
+    /// parameter gradients.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic when called without a preceding `forward`.
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+
+    /// Visits every trainable parameter (used by optimizers and
+    /// checkpointing).
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param));
+
+    /// Zeroes all parameter gradients.
+    fn zero_grad(&mut self) {
+        self.visit_params(&mut |p| p.zero_grad());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn param_starts_with_zero_grad() {
+        let p = Param::new(Tensor::from_vec(&[2], vec![1.0, 2.0]));
+        assert_eq!(p.grad.as_slice(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn zero_grad_resets() {
+        let mut p = Param::new(Tensor::zeros(&[2]));
+        p.grad.as_mut_slice()[0] = 5.0;
+        p.zero_grad();
+        assert_eq!(p.grad.as_slice(), &[0.0, 0.0]);
+    }
+}

@@ -1,0 +1,139 @@
+//! A sequential container over boxed layers — convenience composition for
+//! straight-line networks (the policy/value net composes its branched
+//! architecture by hand; tools and tests use this for quick models).
+
+use crate::layer::{Layer, Param};
+use crate::tensor::Tensor;
+
+/// Runs layers in order on `forward` and in reverse on `backward`.
+///
+/// # Example
+///
+/// ```
+/// use mmp_nn::{Layer, Linear, Relu, Sequential, Tensor};
+///
+/// let mut net = Sequential::new();
+/// net.push(Linear::new(4, 8, 0));
+/// net.push(Relu::new());
+/// net.push(Linear::new(8, 2, 1));
+/// let out = net.forward(&Tensor::zeros(&[1, 4]), false);
+/// assert_eq!(out.shape(), &[1, 2]);
+/// ```
+#[derive(Default)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// An empty container.
+    pub fn new() -> Self {
+        Sequential { layers: Vec::new() }
+    }
+
+    /// Appends a layer.
+    pub fn push<L: Layer + 'static>(&mut self, layer: L) {
+        self.layers.push(Box::new(layer));
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// `true` when no layer has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+}
+
+impl std::fmt::Debug for Sequential {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Sequential({} layers)", self.layers.len())
+    }
+}
+
+impl Layer for Sequential {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x, train);
+        }
+        x
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut g = grad_out.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        g
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for layer in &mut self.layers {
+            layer.visit_params(f);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Linear, Optimizer, Relu, Sgd};
+
+    #[test]
+    fn empty_sequential_is_identity() {
+        let mut net = Sequential::new();
+        assert!(net.is_empty());
+        let x = Tensor::from_vec(&[1, 3], vec![1.0, 2.0, 3.0]);
+        assert_eq!(net.forward(&x, true), x);
+        assert_eq!(net.backward(&x), x);
+    }
+
+    #[test]
+    fn mlp_learns_a_linear_map() {
+        // Fit y = x0 - x1 with a tiny MLP via SGD.
+        let mut net = Sequential::new();
+        net.push(Linear::new(2, 8, 0));
+        net.push(Relu::new());
+        net.push(Linear::new(8, 1, 1));
+        let mut opt = Sgd::new(0.05, 0.9);
+        let samples: Vec<([f32; 2], f32)> = vec![
+            ([1.0, 0.0], 1.0),
+            ([0.0, 1.0], -1.0),
+            ([1.0, 1.0], 0.0),
+            ([0.5, 0.25], 0.25),
+        ];
+        for _ in 0..300 {
+            for (x, y) in &samples {
+                let input = Tensor::from_vec(&[1, 2], x.to_vec());
+                let out = net.forward(&input, true);
+                let err = out.as_slice()[0] - y;
+                net.backward(&Tensor::from_vec(&[1, 1], vec![2.0 * err]));
+                opt.begin_step();
+                net.visit_params(&mut |p| opt.update(p));
+                net.zero_grad();
+            }
+        }
+        for (x, y) in &samples {
+            let input = Tensor::from_vec(&[1, 2], x.to_vec());
+            let got = net.forward(&input, false).as_slice()[0];
+            assert!((got - y).abs() < 0.1, "f({x:?}) = {got}, want {y}");
+        }
+    }
+
+    #[test]
+    fn backward_runs_in_reverse_order() {
+        // A 3→5→2 stack: the gradient of the input must have the input's
+        // shape, proving the chain ran end to end.
+        let mut net = Sequential::new();
+        net.push(Linear::new(3, 5, 0));
+        net.push(Relu::new());
+        net.push(Linear::new(5, 2, 1));
+        assert_eq!(net.len(), 3);
+        let x = Tensor::from_vec(&[2, 3], vec![0.5; 6]);
+        let out = net.forward(&x, true);
+        let g = net.backward(&Tensor::from_vec(out.shape(), vec![1.0; out.len()]));
+        assert_eq!(g.shape(), &[2, 3]);
+    }
+}

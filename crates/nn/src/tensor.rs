@@ -1,0 +1,225 @@
+//! Dense row-major `f32` tensors.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A dense tensor with row-major layout (last axis fastest).
+///
+/// Activations use NCHW; linear layers use `(N, features)`.
+///
+/// # Example
+///
+/// ```
+/// use mmp_nn::Tensor;
+///
+/// let mut t = Tensor::zeros(&[2, 3]);
+/// t.set(&[1, 2], 5.0);
+/// assert_eq!(t.get(&[1, 2]), 5.0);
+/// assert_eq!(t.len(), 6);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// A tensor of zeros with the given shape.
+    pub fn zeros(shape: &[usize]) -> Self {
+        Tensor {
+            shape: shape.to_vec(),
+            data: vec![0.0; shape.iter().product()],
+        }
+    }
+
+    /// Wraps existing data.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `data.len()` does not match the shape's element count.
+    pub fn from_vec(shape: &[usize], data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            shape.iter().product::<usize>(),
+            "data length does not match shape"
+        );
+        Tensor {
+            shape: shape.to_vec(),
+            data,
+        }
+    }
+
+    /// The shape.
+    #[inline]
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total element count.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when the tensor has no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the raw data.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the raw data.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Row-major flat offset of a multi-index.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank or bound violations (debug-friendly; hot paths index
+    /// the slice directly).
+    pub fn offset(&self, idx: &[usize]) -> usize {
+        assert_eq!(idx.len(), self.shape.len(), "index rank mismatch");
+        let mut off = 0;
+        for (i, (&x, &s)) in idx.iter().zip(&self.shape).enumerate() {
+            assert!(x < s, "index {x} out of bound {s} at axis {i}");
+            off = off * s + x;
+        }
+        off
+    }
+
+    /// Element at a multi-index.
+    pub fn get(&self, idx: &[usize]) -> f32 {
+        self.data[self.offset(idx)]
+    }
+
+    /// Sets the element at a multi-index.
+    pub fn set(&mut self, idx: &[usize], v: f32) {
+        let off = self.offset(idx);
+        self.data[off] = v;
+    }
+
+    /// Reinterprets the tensor with a new shape of equal element count.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the element counts differ.
+    pub fn reshaped(&self, shape: &[usize]) -> Tensor {
+        Tensor::from_vec(shape, self.data.clone())
+    }
+
+    /// Elementwise in-place addition.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "shape mismatch in add");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// Elementwise in-place scaling.
+    pub fn scale(&mut self, k: f32) {
+        for a in &mut self.data {
+            *a *= k;
+        }
+    }
+
+    /// Sets every element to zero (gradient reset).
+    pub fn fill_zero(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// Mean of all elements (0 for empty tensors).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.data.iter().sum::<f32>() / self.data.len() as f32
+        }
+    }
+
+    /// `true` when every element is finite.
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+}
+
+impl fmt::Display for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{:?} ({} elems)", self.shape, self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_indexing() {
+        let mut t = Tensor::zeros(&[2, 3, 4]);
+        assert_eq!(t.len(), 24);
+        t.set(&[1, 2, 3], 7.0);
+        assert_eq!(t.get(&[1, 2, 3]), 7.0);
+        assert_eq!(t.offset(&[1, 2, 3]), 23);
+        assert_eq!(t.offset(&[0, 0, 0]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bound")]
+    fn out_of_bound_panics() {
+        let t = Tensor::zeros(&[2, 2]);
+        let _ = t.get(&[2, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank mismatch")]
+    fn rank_mismatch_panics() {
+        let t = Tensor::zeros(&[2, 2]);
+        let _ = t.get(&[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn from_vec_length_check() {
+        let _ = Tensor::from_vec(&[2, 2], vec![0.0; 3]);
+    }
+
+    #[test]
+    fn arithmetic_helpers() {
+        let mut a = Tensor::from_vec(&[2], vec![1.0, 2.0]);
+        let b = Tensor::from_vec(&[2], vec![10.0, 20.0]);
+        a.add_assign(&b);
+        assert_eq!(a.as_slice(), &[11.0, 22.0]);
+        a.scale(0.5);
+        assert_eq!(a.as_slice(), &[5.5, 11.0]);
+        assert_eq!(a.mean(), 8.25);
+        a.fill_zero();
+        assert_eq!(a.as_slice(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec(&[2, 3], (0..6).map(|i| i as f32).collect());
+        let r = t.reshaped(&[3, 2]);
+        assert_eq!(r.shape(), &[3, 2]);
+        assert_eq!(r.as_slice(), t.as_slice());
+    }
+
+    #[test]
+    fn finiteness_check() {
+        let mut t = Tensor::zeros(&[2]);
+        assert!(t.is_finite());
+        t.set(&[0], f32::NAN);
+        assert!(!t.is_finite());
+    }
+}

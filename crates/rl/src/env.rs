@@ -1,0 +1,301 @@
+//! The macro-group allocation environment (the MDP of Sec. III-A).
+
+use crate::state::{availability, Footprint, Occupancy};
+use mmp_cluster::CoarsenedNetlist;
+use mmp_geom::{Grid, GridIndex, Rect};
+use mmp_netlist::{Design, Placement};
+
+/// One observation ⟨s_p, s_a, t⟩ handed to the agent.
+#[derive(Debug, Clone, PartialEq)]
+pub struct State {
+    /// Flat ζ×ζ occupancy map (row-major from the bottom).
+    pub s_p: Vec<f32>,
+    /// Flat ζ×ζ availability map for the next macro group (Eq. 4).
+    pub s_a: Vec<f32>,
+    /// Index of the macro group to place (the position-embedding input).
+    pub t: usize,
+    /// Episode length (total macro groups).
+    pub total: usize,
+}
+
+/// The allocation environment: place macro groups (largest first, the order
+/// of Algorithm 1) onto a ζ×ζ grid.
+///
+/// The environment itself is cheap — it tracks occupancy and availability.
+/// Scoring a finished episode (legalization + cell placement + HPWL) is the
+/// expensive part and lives in [`crate::eval`].
+///
+/// # Example
+///
+/// ```
+/// use mmp_cluster::{ClusterParams, Coarsener};
+/// use mmp_geom::Grid;
+/// use mmp_netlist::{Placement, SyntheticSpec};
+/// use mmp_rl::PlacementEnv;
+///
+/// let design = SyntheticSpec::small("env", 6, 0, 8, 40, 70, false, 3).generate();
+/// let grid = Grid::new(*design.region(), 8);
+/// let coarse = Coarsener::new(&ClusterParams::paper(grid.cell_area()))
+///     .coarsen(&design, &Placement::initial(&design));
+/// let mut env = PlacementEnv::new(&design, &coarse, grid.clone());
+/// while !env.is_terminal() {
+///     let state = env.state();
+///     let action = state.s_a.iter().enumerate()
+///         .max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).map(|(i, _)| i).unwrap();
+///     env.step(action);
+/// }
+/// assert_eq!(env.assignment().len(), coarse.macro_groups().len());
+/// ```
+#[derive(Debug, Clone)]
+pub struct PlacementEnv<'d> {
+    design: &'d Design,
+    coarse: &'d CoarsenedNetlist,
+    grid: Grid,
+    footprints: Vec<Footprint>,
+    base_occupancy: Occupancy,
+    occupancy: Occupancy,
+    assignment: Vec<GridIndex>,
+    t: usize,
+}
+
+impl<'d> PlacementEnv<'d> {
+    /// Creates the environment. Preplaced macros are burned into the base
+    /// occupancy so the agent sees them as blocked area from step 0.
+    pub fn new(design: &'d Design, coarse: &'d CoarsenedNetlist, grid: Grid) -> Self {
+        let mut base = Occupancy::new(grid.zeta());
+        for id in design.preplaced_macros() {
+            let m = design.macro_(id);
+            let c = m.fixed_center.expect("preplaced macro has a center");
+            base.add_rect(&grid, &Rect::centered_at(c, m.width, m.height));
+        }
+        let footprints = coarse
+            .macro_groups()
+            .iter()
+            .map(|g| Footprint::new(&grid, g.width, g.height))
+            .collect();
+        PlacementEnv {
+            design,
+            coarse,
+            grid,
+            footprints,
+            occupancy: base.clone(),
+            base_occupancy: base,
+            assignment: Vec::new(),
+            t: 0,
+        }
+    }
+
+    /// The design being placed.
+    pub fn design(&self) -> &Design {
+        self.design
+    }
+
+    /// The coarsened netlist being allocated.
+    pub fn coarse(&self) -> &CoarsenedNetlist {
+        self.coarse
+    }
+
+    /// The allocation grid.
+    pub fn grid(&self) -> &Grid {
+        &self.grid
+    }
+
+    /// Episode length: number of macro groups.
+    pub fn episode_len(&self) -> usize {
+        self.footprints.len()
+    }
+
+    /// Resets to the empty placement (keeping preplaced occupancy).
+    pub fn reset(&mut self) {
+        self.occupancy = self.base_occupancy.clone();
+        self.assignment.clear();
+        self.t = 0;
+    }
+
+    /// `true` once every macro group has been allocated.
+    pub fn is_terminal(&self) -> bool {
+        self.t >= self.footprints.len()
+    }
+
+    /// The current observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on a terminal state (there is no next group).
+    pub fn state(&self) -> State {
+        assert!(!self.is_terminal(), "no state after the final step");
+        State {
+            s_p: self.occupancy.as_slice().to_vec(),
+            s_a: availability(&self.occupancy, &self.footprints[self.t]),
+            t: self.t,
+            total: self.footprints.len(),
+        }
+    }
+
+    /// Allocates the current macro group to the cell with flat index
+    /// `action` and advances the episode.
+    ///
+    /// # Panics
+    ///
+    /// Panics on terminal states or out-of-range actions.
+    pub fn step(&mut self, action: usize) {
+        assert!(!self.is_terminal(), "step on terminal state");
+        let idx = self.grid.unflatten(action);
+        self.occupancy.place(&self.footprints[self.t], idx);
+        self.assignment.push(idx);
+        self.t += 1;
+    }
+
+    /// The grid assignment accumulated so far (one entry per placed group).
+    pub fn assignment(&self) -> &[GridIndex] {
+        &self.assignment
+    }
+
+    /// Centers of the assigned groups' footprints (anchored lower-left, as
+    /// s_p assumes) — used by the coarse evaluator.
+    pub fn group_centers(&self) -> Vec<mmp_geom::Point> {
+        self.assignment
+            .iter()
+            .enumerate()
+            .map(|(g, idx)| {
+                let cell = self.grid.cell_at(*idx);
+                let grp = &self.coarse.macro_groups()[g];
+                mmp_geom::Point::new(
+                    cell.x + grp.width.min(self.grid.cell_width() * 4.0) / 2.0,
+                    cell.y + grp.height.min(self.grid.cell_height() * 4.0) / 2.0,
+                )
+            })
+            .collect()
+    }
+
+    /// Convenience: the macro placement induced by fixing each group at its
+    /// assigned cell (groups' members at the group footprint center) —
+    /// the *unlegalized* placement some baselines and tests use.
+    pub fn rough_placement(&self) -> Placement {
+        let mut pl = Placement::initial(self.design);
+        let centers = self.group_centers();
+        for (g, grp) in self
+            .coarse
+            .macro_groups()
+            .iter()
+            .enumerate()
+            .take(self.assignment.len())
+        {
+            for &m in &grp.members {
+                pl.set_macro_center(m, centers[g]);
+            }
+        }
+        pl
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmp_cluster::{ClusterParams, Coarsener};
+    use mmp_netlist::SyntheticSpec;
+
+    fn setup(macros: usize, preplaced: usize, seed: u64) -> (Design, CoarsenedNetlist, Grid) {
+        let d = SyntheticSpec::small("env", macros, preplaced, 8, 60, 100, true, seed).generate();
+        let grid = Grid::new(*d.region(), 8);
+        let coarse = Coarsener::new(&ClusterParams::paper(grid.cell_area()))
+            .coarsen(&d, &Placement::initial(&d));
+        (d, coarse, grid)
+    }
+
+    #[test]
+    fn episode_walks_through_all_groups() {
+        let (d, coarse, grid) = setup(8, 0, 1);
+        let mut env = PlacementEnv::new(&d, &coarse, grid);
+        let total = env.episode_len();
+        assert_eq!(total, coarse.macro_groups().len());
+        let mut steps = 0;
+        while !env.is_terminal() {
+            let s = env.state();
+            assert_eq!(s.t, steps);
+            assert_eq!(s.total, total);
+            env.step(0);
+            steps += 1;
+        }
+        assert_eq!(steps, total);
+        assert_eq!(env.assignment().len(), total);
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let (d, coarse, grid) = setup(6, 0, 2);
+        let mut env = PlacementEnv::new(&d, &coarse, grid);
+        let s0 = env.state();
+        env.step(3);
+        env.reset();
+        assert_eq!(env.state(), s0);
+        assert!(env.assignment().is_empty());
+    }
+
+    #[test]
+    fn occupancy_grows_monotonically_along_episode() {
+        let (d, coarse, grid) = setup(8, 0, 3);
+        let mut env = PlacementEnv::new(&d, &coarse, grid);
+        let mut prev_sum = -1.0f32;
+        while !env.is_terminal() {
+            let s = env.state();
+            let sum: f32 = s.s_p.iter().sum();
+            assert!(sum >= prev_sum);
+            prev_sum = sum;
+            env.step(s.t % 64);
+        }
+    }
+
+    #[test]
+    fn preplaced_macros_block_cells_from_step_zero() {
+        let (d, coarse, grid) = setup(4, 4, 4);
+        let env = PlacementEnv::new(&d, &coarse, grid);
+        let s = env.state();
+        // The generator packs preplaced macros along the bottom boundary,
+        // so the bottom row must show occupancy.
+        let bottom: f32 = s.s_p[0..8].iter().sum();
+        assert!(bottom > 0.0, "preplaced occupancy missing");
+    }
+
+    #[test]
+    fn repeated_actions_fill_a_cell() {
+        let (d, coarse, grid) = setup(8, 0, 5);
+        let mut env = PlacementEnv::new(&d, &coarse, grid);
+        // Hammer the same cell; its availability must shrink.
+        let first = env.state().s_a[27];
+        for _ in 0..env.episode_len().min(4) {
+            env.step(27);
+        }
+        if !env.is_terminal() {
+            let later = env.state().s_a[27];
+            assert!(later <= first);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "terminal")]
+    fn step_after_terminal_panics() {
+        let (d, coarse, grid) = setup(4, 0, 6);
+        let mut env = PlacementEnv::new(&d, &coarse, grid);
+        while !env.is_terminal() {
+            env.step(0);
+        }
+        env.step(0);
+    }
+
+    #[test]
+    fn rough_placement_moves_members_to_cells() {
+        let (d, coarse, grid) = setup(6, 0, 7);
+        let mut env = PlacementEnv::new(&d, &coarse, grid);
+        while !env.is_terminal() {
+            env.step(9);
+        }
+        let pl = env.rough_placement();
+        let cell = env.grid().cell_at(GridIndex::new(1, 1));
+        // Every movable macro's center lies near the cell (anchored there).
+        for id in d.movable_macros() {
+            let c = pl.macro_center(id);
+            assert!(c.x >= cell.x && c.y >= cell.y, "{c}");
+        }
+    }
+}

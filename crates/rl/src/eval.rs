@@ -1,0 +1,146 @@
+//! Episode scoring: from a grid assignment to a wirelength.
+//!
+//! The paper scores every finished episode with the full pipeline —
+//! legalize macros, place cells with the mixed-size placer, measure HPWL
+//! (Sec. II-B/C). That is [`FullEvaluator`]. For fast experimentation (and
+//! cheap unit tests) [`CoarseEvaluator`] scores the coarsened netlist
+//! directly with groups at their assigned cells.
+
+use crate::env::PlacementEnv;
+use mmp_analytic::{GlobalPlacer, GlobalPlacerConfig};
+use mmp_legal::MacroLegalizer;
+use mmp_netlist::Placement;
+
+/// Maps a finished episode to the wirelength W of Eq. 9 (lower is better).
+pub trait WirelengthEvaluator {
+    /// Scores the terminal state of `env`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic when the episode is not terminal.
+    fn wirelength(&self, env: &PlacementEnv<'_>) -> f64;
+}
+
+/// The paper's pipeline: 3-step legalization + analytical cell placement +
+/// full-netlist HPWL.
+#[derive(Debug, Clone)]
+pub struct FullEvaluator {
+    legalizer: MacroLegalizer,
+    placer: GlobalPlacer,
+}
+
+impl FullEvaluator {
+    /// Full evaluation with the given cell-placer preset.
+    pub fn new(placer_config: GlobalPlacerConfig) -> Self {
+        FullEvaluator {
+            legalizer: MacroLegalizer::new(),
+            placer: GlobalPlacer::new(placer_config),
+        }
+    }
+
+    /// Full evaluation with the fast cell-placer preset (the default for
+    /// training loops).
+    pub fn fast() -> Self {
+        FullEvaluator::new(GlobalPlacerConfig::fast())
+    }
+
+    /// Runs the pipeline and returns the final placement alongside HPWL.
+    pub fn place(&self, env: &PlacementEnv<'_>) -> (Placement, f64) {
+        let outcome = self
+            .legalizer
+            .legalize(env.design(), env.coarse(), env.assignment(), env.grid())
+            .expect("assignment length matches group count");
+        let cells = self.placer.place_cells(env.design(), &outcome.placement);
+        (cells.placement, cells.hpwl)
+    }
+}
+
+impl WirelengthEvaluator for FullEvaluator {
+    fn wirelength(&self, env: &PlacementEnv<'_>) -> f64 {
+        assert!(env.is_terminal(), "evaluate only terminal episodes");
+        self.place(env).1
+    }
+}
+
+/// Cheap proxy: weighted HPWL of the coarsened netlist with macro groups at
+/// their assigned cells and cell groups at their clustering centroids.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CoarseEvaluator;
+
+impl CoarseEvaluator {
+    /// Creates the coarse evaluator.
+    pub fn new() -> Self {
+        CoarseEvaluator
+    }
+}
+
+impl WirelengthEvaluator for CoarseEvaluator {
+    fn wirelength(&self, env: &PlacementEnv<'_>) -> f64 {
+        assert!(env.is_terminal(), "evaluate only terminal episodes");
+        let macro_centers = env.group_centers();
+        let cell_centers = env.coarse().cell_group_centers();
+        env.coarse().hpwl(&macro_centers, &cell_centers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmp_cluster::{ClusterParams, Coarsener};
+    use mmp_geom::Grid;
+    use mmp_netlist::SyntheticSpec;
+
+    fn terminal_env_score<E: WirelengthEvaluator>(eval: &E, action: usize, seed: u64) -> f64 {
+        let d = SyntheticSpec::small("ev", 6, 0, 8, 50, 90, false, seed).generate();
+        let grid = Grid::new(*d.region(), 8);
+        let coarse = Coarsener::new(&ClusterParams::paper(grid.cell_area()))
+            .coarsen(&d, &Placement::initial(&d));
+        let mut env = PlacementEnv::new(&d, &coarse, grid);
+        while !env.is_terminal() {
+            env.step(action);
+        }
+        eval.wirelength(&env)
+    }
+
+    #[test]
+    fn coarse_evaluator_scores_and_differs_by_assignment() {
+        let e = CoarseEvaluator::new();
+        let a = terminal_env_score(&e, 0, 1);
+        let b = terminal_env_score(&e, 63, 1);
+        assert!(a > 0.0 && b > 0.0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn full_evaluator_scores_legal_placements() {
+        let d = SyntheticSpec::small("fe", 6, 0, 8, 50, 90, false, 2).generate();
+        let grid = Grid::new(*d.region(), 8);
+        let coarse = Coarsener::new(&ClusterParams::paper(grid.cell_area()))
+            .coarsen(&d, &Placement::initial(&d));
+        let mut env = PlacementEnv::new(&d, &coarse, grid);
+        let mut k = 0usize;
+        while !env.is_terminal() {
+            env.step((k * 13 + 5) % 64);
+            k += 1;
+        }
+        let eval = FullEvaluator::fast();
+        let (placement, hpwl) = eval.place(&env);
+        assert!(hpwl > 0.0);
+        assert!(
+            placement.macro_overlap_area(&d) < 1e-6,
+            "macros must be legal"
+        );
+        assert!((eval.wirelength(&env) - hpwl).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "terminal")]
+    fn evaluating_unfinished_episode_panics() {
+        let d = SyntheticSpec::small("uf", 6, 0, 8, 50, 90, false, 3).generate();
+        let grid = Grid::new(*d.region(), 8);
+        let coarse = Coarsener::new(&ClusterParams::paper(grid.cell_area()))
+            .coarsen(&d, &Placement::initial(&d));
+        let env = PlacementEnv::new(&d, &coarse, grid);
+        let _ = CoarseEvaluator::new().wirelength(&env);
+    }
+}

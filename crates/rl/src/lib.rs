@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+
+//! Pre-training stage by RL (paper Sec. III).
+//!
+//! Macro-group allocation is posed as an MDP: the state is
+//! ⟨occupancy map s_p, availability map s_a (Eq. 4), step t⟩
+//! ([`state`]), the action allocates the next macro group to one of the
+//! ζ×ζ grid cells ([`env::PlacementEnv`]), and the terminal reward is the
+//! normalised wirelength score 𝔇(W) of Eq. 9 ([`reward`]), copied to every
+//! step of the episode. An actor-critic agent ([`net::PolicyValueNet`],
+//! architectures of Fig. 2 / Table I) is trained with the A2C losses of
+//! Eqs. 5–8, updating every 30 episodes ([`trainer::Trainer`]).
+//!
+//! The trained [`agent::Agent`] later guides MCTS (crate `mmp-mcts`):
+//! π_θ provides the PUCT priors, V_θ evaluates non-terminal leaves.
+//!
+//! # Example
+//!
+//! ```
+//! use mmp_rl::{Trainer, TrainerConfig};
+//! use mmp_netlist::SyntheticSpec;
+//!
+//! let design = SyntheticSpec::small("rl", 6, 0, 8, 40, 70, false, 3).generate();
+//! let mut cfg = TrainerConfig::tiny(4);
+//! cfg.episodes = 4;
+//! let outcome = Trainer::new(&design, cfg).train();
+//! assert_eq!(outcome.history.episode_rewards.len(), 4);
+//! ```
+
+pub mod agent;
+pub mod env;
+pub mod eval;
+pub mod net;
+pub mod reward;
+pub mod state;
+pub mod trainer;
+
+pub use agent::Agent;
+pub use env::{PlacementEnv, State};
+pub use eval::{CoarseEvaluator, FullEvaluator, WirelengthEvaluator};
+pub use net::{AgentConfig, PolicyValueNet};
+pub use reward::{RewardKind, RewardScale};
+pub use trainer::{Trainer, TrainerConfig, TrainingHistory, TrainingOutcome};

@@ -1,0 +1,164 @@
+//! The reward function 𝔇(W) of Eq. 9 and its calibration.
+//!
+//! The paper observes that RL converges faster when rewards sit *slightly
+//! above zero*. Before training, 50 random episodes are played; their
+//! maximum (δ), minimum (γ) and average (Δ) wirelengths scale the reward:
+//!
+//! 𝔇(W) = (−W + Δ)/(δ − γ) + α,      α ∈ \[0.5, 1\]
+//!
+//! Fig. 4 compares this against the same formula without α and against the
+//! intuitive reward −W; [`RewardKind`] selects among the three.
+
+use serde::{Deserialize, Serialize};
+
+/// Which reward formula to use (the three curves of Fig. 4).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum RewardKind {
+    /// Eq. 9 with the shift α (the paper's default; α = 0.75 sits mid-range
+    /// of the stated \[0.5, 1\]).
+    Paper {
+        /// The positive shift α.
+        alpha: f64,
+    },
+    /// Eq. 9 with α = 0 (rewards hover around zero).
+    PaperNoAlpha,
+    /// The intuitive reward −W (never converged in the paper's Fig. 4b).
+    NegWirelength,
+}
+
+impl Default for RewardKind {
+    fn default() -> Self {
+        RewardKind::Paper { alpha: 0.75 }
+    }
+}
+
+/// Calibrated reward function.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RewardScale {
+    kind: RewardKind,
+    /// δ: maximum calibration wirelength.
+    max: f64,
+    /// γ: minimum calibration wirelength.
+    min: f64,
+    /// Δ: average calibration wirelength.
+    mean: f64,
+}
+
+impl RewardScale {
+    /// Calibrates from the wirelengths of the random warm-up episodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty sample set.
+    pub fn calibrate(kind: RewardKind, wirelengths: &[f64]) -> Self {
+        assert!(!wirelengths.is_empty(), "calibration needs samples");
+        let max = wirelengths.iter().cloned().fold(f64::MIN, f64::max);
+        let min = wirelengths.iter().cloned().fold(f64::MAX, f64::min);
+        let mean = wirelengths.iter().sum::<f64>() / wirelengths.len() as f64;
+        RewardScale {
+            kind,
+            max,
+            min,
+            mean,
+        }
+    }
+
+    /// The reward for a placement of wirelength `w`.
+    pub fn reward(&self, w: f64) -> f64 {
+        match self.kind {
+            RewardKind::NegWirelength => -w,
+            RewardKind::Paper { alpha } => self.scaled(w) + alpha,
+            RewardKind::PaperNoAlpha => self.scaled(w),
+        }
+    }
+
+    fn scaled(&self, w: f64) -> f64 {
+        // Guard degenerate calibration (all samples equal): fall back to a
+        // span of the calibration magnitude so rewards stay O(1).
+        let mut span = self.max - self.min;
+        if span <= 1e-9 * self.mean.abs().max(1.0) {
+            span = self.mean.abs().max(1.0);
+        }
+        (-w + self.mean) / span
+    }
+
+    /// The calibration statistics (δ, γ, Δ).
+    pub fn stats(&self) -> (f64, f64, f64) {
+        (self.max, self.min, self.mean)
+    }
+
+    /// The reward formula in use.
+    pub fn kind(&self) -> RewardKind {
+        self.kind
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn calibration_extracts_stats() {
+        let s = RewardScale::calibrate(RewardKind::default(), &[10.0, 30.0, 20.0]);
+        assert_eq!(s.stats(), (30.0, 10.0, 20.0));
+    }
+
+    #[test]
+    fn average_wirelength_maps_to_alpha() {
+        let s = RewardScale::calibrate(RewardKind::Paper { alpha: 0.75 }, &[10.0, 30.0, 20.0]);
+        // W = Δ ⇒ scaled term 0 ⇒ reward = α.
+        assert!((s.reward(20.0) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rewards_slightly_above_zero_within_calibration_range() {
+        // The design intent: with α = 0.75, any W within [γ, δ] of a
+        // symmetric sample maps to a positive reward.
+        let s = RewardScale::calibrate(RewardKind::Paper { alpha: 0.75 }, &[10.0, 30.0]);
+        for w in [10.0, 15.0, 20.0, 25.0, 30.0] {
+            assert!(s.reward(w) > 0.0, "reward({w}) = {}", s.reward(w));
+        }
+    }
+
+    #[test]
+    fn no_alpha_hovers_around_zero() {
+        let s = RewardScale::calibrate(RewardKind::PaperNoAlpha, &[10.0, 30.0, 20.0]);
+        assert!((s.reward(20.0)).abs() < 1e-12);
+        assert!(s.reward(10.0) > 0.0);
+        assert!(s.reward(30.0) < 0.0);
+    }
+
+    #[test]
+    fn neg_wirelength_is_identity_negation() {
+        let s = RewardScale::calibrate(RewardKind::NegWirelength, &[1.0]);
+        assert_eq!(s.reward(123.0), -123.0);
+    }
+
+    #[test]
+    fn degenerate_calibration_is_guarded() {
+        let s = RewardScale::calibrate(RewardKind::PaperNoAlpha, &[5.0, 5.0, 5.0]);
+        assert!(s.reward(5.0).is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "needs samples")]
+    fn empty_calibration_panics() {
+        let _ = RewardScale::calibrate(RewardKind::default(), &[]);
+    }
+
+    proptest! {
+        #[test]
+        fn reward_is_monotone_decreasing_in_wirelength(
+            samples in proptest::collection::vec(1.0f64..1e6, 2..50),
+            w1 in 1.0f64..1e6, w2 in 1.0f64..1e6,
+        ) {
+            let s = RewardScale::calibrate(RewardKind::default(), &samples);
+            if w1 < w2 {
+                prop_assert!(s.reward(w1) >= s.reward(w2));
+            } else {
+                prop_assert!(s.reward(w2) >= s.reward(w1));
+            }
+        }
+    }
+}

@@ -1,0 +1,307 @@
+//! State representation (paper Sec. III-B, Fig. 1).
+//!
+//! * `s_p` — per-cell utilization of the current (partial) placement, with
+//!   allocated groups aligned to the lower-left corner of their cells and
+//!   values capped at 1.
+//! * `s_m` — the footprint matrix of the next macro group: per-cell
+//!   utilization of the group's outline anchored at a cell's lower-left
+//!   corner.
+//! * `s_a` — availability of each anchor cell for the next group, Eq. 4:
+//!   the n-th root of Π (1 − s_m(gᵢ))·(1 − s_p(gᵢ)) over the n covered
+//!   cells (0 when the footprint would leave the grid).
+
+use mmp_geom::{Grid, GridIndex};
+
+/// Per-cell utilization map `s_p` over a ζ×ζ grid, updated as macro groups
+/// are allocated.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Occupancy {
+    zeta: usize,
+    util: Vec<f32>,
+}
+
+impl Occupancy {
+    /// An empty occupancy over a ζ×ζ grid.
+    pub fn new(zeta: usize) -> Self {
+        Occupancy {
+            zeta,
+            util: vec![0.0; zeta * zeta],
+        }
+    }
+
+    /// Grid resolution.
+    pub fn zeta(&self) -> usize {
+        self.zeta
+    }
+
+    /// The flat utilization map (row-major from the bottom), values in
+    /// `[0, 1]`.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.util
+    }
+
+    /// Utilization of one cell.
+    pub fn at(&self, idx: GridIndex) -> f32 {
+        self.util[idx.row * self.zeta + idx.col]
+    }
+
+    /// Adds a rectangle's coverage (µm²-accurate) to the map, e.g. a
+    /// preplaced macro outline. Values cap at 1.
+    pub fn add_rect(&mut self, grid: &Grid, rect: &mmp_geom::Rect) {
+        for idx in grid.indices() {
+            let cov = grid.coverage(idx.col, idx.row, rect) as f32;
+            if cov > 0.0 {
+                let u = &mut self.util[idx.row * self.zeta + idx.col];
+                *u = (*u + cov).min(1.0);
+            }
+        }
+    }
+
+    /// Allocates a macro-group footprint anchored (lower-left) at `at`:
+    /// each covered cell's utilization grows by the footprint's per-cell
+    /// utilization, capped at 1. Cells outside the grid are silently
+    /// dropped (the availability mask prevents such actions; the RL random
+    /// phase may still pick them).
+    pub fn place(&mut self, footprint: &Footprint, at: GridIndex) {
+        for (dc, dr, u) in footprint.cells() {
+            let (c, r) = (at.col + dc, at.row + dr);
+            if c < self.zeta && r < self.zeta {
+                let cell = &mut self.util[r * self.zeta + c];
+                *cell = (*cell + u).min(1.0);
+            }
+        }
+    }
+}
+
+/// The footprint matrix `s_m` of one macro group: per-cell utilization of
+/// its outline anchored at a lower-left cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Footprint {
+    cols: usize,
+    rows: usize,
+    /// Row-major utilization, `rows × cols`.
+    util: Vec<f32>,
+}
+
+impl Footprint {
+    /// Builds the footprint of a `w × h` µm outline on `grid` (Fig. 1's
+    /// s_m: its dimension is the number of cells the outline spans).
+    pub fn new(grid: &Grid, w: f64, h: f64) -> Self {
+        let (cols, rows) = grid.span_of(w, h);
+        let cw = grid.cell_width();
+        let ch = grid.cell_height();
+        let mut util = Vec::with_capacity(cols * rows);
+        for r in 0..rows {
+            for c in 0..cols {
+                let ox = (w - c as f64 * cw).clamp(0.0, cw);
+                let oy = (h - r as f64 * ch).clamp(0.0, ch);
+                util.push((ox * oy / (cw * ch)) as f32);
+            }
+        }
+        Footprint { cols, rows, util }
+    }
+
+    /// Spanned columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Spanned rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Iterates `(dcol, drow, utilization)` over the footprint's cells.
+    pub fn cells(&self) -> impl Iterator<Item = (usize, usize, f32)> + '_ {
+        (0..self.rows)
+            .flat_map(move |r| (0..self.cols).map(move |c| (c, r, self.util[r * self.cols + c])))
+    }
+
+    /// Number of covered cells n (the root order of Eq. 4).
+    pub fn cell_count(&self) -> usize {
+        self.cols * self.rows
+    }
+}
+
+/// The availability map `s_a` of Eq. 4 for anchoring `footprint` on every
+/// grid cell given the occupancy `s_p`.
+///
+/// # Example
+///
+/// ```
+/// use mmp_geom::{Grid, Rect};
+/// use mmp_rl::state::{availability, Footprint, Occupancy};
+///
+/// let grid = Grid::new(Rect::new(0.0, 0.0, 20.0, 20.0), 2);
+/// let occ = Occupancy::new(2);
+/// // A group exactly one cell large: on an empty grid only anchors whose
+/// // footprint fits are (slightly) available.
+/// let fp = Footprint::new(&grid, 10.0, 10.0);
+/// let sa = availability(&occ, &fp);
+/// assert_eq!(sa.len(), 4);
+/// ```
+///
+/// See the unit tests for the literal Fig. 1 computation (V(g) = 0.32).
+pub fn availability(occupancy: &Occupancy, footprint: &Footprint) -> Vec<f32> {
+    let zeta = occupancy.zeta();
+    let mut out = vec![0.0f32; zeta * zeta];
+    let n = footprint.cell_count() as f32;
+    for row in 0..zeta {
+        for col in 0..zeta {
+            // The footprint must fit inside the grid.
+            if col + footprint.cols() > zeta || row + footprint.rows() > zeta {
+                continue;
+            }
+            let mut product = 1.0f64;
+            for (dc, dr, u_m) in footprint.cells() {
+                // A group fully demanding a cell would read (1 − s_m) = 0 and
+                // zero every anchor; cap the demand term so availability
+                // remains driven by the occupancy of the covered cells.
+                let u_m = u_m.min(0.99);
+                let u_p = occupancy.at(GridIndex::new(col + dc, row + dr));
+                product *= ((1.0 - u_m) as f64).max(0.0) * ((1.0 - u_p) as f64).max(0.0);
+            }
+            let v = product.powf(1.0 / n as f64) as f32;
+            out[row * zeta + col] = v.max(0.0);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmp_geom::Rect;
+
+    fn grid(zeta: usize) -> Grid {
+        Grid::new(
+            Rect::new(0.0, 0.0, zeta as f64 * 10.0, zeta as f64 * 10.0),
+            zeta,
+        )
+    }
+
+    #[test]
+    fn footprint_of_subcell_outline() {
+        let g = grid(4);
+        let fp = Footprint::new(&g, 5.0, 5.0);
+        assert_eq!((fp.cols(), fp.rows()), (1, 1));
+        assert_eq!(fp.cell_count(), 1);
+        let cells: Vec<_> = fp.cells().collect();
+        assert_eq!(cells, vec![(0, 0, 0.25)]);
+    }
+
+    #[test]
+    fn footprint_spanning_two_cells_vertically() {
+        let g = grid(4);
+        // 8 wide, 13 tall: cols 1, rows 2; bottom cell 8*10/100 = 0.8,
+        // top cell 8*3/100 = 0.24.
+        let fp = Footprint::new(&g, 8.0, 13.0);
+        assert_eq!((fp.cols(), fp.rows()), (1, 2));
+        let cells: Vec<_> = fp.cells().collect();
+        assert_eq!(cells[0], (0, 0, 0.8));
+        assert!((cells[1].2 - 0.24).abs() < 1e-6);
+    }
+
+    /// The literal worked example of Fig. 1: V = 0.32.
+    #[test]
+    fn fig1_availability_example() {
+        let _ = grid(2);
+        let mut occ = Occupancy::new(2);
+        // Anchor cell (0,0) has s_p = 0.5; the cell above it 0.25.
+        occ.util[0] = 0.5;
+        occ.util[2] = 0.25;
+        // Footprint: 1 col × 2 rows with utilizations 0.6 (bottom), 0.3 (top).
+        let fp = Footprint {
+            cols: 1,
+            rows: 2,
+            util: vec![0.6, 0.3],
+        };
+        let sa = availability(&occ, &fp);
+        let expected = ((1.0 - 0.6f64) * (1.0 - 0.5) * (1.0 - 0.3) * (1.0 - 0.25)).sqrt();
+        assert!(
+            (sa[0] as f64 - expected).abs() < 1e-6,
+            "got {}, want {expected}",
+            sa[0]
+        );
+        assert!((expected - 0.324).abs() < 1e-3, "paper rounds to 0.32");
+    }
+
+    #[test]
+    fn availability_is_zero_outside_grid() {
+        let g = grid(4);
+        let fp = Footprint::new(&g, 25.0, 10.0); // 3 cols × 1 row
+        let occ = Occupancy::new(4);
+        let sa = availability(&occ, &fp);
+        // Anchors in the last two columns cannot fit.
+        for row in 0..4 {
+            assert_eq!(sa[row * 4 + 2], 0.0);
+            assert_eq!(sa[row * 4 + 3], 0.0);
+            assert!(sa[row * 4] > 0.0);
+        }
+    }
+
+    #[test]
+    fn full_cell_blocks_availability() {
+        let g = grid(2);
+        let mut occ = Occupancy::new(2);
+        occ.util[0] = 1.0;
+        let fp = Footprint::new(&g, 10.0, 10.0); // exactly one cell, util 1
+        let sa = availability(&occ, &fp);
+        assert_eq!(sa[0], 0.0, "fully-occupied cell is unavailable");
+        // Other (empty) cells stay slightly available: the demand term is
+        // capped below 1 so a grid-sized group can still be anchored.
+        assert!(sa[3] > 0.0 && sa[3] < 0.05);
+        // A half-size group still sees availability elsewhere.
+        let fp_half = Footprint::new(&g, 5.0, 10.0);
+        let sa2 = availability(&occ, &fp_half);
+        assert_eq!(sa2[0], 0.0);
+        assert!(sa2[1] > 0.0);
+    }
+
+    #[test]
+    fn occupancy_place_caps_at_one() {
+        let g = grid(2);
+        let fp = Footprint::new(&g, 9.0, 9.0); // util 0.81 per anchor cell
+        let mut occ = Occupancy::new(2);
+        occ.place(&fp, GridIndex::new(0, 0));
+        assert!((occ.at(GridIndex::new(0, 0)) - 0.81).abs() < 1e-6);
+        occ.place(&fp, GridIndex::new(0, 0));
+        assert_eq!(occ.at(GridIndex::new(0, 0)), 1.0, "capped at 1");
+    }
+
+    #[test]
+    fn occupancy_place_clips_out_of_grid_cells() {
+        let g = grid(2);
+        let fp = Footprint::new(&g, 15.0, 10.0); // 2 cols
+        let mut occ = Occupancy::new(2);
+        // Anchor at the right edge: second column falls off the grid.
+        occ.place(&fp, GridIndex::new(1, 0));
+        assert!(occ.at(GridIndex::new(1, 0)) > 0.0);
+        assert_eq!(occ.at(GridIndex::new(0, 0)), 0.0);
+    }
+
+    #[test]
+    fn add_rect_tracks_preplaced_coverage() {
+        let g = grid(2);
+        let mut occ = Occupancy::new(2);
+        // A rect covering the entire lower-left cell and half of the
+        // lower-right one.
+        occ.add_rect(&g, &Rect::new(0.0, 0.0, 15.0, 10.0));
+        assert_eq!(occ.at(GridIndex::new(0, 0)), 1.0);
+        assert_eq!(occ.at(GridIndex::new(1, 0)), 0.5);
+        assert_eq!(occ.at(GridIndex::new(0, 1)), 0.0);
+    }
+
+    #[test]
+    fn availability_values_are_in_unit_interval() {
+        let g = grid(4);
+        let mut occ = Occupancy::new(4);
+        occ.util.iter_mut().enumerate().for_each(|(i, u)| {
+            *u = (i as f32 * 0.07) % 1.0;
+        });
+        let fp = Footprint::new(&g, 17.0, 12.0);
+        for v in availability(&occ, &fp) {
+            assert!((0.0..=1.0).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,381 @@
+//! The A2C training loop (Algorithm 1, lines 3–10).
+//!
+//! Per episode: every macro group is placed by sampling π_θ; at the end the
+//! placement is legalized, cells are placed and the wirelength is scored by
+//! 𝔇 (Eq. 9); the terminal reward is copied to every step. Every
+//! `update_every` (paper: 30) episodes the buffered transitions are replayed
+//! through the network and one optimizer step minimises
+//! L = L_policy + L_value (Eq. 8).
+
+use crate::agent::Agent;
+use crate::env::PlacementEnv;
+use crate::eval::{CoarseEvaluator, FullEvaluator, WirelengthEvaluator};
+use crate::net::AgentConfig;
+use crate::reward::{RewardKind, RewardScale};
+use mmp_analytic::{GlobalPlacer, GlobalPlacerConfig};
+use mmp_cluster::{ClusterParams, CoarsenedNetlist, Coarsener};
+use mmp_geom::Grid;
+use mmp_netlist::{Design, Placement};
+use mmp_nn::{Adam, Optimizer};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainerConfig {
+    /// Training episodes.
+    pub episodes: usize,
+    /// Agent update interval in episodes (paper: 30).
+    pub update_every: usize,
+    /// Random warm-up episodes for reward calibration (paper: 50).
+    pub calibration_episodes: usize,
+    /// Reward formula.
+    pub reward: RewardKind,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// RNG seed (the whole run is deterministic in it).
+    pub seed: u64,
+    /// Network size; `net.zeta` must equal `zeta`.
+    pub net: AgentConfig,
+    /// Grid resolution ζ (paper: 16).
+    pub zeta: usize,
+    /// Score episodes with the coarse proxy instead of the full
+    /// legalize-and-place pipeline (fast experimentation; the paper always
+    /// uses the full pipeline).
+    pub coarse_eval: bool,
+    /// Run the mixed-size prototyping placement before clustering (the
+    /// paper's flow; disable for the fastest tests).
+    pub prototype_placement: bool,
+    /// Snapshot the agent every N episodes (the Fig. 5 experiment uses 35).
+    pub checkpoint_every: Option<usize>,
+    /// Cluster macros into groups before allocation (the paper's approach).
+    /// Disabled, every macro is its own group — the per-macro formulation of
+    /// CT/MaskPlace, used by the baselines and the grouping ablation.
+    pub group_macros: bool,
+    /// Entropy-bonus coefficient β (0 = the paper's plain A2C).
+    pub entropy_beta: f32,
+}
+
+impl TrainerConfig {
+    /// The paper's settings (ζ = 16, update every 30 episodes, 50
+    /// calibration episodes, full evaluation).
+    pub fn paper() -> Self {
+        TrainerConfig {
+            episodes: 600,
+            update_every: 30,
+            calibration_episodes: 50,
+            reward: RewardKind::default(),
+            lr: 1e-3,
+            seed: 0,
+            net: AgentConfig::paper(),
+            zeta: 16,
+            coarse_eval: false,
+            prototype_placement: true,
+            checkpoint_every: None,
+            group_macros: true,
+            entropy_beta: 0.0,
+        }
+    }
+
+    /// Laptop-scale settings over a ζ×ζ grid: tiny network, coarse
+    /// evaluation, short schedule.
+    pub fn tiny(zeta: usize) -> Self {
+        TrainerConfig {
+            episodes: 30,
+            update_every: 5,
+            calibration_episodes: 5,
+            reward: RewardKind::default(),
+            lr: 3e-3,
+            seed: 0,
+            net: AgentConfig::tiny(zeta),
+            zeta,
+            coarse_eval: true,
+            prototype_placement: false,
+            checkpoint_every: None,
+            group_macros: true,
+            entropy_beta: 0.0,
+        }
+    }
+}
+
+/// Per-episode training curves (the data behind Fig. 4).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TrainingHistory {
+    /// Reward of each training episode.
+    pub episode_rewards: Vec<f64>,
+    /// Raw wirelength of each training episode.
+    pub episode_wirelengths: Vec<f64>,
+}
+
+/// Everything `train` produces.
+#[derive(Debug, Clone)]
+pub struct TrainingOutcome {
+    /// The trained agent.
+    pub agent: Agent,
+    /// Per-episode curves.
+    pub history: TrainingHistory,
+    /// The calibrated reward scale (shared with MCTS evaluation).
+    pub scale: RewardScale,
+    /// `(episode, agent-snapshot)` pairs when checkpointing was enabled.
+    pub checkpoints: Vec<(usize, Agent)>,
+}
+
+enum Eval {
+    Coarse(CoarseEvaluator),
+    Full(Box<FullEvaluator>),
+}
+
+impl Eval {
+    fn wirelength(&self, env: &PlacementEnv<'_>) -> f64 {
+        match self {
+            Eval::Coarse(e) => e.wirelength(env),
+            Eval::Full(e) => e.wirelength(env),
+        }
+    }
+}
+
+/// The pre-training driver. Owns the coarsened problem; borrowes the design.
+pub struct Trainer<'d> {
+    design: &'d Design,
+    coarse: CoarsenedNetlist,
+    grid: Grid,
+    config: TrainerConfig,
+    evaluator: Eval,
+}
+
+impl<'d> Trainer<'d> {
+    /// Prepares the problem: prototyping placement (optional), clustering,
+    /// coarsening.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `config.net.zeta != config.zeta`.
+    pub fn new(design: &'d Design, config: TrainerConfig) -> Self {
+        assert_eq!(
+            config.net.zeta, config.zeta,
+            "network grid and environment grid must agree"
+        );
+        let grid = Grid::new(*design.region(), config.zeta);
+        let initial = if config.prototype_placement {
+            GlobalPlacer::new(GlobalPlacerConfig::fast()).place_mixed(design)
+        } else {
+            Placement::initial(design)
+        };
+        let mut params = ClusterParams::paper(grid.cell_area());
+        if !config.group_macros {
+            // Per-macro mode: an infinite threshold stops all merging.
+            params.nu = f64::INFINITY;
+        }
+        let coarse = Coarsener::new(&params).coarsen(design, &initial);
+        let evaluator = if config.coarse_eval {
+            Eval::Coarse(CoarseEvaluator::new())
+        } else {
+            Eval::Full(Box::new(FullEvaluator::fast()))
+        };
+        Trainer {
+            design,
+            coarse,
+            grid,
+            config,
+            evaluator,
+        }
+    }
+
+    /// The design being placed.
+    pub fn design(&self) -> &'d Design {
+        self.design
+    }
+
+    /// The coarsened netlist the trainer operates on.
+    pub fn coarse(&self) -> &CoarsenedNetlist {
+        &self.coarse
+    }
+
+    /// The allocation grid.
+    pub fn grid(&self) -> &Grid {
+        &self.grid
+    }
+
+    /// Scores a terminal episode with this trainer's evaluator.
+    pub fn wirelength_of(&self, env: &PlacementEnv<'_>) -> f64 {
+        self.evaluator.wirelength(env)
+    }
+
+    /// Plays one episode with uniformly-random (availability-weighted)
+    /// actions; returns its wirelength.
+    fn random_episode(&self, env: &mut PlacementEnv<'_>, rng: &mut SmallRng) -> f64 {
+        env.reset();
+        while !env.is_terminal() {
+            let s = env.state();
+            let action = crate::agent::sample_from(&s.s_a, rng)
+                .unwrap_or_else(|| (s.t * 31 + 7) % s.s_a.len());
+            env.step(action);
+        }
+        self.evaluator.wirelength(env)
+    }
+
+    /// Runs calibration + training and returns the outcome.
+    pub fn train(&self) -> TrainingOutcome {
+        let mut rng = SmallRng::seed_from_u64(self.config.seed ^ 0x7e41);
+        let mut env = PlacementEnv::new(self.design, &self.coarse, self.grid.clone());
+        // 1) Random warm-up → reward calibration (Sec. III-E).
+        let samples: Vec<f64> = (0..self.config.calibration_episodes.max(1))
+            .map(|_| self.random_episode(&mut env, &mut rng))
+            .collect();
+        let scale = RewardScale::calibrate(self.config.reward, &samples);
+
+        // 2) A2C training.
+        let mut agent = Agent::new(self.config.net);
+        let mut opt = Adam::new(self.config.lr);
+        let mut history = TrainingHistory::default();
+        let mut checkpoints = Vec::new();
+        // Buffered transitions: (s_p, s_a, t, total, action, reward).
+        let mut buffer: Vec<(Vec<f32>, Vec<f32>, usize, usize, usize, f32)> = Vec::new();
+
+        for episode in 0..self.config.episodes {
+            env.reset();
+            let mut steps: Vec<(Vec<f32>, Vec<f32>, usize, usize, usize)> = Vec::new();
+            while !env.is_terminal() {
+                let s = env.state();
+                let action = agent.sample_action(&s, &mut rng);
+                steps.push((s.s_p, s.s_a, s.t, s.total, action));
+                env.step(action);
+            }
+            let w = self.evaluator.wirelength(&env);
+            let r = scale.reward(w);
+            history.episode_wirelengths.push(w);
+            history.episode_rewards.push(r);
+            // The terminal reward is the reward of every step (Sec. III-E).
+            for (s_p, s_a, t, total, action) in steps {
+                buffer.push((s_p, s_a, t, total, action, r as f32));
+            }
+
+            if (episode + 1) % self.config.update_every == 0 || episode + 1 == self.config.episodes
+            {
+                let net = agent.net_mut();
+                let beta = self.config.entropy_beta;
+                for (s_p, s_a, t, total, action, reward) in buffer.drain(..) {
+                    let _ = net.forward(&s_p, &s_a, t, total, true);
+                    net.backward_with_entropy(action, reward, beta);
+                }
+                opt.begin_step();
+                net.visit_params(&mut |p| opt.update(p));
+                net.zero_grad();
+            }
+            if let Some(k) = self.config.checkpoint_every {
+                if (episode + 1) % k == 0 {
+                    checkpoints.push((episode + 1, agent.clone()));
+                }
+            }
+        }
+
+        TrainingOutcome {
+            agent,
+            history,
+            scale,
+            checkpoints,
+        }
+    }
+
+    /// Plays one greedy episode with `agent`; returns the grid assignment
+    /// and its wirelength (the "RL result" curve of Fig. 5).
+    pub fn greedy_episode(&self, agent: &mut Agent) -> (Vec<mmp_geom::GridIndex>, f64) {
+        let mut env = PlacementEnv::new(self.design, &self.coarse, self.grid.clone());
+        while !env.is_terminal() {
+            let s = env.state();
+            let action = agent.greedy_action(&s);
+            env.step(action);
+        }
+        let w = self.evaluator.wirelength(&env);
+        (env.assignment().to_vec(), w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmp_netlist::SyntheticSpec;
+
+    fn design(seed: u64) -> Design {
+        SyntheticSpec::small("tr", 6, 0, 8, 40, 70, false, seed).generate()
+    }
+
+    #[test]
+    fn training_runs_and_records_history() {
+        let d = design(1);
+        let mut cfg = TrainerConfig::tiny(4);
+        cfg.episodes = 6;
+        cfg.update_every = 3;
+        let out = Trainer::new(&d, cfg).train();
+        assert_eq!(out.history.episode_rewards.len(), 6);
+        assert_eq!(out.history.episode_wirelengths.len(), 6);
+        assert!(out.history.episode_wirelengths.iter().all(|w| *w > 0.0));
+    }
+
+    #[test]
+    fn training_is_deterministic_in_seed() {
+        let d = design(2);
+        let mut cfg = TrainerConfig::tiny(4);
+        cfg.episodes = 4;
+        let a = Trainer::new(&d, cfg.clone()).train();
+        let b = Trainer::new(&d, cfg).train();
+        assert_eq!(a.history, b.history);
+    }
+
+    #[test]
+    fn checkpoints_are_taken() {
+        let d = design(3);
+        let mut cfg = TrainerConfig::tiny(4);
+        cfg.episodes = 6;
+        cfg.checkpoint_every = Some(2);
+        let out = Trainer::new(&d, cfg).train();
+        let eps: Vec<usize> = out.checkpoints.iter().map(|(e, _)| *e).collect();
+        assert_eq!(eps, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn greedy_episode_scores() {
+        let d = design(4);
+        let mut cfg = TrainerConfig::tiny(4);
+        cfg.episodes = 3;
+        let trainer = Trainer::new(&d, cfg);
+        let mut out = trainer.train();
+        let (assignment, w) = trainer.greedy_episode(&mut out.agent);
+        assert_eq!(assignment.len(), trainer.coarse().macro_groups().len());
+        assert!(w > 0.0);
+    }
+
+    #[test]
+    fn paper_reward_episodes_are_positive_on_average() {
+        // The design intent of Eq. 9: average reward sits slightly above 0.
+        let d = design(5);
+        let mut cfg = TrainerConfig::tiny(4);
+        cfg.episodes = 10;
+        cfg.calibration_episodes = 8;
+        let out = Trainer::new(&d, cfg).train();
+        let avg: f64 = out.history.episode_rewards.iter().sum::<f64>()
+            / out.history.episode_rewards.len() as f64;
+        assert!(avg > -0.5, "average reward {avg} far below zero");
+    }
+
+    #[test]
+    #[should_panic(expected = "must agree")]
+    fn zeta_mismatch_panics() {
+        let d = design(6);
+        let mut cfg = TrainerConfig::tiny(4);
+        cfg.zeta = 8; // net still 4
+        let _ = Trainer::new(&d, cfg);
+    }
+
+    #[test]
+    fn full_eval_training_runs() {
+        let d = design(7);
+        let mut cfg = TrainerConfig::tiny(4);
+        cfg.episodes = 2;
+        cfg.calibration_episodes = 2;
+        cfg.coarse_eval = false;
+        let out = Trainer::new(&d, cfg).train();
+        assert_eq!(out.history.episode_rewards.len(), 2);
+    }
+}

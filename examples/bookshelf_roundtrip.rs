@@ -1,0 +1,42 @@
+//! Bookshelf I/O: export a synthetic design + placement to the bookshelf
+//! subset, read it back, and verify the HPWL survives the round trip.
+//!
+//! ```sh
+//! cargo run --release -p mmp-examples --bin bookshelf_roundtrip
+//! ```
+
+use mmp_core::{MacroPlacer, PlacerConfig, SyntheticSpec};
+use mmp_netlist::bookshelf;
+
+// mmp-core re-exports mmp_netlist types; the bookshelf module is reached
+// through the netlist crate itself.
+use mmp_core::DesignStats;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let design = SyntheticSpec::small("rt", 8, 1, 12, 120, 200, true, 7).generate();
+    println!("generated: {}", DesignStats::of(&design));
+
+    // Place it.
+    let mut cfg = PlacerConfig::fast(8);
+    cfg.trainer.episodes = 8;
+    cfg.mcts.explorations = 8;
+    let result = MacroPlacer::new(cfg).place(&design)?;
+    println!("placed, HPWL = {:.1}", result.hpwl);
+
+    // Serialize design + placement.
+    let mut file = Vec::new();
+    bookshelf::write(&design, Some(&result.placement), &mut file)?;
+    println!("bookshelf stream: {} bytes", file.len());
+
+    // Read back and compare.
+    let (design2, placement2) = bookshelf::read("rt", file.as_slice())?;
+    let placement2 = placement2.expect("placement section present");
+    let hpwl2 = placement2.hpwl(&design2);
+    println!("re-read HPWL = {hpwl2:.1}");
+    assert!(
+        (hpwl2 - result.hpwl).abs() < 1e-6,
+        "round trip must preserve HPWL"
+    );
+    println!("round trip OK");
+    Ok(())
+}

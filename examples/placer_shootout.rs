@@ -1,0 +1,56 @@
+//! Shootout: the MMP flow against every baseline placer on a few
+//! synthetic circuits (a miniature Table III).
+//!
+//! ```sh
+//! cargo run --release -p mmp-examples --bin placer_shootout
+//! ```
+
+use mmp_baselines::{
+    score_hpwl, AnalyticOnly, MacroPlacer as Baseline, MaskPlaceLike, RandomPlacer, ReplaceLike,
+    SaPlacer, SePlacer,
+};
+use mmp_core::{normalize_rows, MacroPlacer, PlacerConfig, SyntheticSpec, TableRow};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let circuits: Vec<_> = (0..3)
+        .map(|i| SyntheticSpec::small(format!("cir{i}"), 10, 0, 12, 150, 260, true, 100 + i))
+        .collect();
+
+    let mut rows = Vec::new();
+    for spec in &circuits {
+        let design = spec.generate();
+        let mut results: Vec<(String, f64)> = Vec::new();
+
+        let baselines: Vec<Box<dyn Baseline>> = vec![
+            Box::new(RandomPlacer::new(1, 8)),
+            Box::new(SaPlacer::new(600, 8, 1)),
+            Box::new(SePlacer::new(4, 8, 1)),
+            Box::new(AnalyticOnly::new()),
+            Box::new(ReplaceLike::new()),
+            Box::new(MaskPlaceLike::new(8)),
+        ];
+        for b in &baselines {
+            let hpwl = score_hpwl(&design, &b.place_macros(&design));
+            results.push((b.name().to_owned(), hpwl));
+        }
+
+        let ours = MacroPlacer::new(PlacerConfig::bench(8)).place(&design)?;
+        results.push(("Ours (RL+MCTS)".to_owned(), ours.hpwl));
+
+        print!("{:>8}:", design.name());
+        for (name, hpwl) in &results {
+            print!("  {name}={hpwl:.0}");
+        }
+        println!();
+        rows.push(TableRow {
+            circuit: design.name().to_owned(),
+            results,
+        });
+    }
+
+    println!("\nnormalized (geometric mean over circuits, Ours = 1.00):");
+    for (name, norm) in normalize_rows(&rows) {
+        println!("  {name:<18} {norm:.3}");
+    }
+    Ok(())
+}

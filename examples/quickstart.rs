@@ -1,0 +1,79 @@
+//! Quickstart: place a small synthetic mixed-size design end-to-end.
+//!
+//! ```sh
+//! cargo run --release -p mmp-examples --bin quickstart
+//! ```
+
+use mmp_core::{DesignStats, MacroPlacer, PlacerConfig, SyntheticSpec};
+use mmp_analytic::{legalize_cells_into_rows, rudy};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A small circuit: 12 movable macros, 2 preplaced, 400 cells — with
+    // design hierarchy, like the paper's industrial benchmarks.
+    let design = SyntheticSpec::small("quickstart", 12, 2, 24, 400, 650, true, 42).generate();
+    println!("design: {}", DesignStats::of(&design));
+
+    // Laptop-scale flow config: ζ = 8 grid, tiny network, short training.
+    let mut config = PlacerConfig::fast(8);
+    config.trainer.episodes = 20;
+    config.trainer.calibration_episodes = 8;
+    config.mcts.explorations = 24;
+
+    let placer = MacroPlacer::new(config);
+    let result = placer.place(&design)?;
+
+    println!("\n=== placement result ===");
+    println!("HPWL:                {:.1} um", result.hpwl);
+    println!(
+        "macro overlap:       {:.3} um^2 (0 = legal)",
+        result.placement.macro_overlap_area(&design)
+    );
+    println!(
+        "macro groups placed: {} (grid cells: {:?} ...)",
+        result.assignment.len(),
+        &result.assignment[..result.assignment.len().min(5)]
+    );
+    println!(
+        "MCTS effort:         {} explorations, {} value evals, {} terminal evals, {} nodes",
+        result.mcts_stats.explorations,
+        result.mcts_stats.value_evaluations,
+        result.mcts_stats.terminal_evaluations,
+        result.mcts_stats.nodes
+    );
+    println!(
+        "timings:             preprocess {:?}, training {:?}, mcts {:?}, finalize {:?}",
+        result.timings.preprocess,
+        result.timings.training,
+        result.timings.mcts,
+        result.timings.finalize
+    );
+    // Post-flow quality extras: row-legalize the cells and estimate
+    // routing congestion (RUDY).
+    let rows = legalize_cells_into_rows(&design, &result.placement, 1.0);
+    let congestion = rudy(&design, &rows.placement, 16);
+    println!(
+        "row legalization:    {} unplaced, mean displacement {:.2} um, HPWL {:.1}",
+        rows.unplaced,
+        rows.mean_displacement,
+        rows.placement.hpwl(&design)
+    );
+    println!(
+        "congestion (RUDY):   peak {:.3}, mean {:.3}",
+        congestion.peak(),
+        congestion.mean()
+    );
+    let first = result
+        .training
+        .episode_rewards
+        .first()
+        .copied()
+        .unwrap_or(0.0);
+    let last = result
+        .training
+        .episode_rewards
+        .last()
+        .copied()
+        .unwrap_or(0.0);
+    println!("reward first -> last episode: {first:.3} -> {last:.3}");
+    Ok(())
+}

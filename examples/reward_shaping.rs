@@ -1,0 +1,50 @@
+//! Reward-shaping study (the Fig. 4 experiment in miniature): train the
+//! same agent under the paper's reward (Eq. 9 with α), Eq. 9 without α,
+//! and the intuitive −W, and print the convergence of each.
+//!
+//! ```sh
+//! cargo run --release -p mmp-examples --bin reward_shaping
+//! ```
+
+use mmp_core::{RewardKind, Trainer, TrainerConfig};
+
+fn main() {
+    // An ibm10-like circuit, heavily scaled down (the paper runs Fig. 4 on
+    // ibm10 itself).
+    let design = mmp_core::iccad04_suite()[9].scaled(0.004).generate();
+    println!(
+        "circuit: {} ({} movable macros, {} cells)",
+        design.name(),
+        design.movable_macros().len(),
+        design.cells().len()
+    );
+
+    let kinds = [
+        ("Eq.9 with alpha  ", RewardKind::Paper { alpha: 0.75 }),
+        ("Eq.9 without alpha", RewardKind::PaperNoAlpha),
+        ("intuitive -W      ", RewardKind::NegWirelength),
+    ];
+    for (label, kind) in kinds {
+        let mut cfg = TrainerConfig::tiny(8);
+        cfg.episodes = 40;
+        cfg.calibration_episodes = 10;
+        cfg.reward = kind;
+        let outcome = Trainer::new(&design, cfg).train();
+        // Report the mean wirelength of the first and last quarter of
+        // training: convergence shows as a drop.
+        let w = &outcome.history.episode_wirelengths;
+        let quarter = (w.len() / 4).max(1);
+        let early: f64 = w[..quarter].iter().sum::<f64>() / quarter as f64;
+        let late: f64 = w[w.len() - quarter..].iter().sum::<f64>() / quarter as f64;
+        let r = &outcome.history.episode_rewards;
+        let avg_r: f64 = r.iter().sum::<f64>() / r.len() as f64;
+        println!(
+            "{label}: wirelength early {early:.0} -> late {late:.0} ({:+.1}%), avg reward {avg_r:.3}",
+            (late / early - 1.0) * 100.0
+        );
+    }
+    println!(
+        "\nThe paper's observation: rewards slightly above zero (Eq. 9 + alpha)\n\
+         converge fastest; raw -W rewards keep the agent from converging."
+    );
+}

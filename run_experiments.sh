@@ -1,0 +1,7 @@
+#!/bin/bash
+set -x
+for exp in fig4_reward fig5_mcts_vs_rl table2_industrial table3_iccad04 table4_runtime ablations; do
+  cargo run --release -p mmp-bench --bin $exp > results/$exp.txt 2> results/$exp.time || echo "FAILED $exp" >> results/failures.txt
+  echo "done $exp"
+done
+echo ALL_DONE

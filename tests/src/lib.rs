@@ -1,0 +1,1 @@
+//! Host crate for the workspace integration tests; see `tests/tests/`.

@@ -1,0 +1,102 @@
+//! End-to-end integration of the whole workspace: generator → prototyping
+//! placement → clustering → RL → MCTS → legalization → cell placement.
+
+use mmp_core::{MacroPlacer, PlaceError, PlacerConfig, SyntheticSpec};
+
+fn small_config() -> PlacerConfig {
+    let mut cfg = PlacerConfig::fast(6);
+    cfg.trainer.episodes = 8;
+    cfg.trainer.calibration_episodes = 4;
+    cfg.mcts.explorations = 12;
+    cfg
+}
+
+#[test]
+fn flow_on_hierarchical_design_with_preplaced_macros() {
+    let design = SyntheticSpec::small("it_full", 10, 3, 16, 160, 260, true, 11).generate();
+    let result = MacroPlacer::new(small_config()).place(&design).unwrap();
+
+    // Legality of the macro placement.
+    assert!(result.placement.macro_overlap_area(&design) < 1e-6);
+    assert!(result.placement.macros_inside_region(&design));
+    // Preplaced macros untouched.
+    for id in design.preplaced_macros() {
+        assert_eq!(
+            result.placement.macro_center(id),
+            design.macro_(id).fixed_center.unwrap()
+        );
+    }
+    // One grid cell per macro group.
+    assert!(!result.assignment.is_empty());
+    // HPWL is consistent with the returned placement.
+    assert!((result.placement.hpwl(&design) - result.hpwl).abs() < 1e-9);
+}
+
+#[test]
+fn flow_is_deterministic_across_runs() {
+    let design = SyntheticSpec::small("it_det", 8, 0, 12, 100, 170, false, 12).generate();
+    let placer = MacroPlacer::new(small_config());
+    let a = placer.place(&design).unwrap();
+    let b = placer.place(&design).unwrap();
+    assert_eq!(a.hpwl, b.hpwl);
+    assert_eq!(a.assignment, b.assignment);
+    assert_eq!(a.placement, b.placement);
+}
+
+#[test]
+fn different_seeds_give_different_but_legal_placements() {
+    let mut cfg = small_config();
+    let design = SyntheticSpec::small("it_seed", 8, 0, 12, 100, 170, false, 13).generate();
+    let a = MacroPlacer::new(cfg.clone()).place(&design).unwrap();
+    cfg.trainer.seed = 99;
+    let b = MacroPlacer::new(cfg).place(&design).unwrap();
+    assert!(a.placement.macro_overlap_area(&design) < 1e-6);
+    assert!(b.placement.macro_overlap_area(&design) < 1e-6);
+    // Different RL seeds almost surely give different allocations.
+    assert_ne!(a.assignment, b.assignment);
+}
+
+#[test]
+fn zero_macro_design_takes_the_ibm05_path() {
+    let design = SyntheticSpec::small("it_ibm05", 0, 0, 12, 120, 150, false, 14).generate();
+    let result = MacroPlacer::new(small_config()).place(&design).unwrap();
+    assert!(result.assignment.is_empty());
+    assert_eq!(result.mcts_stats.explorations, 0);
+    assert!(result.hpwl > 0.0);
+}
+
+#[test]
+fn infeasible_designs_are_rejected_up_front() {
+    use mmp_geom::{Point, Rect};
+    let mut b = mmp_netlist::DesignBuilder::new("it_inf", Rect::new(0.0, 0.0, 10.0, 10.0));
+    for i in 0..3 {
+        b.add_macro(format!("m{i}"), 7.0, 7.0, "");
+    }
+    let design = b.build().unwrap();
+    let _ = Point::ORIGIN;
+    let err = MacroPlacer::new(small_config()).place(&design).unwrap_err();
+    assert_eq!(err, PlaceError::MacrosExceedRegion);
+}
+
+#[test]
+fn flow_handles_single_macro_design() {
+    use mmp_geom::{Point, Rect};
+    let mut b = mmp_netlist::DesignBuilder::new("it_one", Rect::new(0.0, 0.0, 60.0, 60.0));
+    let m = b.add_macro("m", 6.0, 6.0, "top");
+    let c = b.add_cell("c", 1.0, 1.0, "top");
+    let p = b.add_pad("p", Point::new(0.0, 30.0));
+    b.add_net(
+        "n",
+        [
+            (m.into(), Point::ORIGIN),
+            (c.into(), Point::ORIGIN),
+            (p.into(), Point::ORIGIN),
+        ],
+        1.0,
+    )
+    .unwrap();
+    let design = b.build().unwrap();
+    let result = MacroPlacer::new(small_config()).place(&design).unwrap();
+    assert_eq!(result.assignment.len(), 1);
+    assert!(result.placement.macros_inside_region(&design));
+}

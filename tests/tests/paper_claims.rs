@@ -1,0 +1,118 @@
+//! The paper's headline claims, checked at miniature scale.
+
+use mmp_core::{RewardKind, SyntheticSpec, Trainer, TrainerConfig};
+use mmp_mcts::{MctsConfig, MctsPlacer};
+
+fn trainer_config(episodes: usize, seed: u64) -> TrainerConfig {
+    let mut cfg = TrainerConfig::tiny(6);
+    cfg.prototype_placement = true;
+    cfg.coarse_eval = false;
+    cfg.episodes = episodes;
+    cfg.calibration_episodes = 6;
+    cfg.update_every = 5;
+    cfg.seed = seed;
+    cfg
+}
+
+/// Sec. VI-B / Fig. 5: MCTS post-optimization is at least as good as the
+/// greedy rollout of the same agent, even part-way through training.
+#[test]
+fn mcts_post_optimization_beats_or_matches_rl() {
+    let design = SyntheticSpec::small("pc_fig5", 9, 0, 12, 110, 190, false, 21).generate();
+    let trainer = Trainer::new(&design, trainer_config(12, 0));
+    let mut out = trainer.train();
+    let (_, rl_w) = trainer.greedy_episode(&mut out.agent);
+    let mcts = MctsPlacer::new(MctsConfig {
+        explorations: 64,
+        ..MctsConfig::default()
+    })
+    .place(&trainer, &mut out.agent, &out.scale);
+    assert!(
+        mcts.wirelength <= rl_w * 1.02,
+        "MCTS {} must not lose to greedy RL {}",
+        mcts.wirelength,
+        rl_w
+    );
+}
+
+/// Sec. IV-B3: the value network evaluates non-terminal leaves, so real
+/// placements (terminal evaluations) are a small share of search effort.
+#[test]
+fn value_network_carries_most_of_the_search() {
+    let design = SyntheticSpec::small("pc_eval", 9, 0, 12, 110, 190, false, 22).generate();
+    let trainer = Trainer::new(&design, trainer_config(6, 0));
+    let mut out = trainer.train();
+    let mcts = MctsPlacer::new(MctsConfig {
+        explorations: 48,
+        ..MctsConfig::default()
+    })
+    .place(&trainer, &mut out.agent, &out.scale);
+    assert!(
+        mcts.stats.terminal_evaluations * 2 <= mcts.stats.value_evaluations.max(1) * 3,
+        "terminal evals {} should be well below value evals {}",
+        mcts.stats.terminal_evaluations,
+        mcts.stats.value_evaluations
+    );
+}
+
+/// Sec. III-E: the calibrated Eq. 9 reward is O(1) while the intuitive −W
+/// scales with the design — the scaling pathology Fig. 4 exposes.
+#[test]
+fn calibrated_rewards_are_order_one() {
+    let design = SyntheticSpec::small("pc_rew", 8, 0, 12, 110, 180, false, 23).generate();
+    for (kind, bounded) in [
+        (RewardKind::Paper { alpha: 0.75 }, true),
+        (RewardKind::PaperNoAlpha, true),
+        (RewardKind::NegWirelength, false),
+    ] {
+        let mut cfg = trainer_config(6, 0);
+        cfg.reward = kind;
+        let out = Trainer::new(&design, cfg).train();
+        let max_abs = out
+            .history
+            .episode_rewards
+            .iter()
+            .fold(0.0f64, |m, r| m.max(r.abs()));
+        if bounded {
+            assert!(max_abs < 50.0, "{kind:?} reward {max_abs} not O(1)");
+        } else {
+            assert!(max_abs > 100.0, "-W reward should scale with wirelength");
+        }
+    }
+}
+
+/// The grouping transform (Sec. II-A) shrinks the decision space: grouped
+/// episodes are never longer than per-macro episodes.
+#[test]
+fn grouping_reduces_episode_length() {
+    let design = SyntheticSpec::small("pc_grp", 12, 0, 12, 140, 240, true, 24).generate();
+    let grouped = Trainer::new(&design, trainer_config(1, 0));
+    let mut ungrouped_cfg = trainer_config(1, 0);
+    ungrouped_cfg.group_macros = false;
+    let ungrouped = Trainer::new(&design, ungrouped_cfg);
+    assert!(grouped.coarse().macro_groups().len() <= ungrouped.coarse().macro_groups().len());
+    assert_eq!(ungrouped.coarse().macro_groups().len(), 12);
+}
+
+/// Table IV's shape: MCTS work scales with the number of macro groups.
+#[test]
+fn search_effort_scales_with_macro_count() {
+    let mut efforts = Vec::new();
+    for macros in [4usize, 12] {
+        let design =
+            SyntheticSpec::small(format!("pc_rt{macros}"), macros, 0, 12, 80, 140, false, 25)
+                .generate();
+        let trainer = Trainer::new(&design, trainer_config(4, 0));
+        let mut out = trainer.train();
+        let mcts = MctsPlacer::new(MctsConfig {
+            explorations: 16,
+            ..MctsConfig::default()
+        })
+        .place(&trainer, &mut out.agent, &out.scale);
+        efforts.push(mcts.stats.explorations);
+    }
+    assert!(
+        efforts[1] > efforts[0],
+        "more macros ⇒ more decisions ⇒ more explorations: {efforts:?}"
+    );
+}

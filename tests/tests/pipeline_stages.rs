@@ -1,0 +1,130 @@
+//! Cross-crate invariants of the pipeline stages.
+
+use mmp_analytic::{GlobalPlacer, GlobalPlacerConfig};
+use mmp_cluster::{ClusterParams, Coarsener};
+use mmp_geom::Grid;
+use mmp_legal::MacroLegalizer;
+use mmp_netlist::{bookshelf, Placement, SyntheticSpec};
+use proptest::prelude::*;
+
+fn pipeline_to_legal(seed: u64, macros: usize, cells: usize) -> (mmp_netlist::Design, Placement) {
+    let design = SyntheticSpec::small(
+        format!("st{seed}"),
+        macros,
+        1,
+        10,
+        cells,
+        cells * 2,
+        true,
+        seed,
+    )
+    .generate();
+    let grid = Grid::new(*design.region(), 8);
+    let proto = GlobalPlacer::new(GlobalPlacerConfig::fast()).place_mixed(&design);
+    let coarse = Coarsener::new(&ClusterParams::paper(grid.cell_area())).coarsen(&design, &proto);
+    let assignment: Vec<_> = (0..coarse.macro_groups().len())
+        .map(|g| grid.unflatten((g * 13 + seed as usize) % grid.cell_count()))
+        .collect();
+    let legal = MacroLegalizer::new()
+        .legalize(&design, &coarse, &assignment, &grid)
+        .unwrap();
+    (design, legal.placement)
+}
+
+#[test]
+fn prototyping_then_clustering_then_legalization_is_overlap_free() {
+    for seed in [1u64, 2, 3] {
+        let (design, placement) = pipeline_to_legal(seed, 9, 90);
+        assert!(
+            placement.macro_overlap_area(&design) < 1e-6,
+            "seed {seed} leaves overlap"
+        );
+    }
+}
+
+#[test]
+fn cell_placement_beats_random_cells_and_stays_near_clumped_bound() {
+    use rand::{Rng, SeedableRng};
+    let (design, legal) = pipeline_to_legal(4, 9, 120);
+    // Lower bound: cells stacked on their group centroids (illegal density,
+    // artificially short wires).
+    let clumped = legal.hpwl(&design);
+    let out = GlobalPlacer::new(GlobalPlacerConfig::fast()).place_cells(&design, &legal);
+    // Upper bound: uniformly random legal-ish cell spread.
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(0);
+    let mut random = legal.clone();
+    let r = design.region();
+    for i in 0..design.cells().len() {
+        random.set_cell_center(
+            mmp_netlist::CellId::from_index(i),
+            mmp_geom::Point::new(
+                r.x + rng.gen::<f64>() * r.width,
+                r.y + rng.gen::<f64>() * r.height,
+            ),
+        );
+    }
+    let random_hpwl = random.hpwl(&design);
+    assert!(
+        out.hpwl < random_hpwl,
+        "placed cells {} must beat random {}",
+        out.hpwl,
+        random_hpwl
+    );
+    assert!(
+        out.hpwl < clumped * 3.0,
+        "placed cells {} should stay within 3x of the clumped lower bound {}",
+        out.hpwl,
+        clumped
+    );
+}
+
+#[test]
+fn placed_design_survives_bookshelf_roundtrip() {
+    let (design, legal) = pipeline_to_legal(5, 8, 80);
+    let out = GlobalPlacer::new(GlobalPlacerConfig::fast()).place_cells(&design, &legal);
+    let mut buf = Vec::new();
+    bookshelf::write(&design, Some(&out.placement), &mut buf).unwrap();
+    let (d2, pl2) = bookshelf::read(design.name(), buf.as_slice()).unwrap();
+    let pl2 = pl2.unwrap();
+    assert!((pl2.hpwl(&d2) - out.hpwl).abs() < 1e-6);
+    assert!(pl2.macro_overlap_area(&d2) < 1e-6);
+}
+
+#[test]
+fn agent_checkpoints_roundtrip_through_serde() {
+    use mmp_rl::{Trainer, TrainerConfig};
+    let design = SyntheticSpec::small("ck", 6, 0, 8, 50, 90, false, 6).generate();
+    let mut cfg = TrainerConfig::tiny(4);
+    cfg.episodes = 3;
+    let trainer = Trainer::new(&design, cfg);
+    let mut out = trainer.train();
+    let (assignment_before, w_before) = trainer.greedy_episode(&mut out.agent);
+    let mut buf = Vec::new();
+    out.agent.save(&mut buf).unwrap();
+    let mut reloaded = mmp_rl::Agent::load(buf.as_slice()).unwrap();
+    let (assignment_after, w_after) = trainer.greedy_episode(&mut reloaded);
+    assert_eq!(assignment_before, assignment_after);
+    assert_eq!(w_before, w_after);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+    #[test]
+    fn legalization_is_overlap_free_for_arbitrary_assignments(
+        seed in 0u64..1000,
+        cell_picks in proptest::collection::vec(0usize..64, 16),
+    ) {
+        let design =
+            SyntheticSpec::small(format!("pp{seed}"), 8, 0, 8, 60, 110, false, seed).generate();
+        let grid = Grid::new(*design.region(), 8);
+        let coarse = Coarsener::new(&ClusterParams::paper(grid.cell_area()))
+            .coarsen(&design, &Placement::initial(&design));
+        let assignment: Vec<_> = (0..coarse.macro_groups().len())
+            .map(|g| grid.unflatten(cell_picks[g % cell_picks.len()]))
+            .collect();
+        let legal = MacroLegalizer::new()
+            .legalize(&design, &coarse, &assignment, &grid)
+            .unwrap();
+        prop_assert!(legal.placement.macro_overlap_area(&design) < 1e-6);
+    }
+}

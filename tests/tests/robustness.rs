@@ -1,0 +1,126 @@
+//! Failure injection and fuzz-style robustness checks.
+
+use mmp_netlist::{bookshelf, Placement, SyntheticSpec};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+    /// The bookshelf parser must never panic: arbitrary input either
+    /// parses or produces a structured error.
+    #[test]
+    fn bookshelf_parser_never_panics(input in ".{0,400}") {
+        let _ = bookshelf::read("fuzz", input.as_bytes());
+    }
+
+    /// Prefix truncation of a valid stream (simulated torn write) must not
+    /// panic either.
+    #[test]
+    fn truncated_bookshelf_never_panics(cut in 0usize..2000) {
+        let design = SyntheticSpec::small("t", 4, 1, 6, 30, 50, true, 1).generate();
+        let mut buf = Vec::new();
+        bookshelf::write(&design, Some(&Placement::initial(&design)), &mut buf).unwrap();
+        let cut = cut.min(buf.len());
+        let _ = bookshelf::read("t", &buf[..cut]);
+    }
+
+    /// Line-level corruption (byte flips) must not panic.
+    #[test]
+    fn corrupted_bookshelf_never_panics(pos in 0usize..2000, byte in 0u8..=255) {
+        let design = SyntheticSpec::small("c", 4, 0, 6, 30, 50, false, 2).generate();
+        let mut buf = Vec::new();
+        bookshelf::write(&design, None, &mut buf).unwrap();
+        if !buf.is_empty() {
+            let pos = pos % buf.len();
+            buf[pos] = byte;
+        }
+        let _ = bookshelf::read("c", buf.as_slice());
+    }
+}
+
+mod env_invariants {
+    use super::*;
+    use mmp_cluster::{ClusterParams, Coarsener};
+    use mmp_geom::Grid;
+    use mmp_rl::PlacementEnv;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        /// Whatever (valid) actions are played, the environment's
+        /// availability stays in [0, 1], occupancy stays in [0, 1] and
+        /// grows monotonically.
+        #[test]
+        fn environment_invariants_hold_under_random_play(
+            seed in 0u64..500,
+            actions in proptest::collection::vec(0usize..64, 32),
+        ) {
+            let design =
+                SyntheticSpec::small(format!("env{seed}"), 8, 1, 8, 50, 90, true, seed).generate();
+            let grid = Grid::new(*design.region(), 8);
+            let coarse = Coarsener::new(&ClusterParams::paper(grid.cell_area()))
+                .coarsen(&design, &Placement::initial(&design));
+            let mut env = PlacementEnv::new(&design, &coarse, grid);
+            let mut prev_occupancy = -1.0f32;
+            let mut k = 0usize;
+            while !env.is_terminal() {
+                let s = env.state();
+                for &v in &s.s_a {
+                    prop_assert!((0.0..=1.0).contains(&v), "s_a out of range: {v}");
+                }
+                for &v in &s.s_p {
+                    prop_assert!((0.0..=1.0).contains(&v), "s_p out of range: {v}");
+                }
+                let occ: f32 = s.s_p.iter().sum();
+                prop_assert!(occ >= prev_occupancy);
+                prev_occupancy = occ;
+                env.step(actions[k % actions.len()]);
+                k += 1;
+            }
+            prop_assert_eq!(env.assignment().len(), coarse.macro_groups().len());
+        }
+    }
+}
+
+mod legalizer_stress {
+    use super::*;
+    use mmp_geom::Point;
+    use mmp_legal::MacroLegalizer;
+
+    /// Extremely skewed targets (all macros stacked on one point, at a
+    /// region corner, off in one axis) must still come out overlap-free.
+    #[test]
+    fn degenerate_targets_legalize_cleanly() {
+        let design = SyntheticSpec::small("deg", 10, 2, 8, 60, 110, true, 3).generate();
+        let movable = design.movable_macros();
+        let corner = design.region().lower_left();
+        let center = design.region().center();
+        for target in [corner, center, Point::new(center.x, design.region().y)] {
+            let targets = vec![target; movable.len()];
+            let (placement, _, overlap) =
+                MacroLegalizer::new().legalize_targets(&design, &targets);
+            assert!(
+                overlap < 1e-6,
+                "targets at {target} leave overlap {overlap}"
+            );
+            assert!(placement.macro_overlap_area(&design) < 1e-6);
+        }
+    }
+
+    /// A design whose macros barely fit (high utilization) still legalizes
+    /// without overlap, even if some macros spill to the region edge.
+    #[test]
+    fn tight_instances_remain_overlap_free() {
+        use mmp_netlist::DesignBuilder;
+        let mut b = DesignBuilder::new("tight", mmp_geom::Rect::new(0.0, 0.0, 40.0, 40.0));
+        // 12 macros of 10x10 = 1200 of 1600 area (75% macro utilization).
+        for i in 0..12 {
+            b.add_macro(format!("m{i}"), 10.0, 10.0, "");
+        }
+        let design = b.build().unwrap();
+        let targets = vec![design.region().center(); 12];
+        let (placement, out_of_region, overlap) =
+            MacroLegalizer::new().legalize_targets(&design, &targets);
+        assert!(!out_of_region, "12 x 100 fits a 1600 region: 4x4 packing at most");
+        assert!(overlap < 1e-6, "remaining overlap {overlap}");
+        assert!(placement.macros_inside_region(&design));
+    }
+}
