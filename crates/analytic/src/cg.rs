@@ -201,7 +201,7 @@ mod tests {
         ) {
             let a = laplacian_2d(12);
             let b = a.multiply(&vals);
-            let out = solve(&a, &b, &vec![0.0; 12], 1e-12, 200);
+            let out = solve(&a, &b, &[0.0; 12], 1e-12, 200);
             prop_assert!(out.converged);
             for (got, want) in out.x.iter().zip(&vals) {
                 prop_assert!((got - want).abs() < 1e-7);

@@ -130,7 +130,10 @@ mod tests {
         let p1 = b.add_pad("p1", Point::new(40.0, 40.0));
         b.add_net(
             "n",
-            [(NodeRef::Pad(p0), Point::ORIGIN), (NodeRef::Pad(p1), Point::ORIGIN)],
+            [
+                (NodeRef::Pad(p0), Point::ORIGIN),
+                (NodeRef::Pad(p1), Point::ORIGIN),
+            ],
             1.0,
         )
         .unwrap();
@@ -163,7 +166,10 @@ mod tests {
         let p1 = b.add_pad("p1", Point::new(90.0, 50.0)); // same y: zero-height box
         b.add_net(
             "n",
-            [(NodeRef::Pad(p0), Point::ORIGIN), (NodeRef::Pad(p1), Point::ORIGIN)],
+            [
+                (NodeRef::Pad(p0), Point::ORIGIN),
+                (NodeRef::Pad(p1), Point::ORIGIN),
+            ],
             1.0,
         )
         .unwrap();
@@ -180,7 +186,10 @@ mod tests {
             let p1 = b.add_pad("p1", Point::new(60.0, 60.0));
             b.add_net(
                 "n",
-                [(NodeRef::Pad(p0), Point::ORIGIN), (NodeRef::Pad(p1), Point::ORIGIN)],
+                [
+                    (NodeRef::Pad(p0), Point::ORIGIN),
+                    (NodeRef::Pad(p1), Point::ORIGIN),
+                ],
                 w,
             )
             .unwrap();

@@ -262,10 +262,8 @@ impl GlobalPlacer {
         // but wirelength-blind; the extra solve recovers most of the HPWL
         // the last shift gave away while staying near the spread layout.
         if let (Some(ax), Some(ay)) = (&anchor_x, &anchor_y) {
-            for i in 0..n {
-                xs[i] = ax[i];
-                ys[i] = ay[i];
-            }
+            xs[..n].copy_from_slice(&ax[..n]);
+            ys[..n].copy_from_slice(&ay[..n]);
             let snap_x = xs.clone();
             let snap_y = ys.clone();
             let initial_ref = &initial;

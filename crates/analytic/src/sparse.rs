@@ -147,12 +147,12 @@ impl CsrMatrix {
     pub fn multiply_into(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.n, "input length mismatch");
         assert_eq!(y.len(), self.n, "output length mismatch");
-        for row in 0..self.n {
+        for (row, out) in y.iter_mut().enumerate() {
             let mut acc = 0.0;
             for k in self.row_ptr[row]..self.row_ptr[row + 1] {
                 acc += self.values[k] * x[self.col_idx[k] as usize];
             }
-            y[row] = acc;
+            *out = acc;
         }
     }
 
@@ -160,10 +160,10 @@ impl CsrMatrix {
     /// preconditioner.
     pub fn diagonal(&self) -> Vec<f64> {
         let mut d = vec![0.0; self.n];
-        for row in 0..self.n {
+        for (row, dv) in d.iter_mut().enumerate() {
             for k in self.row_ptr[row]..self.row_ptr[row + 1] {
                 if self.col_idx[k] as usize == row {
-                    d[row] = self.values[k];
+                    *dv = self.values[k];
                 }
             }
         }

@@ -101,16 +101,23 @@ mod tests {
 
     #[test]
     fn analytic_beats_random_on_average() {
+        // The claim is about the placer, not about which side a particular
+        // random stream happens to favour: a single random draw has huge
+        // variance on these tiny instances, so compare against the mean of
+        // several draws per design.
         let mut wins = 0;
-        for seed in 0..3 {
+        for seed in 0..8 {
             let d = SyntheticSpec::small("ab", 8, 0, 12, 100, 170, false, seed).generate();
             let analytic = score_hpwl(&d, &ReplaceLike::new().place_macros(&d));
-            let random = score_hpwl(&d, &RandomPlacer::new(seed, 8).place_macros(&d));
-            if analytic < random {
+            let random_mean: f64 = (0..3)
+                .map(|k| score_hpwl(&d, &RandomPlacer::new(seed * 31 + k, 8).place_macros(&d)))
+                .sum::<f64>()
+                / 3.0;
+            if analytic < random_mean {
                 wins += 1;
             }
         }
-        assert!(wins >= 2, "analytical won only {wins}/3 against random");
+        assert!(wins >= 5, "analytical won only {wins}/8 against random");
     }
 
     #[test]

@@ -44,12 +44,13 @@ impl MacroPlacer for CtLike {
 
     fn place_macros(&self, design: &Design) -> Placement {
         let trainer = Trainer::new(design, self.config.clone());
-        let mut outcome = trainer.train();
+        let outcome = trainer.train();
         // Greedy rollout of the trained per-macro policy.
         let mut env = PlacementEnv::new(design, trainer.coarse(), trainer.grid().clone());
+        let mut ctx = mmp_rl::InferenceCtx::new();
         while !env.is_terminal() {
             let s = env.state();
-            let a = outcome.agent.greedy_action(&s);
+            let a = outcome.agent.greedy_action(&s, &mut ctx);
             env.step(a);
         }
         MacroLegalizer::new()

@@ -58,13 +58,13 @@ impl MaskPlaceLike {
                 continue;
             }
             let weight = design.net(net).weight;
-            for flat in 0..grid.cell_count() {
+            for (flat, cell) in mask.iter_mut().enumerate() {
                 let center = grid.cell_at(grid.unflatten(flat)).center();
                 let mut net_bb = bb;
                 for off in &own_offsets {
                     net_bb.extend(center + *off);
                 }
-                mask[flat] += weight * net_bb.half_perimeter();
+                *cell += weight * net_bb.half_perimeter();
             }
         }
         mask
@@ -110,7 +110,7 @@ impl MacroPlacer for MaskPlaceLike {
                 if free[flat] < m.area() * 0.5 {
                     continue;
                 }
-                if best.map_or(true, |(_, w)| mask[flat] < w) {
+                if best.is_none_or(|(_, w)| mask[flat] < w) {
                     best = Some((flat, mask[flat]));
                 }
             }

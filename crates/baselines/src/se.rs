@@ -47,7 +47,7 @@ impl SePlacer {
     fn group_cost(
         coarse: &CoarsenedNetlist,
         grid: &Grid,
-        centers: &mut Vec<Point>,
+        centers: &mut [Point],
         g: usize,
         idx: GridIndex,
     ) -> f64 {

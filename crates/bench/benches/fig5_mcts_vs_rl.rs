@@ -16,20 +16,16 @@ fn bench_rollouts(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig5_mcts_vs_rl");
     group.sample_size(10);
     group.bench_function("greedy_rl_rollout", |b| {
-        b.iter(|| {
-            let mut agent = out.agent.clone();
-            criterion::black_box(trainer.greedy_episode(&mut agent).1)
-        });
+        b.iter(|| criterion::black_box(trainer.greedy_episode(&out.agent).1));
     });
     for gamma in [8usize, 32] {
         group.bench_function(format!("mcts_place/gamma_{gamma}"), |b| {
             b.iter(|| {
-                let mut agent = out.agent.clone();
                 let placer = MctsPlacer::new(MctsConfig {
                     explorations: gamma,
                     ..MctsConfig::default()
                 });
-                criterion::black_box(placer.place(&trainer, &mut agent, &out.scale).wirelength)
+                criterion::black_box(placer.place(&trainer, &out.agent, &out.scale).wirelength)
             });
         });
     }

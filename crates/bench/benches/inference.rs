@@ -1,0 +1,58 @@
+//! Forward-pass throughput of the shared inference engine: one state per
+//! call vs batched calls ([`PolicyValueNet::forward_batch`]).
+//!
+//! Per-state cost is `mean / batch`; states/sec is `batch / mean`. The
+//! `paper` group runs the exact Table-I tower (ζ = 16, 128 channels, 10
+//! ResBlocks); the `tiny` group gives a fast signal on the same code path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mmp_rl::{AgentConfig, InferenceCtx, PolicyValueNet, StateRef};
+
+/// Deterministic occupancy/availability maps for `n` states.
+fn states(z2: usize, n: usize) -> Vec<(Vec<f32>, Vec<f32>)> {
+    (0..n)
+        .map(|k| {
+            let s_p: Vec<f32> = (0..z2)
+                .map(|i| ((i * 7 + k * 13) % 5) as f32 * 0.2)
+                .collect();
+            let mut s_a = vec![1.0f32; z2];
+            s_a[k % z2] = 0.0;
+            (s_p, s_a)
+        })
+        .collect()
+}
+
+fn bench_config(c: &mut Criterion, label: &str, config: AgentConfig, samples: usize) {
+    let net = PolicyValueNet::new(config);
+    let z2 = config.zeta * config.zeta;
+    let mut group = c.benchmark_group(format!("inference/{label}"));
+    group.sample_size(samples);
+    for batch in [1usize, 8, 32] {
+        let data = states(z2, batch);
+        let refs: Vec<StateRef<'_>> = data
+            .iter()
+            .enumerate()
+            .map(|(k, (s_p, s_a))| StateRef {
+                s_p,
+                s_a,
+                t: k,
+                total: batch,
+            })
+            .collect();
+        let mut ctx = InferenceCtx::new();
+        group.bench_function(format!("batch_{batch}"), |b| {
+            b.iter(|| criterion::black_box(net.forward_batch(&refs, &mut ctx)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_inference(c: &mut Criterion) {
+    // Fast proxy first, so a watcher gets numbers early.
+    bench_config(c, "tiny_z8", AgentConfig::tiny(8), 10);
+    // The paper-scale tower of Table I (expensive: ~0.8 GMAC per state).
+    bench_config(c, "paper_z16", AgentConfig::paper(), 2);
+}
+
+criterion_group!(benches, bench_inference);
+criterion_main!(benches);

@@ -27,12 +27,11 @@ fn bench_mcts_scaling(c: &mut Criterion) {
         let out = trainer.train();
         group.bench_function(format!("mcts_place/{macros}_macros"), |b| {
             b.iter(|| {
-                let mut agent = out.agent.clone();
                 let placer = MctsPlacer::new(MctsConfig {
                     explorations: 16,
                     ..MctsConfig::default()
                 });
-                criterion::black_box(placer.place(&trainer, &mut agent, &out.scale).wirelength)
+                criterion::black_box(placer.place(&trainer, &out.agent, &out.scale).wirelength)
             });
         });
     }

@@ -49,12 +49,12 @@ fn main() {
         cfg.group_macros = group;
         let trainer = Trainer::new(&design, cfg);
         let t0 = std::time::Instant::now();
-        let mut out = trainer.train();
+        let out = trainer.train();
         let result = MctsPlacer::new(MctsConfig {
             explorations,
             ..MctsConfig::default()
         })
-        .place(&trainer, &mut out.agent, &out.scale);
+        .place(&trainer, &out.agent, &out.scale);
         println!(
             "  group_macros={group:<5} groups={:<4} wirelength={:<10.0} total {:?}",
             trainer.coarse().macro_groups().len(),
@@ -68,12 +68,11 @@ fn main() {
     let trainer = Trainer::new(&design, trainer_config(true, episodes));
     let out = trainer.train();
     for gamma in [1usize, 8, 32, 128, explorations] {
-        let mut agent = out.agent.clone();
         let result = MctsPlacer::new(MctsConfig {
             explorations: gamma,
             ..MctsConfig::default()
         })
-        .place(&trainer, &mut agent, &out.scale);
+        .place(&trainer, &out.agent, &out.scale);
         println!(
             "  gamma={gamma:<5} wirelength={:<10.0} terminal evals={} nodes={}",
             result.wirelength, result.stats.terminal_evaluations, result.stats.nodes
@@ -83,25 +82,23 @@ fn main() {
     // --- 3) PUCT constant sweep -----------------------------------------
     println!("\n[3] PUCT constant c (paper: 1.05):");
     for c in [0.2, 1.05, 3.0, 8.0] {
-        let mut agent = out.agent.clone();
         let result = MctsPlacer::new(MctsConfig {
             c_puct: c,
             explorations: explorations / 2,
             ..MctsConfig::default()
         })
-        .place(&trainer, &mut agent, &out.scale);
+        .place(&trainer, &out.agent, &out.scale);
         println!("  c={c:<5} wirelength={:<10.0}", result.wirelength);
     }
 
     // --- 4) greedy RL vs MCTS (value-net guidance) ----------------------
     println!("\n[4] greedy RL rollout vs MCTS with the same agent:");
-    let mut agent = out.agent.clone();
-    let (_, rl_w) = trainer.greedy_episode(&mut agent);
+    let (_, rl_w) = trainer.greedy_episode(&out.agent);
     let mcts_w = MctsPlacer::new(MctsConfig {
         explorations,
         ..MctsConfig::default()
     })
-    .place(&trainer, &mut agent, &out.scale)
+    .place(&trainer, &out.agent, &out.scale)
     .wirelength;
     println!("  greedy RL:  {rl_w:.0}");
     println!(

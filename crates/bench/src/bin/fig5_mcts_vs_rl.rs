@@ -51,11 +51,9 @@ fn main() {
         let mut mcts_wins = 0usize;
         let mut rows = 0usize;
         for (episode, agent) in &outcome.checkpoints {
-            let mut rl_agent = agent.clone();
-            let (_, rl_w) = trainer.greedy_episode(&mut rl_agent);
+            let (_, rl_w) = trainer.greedy_episode(agent);
             let rl_reward = outcome.scale.reward(rl_w);
-            let mut mcts_agent = agent.clone();
-            let result = placer.place(&trainer, &mut mcts_agent, &outcome.scale);
+            let result = placer.place(&trainer, agent, &outcome.scale);
             let win = result.reward >= rl_reward;
             if win {
                 mcts_wins += 1;

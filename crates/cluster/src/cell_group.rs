@@ -128,7 +128,7 @@ fn cluster_cells_exact(
                     continue;
                 }
                 let score = phi(gi, gj, conn[i][j], params);
-                if best.map_or(true, |(_, _, s)| score > s) {
+                if best.is_none_or(|(_, _, s)| score > s) {
                     best = Some((i, j, score));
                 }
             }
@@ -143,6 +143,9 @@ fn cluster_cells_exact(
         );
         groups[i] = Some(merged);
         groups[j] = None;
+        // Cross-pattern update over rows i, j and column k of the symmetric
+        // matrix — indexing is clearer than iterator juggling here.
+        #[allow(clippy::needless_range_loop)]
         for k in 0..n {
             if k != i {
                 conn[i][k] += conn[j][k];

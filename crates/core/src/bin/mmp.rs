@@ -174,8 +174,7 @@ fn run() -> Result<(), String> {
                     "refined: HPWL {:.1} -> {:.1} ({} boundary moves)",
                     refined.hpwl_before, refined.hpwl_after, refined.moves
                 );
-                let flipped =
-                    mmp_legal::optimize_orientations(&design, &refined.placement, 4);
+                let flipped = mmp_legal::optimize_orientations(&design, &refined.placement, 4);
                 println!(
                     "flipped: HPWL {:.1} -> {:.1} ({} orientation changes)",
                     flipped.hpwl_before, flipped.hpwl_after, flipped.flips

@@ -182,7 +182,7 @@ impl MacroPlacer {
 
         // Stage 2: pre-training by RL.
         let t1 = Instant::now();
-        let mut outcome = trainer.train();
+        let outcome = trainer.train();
         let training_time = t1.elapsed();
 
         // Stage 3: placement optimization by MCTS (optionally an ensemble
@@ -203,7 +203,7 @@ impl MacroPlacer {
         } else {
             MctsPlacer::new(self.config.mcts.clone()).place(
                 &trainer,
-                &mut outcome.agent,
+                &outcome.agent,
                 &outcome.scale,
             )
         };

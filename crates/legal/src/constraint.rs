@@ -27,6 +27,9 @@ impl ConstraintGraph {
         let n = sp.len();
         let mut preds = vec![Vec::new(); n];
         let mut succs = vec![Vec::new(); n];
+        // Each edge writes both adjacency lists (succs[a] and preds[b]), so
+        // plain index loops beat any iterator shape here.
+        #[allow(clippy::needless_range_loop)]
         for a in 0..n {
             for b in 0..n {
                 if a == b {

@@ -42,9 +42,8 @@ pub fn optimize_orientations(
             // keeps the sweep O(pins) instead of O(design).
             let nets = design.nets_of_macro(id);
             let current = best.macro_orientation(id);
-            let local = |pl: &Placement| -> f64 {
-                nets.iter().map(|&n| pl.net_hpwl(design, n)).sum()
-            };
+            let local =
+                |pl: &Placement| -> f64 { nets.iter().map(|&n| pl.net_hpwl(design, n)).sum() };
             let base_local = local(&best);
             let mut chosen = current;
             let mut chosen_local = base_local;

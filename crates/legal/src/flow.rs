@@ -251,13 +251,13 @@ impl MacroLegalizer {
         let mut var_of: Vec<Option<usize>> = vec![None; n_all];
         let mut vars: Vec<MacroId> = Vec::new();
         let mut centers: Vec<Point> = Vec::with_capacity(n_all);
-        for i in 0..n_all {
+        for (i, var_slot) in var_of.iter_mut().enumerate() {
             let id = MacroId::from_index(i);
             let m = design.macro_(id);
             if let Some(c) = m.fixed_center {
                 centers.push(c);
             } else {
-                var_of[i] = Some(vars.len());
+                *var_slot = Some(vars.len());
                 vars.push(id);
                 let c = coarse
                     .group_of_macro(id)
@@ -500,6 +500,99 @@ impl MacroLegalizer {
             overlap
         };
 
+        // Push macros out of the outlines they still intersect (minimum
+        // single-axis displacement), preferring to move the movable (vs
+        // fixed) or smaller (vs larger) of the pair. Also disperses
+        // pathological all-on-one-point target sets whose position-derived
+        // sequence pair would form an unpackable 1-D chain.
+        // A push can cascade (clearing one outline lands on a neighbour
+        // whose own pair check already ran), so sweep until a sweep moves
+        // nothing, with a small cap against oscillation.
+        let repair = |macro_centers: &mut [Point]| {
+            for _sweep in 0..4_usize {
+                let mut moved_any = false;
+                for i in 0..n {
+                    if design.macro_(MacroId::from_index(i)).is_preplaced() {
+                        continue;
+                    }
+                    for j in 0..n {
+                        if i == j {
+                            continue;
+                        }
+                        let mj = design.macro_(MacroId::from_index(j));
+                        // Push `i` away from fixed macros, and away from larger
+                        // (or equal-size, lower-index) movable macros.
+                        let i_yields = mj.is_preplaced()
+                            || mj.area() > design.macro_(MacroId::from_index(i)).area()
+                            || (mj.area() == design.macro_(MacroId::from_index(i)).area() && j < i);
+                        if !i_yields {
+                            continue;
+                        }
+                        let ri = Rect::centered_at(macro_centers[i], widths[i], heights[i]);
+                        let rj = Rect::centered_at(macro_centers[j], widths[j], heights[j]);
+                        // Float slivers from edge-sharing neighbours are not
+                        // real overlaps; pushing for them ping-pongs a macro
+                        // between abutting blocks.
+                        if ri.overlap_area(&rj) < 1e-9 {
+                            continue;
+                        }
+                        // Candidate pushes: clear to the left/right/bottom/top.
+                        // Only pushes that keep the macro inside the region are
+                        // viable — a clamped push would slide it right back —
+                        // and pushes that land clear of every *fixed* outline
+                        // are preferred (a macro squeezed between two abutting
+                        // preplaced blocks must jump past both, not oscillate).
+                        let pushes = [
+                            Point::new(rj.x - ri.right(), 0.0),
+                            Point::new(rj.right() - ri.x, 0.0),
+                            Point::new(0.0, rj.y - ri.top()),
+                            Point::new(0.0, rj.top() - ri.y),
+                        ];
+                        let fixed_rects: Vec<Rect> = (0..n)
+                            .filter(|&k| {
+                                k != i && design.macro_(MacroId::from_index(k)).is_preplaced()
+                            })
+                            .map(|k| Rect::centered_at(macro_centers[k], widths[k], heights[k]))
+                            .collect();
+                        let in_region = |p: &Point| region.contains_rect(&ri.translated(p.x, p.y));
+                        let clear_of_fixed = |p: &Point| {
+                            let moved = ri.translated(p.x, p.y);
+                            fixed_rects.iter().all(|f| moved.overlap_area(f) < 1e-9)
+                        };
+                        let magnitude = |p: &&Point| -> f64 { p.x.abs() + p.y.abs() };
+                        let best = pushes
+                            .iter()
+                            .filter(|p| in_region(p) && clear_of_fixed(p))
+                            .min_by(|a, b| magnitude(a).partial_cmp(&magnitude(b)).expect("finite"))
+                            .or_else(|| {
+                                pushes.iter().filter(|p| in_region(p)).min_by(|a, b| {
+                                    magnitude(a).partial_cmp(&magnitude(b)).expect("finite")
+                                })
+                            });
+                        let moved = match best {
+                            Some(p) => ri.translated(p.x, p.y),
+                            // Fully boxed in: smallest push, clamped (genuinely
+                            // infeasible designs stay overlapped, reported).
+                            None => {
+                                let p = pushes
+                                    .iter()
+                                    .min_by(|a, b| {
+                                        magnitude(a).partial_cmp(&magnitude(b)).expect("finite")
+                                    })
+                                    .expect("4 candidates");
+                                ri.translated(p.x, p.y).clamped_inside(region)
+                            }
+                        };
+                        macro_centers[i] = moved.center();
+                        moved_any = true;
+                    }
+                }
+                if !moved_any {
+                    break;
+                }
+            }
+        };
+
         let mut overlap = f64::INFINITY;
         let mut round_oor;
         for _round in 0..8_usize {
@@ -579,92 +672,20 @@ impl MacroLegalizer {
                 break;
             }
             out_of_region = round_oor;
-            // Repair: push macros out of the outlines they still intersect
-            // (minimum single-axis displacement), preferring to move the
-            // movable (vs fixed) or smaller (vs larger) of the pair, then
-            // let the next round re-derive relations from the spread
-            // positions. This also disperses pathological all-on-one-point
-            // target sets whose position-derived sequence pair would form
-            // an unpackable 1-D chain.
-            for i in 0..n {
-                if design.macro_(MacroId::from_index(i)).is_preplaced() {
-                    continue;
-                }
-                for j in 0..n {
-                    if i == j {
-                        continue;
-                    }
-                    let mj = design.macro_(MacroId::from_index(j));
-                    // Push `i` away from fixed macros, and away from larger
-                    // (or equal-size, lower-index) movable macros.
-                    let i_yields = mj.is_preplaced()
-                        || mj.area() > design.macro_(MacroId::from_index(i)).area()
-                        || (mj.area() == design.macro_(MacroId::from_index(i)).area() && j < i);
-                    if !i_yields {
-                        continue;
-                    }
-                    let ri = Rect::centered_at(macro_centers[i], widths[i], heights[i]);
-                    let rj = Rect::centered_at(macro_centers[j], widths[j], heights[j]);
-                    // Float slivers from edge-sharing neighbours are not
-                    // real overlaps; pushing for them ping-pongs a macro
-                    // between abutting blocks.
-                    if ri.overlap_area(&rj) < 1e-9 {
-                        continue;
-                    }
-                    // Candidate pushes: clear to the left/right/bottom/top.
-                    // Only pushes that keep the macro inside the region are
-                    // viable — a clamped push would slide it right back —
-                    // and pushes that land clear of every *fixed* outline
-                    // are preferred (a macro squeezed between two abutting
-                    // preplaced blocks must jump past both, not oscillate).
-                    let pushes = [
-                        Point::new(rj.x - ri.right(), 0.0),
-                        Point::new(rj.right() - ri.x, 0.0),
-                        Point::new(0.0, rj.y - ri.top()),
-                        Point::new(0.0, rj.top() - ri.y),
-                    ];
-                    let fixed_rects: Vec<Rect> = (0..n)
-                        .filter(|&k| {
-                            k != i && design.macro_(MacroId::from_index(k)).is_preplaced()
-                        })
-                        .map(|k| Rect::centered_at(macro_centers[k], widths[k], heights[k]))
-                        .collect();
-                    let in_region =
-                        |p: &Point| region.contains_rect(&ri.translated(p.x, p.y));
-                    let clear_of_fixed = |p: &Point| {
-                        let moved = ri.translated(p.x, p.y);
-                        fixed_rects.iter().all(|f| moved.overlap_area(f) < 1e-9)
-                    };
-                    let magnitude =
-                        |p: &&Point| -> f64 { p.x.abs() + p.y.abs() };
-                    let best = pushes
-                        .iter()
-                        .filter(|p| in_region(p) && clear_of_fixed(p))
-                        .min_by(|a, b| magnitude(a).partial_cmp(&magnitude(b)).expect("finite"))
-                        .or_else(|| {
-                            pushes
-                                .iter()
-                                .filter(|p| in_region(p))
-                                .min_by(|a, b| {
-                                    magnitude(a).partial_cmp(&magnitude(b)).expect("finite")
-                                })
-                        });
-                    let moved = match best {
-                        Some(p) => ri.translated(p.x, p.y),
-                        // Fully boxed in: smallest push, clamped (genuinely
-                        // infeasible designs stay overlapped, reported).
-                        None => {
-                            let p = pushes
-                                .iter()
-                                .min_by(|a, b| {
-                                    magnitude(a).partial_cmp(&magnitude(b)).expect("finite")
-                                })
-                                .expect("4 candidates");
-                            ri.translated(p.x, p.y).clamped_inside(region)
-                        }
-                    };
-                    macro_centers[i] = moved.center();
-                }
+            // Repair, then re-measure: snapping a pinned macro back onto a
+            // flush movable is exactly the case a single push resolves, and
+            // without the re-measure a round whose repair fully cleans the
+            // placement would never be credited.
+            repair(macro_centers);
+            overlap = total_overlap(macro_centers);
+            if std::env::var("MMP_TRACE").is_ok() {
+                eprintln!("global_pass round {_round}: post-repair overlap {overlap:.3}");
+            }
+            if overlap < 1e-9 {
+                // Pushes keep macros inside the region (or clamp them), so a
+                // clean post-repair placement is fully legal.
+                out_of_region = false;
+                break;
             }
         }
         // Guaranteed-termination fallback: when the repair rounds leave
@@ -724,6 +745,19 @@ impl MacroLegalizer {
                 }
             }
             overlap = total_overlap(macro_centers);
+            // The snap-back can reintroduce a fixed-macro overlap here too;
+            // one repair pass usually clears it, and is kept only if it
+            // actually helps.
+            if overlap > 1e-9 {
+                let before = macro_centers.to_vec();
+                repair(macro_centers);
+                let repaired = total_overlap(macro_centers);
+                if repaired < overlap {
+                    overlap = repaired;
+                } else {
+                    macro_centers.copy_from_slice(&before);
+                }
+            }
         }
         (out_of_region, overlap)
     }

@@ -9,7 +9,7 @@
 //! always uses noise seed `seed + k`, so results are reproducible.
 
 use crate::search::{MctsConfig, MctsOutcome, MctsPlacer};
-use mmp_rl::{Agent, RewardScale, Trainer};
+use mmp_rl::{Agent, InferenceCtx, RewardScale, Trainer};
 use serde::{Deserialize, Serialize};
 
 /// Ensemble parameters.
@@ -62,9 +62,10 @@ pub fn place_ensemble(
 ) -> EnsembleOutcome {
     assert!(config.runs > 0, "ensemble needs at least one run");
     let mut outcomes: Vec<Option<MctsOutcome>> = vec![None; config.runs];
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (k, slot) in outcomes.iter_mut().enumerate() {
-            let mut worker_agent = agent.clone();
+            // Workers share the read-only agent; each brings only a private
+            // scratch context (no network clone per worker).
             let mut cfg = config.base.clone();
             if k > 0 {
                 cfg.prior_noise = config.noise.max(1e-3);
@@ -72,13 +73,13 @@ pub fn place_ensemble(
             } else {
                 cfg.prior_noise = 0.0;
             }
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let placer = MctsPlacer::new(cfg);
-                *slot = Some(placer.place(trainer, &mut worker_agent, scale));
+                let mut ctx = InferenceCtx::new();
+                *slot = Some(placer.place_with_ctx(trainer, agent, scale, &mut ctx));
             });
         }
-    })
-    .expect("ensemble worker panicked");
+    });
 
     let outcomes: Vec<MctsOutcome> = outcomes
         .into_iter()
@@ -121,7 +122,7 @@ mod tests {
             explorations: 12,
             ..MctsConfig::default()
         })
-        .place(&trainer, &mut out.agent.clone(), &out.scale);
+        .place(&trainer, &out.agent, &out.scale);
         let ens = place_ensemble(
             &trainer,
             &out.agent,

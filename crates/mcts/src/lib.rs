@@ -23,9 +23,9 @@
 //! let mut cfg = TrainerConfig::tiny(4);
 //! cfg.episodes = 3;
 //! let trainer = Trainer::new(&design, cfg);
-//! let mut out = trainer.train();
+//! let out = trainer.train();
 //! let mcts = MctsPlacer::new(MctsConfig { explorations: 8, ..MctsConfig::default() });
-//! let result = mcts.place(&trainer, &mut out.agent, &out.scale);
+//! let result = mcts.place(&trainer, &out.agent, &out.scale);
 //! assert_eq!(result.assignment.len(), trainer.coarse().macro_groups().len());
 //! ```
 

@@ -1,13 +1,27 @@
 //! The exploration loop: selection → expansion → evaluation →
 //! backpropagation (Sec. IV-B, Fig. 3).
+//!
+//! Explorations run in *speculative waves*: up to [`MctsConfig::wave`]
+//! distinct non-terminal leaves are pre-selected per wave and evaluated
+//! with one batched network call ([`Agent::policy_value_batch`]).
+//! Speculation stays virtual-loss-free — pending paths receive in-flight
+//! *virtual visits* that enter only the PUCT exploration term (the
+//! visit-count denominator and ΣN), never Q, so no fake losses are mixed
+//! into value estimates. The wave then *replays* plain sequential
+//! selection, applying a pre-computed evaluation only when the replayed
+//! selection lands on that exact leaf and discarding the rest on the first
+//! misprediction. Search results are therefore bitwise identical for every
+//! wave size — batching trades speculative (possibly wasted) network work
+//! for fewer, larger calls.
 
 use crate::tree::SearchTree;
 use mmp_geom::GridIndex;
-use mmp_rl::{Agent, PlacementEnv, RewardScale, Trainer};
+use mmp_rl::{Agent, InferenceCtx, PlacementEnv, RewardScale, State, Trainer};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
+use std::collections::HashMap;
 
 /// MCTS parameters.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -23,6 +37,11 @@ pub struct MctsConfig {
     pub prior_noise: f32,
     /// Seed for the prior noise (ignored when `prior_noise == 0`).
     pub noise_seed: u64,
+    /// Leaf-evaluation wave size: how many pending leaves are batched into
+    /// one network call. 0 and 1 both mean sequential search (and absent
+    /// fields in serialized configs deserialize to the sequential default).
+    #[serde(default)]
+    pub wave: usize,
 }
 
 impl Default for MctsConfig {
@@ -32,6 +51,7 @@ impl Default for MctsConfig {
             explorations: 64,
             prior_noise: 0.0,
             noise_seed: 0,
+            wave: 1,
         }
     }
 }
@@ -42,8 +62,17 @@ impl Default for MctsConfig {
 pub struct SearchStats {
     /// Explorations performed.
     pub explorations: usize,
-    /// Leaves evaluated by V_θ (cheap).
+    /// Leaves evaluated by V_θ and expanded (cheap).
     pub value_evaluations: usize,
+    /// Batched network calls issued for leaf evaluation (≤
+    /// `value_evaluations + wasted_evaluations`; equal to
+    /// `value_evaluations` when `wave == 1`).
+    #[serde(default)]
+    pub batched_calls: usize,
+    /// Speculatively evaluated leaves discarded because sequential replay
+    /// selected a different leaf (0 when `wave == 1`).
+    #[serde(default)]
+    pub wasted_evaluations: usize,
     /// Leaves evaluated by the real legalize-and-place pipeline
     /// (expensive).
     pub terminal_evaluations: usize,
@@ -62,6 +91,22 @@ pub struct MctsOutcome {
     pub reward: f64,
     /// Search effort counters.
     pub stats: SearchStats,
+}
+
+/// Total order for committing a root edge: most visits first, ties broken
+/// by higher Q then higher prior. NaN Q (impossible for visited edges, but
+/// cheap to rule out) sorts below every real Q, so it can never win a tie.
+pub(crate) fn commit_key_cmp(a: (u32, f64, f32), b: (u32, f64, f32)) -> std::cmp::Ordering {
+    let sane = |q: f64| if q.is_nan() { f64::NEG_INFINITY } else { q };
+    a.0.cmp(&b.0)
+        .then_with(|| sane(a.1).total_cmp(&sane(b.1)))
+        .then_with(|| a.2.total_cmp(&b.2))
+}
+
+/// One speculatively selected leaf awaiting batched evaluation.
+struct PendingLeaf {
+    node: usize,
+    state: State,
 }
 
 /// The MCTS placement-optimization stage (Algorithm 1, lines 11–16).
@@ -95,13 +140,25 @@ impl MctsPlacer {
         &self.config
     }
 
+    /// Runs the full search with an internal scratch context; see
+    /// [`MctsPlacer::place_with_ctx`].
+    pub fn place(&self, trainer: &Trainer<'_>, agent: &Agent, scale: &RewardScale) -> MctsOutcome {
+        let mut ctx = InferenceCtx::new();
+        self.place_with_ctx(trainer, agent, scale, &mut ctx)
+    }
+
     /// Runs the full search: γ explorations per macro group, committing the
     /// most-visited child each time, then scores the final allocation.
-    pub fn place(
+    ///
+    /// The agent is only read (`&Agent`); all network scratch lives in
+    /// `ctx`, so concurrent searches can share one agent with per-thread
+    /// contexts.
+    pub fn place_with_ctx(
         &self,
         trainer: &Trainer<'_>,
-        agent: &mut Agent,
+        agent: &Agent,
         scale: &RewardScale,
+        ctx: &mut InferenceCtx,
     ) -> MctsOutcome {
         let mut env = PlacementEnv::new(trainer.design(), trainer.coarse(), trainer.grid().clone());
         let mut tree = SearchTree::new();
@@ -109,8 +166,19 @@ impl MctsPlacer {
 
         let steps = env.episode_len();
         for _ in 0..steps {
-            for _ in 0..self.config.explorations.max(1) {
-                self.explore(&mut tree, &env, trainer, agent, scale, &mut stats);
+            let goal = self.config.explorations.max(1);
+            let mut done = 0;
+            while done < goal {
+                done += self.explore_wave(
+                    &mut tree,
+                    &env,
+                    trainer,
+                    agent,
+                    scale,
+                    &mut stats,
+                    ctx,
+                    goal - done,
+                );
             }
             // Commit the most-visited edge (ties: higher Q, then prior).
             let root = tree.root();
@@ -123,11 +191,7 @@ impl MctsPlacer {
                 let best = edges
                     .iter()
                     .enumerate()
-                    .max_by(|(_, a), (_, b)| {
-                        (a.n, a.q(), a.p)
-                            .partial_cmp(&(b.n, b.q(), b.p))
-                            .expect("finite stats")
-                    })
+                    .max_by(|(_, a), (_, b)| commit_key_cmp((a.n, a.q(), a.p), (b.n, b.q(), b.p)))
                     .expect("at least one edge");
                 (best.0, best.1.action)
             };
@@ -146,24 +210,22 @@ impl MctsPlacer {
         }
     }
 
-    /// One exploration from the current root (Fig. 3).
-    fn explore(
+    /// Selects a leaf by PUCT from the current root. `inflight` (per-edge
+    /// and per-node virtual visit counts) biases only the exploration term;
+    /// pass empty maps for plain sequential selection.
+    fn select_leaf<'a>(
         &self,
         tree: &mut SearchTree,
-        root_env: &PlacementEnv<'_>,
-        trainer: &Trainer<'_>,
-        agent: &mut Agent,
-        scale: &RewardScale,
-        stats: &mut SearchStats,
-    ) {
-        stats.explorations += 1;
+        root_env: &PlacementEnv<'a>,
+        inflight_edge: &HashMap<(usize, usize), u32>,
+        inflight_node: &HashMap<usize, u32>,
+    ) -> (Vec<(usize, usize)>, usize, PlacementEnv<'a>) {
         let mut sim = root_env.clone();
         let mut node = tree.root();
         let mut path: Vec<(usize, usize)> = Vec::new();
-
-        // Selection: descend while the node is expanded.
         while tree.node(node).edges.is_some() && !sim.is_terminal() {
-            let sum_n = tree.visit_sum(node) as f64;
+            let sum_n =
+                tree.visit_sum(node) as f64 + inflight_node.get(&node).copied().unwrap_or(0) as f64;
             // √ΣN of Eq. 11, floored at 1 so priors break the all-zero tie
             // on a freshly expanded node.
             let sqrt_sum = sum_n.sqrt().max(1.0);
@@ -172,11 +234,15 @@ impl MctsPlacer {
                 let best = edges
                     .iter()
                     .enumerate()
-                    .max_by(|(_, a), (_, b)| {
-                        let ua =
-                            a.q() + self.config.c_puct * a.p as f64 * sqrt_sum / (1.0 + a.n as f64);
-                        let ub =
-                            b.q() + self.config.c_puct * b.p as f64 * sqrt_sum / (1.0 + b.n as f64);
+                    .max_by(|(ia, a), (ib, b)| {
+                        let fa = inflight_edge.get(&(node, *ia)).copied().unwrap_or(0);
+                        let fb = inflight_edge.get(&(node, *ib)).copied().unwrap_or(0);
+                        let ua = a.q()
+                            + self.config.c_puct * a.p as f64 * sqrt_sum
+                                / (1.0 + (a.n + fa) as f64);
+                        let ub = b.q()
+                            + self.config.c_puct * b.p as f64 * sqrt_sum
+                                / (1.0 + (b.n + fb) as f64);
                         ua.partial_cmp(&ub).expect("finite PUCT scores")
                     })
                     .expect("edges exist");
@@ -186,40 +252,145 @@ impl MctsPlacer {
             sim.step(action);
             node = tree.child_of(node, edge_idx);
         }
+        (path, node, sim)
+    }
 
-        // Evaluation (and expansion for non-terminal leaves).
-        let value = if sim.is_terminal() {
-            // Terminal: run the real pipeline once, cache the reward.
-            match tree.node(node).terminal_reward {
-                Some(r) => r,
-                None => {
-                    stats.terminal_evaluations += 1;
-                    let r = scale.reward(trainer.wirelength_of(&sim));
-                    tree.node_mut(node).terminal_reward = Some(r);
-                    r
+    /// Applies one network output to a leaf: expand with (optionally
+    /// noised) π_θ priors, backpropagate V_θ (Sec. IV-B3).
+    fn apply_evaluation(
+        &self,
+        tree: &mut SearchTree,
+        path: &[(usize, usize)],
+        node: usize,
+        out: &mmp_rl::NetOutput,
+    ) {
+        let priors = if self.config.prior_noise > 0.0 {
+            let mut rng = self.noise.borrow_mut();
+            let amp = self.config.prior_noise;
+            out.probs
+                .iter()
+                .map(|&p| p * (1.0 + amp * (rng.gen::<f32>() - 0.5)))
+                .collect()
+        } else {
+            out.probs.clone()
+        };
+        tree.expand(node, &priors);
+        tree.backpropagate(path, out.value as f64);
+    }
+
+    /// Runs one exploration wave from the current root.
+    ///
+    /// Phase 1 (speculation, `wave > 1` only): select up to `wave` distinct
+    /// non-terminal leaves under virtual in-flight visits and evaluate them
+    /// with one batched network call. Phase 2 (replay): run plain
+    /// sequential explorations; a leaf whose evaluation was pre-computed is
+    /// expanded from the batch, terminal leaves run the real pipeline as
+    /// usual, and the first sequential selection that was *not* speculated
+    /// ends the wave, discarding unused batch entries. Every committed
+    /// update is exactly what `wave == 1` would have done, so results are
+    /// wave-size-invariant. Returns the explorations consumed (≥ 1).
+    #[allow(clippy::too_many_arguments)]
+    fn explore_wave(
+        &self,
+        tree: &mut SearchTree,
+        root_env: &PlacementEnv<'_>,
+        trainer: &Trainer<'_>,
+        agent: &Agent,
+        scale: &RewardScale,
+        stats: &mut SearchStats,
+        ctx: &mut InferenceCtx,
+        budget: usize,
+    ) -> usize {
+        let wave = self.config.wave.max(1).min(budget.max(1));
+        let no_inflight: HashMap<(usize, usize), u32> = HashMap::new();
+        let no_inflight_node: HashMap<usize, u32> = HashMap::new();
+
+        // --- Phase 1: speculate and batch-evaluate -----------------------
+        let mut results: HashMap<usize, mmp_rl::NetOutput> = HashMap::new();
+        if wave > 1 {
+            let mut inflight_edge: HashMap<(usize, usize), u32> = HashMap::new();
+            let mut inflight_node: HashMap<usize, u32> = HashMap::new();
+            let mut pending: Vec<PendingLeaf> = Vec::new();
+            while pending.len() < wave {
+                let (path, node, sim) =
+                    self.select_leaf(tree, root_env, &inflight_edge, &inflight_node);
+                // Terminal leaves need no network; replay handles them.
+                // A revisited pending leaf means the tree has no more
+                // distinct work this wave.
+                if sim.is_terminal() || pending.iter().any(|p| p.node == node) {
+                    break;
+                }
+                for &(n, e) in &path {
+                    *inflight_edge.entry((n, e)).or_insert(0) += 1;
+                    *inflight_node.entry(n).or_insert(0) += 1;
+                }
+                pending.push(PendingLeaf {
+                    node,
+                    state: sim.state(),
+                });
+            }
+            if !pending.is_empty() {
+                let states: Vec<State> = pending.iter().map(|p| p.state.clone()).collect();
+                let outs = agent.policy_value_batch(&states, ctx);
+                stats.batched_calls += 1;
+                for (leaf, out) in pending.into_iter().zip(outs) {
+                    results.insert(leaf.node, out);
                 }
             }
-        } else {
-            // Non-terminal unexplored leaf: expand with π_θ priors and
-            // score it with V_θ instead of a rollout (Sec. IV-B3).
-            stats.value_evaluations += 1;
-            let state = sim.state();
-            let out = agent.policy_value(&state);
-            let priors = if self.config.prior_noise > 0.0 {
-                let mut rng = self.noise.borrow_mut();
-                let amp = self.config.prior_noise;
-                out.probs
-                    .iter()
-                    .map(|&p| p * (1.0 + amp * (rng.gen::<f32>() - 0.5)))
-                    .collect()
-            } else {
-                out.probs
-            };
-            tree.expand(node, &priors);
-            out.value as f64
-        };
+        }
 
-        tree.backpropagate(&path, value);
+        // --- Phase 2: sequential replay ----------------------------------
+        let mut consumed = 0usize;
+        while consumed < budget {
+            let (path, node, sim) =
+                self.select_leaf(tree, root_env, &no_inflight, &no_inflight_node);
+            if sim.is_terminal() {
+                // Terminal: run the real pipeline once, cache the reward.
+                let value = match tree.node(node).terminal_reward {
+                    Some(r) => r,
+                    None => {
+                        stats.terminal_evaluations += 1;
+                        let r = scale.reward(trainer.wirelength_of(&sim));
+                        tree.node_mut(node).terminal_reward = Some(r);
+                        r
+                    }
+                };
+                tree.backpropagate(&path, value);
+                stats.explorations += 1;
+                consumed += 1;
+                continue;
+            }
+            if let Some(out) = results.remove(&node) {
+                // Speculation hit: the batch already evaluated this leaf.
+                self.apply_evaluation(tree, &path, node, &out);
+                stats.value_evaluations += 1;
+                stats.explorations += 1;
+                consumed += 1;
+                if results.is_empty() {
+                    break; // batch exhausted — next wave re-speculates
+                }
+                continue;
+            }
+            if consumed > 0 {
+                // Misprediction: sequential search went somewhere the
+                // speculation did not — discard the leftovers.
+                break;
+            }
+            // Nothing speculated (wave == 1, or speculation stopped at a
+            // terminal): evaluate the single leaf directly.
+            let out = agent
+                .policy_value_batch(&[sim.state()], ctx)
+                .pop()
+                .expect("one state yields one output");
+            stats.batched_calls += 1;
+            self.apply_evaluation(tree, &path, node, &out);
+            stats.value_evaluations += 1;
+            stats.explorations += 1;
+            consumed += 1;
+            break;
+        }
+        stats.wasted_evaluations += results.len();
+        consumed.max(1)
     }
 }
 
@@ -240,12 +411,12 @@ mod tests {
     fn mcts_places_every_group() {
         let (d, cfg) = trained(1, 3);
         let trainer = Trainer::new(&d, cfg);
-        let mut out = trainer.train();
+        let out = trainer.train();
         let placer = MctsPlacer::new(MctsConfig {
             explorations: 6,
             ..MctsConfig::default()
         });
-        let result = placer.place(&trainer, &mut out.agent, &out.scale);
+        let result = placer.place(&trainer, &out.agent, &out.scale);
         assert_eq!(
             result.assignment.len(),
             trainer.coarse().macro_groups().len()
@@ -262,15 +433,70 @@ mod tests {
     fn mcts_is_deterministic() {
         let (d, cfg) = trained(2, 2);
         let trainer = Trainer::new(&d, cfg);
-        let mut out = trainer.train();
+        let out = trainer.train();
         let placer = MctsPlacer::new(MctsConfig {
             explorations: 4,
             ..MctsConfig::default()
         });
-        let a = placer.place(&trainer, &mut out.agent.clone(), &out.scale);
-        let b = placer.place(&trainer, &mut out.agent, &out.scale);
+        let a = placer.place(&trainer, &out.agent, &out.scale);
+        let b = placer.place(&trainer, &out.agent, &out.scale);
         assert_eq!(a.assignment, b.assignment);
         assert_eq!(a.wirelength, b.wirelength);
+    }
+
+    #[test]
+    fn wave_batching_reproduces_sequential_search() {
+        // Virtual visits only redirect *within* a wave; the committed
+        // assignment must match the sequential (wave = 1) search.
+        let (d, cfg) = trained(7, 3);
+        let trainer = Trainer::new(&d, cfg);
+        let out = trainer.train();
+        let sequential = MctsPlacer::new(MctsConfig {
+            explorations: 12,
+            wave: 1,
+            ..MctsConfig::default()
+        })
+        .place(&trainer, &out.agent, &out.scale);
+        let waved = MctsPlacer::new(MctsConfig {
+            explorations: 12,
+            wave: 8,
+            ..MctsConfig::default()
+        })
+        .place(&trainer, &out.agent, &out.scale);
+        assert_eq!(sequential.assignment, waved.assignment);
+        assert_eq!(sequential.wirelength, waved.wirelength);
+        // The waved run must actually have batched: fewer network calls
+        // than leaf evaluations.
+        assert!(
+            waved.stats.batched_calls < waved.stats.value_evaluations,
+            "wave=8 did not batch: {:?}",
+            waved.stats
+        );
+        assert_eq!(
+            sequential.stats.batched_calls,
+            sequential.stats.value_evaluations
+        );
+    }
+
+    #[test]
+    fn wave_zero_behaves_as_sequential() {
+        // 0 (e.g. from a serialized config without the field) means 1.
+        let (d, cfg) = trained(8, 2);
+        let trainer = Trainer::new(&d, cfg);
+        let out = trainer.train();
+        let a = MctsPlacer::new(MctsConfig {
+            explorations: 6,
+            wave: 0,
+            ..MctsConfig::default()
+        })
+        .place(&trainer, &out.agent, &out.scale);
+        let b = MctsPlacer::new(MctsConfig {
+            explorations: 6,
+            wave: 1,
+            ..MctsConfig::default()
+        })
+        .place(&trainer, &out.agent, &out.scale);
+        assert_eq!(a.assignment, b.assignment);
     }
 
     #[test]
@@ -279,12 +505,12 @@ mod tests {
         // so real placements are rare.
         let (d, cfg) = trained(3, 2);
         let trainer = Trainer::new(&d, cfg);
-        let mut out = trainer.train();
+        let out = trainer.train();
         let placer = MctsPlacer::new(MctsConfig {
             explorations: 8,
             ..MctsConfig::default()
         });
-        let result = placer.place(&trainer, &mut out.agent, &out.scale);
+        let result = placer.place(&trainer, &out.agent, &out.scale);
         assert!(
             result.stats.value_evaluations >= result.stats.terminal_evaluations,
             "{:?}",
@@ -298,17 +524,17 @@ mod tests {
         // should not be wildly worse; this guards sign errors in PUCT.
         let (d, cfg) = trained(4, 3);
         let trainer = Trainer::new(&d, cfg);
-        let mut out = trainer.train();
+        let out = trainer.train();
         let shallow = MctsPlacer::new(MctsConfig {
             explorations: 2,
             ..MctsConfig::default()
         })
-        .place(&trainer, &mut out.agent.clone(), &out.scale);
+        .place(&trainer, &out.agent, &out.scale);
         let deep = MctsPlacer::new(MctsConfig {
             explorations: 24,
             ..MctsConfig::default()
         })
-        .place(&trainer, &mut out.agent, &out.scale);
+        .place(&trainer, &out.agent, &out.scale);
         assert!(
             deep.wirelength <= shallow.wirelength * 1.5,
             "deep {} vs shallow {}",
@@ -323,13 +549,13 @@ mod tests {
         // least as good as the greedy RL rollout of the same agent.
         let (d, cfg) = trained(5, 6);
         let trainer = Trainer::new(&d, cfg);
-        let mut out = trainer.train();
-        let (_, rl_w) = trainer.greedy_episode(&mut out.agent);
+        let out = trainer.train();
+        let (_, rl_w) = trainer.greedy_episode(&out.agent);
         let mcts = MctsPlacer::new(MctsConfig {
             explorations: 32,
             ..MctsConfig::default()
         })
-        .place(&trainer, &mut out.agent, &out.scale);
+        .place(&trainer, &out.agent, &out.scale);
         assert!(
             mcts.wirelength <= rl_w * 1.05,
             "mcts {} should not lose to greedy RL {} by >5%",
@@ -342,5 +568,56 @@ mod tests {
     fn default_config_matches_paper_constant() {
         let cfg = MctsConfig::default();
         assert_eq!(cfg.c_puct, 1.05);
+        assert_eq!(cfg.wave, 1);
+    }
+
+    #[test]
+    fn commit_key_prefers_visits_then_q_then_prior() {
+        use std::cmp::Ordering;
+        // Visits dominate regardless of Q.
+        assert_eq!(
+            commit_key_cmp((3, -1.0, 0.0), (2, 5.0, 1.0)),
+            Ordering::Greater
+        );
+        // Equal visits: Q breaks the tie.
+        assert_eq!(
+            commit_key_cmp((4, 0.5, 0.0), (4, 0.2, 1.0)),
+            Ordering::Greater
+        );
+        // Equal visits and Q: prior breaks the tie.
+        assert_eq!(
+            commit_key_cmp((4, 0.5, 0.9), (4, 0.5, 0.1)),
+            Ordering::Greater
+        );
+        assert_eq!(
+            commit_key_cmp((4, 0.5, 0.9), (4, 0.5, 0.9)),
+            Ordering::Equal
+        );
+    }
+
+    #[test]
+    fn commit_key_nan_q_never_wins() {
+        use std::cmp::Ordering;
+        // A NaN Q sorts below any real Q at equal visit counts — it must
+        // not flip the ordering or poison max_by.
+        assert_eq!(
+            commit_key_cmp((4, f64::NAN, 1.0), (4, -10.0, 0.0)),
+            Ordering::Less
+        );
+        assert_eq!(
+            commit_key_cmp((4, -10.0, 0.0), (4, f64::NAN, 1.0)),
+            Ordering::Greater
+        );
+        // Two NaNs fall through to the prior tiebreak, still totally
+        // ordered.
+        assert_eq!(
+            commit_key_cmp((4, f64::NAN, 0.7), (4, f64::NAN, 0.2)),
+            Ordering::Greater
+        );
+        // Visit counts still dominate a NaN Q.
+        assert_eq!(
+            commit_key_cmp((5, f64::NAN, 0.0), (4, 1.0, 1.0)),
+            Ordering::Greater
+        );
     }
 }

@@ -244,7 +244,6 @@ mod tests {
         assert_eq!(t.root(), c);
     }
 
-
     #[test]
     fn visit_sum_conserves_backpropagations() {
         // Property: after any sequence of backpropagations through the

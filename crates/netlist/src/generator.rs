@@ -181,9 +181,19 @@ impl SyntheticSpec {
                 module_names[m].clone(),
             ));
         }
-        // Preplaced macros: packed along the bottom and top boundaries.
+        // Preplaced macros: packed along the bottom and top boundaries in
+        // bands. When a band fills, the next one opens on the opposite side,
+        // offset inward by the heights already stacked there — so a third or
+        // fourth band never wraps back onto an earlier one.
+        // Small halo between neighbours, as real fixed RAMs keep spacing; it
+        // also keeps exactly-abutting edges (and their float-reconstruction
+        // jitter) out of the overlap checks downstream.
+        let gap = side * 1e-3;
         let mut px = 0.0;
         let mut on_top = false;
+        let mut bottom_stack = 0.0;
+        let mut top_stack = 0.0;
+        let mut band_height: f64 = 0.0;
         let mut preplaced_ids = Vec::with_capacity(self.preplaced_macros);
         for (i, &(w, h)) in macro_dims
             .iter()
@@ -194,10 +204,21 @@ impl SyntheticSpec {
             let w = w.min(side * 0.3);
             let h = h.min(side * 0.3);
             if px + w > side {
+                if on_top {
+                    top_stack += band_height + gap;
+                } else {
+                    bottom_stack += band_height + gap;
+                }
+                band_height = 0.0;
                 px = 0.0;
                 on_top = !on_top;
             }
-            let cy = if on_top { side - h / 2.0 } else { h / 2.0 };
+            band_height = band_height.max(h);
+            let cy = if on_top {
+                side - top_stack - h / 2.0
+            } else {
+                bottom_stack + h / 2.0
+            };
             let m = module_of(&mut rng);
             macro_module.push(m);
             preplaced_ids.push(b.add_preplaced_macro(
@@ -207,7 +228,7 @@ impl SyntheticSpec {
                 module_names[m].clone(),
                 Point::new(px + w / 2.0, cy),
             ));
-            px += w;
+            px += w + gap;
         }
         let mut cell_module = Vec::with_capacity(self.std_cells);
         let mut cell_ids = Vec::with_capacity(self.std_cells);

@@ -124,9 +124,7 @@ impl Placement {
     /// are transformed by the macro's orientation.
     pub fn pin_position(&self, design: &Design, node: NodeRef, offset: Point) -> Point {
         match node {
-            NodeRef::Macro(id) => {
-                self.macro_center(id) + self.macro_orientation(id).apply(offset)
-            }
+            NodeRef::Macro(id) => self.macro_center(id) + self.macro_orientation(id).apply(offset),
             NodeRef::Cell(id) => self.cell_center(id) + offset,
             NodeRef::Pad(id) => design.pad(id).position,
         }

@@ -1,5 +1,6 @@
 //! ReLU and softmax.
 
+use crate::infer::InferenceCtx;
 use crate::layer::{Layer, Param};
 use crate::tensor::Tensor;
 use serde::{Deserialize, Serialize};
@@ -40,6 +41,14 @@ impl Layer for Relu {
             }
         }
         grad_in
+    }
+
+    fn infer(&self, input: &Tensor, ctx: &mut InferenceCtx) -> Tensor {
+        let mut out = ctx.take_tensor(input.shape());
+        for (o, &v) in out.as_mut_slice().iter_mut().zip(input.as_slice()) {
+            *o = if v > 0.0 { v } else { 0.0 };
+        }
+        out
     }
 
     fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}

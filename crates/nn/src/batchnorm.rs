@@ -1,5 +1,6 @@
 //! 2-D batch normalisation (per-channel over N·H·W).
 
+use crate::infer::InferenceCtx;
 use crate::layer::{Layer, Param};
 use crate::tensor::Tensor;
 use serde::{Deserialize, Serialize};
@@ -63,7 +64,7 @@ impl Layer for BatchNorm2d {
         let mut out = Tensor::zeros(&[n, c, h, w]);
         let mut x_hat = Tensor::zeros(&[n, c, h, w]);
         let mut inv_stds = vec![0.0f32; c];
-        for ch in 0..c {
+        for (ch, inv_std_slot) in inv_stds.iter_mut().enumerate() {
             let (mean, var) = if train {
                 let mut mean = 0.0f32;
                 for s in 0..n {
@@ -87,7 +88,7 @@ impl Layer for BatchNorm2d {
                 (self.running_mean[ch], self.running_var[ch])
             };
             let inv_std = 1.0 / (var + EPS).sqrt();
-            inv_stds[ch] = inv_std;
+            *inv_std_slot = inv_std;
             let g = self.gamma.value.as_slice()[ch];
             let b = self.beta.value.as_slice()[ch];
             for s in 0..n {
@@ -148,6 +149,27 @@ impl Layer for BatchNorm2d {
             }
         }
         grad_in
+    }
+
+    fn infer(&self, input: &Tensor, ctx: &mut InferenceCtx) -> Tensor {
+        let [n, c, h, w]: [usize; 4] = input.shape().try_into().expect("bn input is NCHW");
+        assert_eq!(c, self.channels, "channel mismatch");
+        let hw = h * w;
+        let mut out = ctx.take_tensor(&[n, c, h, w]);
+        for ch in 0..c {
+            let mean = self.running_mean[ch];
+            let inv_std = 1.0 / (self.running_var[ch] + EPS).sqrt();
+            let g = self.gamma.value.as_slice()[ch];
+            let b = self.beta.value.as_slice()[ch];
+            for s in 0..n {
+                let base = (s * c + ch) * hw;
+                for i in base..base + hw {
+                    let xh = (input.as_slice()[i] - mean) * inv_std;
+                    out.as_mut_slice()[i] = g * xh + b;
+                }
+            }
+        }
+        out
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {

@@ -1,5 +1,6 @@
 //! 2-D convolution (stride 1, "same" padding) via im2col + GEMM.
 
+use crate::infer::InferenceCtx;
 use crate::layer::{Layer, Param};
 use crate::matmul::{matmul, matmul_a_bt, matmul_at_b};
 use crate::tensor::Tensor;
@@ -55,10 +56,20 @@ impl Conv2d {
 
     /// im2col for one sample: `[C·k·k, H·W]`.
     fn im2col(&self, sample: &[f32], h: usize, w: usize) -> Vec<f32> {
+        let ckk = self.in_channels * self.kernel * self.kernel;
+        let mut cols = vec![0.0f32; ckk * h * w];
+        self.im2col_into(sample, h, w, &mut cols);
+        cols
+    }
+
+    /// [`Conv2d::im2col`] into a caller-provided buffer.
+    ///
+    /// Padding positions are never written, so the buffer must start
+    /// zeroed; in-bounds positions are fully overwritten, so the same
+    /// buffer can be reused across samples without re-zeroing.
+    fn im2col_into(&self, sample: &[f32], h: usize, w: usize, cols: &mut [f32]) {
         let k = self.kernel;
         let pad = k / 2;
-        let ckk = self.in_channels * k * k;
-        let mut cols = vec![0.0f32; ckk * h * w];
         let hw = h * w;
         for c in 0..self.in_channels {
             let plane = &sample[c * hw..(c + 1) * hw];
@@ -82,7 +93,6 @@ impl Conv2d {
                 }
             }
         }
-        cols
     }
 
     /// Scatter-add of column gradients back to an input-shaped buffer.
@@ -192,6 +202,39 @@ impl Layer for Conv2d {
             self.col2im(&dcols, h, w, gi);
         }
         grad_in
+    }
+
+    fn infer(&self, input: &Tensor, ctx: &mut InferenceCtx) -> Tensor {
+        let [n, c, h, w]: [usize; 4] = input.shape().try_into().expect("conv input is NCHW");
+        assert_eq!(c, self.in_channels, "channel mismatch");
+        let hw = h * w;
+        let ckk = self.in_channels * self.kernel * self.kernel;
+        let mut out = ctx.take_tensor(&[n, self.out_channels, h, w]);
+        // One pooled column buffer serves every sample: padding slots stay
+        // zero across iterations, data slots are fully overwritten.
+        let mut cols = ctx.take(ckk * hw);
+        for s in 0..n {
+            let sample = &input.as_slice()[s * c * hw..(s + 1) * c * hw];
+            self.im2col_into(sample, h, w, &mut cols);
+            let out_s = &mut out.as_mut_slice()
+                [s * self.out_channels * hw..(s + 1) * self.out_channels * hw];
+            matmul(
+                self.weight.value.as_slice(),
+                &cols,
+                out_s,
+                self.out_channels,
+                ckk,
+                hw,
+            );
+            for f in 0..self.out_channels {
+                let b = self.bias.value.as_slice()[f];
+                for v in &mut out_s[f * hw..(f + 1) * hw] {
+                    *v += b;
+                }
+            }
+        }
+        ctx.recycle(cols);
+        out
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {

@@ -1,0 +1,155 @@
+//! The inference workspace: preallocated scratch buffers shared across
+//! forward passes.
+//!
+//! Training needs `&mut self` layers (the tape caches live inside them),
+//! but inference does not: weights are immutable and every intermediate is
+//! scratch. [`InferenceCtx`] makes that split explicit — layers expose
+//! [`Layer::infer`](crate::Layer::infer) taking `&self` weights plus a
+//! `&mut InferenceCtx`, and every im2col buffer, activation plane and head
+//! output is drawn from (and returned to) the context's pool instead of
+//! being freshly allocated. One network can then be shared by many readers
+//! (MCTS workers, batched evaluators) that each own a cheap context.
+
+use crate::tensor::Tensor;
+
+/// A pool of reusable `f32` buffers keyed by capacity.
+///
+/// `take` hands out a zeroed buffer of the requested length, reusing the
+/// smallest pooled allocation that fits; `recycle` returns a buffer to the
+/// pool. The pool is bounded so pathological shape sequences cannot hoard
+/// memory.
+///
+/// # Example
+///
+/// ```
+/// use mmp_nn::InferenceCtx;
+///
+/// let mut ctx = InferenceCtx::new();
+/// let buf = ctx.take(128);
+/// assert_eq!(buf.len(), 128);
+/// assert!(buf.iter().all(|&v| v == 0.0));
+/// ctx.recycle(buf);
+/// // The next request reuses the same allocation.
+/// let again = ctx.take(64);
+/// assert!(again.capacity() >= 128);
+/// ```
+#[derive(Debug, Default)]
+pub struct InferenceCtx {
+    /// Recycled buffers, unordered; small (≤ [`InferenceCtx::MAX_POOLED`]).
+    pool: Vec<Vec<f32>>,
+}
+
+impl InferenceCtx {
+    /// Upper bound on pooled buffers; excess recycles are dropped.
+    const MAX_POOLED: usize = 32;
+
+    /// An empty context.
+    pub fn new() -> Self {
+        InferenceCtx::default()
+    }
+
+    /// Number of buffers currently pooled (diagnostics).
+    pub fn pooled(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// A zeroed buffer of exactly `len` elements, reusing a pooled
+    /// allocation when one with sufficient capacity exists.
+    pub fn take(&mut self, len: usize) -> Vec<f32> {
+        // Pick the smallest pooled buffer that fits to keep big ones for
+        // big requests.
+        let mut best: Option<usize> = None;
+        for (i, b) in self.pool.iter().enumerate() {
+            if b.capacity() >= len && best.is_none_or(|j| b.capacity() < self.pool[j].capacity()) {
+                best = Some(i);
+            }
+        }
+        match best {
+            Some(i) => {
+                let mut buf = self.pool.swap_remove(i);
+                buf.clear();
+                buf.resize(len, 0.0);
+                buf
+            }
+            None => vec![0.0; len],
+        }
+    }
+
+    /// Returns a buffer to the pool for reuse.
+    pub fn recycle(&mut self, buf: Vec<f32>) {
+        if buf.capacity() > 0 && self.pool.len() < Self::MAX_POOLED {
+            self.pool.push(buf);
+        }
+    }
+
+    /// A zeroed tensor of the given shape backed by a pooled buffer.
+    pub fn take_tensor(&mut self, shape: &[usize]) -> Tensor {
+        let len = shape.iter().product();
+        Tensor::from_vec(shape, self.take(len))
+    }
+
+    /// Returns a tensor's backing storage to the pool.
+    pub fn recycle_tensor(&mut self, t: Tensor) {
+        self.recycle(t.into_raw());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_returns_zeroed_buffers() {
+        let mut ctx = InferenceCtx::new();
+        let mut buf = ctx.take(16);
+        buf.iter_mut().for_each(|v| *v = 3.0);
+        ctx.recycle(buf);
+        let again = ctx.take(16);
+        assert!(
+            again.iter().all(|&v| v == 0.0),
+            "recycled buffer not zeroed"
+        );
+    }
+
+    #[test]
+    fn pool_reuses_allocations() {
+        let mut ctx = InferenceCtx::new();
+        let buf = ctx.take(100);
+        let ptr = buf.as_ptr();
+        ctx.recycle(buf);
+        assert_eq!(ctx.pooled(), 1);
+        let again = ctx.take(50);
+        assert_eq!(again.as_ptr(), ptr, "pooled allocation should be reused");
+        assert_eq!(ctx.pooled(), 0);
+    }
+
+    #[test]
+    fn smallest_sufficient_buffer_is_picked() {
+        let mut ctx = InferenceCtx::new();
+        let big = ctx.take(1000);
+        let small = ctx.take(10);
+        ctx.recycle(big);
+        ctx.recycle(small);
+        let got = ctx.take(8);
+        assert!(got.capacity() < 1000, "should prefer the small buffer");
+    }
+
+    #[test]
+    fn pool_is_bounded() {
+        let mut ctx = InferenceCtx::new();
+        for _ in 0..100 {
+            ctx.recycle(vec![0.0; 4]);
+        }
+        assert!(ctx.pooled() <= InferenceCtx::MAX_POOLED);
+    }
+
+    #[test]
+    fn tensor_roundtrip() {
+        let mut ctx = InferenceCtx::new();
+        let t = ctx.take_tensor(&[2, 3]);
+        assert_eq!(t.shape(), &[2, 3]);
+        assert_eq!(t.len(), 6);
+        ctx.recycle_tensor(t);
+        assert_eq!(ctx.pooled(), 1);
+    }
+}

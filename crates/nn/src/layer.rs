@@ -1,5 +1,6 @@
 //! The layer abstraction: forward, backward, and parameter visitation.
 
+use crate::infer::InferenceCtx;
 use crate::tensor::Tensor;
 use serde::{Deserialize, Serialize};
 
@@ -32,10 +33,19 @@ impl Param {
 /// consumes the cache, accumulates parameter gradients and returns the
 /// gradient w.r.t. the layer input. Layers are used strictly in
 /// forward-then-backward pairs (standard tape discipline).
+///
+/// `infer` is the stateless counterpart: weights stay `&self`, all scratch
+/// comes from the [`InferenceCtx`], nothing is cached — so one layer can be
+/// shared by many concurrent readers, each with its own context.
 pub trait Layer {
     /// Computes the layer output. `train` selects training behaviour
     /// (batch statistics in batch-norm).
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor;
+
+    /// Computes the layer output without mutating the layer: evaluation
+    /// semantics (running statistics in batch-norm), scratch drawn from
+    /// `ctx`. Inputs may carry a leading batch axis N ≥ 1.
+    fn infer(&self, input: &Tensor, ctx: &mut InferenceCtx) -> Tensor;
 
     /// Propagates `grad_out` (∂loss/∂output) to ∂loss/∂input, accumulating
     /// parameter gradients.

@@ -10,6 +10,13 @@
 //! optimizers. Layer widths are parameters, so the paper-scale network
 //! (16×16×128, 10 ResBlocks) and laptop-scale test networks share all code.
 //!
+//! Weights and workspace are split: training goes through
+//! [`Layer::forward`]/[`Layer::backward`] (`&mut self`, tape caches inside
+//! the layer), while inference goes through [`Layer::infer`] (`&self`
+//! weights + a caller-owned [`InferenceCtx`] holding every scratch buffer).
+//! Inference inputs carry a leading batch axis N ≥ 1, so one shared network
+//! can evaluate many states per call.
+//!
 //! # Example
 //!
 //! ```
@@ -24,6 +31,7 @@
 pub mod activation;
 pub mod batchnorm;
 pub mod conv;
+pub mod infer;
 pub mod layer;
 pub mod linear;
 pub mod matmul;
@@ -34,6 +42,7 @@ pub mod tensor;
 pub use activation::{relu, relu_backward, softmax, Relu};
 pub use batchnorm::BatchNorm2d;
 pub use conv::Conv2d;
+pub use infer::InferenceCtx;
 pub use layer::{Layer, Param};
 pub use linear::Linear;
 pub use matmul::matmul;

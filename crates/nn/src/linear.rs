@@ -1,5 +1,6 @@
 //! Fully-connected layers.
 
+use crate::infer::InferenceCtx;
 use crate::layer::{Layer, Param};
 use crate::matmul::{matmul, matmul_at_b};
 use crate::tensor::Tensor;
@@ -111,6 +112,29 @@ impl Layer for Linear {
             self.in_features,
         );
         grad_in
+    }
+
+    fn infer(&self, input: &Tensor, ctx: &mut InferenceCtx) -> Tensor {
+        let [n, d]: [usize; 2] = input.shape().try_into().expect("linear input is (N, in)");
+        assert_eq!(d, self.in_features, "feature mismatch");
+        let mut out = ctx.take_tensor(&[n, self.out_features]);
+        crate::matmul::matmul_a_bt(
+            input.as_slice(),
+            self.weight.value.as_slice(),
+            out.as_mut_slice(),
+            n,
+            self.in_features,
+            self.out_features,
+        );
+        for s in 0..n {
+            for (o, b) in out.as_mut_slice()[s * self.out_features..(s + 1) * self.out_features]
+                .iter_mut()
+                .zip(self.bias.value.as_slice())
+            {
+                *o += b;
+            }
+        }
+        out
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {

@@ -22,10 +22,10 @@ pub fn matmul(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize)
             let a_row = &a[i * k..(i + 1) * k];
             let c_row = &mut c[i * n..(i + 1) * n];
             for kk in k0..k1 {
+                // No zero-skip here: the branch costs more than it saves on
+                // dense activations (post-BN values are rarely exactly 0)
+                // and it stalls the straight-line FMA stream.
                 let aik = a_row[kk];
-                if aik == 0.0 {
-                    continue;
-                }
                 let b_row = &b[kk * n..(kk + 1) * n];
                 for (cv, bv) in c_row.iter_mut().zip(b_row) {
                     *cv += aik * bv;
@@ -50,9 +50,6 @@ pub fn matmul_at_b(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: u
         let b_row = &b[kk * n..(kk + 1) * n];
         for i in 0..m {
             let aik = a_row[i];
-            if aik == 0.0 {
-                continue;
-            }
             let c_row = &mut c[i * n..(i + 1) * n];
             for (cv, bv) in c_row.iter_mut().zip(b_row) {
                 *cv += aik * bv;

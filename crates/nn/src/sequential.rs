@@ -2,6 +2,7 @@
 //! straight-line networks (the policy/value net composes its branched
 //! architecture by hand; tools and tests use this for quick models).
 
+use crate::infer::InferenceCtx;
 use crate::layer::{Layer, Param};
 use crate::tensor::Tensor;
 
@@ -67,6 +68,17 @@ impl Layer for Sequential {
             g = layer.backward(&g);
         }
         g
+    }
+
+    fn infer(&self, input: &Tensor, ctx: &mut InferenceCtx) -> Tensor {
+        let mut owned: Option<Tensor> = None;
+        for layer in &self.layers {
+            let next = layer.infer(owned.as_ref().unwrap_or(input), ctx);
+            if let Some(prev) = owned.replace(next) {
+                ctx.recycle_tensor(prev);
+            }
+        }
+        owned.unwrap_or_else(|| input.clone())
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {

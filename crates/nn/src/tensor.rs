@@ -79,6 +79,27 @@ impl Tensor {
         &mut self.data
     }
 
+    /// Consumes the tensor, returning its backing storage (buffer
+    /// recycling via [`crate::InferenceCtx`]).
+    #[inline]
+    pub fn into_raw(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Changes the shape in place; the element count must be unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the element counts differ.
+    pub fn reshape_in_place(&mut self, shape: &[usize]) {
+        assert_eq!(
+            self.data.len(),
+            shape.iter().product::<usize>(),
+            "data length does not match shape"
+        );
+        self.shape = shape.to_vec();
+    }
+
     /// Row-major flat offset of a multi-index.
     ///
     /// # Panics
@@ -213,6 +234,22 @@ mod tests {
         let r = t.reshaped(&[3, 2]);
         assert_eq!(r.shape(), &[3, 2]);
         assert_eq!(r.as_slice(), t.as_slice());
+    }
+
+    #[test]
+    fn into_raw_and_in_place_reshape() {
+        let mut t = Tensor::from_vec(&[2, 3], (0..6).map(|i| i as f32).collect());
+        t.reshape_in_place(&[6]);
+        assert_eq!(t.shape(), &[6]);
+        let raw = t.into_raw();
+        assert_eq!(raw, vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn in_place_reshape_checks_count() {
+        let mut t = Tensor::zeros(&[2, 3]);
+        t.reshape_in_place(&[7]);
     }
 
     #[test]

@@ -1,0 +1,109 @@
+//! Batched inference must match per-sample inference, and the `&self`
+//! infer path must match the legacy eval-mode forward path.
+
+use mmp_nn::{BatchNorm2d, Conv2d, InferenceCtx, Layer, Linear, Relu, Sequential, Tensor};
+use proptest::prelude::*;
+
+/// Deterministic pseudo-random data in [-1, 1).
+fn data(len: usize, seed: u64) -> Vec<f32> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    (0..len)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+        })
+        .collect()
+}
+
+/// A small conv tower whose BatchNorm has seen a few training batches, so
+/// running stats are non-trivial.
+fn tower(channels: usize, seed: u64) -> Sequential {
+    let mut net = Sequential::new();
+    net.push(Conv2d::new(1, channels, 3, seed));
+    let mut bn = BatchNorm2d::new(channels);
+    let mut warm = Conv2d::new(1, channels, 3, seed);
+    for step in 0..4 {
+        let x = Tensor::from_vec(&[2, 1, 4, 4], data(32, seed ^ (step + 1)));
+        let h = warm.forward(&x, true);
+        let _ = bn.forward(&h, true);
+    }
+    net.push(bn);
+    net.push(Relu::new());
+    net
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// infer on a batch of N states equals N single-state infer calls.
+    #[test]
+    fn conv_tower_batch_matches_singles(n in 1usize..6, seed in 0u64..500) {
+        let net = tower(3, seed);
+        let mut ctx = InferenceCtx::new();
+        let batch_data = data(n * 16, seed ^ 0xbeef);
+        let batch = Tensor::from_vec(&[n, 1, 4, 4], batch_data.clone());
+        let batched = net.infer(&batch, &mut ctx);
+        prop_assert_eq!(batched.shape(), &[n, 3, 4, 4]);
+        for s in 0..n {
+            let single = Tensor::from_vec(&[1, 1, 4, 4], batch_data[s * 16..(s + 1) * 16].to_vec());
+            let out = net.infer(&single, &mut ctx);
+            let want = &batched.as_slice()[s * 48..(s + 1) * 48];
+            for (a, b) in out.as_slice().iter().zip(want) {
+                prop_assert!((a - b).abs() < 1e-5, "sample {} diverged: {} vs {}", s, a, b);
+            }
+            ctx.recycle_tensor(out);
+        }
+    }
+
+    /// Linear batch inference equals row-by-row inference.
+    #[test]
+    fn linear_batch_matches_singles(n in 1usize..8, seed in 0u64..500) {
+        let lin = Linear::new(6, 4, seed);
+        let mut ctx = InferenceCtx::new();
+        let batch_data = data(n * 6, seed ^ 0x11);
+        let batch = Tensor::from_vec(&[n, 6], batch_data.clone());
+        let batched = lin.infer(&batch, &mut ctx);
+        for s in 0..n {
+            let single = Tensor::from_vec(&[1, 6], batch_data[s * 6..(s + 1) * 6].to_vec());
+            let out = lin.infer(&single, &mut ctx);
+            for (a, b) in out
+                .as_slice()
+                .iter()
+                .zip(&batched.as_slice()[s * 4..(s + 1) * 4])
+            {
+                prop_assert!((a - b).abs() < 1e-5);
+            }
+            ctx.recycle_tensor(out);
+        }
+    }
+
+    /// The `&self` infer path reproduces the legacy eval-mode forward path.
+    #[test]
+    fn infer_matches_eval_forward(n in 1usize..4, seed in 0u64..500) {
+        let mut net = tower(2, seed);
+        let mut ctx = InferenceCtx::new();
+        let x = Tensor::from_vec(&[n, 1, 4, 4], data(n * 16, seed ^ 0x77));
+        let legacy = net.forward(&x, false);
+        let inferred = net.infer(&x, &mut ctx);
+        prop_assert_eq!(legacy.shape(), inferred.shape());
+        for (a, b) in legacy.as_slice().iter().zip(inferred.as_slice()) {
+            prop_assert!((a - b).abs() < 1e-6, "{} vs {}", a, b);
+        }
+    }
+}
+
+/// Buffer reuse across repeated infer calls must not change results.
+#[test]
+fn repeated_infer_with_shared_ctx_is_stable() {
+    let net = tower(3, 9);
+    let mut ctx = InferenceCtx::new();
+    let x = Tensor::from_vec(&[2, 1, 4, 4], data(32, 42));
+    let first = net.infer(&x, &mut ctx);
+    for _ in 0..5 {
+        let again = net.infer(&x, &mut ctx);
+        assert_eq!(first.as_slice(), again.as_slice());
+        ctx.recycle_tensor(again);
+    }
+}

@@ -1,13 +1,18 @@
 //! The trained agent: a thin, checkpointable wrapper around the network.
 
 use crate::env::State;
-use crate::net::{AgentConfig, NetOutput, PolicyValueNet};
+use crate::net::{AgentConfig, NetOutput, PolicyValueNet, StateRef};
+use mmp_nn::InferenceCtx;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::io::{Read, Write};
 
 /// An actor-critic agent (π_θ + V_θ). Cloneable (checkpointing for the
 /// Fig. 5 experiment) and serialisable (weight files).
+///
+/// All evaluation methods take `&self` plus a caller-owned
+/// [`InferenceCtx`], so one agent can be shared across threads — each
+/// worker brings its own scratch context (see `mmp-mcts`'s ensemble).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Agent {
     net: PolicyValueNet,
@@ -36,24 +41,46 @@ impl Agent {
         &mut self.net
     }
 
-    /// Evaluates π_θ and V_θ on a state (inference mode).
-    pub fn policy_value(&mut self, state: &State) -> NetOutput {
+    /// Evaluates π_θ and V_θ on a state. Inference mode: shared `&self`
+    /// weights, scratch buffers from `ctx`, running batch-norm statistics.
+    pub fn policy_value(&self, state: &State, ctx: &mut InferenceCtx) -> NetOutput {
         self.net
-            .forward(&state.s_p, &state.s_a, state.t, state.total, false)
+            .forward(&state.s_p, &state.s_a, state.t, state.total, ctx)
+    }
+
+    /// Evaluates π_θ and V_θ on a batch of states in one pass through the
+    /// network. Returns one output per state, in order; each output equals
+    /// the corresponding [`Agent::policy_value`] result.
+    pub fn policy_value_batch(&self, states: &[State], ctx: &mut InferenceCtx) -> Vec<NetOutput> {
+        let refs: Vec<StateRef<'_>> = states
+            .iter()
+            .map(|s| StateRef {
+                s_p: &s.s_p,
+                s_a: &s.s_a,
+                t: s.t,
+                total: s.total,
+            })
+            .collect();
+        self.net.forward_batch(&refs, ctx)
     }
 
     /// Samples an action from π_θ.
     ///
     /// Falls back to the most-available cell when the distribution is
     /// degenerate (all cells masked).
-    pub fn sample_action<R: Rng>(&mut self, state: &State, rng: &mut R) -> usize {
-        let out = self.policy_value(state);
+    pub fn sample_action<R: Rng>(
+        &self,
+        state: &State,
+        rng: &mut R,
+        ctx: &mut InferenceCtx,
+    ) -> usize {
+        let out = self.policy_value(state, ctx);
         sample_from(&out.probs, rng).unwrap_or_else(|| argmax(&state.s_a))
     }
 
     /// The greedy (argmax) action of π_θ.
-    pub fn greedy_action(&mut self, state: &State) -> usize {
-        let out = self.policy_value(state);
+    pub fn greedy_action(&self, state: &State, ctx: &mut InferenceCtx) -> usize {
+        let out = self.policy_value(state, ctx);
         argmax(&out.probs)
     }
 
@@ -82,7 +109,7 @@ impl Agent {
 /// vector; `None` when all weights vanish.
 pub(crate) fn sample_from<R: Rng>(weights: &[f32], rng: &mut R) -> Option<usize> {
     let total: f32 = weights.iter().filter(|w| w.is_finite()).sum();
-    if !(total > 0.0) {
+    if total.is_nan() || total <= 0.0 {
         return None;
     }
     let mut ticket = rng.gen::<f32>() * total;
@@ -132,14 +159,16 @@ mod tests {
 
     #[test]
     fn greedy_action_is_deterministic() {
-        let mut a = tiny_agent();
+        let a = tiny_agent();
+        let mut ctx = InferenceCtx::new();
         let s = state(16);
-        assert_eq!(a.greedy_action(&s), a.greedy_action(&s));
+        assert_eq!(a.greedy_action(&s, &mut ctx), a.greedy_action(&s, &mut ctx));
     }
 
     #[test]
     fn sampling_respects_mask() {
-        let mut a = tiny_agent();
+        let a = tiny_agent();
+        let mut ctx = InferenceCtx::new();
         let mut s = state(16);
         for i in 0..16 {
             if i != 7 {
@@ -148,30 +177,84 @@ mod tests {
         }
         let mut rng = SmallRng::seed_from_u64(1);
         for _ in 0..20 {
-            assert_eq!(a.sample_action(&s, &mut rng), 7);
+            assert_eq!(a.sample_action(&s, &mut rng, &mut ctx), 7);
         }
     }
 
     #[test]
     fn fully_masked_state_falls_back() {
-        let mut a = tiny_agent();
+        let a = tiny_agent();
+        let mut ctx = InferenceCtx::new();
         let mut s = state(16);
         s.s_a = vec![0.0; 16];
         let mut rng = SmallRng::seed_from_u64(2);
-        let act = a.sample_action(&s, &mut rng);
+        let act = a.sample_action(&s, &mut rng, &mut ctx);
         assert!(act < 16);
     }
 
     #[test]
     fn save_load_roundtrip_preserves_behaviour() {
-        let mut a = tiny_agent();
+        let a = tiny_agent();
+        let mut ctx = InferenceCtx::new();
         let s = state(16);
-        let before = a.policy_value(&s);
+        let before = a.policy_value(&s, &mut ctx);
         let mut buf = Vec::new();
         a.save(&mut buf).unwrap();
-        let mut b = Agent::load(buf.as_slice()).unwrap();
-        let after = b.policy_value(&s);
+        let b = Agent::load(buf.as_slice()).unwrap();
+        let after = b.policy_value(&s, &mut ctx);
         assert_eq!(before, after);
+    }
+
+    #[test]
+    fn batched_policy_value_matches_singles() {
+        let a = tiny_agent();
+        let mut ctx = InferenceCtx::new();
+        let states: Vec<State> = (0..4)
+            .map(|k| {
+                let mut s = state(16);
+                s.s_p.iter_mut().enumerate().for_each(|(i, v)| {
+                    *v = ((i + k) % 3) as f32 * 0.4;
+                });
+                s.s_a[k] = 0.0;
+                s.t = k;
+                s
+            })
+            .collect();
+        let batched = a.policy_value_batch(&states, &mut ctx);
+        assert_eq!(batched.len(), states.len());
+        for (s, b) in states.iter().zip(&batched) {
+            let single = a.policy_value(s, &mut ctx);
+            assert!((single.value - b.value).abs() < 1e-5);
+            for (x, y) in single.probs.iter().zip(&b.probs) {
+                assert!((x - y).abs() < 1e-5, "{x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let a = tiny_agent();
+        let mut ctx = InferenceCtx::new();
+        assert!(a.policy_value_batch(&[], &mut ctx).is_empty());
+    }
+
+    #[test]
+    fn shared_agent_across_threads_with_private_ctx() {
+        // The point of the weights/workspace split: several threads evaluate
+        // the same `&Agent` concurrently, each with its own ctx.
+        let a = tiny_agent();
+        let s = state(16);
+        let mut ctx = InferenceCtx::new();
+        let want = a.policy_value(&s, &mut ctx);
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                scope.spawn(|| {
+                    let mut ctx = InferenceCtx::new();
+                    let got = a.policy_value(&s, &mut ctx);
+                    assert_eq!(got, want);
+                });
+            }
+        });
     }
 
     #[test]

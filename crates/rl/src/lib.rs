@@ -38,6 +38,7 @@ pub mod trainer;
 pub use agent::Agent;
 pub use env::{PlacementEnv, State};
 pub use eval::{CoarseEvaluator, FullEvaluator, WirelengthEvaluator};
-pub use net::{AgentConfig, PolicyValueNet};
+pub use mmp_nn::InferenceCtx;
+pub use net::{AgentConfig, NetOutput, PolicyValueNet, StateRef};
 pub use reward::{RewardKind, RewardScale};
 pub use trainer::{Trainer, TrainerConfig, TrainingHistory, TrainingOutcome};

@@ -10,16 +10,22 @@
 use crate::agent::Agent;
 use crate::env::PlacementEnv;
 use crate::eval::{CoarseEvaluator, FullEvaluator, WirelengthEvaluator};
-use crate::net::AgentConfig;
+use crate::net::{AgentConfig, StateRef};
 use crate::reward::{RewardKind, RewardScale};
 use mmp_analytic::{GlobalPlacer, GlobalPlacerConfig};
 use mmp_cluster::{ClusterParams, CoarsenedNetlist, Coarsener};
 use mmp_geom::Grid;
 use mmp_netlist::{Design, Placement};
-use mmp_nn::{Adam, Optimizer};
+use mmp_nn::{Adam, InferenceCtx, Optimizer};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+
+/// One recorded step of an episode: `(s_p, s_a, t, total, action)`.
+type StepRecord = (Vec<f32>, Vec<f32>, usize, usize, usize);
+
+/// A buffered transition: a [`StepRecord`] plus its terminal reward.
+type Transition = (Vec<f32>, Vec<f32>, usize, usize, usize, f32);
 
 /// Training hyper-parameters.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -226,19 +232,19 @@ impl<'d> Trainer<'d> {
         let scale = RewardScale::calibrate(self.config.reward, &samples);
 
         // 2) A2C training.
+        let mut ctx = InferenceCtx::new();
         let mut agent = Agent::new(self.config.net);
         let mut opt = Adam::new(self.config.lr);
         let mut history = TrainingHistory::default();
         let mut checkpoints = Vec::new();
-        // Buffered transitions: (s_p, s_a, t, total, action, reward).
-        let mut buffer: Vec<(Vec<f32>, Vec<f32>, usize, usize, usize, f32)> = Vec::new();
+        let mut buffer: Vec<Transition> = Vec::new();
 
         for episode in 0..self.config.episodes {
             env.reset();
-            let mut steps: Vec<(Vec<f32>, Vec<f32>, usize, usize, usize)> = Vec::new();
+            let mut steps: Vec<StepRecord> = Vec::new();
             while !env.is_terminal() {
                 let s = env.state();
-                let action = agent.sample_action(&s, &mut rng);
+                let action = agent.sample_action(&s, &mut rng, &mut ctx);
                 steps.push((s.s_p, s.s_a, s.t, s.total, action));
                 env.step(action);
             }
@@ -255,10 +261,29 @@ impl<'d> Trainer<'d> {
             {
                 let net = agent.net_mut();
                 let beta = self.config.entropy_beta;
-                for (s_p, s_a, t, total, action, reward) in buffer.drain(..) {
-                    let _ = net.forward(&s_p, &s_a, t, total, true);
-                    net.backward_with_entropy(action, reward, beta);
+                // One batched forward/backward per chunk instead of a
+                // per-transition loop; gradients accumulate across chunks
+                // into the single optimizer step below. Chunking bounds the
+                // activation memory of a whole 30-episode buffer.
+                const MAX_UPDATE_BATCH: usize = 64;
+                for chunk in buffer.chunks(MAX_UPDATE_BATCH) {
+                    let states: Vec<StateRef<'_>> = chunk
+                        .iter()
+                        .map(|(s_p, s_a, t, total, _, _)| StateRef {
+                            s_p,
+                            s_a,
+                            t: *t,
+                            total: *total,
+                        })
+                        .collect();
+                    let targets: Vec<(usize, f32)> = chunk
+                        .iter()
+                        .map(|&(_, _, _, _, action, reward)| (action, reward))
+                        .collect();
+                    let _ = net.forward_train_batch(&states);
+                    net.backward_batch(&targets, beta);
                 }
+                buffer.clear();
                 opt.begin_step();
                 net.visit_params(&mut |p| opt.update(p));
                 net.zero_grad();
@@ -280,11 +305,12 @@ impl<'d> Trainer<'d> {
 
     /// Plays one greedy episode with `agent`; returns the grid assignment
     /// and its wirelength (the "RL result" curve of Fig. 5).
-    pub fn greedy_episode(&self, agent: &mut Agent) -> (Vec<mmp_geom::GridIndex>, f64) {
+    pub fn greedy_episode(&self, agent: &Agent) -> (Vec<mmp_geom::GridIndex>, f64) {
         let mut env = PlacementEnv::new(self.design, &self.coarse, self.grid.clone());
+        let mut ctx = InferenceCtx::new();
         while !env.is_terminal() {
             let s = env.state();
-            let action = agent.greedy_action(&s);
+            let action = agent.greedy_action(&s, &mut ctx);
             env.step(action);
         }
         let w = self.evaluator.wirelength(&env);
@@ -340,8 +366,8 @@ mod tests {
         let mut cfg = TrainerConfig::tiny(4);
         cfg.episodes = 3;
         let trainer = Trainer::new(&d, cfg);
-        let mut out = trainer.train();
-        let (assignment, w) = trainer.greedy_episode(&mut out.agent);
+        let out = trainer.train();
+        let (assignment, w) = trainer.greedy_episode(&out.agent);
         assert_eq!(assignment.len(), trainer.coarse().macro_groups().len());
         assert!(w > 0.0);
     }

@@ -4,8 +4,8 @@
 //! cargo run --release -p mmp-examples --bin quickstart
 //! ```
 
-use mmp_core::{DesignStats, MacroPlacer, PlacerConfig, SyntheticSpec};
 use mmp_analytic::{legalize_cells_into_rows, rudy};
+use mmp_core::{DesignStats, MacroPlacer, PlacerConfig, SyntheticSpec};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A small circuit: 12 movable macros, 2 preplaced, 400 cells — with

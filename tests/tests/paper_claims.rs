@@ -20,13 +20,13 @@ fn trainer_config(episodes: usize, seed: u64) -> TrainerConfig {
 fn mcts_post_optimization_beats_or_matches_rl() {
     let design = SyntheticSpec::small("pc_fig5", 9, 0, 12, 110, 190, false, 21).generate();
     let trainer = Trainer::new(&design, trainer_config(12, 0));
-    let mut out = trainer.train();
-    let (_, rl_w) = trainer.greedy_episode(&mut out.agent);
+    let out = trainer.train();
+    let (_, rl_w) = trainer.greedy_episode(&out.agent);
     let mcts = MctsPlacer::new(MctsConfig {
         explorations: 64,
         ..MctsConfig::default()
     })
-    .place(&trainer, &mut out.agent, &out.scale);
+    .place(&trainer, &out.agent, &out.scale);
     assert!(
         mcts.wirelength <= rl_w * 1.02,
         "MCTS {} must not lose to greedy RL {}",
@@ -41,12 +41,12 @@ fn mcts_post_optimization_beats_or_matches_rl() {
 fn value_network_carries_most_of_the_search() {
     let design = SyntheticSpec::small("pc_eval", 9, 0, 12, 110, 190, false, 22).generate();
     let trainer = Trainer::new(&design, trainer_config(6, 0));
-    let mut out = trainer.train();
+    let out = trainer.train();
     let mcts = MctsPlacer::new(MctsConfig {
         explorations: 48,
         ..MctsConfig::default()
     })
-    .place(&trainer, &mut out.agent, &out.scale);
+    .place(&trainer, &out.agent, &out.scale);
     assert!(
         mcts.stats.terminal_evaluations * 2 <= mcts.stats.value_evaluations.max(1) * 3,
         "terminal evals {} should be well below value evals {}",
@@ -103,12 +103,12 @@ fn search_effort_scales_with_macro_count() {
             SyntheticSpec::small(format!("pc_rt{macros}"), macros, 0, 12, 80, 140, false, 25)
                 .generate();
         let trainer = Trainer::new(&design, trainer_config(4, 0));
-        let mut out = trainer.train();
+        let out = trainer.train();
         let mcts = MctsPlacer::new(MctsConfig {
             explorations: 16,
             ..MctsConfig::default()
         })
-        .place(&trainer, &mut out.agent, &out.scale);
+        .place(&trainer, &out.agent, &out.scale);
         efforts.push(mcts.stats.explorations);
     }
     assert!(

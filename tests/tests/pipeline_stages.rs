@@ -97,12 +97,12 @@ fn agent_checkpoints_roundtrip_through_serde() {
     let mut cfg = TrainerConfig::tiny(4);
     cfg.episodes = 3;
     let trainer = Trainer::new(&design, cfg);
-    let mut out = trainer.train();
-    let (assignment_before, w_before) = trainer.greedy_episode(&mut out.agent);
+    let out = trainer.train();
+    let (assignment_before, w_before) = trainer.greedy_episode(&out.agent);
     let mut buf = Vec::new();
     out.agent.save(&mut buf).unwrap();
-    let mut reloaded = mmp_rl::Agent::load(buf.as_slice()).unwrap();
-    let (assignment_after, w_after) = trainer.greedy_episode(&mut reloaded);
+    let reloaded = mmp_rl::Agent::load(buf.as_slice()).unwrap();
+    let (assignment_after, w_after) = trainer.greedy_episode(&reloaded);
     assert_eq!(assignment_before, assignment_after);
     assert_eq!(w_before, w_after);
 }

@@ -95,8 +95,7 @@ mod legalizer_stress {
         let center = design.region().center();
         for target in [corner, center, Point::new(center.x, design.region().y)] {
             let targets = vec![target; movable.len()];
-            let (placement, _, overlap) =
-                MacroLegalizer::new().legalize_targets(&design, &targets);
+            let (placement, _, overlap) = MacroLegalizer::new().legalize_targets(&design, &targets);
             assert!(
                 overlap < 1e-6,
                 "targets at {target} leave overlap {overlap}"
@@ -119,7 +118,10 @@ mod legalizer_stress {
         let targets = vec![design.region().center(); 12];
         let (placement, out_of_region, overlap) =
             MacroLegalizer::new().legalize_targets(&design, &targets);
-        assert!(!out_of_region, "12 x 100 fits a 1600 region: 4x4 packing at most");
+        assert!(
+            !out_of_region,
+            "12 x 100 fits a 1600 region: 4x4 packing at most"
+        );
         assert!(overlap < 1e-6, "remaining overlap {overlap}");
         assert!(placement.macros_inside_region(&design));
     }

@@ -1,0 +1,220 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API surface this workspace's benches use — `Criterion`,
+//! `benchmark_group`/`sample_size`/`bench_function`/`finish`, `Bencher::iter`,
+//! `black_box`, and the `criterion_group!`/`criterion_main!` macros — with a
+//! plain timing loop instead of criterion's statistical machinery. Each
+//! sample times one batch of iterations; mean/min/max are printed to stdout.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Collects timing samples for one benchmark.
+pub struct Bencher {
+    samples: u64,
+    durations: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Times `f`, recording one duration per sample. The routine's result is
+    /// passed through [`black_box`] so it is not optimized away.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup + calibration: keep very fast routines above timer noise by
+        // batching iterations, without multiplying slow benches.
+        let start = Instant::now();
+        black_box(f());
+        let once = start.elapsed();
+        self.iters_per_sample = if once < Duration::from_micros(50) {
+            (Duration::from_millis(1).as_nanos() / once.as_nanos().max(1)).clamp(1, 10_000) as u64
+        } else {
+            1
+        };
+        self.durations.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(f());
+            }
+            self.durations.push(start.elapsed());
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    }
+}
+
+fn report(name: &str, bencher: &Bencher) {
+    if bencher.durations.is_empty() {
+        println!("{name}: no samples recorded");
+        return;
+    }
+    let per_iter: Vec<Duration> = bencher
+        .durations
+        .iter()
+        .map(|d| *d / bencher.iters_per_sample as u32)
+        .collect();
+    let total: Duration = per_iter.iter().sum();
+    let mean = total / per_iter.len() as u32;
+    let min = *per_iter.iter().min().unwrap();
+    let max = *per_iter.iter().max().unwrap();
+    println!(
+        "{name}: mean {} (min {}, max {}) over {} samples x {} iters",
+        fmt_duration(mean),
+        fmt_duration(min),
+        fmt_duration(max),
+        per_iter.len(),
+        bencher.iters_per_sample,
+    );
+}
+
+/// A named set of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: u64,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1) as u64;
+        self
+    }
+
+    /// Accepted for compatibility; the stub has no target measurement time.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark: `f` receives a [`Bencher`] and must call
+    /// [`Bencher::iter`].
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, mut f: F) {
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            durations: Vec::new(),
+            iters_per_sample: 1,
+        };
+        f(&mut bencher);
+        report(&format!("{}/{}", self.name, id.into()), &bencher);
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    sample_size: u64,
+}
+
+impl Criterion {
+    /// Sets the default number of samples for benches run directly on
+    /// `Criterion`.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1) as u64;
+        self
+    }
+
+    /// Opens a benchmark group named `name`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = if self.sample_size == 0 {
+            20
+        } else {
+            self.sample_size
+        };
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size,
+            _criterion: self,
+        }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, mut f: F) {
+        let mut bencher = Bencher {
+            samples: if self.sample_size == 0 {
+                20
+            } else {
+                self.sample_size
+            },
+            durations: Vec::new(),
+            iters_per_sample: 1,
+        };
+        f(&mut bencher);
+        report(&id.into(), &bencher);
+    }
+
+    /// No-op in the stub (upstream writes reports here).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Declares a function bundling benchmark targets, mirroring criterion's
+/// macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares `main` running one or more [`criterion_group!`] bundles.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(5);
+        let mut runs = 0u64;
+        group.bench_function("add", |b| {
+            b.iter(|| {
+                runs += 1;
+                black_box(2u64 + 2)
+            })
+        });
+        group.finish();
+        assert!(runs >= 5);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(1500)), "1.50 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.000 s");
+    }
+}

@@ -1,0 +1,674 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Supports the subset of the proptest 1.x surface this workspace uses:
+//! the `proptest!` macro (with optional `#![proptest_config(...)]`),
+//! `prop_assert!`/`prop_assert_eq!`/`prop_assert_ne!`/`prop_assume!`,
+//! numeric range strategies, string strategies from a small regex subset,
+//! tuple strategies, and `proptest::collection::vec`.
+//!
+//! Differences from upstream: cases are generated from a deterministic
+//! per-test seed (the hash of the test name), and there is **no shrinking**
+//! — a failing case reports its debug-printed inputs instead.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::ops::{Range, RangeInclusive};
+
+/// Per-block configuration for [`proptest!`].
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted (non-rejected) cases to run per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case was rejected by `prop_assume!`; it does not count toward
+    /// the case budget.
+    Reject(String),
+    /// A `prop_assert*!` failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failing case with a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejected case (assumption not met).
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Deterministic generator used to drive strategies (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator seeded from the test's name, so runs are reproducible.
+    pub fn for_test(name: &str) -> Self {
+        let mut h = DefaultHasher::new();
+        name.hash(&mut h);
+        TestRng {
+            state: h.finish() ^ 0x9E3779B97F4A7C15,
+        }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform draw from `[0, n)`; `n` must be positive.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+}
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = self.end.wrapping_sub(self.start) as u64;
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty strategy range");
+                let span = end.wrapping_sub(start) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                start.wrapping_add(rng.below(span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                self.start + rng.unit_f64() as $t * (self.end - self.start)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty strategy range");
+                start + rng.unit_f64() as $t * (end - start)
+            }
+        }
+    )*};
+}
+
+float_strategy!(f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategy!(
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+    (A.0, B.1, C.2, D.3, E.4),
+);
+
+/// Always yields a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+mod regex_gen {
+    use super::TestRng;
+
+    /// Parsed node of the supported regex subset: literals, `.`, classes,
+    /// groups, alternation and `{m,n}`/`*`/`+`/`?` quantifiers.
+    pub enum Node {
+        Alt(Vec<Node>),
+        Seq(Vec<Node>),
+        Repeat(Box<Node>, u32, u32),
+        Literal(char),
+        AnyChar,
+        Class(Vec<(char, char)>),
+    }
+
+    struct RegexParser {
+        chars: Vec<char>,
+        pos: usize,
+    }
+
+    impl RegexParser {
+        fn peek(&self) -> Option<char> {
+            self.chars.get(self.pos).copied()
+        }
+
+        fn bump(&mut self) -> Option<char> {
+            let c = self.peek();
+            if c.is_some() {
+                self.pos += 1;
+            }
+            c
+        }
+
+        fn parse_alt(&mut self) -> Node {
+            let mut branches = vec![self.parse_seq()];
+            while self.peek() == Some('|') {
+                self.bump();
+                branches.push(self.parse_seq());
+            }
+            if branches.len() == 1 {
+                branches.pop().unwrap()
+            } else {
+                Node::Alt(branches)
+            }
+        }
+
+        fn parse_seq(&mut self) -> Node {
+            let mut items = Vec::new();
+            while let Some(c) = self.peek() {
+                if c == ')' || c == '|' {
+                    break;
+                }
+                let atom = self.parse_atom();
+                items.push(self.parse_quantifier(atom));
+            }
+            Node::Seq(items)
+        }
+
+        fn parse_atom(&mut self) -> Node {
+            match self.bump().expect("regex strategy: unexpected end") {
+                '(' => {
+                    let inner = self.parse_alt();
+                    assert_eq!(self.bump(), Some(')'), "regex strategy: expected `)`");
+                    inner
+                }
+                '[' => self.parse_class(),
+                '.' => Node::AnyChar,
+                '\\' => match self.bump().expect("regex strategy: dangling escape") {
+                    'd' => Node::Class(vec![('0', '9')]),
+                    'w' => Node::Class(vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')]),
+                    's' => Node::Class(vec![(' ', ' '), ('\t', '\t')]),
+                    c => Node::Literal(c),
+                },
+                c => Node::Literal(c),
+            }
+        }
+
+        fn parse_class(&mut self) -> Node {
+            assert_ne!(
+                self.peek(),
+                Some('^'),
+                "regex strategy: negated classes unsupported"
+            );
+            let mut ranges = Vec::new();
+            loop {
+                let c = self.bump().expect("regex strategy: unterminated class");
+                if c == ']' {
+                    break;
+                }
+                let c = if c == '\\' {
+                    self.bump().expect("regex strategy: dangling escape")
+                } else {
+                    c
+                };
+                if self.peek() == Some('-') && self.chars.get(self.pos + 1) != Some(&']') {
+                    self.bump();
+                    let hi = self.bump().expect("regex strategy: unterminated range");
+                    ranges.push((c, hi));
+                } else {
+                    ranges.push((c, c));
+                }
+            }
+            assert!(!ranges.is_empty(), "regex strategy: empty class");
+            Node::Class(ranges)
+        }
+
+        fn parse_quantifier(&mut self, atom: Node) -> Node {
+            let (lo, hi) = match self.peek() {
+                Some('*') => (0, 8),
+                Some('+') => (1, 8),
+                Some('?') => (0, 1),
+                Some('{') => {
+                    self.bump();
+                    let mut lo_digits = String::new();
+                    while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                        lo_digits.push(self.bump().unwrap());
+                    }
+                    let lo: u32 = lo_digits.parse().expect("regex strategy: bad repeat");
+                    let hi = match self.bump() {
+                        Some('}') => lo,
+                        Some(',') => {
+                            let mut hi_digits = String::new();
+                            while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                                hi_digits.push(self.bump().unwrap());
+                            }
+                            assert_eq!(self.bump(), Some('}'), "regex strategy: expected `}}`");
+                            if hi_digits.is_empty() {
+                                lo + 8
+                            } else {
+                                hi_digits.parse().expect("regex strategy: bad repeat")
+                            }
+                        }
+                        _ => panic!("regex strategy: malformed repeat"),
+                    };
+                    return Node::Repeat(Box::new(atom), lo, hi);
+                }
+                _ => return atom,
+            };
+            self.bump();
+            Node::Repeat(Box::new(atom), lo, hi)
+        }
+    }
+
+    pub fn parse(pattern: &str) -> Node {
+        let mut p = RegexParser {
+            chars: pattern.chars().collect(),
+            pos: 0,
+        };
+        let node = p.parse_alt();
+        assert_eq!(
+            p.pos,
+            p.chars.len(),
+            "regex strategy: trailing characters in {pattern:?}"
+        );
+        node
+    }
+
+    /// Characters `.` can produce: mostly printable ASCII, with occasional
+    /// whitespace/unicode to stress parsers.
+    const EXOTIC: &[char] = &['\t', '\r', 'é', 'ß', '中', '𝕏', '🦀', '\u{0}', '\u{7f}'];
+
+    pub fn generate(node: &Node, rng: &mut TestRng, out: &mut String) {
+        match node {
+            Node::Alt(branches) => {
+                let pick = rng.below(branches.len() as u64) as usize;
+                generate(&branches[pick], rng, out);
+            }
+            Node::Seq(items) => {
+                for item in items {
+                    generate(item, rng, out);
+                }
+            }
+            Node::Repeat(inner, lo, hi) => {
+                let n = lo + rng.below(u64::from(hi - lo) + 1) as u32;
+                for _ in 0..n {
+                    generate(inner, rng, out);
+                }
+            }
+            Node::Literal(c) => out.push(*c),
+            Node::AnyChar => {
+                if rng.below(8) == 0 {
+                    out.push(EXOTIC[rng.below(EXOTIC.len() as u64) as usize]);
+                } else {
+                    out.push((0x20 + rng.below(0x5f) as u8) as char);
+                }
+            }
+            Node::Class(ranges) => {
+                let (lo, hi) = ranges[rng.below(ranges.len() as u64) as usize];
+                let span = hi as u32 - lo as u32 + 1;
+                out.push(char::from_u32(lo as u32 + rng.below(u64::from(span)) as u32).unwrap());
+            }
+        }
+    }
+}
+
+impl Strategy for &str {
+    type Value = String;
+
+    /// Treats the string as a regex pattern (small subset) and generates a
+    /// matching string.
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let node = regex_gen::parse(self);
+        let mut out = String::new();
+        regex_gen::generate(&node, rng, &mut out);
+        out
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        self.as_str().generate(rng)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Inclusive bounds on generated collection length.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from a [`SizeRange`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A vector whose elements come from `element` and whose length comes
+    /// from `size` (a `usize`, `Range<usize>`, or `RangeInclusive<usize>`).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let span = self.size.hi - self.size.lo + 1;
+            let len = self.size.lo + rng.below(span as u64) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just, ProptestConfig,
+        Strategy, TestCaseError,
+    };
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { (<$crate::ProptestConfig as ::std::default::Default>::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        #[test]
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
+            let mut __accepted: u32 = 0;
+            let mut __attempts: u32 = 0;
+            let __max_attempts = __cfg.cases.saturating_mul(20).max(100);
+            while __accepted < __cfg.cases {
+                assert!(
+                    __attempts < __max_attempts,
+                    "proptest: too many rejected cases ({} attempts)",
+                    __attempts
+                );
+                __attempts += 1;
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                let __inputs = {
+                    let mut __s = ::std::string::String::new();
+                    $(
+                        __s.push_str(concat!(stringify!($arg), " = "));
+                        __s.push_str(&format!("{:?}; ", $arg));
+                    )+
+                    __s
+                };
+                let __outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(
+                        || -> ::std::result::Result<(), $crate::TestCaseError> {
+                            $body
+                            #[allow(unreachable_code)]
+                            ::std::result::Result::Ok(())
+                        },
+                    ),
+                );
+                match __outcome {
+                    ::std::result::Result::Err(__payload) => {
+                        eprintln!("proptest case panicked; inputs: {}", __inputs);
+                        ::std::panic::resume_unwind(__payload);
+                    }
+                    ::std::result::Result::Ok(::std::result::Result::Ok(())) => {
+                        __accepted += 1;
+                    }
+                    ::std::result::Result::Ok(::std::result::Result::Err(
+                        $crate::TestCaseError::Reject(_),
+                    )) => {}
+                    ::std::result::Result::Ok(::std::result::Result::Err(
+                        $crate::TestCaseError::Fail(__msg),
+                    )) => {
+                        panic!("proptest case failed: {}\n  inputs: {}", __msg, __inputs);
+                    }
+                }
+            }
+        }
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(concat!(
+                "assertion failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{}` == `{}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                __l,
+                __r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if __l == __r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{}` != `{}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                __l
+            )));
+        }
+    }};
+}
+
+/// Rejects the current case when the assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::{collection, regex_gen, Strategy, TestRng};
+
+    #[test]
+    fn regex_class_repeat() {
+        let mut rng = TestRng::for_test("regex_class_repeat");
+        for _ in 0..200 {
+            let s = "[a-c]{1,3}(/[a-c]{1,3}){0,4}".generate(&mut rng);
+            for part in s.split('/') {
+                assert!((1..=3).contains(&part.chars().count()), "{s:?}");
+                assert!(part.chars().all(|c| ('a'..='c').contains(&c)), "{s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn regex_dot_bounds() {
+        let mut rng = TestRng::for_test("regex_dot_bounds");
+        for _ in 0..100 {
+            let s = ".{0,400}".generate(&mut rng);
+            assert!(s.chars().count() <= 400);
+        }
+    }
+
+    #[test]
+    fn regex_alternation() {
+        let node = regex_gen::parse("ab|cd");
+        let mut rng = TestRng::for_test("regex_alternation");
+        for _ in 0..50 {
+            let mut out = String::new();
+            regex_gen::generate(&node, &mut rng, &mut out);
+            assert!(out == "ab" || out == "cd", "{out:?}");
+        }
+    }
+
+    #[test]
+    fn vec_sizes() {
+        let mut rng = TestRng::for_test("vec_sizes");
+        let exact = collection::vec(0usize..5, 12);
+        assert_eq!(exact.generate(&mut rng).len(), 12);
+        let ranged = collection::vec((0usize..6, -1.0f64..1.0), 2..7);
+        for _ in 0..100 {
+            let v = ranged.generate(&mut rng);
+            assert!((2..7).contains(&v.len()));
+            for (i, x) in v {
+                assert!(i < 6 && (-1.0..1.0).contains(&x));
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        fn macro_smoke(x in 0usize..10, y in -1.0f64..1.0) {
+            prop_assume!(x != 3);
+            prop_assert!(x < 10);
+            prop_assert!((-1.0..1.0).contains(&y), "y out of range: {}", y);
+            prop_assert_eq!(x + 1, 1 + x);
+            prop_assert_ne!(x, 10);
+        }
+    }
+}

@@ -1,0 +1,435 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` against the
+//! vendored `serde` crate's `Value` model without `syn`/`quote` (neither is
+//! available offline): the item is parsed directly from the raw
+//! [`proc_macro::TokenStream`] and the impl is generated as a string.
+//!
+//! Supported shapes: non-generic structs (named, tuple, unit) and enums
+//! (unit, tuple and struct variants) with externally tagged encoding, plus
+//! the `#[serde(skip)]` and `#[serde(default)]` field attributes. Generic
+//! items panic with a clear message — nothing in this workspace derives on
+//! generics.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Default, Clone, Copy)]
+struct FieldAttrs {
+    skip: bool,
+    default: bool,
+}
+
+struct Field {
+    name: String,
+    attrs: FieldAttrs,
+}
+
+enum Fields {
+    Named(Vec<Field>),
+    Tuple(Vec<FieldAttrs>),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Kind {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    kind: Kind,
+}
+
+fn is_punct(tok: Option<&TokenTree>, ch: char) -> bool {
+    matches!(tok, Some(TokenTree::Punct(p)) if p.as_char() == ch)
+}
+
+fn ident_of(tok: Option<&TokenTree>) -> Option<String> {
+    match tok {
+        Some(TokenTree::Ident(id)) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+/// Scans one `#[...]` attribute's bracket-group tokens, folding any
+/// `serde(...)` arguments into `attrs`.
+fn scan_attr(group_tokens: Vec<TokenTree>, attrs: &mut FieldAttrs) {
+    let mut it = group_tokens.into_iter();
+    let Some(TokenTree::Ident(head)) = it.next() else {
+        return;
+    };
+    if head.to_string() != "serde" {
+        return;
+    }
+    let Some(TokenTree::Group(args)) = it.next() else {
+        return;
+    };
+    for tok in args.stream() {
+        if let TokenTree::Ident(id) = tok {
+            match id.to_string().as_str() {
+                "skip" => attrs.skip = true,
+                "default" => attrs.default = true,
+                other => panic!("serde_derive stub: unsupported #[serde({other})]"),
+            }
+        }
+    }
+}
+
+/// Advances `i` past `#[...]` attributes (collecting serde args) and a
+/// `pub`/`pub(...)` visibility prefix.
+fn skip_attrs_and_vis(toks: &[TokenTree], i: &mut usize, attrs: &mut FieldAttrs) {
+    loop {
+        if is_punct(toks.get(*i), '#') {
+            if let Some(TokenTree::Group(g)) = toks.get(*i + 1) {
+                if g.delimiter() == Delimiter::Bracket {
+                    scan_attr(g.stream().into_iter().collect(), attrs);
+                    *i += 2;
+                    continue;
+                }
+            }
+        }
+        if ident_of(toks.get(*i)).as_deref() == Some("pub") {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = toks.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+            continue;
+        }
+        break;
+    }
+}
+
+/// Splits `toks` on commas that sit outside any `<...>` type-argument
+/// nesting. Groups are atomic token trees, so brackets/braces/parens never
+/// leak commas here.
+fn split_top_level_commas(toks: Vec<TokenTree>) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut angle: i32 = 0;
+    for tok in toks {
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    out.push(std::mem::take(&mut cur));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        cur.push(tok);
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    split_top_level_commas(stream.into_iter().collect())
+        .into_iter()
+        .map(|toks| {
+            let mut attrs = FieldAttrs::default();
+            let mut i = 0;
+            skip_attrs_and_vis(&toks, &mut i, &mut attrs);
+            let name = ident_of(toks.get(i)).expect("serde_derive stub: expected field name");
+            Field { name, attrs }
+        })
+        .collect()
+}
+
+fn parse_tuple_fields(stream: TokenStream) -> Vec<FieldAttrs> {
+    split_top_level_commas(stream.into_iter().collect())
+        .into_iter()
+        .map(|toks| {
+            let mut attrs = FieldAttrs::default();
+            let mut i = 0;
+            skip_attrs_and_vis(&toks, &mut i, &mut attrs);
+            attrs
+        })
+        .collect()
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    split_top_level_commas(stream.into_iter().collect())
+        .into_iter()
+        .map(|toks| {
+            let mut attrs = FieldAttrs::default();
+            let mut i = 0;
+            skip_attrs_and_vis(&toks, &mut i, &mut attrs);
+            let name = ident_of(toks.get(i)).expect("serde_derive stub: expected variant name");
+            i += 1;
+            let fields = match toks.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(parse_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                _ => Fields::Unit,
+            };
+            Variant { name, fields }
+        })
+        .collect()
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut outer = FieldAttrs::default();
+    skip_attrs_and_vis(&toks, &mut i, &mut outer);
+    let kw = ident_of(toks.get(i)).expect("serde_derive stub: expected struct/enum");
+    i += 1;
+    let name = ident_of(toks.get(i)).expect("serde_derive stub: expected type name");
+    i += 1;
+    if is_punct(toks.get(i), '<') {
+        panic!("serde_derive stub: generic types are not supported (derive on `{name}`)");
+    }
+    let kind = match kw.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Struct(Fields::Named(parse_named_fields(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::Struct(Fields::Tuple(parse_tuple_fields(g.stream())))
+            }
+            _ => Kind::Struct(Fields::Unit),
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            _ => panic!("serde_derive stub: malformed enum `{name}`"),
+        },
+        other => panic!("serde_derive stub: cannot derive on `{other}` items"),
+    };
+    Input { name, kind }
+}
+
+fn ser_named_fields(fields: &[Field], access_prefix: &str) -> String {
+    let mut body = String::new();
+    for f in fields {
+        if f.attrs.skip {
+            continue;
+        }
+        body.push_str(&format!(
+            "__m.push((\"{0}\".to_string(), ::serde::Serialize::serialize(&{1}{0})));",
+            f.name, access_prefix
+        ));
+    }
+    format!(
+        "let mut __m: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+         ::std::vec::Vec::new(); {body} ::serde::Value::Map(__m)"
+    )
+}
+
+fn de_named_fields(fields: &[Field], source: &str) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            if f.attrs.skip {
+                return format!("{}: ::std::default::Default::default(),", f.name);
+            }
+            let missing = if f.attrs.default {
+                "::std::default::Default::default()".to_string()
+            } else {
+                format!("return Err(::serde::Error::missing_field(\"{}\"))", f.name)
+            };
+            format!(
+                "{0}: match ::serde::map_get({1}, \"{0}\") {{ \
+                 Some(__v) => ::serde::Deserialize::deserialize(__v)?, \
+                 None => {2}, }},",
+                f.name, source, missing
+            )
+        })
+        .collect()
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::Struct(Fields::Named(fields)) => ser_named_fields(fields, "self."),
+        Kind::Struct(Fields::Tuple(attrs)) => {
+            if attrs.len() == 1 {
+                "::serde::Serialize::serialize(&self.0)".to_string()
+            } else {
+                let items: Vec<String> = (0..attrs.len())
+                    .map(|i| format!("::serde::Serialize::serialize(&self.{i})"))
+                    .collect();
+                format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+            }
+        }
+        Kind::Struct(Fields::Unit) => "::serde::Value::Null".to_string(),
+        Kind::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Unit => {
+                            format!("{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),")
+                        }
+                        Fields::Tuple(attrs) => {
+                            let binds: Vec<String> =
+                                (0..attrs.len()).map(|i| format!("__f{i}")).collect();
+                            let payload = if attrs.len() == 1 {
+                                "::serde::Serialize::serialize(__f0)".to_string()
+                            } else {
+                                let items: Vec<String> = binds
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::serialize({b})"))
+                                    .collect();
+                                format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+                            };
+                            format!(
+                                "{name}::{vn}({binds}) => ::serde::Value::Map(vec![(\
+                                 \"{vn}\".to_string(), {payload})]),",
+                                binds = binds.join(", ")
+                            )
+                        }
+                        Fields::Named(fields) => {
+                            let pat: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                            let inner: String = fields
+                                .iter()
+                                .filter(|f| !f.attrs.skip)
+                                .map(|f| {
+                                    format!(
+                                        "(\"{0}\".to_string(), \
+                                         ::serde::Serialize::serialize({0})),",
+                                        f.name
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {pat} }} => ::serde::Value::Map(vec![(\
+                                 \"{vn}\".to_string(), ::serde::Value::Map(vec![{inner}]))]),",
+                                pat = pat.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "#[automatically_derived] #[allow(clippy::all)] \
+         impl ::serde::Serialize for {name} {{ \
+         fn serialize(&self) -> ::serde::Value {{ {body} }} }}"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::Struct(Fields::Named(fields)) => {
+            format!("Ok({name} {{ {} }})", de_named_fields(fields, "__value"))
+        }
+        Kind::Struct(Fields::Tuple(attrs)) => {
+            if attrs.len() == 1 {
+                format!("Ok({name}(::serde::Deserialize::deserialize(__value)?))")
+            } else {
+                let n = attrs.len();
+                let items: Vec<String> = (0..n)
+                    .map(|i| format!("::serde::Deserialize::deserialize(&__items[{i}])?"))
+                    .collect();
+                format!(
+                    "match __value {{ \
+                     ::serde::Value::Seq(__items) if __items.len() == {n} => \
+                     Ok({name}({items})), \
+                     _ => Err(::serde::Error::custom(\
+                     \"expected sequence of length {n} for {name}\")), }}",
+                    items = items.join(", ")
+                )
+            }
+        }
+        Kind::Struct(Fields::Unit) => format!("Ok({name})"),
+        Kind::Enum(variants) => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.fields, Fields::Unit))
+                .map(|v| format!("\"{0}\" => Ok({name}::{0}),", v.name))
+                .collect();
+            let tagged_arms: String = variants
+                .iter()
+                .filter(|v| !matches!(v.fields, Fields::Unit))
+                .map(|v| {
+                    let vn = &v.name;
+                    let build = match &v.fields {
+                        Fields::Unit => unreachable!(),
+                        Fields::Tuple(attrs) if attrs.len() == 1 => format!(
+                            "Ok({name}::{vn}(::serde::Deserialize::deserialize(__payload)?))"
+                        ),
+                        Fields::Tuple(attrs) => {
+                            let n = attrs.len();
+                            let items: Vec<String> = (0..n)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::deserialize(&__items[{i}])?")
+                                })
+                                .collect();
+                            format!(
+                                "match __payload {{ \
+                                 ::serde::Value::Seq(__items) if __items.len() == {n} => \
+                                 Ok({name}::{vn}({items})), \
+                                 _ => Err(::serde::Error::custom(\
+                                 \"expected sequence of length {n} for {name}::{vn}\")), }}",
+                                items = items.join(", ")
+                            )
+                        }
+                        Fields::Named(fields) => format!(
+                            "Ok({name}::{vn} {{ {} }})",
+                            de_named_fields(fields, "__payload")
+                        ),
+                    };
+                    format!("\"{vn}\" => {{ {build} }}")
+                })
+                .collect();
+            format!(
+                "match __value {{ \
+                 ::serde::Value::Str(__s) => match __s.as_str() {{ \
+                 {unit_arms} \
+                 __other => Err(::serde::Error::custom(format!(\
+                 \"unknown variant `{{__other}}` for {name}\"))), }}, \
+                 ::serde::Value::Map(__entries) if __entries.len() == 1 => {{ \
+                 let (__tag, __payload) = (&__entries[0].0, &__entries[0].1); \
+                 match __tag.as_str() {{ \
+                 {tagged_arms} \
+                 __other => Err(::serde::Error::custom(format!(\
+                 \"unknown variant `{{__other}}` for {name}\"))), }} }}, \
+                 _ => Err(::serde::Error::custom(\"invalid value for enum {name}\")), }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived] #[allow(clippy::all)] \
+         impl ::serde::Deserialize for {name} {{ \
+         fn deserialize(__value: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::Error> {{ {body} }} }}"
+    )
+}
+
+/// Derives `serde::Serialize` for non-generic structs and enums.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("serde_derive stub: generated Serialize impl failed to parse")
+}
+
+/// Derives `serde::Deserialize` for non-generic structs and enums.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("serde_derive stub: generated Deserialize impl failed to parse")
+}
