@@ -14,6 +14,15 @@ pub struct CgOutcome {
     pub residual: f64,
     /// `true` when the residual target was met within the iteration budget.
     pub converged: bool,
+    /// `true` when the iteration produced non-finite values even after a
+    /// restart; `x` then holds the warm start (the last numerically sound
+    /// state).
+    #[serde(default)]
+    pub diverged: bool,
+    /// Health restarts performed (0 or 1): a restart re-seeds the Krylov
+    /// directions from the warm start after a NaN/Inf was detected.
+    #[serde(default)]
+    pub restarts: usize,
 }
 
 /// Solves `A·x = b` for symmetric positive-definite `A` with
@@ -22,6 +31,15 @@ pub struct CgOutcome {
 /// Rows whose diagonal is zero (fully unconstrained variables) keep their
 /// warm-start value — placement systems produce these for nodes with no
 /// nets, and pinning them is the sensible physical answer.
+///
+/// # Numerical health
+///
+/// The iteration watches for NaN/Inf in the step size and residual. On the
+/// first non-finite value the solver *restarts* once: the Krylov state is
+/// re-seeded from a sanitised warm start (non-finite entries replaced by
+/// zero). If the restarted iteration also blows up, the solve returns with
+/// [`CgOutcome::diverged`] set and `x` equal to that sanitised warm start —
+/// never NaN — so callers can keep the previous placement.
 ///
 /// # Panics
 ///
@@ -34,79 +52,155 @@ pub fn solve(a: &CsrMatrix, b: &[f64], x0: &[f64], tol: f64, max_iters: usize) -
     let diag = a.diagonal();
     let inv_diag: Vec<f64> = diag
         .iter()
-        .map(|&d| if d.abs() > 1e-300 { 1.0 / d } else { 0.0 })
+        .map(|&d| {
+            if d.abs() > 1e-300 && d.is_finite() {
+                1.0 / d
+            } else {
+                0.0
+            }
+        })
         .collect();
-
-    let mut x = x0.to_vec();
-    let mut ax = vec![0.0; n];
-    a.multiply_into(&x, &mut ax);
-    let mut r: Vec<f64> = b.iter().zip(&ax).map(|(bi, axi)| bi - axi).collect();
-    // Zero residual components of unconstrained rows so they stay put.
-    for i in 0..n {
-        if inv_diag[i] == 0.0 {
-            r[i] = 0.0;
-        }
-    }
-    let mut z: Vec<f64> = r.iter().zip(&inv_diag).map(|(ri, di)| ri * di).collect();
-    let mut p = z.clone();
-    let mut rz: f64 = r.iter().zip(&z).map(|(a, b)| a * b).sum();
-    let b_norm = b.iter().map(|v| v * v).sum::<f64>().sqrt().max(1e-30);
+    // The numerically sound fallback state: the warm start with any
+    // non-finite entries pinned to zero.
+    let safe_x0: Vec<f64> = x0
+        .iter()
+        .map(|&v| if v.is_finite() { v } else { 0.0 })
+        .collect();
+    let b_norm = b
+        .iter()
+        .filter(|v| v.is_finite())
+        .map(|v| v * v)
+        .sum::<f64>()
+        .sqrt()
+        .max(1e-30);
     let target = tol * b_norm;
 
-    let mut residual = r.iter().map(|v| v * v).sum::<f64>().sqrt();
-    if residual <= target {
-        return CgOutcome {
-            x,
-            iterations: 0,
-            residual,
-            converged: true,
-        };
-    }
-
+    let mut restarts = 0usize;
+    let mut total_iters = 0usize;
+    let mut x = safe_x0.clone();
+    let mut ax = vec![0.0; n];
     let mut ap = vec![0.0; n];
-    for iter in 0..max_iters {
-        a.multiply_into(&p, &mut ap);
-        let pap: f64 = p.iter().zip(&ap).map(|(a, b)| a * b).sum();
-        if pap.abs() < 1e-300 {
-            return CgOutcome {
-                x,
-                iterations: iter,
-                residual,
-                converged: residual <= target,
-            };
-        }
-        let alpha = rz / pap;
+    'attempt: loop {
+        a.multiply_into(&x, &mut ax);
+        let mut r: Vec<f64> = b.iter().zip(&ax).map(|(bi, axi)| bi - axi).collect();
+        // Zero residual components of unconstrained rows so they stay put;
+        // also sanitise NaN residual entries coming from a poisoned system.
         for i in 0..n {
-            x[i] += alpha * p[i];
-            r[i] -= alpha * ap[i];
-            if inv_diag[i] == 0.0 {
+            if inv_diag[i] == 0.0 || !r[i].is_finite() {
                 r[i] = 0.0;
             }
         }
-        residual = r.iter().map(|v| v * v).sum::<f64>().sqrt();
+        let mut z: Vec<f64> = r.iter().zip(&inv_diag).map(|(ri, di)| ri * di).collect();
+        let mut p = z.clone();
+        let mut rz: f64 = r.iter().zip(&z).map(|(a, b)| a * b).sum();
+        let mut residual = r.iter().map(|v| v * v).sum::<f64>().sqrt();
+        if !residual.is_finite() || !rz.is_finite() {
+            if restarts == 0 {
+                restarts = 1;
+                x.copy_from_slice(&safe_x0);
+                continue 'attempt;
+            }
+            return CgOutcome {
+                x: safe_x0,
+                iterations: total_iters,
+                residual: f64::INFINITY,
+                converged: false,
+                diverged: true,
+                restarts,
+            };
+        }
         if residual <= target {
             return CgOutcome {
                 x,
-                iterations: iter + 1,
+                iterations: total_iters,
                 residual,
                 converged: true,
+                diverged: false,
+                restarts,
             };
         }
-        for i in 0..n {
-            z[i] = r[i] * inv_diag[i];
+
+        while total_iters < max_iters {
+            a.multiply_into(&p, &mut ap);
+            let pap: f64 = p.iter().zip(&ap).map(|(a, b)| a * b).sum();
+            if pap.abs() < 1e-300 {
+                return CgOutcome {
+                    x,
+                    iterations: total_iters,
+                    residual,
+                    converged: residual <= target,
+                    diverged: false,
+                    restarts,
+                };
+            }
+            let alpha = rz / pap;
+            if !alpha.is_finite() {
+                if restarts == 0 {
+                    restarts = 1;
+                    x.copy_from_slice(&safe_x0);
+                    continue 'attempt;
+                }
+                return CgOutcome {
+                    x: safe_x0,
+                    iterations: total_iters,
+                    residual: f64::INFINITY,
+                    converged: false,
+                    diverged: true,
+                    restarts,
+                };
+            }
+            for i in 0..n {
+                x[i] += alpha * p[i];
+                r[i] -= alpha * ap[i];
+                if inv_diag[i] == 0.0 {
+                    r[i] = 0.0;
+                }
+            }
+            residual = r.iter().map(|v| v * v).sum::<f64>().sqrt();
+            total_iters += 1;
+            if !residual.is_finite() {
+                if restarts == 0 {
+                    restarts = 1;
+                    x.copy_from_slice(&safe_x0);
+                    continue 'attempt;
+                }
+                return CgOutcome {
+                    x: safe_x0,
+                    iterations: total_iters,
+                    residual: f64::INFINITY,
+                    converged: false,
+                    diverged: true,
+                    restarts,
+                };
+            }
+            if residual <= target {
+                return CgOutcome {
+                    x,
+                    iterations: total_iters,
+                    residual,
+                    converged: true,
+                    diverged: false,
+                    restarts,
+                };
+            }
+            for i in 0..n {
+                z[i] = r[i] * inv_diag[i];
+            }
+            let rz_next: f64 = r.iter().zip(&z).map(|(a, b)| a * b).sum();
+            let beta = rz_next / rz;
+            rz = rz_next;
+            for i in 0..n {
+                p[i] = z[i] + beta * p[i];
+            }
         }
-        let rz_next: f64 = r.iter().zip(&z).map(|(a, b)| a * b).sum();
-        let beta = rz_next / rz;
-        rz = rz_next;
-        for i in 0..n {
-            p[i] = z[i] + beta * p[i];
-        }
-    }
-    CgOutcome {
-        x,
-        iterations: max_iters,
-        residual,
-        converged: false,
+        return CgOutcome {
+            x,
+            iterations: total_iters,
+            residual,
+            converged: false,
+            diverged: false,
+            restarts,
+        };
     }
 }
 
@@ -182,6 +276,52 @@ mod tests {
         let out = solve(&a, &[0.0; 5], &[0.0; 5], 1e-12, 50);
         assert!(out.converged);
         assert_eq!(out.iterations, 0);
+    }
+
+    #[test]
+    fn nan_rhs_never_poisons_the_solution() {
+        let a = laplacian_2d(6);
+        let mut b = vec![1.0; 6];
+        b[2] = f64::NAN;
+        let out = solve(&a, &b, &[0.0; 6], 1e-10, 100);
+        assert!(out.x.iter().all(|v| v.is_finite()), "{:?}", out.x);
+    }
+
+    #[test]
+    fn nan_matrix_diverges_gracefully_to_warm_start() {
+        let mut t = Triplets::new(3);
+        t.add(0, 0, 2.0);
+        t.add(1, 1, f64::NAN);
+        t.add(2, 2, 2.0);
+        t.add(0, 1, -1.0);
+        t.add(1, 0, -1.0);
+        let a = t.to_csr();
+        let out = solve(&a, &[1.0, 1.0, 1.0], &[0.5, 0.5, 0.5], 1e-10, 100);
+        assert!(out.x.iter().all(|v| v.is_finite()), "{:?}", out.x);
+        assert!(!out.converged || !out.diverged);
+        if out.diverged {
+            assert_eq!(out.restarts, 1);
+            assert_eq!(out.x, vec![0.5, 0.5, 0.5]);
+        }
+    }
+
+    #[test]
+    fn nan_warm_start_is_sanitised() {
+        let a = laplacian_2d(4);
+        let b = vec![1.0; 4];
+        let out = solve(&a, &b, &[f64::NAN, 0.0, f64::INFINITY, 0.0], 1e-10, 200);
+        assert!(out.x.iter().all(|v| v.is_finite()));
+        assert!(out.converged);
+    }
+
+    #[test]
+    fn healthy_solves_report_no_restarts() {
+        let a = laplacian_2d(10);
+        let b = vec![1.0; 10];
+        let out = solve(&a, &b, &[0.0; 10], 1e-10, 200);
+        assert!(out.converged);
+        assert!(!out.diverged);
+        assert_eq!(out.restarts, 0);
     }
 
     #[test]

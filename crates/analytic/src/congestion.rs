@@ -78,7 +78,9 @@ pub fn rudy(design: &Design, placement: &Placement, bins: usize) -> CongestionMa
         if bb.len() < 2 || bb.half_perimeter() <= 0.0 {
             continue;
         }
-        let (min, max) = (bb.min().expect("nonempty"), bb.max().expect("nonempty"));
+        let (Some(min), Some(max)) = (bb.min(), bb.max()) else {
+            continue; // unreachable: bb.len() >= 2 checked above
+        };
         // Degenerate boxes: widen to one bin so the wire registers.
         let net_rect = Rect::new(
             min.x,

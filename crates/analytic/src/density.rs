@@ -104,7 +104,7 @@ pub fn shift_axis(
         if members.is_empty() {
             continue;
         }
-        members.sort_by(|&i, &j| positions[i].partial_cmp(&positions[j]).expect("finite"));
+        members.sort_by(|&i, &j| positions[i].total_cmp(&positions[j]));
         let bin_area: f64 = members.iter().map(|&i| areas[i]).sum();
         let (nl, nr) = (new_bounds[b], new_bounds[b + 1]);
         let mut cum = 0.0;
@@ -354,7 +354,7 @@ fn shift_strip(
         if members.is_empty() {
             continue;
         }
-        members.sort_by(|&i, &j| positions[i].partial_cmp(&positions[j]).expect("finite"));
+        members.sort_by(|&i, &j| positions[i].total_cmp(&positions[j]));
         let bin_area: f64 = members.iter().map(|&i| areas[i]).sum();
         let (nl, nr) = (bounds[b], bounds[b + 1]);
         let mut cum = 0.0;

@@ -281,10 +281,7 @@ impl GlobalPlacer {
             };
             let var_of = |node: NodeRef| var_index.get(&node).copied();
             let final_w = anchor_w.max(0.5);
-            for (axis, pos, anchors) in [
-                (Axis::X, &mut xs, anchor_x.as_ref().expect("set above")),
-                (Axis::Y, &mut ys, anchor_y.as_ref().expect("set above")),
-            ] {
+            for (axis, pos, anchors) in [(Axis::X, &mut xs, ax), (Axis::Y, &mut ys, ay)] {
                 let (mut a, mut b) = build_system(design, axis, &var_of, &pos_of, n);
                 let diag = a.diagonal();
                 let mean_diag = diag.iter().sum::<f64>() / (n as f64).max(1.0);

@@ -88,7 +88,7 @@ pub fn legalize_cells_into_rows(
             .filter(|o| o.y < y1 && o.top() > y0)
             .map(|o| (o.x, o.right()))
             .collect();
-        blocked.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+        blocked.sort_by(|a, b| a.0.total_cmp(&b.0));
         let mut segments = Vec::new();
         let mut cursor = region.x;
         for (bx0, bx1) in blocked {
@@ -117,8 +117,7 @@ pub fn legalize_cells_into_rows(
         placement
             .cell_center(a)
             .x
-            .partial_cmp(&placement.cell_center(b).x)
-            .expect("finite")
+            .total_cmp(&placement.cell_center(b).x)
     });
 
     let mut out = placement.clone();
@@ -174,20 +173,24 @@ pub fn legalize_cells_into_rows(
                 .optimal_x()
                 .clamp(seg.x_min, seg.x_max - cluster.width);
             cluster.x = opt;
-            match seg.clusters.last() {
+            match seg.clusters.pop() {
                 Some(prev) if prev.x + prev.width > cluster.x => {
                     // Collapse with the previous cluster.
-                    let prev = seg.clusters.pop().expect("checked last");
-                    let mut merged = prev.clone();
+                    let prev_width = prev.width;
+                    let mut merged = prev;
                     for (m, off) in &cluster.members {
-                        merged.members.push((*m, prev.width + off));
+                        merged.members.push((*m, prev_width + off));
                     }
-                    merged.q += cluster.q - cluster.weight * prev.width;
+                    merged.q += cluster.q - cluster.weight * prev_width;
                     merged.weight += cluster.weight;
                     merged.width += cluster.width;
                     cluster = merged;
                 }
-                _ => break,
+                Some(prev) => {
+                    seg.clusters.push(prev);
+                    break;
+                }
+                None => break,
             }
         }
         seg.clusters.push(cluster);

@@ -137,10 +137,10 @@ fn cluster_cells_exact(
         if score < params.nu {
             break;
         }
-        let merged = CellGroup::merged(
-            groups[i].as_ref().expect("live group"),
-            groups[j].as_ref().expect("live group"),
-        );
+        let (Some(gi), Some(gj)) = (groups[i].as_ref(), groups[j].as_ref()) else {
+            break; // unreachable: `best` only records live indices
+        };
+        let merged = CellGroup::merged(gi, gj);
         groups[i] = Some(merged);
         groups[j] = None;
         // Cross-pattern update over rows i, j and column k of the symmetric
@@ -190,12 +190,14 @@ fn cluster_cells_bucketed(
         let mut current: Option<CellGroup> = None;
         for &id in cells {
             let single = CellGroup::singleton(design, placement, id);
-            current = Some(match current.take() {
+            let grown = match current.take() {
                 None => single,
                 Some(g) => CellGroup::merged(&g, &single),
-            });
-            if current.as_ref().expect("just set").area >= params.grid_area {
-                out.push(current.take().expect("full group"));
+            };
+            if grown.area >= params.grid_area {
+                out.push(grown);
+            } else {
+                current = Some(grown);
             }
         }
         if let Some(rest) = current {

@@ -142,7 +142,31 @@ impl Coarsener {
     /// `placement` provides the initial positions for the distance terms of
     /// Eqs. 1–2 (run the analytical global placer first for the paper's
     /// exact flow).
+    ///
+    /// # Panics
+    ///
+    /// Panics on internally inconsistent designs (see [`Coarsener::try_coarsen`]
+    /// for the fallible variant used by the hardened flow).
     pub fn coarsen(&self, design: &Design, placement: &Placement) -> CoarsenedNetlist {
+        match self.try_coarsen(design, placement) {
+            Ok(c) => c,
+            Err(e) => panic!("coarsening failed: {e}"),
+        }
+    }
+
+    /// Fallible variant of [`Coarsener::coarsen`]: returns a typed
+    /// [`ClusterError`] instead of panicking when the design violates a
+    /// clustering invariant (e.g. a macro that is neither grouped nor
+    /// preplaced, which indicates a corrupted netlist).
+    ///
+    /// # Errors
+    ///
+    /// See [`ClusterError`].
+    pub fn try_coarsen(
+        &self,
+        design: &Design,
+        placement: &Placement,
+    ) -> Result<CoarsenedNetlist, ClusterError> {
         let macro_groups = cluster_macros(design, placement, &self.params);
         let cell_groups = cluster_cells(design, placement, &self.params);
 
@@ -168,13 +192,14 @@ impl Coarsener {
                     NodeRef::Macro(id) => match macro_to_group[id.index()] {
                         Some(g) => GroupRef::MacroGroup(g),
                         // preplaced macro: a fixed point at its center
-                        None => GroupRef::Fixed(
-                            design
-                                .macro_(id)
-                                .fixed_center
-                                .expect("ungrouped macro is preplaced")
-                                + pin.offset,
-                        ),
+                        None => match design.macro_(id).fixed_center {
+                            Some(c) => GroupRef::Fixed(c + pin.offset),
+                            None => {
+                                return Err(ClusterError::UngroupedMovableMacro {
+                                    name: design.macro_(id).name.clone(),
+                                })
+                            }
+                        },
                     },
                     NodeRef::Cell(id) => GroupRef::CellGroup(cell_to_group[id.index()]),
                     NodeRef::Pad(id) => GroupRef::Fixed(design.pad(id).position),
@@ -202,15 +227,39 @@ impl Coarsener {
             }
         }
 
-        CoarsenedNetlist {
+        Ok(CoarsenedNetlist {
             macro_groups,
             cell_groups,
             nets,
             macro_to_group,
             cell_to_group,
+        })
+    }
+}
+
+/// Error from [`Coarsener::try_coarsen`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterError {
+    /// A movable macro ended up in no group — the clustering invariant
+    /// (every movable macro is grouped, only preplaced macros are not)
+    /// was violated, which indicates a corrupted design.
+    UngroupedMovableMacro {
+        /// Name of the offending macro.
+        name: String,
+    },
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::UngroupedMovableMacro { name } => {
+                write!(f, "movable macro {name} is in no group and not preplaced")
+            }
         }
     }
 }
+
+impl std::error::Error for ClusterError {}
 
 #[cfg(test)]
 mod tests {

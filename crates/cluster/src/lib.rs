@@ -1,4 +1,8 @@
 #![warn(missing_docs)]
+// Hardened crate: panicking extractors are denied in CI on library code
+// (tests and benches may unwrap freely). Justified invariant `expect`s
+// carry explicit allows at the call site.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 //! Netlist coarsening for the MMP macro placer.
 //!
@@ -32,6 +36,6 @@ pub mod macro_group;
 pub mod params;
 
 pub use cell_group::{cluster_cells, CellGroup};
-pub use coarsen::{CoarsenedNetlist, Coarsener, GroupNet, GroupRef};
+pub use coarsen::{ClusterError, CoarsenedNetlist, Coarsener, GroupNet, GroupRef};
 pub use macro_group::{cluster_macros, MacroGroup};
 pub use params::ClusterParams;

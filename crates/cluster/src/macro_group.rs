@@ -144,10 +144,10 @@ pub fn cluster_macros(
         if score < params.nu {
             break;
         }
-        let merged = MacroGroup::merged(
-            groups[i].as_ref().expect("live group"),
-            groups[j].as_ref().expect("live group"),
-        );
+        let (Some(gi), Some(gj)) = (groups[i].as_ref(), groups[j].as_ref()) else {
+            break; // unreachable: `best` only records live indices
+        };
+        let merged = MacroGroup::merged(gi, gj);
         groups[i] = Some(merged);
         groups[j] = None;
         // Cross-pattern update over rows i, j and column k of the symmetric
@@ -164,7 +164,7 @@ pub fn cluster_macros(
     }
 
     let mut out: Vec<MacroGroup> = groups.into_iter().flatten().collect();
-    out.sort_by(|a, b| b.area.partial_cmp(&a.area).expect("finite areas"));
+    out.sort_by(|a, b| b.area.total_cmp(&a.area));
     out
 }
 

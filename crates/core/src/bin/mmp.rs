@@ -9,7 +9,7 @@
 //! mmp svg      --in placed.bks --out view.svg
 //! ```
 
-use mmp_core::{DesignStats, MacroPlacer, PlacerConfig, SyntheticSpec};
+use mmp_core::{DesignStats, MacroPlacer, PlaceError, PlacerConfig, RunBudget, SyntheticSpec};
 use mmp_legal::BoundaryRefiner;
 use mmp_netlist::{bookshelf, bookshelf_aux, svg, Placement};
 use std::collections::HashMap;
@@ -17,6 +17,23 @@ use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::path::Path;
 use std::process::ExitCode;
+use std::time::Duration;
+
+/// CLI failure, mapped to a distinct exit code in `main`:
+///
+/// | code  | meaning                                         |
+/// |-------|-------------------------------------------------|
+/// | 2     | usage error (bad subcommand, flags, arguments)  |
+/// | 1     | I/O or parse error (files, bookshelf, svg)      |
+/// | 10–14 | stage-typed `PlaceError` (`exit_code()`)        |
+enum CliError {
+    /// Wrong invocation: prints the usage text, exits 2.
+    Usage(String),
+    /// File / parse / write trouble: exits 1.
+    Io(String),
+    /// The placer itself failed: exits with the stage's code (10–14).
+    Place(PlaceError),
+}
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -25,7 +42,8 @@ fn usage() -> ExitCode {
          \x20              [--scale F] [--seed N] [--hierarchy] --out FILE\n\
          \x20 mmp stats    --in FILE\n\
          \x20 mmp place    --in FILE [--zeta N] [--episodes N] [--explorations N] \\\n\
-         \x20              [--seed N] [--ensemble N] [--refine] [--out FILE] [--svg FILE]\n\
+         \x20              [--seed N] [--ensemble N] [--budget-ms N] [--refine] \\\n\
+         \x20              [--out FILE] [--svg FILE]\n\
          \x20 mmp svg      --in FILE --out FILE [--labels]"
     );
     ExitCode::from(2)
@@ -78,30 +96,40 @@ fn find_spec(name: &str) -> Option<SyntheticSpec> {
         .find(|s| s.name.eq_ignore_ascii_case(name))
 }
 
-fn run() -> Result<(), String> {
+fn run() -> Result<(), CliError> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
-        return Err("missing subcommand".into());
+        return Err(CliError::Usage("missing subcommand".into()));
     };
     let (flags, _) = parse_flags(&args[1..]);
     let get = |k: &str| flags.get(k).cloned();
-    let get_usize = |k: &str, d: usize| -> Result<usize, String> {
+    let get_usize = |k: &str, d: usize| -> Result<usize, CliError> {
         match flags.get(k) {
             None => Ok(d),
-            Some(v) => v.parse().map_err(|_| format!("bad --{k}: {v}")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError::Usage(format!("bad --{k}: {v}"))),
         }
     };
+    let need = |k: &str, msg: &str| -> Result<String, CliError> {
+        get(k).ok_or_else(|| CliError::Usage(msg.into()))
+    };
+    let io = CliError::Io;
 
     match cmd.as_str() {
         "generate" => {
-            let out_path = get("out").ok_or("generate needs --out")?;
+            let out_path = need("out", "generate needs --out")?;
             let scale: f64 = get("scale")
-                .map(|v| v.parse().map_err(|_| format!("bad --scale: {v}")))
+                .map(|v| {
+                    v.parse()
+                        .map_err(|_| CliError::Usage(format!("bad --scale: {v}")))
+                })
                 .transpose()?
                 .unwrap_or(1.0);
             let seed = get_usize("seed", 42)? as u64;
             let spec = if let Some(name) = get("circuit") {
-                let mut s = find_spec(&name).ok_or(format!("unknown circuit {name}"))?;
+                let mut s = find_spec(&name)
+                    .ok_or_else(|| CliError::Usage(format!("unknown circuit {name}")))?;
                 s.seed = seed;
                 if scale < 1.0 {
                     s = s.scaled(scale);
@@ -113,11 +141,11 @@ fn run() -> Result<(), String> {
                     .map(|p| {
                         p.trim()
                             .parse()
-                            .map_err(|_| format!("bad --spec: {spec_str}"))
+                            .map_err(|_| CliError::Usage(format!("bad --spec: {spec_str}")))
                     })
                     .collect::<Result<_, _>>()?;
                 if parts.len() != 5 {
-                    return Err("--spec wants M,P,IO,CELLS,NETS".into());
+                    return Err(CliError::Usage("--spec wants M,P,IO,CELLS,NETS".into()));
                 }
                 SyntheticSpec::small(
                     "custom",
@@ -130,18 +158,18 @@ fn run() -> Result<(), String> {
                     seed,
                 )
             } else {
-                return Err("generate needs --circuit or --spec".into());
+                return Err(CliError::Usage("generate needs --circuit or --spec".into()));
             };
             let design = spec.generate();
-            let file = File::create(&out_path).map_err(|e| e.to_string())?;
-            bookshelf::write(&design, None, BufWriter::new(file)).map_err(|e| e.to_string())?;
+            let file = File::create(&out_path).map_err(|e| io(e.to_string()))?;
+            bookshelf::write(&design, None, BufWriter::new(file)).map_err(|e| io(e.to_string()))?;
             println!("{}", DesignStats::of(&design));
             println!("wrote {out_path}");
             Ok(())
         }
         "stats" => {
-            let in_path = get("in").ok_or("stats needs --in")?;
-            let (design, placement) = load(&in_path)?;
+            let in_path = need("in", "stats needs --in")?;
+            let (design, placement) = load(&in_path).map_err(io)?;
             println!("{}", DesignStats::of(&design));
             if let Some(pl) = placement {
                 println!("placement present: HPWL = {:.1}", pl.hpwl(&design));
@@ -150,23 +178,35 @@ fn run() -> Result<(), String> {
             Ok(())
         }
         "place" => {
-            let in_path = get("in").ok_or("place needs --in")?;
-            let (design, _) = load(&in_path)?;
+            let in_path = need("in", "place needs --in")?;
+            let (design, _) = load(&in_path).map_err(io)?;
             let zeta = get_usize("zeta", 8)?;
             let mut cfg = PlacerConfig::bench(zeta);
             cfg.trainer.episodes = get_usize("episodes", cfg.trainer.episodes)?;
             cfg.mcts.explorations = get_usize("explorations", cfg.mcts.explorations)?;
             cfg.trainer.seed = get_usize("seed", 0)? as u64;
             cfg.ensemble_runs = get_usize("ensemble", 1)?;
+            if let Some(ms) = flags.get("budget-ms") {
+                let ms: u64 = ms
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("bad --budget-ms: {ms}")))?;
+                cfg.budget = RunBudget::with_total(Duration::from_millis(ms));
+            }
             let result = MacroPlacer::new(cfg)
                 .place(&design)
-                .map_err(|e| e.to_string())?;
+                .map_err(CliError::Place)?;
             println!(
                 "HPWL = {:.1}, overlap = {:.3}, mcts = {:?}",
                 result.hpwl,
                 result.placement.macro_overlap_area(&design),
                 result.timings.mcts
             );
+            if !result.degradation.is_empty() {
+                eprintln!("run degraded under its budget/faults:");
+                for e in &result.degradation.events {
+                    eprintln!("  {}: {}", e.stage, e.detail);
+                }
+            }
             let mut placement = result.placement;
             if flags.contains_key("refine") {
                 let refined = BoundaryRefiner::new().refine(&design, &placement);
@@ -182,47 +222,55 @@ fn run() -> Result<(), String> {
                 placement = flipped.placement;
             }
             if let Some(out_path) = get("out") {
-                store(&design, &placement, &out_path)?;
+                store(&design, &placement, &out_path).map_err(io)?;
                 println!("wrote {out_path}");
             }
             if let Some(svg_path) = get("svg") {
-                let file = File::create(&svg_path).map_err(|e| e.to_string())?;
+                let file = File::create(&svg_path).map_err(|e| io(e.to_string()))?;
                 svg::write(
                     &design,
                     &placement,
                     &svg::SvgOptions::default(),
                     BufWriter::new(file),
                 )
-                .map_err(|e| e.to_string())?;
+                .map_err(|e| io(e.to_string()))?;
                 println!("wrote {svg_path}");
             }
             Ok(())
         }
         "svg" => {
-            let in_path = get("in").ok_or("svg needs --in")?;
-            let out_path = get("out").ok_or("svg needs --out")?;
-            let (design, placement) = load(&in_path)?;
+            let in_path = need("in", "svg needs --in")?;
+            let out_path = need("out", "svg needs --out")?;
+            let (design, placement) = load(&in_path).map_err(io)?;
             let placement = placement.unwrap_or_else(|| Placement::initial(&design));
             let opts = svg::SvgOptions {
                 macro_labels: flags.contains_key("labels"),
                 ..svg::SvgOptions::default()
             };
-            let file = File::create(&out_path).map_err(|e| e.to_string())?;
+            let file = File::create(&out_path).map_err(|e| io(e.to_string()))?;
             svg::write(&design, &placement, &opts, BufWriter::new(file))
-                .map_err(|e| e.to_string())?;
+                .map_err(|e| io(e.to_string()))?;
             println!("wrote {out_path}");
             Ok(())
         }
-        _ => Err(format!("unknown subcommand {cmd}")),
+        _ => Err(CliError::Usage(format!("unknown subcommand {cmd}"))),
     }
 }
 
 fn main() -> ExitCode {
     match run() {
         Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
+        Err(CliError::Usage(e)) => {
             eprintln!("error: {e}");
             usage()
+        }
+        Err(CliError::Io(e)) => {
+            eprintln!("error: {e}");
+            ExitCode::from(1)
+        }
+        Err(CliError::Place(e)) => {
+            eprintln!("error: {e}");
+            ExitCode::from(e.exit_code())
         }
     }
 }

@@ -1,0 +1,162 @@
+//! Wall-clock budgets for the placement flow.
+//!
+//! A [`RunBudget`] carries an optional **total** deadline plus optional
+//! per-stage allowances. Budgets trigger *graceful degradation*, never
+//! hard aborts: when a stage's deadline passes, the stage commits its
+//! best-so-far result through a cheaper deterministic path (policy-greedy
+//! allocation, row-greedy packing, last-good weights) and the flow records
+//! the event in a [`crate::DegradationReport`]. A run with any budget set
+//! therefore still produces a complete, legal placement — just a cruder
+//! one than an unbudgeted run.
+
+use serde::{map_get, Deserialize, Error, Serialize, Value};
+use std::time::{Duration, Instant};
+
+/// Optional wall-clock allowances for a placement run.
+///
+/// All fields default to `None` (unlimited). Per-stage budgets are counted
+/// from the *start of that stage*; the total budget from the start of
+/// [`crate::MacroPlacer::place`]. A stage's effective deadline is the
+/// earlier of its own allowance and the total deadline.
+///
+/// Serialized as a map of optional integer milliseconds
+/// (`{"total_ms": 5000, "train_ms": null, ...}`), since the flow's config
+/// files are plain JSON.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunBudget {
+    /// Allowance for the whole run.
+    pub total: Option<Duration>,
+    /// Allowance for RL pre-training (calibration + episodes).
+    pub train: Option<Duration>,
+    /// Allowance for the MCTS stage (shared by all ensemble workers).
+    pub search: Option<Duration>,
+    /// Allowance for macro legalization.
+    pub legalize: Option<Duration>,
+}
+
+impl RunBudget {
+    /// No limits anywhere — the default.
+    pub fn unlimited() -> Self {
+        RunBudget::default()
+    }
+
+    /// A budget constraining only the total run time.
+    pub fn with_total(total: Duration) -> Self {
+        RunBudget {
+            total: Some(total),
+            ..RunBudget::default()
+        }
+    }
+
+    /// `true` when no allowance is set at all.
+    pub fn is_unlimited(&self) -> bool {
+        self.total.is_none()
+            && self.train.is_none()
+            && self.search.is_none()
+            && self.legalize.is_none()
+    }
+
+    /// The effective deadline for a stage starting at `stage_start`, given
+    /// the run-wide deadline: the earlier of the two, `None` when both are
+    /// unlimited.
+    pub fn stage_deadline(
+        run_deadline: Option<Instant>,
+        stage_start: Instant,
+        stage_allowance: Option<Duration>,
+    ) -> Option<Instant> {
+        min_deadline(run_deadline, stage_allowance.map(|d| stage_start + d))
+    }
+}
+
+/// The earlier of two optional deadlines.
+pub(crate) fn min_deadline(a: Option<Instant>, b: Option<Instant>) -> Option<Instant> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x.min(y)),
+        (x, None) => x,
+        (None, y) => y,
+    }
+}
+
+fn millis_value(d: &Option<Duration>) -> Value {
+    match d {
+        Some(d) => Value::U64(u64::try_from(d.as_millis()).unwrap_or(u64::MAX)),
+        None => Value::Null,
+    }
+}
+
+fn millis_from(v: &Value, key: &str) -> Result<Option<Duration>, Error> {
+    match map_get(v, key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(val) => Ok(Some(Duration::from_millis(u64::deserialize(val)?))),
+    }
+}
+
+// Manual impls: the vendored serde stub has no Duration support, so the
+// budget round-trips as integer milliseconds.
+impl Serialize for RunBudget {
+    fn serialize(&self) -> Value {
+        Value::Map(vec![
+            ("total_ms".to_owned(), millis_value(&self.total)),
+            ("train_ms".to_owned(), millis_value(&self.train)),
+            ("search_ms".to_owned(), millis_value(&self.search)),
+            ("legalize_ms".to_owned(), millis_value(&self.legalize)),
+        ])
+    }
+}
+
+impl Deserialize for RunBudget {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        Ok(RunBudget {
+            total: millis_from(v, "total_ms")?,
+            train: millis_from(v, "train_ms")?,
+            search: millis_from(v, "search_ms")?,
+            legalize: millis_from(v, "legalize_ms")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_unlimited() {
+        assert!(RunBudget::default().is_unlimited());
+        assert!(!RunBudget::with_total(Duration::from_secs(1)).is_unlimited());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let b = RunBudget {
+            total: Some(Duration::from_millis(5000)),
+            train: None,
+            search: Some(Duration::from_millis(250)),
+            legalize: Some(Duration::ZERO),
+        };
+        let v = b.serialize();
+        let back = RunBudget::deserialize(&v).unwrap();
+        assert_eq!(b, back);
+    }
+
+    #[test]
+    fn missing_fields_deserialize_as_unlimited() {
+        let v = Value::Map(vec![("total_ms".to_owned(), Value::U64(100))]);
+        let b = RunBudget::deserialize(&v).unwrap();
+        assert_eq!(b.total, Some(Duration::from_millis(100)));
+        assert_eq!(b.train, None);
+        assert_eq!(b.search, None);
+        assert_eq!(b.legalize, None);
+    }
+
+    #[test]
+    fn stage_deadline_takes_the_earlier_bound() {
+        let now = Instant::now();
+        let run = Some(now + Duration::from_millis(100));
+        let tight = RunBudget::stage_deadline(run, now, Some(Duration::from_millis(10)));
+        assert_eq!(tight, Some(now + Duration::from_millis(10)));
+        let loose = RunBudget::stage_deadline(run, now, Some(Duration::from_secs(10)));
+        assert_eq!(loose, run);
+        assert_eq!(RunBudget::stage_deadline(None, now, None), None);
+        assert_eq!(RunBudget::stage_deadline(run, now, None), run);
+    }
+}

@@ -1,0 +1,131 @@
+//! Degradation accounting: which stages fell back, and why.
+//!
+//! Every graceful-degradation path in the flow (deadline expiry, rejected
+//! gradient updates, NaN network evaluations, row-greedy legalization)
+//! records one [`Degradation`] event here. An empty report means the run
+//! took the full-quality path end to end; a populated report is *not* an
+//! error — the placement is still complete and legal — but tells the
+//! caller exactly which stages ran degraded and how.
+
+use std::fmt;
+
+/// The five stages of Algorithm 1, in flow order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Stage {
+    /// Prototyping placement, grouping, coarsening, feasibility checks.
+    Preprocess,
+    /// RL pre-training.
+    Train,
+    /// MCTS placement optimization.
+    Search,
+    /// Macro legalization.
+    Legalize,
+    /// Final analytical cell placement.
+    FinalPlace,
+}
+
+impl Stage {
+    /// Stable lower-case name (used in reports and CLI output).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Stage::Preprocess => "preprocess",
+            Stage::Train => "train",
+            Stage::Search => "search",
+            Stage::Legalize => "legalize",
+            Stage::FinalPlace => "final-place",
+        }
+    }
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One recorded fallback.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Degradation {
+    /// The stage that degraded.
+    pub stage: Stage,
+    /// Human-readable description of what was given up and what replaced
+    /// it.
+    pub detail: String,
+}
+
+/// All fallbacks taken during one run of [`crate::MacroPlacer::place`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DegradationReport {
+    /// Events in the order they occurred.
+    pub events: Vec<Degradation>,
+}
+
+impl DegradationReport {
+    /// Records one event.
+    pub fn record(&mut self, stage: Stage, detail: impl Into<String>) {
+        self.events.push(Degradation {
+            stage,
+            detail: detail.into(),
+        });
+    }
+
+    /// `true` when the run took the full-quality path everywhere.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// `true` when at least one event touched `stage`.
+    pub fn affects(&self, stage: Stage) -> bool {
+        self.events.iter().any(|e| e.stage == stage)
+    }
+
+    /// The distinct degraded stages, in flow order.
+    pub fn degraded_stages(&self) -> Vec<Stage> {
+        let mut stages: Vec<Stage> = self.events.iter().map(|e| e.stage).collect();
+        stages.sort();
+        stages.dedup();
+        stages
+    }
+}
+
+impl fmt::Display for DegradationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.events.is_empty() {
+            return write!(f, "no degradation");
+        }
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{}: {}", e.stage, e.detail)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_report_reads_clean() {
+        let r = DegradationReport::default();
+        assert!(r.is_empty());
+        assert!(!r.affects(Stage::Train));
+        assert_eq!(r.to_string(), "no degradation");
+    }
+
+    #[test]
+    fn stages_are_deduped_and_flow_ordered() {
+        let mut r = DegradationReport::default();
+        r.record(Stage::Legalize, "row-greedy fallback in 2 cells");
+        r.record(Stage::Train, "deadline expired after 12 episodes");
+        r.record(Stage::Legalize, "global row-greedy pass");
+        assert_eq!(r.degraded_stages(), vec![Stage::Train, Stage::Legalize]);
+        assert!(r.affects(Stage::Legalize));
+        assert!(!r.affects(Stage::Search));
+        let text = r.to_string();
+        assert!(text.contains("train: deadline expired"));
+        assert!(text.contains("legalize: row-greedy"));
+    }
+}

@@ -1,0 +1,258 @@
+//! The typed error hierarchy of the placement flow.
+//!
+//! [`PlaceError`] has one variant per stage of Algorithm 1, each wrapping
+//! that stage's own error enum, so callers can match on *where* a run
+//! failed and on the precise cause — and the `mmp` CLI maps each stage to
+//! a distinct exit code (see [`PlaceError::exit_code`]). Transient trouble
+//! (deadline expiry, NaN evaluations, LP failures) is **not** an error:
+//! those paths degrade gracefully and surface through
+//! [`crate::DegradationReport`]. An `Err` from
+//! [`crate::MacroPlacer::place`] always means the input or configuration
+//! is unusable.
+
+use crate::degrade::Stage;
+use mmp_cluster::ClusterError;
+use mmp_legal::LegalizeError;
+use mmp_rl::TrainError;
+use std::error::Error;
+use std::fmt;
+
+/// Preprocessing failures: the design cannot enter the flow at all.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PreprocessError {
+    /// The design's region cannot host its macros (sum of macro areas
+    /// exceeds the region area).
+    MacrosExceedRegion {
+        /// Total macro area of the design.
+        macro_area: f64,
+        /// Area of the placement region.
+        region_area: f64,
+    },
+    /// Clustering/coarsening rejected the design.
+    Cluster(ClusterError),
+}
+
+impl fmt::Display for PreprocessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PreprocessError::MacrosExceedRegion {
+                macro_area,
+                region_area,
+            } => write!(
+                f,
+                "total macro area exceeds the placement region ({macro_area:.1} > {region_area:.1})"
+            ),
+            PreprocessError::Cluster(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl Error for PreprocessError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PreprocessError::Cluster(e) => Some(e),
+            PreprocessError::MacrosExceedRegion { .. } => None,
+        }
+    }
+}
+
+/// Search-stage failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SearchError {
+    /// `ensemble_runs` was configured as 0 — no search can run.
+    NoRuns,
+}
+
+impl fmt::Display for SearchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SearchError::NoRuns => write!(f, "ensemble_runs is 0: no search would run"),
+        }
+    }
+}
+
+impl Error for SearchError {}
+
+/// Final-cell-placement failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FinalPlaceError {
+    /// The cell placer returned non-finite coordinates — the numerical
+    /// guards upstream should make this unreachable, so reaching it means
+    /// the placement cannot be trusted and is refused rather than written
+    /// out.
+    NonFinitePlacement {
+        /// Number of nodes with a non-finite coordinate.
+        nodes: usize,
+    },
+}
+
+impl fmt::Display for FinalPlaceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FinalPlaceError::NonFinitePlacement { nodes } => {
+                write!(
+                    f,
+                    "final placement has {nodes} nodes at non-finite coordinates"
+                )
+            }
+        }
+    }
+}
+
+impl Error for FinalPlaceError {}
+
+/// Flow-level failure: which stage failed, and why.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlaceError {
+    /// Preprocessing (feasibility, clustering) failed.
+    Preprocess(PreprocessError),
+    /// RL pre-training failed.
+    Train(TrainError),
+    /// MCTS placement optimization failed.
+    Search(SearchError),
+    /// Macro legalization failed.
+    Legalize(LegalizeError),
+    /// Final cell placement failed.
+    FinalPlace(FinalPlaceError),
+}
+
+impl PlaceError {
+    /// The stage the error belongs to.
+    pub fn stage(&self) -> Stage {
+        match self {
+            PlaceError::Preprocess(_) => Stage::Preprocess,
+            PlaceError::Train(_) => Stage::Train,
+            PlaceError::Search(_) => Stage::Search,
+            PlaceError::Legalize(_) => Stage::Legalize,
+            PlaceError::FinalPlace(_) => Stage::FinalPlace,
+        }
+    }
+
+    /// The CLI exit code for this error: a distinct non-zero code per
+    /// stage (10–14), leaving 1 for generic I/O errors and 2 for usage
+    /// errors.
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            PlaceError::Preprocess(_) => 10,
+            PlaceError::Train(_) => 11,
+            PlaceError::Search(_) => 12,
+            PlaceError::Legalize(_) => 13,
+            PlaceError::FinalPlace(_) => 14,
+        }
+    }
+}
+
+impl fmt::Display for PlaceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlaceError::Preprocess(e) => write!(f, "preprocess: {e}"),
+            PlaceError::Train(e) => write!(f, "train: {e}"),
+            PlaceError::Search(e) => write!(f, "search: {e}"),
+            PlaceError::Legalize(e) => write!(f, "legalize: {e}"),
+            PlaceError::FinalPlace(e) => write!(f, "final-place: {e}"),
+        }
+    }
+}
+
+impl Error for PlaceError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PlaceError::Preprocess(e) => Some(e),
+            PlaceError::Train(e) => Some(e),
+            PlaceError::Search(e) => Some(e),
+            PlaceError::Legalize(e) => Some(e),
+            PlaceError::FinalPlace(e) => Some(e),
+        }
+    }
+}
+
+impl From<LegalizeError> for PlaceError {
+    fn from(e: LegalizeError) -> Self {
+        PlaceError::Legalize(e)
+    }
+}
+
+impl From<SearchError> for PlaceError {
+    fn from(e: SearchError) -> Self {
+        PlaceError::Search(e)
+    }
+}
+
+impl From<FinalPlaceError> for PlaceError {
+    fn from(e: FinalPlaceError) -> Self {
+        PlaceError::FinalPlace(e)
+    }
+}
+
+/// A trainer error is a *preprocessing* failure when its cause is the
+/// clustering of the input design, a *training* failure otherwise.
+impl From<TrainError> for PlaceError {
+    fn from(e: TrainError) -> Self {
+        match e {
+            TrainError::Cluster(c) => PlaceError::Preprocess(PreprocessError::Cluster(c)),
+            other => PlaceError::Train(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_codes_are_distinct_and_non_zero() {
+        let errs = [
+            PlaceError::Preprocess(PreprocessError::MacrosExceedRegion {
+                macro_area: 2.0,
+                region_area: 1.0,
+            }),
+            PlaceError::Train(TrainError::ZetaMismatch { net: 4, env: 8 }),
+            PlaceError::Search(SearchError::NoRuns),
+            PlaceError::Legalize(LegalizeError::AssignmentMismatch {
+                expected: 3,
+                got: 0,
+            }),
+            PlaceError::FinalPlace(FinalPlaceError::NonFinitePlacement { nodes: 7 }),
+        ];
+        let mut codes: Vec<u8> = errs.iter().map(PlaceError::exit_code).collect();
+        assert!(codes.iter().all(|&c| c != 0 && c != 1 && c != 2));
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), errs.len(), "exit codes must be distinct");
+    }
+
+    #[test]
+    fn messages_name_the_stage_and_cause() {
+        let e = PlaceError::Preprocess(PreprocessError::MacrosExceedRegion {
+            macro_area: 162.0,
+            region_area: 100.0,
+        });
+        let msg = e.to_string();
+        assert!(msg.contains("preprocess"));
+        assert!(msg.contains("macro area"));
+        assert_eq!(e.stage(), Stage::Preprocess);
+
+        let e = PlaceError::from(TrainError::ZetaMismatch { net: 4, env: 8 });
+        assert!(e.to_string().contains("train"));
+        assert_eq!(e.stage(), Stage::Train);
+    }
+
+    #[test]
+    fn cluster_cause_maps_to_preprocess() {
+        let e = PlaceError::from(TrainError::Cluster(
+            mmp_cluster::ClusterError::UngroupedMovableMacro {
+                name: "m3".to_owned(),
+            },
+        ));
+        assert_eq!(e.stage(), Stage::Preprocess);
+        assert_eq!(e.exit_code(), 10);
+        assert!(e.to_string().contains("m3"));
+    }
+
+    #[test]
+    fn source_chain_reaches_the_stage_error() {
+        let e = PlaceError::Search(SearchError::NoRuns);
+        let src = std::error::Error::source(&e).expect("has source");
+        assert!(src.to_string().contains("ensemble_runs"));
+    }
+}

@@ -1,14 +1,20 @@
 //! Algorithm 1: preprocess → pre-train → MCTS → legalize → place cells.
+//!
+//! The flow is *hardened*: every stage propagates typed errors
+//! ([`PlaceError`]), honours the wall-clock allowances of a
+//! [`RunBudget`], and records every graceful-degradation event in the
+//! result's [`DegradationReport`].
 
+use crate::budget::RunBudget;
+use crate::degrade::{DegradationReport, Stage};
+use crate::error::{FinalPlaceError, PlaceError, PreprocessError, SearchError};
 use mmp_analytic::{GlobalPlacer, GlobalPlacerConfig};
 use mmp_geom::GridIndex;
 use mmp_legal::MacroLegalizer;
-use mmp_mcts::{place_ensemble, EnsembleConfig, MctsConfig, MctsPlacer, SearchStats};
+use mmp_mcts::{place_ensemble_with_deadline, EnsembleConfig, MctsConfig, MctsPlacer, SearchStats};
 use mmp_netlist::{Design, Placement};
 use mmp_rl::{Agent, Trainer, TrainerConfig, TrainingHistory};
 use serde::{Deserialize, Serialize};
-use std::error::Error;
-use std::fmt;
 use std::time::{Duration, Instant};
 
 /// Full-flow configuration. `fast(ζ)` gives laptop-scale settings used by
@@ -24,6 +30,14 @@ pub struct PlacerConfig {
     pub ensemble_runs: usize,
     /// Final cell-placement effort.
     pub final_placer: GlobalPlacerConfig,
+    /// Wall-clock allowances; exceeded stages degrade gracefully (see
+    /// [`RunBudget`]). Unlimited by default.
+    #[serde(default)]
+    pub budget: RunBudget,
+    /// Fault-injection knob: forces the legalizer onto its row-greedy
+    /// fallback path (test harness only; `false` in production).
+    #[serde(default)]
+    pub fault_sp_failure: bool,
 }
 
 impl PlacerConfig {
@@ -34,6 +48,8 @@ impl PlacerConfig {
             mcts: MctsConfig::default(),
             ensemble_runs: 1,
             final_placer: GlobalPlacerConfig::quality(),
+            budget: RunBudget::default(),
+            fault_sp_failure: false,
         }
     }
 
@@ -53,6 +69,8 @@ impl PlacerConfig {
             },
             ensemble_runs: 1,
             final_placer: GlobalPlacerConfig::fast(),
+            budget: RunBudget::default(),
+            fault_sp_failure: false,
         }
     }
 
@@ -101,27 +119,10 @@ pub struct PlacementResult {
     pub timings: StageTimings,
     /// The trained agent (reusable for further searches).
     pub agent: Agent,
+    /// Every graceful-degradation event the run took (empty on the
+    /// full-quality path).
+    pub degradation: DegradationReport,
 }
-
-/// Flow-level failure.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum PlaceError {
-    /// The design's region cannot host its macros at all (sum of macro
-    /// areas exceeds the region).
-    MacrosExceedRegion,
-}
-
-impl fmt::Display for PlaceError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            PlaceError::MacrosExceedRegion => {
-                write!(f, "total macro area exceeds the placement region")
-            }
-        }
-    }
-}
-
-impl Error for PlaceError {}
 
 /// The end-to-end placer (Algorithm 1).
 #[derive(Debug, Clone)]
@@ -145,19 +146,41 @@ impl MacroPlacer {
     /// Designs without movable macros (the `ibm05` case) skip the RL and
     /// MCTS stages and go straight to cell placement.
     ///
+    /// When the config carries a [`RunBudget`], stages degrade gracefully
+    /// as deadlines pass — training keeps its last-good weights, search
+    /// falls back to policy-greedy allocation, legalization to row-greedy
+    /// packing — and every fallback is recorded in the result's
+    /// [`DegradationReport`]. A budgeted run therefore still returns
+    /// `Ok` with a complete placement.
+    ///
     /// # Errors
     ///
-    /// [`PlaceError::MacrosExceedRegion`] when the instance is trivially
-    /// infeasible.
+    /// A [`PlaceError`] naming the failed stage and its cause — e.g.
+    /// [`PreprocessError::MacrosExceedRegion`] when the instance is
+    /// trivially infeasible, or [`SearchError::NoRuns`] when
+    /// `ensemble_runs` is 0.
     pub fn place(&self, design: &Design) -> Result<PlacementResult, PlaceError> {
-        if design.total_macro_area() > design.region().area() {
-            return Err(PlaceError::MacrosExceedRegion);
-        }
+        let start = Instant::now();
+        let run_deadline = self.config.budget.total.map(|d| start + d);
+        let mut degradation = DegradationReport::default();
 
-        // Stage 1: preprocessing (inside Trainer::new — prototyping
-        // placement + grouping + coarsening).
+        // Stage 1: preprocessing — feasibility, then prototyping
+        // placement + grouping + coarsening (inside Trainer::try_new).
+        let macro_area = design.total_macro_area();
+        let region_area = design.region().area();
+        if macro_area > region_area {
+            return Err(PlaceError::Preprocess(
+                PreprocessError::MacrosExceedRegion {
+                    macro_area,
+                    region_area,
+                },
+            ));
+        }
+        if self.config.ensemble_runs == 0 {
+            return Err(PlaceError::Search(SearchError::NoRuns));
+        }
         let t0 = Instant::now();
-        let trainer = Trainer::new(design, self.config.trainer.clone());
+        let trainer = Trainer::try_new(design, self.config.trainer.clone())?;
         let preprocess = t0.elapsed();
 
         if design.movable_macros().is_empty() {
@@ -165,6 +188,7 @@ impl MacroPlacer {
             let t3 = Instant::now();
             let out = GlobalPlacer::new(self.config.final_placer.clone())
                 .place_cells(design, &Placement::initial(design));
+            check_finite(&out.placement, design)?;
             return Ok(PlacementResult {
                 placement: out.placement,
                 hpwl: out.hpwl,
@@ -177,19 +201,42 @@ impl MacroPlacer {
                     ..StageTimings::default()
                 },
                 agent: Agent::new(self.config.trainer.net),
+                degradation,
             });
         }
 
         // Stage 2: pre-training by RL.
         let t1 = Instant::now();
-        let outcome = trainer.train();
+        let train_deadline = RunBudget::stage_deadline(run_deadline, t1, self.config.budget.train);
+        let outcome = trainer.train_with_deadline(train_deadline)?;
         let training_time = t1.elapsed();
+        if outcome.history.early_stopped {
+            degradation.record(
+                Stage::Train,
+                format!(
+                    "deadline expired after {} of {} episodes; kept last-good weights",
+                    outcome.history.episode_rewards.len(),
+                    self.config.trainer.episodes
+                ),
+            );
+        }
+        if outcome.history.rejected_updates > 0 {
+            degradation.record(
+                Stage::Train,
+                format!(
+                    "{} optimizer chunk(s) rejected by the gradient-health guard",
+                    outcome.history.rejected_updates
+                ),
+            );
+        }
 
         // Stage 3: placement optimization by MCTS (optionally an ensemble
         // of diversified parallel searches).
         let t2 = Instant::now();
+        let search_deadline =
+            RunBudget::stage_deadline(run_deadline, t2, self.config.budget.search);
         let search = if self.config.ensemble_runs > 1 {
-            place_ensemble(
+            place_ensemble_with_deadline(
                 &trainer,
                 &outcome.agent,
                 &outcome.scale,
@@ -198,25 +245,70 @@ impl MacroPlacer {
                     base: self.config.mcts.clone(),
                     ..EnsembleConfig::default()
                 },
+                search_deadline,
             )
             .best
         } else {
-            MctsPlacer::new(self.config.mcts.clone()).place(
+            MctsPlacer::new(self.config.mcts.clone()).place_with_deadline(
                 &trainer,
                 &outcome.agent,
                 &outcome.scale,
+                search_deadline,
             )
         };
         let mcts_time = t2.elapsed();
+        if search.stats.deadline_expired {
+            degradation.record(
+                Stage::Search,
+                format!(
+                    "deadline expired; {} group(s) allocated policy-greedily",
+                    search.stats.policy_greedy_groups
+                ),
+            );
+        }
+        if search.stats.nan_evaluations > 0 {
+            degradation.record(
+                Stage::Search,
+                format!(
+                    "{} network evaluation(s) returned non-finite outputs; \
+                     replaced by uniform priors",
+                    search.stats.nan_evaluations
+                ),
+            );
+        }
 
         // Stage 4: legalization + final cell placement.
         let t3 = Instant::now();
-        let legal = MacroLegalizer::new()
-            .legalize(design, trainer.coarse(), &search.assignment, trainer.grid())
-            .expect("MCTS assignment covers every group");
+        let legalize_deadline =
+            RunBudget::stage_deadline(run_deadline, t3, self.config.budget.legalize);
+        let mut legalizer = MacroLegalizer::new();
+        legalizer.force_sp_failure = self.config.fault_sp_failure;
+        let legal = legalizer.legalize_with_deadline(
+            design,
+            trainer.coarse(),
+            &search.assignment,
+            trainer.grid(),
+            legalize_deadline,
+        )?;
+        if legal.fallback_grid_cells > 0 {
+            degradation.record(
+                Stage::Legalize,
+                format!(
+                    "row-greedy fallback in {} grid cell(s)",
+                    legal.fallback_grid_cells
+                ),
+            );
+        }
+        if legal.global_fallback {
+            degradation.record(
+                Stage::Legalize,
+                "global pass replaced by the row-greedy packer",
+            );
+        }
         let out = GlobalPlacer::new(self.config.final_placer.clone())
             .place_cells(design, &legal.placement);
         let finalize = t3.elapsed();
+        check_finite(&out.placement, design)?;
 
         Ok(PlacementResult {
             placement: out.placement,
@@ -231,8 +323,33 @@ impl MacroPlacer {
                 finalize,
             },
             agent: outcome.agent,
+            degradation,
         })
     }
+}
+
+/// Numerical-health gate on the final placement: refuse to hand back (or
+/// write out) coordinates that are not finite.
+fn check_finite(placement: &Placement, design: &Design) -> Result<(), PlaceError> {
+    let mut bad = 0usize;
+    for i in 0..design.macros().len() {
+        let c = placement.macro_center(mmp_netlist::MacroId::from_index(i));
+        if !c.x.is_finite() || !c.y.is_finite() {
+            bad += 1;
+        }
+    }
+    for i in 0..design.cells().len() {
+        let c = placement.cell_center(mmp_netlist::CellId::from_index(i));
+        if !c.x.is_finite() || !c.y.is_finite() {
+            bad += 1;
+        }
+    }
+    if bad > 0 {
+        return Err(PlaceError::FinalPlace(
+            FinalPlaceError::NonFinitePlacement { nodes: bad },
+        ));
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -295,8 +412,103 @@ mod tests {
         .unwrap();
         let d = b.build().unwrap();
         let err = MacroPlacer::new(fast_config()).place(&d).unwrap_err();
-        assert_eq!(err, PlaceError::MacrosExceedRegion);
+        assert!(matches!(
+            err,
+            PlaceError::Preprocess(PreprocessError::MacrosExceedRegion { .. })
+        ));
         assert!(err.to_string().contains("macro area"));
+        assert_eq!(err.exit_code(), 10);
+        assert_eq!(err.stage(), Stage::Preprocess);
+    }
+
+    #[test]
+    fn zero_ensemble_runs_is_a_typed_search_error() {
+        let d = SyntheticSpec::small("nr", 5, 0, 8, 40, 70, false, 2).generate();
+        let mut cfg = fast_config();
+        cfg.ensemble_runs = 0;
+        let err = MacroPlacer::new(cfg).place(&d).unwrap_err();
+        assert_eq!(err, PlaceError::Search(SearchError::NoRuns));
+        assert_eq!(err.exit_code(), 12);
+    }
+
+    #[test]
+    fn unbudgeted_run_reports_no_degradation() {
+        let d = SyntheticSpec::small("clean", 5, 0, 8, 40, 70, false, 3).generate();
+        let result = MacroPlacer::new(fast_config()).place(&d).unwrap();
+        assert!(result.degradation.is_empty(), "{}", result.degradation);
+    }
+
+    #[test]
+    fn legalizer_rescue_is_reported_and_stays_in_region() {
+        // Seed 2 drives the global legalization pass into its
+        // guaranteed-termination packing, which historically could leave a
+        // macro outside the region with no trace. The hardened flow must
+        // instead deliver a contained, overlap-free placement and own up to
+        // the fallback in the degradation report.
+        let d = SyntheticSpec::small("clean", 5, 0, 8, 40, 70, false, 2).generate();
+        let result = MacroPlacer::new(fast_config()).place(&d).unwrap();
+        assert!(result.placement.macros_inside_region(&d));
+        assert!(result.placement.macro_overlap_area(&d) < 1e-6);
+        assert!(result
+            .degradation
+            .degraded_stages()
+            .contains(&Stage::Legalize));
+    }
+
+    #[test]
+    fn zero_budget_run_degrades_but_still_places_legally() {
+        let d = SyntheticSpec::small("zb", 6, 1, 8, 50, 90, true, 1).generate();
+        let mut cfg = fast_config();
+        cfg.budget = RunBudget::with_total(Duration::ZERO);
+        let result = MacroPlacer::new(cfg).place(&d).unwrap();
+        let stages = result.degradation.degraded_stages();
+        assert!(stages.contains(&Stage::Train), "stages: {stages:?}");
+        assert!(stages.contains(&Stage::Search), "stages: {stages:?}");
+        assert!(stages.contains(&Stage::Legalize), "stages: {stages:?}");
+        // Degraded, but complete and legal.
+        assert!(!result.assignment.is_empty());
+        assert!(result.placement.macro_overlap_area(&d) < 1e-6);
+        assert!(result.hpwl.is_finite() && result.hpwl > 0.0);
+    }
+
+    #[test]
+    fn zero_budget_run_is_deterministic() {
+        let d = SyntheticSpec::small("zbd", 5, 0, 8, 40, 70, false, 3).generate();
+        let mut cfg = fast_config();
+        cfg.budget = RunBudget::with_total(Duration::ZERO);
+        let placer = MacroPlacer::new(cfg);
+        let a = placer.place(&d).unwrap();
+        let b = placer.place(&d).unwrap();
+        assert_eq!(a.assignment, b.assignment);
+        assert_eq!(a.hpwl, b.hpwl);
+        assert_eq!(
+            a.degradation.degraded_stages(),
+            b.degradation.degraded_stages()
+        );
+    }
+
+    #[test]
+    fn injected_sp_failure_degrades_legalization_only() {
+        let d = SyntheticSpec::small("spf", 6, 0, 8, 50, 90, false, 4).generate();
+        let mut cfg = fast_config();
+        cfg.fault_sp_failure = true;
+        let result = MacroPlacer::new(cfg).place(&d).unwrap();
+        assert!(result.degradation.affects(Stage::Legalize));
+        assert!(!result.degradation.affects(Stage::Train));
+        assert!(!result.degradation.affects(Stage::Search));
+        assert!(result.placement.macro_overlap_area(&d) < 1e-6);
+    }
+
+    #[test]
+    fn per_stage_budget_only_degrades_that_stage() {
+        let d = SyntheticSpec::small("tb", 5, 0, 8, 40, 70, false, 2).generate();
+        let mut cfg = fast_config();
+        cfg.budget.train = Some(Duration::ZERO);
+        let result = MacroPlacer::new(cfg).place(&d).unwrap();
+        assert!(result.degradation.affects(Stage::Train));
+        assert!(!result.degradation.affects(Stage::Search));
+        assert!(!result.degradation.affects(Stage::Legalize));
+        assert!(result.placement.macro_overlap_area(&d) < 1e-6);
     }
 
     #[test]

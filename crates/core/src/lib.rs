@@ -1,4 +1,8 @@
 #![warn(missing_docs)]
+// Hardened crate: panicking extractors are denied in CI on library code
+// (tests and benches may unwrap freely). Justified invariant `expect`s
+// carry explicit allows at the call site.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 //! The MMP macro placer: MCTS guided by pre-trained RL.
 //!
@@ -33,10 +37,16 @@
 //! # Ok::<(), mmp_core::PlaceError>(())
 //! ```
 
+pub mod budget;
+pub mod degrade;
+pub mod error;
 pub mod flow;
 pub mod report;
 
-pub use flow::{MacroPlacer, PlaceError, PlacementResult, PlacerConfig, StageTimings};
+pub use budget::RunBudget;
+pub use degrade::{Degradation, DegradationReport, Stage};
+pub use error::{FinalPlaceError, PlaceError, PreprocessError, SearchError};
+pub use flow::{MacroPlacer, PlacementResult, PlacerConfig, StageTimings};
 pub use report::{geometric_mean, normalize_rows, TableRow};
 
 // Re-export the stage APIs so downstream users (examples, benches) need a

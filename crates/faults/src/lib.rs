@@ -1,0 +1,470 @@
+#![warn(missing_docs)]
+// Hardened crate: panicking extractors are denied in CI on library code
+// (tests may unwrap freely).
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
+//! Seeded fault-injection harness for the hardened placement flow.
+//!
+//! The robustness contract of [`mmp_core::MacroPlacer::place`] is: for any
+//! input — corrupt files, poisoned numerics, exhausted budgets, injected
+//! stage failures — the flow either returns a typed [`mmp_core::PlaceError`]
+//! or a **legal** placement whose [`mmp_core::DegradationReport`] names
+//! every fallback taken. It never panics.
+//!
+//! This crate turns that contract into an executable matrix. Each
+//! [`ScenarioKind`] describes one way a run can go wrong; [`run_scenario`]
+//! injects the fault deterministically (all randomness flows from a
+//! [`FaultRng`] seeded by the caller) and classifies what happened as an
+//! [`Outcome`]. The `matrix` integration test drives every scenario under
+//! `catch_unwind` and asserts the per-scenario invariants.
+//!
+//! The injector picks *fault sites* pseudo-randomly — which byte to cut,
+//! which digit to garble, which design seed to use — so different seeds
+//! exercise different corruption points while any single seed replays
+//! exactly.
+
+use mmp_core::{
+    Design, MacroPlacer, PlacerConfig, RewardKind, RewardScale, RunBudget, SyntheticSpec,
+};
+use mmp_netlist::bookshelf;
+use std::time::Duration;
+
+/// Deterministic splitmix64 stream used to choose fault sites.
+///
+/// Small and dependency-free on purpose: the harness must be reproducible
+/// from a single `u64` seed with no global state.
+#[derive(Debug, Clone)]
+pub struct FaultRng(u64);
+
+impl FaultRng {
+    /// A stream seeded by `seed`.
+    pub fn new(seed: u64) -> Self {
+        FaultRng(seed)
+    }
+
+    /// Next raw value (splitmix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform index in `0..n` (`n = 0` maps to 0).
+    pub fn pick(&mut self, n: usize) -> usize {
+        if n == 0 {
+            0
+        } else {
+            (self.next_u64() % n as u64) as usize
+        }
+    }
+}
+
+/// One way a placement run can go wrong.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScenarioKind {
+    /// Bookshelf stream cut mid-net-line: the declared degree no longer
+    /// matches the pins present.
+    TruncatedBookshelf,
+    /// One digit inside the NETS section replaced by a letter.
+    GarbledNumber,
+    /// A net references a node that was never declared.
+    UnknownNetNode,
+    /// NaN poison in the gradients of the first optimizer chunk; the
+    /// update-rejection guard must drop it and training must continue.
+    PoisonedGradients,
+    /// NaN priors fed to the MCTS; the search must fall back to uniform
+    /// priors and report the NaN evaluations.
+    NanPriors,
+    /// The sequence-pair legalizer is forced to fail; the row-greedy shelf
+    /// fallback must still produce a legal placement.
+    SequencePairFailure,
+    /// Total wall-clock budget of zero: every stage degrades, the flow
+    /// still completes legally.
+    ZeroTotalBudget,
+    /// Zero training allowance only.
+    ZeroTrainBudget,
+    /// Zero search allowance only.
+    ZeroSearchBudget,
+    /// Zero legalization allowance only.
+    ZeroLegalizeBudget,
+    /// Macros that cannot fit the region: a typed preprocess error.
+    InfeasibleDesign,
+    /// Network grid ζ disagrees with the environment grid: a typed train
+    /// error.
+    ZetaMismatch,
+    /// `ensemble_runs = 0`: a typed search error.
+    ZeroEnsembleRuns,
+    /// Reward calibration from identical wirelengths (zero spread): the
+    /// Eq. 9 denominator guard must keep rewards finite.
+    ZeroSpreadCalibration,
+}
+
+impl ScenarioKind {
+    /// Every scenario, in matrix order.
+    pub const ALL: [ScenarioKind; 14] = [
+        ScenarioKind::TruncatedBookshelf,
+        ScenarioKind::GarbledNumber,
+        ScenarioKind::UnknownNetNode,
+        ScenarioKind::PoisonedGradients,
+        ScenarioKind::NanPriors,
+        ScenarioKind::SequencePairFailure,
+        ScenarioKind::ZeroTotalBudget,
+        ScenarioKind::ZeroTrainBudget,
+        ScenarioKind::ZeroSearchBudget,
+        ScenarioKind::ZeroLegalizeBudget,
+        ScenarioKind::InfeasibleDesign,
+        ScenarioKind::ZetaMismatch,
+        ScenarioKind::ZeroEnsembleRuns,
+        ScenarioKind::ZeroSpreadCalibration,
+    ];
+
+    /// Short stable name for logs and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            ScenarioKind::TruncatedBookshelf => "truncated-bookshelf",
+            ScenarioKind::GarbledNumber => "garbled-number",
+            ScenarioKind::UnknownNetNode => "unknown-net-node",
+            ScenarioKind::PoisonedGradients => "poisoned-gradients",
+            ScenarioKind::NanPriors => "nan-priors",
+            ScenarioKind::SequencePairFailure => "sequence-pair-failure",
+            ScenarioKind::ZeroTotalBudget => "zero-total-budget",
+            ScenarioKind::ZeroTrainBudget => "zero-train-budget",
+            ScenarioKind::ZeroSearchBudget => "zero-search-budget",
+            ScenarioKind::ZeroLegalizeBudget => "zero-legalize-budget",
+            ScenarioKind::InfeasibleDesign => "infeasible-design",
+            ScenarioKind::ZetaMismatch => "zeta-mismatch",
+            ScenarioKind::ZeroEnsembleRuns => "zero-ensemble-runs",
+            ScenarioKind::ZeroSpreadCalibration => "zero-spread-calibration",
+        }
+    }
+}
+
+/// What a scenario run produced, flattened to comparable data so two runs
+/// of the same `(kind, seed)` can be asserted identical.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// The flow completed with a placement.
+    Placed {
+        /// Degraded stage names (sorted, deduped), empty for a clean run.
+        degraded: Vec<String>,
+        /// Macro overlap < 1e-6 and all macros inside the region.
+        legal: bool,
+        /// The reported HPWL is a finite number.
+        finite_hpwl: bool,
+    },
+    /// The flow refused the input with a typed stage error.
+    Error {
+        /// The failing stage's name.
+        stage: String,
+        /// The CLI exit code for this error (10–14).
+        exit_code: u8,
+        /// Human-readable message.
+        message: String,
+    },
+    /// The reader refused the corrupted input before the flow ran.
+    ParseError {
+        /// Human-readable message (contains the line number).
+        message: String,
+    },
+    /// A direct library-guard check (no full flow run).
+    Check {
+        /// Whether the guard held.
+        ok: bool,
+        /// What was checked.
+        detail: String,
+    },
+}
+
+/// One scenario's result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioReport {
+    /// Which scenario ran.
+    pub kind: ScenarioKind,
+    /// Seed the injector was given.
+    pub seed: u64,
+    /// What happened.
+    pub outcome: Outcome,
+}
+
+/// A laptop-scale config small enough that the full 14-scenario matrix
+/// stays in CI-friendly time.
+fn matrix_config() -> PlacerConfig {
+    let mut cfg = PlacerConfig::fast(4);
+    cfg.trainer.episodes = 6;
+    cfg.trainer.calibration_episodes = 3;
+    cfg.mcts.explorations = 10;
+    cfg
+}
+
+/// A small healthy design whose generator seed flows from the harness seed.
+fn matrix_design(rng: &mut FaultRng) -> Design {
+    let seed = 1 + (rng.next_u64() % 1000);
+    SyntheticSpec::small("faults", 6, 0, 8, 40, 70, false, seed).generate()
+}
+
+/// Serializes `design` to bookshelf text (infallible for in-memory sinks).
+fn bookshelf_text(design: &Design) -> String {
+    let mut buf = Vec::new();
+    if bookshelf::write(design, None, &mut buf).is_err() {
+        return String::new();
+    }
+    String::from_utf8_lossy(&buf).into_owned()
+}
+
+/// Runs the placer and classifies the result.
+fn run_flow(cfg: PlacerConfig, design: &Design) -> Outcome {
+    match MacroPlacer::new(cfg).place(design) {
+        Ok(r) => Outcome::Placed {
+            degraded: r
+                .degradation
+                .degraded_stages()
+                .iter()
+                .map(|s| s.name().to_owned())
+                .collect(),
+            legal: r.placement.macro_overlap_area(design) < 1e-6
+                && r.placement.macros_inside_region(design),
+            finite_hpwl: r.hpwl.is_finite(),
+        },
+        Err(e) => Outcome::Error {
+            stage: e.stage().name().to_owned(),
+            exit_code: e.exit_code(),
+            message: e.to_string(),
+        },
+    }
+}
+
+/// Parses corrupted bookshelf text and classifies the result. A successful
+/// parse of corrupt input is reported as a (failing) `Check` so the matrix
+/// test catches an injector that stopped injecting.
+fn parse_corrupt(text: &str) -> Outcome {
+    match bookshelf::read("corrupt", text.as_bytes()) {
+        Err(e) => Outcome::ParseError {
+            message: e.to_string(),
+        },
+        Ok(_) => Outcome::Check {
+            ok: false,
+            detail: "corrupted bookshelf text parsed cleanly".to_owned(),
+        },
+    }
+}
+
+/// Cuts `text` just past the first pin-node token of a pseudo-randomly
+/// chosen net line, leaving exactly one token after the `:` — never a
+/// multiple of 3, so the declared degree can't match the pins present.
+fn truncate_in_nets(text: &str, rng: &mut FaultRng) -> String {
+    let Some(nets_at) = text.find("\nNETS\n") else {
+        return String::new();
+    };
+    let colons: Vec<usize> = text[nets_at..]
+        .char_indices()
+        .filter(|&(_, c)| c == ':')
+        .map(|(i, _)| nets_at + i)
+        .collect();
+    if colons.is_empty() {
+        return String::new();
+    }
+    let colon = colons[rng.pick(colons.len())];
+    let tail = &text[colon + 1..];
+    let token_start = tail.find(|c: char| !c.is_whitespace()).unwrap_or(0);
+    let token_len = tail[token_start..]
+        .find(char::is_whitespace)
+        .unwrap_or(tail.len() - token_start);
+    text[..colon + 1 + token_start + token_len].to_owned()
+}
+
+/// Replaces one pseudo-randomly chosen digit inside the NETS section with
+/// a letter, so some numeric field no longer parses (or a node name no
+/// longer resolves). Digits in a line's first token (the net *name*, which
+/// the parser never resolves) are not candidate sites.
+fn garble_in_nets(text: &str, rng: &mut FaultRng) -> String {
+    let Some(nets_at) = text.find("\nNETS\n") else {
+        return String::new();
+    };
+    let mut digits: Vec<usize> = Vec::new();
+    let mut line_start = nets_at + "\nNETS\n".len();
+    for line in text[line_start..].split_inclusive('\n') {
+        let name_end = line.find(char::is_whitespace).unwrap_or(line.len());
+        digits.extend(
+            line.char_indices()
+                .filter(|&(i, c)| i > name_end && c.is_ascii_digit())
+                .map(|(i, _)| line_start + i),
+        );
+        line_start += line.len();
+    }
+    if digits.is_empty() {
+        return String::new();
+    }
+    let site = digits[rng.pick(digits.len())];
+    let mut bytes = text.as_bytes().to_vec();
+    bytes[site] = b'x';
+    String::from_utf8_lossy(&bytes).into_owned()
+}
+
+/// Runs one scenario. Deterministic: the same `(kind, seed)` always
+/// produces the same [`ScenarioReport`].
+pub fn run_scenario(kind: ScenarioKind, seed: u64) -> ScenarioReport {
+    // Mix the kind into the stream so scenarios don't share fault sites.
+    let mut rng = FaultRng::new(seed ^ (kind as u64).wrapping_mul(0x9e37_79b9));
+    let outcome = match kind {
+        ScenarioKind::TruncatedBookshelf => {
+            let text = bookshelf_text(&matrix_design(&mut rng));
+            parse_corrupt(&truncate_in_nets(&text, &mut rng))
+        }
+        ScenarioKind::GarbledNumber => {
+            let text = bookshelf_text(&matrix_design(&mut rng));
+            parse_corrupt(&garble_in_nets(&text, &mut rng))
+        }
+        ScenarioKind::UnknownNetNode => {
+            let text = "REGION 0 0 100 100\nNODES\nm0 5 5 macro\nNETS\nn0 1 2 : (m0 0 0) (ghost 0 0)\nEND\n";
+            parse_corrupt(text)
+        }
+        ScenarioKind::PoisonedGradients => {
+            let design = matrix_design(&mut rng);
+            let mut cfg = matrix_config();
+            cfg.trainer.fault_poison_update = Some(0);
+            run_flow(cfg, &design)
+        }
+        ScenarioKind::NanPriors => {
+            let design = matrix_design(&mut rng);
+            let mut cfg = matrix_config();
+            cfg.mcts.fault_nan_priors = true;
+            run_flow(cfg, &design)
+        }
+        ScenarioKind::SequencePairFailure => {
+            let design = matrix_design(&mut rng);
+            let mut cfg = matrix_config();
+            cfg.fault_sp_failure = true;
+            run_flow(cfg, &design)
+        }
+        ScenarioKind::ZeroTotalBudget => {
+            let design = matrix_design(&mut rng);
+            let mut cfg = matrix_config();
+            cfg.budget = RunBudget::with_total(Duration::ZERO);
+            run_flow(cfg, &design)
+        }
+        ScenarioKind::ZeroTrainBudget => {
+            let design = matrix_design(&mut rng);
+            let mut cfg = matrix_config();
+            cfg.budget.train = Some(Duration::ZERO);
+            run_flow(cfg, &design)
+        }
+        ScenarioKind::ZeroSearchBudget => {
+            let design = matrix_design(&mut rng);
+            let mut cfg = matrix_config();
+            cfg.budget.search = Some(Duration::ZERO);
+            run_flow(cfg, &design)
+        }
+        ScenarioKind::ZeroLegalizeBudget => {
+            let design = matrix_design(&mut rng);
+            let mut cfg = matrix_config();
+            cfg.budget.legalize = Some(Duration::ZERO);
+            run_flow(cfg, &design)
+        }
+        ScenarioKind::InfeasibleDesign => {
+            let mut b =
+                mmp_core::DesignBuilder::new("inf", mmp_geom::Rect::new(0.0, 0.0, 10.0, 10.0));
+            for i in 0..3 {
+                b.add_macro(format!("m{i}"), 7.0, 7.0, "");
+            }
+            match b.build() {
+                Ok(design) => run_flow(matrix_config(), &design),
+                Err(e) => Outcome::Check {
+                    ok: false,
+                    detail: format!("builder rejected the infeasible design early: {e}"),
+                },
+            }
+        }
+        ScenarioKind::ZetaMismatch => {
+            let design = matrix_design(&mut rng);
+            let mut cfg = matrix_config();
+            cfg.trainer.net.zeta = cfg.trainer.zeta + 1;
+            run_flow(cfg, &design)
+        }
+        ScenarioKind::ZeroEnsembleRuns => {
+            let design = matrix_design(&mut rng);
+            let mut cfg = matrix_config();
+            cfg.ensemble_runs = 0;
+            run_flow(cfg, &design)
+        }
+        ScenarioKind::ZeroSpreadCalibration => {
+            // All warm-up episodes returned the same wirelength: the Eq. 9
+            // denominator is zero and must be guarded, not divided by.
+            let w = 100.0 + rng.pick(900) as f64;
+            match RewardScale::try_calibrate(RewardKind::default(), &[w, w, w, w]) {
+                Ok(scale) => {
+                    let r = scale.reward(w);
+                    Outcome::Check {
+                        ok: r.is_finite(),
+                        detail: format!("zero-spread reward({w}) = {r}"),
+                    }
+                }
+                Err(e) => Outcome::Check {
+                    ok: false,
+                    detail: format!("zero-spread calibration refused: {e}"),
+                },
+            }
+        }
+    };
+    ScenarioReport {
+        kind,
+        seed,
+        outcome,
+    }
+}
+
+/// Runs the whole matrix with one seed.
+pub fn run_all(seed: u64) -> Vec<ScenarioReport> {
+    ScenarioKind::ALL
+        .iter()
+        .map(|&k| run_scenario(k, seed))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_and_moves() {
+        let mut a = FaultRng::new(7);
+        let mut b = FaultRng::new(7);
+        let xs: Vec<u64> = (0..4).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..4).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert!(xs.windows(2).all(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn truncation_always_cuts_mid_pin_list() {
+        let mut rng = FaultRng::new(3);
+        let design = matrix_design(&mut rng);
+        let text = bookshelf_text(&design);
+        for seed in 0..20 {
+            let cut = truncate_in_nets(&text, &mut FaultRng::new(seed));
+            let last = cut.lines().last().unwrap_or("");
+            assert!(last.contains(':'), "cut must land inside a net line");
+            assert!(matches!(parse_corrupt(&cut), Outcome::ParseError { .. }));
+        }
+    }
+
+    #[test]
+    fn garbling_always_breaks_the_parse() {
+        let mut rng = FaultRng::new(5);
+        let design = matrix_design(&mut rng);
+        let text = bookshelf_text(&design);
+        for seed in 0..20 {
+            let bad = garble_in_nets(&text, &mut FaultRng::new(seed));
+            assert!(matches!(parse_corrupt(&bad), Outcome::ParseError { .. }));
+        }
+    }
+
+    #[test]
+    fn scenario_names_are_unique() {
+        let mut names: Vec<&str> = ScenarioKind::ALL.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), ScenarioKind::ALL.len());
+    }
+}

@@ -1,0 +1,153 @@
+//! The fault matrix: every scenario, under `catch_unwind`, asserting the
+//! robustness contract — a typed error, a refused parse, or a legal
+//! placement with a populated degradation report. Never a panic.
+
+use mmp_faults::{run_all, run_scenario, Outcome, ScenarioKind, ScenarioReport};
+use std::panic::catch_unwind;
+
+const SEED: u64 = 2025;
+
+fn run_caught(kind: ScenarioKind, seed: u64) -> ScenarioReport {
+    match catch_unwind(move || run_scenario(kind, seed)) {
+        Ok(report) => report,
+        Err(_) => panic!("scenario {} panicked (seed {seed})", kind.name()),
+    }
+}
+
+/// A `Placed` outcome must be legal and finite; degradation scenarios must
+/// additionally name the expected stage.
+fn assert_placed_and_degraded(report: &ScenarioReport, stages: &[&str]) {
+    match &report.outcome {
+        Outcome::Placed {
+            degraded,
+            legal,
+            finite_hpwl,
+        } => {
+            assert!(legal, "{}: placement must stay legal", report.kind.name());
+            assert!(finite_hpwl, "{}: HPWL must stay finite", report.kind.name());
+            for stage in stages {
+                assert!(
+                    degraded.iter().any(|s| s == stage),
+                    "{}: expected stage '{stage}' in degradation report, got {degraded:?}",
+                    report.kind.name()
+                );
+            }
+        }
+        other => panic!(
+            "{}: expected a placed outcome, got {other:?}",
+            report.kind.name()
+        ),
+    }
+}
+
+fn assert_typed_error(report: &ScenarioReport, stage: &str, exit_code: u8) {
+    match &report.outcome {
+        Outcome::Error {
+            stage: got_stage,
+            exit_code: got_code,
+            message,
+        } => {
+            assert_eq!(got_stage, stage, "{}", report.kind.name());
+            assert_eq!(*got_code, exit_code, "{}", report.kind.name());
+            assert!(!message.is_empty());
+        }
+        other => panic!(
+            "{}: expected a typed {stage} error, got {other:?}",
+            report.kind.name()
+        ),
+    }
+}
+
+fn assert_parse_error(report: &ScenarioReport) {
+    match &report.outcome {
+        Outcome::ParseError { message } => {
+            assert!(
+                message.contains("line"),
+                "{}: parse errors must carry a line number, got '{message}'",
+                report.kind.name()
+            );
+        }
+        other => panic!(
+            "{}: expected a parse error, got {other:?}",
+            report.kind.name()
+        ),
+    }
+}
+
+#[test]
+fn corrupt_inputs_are_refused_with_line_numbers() {
+    assert_parse_error(&run_caught(ScenarioKind::TruncatedBookshelf, SEED));
+    assert_parse_error(&run_caught(ScenarioKind::GarbledNumber, SEED));
+    assert_parse_error(&run_caught(ScenarioKind::UnknownNetNode, SEED));
+}
+
+#[test]
+fn numerical_faults_degrade_but_complete_legally() {
+    assert_placed_and_degraded(
+        &run_caught(ScenarioKind::PoisonedGradients, SEED),
+        &["train"],
+    );
+    assert_placed_and_degraded(&run_caught(ScenarioKind::NanPriors, SEED), &["search"]);
+    assert_placed_and_degraded(
+        &run_caught(ScenarioKind::SequencePairFailure, SEED),
+        &["legalize"],
+    );
+}
+
+#[test]
+fn exhausted_budgets_degrade_but_complete_legally() {
+    assert_placed_and_degraded(
+        &run_caught(ScenarioKind::ZeroTotalBudget, SEED),
+        &["train", "search", "legalize"],
+    );
+    assert_placed_and_degraded(&run_caught(ScenarioKind::ZeroTrainBudget, SEED), &["train"]);
+    assert_placed_and_degraded(
+        &run_caught(ScenarioKind::ZeroSearchBudget, SEED),
+        &["search"],
+    );
+    assert_placed_and_degraded(
+        &run_caught(ScenarioKind::ZeroLegalizeBudget, SEED),
+        &["legalize"],
+    );
+}
+
+#[test]
+fn unusable_configs_get_typed_stage_errors() {
+    assert_typed_error(
+        &run_caught(ScenarioKind::InfeasibleDesign, SEED),
+        "preprocess",
+        10,
+    );
+    assert_typed_error(&run_caught(ScenarioKind::ZetaMismatch, SEED), "train", 11);
+    assert_typed_error(
+        &run_caught(ScenarioKind::ZeroEnsembleRuns, SEED),
+        "search",
+        12,
+    );
+}
+
+#[test]
+fn zero_spread_calibration_keeps_rewards_finite() {
+    let report = run_caught(ScenarioKind::ZeroSpreadCalibration, SEED);
+    match &report.outcome {
+        Outcome::Check { ok, detail } => assert!(ok, "guard failed: {detail}"),
+        other => panic!("expected a check outcome, got {other:?}"),
+    }
+}
+
+#[test]
+fn no_scenario_panics_across_seeds() {
+    for seed in [0, 1, SEED] {
+        for kind in ScenarioKind::ALL {
+            // run_caught converts an unwind into a named assertion failure.
+            let _ = run_caught(kind, seed);
+        }
+    }
+}
+
+#[test]
+fn the_matrix_is_deterministic() {
+    let a = catch_unwind(|| run_all(SEED)).expect("matrix must not panic");
+    let b = catch_unwind(|| run_all(SEED)).expect("matrix must not panic");
+    assert_eq!(a, b, "same seed must reproduce the exact same reports");
+}

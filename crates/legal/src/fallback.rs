@@ -1,0 +1,234 @@
+//! Deterministic row-greedy (shelf) packing — the degraded legalization
+//! path.
+//!
+//! When the sequence-pair + median-descent machinery cannot be trusted
+//! (non-finite coordinates from a poisoned upstream solve, an injected
+//! fault, or an expired wall-clock deadline), the flow falls back to this
+//! packer: blocks are sorted by decreasing height (ties by index) and laid
+//! out left-to-right in shelves from the bottom of the target rectangle,
+//! skipping obstacle outlines. The result is overlap-free by construction,
+//! needs no iteration, and is fully deterministic — a strictly weaker but
+//! strictly safer answer than the LP path.
+
+use mmp_geom::{Point, Rect};
+
+/// One block to pack.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShelfItem {
+    /// Caller-side identifier, returned untouched in [`ShelfPlacement`].
+    pub id: usize,
+    /// Block width.
+    pub width: f64,
+    /// Block height.
+    pub height: f64,
+}
+
+/// One packed block.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShelfPlacement {
+    /// The [`ShelfItem::id`] this placement belongs to.
+    pub id: usize,
+    /// Legal center for the block.
+    pub center: Point,
+}
+
+/// Result of a shelf pack.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShelfOutcome {
+    /// One entry per input item (input order is *not* preserved; match by
+    /// `id`).
+    pub placements: Vec<ShelfPlacement>,
+    /// `true` when the shelves spilled above `bounds` — the packing is
+    /// still overlap-free, but not fully inside the rectangle.
+    pub out_of_bounds: bool,
+}
+
+/// Packs `items` into `bounds` with row-greedy shelves, avoiding
+/// `obstacles` (e.g. preplaced macro outlines).
+///
+/// Determinism: items are processed in decreasing-height order with index
+/// tie-breaks; shelf scanning is left-to-right, bottom-to-top. Non-finite
+/// item sizes are treated as zero so a poisoned input can never poison the
+/// output. When a block is wider than any free span of a shelf it opens a
+/// new shelf; a block wider than `bounds` itself is placed flush left and
+/// reported through `out_of_bounds`.
+pub fn shelf_pack(bounds: &Rect, items: &[ShelfItem], obstacles: &[Rect]) -> ShelfOutcome {
+    let sane = |v: f64| if v.is_finite() && v > 0.0 { v } else { 0.0 };
+    let mut order: Vec<ShelfItem> = items
+        .iter()
+        .map(|it| ShelfItem {
+            id: it.id,
+            width: sane(it.width),
+            height: sane(it.height),
+        })
+        .collect();
+    order.sort_by(|a, b| b.height.total_cmp(&a.height).then(a.id.cmp(&b.id)));
+
+    let mut placements = Vec::with_capacity(order.len());
+    let mut out_of_bounds = false;
+    let mut shelf_y = bounds.y;
+    let mut shelf_h = 0.0f64;
+    let mut cursor_x = bounds.x;
+    for it in order {
+        loop {
+            let h = it.height.max(1e-12);
+            // First block of a shelf fixes its height (descending sort ⇒
+            // every later block fits vertically).
+            let band_h = if shelf_h > 0.0 { shelf_h } else { h };
+            let band = Rect::new(bounds.x, shelf_y, bounds.width, band_h);
+            match free_slot(&band, cursor_x, it.width, h, obstacles) {
+                Some(x) if x + it.width <= bounds.right() + 1e-9 || it.width > bounds.width => {
+                    // Wider-than-region blocks go flush left (reported),
+                    // everything else must genuinely fit the shelf.
+                    let x = if it.width > bounds.width { bounds.x } else { x };
+                    placements.push(ShelfPlacement {
+                        id: it.id,
+                        center: Point::new(x + it.width / 2.0, shelf_y + h / 2.0),
+                    });
+                    if shelf_h == 0.0 {
+                        shelf_h = h;
+                    }
+                    cursor_x = x + it.width;
+                    if x + it.width > bounds.right() + 1e-9 || shelf_y + h > bounds.top() + 1e-9 {
+                        out_of_bounds = true;
+                    }
+                    break;
+                }
+                _ => {
+                    // Shelf exhausted: open the next one. An empty shelf
+                    // that still cannot host the block (obstacle wall)
+                    // would loop forever, so advance past it by the block
+                    // height in that case.
+                    let advance = if shelf_h > 0.0 { shelf_h } else { h };
+                    shelf_y += advance;
+                    shelf_h = 0.0;
+                    cursor_x = bounds.x;
+                    if shelf_y > bounds.top() + 1e-9 {
+                        out_of_bounds = true;
+                    }
+                }
+            }
+        }
+    }
+    ShelfOutcome {
+        placements,
+        out_of_bounds,
+    }
+}
+
+/// Smallest `x ≥ cursor` where a `w×h` block based at `(x, band.y)` clears
+/// every obstacle intersecting the shelf band; `None` when no such `x`
+/// keeps the block inside the band's right edge (unless the band is above
+/// every obstacle, in which case the first candidate is returned).
+fn free_slot(band: &Rect, cursor: f64, w: f64, h: f64, obstacles: &[Rect]) -> Option<f64> {
+    let mut blockers: Vec<(f64, f64)> = obstacles
+        .iter()
+        .filter(|o| o.y < band.y + h - 1e-9 && o.top() > band.y + 1e-9)
+        .map(|o| (o.x, o.right()))
+        .collect();
+    blockers.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.total_cmp(&b.1)));
+    let mut x = cursor;
+    for _ in 0..=blockers.len() {
+        let hit = blockers
+            .iter()
+            .find(|&&(bx, br)| bx < x + w - 1e-9 && br > x + 1e-9);
+        match hit {
+            None => return Some(x),
+            Some(&(_, br)) => x = br,
+        }
+        if x + w > band.right() + 1e-9 {
+            return None;
+        }
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn items(sizes: &[(f64, f64)]) -> Vec<ShelfItem> {
+        sizes
+            .iter()
+            .enumerate()
+            .map(|(id, &(width, height))| ShelfItem { id, width, height })
+            .collect()
+    }
+
+    fn rects_of(out: &ShelfOutcome, its: &[ShelfItem]) -> Vec<Rect> {
+        out.placements
+            .iter()
+            .map(|p| {
+                let it = its.iter().find(|i| i.id == p.id).unwrap();
+                Rect::centered_at(p.center, it.width, it.height)
+            })
+            .collect()
+    }
+
+    fn assert_disjoint(rects: &[Rect]) {
+        for i in 0..rects.len() {
+            for j in (i + 1)..rects.len() {
+                assert!(
+                    rects[i].overlap_area(&rects[j]) < 1e-9,
+                    "overlap between {i} and {j}: {:?} vs {:?}",
+                    rects[i],
+                    rects[j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn packs_disjoint_inside_bounds() {
+        let bounds = Rect::new(0.0, 0.0, 100.0, 100.0);
+        let its = items(&[(10.0, 8.0), (20.0, 5.0), (15.0, 12.0), (30.0, 4.0)]);
+        let out = shelf_pack(&bounds, &its, &[]);
+        assert!(!out.out_of_bounds);
+        let rects = rects_of(&out, &its);
+        assert_disjoint(&rects);
+        for r in &rects {
+            assert!(bounds.contains_rect(r), "{r:?} escapes bounds");
+        }
+    }
+
+    #[test]
+    fn avoids_obstacles() {
+        let bounds = Rect::new(0.0, 0.0, 100.0, 100.0);
+        let wall = Rect::new(20.0, 0.0, 30.0, 100.0);
+        let its = items(&[(15.0, 10.0), (15.0, 10.0), (15.0, 10.0)]);
+        let out = shelf_pack(&bounds, &its, &[wall]);
+        let rects = rects_of(&out, &its);
+        assert_disjoint(&rects);
+        for r in &rects {
+            assert!(r.overlap_area(&wall) < 1e-9, "{r:?} hits the wall");
+        }
+    }
+
+    #[test]
+    fn overfull_bounds_spill_but_stay_disjoint() {
+        let bounds = Rect::new(0.0, 0.0, 20.0, 20.0);
+        let its = items(&[(15.0, 15.0), (15.0, 15.0), (15.0, 15.0)]);
+        let out = shelf_pack(&bounds, &its, &[]);
+        assert!(out.out_of_bounds);
+        assert_disjoint(&rects_of(&out, &its));
+    }
+
+    #[test]
+    fn non_finite_sizes_do_not_poison_the_packing() {
+        let bounds = Rect::new(0.0, 0.0, 50.0, 50.0);
+        let its = items(&[(f64::NAN, 10.0), (10.0, f64::INFINITY), (10.0, 10.0)]);
+        let out = shelf_pack(&bounds, &its, &[]);
+        for p in &out.placements {
+            assert!(p.center.x.is_finite() && p.center.y.is_finite(), "{p:?}");
+        }
+    }
+
+    #[test]
+    fn packing_is_deterministic() {
+        let bounds = Rect::new(0.0, 0.0, 60.0, 60.0);
+        let its = items(&[(9.0, 7.0), (9.0, 7.0), (12.0, 3.0), (4.0, 11.0)]);
+        let a = shelf_pack(&bounds, &its, &[]);
+        let b = shelf_pack(&bounds, &its, &[]);
+        assert_eq!(a, b);
+    }
+}

@@ -12,6 +12,7 @@
 //!    that clears any cross-grid overlap.
 
 use crate::constraint::ConstraintGraph;
+use crate::fallback::{shelf_pack, ShelfItem};
 use crate::median::{axis_overflow, optimize_axis, AxisTarget};
 use crate::sequence_pair::SequencePair;
 use mmp_analytic::{cg, Triplets};
@@ -20,6 +21,15 @@ use mmp_geom::{Grid, GridIndex, Point, Rect};
 use mmp_netlist::{Design, MacroId, NodeRef, Placement};
 use std::error::Error;
 use std::fmt;
+use std::time::Instant;
+
+fn expired(deadline: Option<Instant>) -> bool {
+    deadline.is_some_and(|d| Instant::now() >= d)
+}
+
+fn any_non_finite(centers: &[Point]) -> bool {
+    centers.iter().any(|c| !c.x.is_finite() || !c.y.is_finite())
+}
 
 /// Error from [`MacroLegalizer::legalize`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -58,6 +68,16 @@ pub struct LegalizeOutcome {
     pub out_of_region: bool,
     /// Total remaining macro-macro overlap area (0 in feasible instances).
     pub overlap_area: f64,
+    /// Grid cells whose per-cell overlap removal fell back to the
+    /// deterministic row-greedy packer (non-finite coordinates, injected
+    /// fault, or expired deadline). 0 on the healthy path.
+    pub fallback_grid_cells: usize,
+    /// `true` when the global pass was replaced by the row-greedy packer.
+    pub global_fallback: bool,
+    /// `true` when the wall-clock deadline had expired by the time
+    /// legalization finished (the caller's budget accountant records which
+    /// stages degraded).
+    pub deadline_expired: bool,
 }
 
 /// Configuration + driver for the three-step legalization.
@@ -71,6 +91,11 @@ pub struct MacroLegalizer {
     pub cg_max_iters: usize,
     /// Anchor weight pinning preplaced macros in the global pass.
     pub fixed_weight: f64,
+    /// Fault-injection knob: when `true` the sequence-pair path is treated
+    /// as failed and every overlap-removal step uses the row-greedy
+    /// fallback. Exercised by the fault harness; always `false` in
+    /// production configs.
+    pub force_sp_failure: bool,
 }
 
 impl Default for MacroLegalizer {
@@ -80,6 +105,7 @@ impl Default for MacroLegalizer {
             cg_tol: 1e-8,
             cg_max_iters: 200,
             fixed_weight: 1e7,
+            force_sp_failure: false,
         }
     }
 }
@@ -107,6 +133,28 @@ impl MacroLegalizer {
         assignment: &[GridIndex],
         grid: &Grid,
     ) -> Result<LegalizeOutcome, LegalizeError> {
+        self.legalize_with_deadline(design, coarse, assignment, grid, None)
+    }
+
+    /// [`MacroLegalizer::legalize`] under a wall-clock deadline: once the
+    /// deadline passes, remaining overlap-removal work switches to the
+    /// deterministic row-greedy packer instead of the sequence-pair + LP
+    /// path, so a complete (if cruder) placement is always returned. The
+    /// degradation is reported through
+    /// [`LegalizeOutcome::fallback_grid_cells`] /
+    /// [`LegalizeOutcome::global_fallback`].
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`MacroLegalizer::legalize`].
+    pub fn legalize_with_deadline(
+        &self,
+        design: &Design,
+        coarse: &CoarsenedNetlist,
+        assignment: &[GridIndex],
+        grid: &Grid,
+        deadline: Option<Instant>,
+    ) -> Result<LegalizeOutcome, LegalizeError> {
         let groups = coarse.macro_groups();
         if assignment.len() != groups.len() {
             return Err(LegalizeError::AssignmentMismatch {
@@ -129,10 +177,18 @@ impl MacroLegalizer {
             self.place_macros_in_grids(design, coarse, assignment, grid, &cell_group_centers);
 
         // Step 3a: per-grid overlap removal.
-        self.legalize_per_grid(design, coarse, assignment, grid, &mut macro_centers);
+        let fallback_grid_cells = self.legalize_per_grid(
+            design,
+            coarse,
+            assignment,
+            grid,
+            &mut macro_centers,
+            deadline,
+        );
 
         // Step 3b: global pass including preplaced macros.
-        let (out_of_region, overlap_area) = self.global_pass(design, &mut macro_centers);
+        let (out_of_region, overlap_area, global_fallback) =
+            self.global_pass(design, &mut macro_centers, deadline);
 
         let mut placement = Placement::initial(design);
         for (i, m) in design.macros().iter().enumerate() {
@@ -150,6 +206,9 @@ impl MacroLegalizer {
             cell_group_centers,
             out_of_region,
             overlap_area,
+            fallback_grid_cells,
+            global_fallback,
+            deadline_expired: expired(deadline),
         })
     }
 
@@ -405,7 +464,7 @@ impl MacroLegalizer {
         for (k, &id) in movable.iter().enumerate() {
             centers[id.index()] = targets[k];
         }
-        let (out_of_region, overlap) = self.global_pass(design, &mut centers);
+        let (out_of_region, overlap, _fallback) = self.global_pass(design, &mut centers, None);
         let mut placement = Placement::initial(design);
         for (i, m) in design.macros().iter().enumerate() {
             if !m.is_preplaced() {
@@ -416,6 +475,11 @@ impl MacroLegalizer {
     }
 
     /// Step 3a: sequence-pair overlap removal inside each grid cell.
+    ///
+    /// Each cell independently falls back to the row-greedy packer when the
+    /// sequence-pair path is disabled ([`MacroLegalizer::force_sp_failure`]),
+    /// the deadline has expired, or the LP produces a non-finite
+    /// coordinate. Returns the number of cells that used the fallback.
     fn legalize_per_grid(
         &self,
         design: &Design,
@@ -423,7 +487,8 @@ impl MacroLegalizer {
         assignment: &[GridIndex],
         grid: &Grid,
         macro_centers: &mut [Point],
-    ) {
+        deadline: Option<Instant>,
+    ) -> usize {
         use std::collections::HashMap;
         let mut per_cell: HashMap<GridIndex, Vec<MacroId>> = HashMap::new();
         for id in design.movable_macros() {
@@ -433,42 +498,93 @@ impl MacroLegalizer {
         }
         let mut cells: Vec<_> = per_cell.into_iter().collect();
         cells.sort_by_key(|(idx, _)| (idx.row, idx.col));
+        let mut fallback_cells = 0;
         for (idx, members) in cells {
             if members.len() < 2 {
                 continue;
             }
             let bounds = grid.cell_at(idx);
-            let centers: Vec<Point> = members.iter().map(|&m| macro_centers[m.index()]).collect();
-            let widths: Vec<f64> = members.iter().map(|&m| design.macro_(m).width).collect();
-            let heights: Vec<f64> = members.iter().map(|&m| design.macro_(m).height).collect();
-            let sp = SequencePair::from_points(&centers);
-            for (horizontal, sizes, lo, hi) in [
-                (true, &widths, bounds.x, bounds.right()),
-                (false, &heights, bounds.y, bounds.top()),
-            ] {
-                let graph = ConstraintGraph::from_sequence_pair(&sp, horizontal);
-                let targets: Vec<Vec<AxisTarget>> = members
-                    .iter()
-                    .enumerate()
-                    .map(|(k, &m)| {
-                        let c = macro_centers[m.index()];
-                        vec![AxisTarget {
-                            coord: (if horizontal { c.x } else { c.y }) - sizes[k] / 2.0,
-                            weight: 1.0,
-                        }]
-                    })
-                    .collect();
-                let coords = optimize_axis(&graph, sizes, lo, hi, &targets, self.lp_iters);
-                for (k, &m) in members.iter().enumerate() {
-                    let c = &mut macro_centers[m.index()];
-                    if horizontal {
-                        c.x = coords[k] + sizes[k] / 2.0;
-                    } else {
-                        c.y = coords[k] + sizes[k] / 2.0;
+            let sp_result = if self.force_sp_failure || expired(deadline) {
+                None
+            } else {
+                self.per_grid_sp(design, &members, &bounds, macro_centers)
+            };
+            match sp_result {
+                Some(centers) => {
+                    for (k, &m) in members.iter().enumerate() {
+                        macro_centers[m.index()] = centers[k];
                     }
+                }
+                None => {
+                    let items: Vec<ShelfItem> = members
+                        .iter()
+                        .enumerate()
+                        .map(|(k, &m)| {
+                            let mac = design.macro_(m);
+                            ShelfItem {
+                                id: k,
+                                width: mac.width,
+                                height: mac.height,
+                            }
+                        })
+                        .collect();
+                    let packed = shelf_pack(&bounds, &items, &[]);
+                    for p in packed.placements {
+                        macro_centers[members[p.id].index()] = p.center;
+                    }
+                    fallback_cells += 1;
                 }
             }
         }
+        fallback_cells
+    }
+
+    /// The healthy per-cell overlap-removal path: sequence pair + median
+    /// descent on both axes. Computes into a scratch copy and returns
+    /// `None` (leaving `macro_centers` untouched) when any resulting
+    /// coordinate is non-finite, so the caller can fall back.
+    fn per_grid_sp(
+        &self,
+        design: &Design,
+        members: &[MacroId],
+        bounds: &Rect,
+        macro_centers: &[Point],
+    ) -> Option<Vec<Point>> {
+        let mut centers: Vec<Point> = members.iter().map(|&m| macro_centers[m.index()]).collect();
+        if any_non_finite(&centers) {
+            return None;
+        }
+        let widths: Vec<f64> = members.iter().map(|&m| design.macro_(m).width).collect();
+        let heights: Vec<f64> = members.iter().map(|&m| design.macro_(m).height).collect();
+        let sp = SequencePair::from_points(&centers);
+        for (horizontal, sizes, lo, hi) in [
+            (true, &widths, bounds.x, bounds.right()),
+            (false, &heights, bounds.y, bounds.top()),
+        ] {
+            let graph = ConstraintGraph::from_sequence_pair(&sp, horizontal);
+            let targets: Vec<Vec<AxisTarget>> = centers
+                .iter()
+                .enumerate()
+                .map(|(k, c)| {
+                    vec![AxisTarget {
+                        coord: (if horizontal { c.x } else { c.y }) - sizes[k] / 2.0,
+                        weight: 1.0,
+                    }]
+                })
+                .collect();
+            let coords = optimize_axis(&graph, sizes, lo, hi, &targets, self.lp_iters);
+            if coords.iter().any(|c| !c.is_finite()) {
+                return None;
+            }
+            for (k, c) in centers.iter_mut().enumerate() {
+                if horizontal {
+                    c.x = coords[k] + sizes[k] / 2.0;
+                } else {
+                    c.y = coords[k] + sizes[k] / 2.0;
+                }
+            }
+        }
+        Some(centers)
     }
 
     /// Step 3b: global sequence-pair passes over *all* macros; preplaced
@@ -476,11 +592,23 @@ impl MacroLegalizer {
     /// Snapping can reintroduce an overlap against a stuck movable macro,
     /// so the pass iterates: descend → snap → push movables out of fixed
     /// outlines → re-derive the sequence pair, until clean (≤ 4 rounds).
-    /// Returns `(out_of_region, overlap_area)`.
-    fn global_pass(&self, design: &Design, macro_centers: &mut [Point]) -> (bool, f64) {
+    /// Returns `(out_of_region, overlap_area, used_fallback)`.
+    fn global_pass(
+        &self,
+        design: &Design,
+        macro_centers: &mut [Point],
+        deadline: Option<Instant>,
+    ) -> (bool, f64, bool) {
         let n = design.macros().len();
         if n == 0 {
-            return (false, 0.0);
+            return (false, 0.0, false);
+        }
+        // Degraded path: poisoned input coordinates, an injected
+        // sequence-pair failure, or an already-expired deadline all route
+        // straight to the row-greedy packer.
+        if self.force_sp_failure || expired(deadline) || any_non_finite(macro_centers) {
+            let (oor, overlap) = self.global_shelf_fallback(design, macro_centers);
+            return (oor, overlap, true);
         }
         let region = design.region();
         let widths: Vec<f64> = design.macros().iter().map(|m| m.width).collect();
@@ -559,26 +687,37 @@ impl MacroLegalizer {
                             let moved = ri.translated(p.x, p.y);
                             fixed_rects.iter().all(|f| moved.overlap_area(f) < 1e-9)
                         };
-                        let magnitude = |p: &&Point| -> f64 { p.x.abs() + p.y.abs() };
+                        // NaN-sane magnitude: a non-finite push sorts last
+                        // and can never be chosen over a real one.
+                        let magnitude = |p: &&Point| -> f64 {
+                            let m = p.x.abs() + p.y.abs();
+                            if m.is_nan() {
+                                f64::INFINITY
+                            } else {
+                                m
+                            }
+                        };
                         let best = pushes
                             .iter()
                             .filter(|p| in_region(p) && clear_of_fixed(p))
-                            .min_by(|a, b| magnitude(a).partial_cmp(&magnitude(b)).expect("finite"))
+                            .min_by(|a, b| magnitude(a).total_cmp(&magnitude(b)))
                             .or_else(|| {
-                                pushes.iter().filter(|p| in_region(p)).min_by(|a, b| {
-                                    magnitude(a).partial_cmp(&magnitude(b)).expect("finite")
-                                })
+                                pushes
+                                    .iter()
+                                    .filter(|p| in_region(p))
+                                    .min_by(|a, b| magnitude(a).total_cmp(&magnitude(b)))
                             });
                         let moved = match best {
                             Some(p) => ri.translated(p.x, p.y),
                             // Fully boxed in: smallest push, clamped (genuinely
                             // infeasible designs stay overlapped, reported).
                             None => {
+                                // Invariant, not input: `pushes` is a fixed
+                                // 4-element array, so min_by always finds one.
+                                #[allow(clippy::expect_used)]
                                 let p = pushes
                                     .iter()
-                                    .min_by(|a, b| {
-                                        magnitude(a).partial_cmp(&magnitude(b)).expect("finite")
-                                    })
+                                    .min_by(|a, b| magnitude(a).total_cmp(&magnitude(b)))
                                     .expect("4 candidates");
                                 ri.translated(p.x, p.y).clamped_inside(region)
                             }
@@ -596,6 +735,12 @@ impl MacroLegalizer {
         let mut overlap = f64::INFINITY;
         let mut round_oor;
         for _round in 0..8_usize {
+            // Between rounds: an expired deadline or poisoned coordinates
+            // abandon the descent for the guaranteed-terminating packer.
+            if expired(deadline) || any_non_finite(macro_centers) {
+                let (oor, ov) = self.global_shelf_fallback(design, macro_centers);
+                return (oor, ov, true);
+            }
             round_oor = false;
             // Coincident centers would sort into a 1-D chain (all LeftOf),
             // which cannot fit the region; a deterministic golden-angle
@@ -692,6 +837,10 @@ impl MacroLegalizer {
         // residual overlap (oscillation on pathological inputs), take the
         // raw longest-path packing of the current relations — overlap-free
         // by construction — then snap preplaced macros back one last time.
+        if overlap > 1e-9 && (expired(deadline) || any_non_finite(macro_centers)) {
+            let (oor, ov) = self.global_shelf_fallback(design, macro_centers);
+            return (oor, ov, true);
+        }
         if overlap > 1e-9 {
             let eps = (region.width + region.height) * 1e-6;
             let jittered: Vec<Point> = macro_centers
@@ -759,7 +908,83 @@ impl MacroLegalizer {
                 }
             }
         }
-        (out_of_region, overlap)
+        // The unbounded packing above trades region containment for
+        // guaranteed overlap removal, so the result may stick out of the
+        // region (or still overlap). First try the cheap rescue: clamp
+        // every movable macro back inside and disperse whatever overlap
+        // the clamp introduced — repair pushes stay in-region, so a clean
+        // post-repair placement is fully legal and costs no degradation.
+        if overlap > 1e-9 || out_of_region {
+            for i in 0..n {
+                if design.macro_(MacroId::from_index(i)).is_preplaced() {
+                    continue;
+                }
+                let r = Rect::centered_at(macro_centers[i], widths[i], heights[i])
+                    .clamped_inside(region);
+                macro_centers[i] = r.center();
+            }
+            repair(macro_centers);
+            overlap = total_overlap(macro_centers);
+            out_of_region = false;
+        }
+        // Still overlapped: hand the placement to the shelf packer, which
+        // is disjoint *and* in-region whenever the macros fit at all.
+        if overlap > 1e-9 {
+            let (oor, ov) = self.global_shelf_fallback(design, macro_centers);
+            return (oor, ov, true);
+        }
+        (out_of_region, overlap, false)
+    }
+
+    /// The last-resort overlap removal: deterministic row-greedy shelves
+    /// over the whole region with preplaced macros as obstacles. Always
+    /// terminates, never produces non-finite coordinates, and is
+    /// overlap-free whenever the shelves fit the region.
+    fn global_shelf_fallback(&self, design: &Design, macro_centers: &mut [Point]) -> (bool, f64) {
+        let region = design.region();
+        let obstacles: Vec<Rect> = design
+            .macros()
+            .iter()
+            .filter_map(|m| {
+                m.fixed_center
+                    .map(|c| Rect::centered_at(c, m.width, m.height))
+            })
+            .collect();
+        let items: Vec<ShelfItem> = design
+            .movable_macros()
+            .iter()
+            .map(|&id| {
+                let m = design.macro_(id);
+                ShelfItem {
+                    id: id.index(),
+                    width: m.width,
+                    height: m.height,
+                }
+            })
+            .collect();
+        let packed = shelf_pack(region, &items, &obstacles);
+        for p in packed.placements {
+            macro_centers[p.id] = p.center;
+        }
+        for (i, m) in design.macros().iter().enumerate() {
+            if let Some(f) = m.fixed_center {
+                macro_centers[i] = f;
+            }
+        }
+        let n = design.macros().len();
+        let rects: Vec<Rect> = design
+            .macros()
+            .iter()
+            .enumerate()
+            .map(|(i, m)| Rect::centered_at(macro_centers[i], m.width, m.height))
+            .collect();
+        let mut overlap = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                overlap += rects[i].overlap_area(&rects[j]);
+            }
+        }
+        (packed.out_of_bounds, overlap)
     }
 }
 
@@ -893,6 +1118,99 @@ mod tests {
             .unwrap();
         assert_eq!(out.overlap_area, 0.0);
         assert!(!out.out_of_region);
+    }
+
+    #[test]
+    fn healthy_path_reports_no_degradation() {
+        let (d, coarse, grid) = setup(8, 0, 60, 4);
+        let assignment = spread_assignment(&coarse, &grid);
+        let out = MacroLegalizer::new()
+            .legalize(&d, &coarse, &assignment, &grid)
+            .unwrap();
+        assert_eq!(out.fallback_grid_cells, 0);
+        assert!(!out.global_fallback);
+        assert!(!out.deadline_expired);
+    }
+
+    #[test]
+    fn forced_sp_failure_falls_back_and_still_legalizes() {
+        let (d, coarse, grid) = setup(10, 0, 80, 2);
+        let assignment = spread_assignment(&coarse, &grid);
+        let leg = MacroLegalizer {
+            force_sp_failure: true,
+            ..MacroLegalizer::default()
+        };
+        let out = leg.legalize(&d, &coarse, &assignment, &grid).unwrap();
+        assert!(out.global_fallback, "fault must route to the fallback");
+        assert!(
+            out.placement.macro_overlap_area(&d) < 1e-6,
+            "fallback packing must stay overlap-free, got {}",
+            out.placement.macro_overlap_area(&d)
+        );
+        for &id in &d.movable_macros() {
+            let c = out.placement.macro_center(id);
+            assert!(c.x.is_finite() && c.y.is_finite());
+        }
+    }
+
+    #[test]
+    fn forced_sp_failure_respects_preplaced_macros() {
+        let (d, coarse, grid) = setup(8, 3, 60, 3);
+        let assignment = spread_assignment(&coarse, &grid);
+        let leg = MacroLegalizer {
+            force_sp_failure: true,
+            ..MacroLegalizer::default()
+        };
+        let out = leg.legalize(&d, &coarse, &assignment, &grid).unwrap();
+        for id in d.preplaced_macros() {
+            assert_eq!(
+                out.placement.macro_center(id),
+                d.macro_(id).fixed_center.unwrap()
+            );
+        }
+        assert!(
+            out.placement.macro_overlap_area(&d) < 1e-6,
+            "fallback shelves avoid preplaced outlines, got overlap {}",
+            out.placement.macro_overlap_area(&d)
+        );
+    }
+
+    #[test]
+    fn expired_deadline_degrades_but_completes() {
+        let (d, coarse, grid) = setup(10, 0, 80, 2);
+        let assignment = spread_assignment(&coarse, &grid);
+        let past = std::time::Instant::now() - std::time::Duration::from_millis(10);
+        let out = MacroLegalizer::new()
+            .legalize_with_deadline(&d, &coarse, &assignment, &grid, Some(past))
+            .unwrap();
+        assert!(out.deadline_expired);
+        assert!(out.global_fallback);
+        assert!(out.placement.macro_overlap_area(&d) < 1e-6);
+    }
+
+    #[test]
+    fn fallback_legalization_is_deterministic() {
+        let (d, coarse, grid) = setup(9, 2, 70, 6);
+        let assignment = spread_assignment(&coarse, &grid);
+        let leg = MacroLegalizer {
+            force_sp_failure: true,
+            ..MacroLegalizer::default()
+        };
+        let a = leg.legalize(&d, &coarse, &assignment, &grid).unwrap();
+        let b = leg.legalize(&d, &coarse, &assignment, &grid).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn no_deadline_matches_plain_legalize() {
+        let (d, coarse, grid) = setup(8, 0, 60, 4);
+        let assignment = spread_assignment(&coarse, &grid);
+        let leg = MacroLegalizer::new();
+        let a = leg.legalize(&d, &coarse, &assignment, &grid).unwrap();
+        let b = leg
+            .legalize_with_deadline(&d, &coarse, &assignment, &grid, None)
+            .unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -1,4 +1,8 @@
 #![warn(missing_docs)]
+// Hardened crate: panicking extractors are denied in CI on library code
+// (tests and benches may unwrap freely). Justified invariant `expect`s
+// carry explicit allows at the call site.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 //! Macro legalization for the MMP placer (Sec. II-B of the paper).
 //!
@@ -20,6 +24,7 @@
 //! [`MacroLegalizer`] drives all three steps.
 
 pub mod constraint;
+pub mod fallback;
 pub mod flip;
 pub mod flow;
 pub mod median;
@@ -27,6 +32,7 @@ pub mod refine;
 pub mod sequence_pair;
 
 pub use constraint::{pack, ConstraintGraph};
+pub use fallback::{shelf_pack, ShelfItem, ShelfOutcome, ShelfPlacement};
 pub use flip::{optimize_orientations, FlipOutcome};
 pub use flow::{LegalizeError, LegalizeOutcome, MacroLegalizer};
 pub use median::{optimize_axis, weighted_median, AxisTarget};

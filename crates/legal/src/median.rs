@@ -34,7 +34,9 @@ pub fn weighted_median(targets: &[AxisTarget]) -> Option<f64> {
         return None;
     }
     let mut sorted: Vec<&AxisTarget> = targets.iter().collect();
-    sorted.sort_by(|a, b| a.coord.partial_cmp(&b.coord).expect("finite targets"));
+    // total_cmp keeps the sort deterministic even for poisoned (NaN)
+    // targets instead of panicking mid-legalization.
+    sorted.sort_by(|a, b| a.coord.total_cmp(&b.coord));
     let mut acc = 0.0;
     for t in sorted {
         acc += t.weight;

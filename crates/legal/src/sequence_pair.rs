@@ -83,17 +83,15 @@ impl SequencePair {
         order_plus.sort_by(|&a, &b| {
             let ka = centers[a].x - centers[a].y;
             let kb = centers[b].x - centers[b].y;
-            ka.partial_cmp(&kb)
-                .expect("finite coordinates")
-                .then(a.cmp(&b))
+            // total_cmp: non-finite coordinates (a poisoned upstream solve)
+            // still yield a deterministic permutation instead of a panic.
+            ka.total_cmp(&kb).then(a.cmp(&b))
         });
         let mut order_minus: Vec<usize> = (0..n).collect();
         order_minus.sort_by(|&a, &b| {
             let ka = centers[a].x + centers[a].y;
             let kb = centers[b].x + centers[b].y;
-            ka.partial_cmp(&kb)
-                .expect("finite coordinates")
-                .then(a.cmp(&b))
+            ka.total_cmp(&kb).then(a.cmp(&b))
         });
         SequencePair::from_sequences(&order_plus, &order_minus)
     }

@@ -11,6 +11,7 @@
 use crate::search::{MctsConfig, MctsOutcome, MctsPlacer};
 use mmp_rl::{Agent, InferenceCtx, RewardScale, Trainer};
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
 
 /// Ensemble parameters.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -60,6 +61,24 @@ pub fn place_ensemble(
     scale: &RewardScale,
     config: &EnsembleConfig,
 ) -> EnsembleOutcome {
+    place_ensemble_with_deadline(trainer, agent, scale, config, None)
+}
+
+/// [`place_ensemble`] with a shared wall-clock deadline: every worker
+/// degrades independently (best-so-far commits, then policy-greedy — see
+/// [`MctsPlacer::place_with_ctx_deadline`]), so the ensemble still returns
+/// a complete assignment when the deadline expires mid-search.
+///
+/// # Panics
+///
+/// Panics when `config.runs == 0` or a worker thread panics.
+pub fn place_ensemble_with_deadline(
+    trainer: &Trainer<'_>,
+    agent: &Agent,
+    scale: &RewardScale,
+    config: &EnsembleConfig,
+    deadline: Option<Instant>,
+) -> EnsembleOutcome {
     assert!(config.runs > 0, "ensemble needs at least one run");
     let mut outcomes: Vec<Option<MctsOutcome>> = vec![None; config.runs];
     std::thread::scope(|scope| {
@@ -76,23 +95,21 @@ pub fn place_ensemble(
             scope.spawn(move || {
                 let placer = MctsPlacer::new(cfg);
                 let mut ctx = InferenceCtx::new();
-                *slot = Some(placer.place_with_ctx(trainer, agent, scale, &mut ctx));
+                *slot =
+                    Some(placer.place_with_ctx_deadline(trainer, agent, scale, &mut ctx, deadline));
             });
         }
     });
 
-    let outcomes: Vec<MctsOutcome> = outcomes
-        .into_iter()
-        .map(|o| o.expect("every worker writes its slot"))
-        .collect();
+    let outcomes: Vec<MctsOutcome> = outcomes.into_iter().flatten().collect();
     let run_wirelengths: Vec<f64> = outcomes.iter().map(|o| o.wirelength).collect();
+    // NaN-sane: a poisoned wirelength sorts above every real score, so it
+    // can never win.
+    let sane = |w: f64| if w.is_nan() { f64::INFINITY } else { w };
+    #[allow(clippy::expect_used)]
     let best = outcomes
         .into_iter()
-        .min_by(|a, b| {
-            a.wirelength
-                .partial_cmp(&b.wirelength)
-                .expect("finite wirelengths")
-        })
+        .min_by(|a, b| sane(a.wirelength).total_cmp(&sane(b.wirelength)))
         .expect("at least one run");
     EnsembleOutcome {
         best,

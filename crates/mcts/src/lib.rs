@@ -1,4 +1,8 @@
 #![warn(missing_docs)]
+// Hardened crate: panicking extractors are denied in CI on library code
+// (tests and benches may unwrap freely). Justified invariant `expect`s
+// carry explicit allows at the call site.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 //! Placement optimization by MCTS (paper Sec. IV).
 //!
@@ -33,6 +37,6 @@ pub mod ensemble;
 pub mod search;
 pub mod tree;
 
-pub use ensemble::{place_ensemble, EnsembleConfig, EnsembleOutcome};
+pub use ensemble::{place_ensemble, place_ensemble_with_deadline, EnsembleConfig, EnsembleOutcome};
 pub use search::{MctsConfig, MctsOutcome, MctsPlacer, SearchStats};
 pub use tree::{EdgeStats, SearchTree};

@@ -22,6 +22,7 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
 use std::collections::HashMap;
+use std::time::Instant;
 
 /// MCTS parameters.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -42,6 +43,11 @@ pub struct MctsConfig {
     /// fields in serialized configs deserialize to the sequential default).
     #[serde(default)]
     pub wave: usize,
+    /// Fault injection (test support): replace every network prior vector
+    /// with NaN before expansion so the numerical-health guard can be
+    /// exercised deterministically. `false` in production.
+    #[serde(default)]
+    pub fault_nan_priors: bool,
 }
 
 impl Default for MctsConfig {
@@ -52,6 +58,7 @@ impl Default for MctsConfig {
             prior_noise: 0.0,
             noise_seed: 0,
             wave: 1,
+            fault_nan_priors: false,
         }
     }
 }
@@ -78,6 +85,19 @@ pub struct SearchStats {
     pub terminal_evaluations: usize,
     /// Nodes allocated in the tree.
     pub nodes: usize,
+    /// `true` when the search deadline expired before every group received
+    /// its full exploration budget; the remaining groups were committed
+    /// best-so-far or allocated policy-greedily.
+    #[serde(default)]
+    pub deadline_expired: bool,
+    /// Groups allocated by the greedy policy fallback instead of tree
+    /// search (only ever non-zero when `deadline_expired`).
+    #[serde(default)]
+    pub policy_greedy_groups: usize,
+    /// Network evaluations whose priors or value came back NaN/Inf and were
+    /// replaced by uniform priors / zero value.
+    #[serde(default)]
+    pub nan_evaluations: usize,
 }
 
 /// Result of one MCTS placement run.
@@ -147,6 +167,19 @@ impl MctsPlacer {
         self.place_with_ctx(trainer, agent, scale, &mut ctx)
     }
 
+    /// Runs the full search with an internal scratch context and a
+    /// wall-clock deadline; see [`MctsPlacer::place_with_ctx_deadline`].
+    pub fn place_with_deadline(
+        &self,
+        trainer: &Trainer<'_>,
+        agent: &Agent,
+        scale: &RewardScale,
+        deadline: Option<Instant>,
+    ) -> MctsOutcome {
+        let mut ctx = InferenceCtx::new();
+        self.place_with_ctx_deadline(trainer, agent, scale, &mut ctx, deadline)
+    }
+
     /// Runs the full search: γ explorations per macro group, committing the
     /// most-visited child each time, then scores the final allocation.
     ///
@@ -160,15 +193,39 @@ impl MctsPlacer {
         scale: &RewardScale,
         ctx: &mut InferenceCtx,
     ) -> MctsOutcome {
+        self.place_with_ctx_deadline(trainer, agent, scale, ctx, None)
+    }
+
+    /// [`MctsPlacer::place_with_ctx`] with graceful degradation under a
+    /// wall-clock deadline.
+    ///
+    /// The deadline is checked between exploration waves. Once it expires,
+    /// the group being searched is committed from the best-so-far tree
+    /// statistics, and any group whose search never ran is allocated with
+    /// the greedy policy π_θ instead ([`SearchStats::policy_greedy_groups`]
+    /// counts them, [`SearchStats::deadline_expired`] flags the run). The
+    /// run always produces a complete assignment.
+    pub fn place_with_ctx_deadline(
+        &self,
+        trainer: &Trainer<'_>,
+        agent: &Agent,
+        scale: &RewardScale,
+        ctx: &mut InferenceCtx,
+        deadline: Option<Instant>,
+    ) -> MctsOutcome {
         let mut env = PlacementEnv::new(trainer.design(), trainer.coarse(), trainer.grid().clone());
         let mut tree = SearchTree::new();
         let mut stats = SearchStats::default();
 
         let steps = env.episode_len();
-        for _ in 0..steps {
+        'groups: for _ in 0..steps {
             let goal = self.config.explorations.max(1);
             let mut done = 0;
             while done < goal {
+                if deadline.is_some_and(|d| Instant::now() >= d) {
+                    stats.deadline_expired = true;
+                    break;
+                }
                 done += self.explore_wave(
                     &mut tree,
                     &env,
@@ -182,22 +239,32 @@ impl MctsPlacer {
             }
             // Commit the most-visited edge (ties: higher Q, then prior).
             let root = tree.root();
-            let (edge_idx, action) = {
-                let edges = tree
-                    .node(root)
-                    .edges
-                    .as_ref()
-                    .expect("root expanded by explorations");
-                let best = edges
+            let best = tree.node(root).edges.as_ref().and_then(|edges| {
+                edges
                     .iter()
                     .enumerate()
                     .max_by(|(_, a), (_, b)| commit_key_cmp((a.n, a.q(), a.p), (b.n, b.q(), b.p)))
-                    .expect("at least one edge");
-                (best.0, best.1.action)
-            };
-            env.step(action);
-            let child = tree.child_of(root, edge_idx);
-            tree.advance_root(child);
+                    .map(|(i, e)| (i, e.action))
+            });
+            match best {
+                Some((edge_idx, action)) => {
+                    env.step(action);
+                    let child = tree.child_of(root, edge_idx);
+                    tree.advance_root(child);
+                }
+                None => {
+                    // The deadline expired before this group saw a single
+                    // exploration: allocate it and every remaining group
+                    // with the greedy policy so the run still completes.
+                    while !env.is_terminal() {
+                        let s = env.state();
+                        let action = agent.greedy_action(&s, ctx);
+                        env.step(action);
+                        stats.policy_greedy_groups += 1;
+                    }
+                    break 'groups;
+                }
+            }
         }
 
         let wirelength = trainer.wirelength_of(&env);
@@ -223,29 +290,31 @@ impl MctsPlacer {
         let mut sim = root_env.clone();
         let mut node = tree.root();
         let mut path: Vec<(usize, usize)> = Vec::new();
-        while tree.node(node).edges.is_some() && !sim.is_terminal() {
+        // NaN-sane total order: a non-finite PUCT score (poisoned Q or
+        // prior that slipped past the expansion guard) sorts below every
+        // real score instead of panicking the comparison.
+        let sane = |u: f64| if u.is_nan() { f64::NEG_INFINITY } else { u };
+        while !sim.is_terminal() {
             let sum_n =
                 tree.visit_sum(node) as f64 + inflight_node.get(&node).copied().unwrap_or(0) as f64;
             // √ΣN of Eq. 11, floored at 1 so priors break the all-zero tie
             // on a freshly expanded node.
             let sqrt_sum = sum_n.sqrt().max(1.0);
             let (edge_idx, action) = {
-                let edges = tree.node(node).edges.as_ref().expect("expanded");
-                let best = edges
-                    .iter()
-                    .enumerate()
-                    .max_by(|(ia, a), (ib, b)| {
-                        let fa = inflight_edge.get(&(node, *ia)).copied().unwrap_or(0);
-                        let fb = inflight_edge.get(&(node, *ib)).copied().unwrap_or(0);
-                        let ua = a.q()
-                            + self.config.c_puct * a.p as f64 * sqrt_sum
-                                / (1.0 + (a.n + fa) as f64);
-                        let ub = b.q()
-                            + self.config.c_puct * b.p as f64 * sqrt_sum
-                                / (1.0 + (b.n + fb) as f64);
-                        ua.partial_cmp(&ub).expect("finite PUCT scores")
-                    })
-                    .expect("edges exist");
+                let Some(edges) = tree.node(node).edges.as_ref() else {
+                    break;
+                };
+                let Some(best) = edges.iter().enumerate().max_by(|(ia, a), (ib, b)| {
+                    let fa = inflight_edge.get(&(node, *ia)).copied().unwrap_or(0);
+                    let fb = inflight_edge.get(&(node, *ib)).copied().unwrap_or(0);
+                    let ua = a.q()
+                        + self.config.c_puct * a.p as f64 * sqrt_sum / (1.0 + (a.n + fa) as f64);
+                    let ub = b.q()
+                        + self.config.c_puct * b.p as f64 * sqrt_sum / (1.0 + (b.n + fb) as f64);
+                    sane(ua).total_cmp(&sane(ub))
+                }) else {
+                    break;
+                };
                 (best.0, best.1.action)
             };
             path.push((node, edge_idx));
@@ -257,14 +326,20 @@ impl MctsPlacer {
 
     /// Applies one network output to a leaf: expand with (optionally
     /// noised) π_θ priors, backpropagate V_θ (Sec. IV-B3).
+    ///
+    /// Numerical-health guard: a prior vector containing NaN/Inf is
+    /// replaced wholesale by uniform priors and a non-finite value estimate
+    /// by 0, so one poisoned network evaluation degrades the search locally
+    /// instead of propagating NaN through Q and PUCT.
     fn apply_evaluation(
         &self,
         tree: &mut SearchTree,
         path: &[(usize, usize)],
         node: usize,
         out: &mmp_rl::NetOutput,
+        stats: &mut SearchStats,
     ) {
-        let priors = if self.config.prior_noise > 0.0 {
+        let mut priors: Vec<f32> = if self.config.prior_noise > 0.0 {
             let mut rng = self.noise.borrow_mut();
             let amp = self.config.prior_noise;
             out.probs
@@ -274,8 +349,23 @@ impl MctsPlacer {
         } else {
             out.probs.clone()
         };
+        if self.config.fault_nan_priors {
+            priors.iter_mut().for_each(|p| *p = f32::NAN);
+        }
+        let mut value = out.value as f64;
+        let priors_poisoned = priors.iter().any(|p| !p.is_finite());
+        if priors_poisoned {
+            let uniform = 1.0 / priors.len().max(1) as f32;
+            priors.iter_mut().for_each(|p| *p = uniform);
+        }
+        if priors_poisoned || !value.is_finite() {
+            stats.nan_evaluations += 1;
+            if !value.is_finite() {
+                value = 0.0;
+            }
+        }
         tree.expand(node, &priors);
-        tree.backpropagate(path, out.value as f64);
+        tree.backpropagate(path, value);
     }
 
     /// Runs one exploration wave from the current root.
@@ -362,7 +452,7 @@ impl MctsPlacer {
             }
             if let Some(out) = results.remove(&node) {
                 // Speculation hit: the batch already evaluated this leaf.
-                self.apply_evaluation(tree, &path, node, &out);
+                self.apply_evaluation(tree, &path, node, &out, stats);
                 stats.value_evaluations += 1;
                 stats.explorations += 1;
                 consumed += 1;
@@ -378,12 +468,11 @@ impl MctsPlacer {
             }
             // Nothing speculated (wave == 1, or speculation stopped at a
             // terminal): evaluate the single leaf directly.
-            let out = agent
-                .policy_value_batch(&[sim.state()], ctx)
-                .pop()
-                .expect("one state yields one output");
+            let Some(out) = agent.policy_value_batch(&[sim.state()], ctx).pop() else {
+                break; // unreachable: one state yields one output
+            };
             stats.batched_calls += 1;
-            self.apply_evaluation(tree, &path, node, &out);
+            self.apply_evaluation(tree, &path, node, &out, stats);
             stats.value_evaluations += 1;
             stats.explorations += 1;
             consumed += 1;
@@ -562,6 +651,75 @@ mod tests {
             mcts.wirelength,
             rl_w
         );
+    }
+
+    #[test]
+    fn expired_deadline_degrades_to_policy_greedy_and_still_places() {
+        let (d, cfg) = trained(9, 2);
+        let trainer = Trainer::new(&d, cfg);
+        let out = trainer.train();
+        let placer = MctsPlacer::new(MctsConfig {
+            explorations: 64,
+            ..MctsConfig::default()
+        });
+        let result =
+            placer.place_with_deadline(&trainer, &out.agent, &out.scale, Some(Instant::now()));
+        let groups = trainer.coarse().macro_groups().len();
+        assert!(result.stats.deadline_expired);
+        assert_eq!(result.stats.policy_greedy_groups, groups);
+        assert_eq!(result.assignment.len(), groups);
+        assert!(result.wirelength.is_finite() && result.wirelength > 0.0);
+        // The degraded allocation is exactly the greedy-policy rollout.
+        let (greedy, _) = trainer.greedy_episode(&out.agent);
+        assert_eq!(result.assignment, greedy);
+    }
+
+    #[test]
+    fn expired_deadline_run_is_deterministic() {
+        let (d, cfg) = trained(10, 2);
+        let trainer = Trainer::new(&d, cfg);
+        let out = trainer.train();
+        let placer = MctsPlacer::new(MctsConfig::default());
+        let past = Instant::now();
+        let a = placer.place_with_deadline(&trainer, &out.agent, &out.scale, Some(past));
+        let b = placer.place_with_deadline(&trainer, &out.agent, &out.scale, Some(past));
+        assert_eq!(a.assignment, b.assignment);
+        assert_eq!(a.wirelength, b.wirelength);
+    }
+
+    #[test]
+    fn nan_priors_are_replaced_by_uniform_and_search_completes() {
+        let (d, cfg) = trained(11, 2);
+        let trainer = Trainer::new(&d, cfg);
+        let out = trainer.train();
+        let placer = MctsPlacer::new(MctsConfig {
+            explorations: 6,
+            fault_nan_priors: true,
+            ..MctsConfig::default()
+        });
+        let result = placer.place(&trainer, &out.agent, &out.scale);
+        assert!(result.stats.nan_evaluations > 0);
+        assert_eq!(
+            result.assignment.len(),
+            trainer.coarse().macro_groups().len()
+        );
+        assert!(result.wirelength.is_finite() && result.wirelength > 0.0);
+    }
+
+    #[test]
+    fn no_deadline_matches_plain_search() {
+        let (d, cfg) = trained(12, 2);
+        let trainer = Trainer::new(&d, cfg);
+        let out = trainer.train();
+        let placer = MctsPlacer::new(MctsConfig {
+            explorations: 6,
+            ..MctsConfig::default()
+        });
+        let plain = placer.place(&trainer, &out.agent, &out.scale);
+        let dl = placer.place_with_deadline(&trainer, &out.agent, &out.scale, None);
+        assert_eq!(plain.assignment, dl.assignment);
+        assert!(!dl.stats.deadline_expired);
+        assert_eq!(dl.stats.policy_greedy_groups, 0);
     }
 
     #[test]

@@ -124,6 +124,9 @@ impl SearchTree {
     }
 
     /// The child node behind `(node, edge_idx)`, created on first use.
+    // Invariant, not input: callers only descend through nodes they have
+    // already expanded.
+    #[allow(clippy::expect_used)]
     pub fn child_of(&mut self, node: usize, edge_idx: usize) -> usize {
         let depth = self.nodes[node].depth;
         let existing = self.nodes[node].edges.as_ref().expect("expanded node")[edge_idx].child;
@@ -144,6 +147,8 @@ impl SearchTree {
 
     /// Backpropagation (Eq. 12): every edge along `path` gains a visit and
     /// accumulates `value`.
+    // Invariant, not input: the selection path only contains expanded nodes.
+    #[allow(clippy::expect_used)]
     pub fn backpropagate(&mut self, path: &[(usize, usize)], value: f64) {
         for &(node, edge_idx) in path {
             let edge = &mut self.nodes[node].edges.as_mut().expect("expanded node")[edge_idx];

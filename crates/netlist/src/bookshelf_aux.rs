@@ -190,7 +190,7 @@ pub fn read_aux(
         .filter(|(_, n)| !n.terminal)
         .map(|(_, n)| n.width * n.height)
         .collect();
-    areas.sort_by(|a, b| a.partial_cmp(b).expect("finite areas"));
+    areas.sort_by(|a, b| a.total_cmp(b));
     let median_area = areas
         .get(areas.len() / 2)
         .copied()
@@ -282,9 +282,14 @@ pub fn read_aux(
         };
         // Optional trailing ": dx dy" pin offset.
         let offset = if toks.len() >= 5 && toks[2] == ":" {
-            let dx: f64 = toks[3].parse().unwrap_or(0.0);
-            let dy: f64 = toks[4].parse().unwrap_or(0.0);
-            Point::new(dx, dy)
+            let parse = |s: &str| -> Result<f64, ReadAuxError> {
+                s.parse().map_err(|_| ReadAuxError::Parse {
+                    file: nets_file.display().to_string(),
+                    line: lineno + 1,
+                    message: format!("bad pin offset {s}"),
+                })
+            };
+            Point::new(parse(toks[3])?, parse(toks[4])?)
         } else {
             Point::ORIGIN
         };
@@ -492,6 +497,37 @@ mod tests {
         let err = read_aux(&dir.join("u.aux"), 4.0).unwrap_err();
         match err {
             ReadAuxError::Parse { message, .. } => assert!(message.contains("ghost")),
+            other => panic!("unexpected {other:?}"),
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn garbled_pin_offset_reports_file_and_line() {
+        let dir = tmp_dir("po");
+        fs::write(
+            dir.join("p.aux"),
+            "RowBasedPlacement : p.nodes p.nets p.pl\n",
+        )
+        .unwrap();
+        fs::write(dir.join("p.nodes"), "a 2 2\nb 2 2\n").unwrap();
+        fs::write(
+            dir.join("p.nets"),
+            "NetDegree : 2\n a B : 0 0\n b B : xyz 0\n",
+        )
+        .unwrap();
+        fs::write(dir.join("p.pl"), "a 0 0 : N\nb 5 5 : N\n").unwrap();
+        let err = read_aux(&dir.join("p.aux"), 4.0).unwrap_err();
+        match err {
+            ReadAuxError::Parse {
+                file,
+                line,
+                message,
+            } => {
+                assert!(file.ends_with("p.nets"), "{file}");
+                assert_eq!(line, 3);
+                assert!(message.contains("xyz"));
+            }
             other => panic!("unexpected {other:?}"),
         }
         fs::remove_dir_all(&dir).ok();

@@ -1,4 +1,8 @@
 #![warn(missing_docs)]
+// Hardened crate: panicking extractors are denied in CI on library code
+// (tests and benches may unwrap freely). Justified invariant `expect`s
+// carry explicit allows at the call site.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 //! Netlist data model for the MMP macro placer.
 //!

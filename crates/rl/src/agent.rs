@@ -128,7 +128,7 @@ pub(crate) fn sample_from<R: Rng>(weights: &[f32], rng: &mut R) -> Option<usize>
 fn argmax(xs: &[f32]) -> usize {
     xs.iter()
         .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+        .max_by(|a, b| a.1.total_cmp(b.1))
         .map(|(i, _)| i)
         .unwrap_or(0)
 }

@@ -65,6 +65,9 @@ impl<'d> PlacementEnv<'d> {
         let mut base = Occupancy::new(grid.zeta());
         for id in design.preplaced_macros() {
             let m = design.macro_(id);
+            // Invariant, not input: `preplaced_macros()` yields exactly the
+            // macros constructed with a fixed center.
+            #[allow(clippy::expect_used)]
             let c = m.fixed_center.expect("preplaced macro has a center");
             base.add_rect(&grid, &Rect::centered_at(c, m.width, m.height));
         }

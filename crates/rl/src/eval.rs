@@ -46,6 +46,10 @@ impl FullEvaluator {
 
     /// Runs the pipeline and returns the final placement alongside HPWL.
     pub fn place(&self, env: &PlacementEnv<'_>) -> (Placement, f64) {
+        // Invariant, not input: the env only reaches a terminal state once
+        // every group has an assignment, so legalize cannot see a length
+        // mismatch.
+        #[allow(clippy::expect_used)]
         let outcome = self
             .legalizer
             .legalize(env.design(), env.coarse(), env.assignment(), env.grid())

@@ -1,4 +1,8 @@
 #![warn(missing_docs)]
+// Hardened crate: panicking extractors are denied in CI on library code
+// (tests and benches may unwrap freely). Justified invariant `expect`s
+// carry explicit allows at the call site.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 //! Pre-training stage by RL (paper Sec. III).
 //!
@@ -40,5 +44,5 @@ pub use env::{PlacementEnv, State};
 pub use eval::{CoarseEvaluator, FullEvaluator, WirelengthEvaluator};
 pub use mmp_nn::InferenceCtx;
 pub use net::{AgentConfig, NetOutput, PolicyValueNet, StateRef};
-pub use reward::{RewardKind, RewardScale};
-pub use trainer::{Trainer, TrainerConfig, TrainingHistory, TrainingOutcome};
+pub use reward::{CalibrationError, RewardKind, RewardScale};
+pub use trainer::{TrainError, Trainer, TrainerConfig, TrainingHistory, TrainingOutcome};

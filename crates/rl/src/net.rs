@@ -243,6 +243,8 @@ impl PolicyValueNet {
         total: usize,
         ctx: &mut InferenceCtx,
     ) -> NetOutput {
+        // Invariant, not input: forward_batch returns one output per state.
+        #[allow(clippy::expect_used)]
         self.forward_batch(&[StateRef { s_p, s_a, t, total }], ctx)
             .pop()
             .expect("batch of one yields one output")
@@ -272,6 +274,9 @@ impl PolicyValueNet {
                         scope.spawn(move || self.forward_batch_seq(part, &mut InferenceCtx::new()))
                     })
                     .collect();
+                // Invariant, not input: a worker can only fail by
+                // panicking, which this join deliberately propagates.
+                #[allow(clippy::expect_used)]
                 parts.extend(
                     handles
                         .into_iter()
@@ -378,6 +383,9 @@ impl PolicyValueNet {
     /// Training-mode forward for one transition (a minibatch of one); see
     /// [`PolicyValueNet::forward_train_batch`].
     pub fn forward_train(&mut self, s_p: &[f32], s_a: &[f32], t: usize, total: usize) -> NetOutput {
+        // Invariant, not input: forward_train_batch returns one output per
+        // state.
+        #[allow(clippy::expect_used)]
         self.forward_train_batch(&[StateRef { s_p, s_a, t, total }])
             .pop()
             .expect("batch of one yields one output")
@@ -505,6 +513,9 @@ impl PolicyValueNet {
     /// Panics without a preceding training-mode forward or when
     /// `targets.len()` differs from the cached batch size.
     pub fn backward_batch(&mut self, targets: &[(usize, f32)], beta: f32) {
+        // Documented panic: callers must pair backward with a training
+        // forward; see the `# Panics` section.
+        #[allow(clippy::expect_used)]
         let cache = self
             .cache
             .take()

@@ -44,23 +44,71 @@ pub struct RewardScale {
     mean: f64,
 }
 
+/// Error from [`RewardScale::try_calibrate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CalibrationError {
+    /// The sample set was empty.
+    NoSamples,
+    /// Every sample was NaN or infinite.
+    NoFiniteSamples,
+}
+
+impl std::fmt::Display for CalibrationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CalibrationError::NoSamples => write!(f, "calibration needs samples"),
+            CalibrationError::NoFiniteSamples => {
+                write!(f, "calibration needs at least one finite wirelength sample")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CalibrationError {}
+
 impl RewardScale {
     /// Calibrates from the wirelengths of the random warm-up episodes.
     ///
     /// # Panics
     ///
-    /// Panics on an empty sample set.
+    /// Panics on an empty sample set; see [`RewardScale::try_calibrate`]
+    /// for the fallible variant used by the hardened flow.
     pub fn calibrate(kind: RewardKind, wirelengths: &[f64]) -> Self {
-        assert!(!wirelengths.is_empty(), "calibration needs samples");
-        let max = wirelengths.iter().cloned().fold(f64::MIN, f64::max);
-        let min = wirelengths.iter().cloned().fold(f64::MAX, f64::min);
-        let mean = wirelengths.iter().sum::<f64>() / wirelengths.len() as f64;
-        RewardScale {
+        match Self::try_calibrate(kind, wirelengths) {
+            Ok(s) => s,
+            Err(e) => panic!("calibration needs samples: {e}"),
+        }
+    }
+
+    /// Fallible calibration: ignores non-finite samples and returns a typed
+    /// error instead of panicking when no usable sample remains. A
+    /// degenerate spread (δ = γ, Eq. 9 denominator zero) is clamped inside
+    /// [`RewardScale::reward`], so identical samples are fine here.
+    ///
+    /// # Errors
+    ///
+    /// See [`CalibrationError`].
+    pub fn try_calibrate(kind: RewardKind, wirelengths: &[f64]) -> Result<Self, CalibrationError> {
+        if wirelengths.is_empty() {
+            return Err(CalibrationError::NoSamples);
+        }
+        let finite: Vec<f64> = wirelengths
+            .iter()
+            .copied()
+            .filter(|w| w.is_finite())
+            .collect();
+        if finite.is_empty() {
+            return Err(CalibrationError::NoFiniteSamples);
+        }
+        let max = finite.iter().cloned().fold(f64::MIN, f64::max);
+        let min = finite.iter().cloned().fold(f64::MAX, f64::min);
+        let mean = finite.iter().sum::<f64>() / finite.len() as f64;
+        Ok(RewardScale {
             kind,
             max,
             min,
             mean,
-        }
+        })
     }
 
     /// The reward for a placement of wirelength `w`.
@@ -139,6 +187,41 @@ mod tests {
     fn degenerate_calibration_is_guarded() {
         let s = RewardScale::calibrate(RewardKind::PaperNoAlpha, &[5.0, 5.0, 5.0]);
         assert!(s.reward(5.0).is_finite());
+    }
+
+    #[test]
+    fn zero_spread_calibration_never_divides_by_zero() {
+        // Eq. 9 denominator δ − γ = 0 when all calibration episodes return
+        // identical wirelength; the clamped span keeps every reward finite
+        // and the W = Δ reward at exactly α.
+        let s = RewardScale::calibrate(RewardKind::Paper { alpha: 0.75 }, &[42.0; 50]);
+        for w in [0.0, 21.0, 42.0, 84.0, 1e12] {
+            assert!(s.reward(w).is_finite(), "reward({w}) = {}", s.reward(w));
+        }
+        assert!((s.reward(42.0) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_finite_samples_are_ignored() {
+        let s = RewardScale::try_calibrate(
+            RewardKind::PaperNoAlpha,
+            &[10.0, f64::NAN, 30.0, f64::INFINITY, 20.0],
+        )
+        .unwrap();
+        assert_eq!(s.stats(), (30.0, 10.0, 20.0));
+    }
+
+    #[test]
+    fn all_non_finite_samples_are_a_typed_error() {
+        let err = RewardScale::try_calibrate(RewardKind::default(), &[f64::NAN, f64::INFINITY])
+            .unwrap_err();
+        assert_eq!(err, CalibrationError::NoFiniteSamples);
+    }
+
+    #[test]
+    fn empty_samples_are_a_typed_error() {
+        let err = RewardScale::try_calibrate(RewardKind::default(), &[]).unwrap_err();
+        assert_eq!(err, CalibrationError::NoSamples);
     }
 
     #[test]

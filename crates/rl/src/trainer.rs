@@ -11,15 +11,59 @@ use crate::agent::Agent;
 use crate::env::PlacementEnv;
 use crate::eval::{CoarseEvaluator, FullEvaluator, WirelengthEvaluator};
 use crate::net::{AgentConfig, StateRef};
-use crate::reward::{RewardKind, RewardScale};
+use crate::reward::{CalibrationError, RewardKind, RewardScale};
 use mmp_analytic::{GlobalPlacer, GlobalPlacerConfig};
-use mmp_cluster::{ClusterParams, CoarsenedNetlist, Coarsener};
+use mmp_cluster::{ClusterError, ClusterParams, CoarsenedNetlist, Coarsener};
 use mmp_geom::Grid;
 use mmp_netlist::{Design, Placement};
 use mmp_nn::{Adam, InferenceCtx, Optimizer};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Error preparing or running pre-training.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrainError {
+    /// `config.net.zeta` differs from `config.zeta`.
+    ZetaMismatch {
+        /// Grid resolution of the network.
+        net: usize,
+        /// Grid resolution of the environment.
+        env: usize,
+    },
+    /// Clustering/coarsening rejected the design.
+    Cluster(ClusterError),
+    /// Reward calibration had no usable samples.
+    Calibration(CalibrationError),
+}
+
+impl std::fmt::Display for TrainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrainError::ZetaMismatch { net, env } => write!(
+                f,
+                "network grid and environment grid must agree (net ζ = {net}, env ζ = {env})"
+            ),
+            TrainError::Cluster(e) => write!(f, "clustering failed: {e}"),
+            TrainError::Calibration(e) => write!(f, "reward calibration failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
+
+impl From<ClusterError> for TrainError {
+    fn from(e: ClusterError) -> Self {
+        TrainError::Cluster(e)
+    }
+}
+
+impl From<CalibrationError> for TrainError {
+    fn from(e: CalibrationError) -> Self {
+        TrainError::Calibration(e)
+    }
+}
 
 /// One recorded step of an episode: `(s_p, s_a, t, total, action)`.
 type StepRecord = (Vec<f32>, Vec<f32>, usize, usize, usize);
@@ -61,6 +105,11 @@ pub struct TrainerConfig {
     pub group_macros: bool,
     /// Entropy-bonus coefficient β (0 = the paper's plain A2C).
     pub entropy_beta: f32,
+    /// Fault injection (test support): poison the gradients of the Nth
+    /// optimizer chunk with NaN so the update-rejection guard can be
+    /// exercised deterministically. `None` in production.
+    #[serde(default)]
+    pub fault_poison_update: Option<usize>,
 }
 
 impl TrainerConfig {
@@ -81,6 +130,7 @@ impl TrainerConfig {
             checkpoint_every: None,
             group_macros: true,
             entropy_beta: 0.0,
+            fault_poison_update: None,
         }
     }
 
@@ -101,6 +151,7 @@ impl TrainerConfig {
             checkpoint_every: None,
             group_macros: true,
             entropy_beta: 0.0,
+            fault_poison_update: None,
         }
     }
 }
@@ -112,6 +163,15 @@ pub struct TrainingHistory {
     pub episode_rewards: Vec<f64>,
     /// Raw wirelength of each training episode.
     pub episode_wirelengths: Vec<f64>,
+    /// Optimizer chunks rejected by the gradient-health guard (a rejected
+    /// chunk contributes nothing to the step; the last-good weights are
+    /// kept).
+    #[serde(default)]
+    pub rejected_updates: usize,
+    /// `true` when the training deadline expired before every scheduled
+    /// episode ran; the agent holds the last-good weights at that point.
+    #[serde(default)]
+    pub early_stopped: bool,
 }
 
 /// Everything `train` produces.
@@ -156,12 +216,29 @@ impl<'d> Trainer<'d> {
     ///
     /// # Panics
     ///
-    /// Panics when `config.net.zeta != config.zeta`.
+    /// Panics when `config.net.zeta != config.zeta`; see
+    /// [`Trainer::try_new`] for the fallible variant used by the hardened
+    /// flow.
     pub fn new(design: &'d Design, config: TrainerConfig) -> Self {
-        assert_eq!(
-            config.net.zeta, config.zeta,
-            "network grid and environment grid must agree"
-        );
+        match Self::try_new(design, config) {
+            Ok(t) => t,
+            Err(e) => panic!("network grid and environment grid must agree: {e}"),
+        }
+    }
+
+    /// Fallible preparation: returns a typed [`TrainError`] instead of
+    /// panicking on a ζ mismatch or a clustering failure.
+    ///
+    /// # Errors
+    ///
+    /// See [`TrainError`].
+    pub fn try_new(design: &'d Design, config: TrainerConfig) -> Result<Self, TrainError> {
+        if config.net.zeta != config.zeta {
+            return Err(TrainError::ZetaMismatch {
+                net: config.net.zeta,
+                env: config.zeta,
+            });
+        }
         let grid = Grid::new(*design.region(), config.zeta);
         let initial = if config.prototype_placement {
             GlobalPlacer::new(GlobalPlacerConfig::fast()).place_mixed(design)
@@ -173,19 +250,19 @@ impl<'d> Trainer<'d> {
             // Per-macro mode: an infinite threshold stops all merging.
             params.nu = f64::INFINITY;
         }
-        let coarse = Coarsener::new(&params).coarsen(design, &initial);
+        let coarse = Coarsener::new(&params).try_coarsen(design, &initial)?;
         let evaluator = if config.coarse_eval {
             Eval::Coarse(CoarseEvaluator::new())
         } else {
             Eval::Full(Box::new(FullEvaluator::fast()))
         };
-        Trainer {
+        Ok(Trainer {
             design,
             coarse,
             grid,
             config,
             evaluator,
-        }
+        })
     }
 
     /// The design being placed.
@@ -222,14 +299,41 @@ impl<'d> Trainer<'d> {
     }
 
     /// Runs calibration + training and returns the outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics when reward calibration fails (every sample non-finite); see
+    /// [`Trainer::train_with_deadline`] for the fallible variant.
     pub fn train(&self) -> TrainingOutcome {
+        match self.train_with_deadline(None) {
+            Ok(out) => out,
+            Err(e) => panic!("training failed: {e}"),
+        }
+    }
+
+    /// Runs calibration + training, stopping early when `deadline` passes.
+    ///
+    /// The deadline is checked between episodes: when it expires the loop
+    /// stops, the agent keeps the weights of the last completed optimizer
+    /// step (buffered but not-yet-applied transitions are dropped) and
+    /// [`TrainingHistory::early_stopped`] is set. Optimizer chunks whose
+    /// gradients come back non-finite are rejected wholesale and counted in
+    /// [`TrainingHistory::rejected_updates`].
+    ///
+    /// # Errors
+    ///
+    /// See [`TrainError`].
+    pub fn train_with_deadline(
+        &self,
+        deadline: Option<Instant>,
+    ) -> Result<TrainingOutcome, TrainError> {
         let mut rng = SmallRng::seed_from_u64(self.config.seed ^ 0x7e41);
         let mut env = PlacementEnv::new(self.design, &self.coarse, self.grid.clone());
         // 1) Random warm-up → reward calibration (Sec. III-E).
         let samples: Vec<f64> = (0..self.config.calibration_episodes.max(1))
             .map(|_| self.random_episode(&mut env, &mut rng))
             .collect();
-        let scale = RewardScale::calibrate(self.config.reward, &samples);
+        let scale = RewardScale::try_calibrate(self.config.reward, &samples)?;
 
         // 2) A2C training.
         let mut ctx = InferenceCtx::new();
@@ -238,8 +342,13 @@ impl<'d> Trainer<'d> {
         let mut history = TrainingHistory::default();
         let mut checkpoints = Vec::new();
         let mut buffer: Vec<Transition> = Vec::new();
+        let mut chunk_no = 0usize;
 
         for episode in 0..self.config.episodes {
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                history.early_stopped = true;
+                break;
+            }
             env.reset();
             let mut steps: Vec<StepRecord> = Vec::new();
             while !env.is_terminal() {
@@ -280,8 +389,38 @@ impl<'d> Trainer<'d> {
                         .iter()
                         .map(|&(_, _, _, _, action, reward)| (action, reward))
                         .collect();
+                    // Gradient-health guard: snapshot the accumulated
+                    // gradients, run the chunk, and roll back wholesale if
+                    // any gradient came back NaN/Inf so one poisoned chunk
+                    // cannot corrupt the whole optimizer step.
+                    let mut grad_snapshot: Vec<Vec<f32>> = Vec::new();
+                    net.visit_params(&mut |p| grad_snapshot.push(p.grad.as_slice().to_vec()));
                     let _ = net.forward_train_batch(&states);
                     net.backward_batch(&targets, beta);
+                    if self.config.fault_poison_update == Some(chunk_no) {
+                        let mut done = false;
+                        net.visit_params(&mut |p| {
+                            if !done {
+                                if let Some(g) = p.grad.as_mut_slice().first_mut() {
+                                    *g = f32::NAN;
+                                    done = true;
+                                }
+                            }
+                        });
+                    }
+                    let mut healthy = true;
+                    net.visit_params(&mut |p| healthy &= p.grad.is_finite());
+                    if !healthy {
+                        let mut i = 0usize;
+                        net.visit_params(&mut |p| {
+                            if let Some(saved) = grad_snapshot.get(i) {
+                                p.grad.as_mut_slice().copy_from_slice(saved);
+                            }
+                            i += 1;
+                        });
+                        history.rejected_updates += 1;
+                    }
+                    chunk_no += 1;
                 }
                 buffer.clear();
                 opt.begin_step();
@@ -295,12 +434,12 @@ impl<'d> Trainer<'d> {
             }
         }
 
-        TrainingOutcome {
+        Ok(TrainingOutcome {
             agent,
             history,
             scale,
             checkpoints,
-        }
+        })
     }
 
     /// Plays one greedy episode with `agent`; returns the grid assignment
@@ -392,6 +531,63 @@ mod tests {
         let mut cfg = TrainerConfig::tiny(4);
         cfg.zeta = 8; // net still 4
         let _ = Trainer::new(&d, cfg);
+    }
+
+    #[test]
+    fn try_new_reports_zeta_mismatch() {
+        let d = design(6);
+        let mut cfg = TrainerConfig::tiny(4);
+        cfg.zeta = 8; // net still 4
+        let err = Trainer::try_new(&d, cfg).err().unwrap();
+        assert_eq!(err, TrainError::ZetaMismatch { net: 4, env: 8 });
+    }
+
+    #[test]
+    fn expired_deadline_stops_training_before_any_episode() {
+        let d = design(8);
+        let mut cfg = TrainerConfig::tiny(4);
+        cfg.episodes = 50;
+        let trainer = Trainer::new(&d, cfg);
+        let out = trainer.train_with_deadline(Some(Instant::now())).unwrap();
+        assert!(out.history.early_stopped);
+        assert!(out.history.episode_rewards.is_empty());
+        // The untrained agent is still usable for greedy allocation.
+        let (assignment, w) = trainer.greedy_episode(&out.agent);
+        assert_eq!(assignment.len(), trainer.coarse().macro_groups().len());
+        assert!(w > 0.0);
+    }
+
+    #[test]
+    fn poisoned_gradient_chunk_is_rejected_and_training_survives() {
+        let d = design(9);
+        let mut cfg = TrainerConfig::tiny(4);
+        cfg.episodes = 6;
+        cfg.update_every = 3;
+        cfg.fault_poison_update = Some(0);
+        let out = Trainer::new(&d, cfg).train();
+        assert!(out.history.rejected_updates >= 1);
+        assert_eq!(out.history.episode_rewards.len(), 6);
+        // Weights stayed finite: a greedy episode still scores.
+        let mut net = out.agent.clone();
+        let mut finite = true;
+        net.net_mut()
+            .visit_params(&mut |p| finite &= p.value.is_finite());
+        assert!(finite, "weights were corrupted by a rejected chunk");
+    }
+
+    #[test]
+    fn rejected_chunks_do_not_change_weights_relative_to_clean_skip() {
+        // A fully-poisoned first update must leave the run deterministic:
+        // two identical poisoned runs agree bit-for-bit.
+        let d = design(10);
+        let mut cfg = TrainerConfig::tiny(4);
+        cfg.episodes = 4;
+        cfg.update_every = 2;
+        cfg.fault_poison_update = Some(0);
+        let a = Trainer::new(&d, cfg.clone()).train();
+        let b = Trainer::new(&d, cfg).train();
+        assert_eq!(a.history, b.history);
+        assert!(a.history.rejected_updates >= 1);
     }
 
     #[test]

@@ -1,0 +1,86 @@
+//! Wall-clock budget enforcement across the whole flow.
+//!
+//! Two angles: a zero budget must degrade every budgeted stage
+//! deterministically while still placing legally, and a real budget `T`
+//! must keep the run's wall clock within `1.25·T` plus the cost of the
+//! unbudgeted bookends (preprocessing and final cell placement, which
+//! cannot be skipped without losing the placement itself).
+
+use mmp_core::{MacroPlacer, PlacerConfig, RunBudget, Stage, SyntheticSpec};
+use std::time::{Duration, Instant};
+
+#[test]
+fn zero_budget_names_every_degraded_stage_and_stays_legal() {
+    let design = SyntheticSpec::small("it_zb", 7, 1, 10, 60, 100, true, 21).generate();
+    let mut cfg = PlacerConfig::fast(6);
+    cfg.trainer.episodes = 50;
+    cfg.trainer.calibration_episodes = 3;
+    cfg.mcts.explorations = 80;
+    cfg.budget = RunBudget::with_total(Duration::ZERO);
+
+    let result = MacroPlacer::new(cfg).place(&design).unwrap();
+    let stages = result.degradation.degraded_stages();
+    assert!(stages.contains(&Stage::Train), "stages: {stages:?}");
+    assert!(stages.contains(&Stage::Search), "stages: {stages:?}");
+    assert!(stages.contains(&Stage::Legalize), "stages: {stages:?}");
+    assert!(result.placement.macro_overlap_area(&design) < 1e-6);
+    assert!(result.placement.macros_inside_region(&design));
+    assert!(result.hpwl.is_finite() && result.hpwl > 0.0);
+}
+
+#[test]
+fn zero_budget_degradation_is_deterministic() {
+    let design = SyntheticSpec::small("it_zbd", 6, 0, 8, 50, 80, false, 22).generate();
+    let mut cfg = PlacerConfig::fast(4);
+    cfg.trainer.episodes = 30;
+    cfg.trainer.calibration_episodes = 2;
+    cfg.mcts.explorations = 40;
+    cfg.budget = RunBudget::with_total(Duration::ZERO);
+
+    let placer = MacroPlacer::new(cfg);
+    let a = placer.place(&design).unwrap();
+    let b = placer.place(&design).unwrap();
+    assert_eq!(a.hpwl, b.hpwl);
+    assert_eq!(a.assignment, b.assignment);
+    assert_eq!(a.placement, b.placement);
+    assert_eq!(
+        a.degradation.degraded_stages(),
+        b.degradation.degraded_stages()
+    );
+}
+
+#[test]
+fn total_budget_is_enforced_within_tolerance() {
+    let design = SyntheticSpec::small("it_tb", 8, 0, 10, 60, 100, false, 23).generate();
+    // Work sized to take far longer than the budget if it ran to
+    // completion: the budget, not the workload, must bound the wall clock.
+    let mut cfg = PlacerConfig::fast(4);
+    cfg.trainer.episodes = 100_000;
+    cfg.trainer.calibration_episodes = 2;
+    cfg.mcts.explorations = 100_000;
+
+    // The budget does not cover preprocessing and final cell placement
+    // (they cannot degrade away without losing the result), so measure
+    // that fixed bookend cost once with a zero budget.
+    let mut warm = cfg.clone();
+    warm.budget = RunBudget::with_total(Duration::ZERO);
+    let t0 = Instant::now();
+    let _ = MacroPlacer::new(warm).place(&design).unwrap();
+    let bookends = t0.elapsed();
+
+    let budget = Duration::from_millis(800);
+    cfg.budget = RunBudget::with_total(budget);
+    let t1 = Instant::now();
+    let result = MacroPlacer::new(cfg).place(&design).unwrap();
+    let elapsed = t1.elapsed();
+
+    assert!(
+        elapsed <= budget.mul_f64(1.25) + bookends * 2,
+        "run took {elapsed:?} against a {budget:?} budget (bookends {bookends:?})"
+    );
+    // Degraded under pressure, but still a complete legal placement.
+    assert!(!result.degradation.is_empty());
+    assert!(result.placement.macro_overlap_area(&design) < 1e-6);
+    assert!(result.placement.macros_inside_region(&design));
+    assert!(result.hpwl.is_finite() && result.hpwl > 0.0);
+}

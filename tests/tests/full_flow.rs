@@ -75,7 +75,11 @@ fn infeasible_designs_are_rejected_up_front() {
     let design = b.build().unwrap();
     let _ = Point::ORIGIN;
     let err = MacroPlacer::new(small_config()).place(&design).unwrap_err();
-    assert_eq!(err, PlaceError::MacrosExceedRegion);
+    assert!(matches!(
+        err,
+        PlaceError::Preprocess(mmp_core::PreprocessError::MacrosExceedRegion { .. })
+    ));
+    assert_eq!(err.exit_code(), 10);
 }
 
 #[test]
