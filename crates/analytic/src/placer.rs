@@ -5,6 +5,7 @@ use crate::cg;
 use crate::density::SpreadGrid;
 use mmp_geom::Point;
 use mmp_netlist::{Design, MacroId, NodeRef, Placement};
+use mmp_obs::{field, Obs};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -82,12 +83,25 @@ pub struct CellPlaceOutcome {
 #[derive(Debug, Clone, Default)]
 pub struct GlobalPlacer {
     config: GlobalPlacerConfig,
+    obs: Obs,
 }
 
 impl GlobalPlacer {
-    /// Creates a placer with the given configuration.
+    /// Creates a placer with the given configuration (observability off).
     pub fn new(config: GlobalPlacerConfig) -> Self {
-        GlobalPlacer { config }
+        GlobalPlacer {
+            config,
+            obs: Obs::off(),
+        }
+    }
+
+    /// Attaches an observability handle: spread iterations emit
+    /// `analytic.spread` events and the CG/QP effort counters
+    /// (`analytic.cg_iters`, `analytic.qp_solves`, `analytic.spread_iters`)
+    /// feed its metrics registry.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// The active configuration.
@@ -227,6 +241,10 @@ impl GlobalPlacer {
                     }
                 }
                 let out = cg::solve(&a.to_csr(), &b, pos, cfg.cg_tol, cfg.cg_max_iters);
+                if self.obs.enabled() {
+                    self.obs.count("analytic.qp_solves", 1);
+                    self.obs.count("analytic.cg_iters", out.iterations as u64);
+                }
                 *pos = out.x;
                 for i in 0..n {
                     let l = lo + half[i].min((hi - lo) / 2.0);
@@ -240,12 +258,29 @@ impl GlobalPlacer {
             let full_h: Vec<f64> = half_h.iter().map(|h| h * 2.0).collect();
             let peak = grid.peak_utilization(&xs, &ys, &full_w, &full_h);
             let (shifted_x, shifted_y) = grid.shift(&xs, &ys, &areas, cfg.spread_strength);
-            if std::env::var("MMP_TRACE").is_ok() {
-                let mx = xs.iter().sum::<f64>() / n as f64;
-                let my = ys.iter().sum::<f64>() / n as f64;
-                let ax = shifted_x.iter().sum::<f64>() / n as f64;
-                let ay = shifted_y.iter().sum::<f64>() / n as f64;
-                eprintln!("iter {iter}: qp mean ({mx:.1},{my:.1}) peak {peak:.2} anchors mean ({ax:.1},{ay:.1}) aw {anchor_w:.3}");
+            // One branch when observability is off — never an env-var read
+            // or any formatting in this per-iteration path.
+            if self.obs.enabled() {
+                self.obs.count("analytic.spread_iters", 1);
+                if self.obs.tracing() {
+                    let mx = xs.iter().sum::<f64>() / n as f64;
+                    let my = ys.iter().sum::<f64>() / n as f64;
+                    let ax = shifted_x.iter().sum::<f64>() / n as f64;
+                    let ay = shifted_y.iter().sum::<f64>() / n as f64;
+                    self.obs.event(
+                        "analytic.spread",
+                        "iter",
+                        &[
+                            field("iter", iter),
+                            field("qp_mean_x", mx),
+                            field("qp_mean_y", my),
+                            field("peak_utilization", peak),
+                            field("anchor_mean_x", ax),
+                            field("anchor_mean_y", ay),
+                            field("anchor_weight", anchor_w),
+                        ],
+                    );
+                }
             }
             anchor_x = Some(shifted_x);
             anchor_y = Some(shifted_y);
@@ -291,6 +326,10 @@ impl GlobalPlacer {
                     b[i] += w * anchors[i];
                 }
                 let out = cg::solve(&a.to_csr(), &b, pos, cfg.cg_tol, cfg.cg_max_iters);
+                if self.obs.enabled() {
+                    self.obs.count("analytic.qp_solves", 1);
+                    self.obs.count("analytic.cg_iters", out.iterations as u64);
+                }
                 *pos = out.x;
             }
         }

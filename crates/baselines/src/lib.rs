@@ -1,4 +1,7 @@
 #![warn(missing_docs)]
+// Structured output goes through mmp_obs; stray prints are denied in CI
+// (the obs sinks and bin/ targets are the sanctioned exits).
+#![cfg_attr(not(test), warn(clippy::print_stdout, clippy::print_stderr))]
 
 //! Comparison macro placers (the other columns of Tables II and III).
 //!

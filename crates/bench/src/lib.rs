@@ -12,16 +12,36 @@
 //!   originals carry up to 1.1 M cells). `1.0` reproduces published sizes.
 //! * `MMP_BUDGET` — multiplier on training episodes / search explorations
 //!   (default `1.0`).
+//! * `MMP_REPORT_DIR` — when set, every [`run_ours`] call archives its
+//!   [`RunReport`] as `<dir>/<circuit>.report.json` next to the bench
+//!   output, so a published table row stays traceable to its run.
 
-use mmp_core::{MacroPlacer, PlacementResult, PlacerConfig, SyntheticSpec};
+use mmp_core::{MacroPlacer, PlacementResult, PlacerConfig, RunReport, SyntheticSpec};
+use mmp_obs::Obs;
+use std::path::PathBuf;
 
 /// Reads a positive float env var with a default.
+///
+/// The workspace bans `std::env::var` in library code (the observability
+/// layer replaced the old `MMP_TRACE` toggles); the bench harness is the
+/// sanctioned edge where the environment is read, like the CLI's flags.
+#[allow(clippy::disallowed_methods)]
 pub fn env_f64(name: &str, default: f64) -> f64 {
     std::env::var(name)
         .ok()
         .and_then(|v| v.parse::<f64>().ok())
         .filter(|v| *v > 0.0)
         .unwrap_or(default)
+}
+
+/// The report-archival directory, when `MMP_REPORT_DIR` is set and
+/// non-empty.
+#[allow(clippy::disallowed_methods)]
+pub fn report_dir() -> Option<PathBuf> {
+    std::env::var("MMP_REPORT_DIR")
+        .ok()
+        .filter(|v| !v.is_empty())
+        .map(PathBuf::from)
 }
 
 /// The harness scale factor for the ICCAD04-like suite.
@@ -54,15 +74,44 @@ pub fn ours_config(zeta: usize) -> PlacerConfig {
 
 /// Runs "Ours" on a spec and returns the result.
 ///
+/// When `MMP_REPORT_DIR` is set, the run carries a metrics-only
+/// observability handle and its [`RunReport`] is archived as
+/// `<dir>/<circuit>.report.json` (best effort: an unwritable directory
+/// prints a warning instead of failing the experiment).
+///
 /// # Panics
 ///
 /// Panics when the flow rejects the design (the synthetic suites are
 /// always feasible).
 pub fn run_ours(spec: &SyntheticSpec, zeta: usize) -> PlacementResult {
     let design = spec.generate();
-    MacroPlacer::new(ours_config(zeta))
+    let archive = report_dir();
+    let obs = if archive.is_some() {
+        Obs::metrics_only()
+    } else {
+        Obs::off()
+    };
+    let result = MacroPlacer::new(ours_config(zeta))
+        .with_obs(obs.clone())
         .place(&design)
-        .expect("synthetic suites are feasible")
+        .expect("synthetic suites are feasible");
+    if let Some(dir) = archive {
+        let path = dir.join(format!("{}.report.json", spec.name));
+        let report = RunReport::new(spec.name.as_str(), &result, &obs.snapshot());
+        match report.to_json() {
+            Ok(json) => {
+                if let Err(e) =
+                    std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, json + "\n"))
+                {
+                    eprintln!("warning: cannot archive {}: {e}", path.display());
+                } else {
+                    println!("archived {}", path.display());
+                }
+            }
+            Err(e) => eprintln!("warning: cannot serialize report for {}: {e}", spec.name),
+        }
+    }
+    result
 }
 
 /// Pretty-prints one experiment header.

@@ -9,9 +9,12 @@
 //! mmp svg      --in placed.bks --out view.svg
 //! ```
 
-use mmp_core::{DesignStats, MacroPlacer, PlaceError, PlacerConfig, RunBudget, SyntheticSpec};
+use mmp_core::{
+    DesignStats, MacroPlacer, PlaceError, PlacerConfig, RunBudget, RunReport, SyntheticSpec,
+};
 use mmp_legal::BoundaryRefiner;
 use mmp_netlist::{bookshelf, bookshelf_aux, svg, Placement};
+use mmp_obs::{JsonlSink, Obs, StderrSink};
 use std::collections::HashMap;
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
@@ -25,13 +28,13 @@ use std::time::Duration;
 /// |-------|-------------------------------------------------|
 /// | 2     | usage error (bad subcommand, flags, arguments)  |
 /// | 1     | I/O or parse error (files, bookshelf, svg)      |
-/// | 10–14 | stage-typed `PlaceError` (`exit_code()`)        |
+/// | 10–15 | stage-typed `PlaceError` (`exit_code()`)        |
 enum CliError {
     /// Wrong invocation: prints the usage text, exits 2.
     Usage(String),
     /// File / parse / write trouble: exits 1.
     Io(String),
-    /// The placer itself failed: exits with the stage's code (10–14).
+    /// The placer itself failed: exits with the stage's code (10–15).
     Place(PlaceError),
 }
 
@@ -43,6 +46,7 @@ fn usage() -> ExitCode {
          \x20 mmp stats    --in FILE\n\
          \x20 mmp place    --in FILE [--zeta N] [--episodes N] [--explorations N] \\\n\
          \x20              [--seed N] [--ensemble N] [--budget-ms N] [--refine] \\\n\
+         \x20              [--trace stderr|FILE] [--report-json FILE] \\\n\
          \x20              [--out FILE] [--svg FILE]\n\
          \x20 mmp svg      --in FILE --out FILE [--labels]"
     );
@@ -192,7 +196,26 @@ fn run() -> Result<(), CliError> {
                     .map_err(|_| CliError::Usage(format!("bad --budget-ms: {ms}")))?;
                 cfg.budget = RunBudget::with_total(Duration::from_millis(ms));
             }
+            // Resolve the tracing toggle exactly once, here at the edge:
+            // the library crates never read environment variables.
+            let obs = match get("trace").as_deref() {
+                Some("stderr") => Obs::new(Box::new(StderrSink)),
+                Some("true") | Some("") => {
+                    return Err(CliError::Usage(
+                        "--trace wants stderr or a file path".into(),
+                    ))
+                }
+                Some(path) => {
+                    Obs::new(Box::new(JsonlSink::create(path).map_err(|e| {
+                        io(format!("cannot create trace file {path}: {e}"))
+                    })?))
+                }
+                // No trace, but a report still wants the metrics registry.
+                None if flags.contains_key("report-json") => Obs::metrics_only(),
+                None => Obs::off(),
+            };
             let result = MacroPlacer::new(cfg)
+                .with_obs(obs.clone())
                 .place(&design)
                 .map_err(CliError::Place)?;
             println!(
@@ -207,6 +230,16 @@ fn run() -> Result<(), CliError> {
                     eprintln!("  {}: {}", e.stage, e.detail);
                 }
             }
+            if let Some(report_path) = get("report-json") {
+                let report = RunReport::new(design.name(), &result, &obs.snapshot());
+                let json = report
+                    .to_json()
+                    .map_err(|e| io(format!("cannot serialize run report: {e}")))?;
+                std::fs::write(&report_path, json + "\n")
+                    .map_err(|e| io(format!("cannot write {report_path}: {e}")))?;
+                println!("wrote {report_path}");
+            }
+            obs.flush();
             let mut placement = result.placement;
             if flags.contains_key("refine") {
                 let refined = BoundaryRefiner::new().refine(&design, &placement);

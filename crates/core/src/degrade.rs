@@ -7,10 +7,12 @@
 //! error — the placement is still complete and legal — but tells the
 //! caller exactly which stages ran degraded and how.
 
+use serde::{Deserialize, Serialize};
 use std::fmt;
 
-/// The five stages of Algorithm 1, in flow order.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+/// The five stages of Algorithm 1, in flow order, plus the
+/// post-placement reporting step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum Stage {
     /// Prototyping placement, grouping, coarsening, feasibility checks.
     Preprocess,
@@ -22,6 +24,8 @@ pub enum Stage {
     Legalize,
     /// Final analytical cell placement.
     FinalPlace,
+    /// Result aggregation and report emission (after placement).
+    Report,
 }
 
 impl Stage {
@@ -33,6 +37,7 @@ impl Stage {
             Stage::Search => "search",
             Stage::Legalize => "legalize",
             Stage::FinalPlace => "final-place",
+            Stage::Report => "report",
         }
     }
 }
@@ -44,7 +49,7 @@ impl fmt::Display for Stage {
 }
 
 /// One recorded fallback.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Degradation {
     /// The stage that degraded.
     pub stage: Stage,
@@ -54,7 +59,7 @@ pub struct Degradation {
 }
 
 /// All fallbacks taken during one run of [`crate::MacroPlacer::place`].
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DegradationReport {
     /// Events in the order they occurred.
     pub events: Vec<Degradation>,

@@ -11,6 +11,7 @@
 //! is unusable.
 
 use crate::degrade::Stage;
+use crate::report::ReportError;
 use mmp_cluster::ClusterError;
 use mmp_legal::LegalizeError;
 use mmp_rl::TrainError;
@@ -114,6 +115,9 @@ pub enum PlaceError {
     Legalize(LegalizeError),
     /// Final cell placement failed.
     FinalPlace(FinalPlaceError),
+    /// Result aggregation / report emission failed (malformed table
+    /// input or an unwritable report).
+    Report(ReportError),
 }
 
 impl PlaceError {
@@ -125,11 +129,12 @@ impl PlaceError {
             PlaceError::Search(_) => Stage::Search,
             PlaceError::Legalize(_) => Stage::Legalize,
             PlaceError::FinalPlace(_) => Stage::FinalPlace,
+            PlaceError::Report(_) => Stage::Report,
         }
     }
 
     /// The CLI exit code for this error: a distinct non-zero code per
-    /// stage (10–14), leaving 1 for generic I/O errors and 2 for usage
+    /// stage (10–15), leaving 1 for generic I/O errors and 2 for usage
     /// errors.
     pub fn exit_code(&self) -> u8 {
         match self {
@@ -138,6 +143,7 @@ impl PlaceError {
             PlaceError::Search(_) => 12,
             PlaceError::Legalize(_) => 13,
             PlaceError::FinalPlace(_) => 14,
+            PlaceError::Report(_) => 15,
         }
     }
 }
@@ -150,6 +156,7 @@ impl fmt::Display for PlaceError {
             PlaceError::Search(e) => write!(f, "search: {e}"),
             PlaceError::Legalize(e) => write!(f, "legalize: {e}"),
             PlaceError::FinalPlace(e) => write!(f, "final-place: {e}"),
+            PlaceError::Report(e) => write!(f, "report: {e}"),
         }
     }
 }
@@ -162,7 +169,14 @@ impl Error for PlaceError {
             PlaceError::Search(e) => Some(e),
             PlaceError::Legalize(e) => Some(e),
             PlaceError::FinalPlace(e) => Some(e),
+            PlaceError::Report(e) => Some(e),
         }
+    }
+}
+
+impl From<ReportError> for PlaceError {
+    fn from(e: ReportError) -> Self {
+        PlaceError::Report(e)
     }
 }
 
@@ -213,6 +227,7 @@ mod tests {
                 got: 0,
             }),
             PlaceError::FinalPlace(FinalPlaceError::NonFinitePlacement { nodes: 7 }),
+            PlaceError::Report(ReportError::EmptyRows),
         ];
         let mut codes: Vec<u8> = errs.iter().map(PlaceError::exit_code).collect();
         assert!(codes.iter().all(|&c| c != 0 && c != 1 && c != 2));

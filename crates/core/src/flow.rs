@@ -13,6 +13,7 @@ use mmp_geom::GridIndex;
 use mmp_legal::MacroLegalizer;
 use mmp_mcts::{place_ensemble_with_deadline, EnsembleConfig, MctsConfig, MctsPlacer, SearchStats};
 use mmp_netlist::{Design, Placement};
+use mmp_obs::{field, Obs};
 use mmp_rl::{Agent, Trainer, TrainerConfig, TrainingHistory};
 use serde::{Deserialize, Serialize};
 use std::time::{Duration, Instant};
@@ -100,6 +101,17 @@ pub struct StageTimings {
     pub mcts: Duration,
     /// Legalization + final cell placement.
     pub finalize: Duration,
+    /// End-to-end wall-clock of [`MacroPlacer::place`]; at least the sum
+    /// of the stage fields (the difference is inter-stage overhead).
+    pub total: Duration,
+}
+
+impl StageTimings {
+    /// Sum of the four per-stage durations (excludes inter-stage
+    /// overhead, so `stage_sum() <= total`).
+    pub fn stage_sum(&self) -> Duration {
+        self.preprocess + self.training + self.mcts + self.finalize
+    }
 }
 
 /// Everything the flow returns.
@@ -128,12 +140,32 @@ pub struct PlacementResult {
 #[derive(Debug, Clone)]
 pub struct MacroPlacer {
     config: PlacerConfig,
+    obs: Obs,
 }
 
 impl MacroPlacer {
     /// Creates a placer with the given configuration.
     pub fn new(config: PlacerConfig) -> Self {
-        MacroPlacer { config }
+        MacroPlacer {
+            config,
+            obs: Obs::off(),
+        }
+    }
+
+    /// Attaches an observability handle, propagated to every stage
+    /// (trainer, search, legalizer, final placer).
+    ///
+    /// Instrumentation only reads flow state — placements are bitwise
+    /// identical with or without a handle.
+    #[must_use]
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// The observability handle (an [`Obs::off`] handle by default).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// The active configuration.
@@ -180,15 +212,24 @@ impl MacroPlacer {
             return Err(PlaceError::Search(SearchError::NoRuns));
         }
         let t0 = Instant::now();
-        let trainer = Trainer::try_new(design, self.config.trainer.clone())?;
+        let span = self.obs.span("stage.preprocess");
+        let trainer =
+            Trainer::try_new(design, self.config.trainer.clone())?.with_obs(self.obs.clone());
+        drop(span);
         let preprocess = t0.elapsed();
 
         if design.movable_macros().is_empty() {
             // ibm05 path: nothing to allocate.
             let t3 = Instant::now();
+            let span = self.obs.span("stage.finalize");
             let out = GlobalPlacer::new(self.config.final_placer.clone())
+                .with_obs(self.obs.clone())
                 .place_cells(design, &Placement::initial(design));
+            drop(span);
             check_finite(&out.placement, design)?;
+            if self.obs.enabled() {
+                self.obs.gauge("flow.hpwl", out.hpwl);
+            }
             return Ok(PlacementResult {
                 placement: out.placement,
                 hpwl: out.hpwl,
@@ -198,6 +239,7 @@ impl MacroPlacer {
                 timings: StageTimings {
                     preprocess,
                     finalize: t3.elapsed(),
+                    total: start.elapsed(),
                     ..StageTimings::default()
                 },
                 agent: Agent::new(self.config.trainer.net),
@@ -208,7 +250,9 @@ impl MacroPlacer {
         // Stage 2: pre-training by RL.
         let t1 = Instant::now();
         let train_deadline = RunBudget::stage_deadline(run_deadline, t1, self.config.budget.train);
+        let span = self.obs.span("stage.train");
         let outcome = trainer.train_with_deadline(train_deadline)?;
+        drop(span);
         let training_time = t1.elapsed();
         if outcome.history.early_stopped {
             degradation.record(
@@ -235,6 +279,7 @@ impl MacroPlacer {
         let t2 = Instant::now();
         let search_deadline =
             RunBudget::stage_deadline(run_deadline, t2, self.config.budget.search);
+        let span = self.obs.span("stage.search");
         let search = if self.config.ensemble_runs > 1 {
             place_ensemble_with_deadline(
                 &trainer,
@@ -243,19 +288,18 @@ impl MacroPlacer {
                 &EnsembleConfig {
                     runs: self.config.ensemble_runs,
                     base: self.config.mcts.clone(),
+                    obs: self.obs.clone(),
                     ..EnsembleConfig::default()
                 },
                 search_deadline,
             )
             .best
         } else {
-            MctsPlacer::new(self.config.mcts.clone()).place_with_deadline(
-                &trainer,
-                &outcome.agent,
-                &outcome.scale,
-                search_deadline,
-            )
+            MctsPlacer::new(self.config.mcts.clone())
+                .with_obs(self.obs.clone())
+                .place_with_deadline(&trainer, &outcome.agent, &outcome.scale, search_deadline)
         };
+        drop(span);
         let mcts_time = t2.elapsed();
         if search.stats.deadline_expired {
             degradation.record(
@@ -281,7 +325,8 @@ impl MacroPlacer {
         let t3 = Instant::now();
         let legalize_deadline =
             RunBudget::stage_deadline(run_deadline, t3, self.config.budget.legalize);
-        let mut legalizer = MacroLegalizer::new();
+        let span = self.obs.span("stage.finalize");
+        let mut legalizer = MacroLegalizer::new().with_obs(self.obs.clone());
         legalizer.force_sp_failure = self.config.fault_sp_failure;
         let legal = legalizer.legalize_with_deadline(
             design,
@@ -306,9 +351,25 @@ impl MacroPlacer {
             );
         }
         let out = GlobalPlacer::new(self.config.final_placer.clone())
+            .with_obs(self.obs.clone())
             .place_cells(design, &legal.placement);
+        drop(span);
         let finalize = t3.elapsed();
         check_finite(&out.placement, design)?;
+
+        if self.obs.enabled() {
+            self.obs.gauge("flow.hpwl", out.hpwl);
+            if self.obs.tracing() {
+                self.obs.event(
+                    "flow",
+                    "done",
+                    &[
+                        field("hpwl", out.hpwl),
+                        field("degradations", degradation.events.len()),
+                    ],
+                );
+            }
+        }
 
         Ok(PlacementResult {
             placement: out.placement,
@@ -321,6 +382,7 @@ impl MacroPlacer {
                 training: training_time,
                 mcts: mcts_time,
                 finalize,
+                total: start.elapsed(),
             },
             agent: outcome.agent,
             degradation,

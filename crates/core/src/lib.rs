@@ -3,6 +3,9 @@
 // (tests and benches may unwrap freely). Justified invariant `expect`s
 // carry explicit allows at the call site.
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+// Structured output goes through mmp_obs; stray prints are denied in CI
+// (the obs sinks and bin/ targets are the sanctioned exits).
+#![cfg_attr(not(test), warn(clippy::print_stdout, clippy::print_stderr))]
 
 //! The MMP macro placer: MCTS guided by pre-trained RL.
 //!
@@ -42,12 +45,14 @@ pub mod degrade;
 pub mod error;
 pub mod flow;
 pub mod report;
+pub mod run_report;
 
 pub use budget::RunBudget;
 pub use degrade::{Degradation, DegradationReport, Stage};
 pub use error::{FinalPlaceError, PlaceError, PreprocessError, SearchError};
 pub use flow::{MacroPlacer, PlacementResult, PlacerConfig, StageTimings};
-pub use report::{geometric_mean, normalize_rows, TableRow};
+pub use report::{geometric_mean, normalize_rows, try_normalize_rows, ReportError, TableRow};
+pub use run_report::{RunReport, TimingsMs, TrainingSummary};
 
 // Re-export the stage APIs so downstream users (examples, benches) need a
 // single dependency.

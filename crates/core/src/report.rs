@@ -2,6 +2,36 @@
 //! paper's tables.
 
 use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Malformed table input to [`try_normalize_rows`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReportError {
+    /// The row list was empty — there is nothing to normalize.
+    EmptyRows,
+    /// The first row carried no contenders, so no reference exists.
+    NoContenders,
+    /// A row's contender list disagrees with the first row's.
+    ContenderMismatch {
+        /// Circuit name of the offending row.
+        circuit: String,
+    },
+}
+
+impl fmt::Display for ReportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReportError::EmptyRows => write!(f, "need at least one row"),
+            ReportError::NoContenders => write!(f, "need at least one contender"),
+            ReportError::ContenderMismatch { circuit } => {
+                write!(f, "contender lists differ between rows (row {circuit:?})")
+            }
+        }
+    }
+}
+
+impl Error for ReportError {}
 
 /// One row of a comparison table: a circuit and the HPWL each contender
 /// achieved on it.
@@ -31,20 +61,39 @@ pub fn geometric_mean(values: &[f64]) -> f64 {
 ///
 /// # Panics
 ///
-/// Panics when rows disagree on the contender list or the list is empty.
+/// Panics when rows disagree on the contender list or the list is empty;
+/// see [`try_normalize_rows`] for the fallible variant.
 pub fn normalize_rows(rows: &[TableRow]) -> Vec<(String, f64)> {
-    assert!(!rows.is_empty(), "need at least one row");
-    let names: Vec<String> = rows[0].results.iter().map(|(n, _)| n.clone()).collect();
-    assert!(!names.is_empty(), "need at least one contender");
+    match try_normalize_rows(rows) {
+        Ok(norm) => norm,
+        // The wrapper preserves the historical assert messages.
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible [`normalize_rows`]: returns a typed [`ReportError`] instead of
+/// panicking on malformed input (empty row list, empty contender list,
+/// rows disagreeing on contenders).
+///
+/// # Errors
+///
+/// See [`ReportError`].
+pub fn try_normalize_rows(rows: &[TableRow]) -> Result<Vec<(String, f64)>, ReportError> {
+    let first = rows.first().ok_or(ReportError::EmptyRows)?;
+    let names: Vec<String> = first.results.iter().map(|(n, _)| n.clone()).collect();
+    if names.is_empty() {
+        return Err(ReportError::NoContenders);
+    }
     for row in rows {
         let row_names: Vec<&String> = row.results.iter().map(|(n, _)| n).collect();
-        assert!(
-            row_names.iter().zip(&names).all(|(a, b)| *a == b),
-            "contender lists differ between rows"
-        );
+        if row_names.len() != names.len() || row_names.iter().zip(&names).any(|(a, b)| *a != b) {
+            return Err(ReportError::ContenderMismatch {
+                circuit: row.circuit.clone(),
+            });
+        }
     }
     let reference = names.len() - 1;
-    names
+    Ok(names
         .iter()
         .enumerate()
         .map(|(k, name)| {
@@ -54,7 +103,7 @@ pub fn normalize_rows(rows: &[TableRow]) -> Vec<(String, f64)> {
                 .collect();
             (name.clone(), geometric_mean(&ratios))
         })
-        .collect()
+        .collect())
 }
 
 #[cfg(test)]
@@ -99,5 +148,40 @@ mod tests {
     #[should_panic(expected = "at least one row")]
     fn empty_rows_panic() {
         let _ = normalize_rows(&[]);
+    }
+
+    #[test]
+    fn try_normalize_returns_typed_errors_instead_of_panicking() {
+        assert_eq!(try_normalize_rows(&[]), Err(ReportError::EmptyRows));
+
+        let empty = TableRow {
+            circuit: "c0".into(),
+            results: vec![],
+        };
+        assert_eq!(try_normalize_rows(&[empty]), Err(ReportError::NoContenders));
+
+        let a = row("c1", 1.0, 1.0);
+        let mut b = row("c2", 1.0, 1.0);
+        b.results[0].0 = "Different".into();
+        assert_eq!(
+            try_normalize_rows(&[a.clone(), b]),
+            Err(ReportError::ContenderMismatch {
+                circuit: "c2".into()
+            })
+        );
+
+        // A row with a truncated contender list is a mismatch too (the
+        // panicking ancestor would have indexed out of bounds instead).
+        let mut short = row("c3", 1.0, 1.0);
+        short.results.pop();
+        assert_eq!(
+            try_normalize_rows(&[a.clone(), short]),
+            Err(ReportError::ContenderMismatch {
+                circuit: "c3".into()
+            })
+        );
+
+        let ok = try_normalize_rows(&[a]).unwrap();
+        assert_eq!(ok.len(), 2);
     }
 }

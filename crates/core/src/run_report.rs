@@ -1,0 +1,241 @@
+//! The machine-readable run report behind the CLI's `--report-json`.
+//!
+//! One [`RunReport`] aggregates everything a single [`crate::MacroPlacer`]
+//! run produced — final HPWL, per-stage wall-clocks, the RL training
+//! summary, the full MCTS [`SearchStats`], the [`DegradationReport`] and a
+//! dump of the observability metrics registry — into one serializable
+//! struct. Archive it next to benchmark outputs and a run becomes
+//! reproducible evidence instead of scrollback.
+
+use crate::degrade::DegradationReport;
+use crate::flow::{PlacementResult, StageTimings};
+use mmp_mcts::SearchStats;
+use mmp_obs::MetricsSnapshot;
+use mmp_rl::TrainingHistory;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// Per-stage wall-clock in milliseconds (fractional, so sub-millisecond
+/// laptop-scale runs still report non-zero stages).
+///
+/// The vendored serde stub cannot serialize [`Duration`], so the report
+/// mirrors [`StageTimings`] as plain numbers — the same convention
+/// [`crate::RunBudget`] uses.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct TimingsMs {
+    /// Preprocessing: prototyping placement + clustering.
+    pub preprocess_ms: f64,
+    /// RL pre-training.
+    pub training_ms: f64,
+    /// MCTS placement optimization.
+    pub mcts_ms: f64,
+    /// Legalization + final cell placement.
+    pub finalize_ms: f64,
+    /// End-to-end wall-clock (at least the sum of the stages).
+    pub total_ms: f64,
+}
+
+impl TimingsMs {
+    /// Converts flow timings to report milliseconds.
+    pub fn from_timings(t: &StageTimings) -> Self {
+        TimingsMs {
+            preprocess_ms: ms(t.preprocess),
+            training_ms: ms(t.training),
+            mcts_ms: ms(t.mcts),
+            finalize_ms: ms(t.finalize),
+            total_ms: ms(t.total),
+        }
+    }
+
+    /// Sum of the four per-stage entries (excludes inter-stage overhead).
+    pub fn stage_sum_ms(&self) -> f64 {
+        self.preprocess_ms + self.training_ms + self.mcts_ms + self.finalize_ms
+    }
+}
+
+/// Compact summary of a [`TrainingHistory`] (the full per-episode curves
+/// stay out of the report; they are plottable via the library API).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TrainingSummary {
+    /// Episodes that actually ran.
+    pub episodes: usize,
+    /// Optimizer chunks rejected by the gradient-health guard.
+    pub rejected_updates: usize,
+    /// `true` when the training deadline expired early.
+    pub early_stopped: bool,
+    /// Reward of the final episode (0 when no episode ran).
+    pub final_reward: f64,
+    /// Best (lowest) episode wirelength seen (0 when no episode ran).
+    pub best_wirelength: f64,
+}
+
+impl TrainingSummary {
+    /// Summarizes a training history.
+    pub fn from_history(h: &TrainingHistory) -> Self {
+        let best = h
+            .episode_wirelengths
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
+        TrainingSummary {
+            episodes: h.episode_rewards.len(),
+            rejected_updates: h.rejected_updates,
+            early_stopped: h.early_stopped,
+            final_reward: h.episode_rewards.last().copied().unwrap_or(0.0),
+            // INFINITY (empty history) would serialize as null; report 0.
+            best_wirelength: if best.is_finite() { best } else { 0.0 },
+        }
+    }
+}
+
+/// Everything one placement run produced, in serializable form.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Design name.
+    pub circuit: String,
+    /// Final full-netlist HPWL.
+    pub hpwl: f64,
+    /// Per-stage wall-clock.
+    pub timings: TimingsMs,
+    /// RL pre-training summary (includes `rejected_updates`).
+    pub training: TrainingSummary,
+    /// Full MCTS search-effort counters (includes `nan_evaluations`).
+    pub search: SearchStats,
+    /// Every graceful-degradation event the run took.
+    pub degradation: DegradationReport,
+    /// Observability counters (e.g. `analytic.cg_iters`,
+    /// `legal.global_rounds`) captured from the run's metrics registry.
+    pub counters: BTreeMap<String, u64>,
+    /// Observability gauges (e.g. `flow.hpwl`).
+    pub gauges: BTreeMap<String, f64>,
+    /// Total time per observability span scope in milliseconds (e.g.
+    /// `stage.train`), from the duration histograms.
+    pub span_ms: BTreeMap<String, f64>,
+}
+
+impl RunReport {
+    /// Builds the report for one completed run.
+    ///
+    /// `metrics` is the snapshot of the run's [`mmp_obs::Obs`] handle
+    /// (pass a default snapshot when observability was off).
+    pub fn new(
+        circuit: impl Into<String>,
+        result: &PlacementResult,
+        metrics: &MetricsSnapshot,
+    ) -> Self {
+        RunReport {
+            circuit: circuit.into(),
+            hpwl: result.hpwl,
+            timings: TimingsMs::from_timings(&result.timings),
+            training: TrainingSummary::from_history(&result.training),
+            search: result.mcts_stats,
+            degradation: result.degradation.clone(),
+            counters: metrics.counters.clone(),
+            gauges: metrics.gauges.clone(),
+            span_ms: metrics
+                .histograms
+                .iter()
+                .map(|(k, h)| (k.clone(), ms(h.total)))
+                .collect(),
+        }
+    }
+
+    /// Serializes to a JSON string.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the (practically unreachable) serializer error.
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string(self)
+    }
+
+    /// Deserializes from a JSON string.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying parse/shape error message.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_result() -> PlacementResult {
+        use crate::flow::{MacroPlacer, PlacerConfig};
+        use mmp_netlist::SyntheticSpec;
+        let d = SyntheticSpec::small("rr", 5, 0, 8, 40, 70, false, 2).generate();
+        let mut cfg = PlacerConfig::fast(4);
+        cfg.trainer.episodes = 3;
+        cfg.mcts.explorations = 4;
+        MacroPlacer::new(cfg).place(&d).unwrap()
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let result = sample_result();
+        let obs = mmp_obs::Obs::metrics_only();
+        obs.count("analytic.cg_iters", 12);
+        obs.gauge("flow.hpwl", result.hpwl);
+        obs.record_duration("stage.train", Duration::from_millis(5));
+        let report = RunReport::new("rr", &result, &obs.snapshot());
+        let json = report.to_json().unwrap();
+        let back = RunReport::from_json(&json).unwrap();
+        assert_eq!(back, report);
+        assert_eq!(back.counters.get("analytic.cg_iters"), Some(&12));
+        assert!(back.span_ms.contains_key("stage.train"));
+        assert!(json.contains("\"nan_evaluations\""));
+        assert!(json.contains("\"rejected_updates\""));
+        assert!(json.contains("\"degradation\""));
+    }
+
+    #[test]
+    fn stage_timings_fill_the_total() {
+        let result = sample_result();
+        let t = TimingsMs::from_timings(&result.timings);
+        assert!(t.total_ms > 0.0);
+        // Stages never exceed the measured total...
+        assert!(t.stage_sum_ms() <= t.total_ms * 1.001 + 0.1);
+        // ...and account for nearly all of it (inter-stage glue is cheap).
+        assert!(
+            t.stage_sum_ms() >= t.total_ms * 0.5,
+            "stages {} ms of total {} ms",
+            t.stage_sum_ms(),
+            t.total_ms
+        );
+    }
+
+    #[test]
+    fn training_summary_compresses_history() {
+        let h = TrainingHistory {
+            episode_rewards: vec![0.1, 0.9],
+            episode_wirelengths: vec![50.0, 30.0],
+            rejected_updates: 2,
+            early_stopped: true,
+        };
+        let s = TrainingSummary::from_history(&h);
+        assert_eq!(s.episodes, 2);
+        assert_eq!(s.rejected_updates, 2);
+        assert!(s.early_stopped);
+        assert_eq!(s.final_reward, 0.9);
+        assert_eq!(s.best_wirelength, 30.0);
+        let empty = TrainingSummary::from_history(&TrainingHistory::default());
+        assert_eq!(empty.best_wirelength, 0.0);
+    }
+
+    #[test]
+    fn default_report_is_serializable() {
+        // A defaulted report (no run) must still round-trip: the CLI
+        // emits one even for the ibm05 path where search never ran.
+        let r = RunReport::default();
+        let back = RunReport::from_json(&r.to_json().unwrap()).unwrap();
+        assert_eq!(back, r);
+    }
+}

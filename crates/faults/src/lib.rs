@@ -2,6 +2,9 @@
 // Hardened crate: panicking extractors are denied in CI on library code
 // (tests may unwrap freely).
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+// Structured output goes through mmp_obs; stray prints are denied in CI
+// (the obs sinks and bin/ targets are the sanctioned exits).
+#![cfg_attr(not(test), warn(clippy::print_stdout, clippy::print_stderr))]
 
 //! Seeded fault-injection harness for the hardened placement flow.
 //!

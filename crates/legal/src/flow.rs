@@ -19,6 +19,7 @@ use mmp_analytic::{cg, Triplets};
 use mmp_cluster::{CoarsenedNetlist, GroupRef};
 use mmp_geom::{Grid, GridIndex, Point, Rect};
 use mmp_netlist::{Design, MacroId, NodeRef, Placement};
+use mmp_obs::{field, Obs};
 use std::error::Error;
 use std::fmt;
 use std::time::Instant;
@@ -96,6 +97,10 @@ pub struct MacroLegalizer {
     /// fallback. Exercised by the fault harness; always `false` in
     /// production configs.
     pub force_sp_failure: bool,
+    /// Observability handle. Defaults to [`Obs::off`] (one dead branch per
+    /// instrumented site); equality compares handle identity, not captured
+    /// data, so two default legalizers still compare equal.
+    pub obs: Obs,
 }
 
 impl Default for MacroLegalizer {
@@ -106,6 +111,7 @@ impl Default for MacroLegalizer {
             cg_max_iters: 200,
             fixed_weight: 1e7,
             force_sp_failure: false,
+            obs: Obs::off(),
         }
     }
 }
@@ -114,6 +120,18 @@ impl MacroLegalizer {
     /// Creates a legalizer with default settings.
     pub fn new() -> Self {
         MacroLegalizer::default()
+    }
+
+    /// Attaches an observability handle.
+    ///
+    /// With tracing enabled the global pass emits `legal.global_pass`
+    /// round events; counters `legal.global_rounds`,
+    /// `legal.fallback_cells` and `legal.global_fallback` accumulate in
+    /// the handle's metrics registry either way.
+    #[must_use]
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// Runs the full flow for `assignment[g]` = grid cell of macro group
@@ -189,6 +207,14 @@ impl MacroLegalizer {
         // Step 3b: global pass including preplaced macros.
         let (out_of_region, overlap_area, global_fallback) =
             self.global_pass(design, &mut macro_centers, deadline);
+
+        if self.obs.enabled() {
+            self.obs
+                .count("legal.fallback_cells", fallback_grid_cells as u64);
+            if global_fallback {
+                self.obs.count("legal.global_fallback", 1);
+            }
+        }
 
         let mut placement = Placement::initial(design);
         for (i, m) in design.macros().iter().enumerate() {
@@ -807,8 +833,21 @@ impl MacroLegalizer {
                 }
             }
             overlap = total_overlap(macro_centers);
-            if std::env::var("MMP_TRACE").is_ok() {
-                eprintln!("global_pass round {_round}: overlap {overlap:.3} oor {round_oor}");
+            // One branch when observability is off — never an env-var read
+            // or any formatting in this per-round path.
+            if self.obs.enabled() {
+                self.obs.count("legal.global_rounds", 1);
+                if self.obs.tracing() {
+                    self.obs.event(
+                        "legal.global_pass",
+                        "round",
+                        &[
+                            field("round", _round),
+                            field("overlap", overlap),
+                            field("oor", round_oor),
+                        ],
+                    );
+                }
             }
             if overlap < 1e-9 {
                 // Clean: every macro is inside the region (spills were
@@ -823,8 +862,12 @@ impl MacroLegalizer {
             // placement would never be credited.
             repair(macro_centers);
             overlap = total_overlap(macro_centers);
-            if std::env::var("MMP_TRACE").is_ok() {
-                eprintln!("global_pass round {_round}: post-repair overlap {overlap:.3}");
+            if self.obs.tracing() {
+                self.obs.event(
+                    "legal.global_pass",
+                    "post_repair",
+                    &[field("round", _round), field("overlap", overlap)],
+                );
             }
             if overlap < 1e-9 {
                 // Pushes keep macros inside the region (or clamp them), so a

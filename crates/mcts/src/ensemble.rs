@@ -9,6 +9,7 @@
 //! always uses noise seed `seed + k`, so results are reproducible.
 
 use crate::search::{MctsConfig, MctsOutcome, MctsPlacer};
+use mmp_obs::{field, Obs};
 use mmp_rl::{Agent, InferenceCtx, RewardScale, Trainer};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
@@ -25,6 +26,12 @@ pub struct EnsembleConfig {
     pub noise: f32,
     /// Base seed; run `k` uses `seed + k`.
     pub seed: u64,
+    /// Observability handle. Only the deterministic run 0 traces (worker
+    /// interleaving would make trace output nondeterministic); the
+    /// ensemble itself emits a `mcts.ensemble`/`done` summary after the
+    /// join. Not part of the serialized configuration.
+    #[serde(skip)]
+    pub obs: Obs,
 }
 
 impl Default for EnsembleConfig {
@@ -34,6 +41,7 @@ impl Default for EnsembleConfig {
             base: MctsConfig::default(),
             noise: 0.25,
             seed: 0,
+            obs: Obs::off(),
         }
     }
 }
@@ -92,8 +100,16 @@ pub fn place_ensemble_with_deadline(
             } else {
                 cfg.prior_noise = 0.0;
             }
+            // Only run 0 (the deterministic baseline) carries the handle:
+            // events from concurrent workers would interleave
+            // nondeterministically in the trace.
+            let obs = if k == 0 {
+                config.obs.clone()
+            } else {
+                Obs::off()
+            };
             scope.spawn(move || {
-                let placer = MctsPlacer::new(cfg);
+                let placer = MctsPlacer::new(cfg).with_obs(obs);
                 let mut ctx = InferenceCtx::new();
                 *slot =
                     Some(placer.place_with_ctx_deadline(trainer, agent, scale, &mut ctx, deadline));
@@ -111,6 +127,28 @@ pub fn place_ensemble_with_deadline(
         .into_iter()
         .min_by(|a, b| sane(a.wirelength).total_cmp(&sane(b.wirelength)))
         .expect("at least one run");
+    if config.obs.enabled() {
+        config
+            .obs
+            .count("mcts.ensemble_runs", run_wirelengths.len() as u64);
+        if config.obs.tracing() {
+            let best_run = run_wirelengths
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| sane(**a).total_cmp(&sane(**b)))
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            config.obs.event(
+                "mcts.ensemble",
+                "done",
+                &[
+                    field("runs", run_wirelengths.len()),
+                    field("best_run", best_run),
+                    field("best_wirelength", best.wirelength),
+                ],
+            );
+        }
+    }
     EnsembleOutcome {
         best,
         run_wirelengths,

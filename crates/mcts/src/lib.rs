@@ -3,6 +3,9 @@
 // (tests and benches may unwrap freely). Justified invariant `expect`s
 // carry explicit allows at the call site.
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+// Structured output goes through mmp_obs; stray prints are denied in CI
+// (the obs sinks and bin/ targets are the sanctioned exits).
+#![cfg_attr(not(test), warn(clippy::print_stdout, clippy::print_stderr))]
 
 //! Placement optimization by MCTS (paper Sec. IV).
 //!

@@ -16,6 +16,7 @@
 
 use crate::tree::SearchTree;
 use mmp_geom::GridIndex;
+use mmp_obs::{field, Obs};
 use mmp_rl::{Agent, InferenceCtx, PlacementEnv, RewardScale, State, Trainer};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -134,6 +135,7 @@ struct PendingLeaf {
 pub struct MctsPlacer {
     config: MctsConfig,
     noise: RefCell<SmallRng>,
+    obs: Obs,
 }
 
 impl Default for MctsPlacer {
@@ -144,7 +146,7 @@ impl Default for MctsPlacer {
 
 impl Clone for MctsPlacer {
     fn clone(&self) -> Self {
-        MctsPlacer::new(self.config.clone())
+        MctsPlacer::new(self.config.clone()).with_obs(self.obs.clone())
     }
 }
 
@@ -152,7 +154,24 @@ impl MctsPlacer {
     /// Creates a placer with the given configuration.
     pub fn new(config: MctsConfig) -> Self {
         let noise = RefCell::new(SmallRng::seed_from_u64(config.noise_seed ^ 0x0153));
-        MctsPlacer { config, noise }
+        MctsPlacer {
+            config,
+            noise,
+            obs: Obs::off(),
+        }
+    }
+
+    /// Attaches an observability handle.
+    ///
+    /// With tracing enabled the search emits one `mcts.search`/`commit`
+    /// event per committed macro group and a final `done` event; counters
+    /// `mcts.groups` and `mcts.explorations` accumulate in the handle's
+    /// metrics registry either way. Instrumentation only reads search
+    /// state, so results are identical with or without a handle.
+    #[must_use]
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// The active configuration.
@@ -218,7 +237,7 @@ impl MctsPlacer {
         let mut stats = SearchStats::default();
 
         let steps = env.episode_len();
-        'groups: for _ in 0..steps {
+        'groups: for group in 0..steps {
             let goal = self.config.explorations.max(1);
             let mut done = 0;
             while done < goal {
@@ -248,6 +267,29 @@ impl MctsPlacer {
             });
             match best {
                 Some((edge_idx, action)) => {
+                    // One branch when observability is off: the commit path
+                    // runs once per macro group, never per exploration.
+                    if self.obs.enabled() {
+                        self.obs.count("mcts.groups", 1);
+                        self.obs.count("mcts.explorations", done as u64);
+                        if self.obs.tracing() {
+                            let visits = tree
+                                .node(root)
+                                .edges
+                                .as_ref()
+                                .and_then(|edges| edges.get(edge_idx).map(|e| e.n))
+                                .unwrap_or(0);
+                            self.obs.event(
+                                "mcts.search",
+                                "commit",
+                                &[
+                                    field("group", group),
+                                    field("explorations", done),
+                                    field("visits", u64::from(visits)),
+                                ],
+                            );
+                        }
+                    }
                     env.step(action);
                     let child = tree.child_of(root, edge_idx);
                     tree.advance_root(child);
@@ -269,6 +311,19 @@ impl MctsPlacer {
 
         let wirelength = trainer.wirelength_of(&env);
         stats.nodes = tree.len();
+        if self.obs.tracing() {
+            self.obs.event(
+                "mcts.search",
+                "done",
+                &[
+                    field("wirelength", wirelength),
+                    field("nodes", stats.nodes),
+                    field("value_evaluations", stats.value_evaluations),
+                    field("nan_evaluations", stats.nan_evaluations),
+                    field("deadline_expired", stats.deadline_expired),
+                ],
+            );
+        }
         MctsOutcome {
             assignment: env.assignment().to_vec(),
             wirelength,

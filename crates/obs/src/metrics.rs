@@ -1,0 +1,199 @@
+//! The metrics registry: counters, gauges and duration histograms.
+//!
+//! Metrics are process-local and keyed by `&'static str`, so the hot-path
+//! update never allocates; one uncontended mutex per metric kind guards
+//! the maps (updates only happen when the handle is enabled, so the
+//! disabled flow never touches a lock). A [`MetricsSnapshot`] taken at the
+//! end of a run feeds the JSON run report.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Running aggregate of one duration histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples.
+    pub total: Duration,
+    /// Smallest sample ([`Duration::ZERO`] when empty).
+    pub min: Duration,
+    /// Largest sample ([`Duration::ZERO`] when empty).
+    pub max: Duration,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            count: 0,
+            total: Duration::ZERO,
+            min: Duration::ZERO,
+            max: Duration::ZERO,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    fn record(&mut self, d: Duration) {
+        if self.count == 0 || d < self.min {
+            self.min = d;
+        }
+        if d > self.max {
+            self.max = d;
+        }
+        self.count += 1;
+        self.total += d;
+    }
+
+    /// Mean sample duration ([`Duration::ZERO`] when empty).
+    pub fn mean(&self) -> Duration {
+        if self.count == 0 {
+            Duration::ZERO
+        } else {
+            self.total / u32::try_from(self.count).unwrap_or(u32::MAX)
+        }
+    }
+}
+
+/// The registry behind an enabled [`crate::Obs`] handle.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    counters: Mutex<BTreeMap<&'static str, u64>>,
+    gauges: Mutex<BTreeMap<&'static str, f64>>,
+    histograms: Mutex<BTreeMap<&'static str, HistogramSnapshot>>,
+}
+
+/// A poisoned metrics mutex means another thread panicked mid-update;
+/// observability must never turn that into a second panic, so we keep the
+/// (still structurally sound) data.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+impl Metrics {
+    /// Adds `delta` to counter `name` (creating it at 0).
+    pub fn count(&self, name: &'static str, delta: u64) {
+        let mut map = lock(&self.counters);
+        let c = map.entry(name).or_insert(0);
+        *c = c.saturating_add(delta);
+    }
+
+    /// Sets gauge `name` to `value` (last write wins).
+    pub fn gauge(&self, name: &'static str, value: f64) {
+        lock(&self.gauges).insert(name, value);
+    }
+
+    /// Records one sample in histogram `name`.
+    pub fn record_duration(&self, name: &'static str, d: Duration) {
+        lock(&self.histograms).entry(name).or_default().record(d);
+    }
+
+    /// A point-in-time copy of every metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: lock(&self.counters)
+                .iter()
+                .map(|(k, v)| ((*k).to_owned(), *v))
+                .collect(),
+            gauges: lock(&self.gauges)
+                .iter()
+                .map(|(k, v)| ((*k).to_owned(), *v))
+                .collect(),
+            histograms: lock(&self.histograms)
+                .iter()
+                .map(|(k, v)| ((*k).to_owned(), *v))
+                .collect(),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Metrics`] registry, detached from the
+/// `'static` keys so it can be stored, merged and serialized freely.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram aggregates by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Counter `name`, if recorded.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.get(name).copied()
+    }
+
+    /// Gauge `name`, if recorded.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Histogram `name`, if recorded.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_saturate() {
+        let m = Metrics::default();
+        m.count("a", 1);
+        m.count("a", 2);
+        m.count("b", u64::MAX);
+        m.count("b", 10);
+        let s = m.snapshot();
+        assert_eq!(s.counter("a"), Some(3));
+        assert_eq!(s.counter("b"), Some(u64::MAX));
+        assert_eq!(s.counter("missing"), None);
+    }
+
+    #[test]
+    fn gauges_take_the_last_write() {
+        let m = Metrics::default();
+        m.gauge("hpwl", 10.0);
+        m.gauge("hpwl", 8.5);
+        assert_eq!(m.snapshot().gauge("hpwl"), Some(8.5));
+    }
+
+    #[test]
+    fn histograms_track_count_sum_min_max_mean() {
+        let m = Metrics::default();
+        m.record_duration("d", Duration::from_micros(10));
+        m.record_duration("d", Duration::from_micros(30));
+        m.record_duration("d", Duration::from_micros(20));
+        let s = m.snapshot();
+        let h = s.histogram("d").unwrap();
+        assert_eq!(h.count, 3);
+        assert_eq!(h.total, Duration::from_micros(60));
+        assert_eq!(h.min, Duration::from_micros(10));
+        assert_eq!(h.max, Duration::from_micros(30));
+        assert_eq!(h.mean(), Duration::from_micros(20));
+        assert_eq!(HistogramSnapshot::default().mean(), Duration::ZERO);
+    }
+
+    #[test]
+    fn concurrent_updates_are_safe() {
+        let m = std::sync::Arc::new(Metrics::default());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let m = std::sync::Arc::clone(&m);
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        m.count("n", 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(m.snapshot().counter("n"), Some(4000));
+    }
+}

@@ -1,0 +1,288 @@
+//! Event sinks: where structured records go.
+//!
+//! Three implementations cover the workspace's needs:
+//!
+//! * [`StderrSink`] — human-readable one-line-per-event on stderr (the
+//!   CLI's `--trace stderr`);
+//! * [`JsonlSink`] — one JSON object per line in a file (the CLI's
+//!   `--trace <path>`; machine-readable, replayable);
+//! * [`MemorySink`] — captures rendered JSONL lines in memory for tests.
+//!
+//! The JSON rendering is hand-rolled (string escaping + `{:?}` float
+//! round-tripping) so the crate stays dependency-free; the schema is
+//! documented on [`JsonlSink`].
+
+use crate::{Field, FieldValue};
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+/// Destination for structured event records.
+///
+/// `t_us` is microseconds since the owning handle was created. Sinks must
+/// be thread-safe: ensemble workers share one handle.
+pub trait Sink: Send + Sync {
+    /// Consumes one event.
+    fn record(&self, t_us: u64, scope: &str, name: &str, fields: &[Field]);
+
+    /// Flushes buffered output (best effort).
+    fn flush(&self) {}
+}
+
+fn push_json_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_json_value(out: &mut String, v: &FieldValue) {
+    match v {
+        FieldValue::U64(u) => out.push_str(&u.to_string()),
+        FieldValue::I64(i) => out.push_str(&i.to_string()),
+        FieldValue::F64(f) if f.is_finite() => out.push_str(&format!("{f:?}")),
+        FieldValue::F64(_) => out.push_str("null"),
+        FieldValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        FieldValue::Str(s) => push_json_escaped(out, s),
+    }
+}
+
+/// Renders one record as a single JSONL line (no trailing newline).
+pub fn render_jsonl(t_us: u64, scope: &str, name: &str, fields: &[Field]) -> String {
+    let mut out = String::with_capacity(64 + 24 * fields.len());
+    out.push_str("{\"t_us\":");
+    out.push_str(&t_us.to_string());
+    out.push_str(",\"scope\":");
+    push_json_escaped(&mut out, scope);
+    out.push_str(",\"name\":");
+    push_json_escaped(&mut out, name);
+    out.push_str(",\"fields\":{");
+    for (i, f) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_json_escaped(&mut out, f.key);
+        out.push(':');
+        push_json_value(&mut out, &f.value);
+    }
+    out.push_str("}}");
+    out
+}
+
+fn render_pretty(t_us: u64, scope: &str, name: &str, fields: &[Field]) -> String {
+    let mut out = format!("[{:>10.3}ms] {scope}.{name}", t_us as f64 / 1000.0);
+    for f in fields {
+        out.push(' ');
+        out.push_str(f.key);
+        out.push('=');
+        match &f.value {
+            FieldValue::U64(u) => out.push_str(&u.to_string()),
+            FieldValue::I64(i) => out.push_str(&i.to_string()),
+            FieldValue::F64(v) => out.push_str(&format!("{v:.4}")),
+            FieldValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            FieldValue::Str(s) => out.push_str(s),
+        }
+    }
+    out
+}
+
+/// Human-readable tracing on stderr.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StderrSink;
+
+impl Sink for StderrSink {
+    // The whole workspace forbids `eprintln!` in library code; the stderr
+    // sink is the one sanctioned exit point.
+    #[allow(clippy::print_stderr)]
+    fn record(&self, t_us: u64, scope: &str, name: &str, fields: &[Field]) {
+        eprintln!("{}", render_pretty(t_us, scope, name, fields));
+    }
+}
+
+/// JSONL file tracing: one event per line.
+///
+/// # Schema
+///
+/// ```json
+/// {"t_us":1234,"scope":"legal.global_pass","name":"round",
+///  "fields":{"round":2,"overlap":0.125,"oor":false}}
+/// ```
+///
+/// * `t_us` — microseconds since the `Obs` handle was created;
+/// * `scope` — dotted component path (`analytic.spread`, `stage.train`);
+/// * `name` — event name within the scope (`round`, `close`, `episode`);
+/// * `fields` — flat object of typed key/values; non-finite floats render
+///   as `null`.
+pub struct JsonlSink {
+    writer: Mutex<BufWriter<File>>,
+}
+
+impl JsonlSink {
+    /// Creates (truncates) `path` and returns a sink writing to it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the `File::create` failure.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(JsonlSink {
+            writer: Mutex::new(BufWriter::new(file)),
+        })
+    }
+
+    fn with_writer(&self, f: impl FnOnce(&mut BufWriter<File>)) {
+        // A poisoned lock means a sibling thread panicked mid-write; keep
+        // tracing rather than compounding the failure.
+        let mut guard = match self.writer.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        f(&mut guard);
+    }
+}
+
+impl Sink for JsonlSink {
+    fn record(&self, t_us: u64, scope: &str, name: &str, fields: &[Field]) {
+        let line = render_jsonl(t_us, scope, name, fields);
+        self.with_writer(|w| {
+            // Tracing is best-effort: a full disk must not abort placement.
+            let _ = w.write_all(line.as_bytes());
+            let _ = w.write_all(b"\n");
+        });
+    }
+
+    fn flush(&self) {
+        self.with_writer(|w| {
+            let _ = w.flush();
+        });
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+/// Test sink capturing rendered JSONL lines in memory.
+///
+/// Clones share the same buffer, so a test can keep one handle and give
+/// the other to [`crate::Obs::new`].
+#[derive(Debug, Clone, Default)]
+pub struct MemorySink {
+    records: Arc<Mutex<Vec<String>>>,
+}
+
+impl MemorySink {
+    /// A fresh shared sink.
+    pub fn shared() -> Self {
+        MemorySink::default()
+    }
+
+    /// Copies of every rendered record, in arrival order.
+    pub fn records(&self) -> Vec<String> {
+        match self.records.lock() {
+            Ok(g) => g.clone(),
+            Err(poisoned) => poisoned.into_inner().clone(),
+        }
+    }
+
+    /// Number of records captured so far.
+    pub fn len(&self) -> usize {
+        match self.records.lock() {
+            Ok(g) => g.len(),
+            Err(poisoned) => poisoned.into_inner().len(),
+        }
+    }
+
+    /// `true` when nothing was captured.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Sink for MemorySink {
+    fn record(&self, t_us: u64, scope: &str, name: &str, fields: &[Field]) {
+        let line = render_jsonl(t_us, scope, name, fields);
+        match self.records.lock() {
+            Ok(mut g) => g.push(line),
+            Err(poisoned) => poisoned.into_inner().push(line),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::field;
+
+    #[test]
+    fn jsonl_rendering_escapes_and_types() {
+        let line = render_jsonl(
+            42,
+            "a.b",
+            "ev",
+            &[
+                field("u", 7u64),
+                field("i", -3i64),
+                field("f", 0.5),
+                field("nan", f64::NAN),
+                field("b", false),
+                field("s", "quote\" tab\t"),
+            ],
+        );
+        assert_eq!(
+            line,
+            "{\"t_us\":42,\"scope\":\"a.b\",\"name\":\"ev\",\"fields\":{\
+             \"u\":7,\"i\":-3,\"f\":0.5,\"nan\":null,\"b\":false,\
+             \"s\":\"quote\\\" tab\\t\"}}"
+        );
+    }
+
+    #[test]
+    fn pretty_rendering_is_one_line() {
+        let s = render_pretty(1500, "mcts", "commit", &[field("group", 3u64)]);
+        assert!(s.contains("mcts.commit"));
+        assert!(s.contains("group=3"));
+        assert!(!s.contains('\n'));
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_event() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("mmp_obs_sink_test_{}.jsonl", std::process::id()));
+        {
+            let sink = JsonlSink::create(&path).unwrap();
+            sink.record(1, "s", "a", &[field("k", 1u64)]);
+            sink.record(2, "s", "b", &[]);
+        } // drop flushes
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"t_us\":1"));
+        assert!(lines[1].contains("\"name\":\"b\""));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn memory_sink_shares_records_across_clones() {
+        let a = MemorySink::shared();
+        let b = a.clone();
+        assert!(a.is_empty());
+        b.record(0, "s", "e", &[]);
+        assert_eq!(a.len(), 1);
+        assert!(a.records()[0].contains("\"scope\":\"s\""));
+    }
+}

@@ -17,6 +17,7 @@ use mmp_cluster::{ClusterError, ClusterParams, CoarsenedNetlist, Coarsener};
 use mmp_geom::Grid;
 use mmp_netlist::{Design, Placement};
 use mmp_nn::{Adam, InferenceCtx, Optimizer};
+use mmp_obs::{field, Obs};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -208,6 +209,7 @@ pub struct Trainer<'d> {
     grid: Grid,
     config: TrainerConfig,
     evaluator: Eval,
+    obs: Obs,
 }
 
 impl<'d> Trainer<'d> {
@@ -262,7 +264,20 @@ impl<'d> Trainer<'d> {
             grid,
             config,
             evaluator,
+            obs: Obs::off(),
         })
+    }
+
+    /// Attaches an observability handle.
+    ///
+    /// With tracing enabled, training emits one `rl.train`/`episode` event
+    /// per episode and an `early_stop` event when the deadline expires;
+    /// counters `rl.episodes` and `rl.rejected_updates` accumulate in the
+    /// handle's metrics registry either way.
+    #[must_use]
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// The design being placed.
@@ -347,6 +362,10 @@ impl<'d> Trainer<'d> {
         for episode in 0..self.config.episodes {
             if deadline.is_some_and(|d| Instant::now() >= d) {
                 history.early_stopped = true;
+                if self.obs.tracing() {
+                    self.obs
+                        .event("rl.train", "early_stop", &[field("episode", episode)]);
+                }
                 break;
             }
             env.reset();
@@ -361,6 +380,21 @@ impl<'d> Trainer<'d> {
             let r = scale.reward(w);
             history.episode_wirelengths.push(w);
             history.episode_rewards.push(r);
+            // One branch when observability is off: no formatting, no lock.
+            if self.obs.enabled() {
+                self.obs.count("rl.episodes", 1);
+                if self.obs.tracing() {
+                    self.obs.event(
+                        "rl.train",
+                        "episode",
+                        &[
+                            field("episode", episode),
+                            field("wirelength", w),
+                            field("reward", r),
+                        ],
+                    );
+                }
+            }
             // The terminal reward is the reward of every step (Sec. III-E).
             for (s_p, s_a, t, total, action) in steps {
                 buffer.push((s_p, s_a, t, total, action, r as f32));
@@ -419,6 +453,16 @@ impl<'d> Trainer<'d> {
                             i += 1;
                         });
                         history.rejected_updates += 1;
+                        if self.obs.enabled() {
+                            self.obs.count("rl.rejected_updates", 1);
+                            if self.obs.tracing() {
+                                self.obs.event(
+                                    "rl.train",
+                                    "rejected_update",
+                                    &[field("episode", episode), field("chunk", chunk_no)],
+                                );
+                            }
+                        }
                     }
                     chunk_no += 1;
                 }

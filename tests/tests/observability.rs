@@ -1,0 +1,185 @@
+//! Cross-crate observability guarantees: instrumentation must never
+//! change a placement, traces must be valid JSONL, and the run report
+//! must capture the whole flow.
+
+use mmp_core::{MacroPlacer, PlacerConfig, RunBudget, RunReport};
+use mmp_netlist::{Design, MacroId, SyntheticSpec};
+use mmp_obs::{JsonlSink, MemorySink, Obs};
+use std::time::Duration;
+
+fn fast_config() -> PlacerConfig {
+    let mut cfg = PlacerConfig::fast(4);
+    cfg.trainer.episodes = 4;
+    cfg.mcts.explorations = 6;
+    cfg
+}
+
+fn design() -> Design {
+    SyntheticSpec::small("obs", 6, 1, 8, 50, 90, true, 1).generate()
+}
+
+/// Bitwise comparison of two runs: HPWL, assignment and every macro
+/// coordinate must be exactly equal.
+fn assert_identical(
+    a: &mmp_core::PlacementResult,
+    b: &mmp_core::PlacementResult,
+    d: &Design,
+    what: &str,
+) {
+    assert_eq!(a.hpwl.to_bits(), b.hpwl.to_bits(), "{what}: hpwl differs");
+    assert_eq!(a.assignment, b.assignment, "{what}: assignment differs");
+    for i in 0..d.macros().len() {
+        let ca = a.placement.macro_center(MacroId::from_index(i));
+        let cb = b.placement.macro_center(MacroId::from_index(i));
+        assert_eq!(
+            (ca.x.to_bits(), ca.y.to_bits()),
+            (cb.x.to_bits(), cb.y.to_bits()),
+            "{what}: macro {i} moved"
+        );
+    }
+}
+
+#[test]
+fn tracing_does_not_change_the_placement() {
+    let d = design();
+    let cfg = fast_config();
+    let off = MacroPlacer::new(cfg.clone()).place(&d).unwrap();
+
+    let sink = MemorySink::shared();
+    let obs = Obs::new(Box::new(sink.clone()));
+    let on = MacroPlacer::new(cfg)
+        .with_obs(obs.clone())
+        .place(&d)
+        .unwrap();
+
+    assert_identical(&off, &on, &d, "clean run");
+    assert!(!sink.is_empty(), "tracing produced no events");
+    // The metrics registry saw the run too.
+    let snap = obs.snapshot();
+    assert!(snap.counter("rl.episodes").unwrap_or(0) >= 4);
+    assert!(snap.counter("analytic.cg_iters").unwrap_or(0) > 0);
+    assert!(snap.counter("mcts.groups").unwrap_or(0) > 0);
+}
+
+#[test]
+fn tracing_does_not_change_a_degraded_run() {
+    // Fault-matrix scenario: injected sequence-pair failure plus a zero
+    // training budget — both degradation paths are exercised and must
+    // stay bitwise identical under tracing.
+    let d = design();
+    let mut cfg = fast_config();
+    cfg.fault_sp_failure = true;
+    cfg.budget.train = Some(Duration::ZERO);
+
+    let off = MacroPlacer::new(cfg.clone()).place(&d).unwrap();
+    let sink = MemorySink::shared();
+    let on = MacroPlacer::new(cfg)
+        .with_obs(Obs::new(Box::new(sink.clone())))
+        .place(&d)
+        .unwrap();
+
+    assert_identical(&off, &on, &d, "degraded run");
+    assert_eq!(
+        off.degradation.degraded_stages(),
+        on.degradation.degraded_stages()
+    );
+    assert!(!sink.is_empty());
+}
+
+#[test]
+fn zero_total_budget_is_deterministic_under_tracing() {
+    let d = design();
+    let mut cfg = fast_config();
+    cfg.budget = RunBudget::with_total(Duration::ZERO);
+    let off = MacroPlacer::new(cfg.clone()).place(&d).unwrap();
+    let on = MacroPlacer::new(cfg)
+        .with_obs(Obs::new(Box::new(MemorySink::shared())))
+        .place(&d)
+        .unwrap();
+    assert_identical(&off, &on, &d, "zero-budget run");
+}
+
+#[test]
+fn trace_file_is_valid_jsonl_with_stage_spans() {
+    let d = design();
+    let path = std::env::temp_dir().join(format!("mmp_obs_trace_{}.jsonl", std::process::id()));
+    let obs = Obs::new(Box::new(JsonlSink::create(&path).unwrap()));
+    let _ = MacroPlacer::new(fast_config())
+        .with_obs(obs.clone())
+        .place(&d)
+        .unwrap();
+    obs.flush();
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    assert!(!text.is_empty());
+    let str_of = |v: &serde::Value| match v {
+        serde::Value::Str(s) => s.clone(),
+        other => panic!("expected string, got {other:?}"),
+    };
+    let mut span_closes = Vec::new();
+    for line in text.lines() {
+        let v = serde_json::parse_value(line)
+            .unwrap_or_else(|e| panic!("unparseable trace line {line:?}: {e}"));
+        for key in ["t_us", "scope", "name", "fields"] {
+            assert!(serde::map_get(&v, key).is_some(), "missing {key}: {line}");
+        }
+        let scope = str_of(serde::map_get(&v, "scope").unwrap());
+        let name = str_of(serde::map_get(&v, "name").unwrap());
+        if scope.starts_with("stage.") && name == "close" {
+            span_closes.push(scope);
+        }
+    }
+    for stage in [
+        "stage.preprocess",
+        "stage.train",
+        "stage.search",
+        "stage.finalize",
+    ] {
+        assert!(
+            span_closes.iter().any(|s| s == stage),
+            "no span close for {stage}; saw {span_closes:?}"
+        );
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn run_report_covers_the_whole_flow_and_round_trips() {
+    let d = design();
+    let obs = Obs::metrics_only();
+    let result = MacroPlacer::new(fast_config())
+        .with_obs(obs.clone())
+        .place(&d)
+        .unwrap();
+
+    let report = RunReport::new("obs", &result, &obs.snapshot());
+    assert_eq!(report.circuit, "obs");
+    assert_eq!(report.hpwl, result.hpwl);
+    assert_eq!(report.training.episodes, 4);
+    assert!(report.counters.contains_key("analytic.qp_solves"));
+    assert!(report.span_ms.contains_key("stage.train"));
+
+    // Stage wall-clocks must fill (and never exceed) the recorded total.
+    let t = &report.timings;
+    assert!(t.total_ms > 0.0);
+    assert!(t.stage_sum_ms() <= t.total_ms * 1.001 + 0.1);
+    assert!(t.stage_sum_ms() >= t.total_ms * 0.5);
+
+    let json = report.to_json().unwrap();
+    let back = RunReport::from_json(&json).unwrap();
+    assert_eq!(back, report);
+}
+
+#[test]
+fn disabled_handle_records_nothing() {
+    let d = design();
+    let obs = Obs::off();
+    let _ = MacroPlacer::new(fast_config())
+        .with_obs(obs.clone())
+        .place(&d)
+        .unwrap();
+    let snap = obs.snapshot();
+    assert!(snap.counters.is_empty());
+    assert!(snap.gauges.is_empty());
+    assert!(snap.histograms.is_empty());
+}
