@@ -100,6 +100,10 @@ pub fn run_ours(spec: &SyntheticSpec, zeta: usize) -> PlacementResult {
         let report = RunReport::new(spec.name.as_str(), &result, &obs.snapshot());
         match report.to_json() {
             Ok(json) => {
+                // Archived reports are best-effort output artifacts, not
+                // resumable state, so the bench edge keeps bare `fs::write`
+                // under a scoped allow.
+                #[allow(clippy::disallowed_methods)]
                 if let Err(e) =
                     std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, json + "\n"))
                 {

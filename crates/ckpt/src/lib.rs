@@ -1,0 +1,466 @@
+#![warn(missing_docs)]
+// Hardened crate: panicking extractors are denied in CI on library code
+// (tests may unwrap freely).
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+// Structured output goes through mmp_obs; stray prints are denied in CI
+// (the obs sinks and bin/ targets are the sanctioned exits).
+#![cfg_attr(not(test), warn(clippy::print_stdout, clippy::print_stderr))]
+
+//! Crash-safe checkpoint envelope: versioned, checksummed, atomic.
+//!
+//! A checkpoint file is a fixed 28-byte header followed by an opaque
+//! payload:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic "MMPC"
+//! 4       4     format version (u32 LE)
+//! 8       8     payload length (u64 LE)
+//! 16      4     payload CRC-32 (IEEE, u32 LE)
+//! 20      8     FNV-1a 64 over bytes 0..20 (u64 LE)
+//! 28      —     payload bytes
+//! ```
+//!
+//! Both checksums are hand-rolled (this crate is dependency-free by
+//! design: checkpointing must not be able to fail because of an optional
+//! dependency). The header FNV detects a corrupted *header* before any
+//! length field is trusted; the payload CRC detects flipped payload bytes;
+//! the length field detects truncation (a partially-written or cut file).
+//!
+//! [`write`] is atomic on POSIX rename semantics: the payload goes to a
+//! sibling temp file, is flushed with `fsync`, and is renamed over the
+//! final path, so a crash mid-write leaves either the old checkpoint or
+//! none — never a half-written one. Readers classify every failure as a
+//! typed [`CkptError`], which the flow maps to
+//! `PlaceError::Checkpoint` (exit code 16); no corruption path panics.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+/// Envelope magic bytes.
+pub const MAGIC: [u8; 4] = *b"MMPC";
+
+/// Current envelope format version. Readers refuse newer (and older)
+/// versions with [`CkptError::UnsupportedVersion`] rather than guessing at
+/// a layout.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Fixed header size in bytes.
+pub const HEADER_LEN: usize = 28;
+
+/// Why a checkpoint could not be written or read back.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CkptError {
+    /// Filesystem trouble (create, write, fsync, rename, read).
+    Io {
+        /// Path involved.
+        path: String,
+        /// OS error text.
+        detail: String,
+    },
+    /// The file does not start with the envelope magic — not a checkpoint.
+    BadMagic {
+        /// Path involved.
+        path: String,
+    },
+    /// The envelope was written by an incompatible format version.
+    UnsupportedVersion {
+        /// Path involved.
+        path: String,
+        /// Version found in the header.
+        found: u32,
+        /// The only version this reader understands.
+        supported: u32,
+    },
+    /// The file is shorter than its header claims (cut mid-write or
+    /// truncated afterwards).
+    Truncated {
+        /// Path involved.
+        path: String,
+        /// Bytes the header promised.
+        expected: u64,
+        /// Bytes actually present.
+        got: u64,
+    },
+    /// A checksum failed: the bytes present are not the bytes written.
+    Corrupt {
+        /// Path involved.
+        path: String,
+        /// Which check failed.
+        detail: String,
+    },
+    /// The envelope was intact but its payload is not usable (wrong
+    /// fingerprint, undecodable state, injected crash).
+    Invalid {
+        /// What was wrong.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for CkptError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CkptError::Io { path, detail } => write!(f, "checkpoint I/O on {path}: {detail}"),
+            CkptError::BadMagic { path } => {
+                write!(f, "{path} is not a checkpoint (bad magic)")
+            }
+            CkptError::UnsupportedVersion {
+                path,
+                found,
+                supported,
+            } => write!(
+                f,
+                "{path} uses checkpoint format v{found}, this build supports only v{supported}"
+            ),
+            CkptError::Truncated {
+                path,
+                expected,
+                got,
+            } => write!(
+                f,
+                "{path} is truncated: header promises {expected} bytes, file has {got}"
+            ),
+            CkptError::Corrupt { path, detail } => {
+                write!(f, "{path} is corrupt: {detail}")
+            }
+            CkptError::Invalid { detail } => write!(f, "checkpoint unusable: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for CkptError {}
+
+fn io_err(path: &Path, e: std::io::Error) -> CkptError {
+    CkptError::Io {
+        path: path.display().to_string(),
+        detail: e.to_string(),
+    }
+}
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) of `bytes`.
+///
+/// Bitwise, table-free: checkpoints are small enough that simplicity and
+/// zero static data beat throughput.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// FNV-1a 64-bit hash of `bytes` (the header self-check and the flow's
+/// design/config fingerprint).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn encode(payload: &[u8], version: u32) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(HEADER_LEN + payload.len());
+    buf.extend_from_slice(&MAGIC);
+    buf.extend_from_slice(&version.to_le_bytes());
+    buf.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    buf.extend_from_slice(&crc32(payload).to_le_bytes());
+    let header_fnv = fnv1a64(&buf[..20]);
+    buf.extend_from_slice(&header_fnv.to_le_bytes());
+    buf.extend_from_slice(payload);
+    buf
+}
+
+/// Writes `payload` to `path` atomically under the current
+/// [`FORMAT_VERSION`].
+///
+/// The bytes go to `path` + `.tmp` first, are flushed to disk with
+/// `fsync`, and the temp file is renamed over `path`. On POSIX rename
+/// atomicity this means a reader (including a resuming run after a crash
+/// here) sees either the previous checkpoint or the new one, never a
+/// partial write.
+///
+/// # Errors
+///
+/// [`CkptError::Io`] on any filesystem failure.
+pub fn write(path: &Path, payload: &[u8]) -> Result<(), CkptError> {
+    write_at_version(path, payload, FORMAT_VERSION)
+}
+
+/// [`write`] with an explicit format version.
+///
+/// Production code always writes [`FORMAT_VERSION`]; the fault harness
+/// uses this to manufacture validly-checksummed envelopes from a *future*
+/// version and prove readers refuse them.
+///
+/// # Errors
+///
+/// [`CkptError::Io`] on any filesystem failure.
+pub fn write_at_version(path: &Path, payload: &[u8], version: u32) -> Result<(), CkptError> {
+    let tmp = match path.file_name() {
+        Some(name) => {
+            let mut tmp_name = name.to_os_string();
+            tmp_name.push(".tmp");
+            path.with_file_name(tmp_name)
+        }
+        None => {
+            return Err(CkptError::Io {
+                path: path.display().to_string(),
+                detail: "path has no file name".to_owned(),
+            })
+        }
+    };
+    let buf = encode(payload, version);
+    let mut file = fs::File::create(&tmp).map_err(|e| io_err(&tmp, e))?;
+    file.write_all(&buf).map_err(|e| io_err(&tmp, e))?;
+    // fsync before rename: the rename must never land before the data.
+    file.sync_all().map_err(|e| io_err(&tmp, e))?;
+    drop(file);
+    fs::rename(&tmp, path).map_err(|e| io_err(path, e))?;
+    // Best-effort directory fsync so the rename itself is durable; not all
+    // platforms allow opening a directory for sync, so failures are
+    // ignored (the data file is already safe either way).
+    if let Some(dir) = path.parent() {
+        if let Ok(d) = fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+fn decode(path: &Path, bytes: &[u8]) -> Result<Vec<u8>, CkptError> {
+    let display = || path.display().to_string();
+    if bytes.len() < HEADER_LEN {
+        return Err(CkptError::Truncated {
+            path: display(),
+            expected: HEADER_LEN as u64,
+            got: bytes.len() as u64,
+        });
+    }
+    if bytes[..4] != MAGIC {
+        return Err(CkptError::BadMagic { path: display() });
+    }
+    // The header carries its own FNV so a flipped *length* byte is caught
+    // before it is trusted (otherwise a corrupt length reads as a
+    // misleading truncation).
+    let stored_fnv = u64::from_le_bytes(bytes[20..28].try_into().unwrap_or([0; 8]));
+    if fnv1a64(&bytes[..20]) != stored_fnv {
+        return Err(CkptError::Corrupt {
+            path: display(),
+            detail: "header checksum (FNV-1a) mismatch".to_owned(),
+        });
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap_or([0; 4]));
+    if version != FORMAT_VERSION {
+        return Err(CkptError::UnsupportedVersion {
+            path: display(),
+            found: version,
+            supported: FORMAT_VERSION,
+        });
+    }
+    let payload_len = u64::from_le_bytes(bytes[8..16].try_into().unwrap_or([0; 8]));
+    let expected = HEADER_LEN as u64 + payload_len;
+    if (bytes.len() as u64) < expected {
+        return Err(CkptError::Truncated {
+            path: display(),
+            expected,
+            got: bytes.len() as u64,
+        });
+    }
+    let payload = &bytes[HEADER_LEN..HEADER_LEN + payload_len as usize];
+    let stored_crc = u32::from_le_bytes(bytes[16..20].try_into().unwrap_or([0; 4]));
+    if crc32(payload) != stored_crc {
+        return Err(CkptError::Corrupt {
+            path: display(),
+            detail: "payload checksum (CRC-32) mismatch".to_owned(),
+        });
+    }
+    Ok(payload.to_vec())
+}
+
+/// Reads and verifies the checkpoint at `path`, returning its payload.
+///
+/// Verification order: size → magic → header FNV → version → declared
+/// length (truncation) → payload CRC.
+///
+/// # Errors
+///
+/// A [`CkptError`] naming exactly which check failed.
+pub fn read(path: &Path) -> Result<Vec<u8>, CkptError> {
+    let bytes = fs::read(path).map_err(|e| io_err(path, e))?;
+    decode(path, &bytes)
+}
+
+/// [`read`] that maps a missing file to `Ok(None)` — the natural shape for
+/// "resume if a checkpoint exists".
+///
+/// # Errors
+///
+/// Every failure except `NotFound` is still a [`CkptError`]: an *existing*
+/// but unreadable checkpoint must surface, not silently restart the run.
+pub fn read_opt(path: &Path) -> Result<Option<Vec<u8>>, CkptError> {
+    match fs::read(path) {
+        Ok(bytes) => decode(path, &bytes).map(Some),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+        Err(e) => Err(io_err(path, e)),
+    }
+}
+
+#[cfg(test)]
+// Tests tamper with checkpoint bytes on purpose; the workspace-wide ban on
+// bare `std::fs::write` exists to route *production* state through the
+// atomic writer above.
+#[allow(clippy::disallowed_methods)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("mmp_ckpt_{}_{name}", std::process::id()))
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE CRC-32 of "123456789" is the classic check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn fnv1a64_matches_known_vectors() {
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn round_trip_preserves_payload() {
+        let path = tmp("roundtrip.ckpt");
+        let payload = b"the quick brown fox \x00\xff\x7f jumps".to_vec();
+        write(&path, &payload).unwrap();
+        assert_eq!(read(&path).unwrap(), payload);
+        assert_eq!(read_opt(&path).unwrap(), Some(payload));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_payload_round_trips() {
+        let path = tmp("empty.ckpt");
+        write(&path, &[]).unwrap();
+        assert_eq!(read(&path).unwrap(), Vec::<u8>::new());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_none_for_read_opt_and_io_for_read() {
+        let path = tmp("missing.ckpt");
+        std::fs::remove_file(&path).ok();
+        assert_eq!(read_opt(&path).unwrap(), None);
+        assert!(matches!(read(&path), Err(CkptError::Io { .. })));
+    }
+
+    #[test]
+    fn truncation_is_detected_at_every_cut_point() {
+        let path = tmp("trunc.ckpt");
+        let payload: Vec<u8> = (0..200u8).collect();
+        write(&path, &payload).unwrap();
+        let full = std::fs::read(&path).unwrap();
+        for cut in [0, 1, HEADER_LEN - 1, HEADER_LEN, full.len() - 1] {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            assert!(
+                matches!(read(&path), Err(CkptError::Truncated { .. })),
+                "cut at {cut} must read as truncation"
+            );
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn flipped_payload_byte_is_corrupt() {
+        let path = tmp("corrupt.ckpt");
+        write(&path, b"important state").unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        match read(&path) {
+            Err(CkptError::Corrupt { detail, .. }) => assert!(detail.contains("CRC")),
+            other => panic!("expected payload corruption, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn flipped_header_byte_is_corrupt_not_a_wild_read() {
+        let path = tmp("hdr.ckpt");
+        write(&path, b"payload").unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[9] ^= 0x40; // a length byte — must be caught by the header FNV
+        std::fs::write(&path, &bytes).unwrap();
+        match read(&path) {
+            Err(CkptError::Corrupt { detail, .. }) => assert!(detail.contains("FNV")),
+            other => panic!("expected header corruption, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn wrong_magic_is_not_a_checkpoint() {
+        let path = tmp("magic.ckpt");
+        std::fs::write(&path, b"JSON{not a checkpoint at all, but long enough}").unwrap();
+        assert!(matches!(read(&path), Err(CkptError::BadMagic { .. })));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn future_version_is_refused_with_both_versions_named() {
+        let path = tmp("version.ckpt");
+        write_at_version(&path, b"from the future", FORMAT_VERSION + 1).unwrap();
+        match read(&path) {
+            Err(CkptError::UnsupportedVersion {
+                found, supported, ..
+            }) => {
+                assert_eq!(found, FORMAT_VERSION + 1);
+                assert_eq!(supported, FORMAT_VERSION);
+            }
+            other => panic!("expected version refusal, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rewrite_replaces_atomically_and_leaves_no_temp_file() {
+        let path = tmp("rewrite.ckpt");
+        write(&path, b"first").unwrap();
+        write(&path, b"second").unwrap();
+        assert_eq!(read(&path).unwrap(), b"second");
+        let tmp_sibling = path.with_file_name(format!(
+            "{}.tmp",
+            path.file_name().unwrap().to_string_lossy()
+        ));
+        assert!(!tmp_sibling.exists(), "temp file must not survive a write");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn errors_render_the_failing_check() {
+        let e = CkptError::Truncated {
+            path: "x.ckpt".into(),
+            expected: 100,
+            got: 40,
+        };
+        assert!(e.to_string().contains("truncated"));
+        let e = CkptError::UnsupportedVersion {
+            path: "x.ckpt".into(),
+            found: 9,
+            supported: 1,
+        };
+        assert!(e.to_string().contains("v9"));
+        assert!(e.to_string().contains("v1"));
+    }
+}

@@ -26,6 +26,9 @@ pub enum Stage {
     FinalPlace,
     /// Result aggregation and report emission (after placement).
     Report,
+    /// Checkpoint persistence and resume (orthogonal to the flow stages;
+    /// ordered last so stage sorting keeps Algorithm 1's order intact).
+    Checkpoint,
 }
 
 impl Stage {
@@ -38,6 +41,7 @@ impl Stage {
             Stage::Legalize => "legalize",
             Stage::FinalPlace => "final-place",
             Stage::Report => "report",
+            Stage::Checkpoint => "checkpoint",
         }
     }
 }

@@ -12,8 +12,10 @@
 
 use crate::degrade::Stage;
 use crate::report::ReportError;
+use mmp_ckpt::CkptError;
 use mmp_cluster::ClusterError;
 use mmp_legal::LegalizeError;
+use mmp_mcts::EnsembleError;
 use mmp_rl::TrainError;
 use std::error::Error;
 use std::fmt;
@@ -62,17 +64,36 @@ impl Error for PreprocessError {
 pub enum SearchError {
     /// `ensemble_runs` was configured as 0 — no search can run.
     NoRuns,
+    /// Every ensemble worker panicked; there is no surviving run to take a
+    /// result from. (A *partial* loss degrades gracefully instead — see
+    /// [`crate::DegradationReport`].)
+    AllWorkersPanicked {
+        /// Workers launched (and lost).
+        runs: usize,
+    },
 }
 
 impl fmt::Display for SearchError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SearchError::NoRuns => write!(f, "ensemble_runs is 0: no search would run"),
+            SearchError::AllWorkersPanicked { runs } => {
+                write!(f, "all {runs} ensemble workers panicked; no surviving run")
+            }
         }
     }
 }
 
 impl Error for SearchError {}
+
+impl From<EnsembleError> for SearchError {
+    fn from(e: EnsembleError) -> Self {
+        match e {
+            EnsembleError::NoRuns => SearchError::NoRuns,
+            EnsembleError::AllWorkersPanicked { runs } => SearchError::AllWorkersPanicked { runs },
+        }
+    }
+}
 
 /// Final-cell-placement failures.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -118,6 +139,10 @@ pub enum PlaceError {
     /// Result aggregation / report emission failed (malformed table
     /// input or an unwritable report).
     Report(ReportError),
+    /// Checkpoint persistence or resume failed: unwritable checkpoint
+    /// directory, or a corrupt/truncated/stale-version/mismatched resume
+    /// checkpoint. Never raised when checkpointing is not requested.
+    Checkpoint(CkptError),
 }
 
 impl PlaceError {
@@ -130,11 +155,12 @@ impl PlaceError {
             PlaceError::Legalize(_) => Stage::Legalize,
             PlaceError::FinalPlace(_) => Stage::FinalPlace,
             PlaceError::Report(_) => Stage::Report,
+            PlaceError::Checkpoint(_) => Stage::Checkpoint,
         }
     }
 
     /// The CLI exit code for this error: a distinct non-zero code per
-    /// stage (10–15), leaving 1 for generic I/O errors and 2 for usage
+    /// stage (10–16), leaving 1 for generic I/O errors and 2 for usage
     /// errors.
     pub fn exit_code(&self) -> u8 {
         match self {
@@ -144,6 +170,7 @@ impl PlaceError {
             PlaceError::Legalize(_) => 13,
             PlaceError::FinalPlace(_) => 14,
             PlaceError::Report(_) => 15,
+            PlaceError::Checkpoint(_) => 16,
         }
     }
 }
@@ -157,6 +184,7 @@ impl fmt::Display for PlaceError {
             PlaceError::Legalize(e) => write!(f, "legalize: {e}"),
             PlaceError::FinalPlace(e) => write!(f, "final-place: {e}"),
             PlaceError::Report(e) => write!(f, "report: {e}"),
+            PlaceError::Checkpoint(e) => write!(f, "checkpoint: {e}"),
         }
     }
 }
@@ -170,7 +198,14 @@ impl Error for PlaceError {
             PlaceError::Legalize(e) => Some(e),
             PlaceError::FinalPlace(e) => Some(e),
             PlaceError::Report(e) => Some(e),
+            PlaceError::Checkpoint(e) => Some(e),
         }
+    }
+}
+
+impl From<CkptError> for PlaceError {
+    fn from(e: CkptError) -> Self {
+        PlaceError::Checkpoint(e)
     }
 }
 
@@ -199,11 +234,13 @@ impl From<FinalPlaceError> for PlaceError {
 }
 
 /// A trainer error is a *preprocessing* failure when its cause is the
-/// clustering of the input design, a *training* failure otherwise.
+/// clustering of the input design, a *checkpoint* failure when a snapshot
+/// could not be written or restored, and a *training* failure otherwise.
 impl From<TrainError> for PlaceError {
     fn from(e: TrainError) -> Self {
         match e {
             TrainError::Cluster(c) => PlaceError::Preprocess(PreprocessError::Cluster(c)),
+            TrainError::Checkpoint(c) => PlaceError::Checkpoint(c),
             other => PlaceError::Train(other),
         }
     }
@@ -228,6 +265,9 @@ mod tests {
             }),
             PlaceError::FinalPlace(FinalPlaceError::NonFinitePlacement { nodes: 7 }),
             PlaceError::Report(ReportError::EmptyRows),
+            PlaceError::Checkpoint(CkptError::BadMagic {
+                path: "x.ckpt".to_owned(),
+            }),
         ];
         let mut codes: Vec<u8> = errs.iter().map(PlaceError::exit_code).collect();
         assert!(codes.iter().all(|&c| c != 0 && c != 1 && c != 2));
@@ -269,5 +309,35 @@ mod tests {
         let e = PlaceError::Search(SearchError::NoRuns);
         let src = std::error::Error::source(&e).expect("has source");
         assert!(src.to_string().contains("ensemble_runs"));
+    }
+
+    #[test]
+    fn checkpoint_errors_map_to_exit_16() {
+        let e = PlaceError::from(CkptError::Truncated {
+            path: "train.ckpt".to_owned(),
+            expected: 100,
+            got: 12,
+        });
+        assert_eq!(e.exit_code(), 16);
+        assert_eq!(e.stage(), Stage::Checkpoint);
+        assert!(e.to_string().starts_with("checkpoint:"));
+        // A sink failure surfacing through the trainer keeps the
+        // checkpoint classification, not the train one.
+        let e = PlaceError::from(TrainError::Checkpoint(CkptError::Io {
+            path: "ck".to_owned(),
+            detail: "disk full".to_owned(),
+        }));
+        assert_eq!(e.exit_code(), 16);
+    }
+
+    #[test]
+    fn ensemble_errors_map_to_search_errors() {
+        assert_eq!(
+            SearchError::from(EnsembleError::NoRuns),
+            SearchError::NoRuns
+        );
+        let e = SearchError::from(EnsembleError::AllWorkersPanicked { runs: 4 });
+        assert_eq!(e, SearchError::AllWorkersPanicked { runs: 4 });
+        assert!(e.to_string().contains("panicked"));
     }
 }

@@ -6,15 +6,23 @@
 //! result's [`DegradationReport`].
 
 use crate::budget::RunBudget;
+use crate::checkpoint::{
+    fingerprint, CheckpointPlan, CheckpointSummary, CkptCtx, CrashPoint, CrashStage,
+    SearchDoneCkpt, TrainDoneCkpt, SEARCH_DONE, SEARCH_PARTIAL, TRAIN_DONE, TRAIN_PARTIAL,
+};
 use crate::degrade::{DegradationReport, Stage};
 use crate::error::{FinalPlaceError, PlaceError, PreprocessError, SearchError};
 use mmp_analytic::{GlobalPlacer, GlobalPlacerConfig};
 use mmp_geom::GridIndex;
 use mmp_legal::MacroLegalizer;
-use mmp_mcts::{place_ensemble_with_deadline, EnsembleConfig, MctsConfig, MctsPlacer, SearchStats};
+use mmp_mcts::{
+    place_ensemble_with_deadline, EnsembleConfig, MctsConfig, MctsOutcome, MctsPlacer, SearchStats,
+};
 use mmp_netlist::{Design, Placement};
 use mmp_obs::{field, Obs};
-use mmp_rl::{Agent, Trainer, TrainerConfig, TrainingHistory};
+use mmp_rl::{
+    Agent, InferenceCtx, TrainCheckpoint, Trainer, TrainerConfig, TrainingHistory, TrainingOutcome,
+};
 use serde::{Deserialize, Serialize};
 use std::time::{Duration, Instant};
 
@@ -39,6 +47,16 @@ pub struct PlacerConfig {
     /// fallback path (test harness only; `false` in production).
     #[serde(default)]
     pub fault_sp_failure: bool,
+    /// Fault-injection knob: makes the given ensemble worker panic, to
+    /// exercise the surviving-quorum path (test harness only; `None` in
+    /// production).
+    #[serde(default)]
+    pub fault_ensemble_panic: Option<usize>,
+    /// Fault-injection knob: simulates a process kill right after the
+    /// n-th checkpoint write of a stage (test harness only; `None` in
+    /// production). Only meaningful on checkpointed runs.
+    #[serde(default)]
+    pub fault_crash: Option<CrashPoint>,
 }
 
 impl PlacerConfig {
@@ -51,6 +69,8 @@ impl PlacerConfig {
             final_placer: GlobalPlacerConfig::quality(),
             budget: RunBudget::default(),
             fault_sp_failure: false,
+            fault_ensemble_panic: None,
+            fault_crash: None,
         }
     }
 
@@ -72,6 +92,8 @@ impl PlacerConfig {
             final_placer: GlobalPlacerConfig::fast(),
             budget: RunBudget::default(),
             fault_sp_failure: false,
+            fault_ensemble_panic: None,
+            fault_crash: None,
         }
     }
 
@@ -134,6 +156,8 @@ pub struct PlacementResult {
     /// Every graceful-degradation event the run took (empty on the
     /// full-quality path).
     pub degradation: DegradationReport,
+    /// What checkpointing did (disabled/default on plain runs).
+    pub checkpoint: CheckpointSummary,
 }
 
 /// The end-to-end placer (Algorithm 1).
@@ -141,6 +165,7 @@ pub struct PlacementResult {
 pub struct MacroPlacer {
     config: PlacerConfig,
     obs: Obs,
+    checkpoints: Option<CheckpointPlan>,
 }
 
 impl MacroPlacer {
@@ -149,7 +174,20 @@ impl MacroPlacer {
         MacroPlacer {
             config,
             obs: Obs::off(),
+            checkpoints: None,
         }
+    }
+
+    /// Attaches a checkpoint plan: the flow persists stage progress into
+    /// the plan's directory and, when the plan resumes, continues from
+    /// whatever checkpoints the directory holds. Checkpoint writes never
+    /// change the computed placement — a checkpointed run is bitwise
+    /// identical to a plain one, and an interrupted-then-resumed run is
+    /// bitwise identical to an uninterrupted one.
+    #[must_use]
+    pub fn with_checkpoints(mut self, plan: CheckpointPlan) -> Self {
+        self.checkpoints = Some(plan);
+        self
     }
 
     /// Attaches an observability handle, propagated to every stage
@@ -211,6 +249,19 @@ impl MacroPlacer {
         if self.config.ensemble_runs == 0 {
             return Err(PlaceError::Search(SearchError::NoRuns));
         }
+        let mut summary = CheckpointSummary::default();
+        let ckpt = match &self.checkpoints {
+            Some(plan) => {
+                summary.enabled = true;
+                Some(CkptCtx::new(
+                    plan,
+                    fingerprint(design, &self.config),
+                    self.config.fault_crash,
+                    self.obs.clone(),
+                )?)
+            }
+            None => None,
+        };
         let t0 = Instant::now();
         let span = self.obs.span("stage.preprocess");
         let trainer =
@@ -244,6 +295,7 @@ impl MacroPlacer {
                 },
                 agent: Agent::new(self.config.trainer.net),
                 degradation,
+                checkpoint: summary,
             });
         }
 
@@ -251,7 +303,63 @@ impl MacroPlacer {
         let t1 = Instant::now();
         let train_deadline = RunBudget::stage_deadline(run_deadline, t1, self.config.budget.train);
         let span = self.obs.span("stage.train");
-        let outcome = trainer.train_with_deadline(train_deadline)?;
+        let outcome = match &ckpt {
+            Some(ck) => {
+                let done: Option<TrainDoneCkpt> = if ck.resume() {
+                    ck.load(TRAIN_DONE)?
+                } else {
+                    None
+                };
+                match done {
+                    Some(d) => {
+                        summary.resumes.push("train-done".to_owned());
+                        degradation.record(
+                            Stage::Checkpoint,
+                            "resumed past completed RL training (train-done.ckpt)",
+                        );
+                        TrainingOutcome {
+                            agent: d.agent,
+                            history: d.history,
+                            scale: d.scale,
+                            checkpoints: d.snapshots,
+                        }
+                    }
+                    None => {
+                        let partial: Option<TrainCheckpoint> = if ck.resume() {
+                            ck.load(TRAIN_PARTIAL)?
+                        } else {
+                            None
+                        };
+                        if let Some(p) = &partial {
+                            summary.resumes.push("train".to_owned());
+                            degradation.record(
+                                Stage::Checkpoint,
+                                format!(
+                                    "resumed RL training from train.ckpt at episode {}",
+                                    p.episodes_done
+                                ),
+                            );
+                        }
+                        let mut sink =
+                            |c: &TrainCheckpoint| ck.save(CrashStage::Train, TRAIN_PARTIAL, c);
+                        let outcome =
+                            trainer.train_resumable(train_deadline, partial, Some(&mut sink))?;
+                        ck.save(
+                            CrashStage::Train,
+                            TRAIN_DONE,
+                            &TrainDoneCkpt {
+                                agent: outcome.agent.clone(),
+                                history: outcome.history.clone(),
+                                scale: outcome.scale.clone(),
+                                snapshots: outcome.checkpoints.clone(),
+                            },
+                        )?;
+                        outcome
+                    }
+                }
+            }
+            None => trainer.train_with_deadline(train_deadline)?,
+        };
         drop(span);
         let training_time = t1.elapsed();
         if outcome.history.early_stopped {
@@ -280,24 +388,107 @@ impl MacroPlacer {
         let search_deadline =
             RunBudget::stage_deadline(run_deadline, t2, self.config.budget.search);
         let span = self.obs.span("stage.search");
-        let search = if self.config.ensemble_runs > 1 {
-            place_ensemble_with_deadline(
-                &trainer,
-                &outcome.agent,
-                &outcome.scale,
-                &EnsembleConfig {
-                    runs: self.config.ensemble_runs,
-                    base: self.config.mcts.clone(),
-                    obs: self.obs.clone(),
-                    ..EnsembleConfig::default()
-                },
-                search_deadline,
-            )
-            .best
+        let done: Option<SearchDoneCkpt> = match &ckpt {
+            Some(ck) if ck.resume() => ck.load(SEARCH_DONE)?,
+            _ => None,
+        };
+        let search = if let Some(d) = done {
+            summary.resumes.push("search-done".to_owned());
+            degradation.record(
+                Stage::Checkpoint,
+                "resumed past completed MCTS search (search-done.ckpt)",
+            );
+            MctsOutcome {
+                assignment: d.assignment,
+                wirelength: d.wirelength,
+                reward: d.reward,
+                stats: d.stats,
+            }
         } else {
-            MctsPlacer::new(self.config.mcts.clone())
-                .with_obs(self.obs.clone())
-                .place_with_deadline(&trainer, &outcome.agent, &outcome.scale, search_deadline)
+            let search = if self.config.ensemble_runs > 1 {
+                // Ensemble runs checkpoint at stage granularity only: the
+                // workers race each other, so a mid-search snapshot of one
+                // worker would not pin down the others.
+                let ens = place_ensemble_with_deadline(
+                    &trainer,
+                    &outcome.agent,
+                    &outcome.scale,
+                    &EnsembleConfig {
+                        runs: self.config.ensemble_runs,
+                        base: self.config.mcts.clone(),
+                        obs: self.obs.clone(),
+                        fault_panic_worker: self.config.fault_ensemble_panic,
+                        ..EnsembleConfig::default()
+                    },
+                    search_deadline,
+                )
+                .map_err(SearchError::from)?;
+                if !ens.panicked_runs.is_empty() {
+                    degradation.record(
+                        Stage::Search,
+                        format!(
+                            "ensemble worker(s) {:?} panicked and were dropped; \
+                             kept best of {} surviving run(s)",
+                            ens.panicked_runs,
+                            ens.run_wirelengths.len()
+                        ),
+                    );
+                }
+                ens.best
+            } else {
+                let placer = MctsPlacer::new(self.config.mcts.clone()).with_obs(self.obs.clone());
+                match &ckpt {
+                    Some(ck) => {
+                        let partial: Option<mmp_mcts::SearchCheckpoint> = if ck.resume() {
+                            ck.load(SEARCH_PARTIAL)?
+                        } else {
+                            None
+                        };
+                        if let Some(p) = &partial {
+                            summary.resumes.push("search".to_owned());
+                            degradation.record(
+                                Stage::Checkpoint,
+                                format!(
+                                    "resumed MCTS search from search.ckpt at group {}",
+                                    p.groups_done
+                                ),
+                            );
+                        }
+                        let mut sink = |c: &mmp_mcts::SearchCheckpoint| {
+                            ck.save(CrashStage::Search, SEARCH_PARTIAL, c)
+                        };
+                        let mut ctx = InferenceCtx::new();
+                        placer.place_resumable(
+                            &trainer,
+                            &outcome.agent,
+                            &outcome.scale,
+                            &mut ctx,
+                            search_deadline,
+                            partial,
+                            Some(&mut sink),
+                        )?
+                    }
+                    None => placer.place_with_deadline(
+                        &trainer,
+                        &outcome.agent,
+                        &outcome.scale,
+                        search_deadline,
+                    ),
+                }
+            };
+            if let Some(ck) = &ckpt {
+                ck.save(
+                    CrashStage::Search,
+                    SEARCH_DONE,
+                    &SearchDoneCkpt {
+                        assignment: search.assignment.clone(),
+                        wirelength: search.wirelength,
+                        reward: search.reward,
+                        stats: search.stats,
+                    },
+                )?;
+            }
+            search
         };
         drop(span);
         let mcts_time = t2.elapsed();
@@ -386,6 +577,12 @@ impl MacroPlacer {
             },
             agent: outcome.agent,
             degradation,
+            checkpoint: {
+                if let Some(ck) = &ckpt {
+                    summary.writes = ck.writes();
+                }
+                summary
+            },
         })
     }
 }
@@ -587,6 +784,158 @@ mod tests {
         // cell placement tracks it closely.
         assert!(ens.hpwl <= single.hpwl * 1.05);
         assert!(ens.placement.macro_overlap_area(&d) < 1e-6);
+    }
+
+    fn ckpt_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("mmp-flow-ckpt-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn checkpointed_run_is_bitwise_identical_to_a_plain_run() {
+        let d = SyntheticSpec::small("ckpt_eq", 5, 0, 8, 40, 70, false, 2).generate();
+        let cfg = fast_config();
+        let plain = MacroPlacer::new(cfg.clone()).place(&d).unwrap();
+        let dir = ckpt_dir("eq");
+        let ck = MacroPlacer::new(cfg)
+            .with_checkpoints(crate::checkpoint::CheckpointPlan::new(&dir))
+            .place(&d)
+            .unwrap();
+        assert_eq!(ck.hpwl, plain.hpwl);
+        assert_eq!(ck.assignment, plain.assignment);
+        assert_eq!(ck.mcts_stats, plain.mcts_stats);
+        assert!(ck.checkpoint.enabled);
+        assert!(ck.checkpoint.resumes.is_empty());
+        assert!(
+            ck.checkpoint.writes >= 2,
+            "writes: {}",
+            ck.checkpoint.writes
+        );
+        assert!(!plain.checkpoint.enabled);
+        assert!(dir.join(TRAIN_DONE).exists());
+        assert!(dir.join(SEARCH_DONE).exists());
+    }
+
+    #[test]
+    fn kill_mid_train_then_resume_is_bitwise_identical() {
+        let d = SyntheticSpec::small("ckpt_kt", 5, 0, 8, 40, 70, false, 3).generate();
+        let mut cfg = fast_config();
+        cfg.trainer.episodes = 6;
+        cfg.trainer.update_every = 2;
+        let baseline = MacroPlacer::new(cfg.clone()).place(&d).unwrap();
+
+        let dir = ckpt_dir("kt");
+        let mut crash_cfg = cfg.clone();
+        crash_cfg.fault_crash = Some(CrashPoint::after_train_writes(1));
+        let err = MacroPlacer::new(crash_cfg)
+            .with_checkpoints(crate::checkpoint::CheckpointPlan::new(&dir))
+            .place(&d)
+            .unwrap_err();
+        assert_eq!(err.exit_code(), 16, "{err}");
+        assert!(dir.join(TRAIN_PARTIAL).exists());
+        assert!(!dir.join(TRAIN_DONE).exists());
+
+        let resumed = MacroPlacer::new(cfg)
+            .with_checkpoints(crate::checkpoint::CheckpointPlan::resume(&dir))
+            .place(&d)
+            .unwrap();
+        assert_eq!(resumed.hpwl, baseline.hpwl);
+        assert_eq!(resumed.assignment, baseline.assignment);
+        assert_eq!(resumed.training, baseline.training);
+        assert_eq!(resumed.checkpoint.resumes, vec!["train".to_owned()]);
+        assert!(resumed.degradation.affects(Stage::Checkpoint));
+    }
+
+    #[test]
+    fn kill_mid_search_then_resume_is_bitwise_identical() {
+        let d = SyntheticSpec::small("ckpt_ks", 6, 0, 8, 50, 90, false, 4).generate();
+        let cfg = fast_config();
+        let baseline = MacroPlacer::new(cfg.clone()).place(&d).unwrap();
+
+        let dir = ckpt_dir("ks");
+        let mut crash_cfg = cfg.clone();
+        crash_cfg.fault_crash = Some(CrashPoint::after_search_writes(1));
+        let err = MacroPlacer::new(crash_cfg)
+            .with_checkpoints(crate::checkpoint::CheckpointPlan::new(&dir))
+            .place(&d)
+            .unwrap_err();
+        assert_eq!(err.exit_code(), 16, "{err}");
+        assert!(dir.join(TRAIN_DONE).exists());
+        assert!(dir.join(SEARCH_PARTIAL).exists());
+        assert!(!dir.join(SEARCH_DONE).exists());
+
+        let resumed = MacroPlacer::new(cfg)
+            .with_checkpoints(crate::checkpoint::CheckpointPlan::resume(&dir))
+            .place(&d)
+            .unwrap();
+        assert_eq!(resumed.hpwl, baseline.hpwl);
+        assert_eq!(resumed.assignment, baseline.assignment);
+        assert_eq!(resumed.mcts_stats, baseline.mcts_stats);
+        assert_eq!(
+            resumed.checkpoint.resumes,
+            vec!["train-done".to_owned(), "search".to_owned()]
+        );
+    }
+
+    #[test]
+    fn resume_of_a_completed_run_skips_every_stage() {
+        let d = SyntheticSpec::small("ckpt_skip", 5, 0, 8, 40, 70, false, 2).generate();
+        let cfg = fast_config();
+        let dir = ckpt_dir("skip");
+        let first = MacroPlacer::new(cfg.clone())
+            .with_checkpoints(crate::checkpoint::CheckpointPlan::new(&dir))
+            .place(&d)
+            .unwrap();
+        let resumed = MacroPlacer::new(cfg)
+            .with_checkpoints(crate::checkpoint::CheckpointPlan::resume(&dir))
+            .place(&d)
+            .unwrap();
+        assert_eq!(resumed.hpwl, first.hpwl);
+        assert_eq!(resumed.assignment, first.assignment);
+        assert_eq!(
+            resumed.checkpoint.resumes,
+            vec!["train-done".to_owned(), "search-done".to_owned()]
+        );
+        // Nothing re-ran, so the resumed run wrote nothing new.
+        assert_eq!(resumed.checkpoint.writes, 0);
+    }
+
+    #[test]
+    fn resume_against_a_different_config_is_a_typed_checkpoint_error() {
+        let d = SyntheticSpec::small("ckpt_fp", 5, 0, 8, 40, 70, false, 2).generate();
+        let dir = ckpt_dir("fp");
+        MacroPlacer::new(fast_config())
+            .with_checkpoints(crate::checkpoint::CheckpointPlan::new(&dir))
+            .place(&d)
+            .unwrap();
+        let mut other = fast_config();
+        other.trainer.episodes += 1;
+        let err = MacroPlacer::new(other)
+            .with_checkpoints(crate::checkpoint::CheckpointPlan::resume(&dir))
+            .place(&d)
+            .unwrap_err();
+        assert_eq!(err.exit_code(), 16, "{err}");
+        assert_eq!(err.stage(), Stage::Checkpoint);
+        assert!(err.to_string().contains("different design"));
+    }
+
+    #[test]
+    fn panicking_ensemble_worker_degrades_but_completes() {
+        let d = SyntheticSpec::small("ens_panic", 6, 0, 8, 50, 90, false, 5).generate();
+        let mut cfg = fast_config();
+        cfg.mcts.explorations = 8;
+        cfg.ensemble_runs = 3;
+        cfg.fault_ensemble_panic = Some(1);
+        let result = MacroPlacer::new(cfg).place(&d).unwrap();
+        assert!(result.degradation.affects(Stage::Search));
+        assert!(result
+            .degradation
+            .events
+            .iter()
+            .any(|e| e.detail.contains("panicked")));
+        assert!(result.hpwl.is_finite() && result.hpwl > 0.0);
+        assert!(result.placement.macro_overlap_area(&d) < 1e-6);
     }
 
     #[test]

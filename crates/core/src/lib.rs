@@ -41,6 +41,7 @@
 //! ```
 
 pub mod budget;
+pub mod checkpoint;
 pub mod degrade;
 pub mod error;
 pub mod flow;
@@ -48,6 +49,7 @@ pub mod report;
 pub mod run_report;
 
 pub use budget::RunBudget;
+pub use checkpoint::{CheckpointPlan, CheckpointSummary, CrashPoint, CrashStage};
 pub use degrade::{Degradation, DegradationReport, Stage};
 pub use error::{FinalPlaceError, PlaceError, PreprocessError, SearchError};
 pub use flow::{MacroPlacer, PlacementResult, PlacerConfig, StageTimings};
@@ -57,6 +59,7 @@ pub use run_report::{RunReport, TimingsMs, TrainingSummary};
 // Re-export the stage APIs so downstream users (examples, benches) need a
 // single dependency.
 pub use mmp_analytic::{GlobalPlacer, GlobalPlacerConfig};
+pub use mmp_ckpt::CkptError;
 pub use mmp_cluster::{ClusterParams, CoarsenedNetlist, Coarsener};
 pub use mmp_geom::{Grid, GridIndex, Point, Rect};
 pub use mmp_legal::MacroLegalizer;

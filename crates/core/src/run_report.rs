@@ -7,6 +7,7 @@
 //! struct. Archive it next to benchmark outputs and a run becomes
 //! reproducible evidence instead of scrollback.
 
+use crate::checkpoint::CheckpointSummary;
 use crate::degrade::DegradationReport;
 use crate::flow::{PlacementResult, StageTimings};
 use mmp_mcts::SearchStats;
@@ -108,6 +109,10 @@ pub struct RunReport {
     pub search: SearchStats,
     /// Every graceful-degradation event the run took.
     pub degradation: DegradationReport,
+    /// What checkpointing did (disabled/default on plain runs; absent in
+    /// reports written before the checkpoint subsystem existed).
+    #[serde(default)]
+    pub checkpoint: CheckpointSummary,
     /// Observability counters (e.g. `analytic.cg_iters`,
     /// `legal.global_rounds`) captured from the run's metrics registry.
     pub counters: BTreeMap<String, u64>,
@@ -135,6 +140,7 @@ impl RunReport {
             training: TrainingSummary::from_history(&result.training),
             search: result.mcts_stats,
             degradation: result.degradation.clone(),
+            checkpoint: result.checkpoint.clone(),
             counters: metrics.counters.clone(),
             gauges: metrics.gauges.clone(),
             span_ms: metrics

@@ -27,9 +27,11 @@
 //! exactly.
 
 use mmp_core::{
-    Design, MacroPlacer, PlacerConfig, RewardKind, RewardScale, RunBudget, SyntheticSpec,
+    CheckpointPlan, CrashPoint, Design, MacroPlacer, PlacerConfig, RewardKind, RewardScale,
+    RunBudget, SyntheticSpec,
 };
 use mmp_netlist::bookshelf;
+use std::path::{Path, PathBuf};
 use std::time::Duration;
 
 /// Deterministic splitmix64 stream used to choose fault sites.
@@ -102,11 +104,25 @@ pub enum ScenarioKind {
     /// Reward calibration from identical wirelengths (zero spread): the
     /// Eq. 9 denominator guard must keep rewards finite.
     ZeroSpreadCalibration,
+    /// Process killed right after the first training-stage checkpoint
+    /// write; `--resume` must continue to a bitwise-identical result.
+    KillMidTrain,
+    /// Process killed right after the first search-stage checkpoint
+    /// write; `--resume` must continue to a bitwise-identical result.
+    KillMidSearch,
+    /// A checkpoint file cut short on disk: resume must refuse it with a
+    /// typed checkpoint error, never a panic or a garbage placement.
+    TruncatedCheckpoint,
+    /// One flipped payload byte in a checkpoint: the CRC must catch it.
+    CorruptCheckpoint,
+    /// A checkpoint written by a newer format version: resume must refuse
+    /// it as unsupported rather than misread it.
+    StaleCheckpointVersion,
 }
 
 impl ScenarioKind {
     /// Every scenario, in matrix order.
-    pub const ALL: [ScenarioKind; 14] = [
+    pub const ALL: [ScenarioKind; 19] = [
         ScenarioKind::TruncatedBookshelf,
         ScenarioKind::GarbledNumber,
         ScenarioKind::UnknownNetNode,
@@ -121,6 +137,11 @@ impl ScenarioKind {
         ScenarioKind::ZetaMismatch,
         ScenarioKind::ZeroEnsembleRuns,
         ScenarioKind::ZeroSpreadCalibration,
+        ScenarioKind::KillMidTrain,
+        ScenarioKind::KillMidSearch,
+        ScenarioKind::TruncatedCheckpoint,
+        ScenarioKind::CorruptCheckpoint,
+        ScenarioKind::StaleCheckpointVersion,
     ];
 
     /// Short stable name for logs and reports.
@@ -140,6 +161,11 @@ impl ScenarioKind {
             ScenarioKind::ZetaMismatch => "zeta-mismatch",
             ScenarioKind::ZeroEnsembleRuns => "zero-ensemble-runs",
             ScenarioKind::ZeroSpreadCalibration => "zero-spread-calibration",
+            ScenarioKind::KillMidTrain => "kill-mid-train",
+            ScenarioKind::KillMidSearch => "kill-mid-search",
+            ScenarioKind::TruncatedCheckpoint => "truncated-checkpoint",
+            ScenarioKind::CorruptCheckpoint => "corrupt-checkpoint",
+            ScenarioKind::StaleCheckpointVersion => "stale-checkpoint-version",
         }
     }
 }
@@ -161,7 +187,7 @@ pub enum Outcome {
     Error {
         /// The failing stage's name.
         stage: String,
-        /// The CLI exit code for this error (10–14).
+        /// The CLI exit code for this error (10–16).
         exit_code: u8,
         /// Human-readable message.
         message: String,
@@ -191,7 +217,7 @@ pub struct ScenarioReport {
     pub outcome: Outcome,
 }
 
-/// A laptop-scale config small enough that the full 14-scenario matrix
+/// A laptop-scale config small enough that the full scenario matrix
 /// stays in CI-friendly time.
 fn matrix_config() -> PlacerConfig {
     let mut cfg = PlacerConfig::fast(4);
@@ -305,6 +331,148 @@ fn garble_in_nets(text: &str, rng: &mut FaultRng) -> String {
     String::from_utf8_lossy(&bytes).into_owned()
 }
 
+/// A per-(scenario, seed) checkpoint directory, wiped before use so every
+/// run starts from the same empty state.
+fn checkpoint_dir(kind: ScenarioKind, seed: u64) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "mmp-faults-{}-{}-{seed}",
+        kind.name(),
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Overwrites `path` with raw bytes. Deliberately bypasses the atomic
+/// `mmp_ckpt::write` envelope — simulating on-disk damage is the point.
+#[allow(clippy::disallowed_methods)]
+fn tamper_write(path: &Path, bytes: &[u8]) -> bool {
+    std::fs::write(path, bytes).is_ok()
+}
+
+/// Kills a checkpointed run at `crash`, then resumes it and compares the
+/// continuation against an uninterrupted baseline — the resume contract is
+/// *bitwise* identity, not approximate quality.
+fn kill_and_resume(
+    kind: ScenarioKind,
+    crash: CrashPoint,
+    rng: &mut FaultRng,
+    seed: u64,
+) -> Outcome {
+    let design = matrix_design(rng);
+    let dir = checkpoint_dir(kind, seed);
+    let baseline = match MacroPlacer::new(matrix_config()).place(&design) {
+        Ok(r) => r,
+        Err(e) => {
+            return Outcome::Check {
+                ok: false,
+                detail: format!("baseline run refused a healthy design: {e}"),
+            }
+        }
+    };
+    let mut crash_cfg = matrix_config();
+    crash_cfg.fault_crash = Some(crash);
+    let killed_as_typed_16 = match MacroPlacer::new(crash_cfg)
+        .with_checkpoints(CheckpointPlan::new(&dir))
+        .place(&design)
+    {
+        Err(e) => e.exit_code() == 16 && e.stage().name() == "checkpoint",
+        Ok(_) => false,
+    };
+    if !killed_as_typed_16 {
+        return Outcome::Check {
+            ok: false,
+            detail: "injected kill did not surface as a typed checkpoint error (exit 16)"
+                .to_owned(),
+        };
+    }
+    match MacroPlacer::new(matrix_config())
+        .with_checkpoints(CheckpointPlan::resume(&dir))
+        .place(&design)
+    {
+        Ok(resumed) => Outcome::Check {
+            ok: resumed.hpwl == baseline.hpwl
+                && resumed.assignment == baseline.assignment
+                && !resumed.checkpoint.resumes.is_empty(),
+            detail: format!(
+                "resumed hpwl {} vs baseline {} via {:?}",
+                resumed.hpwl, baseline.hpwl, resumed.checkpoint.resumes
+            ),
+        },
+        Err(e) => Outcome::Check {
+            ok: false,
+            detail: format!("resume after kill refused: {e}"),
+        },
+    }
+}
+
+/// Runs a full checkpointed flow, damages `train-done.ckpt` on disk in a
+/// scenario-specific way, then classifies the resume attempt (which must
+/// produce a typed checkpoint error).
+fn tampered_checkpoint(kind: ScenarioKind, rng: &mut FaultRng, seed: u64) -> Outcome {
+    let design = matrix_design(rng);
+    let dir = checkpoint_dir(kind, seed);
+    if let Err(e) = MacroPlacer::new(matrix_config())
+        .with_checkpoints(CheckpointPlan::new(&dir))
+        .place(&design)
+    {
+        return Outcome::Check {
+            ok: false,
+            detail: format!("checkpointed run refused a healthy design: {e}"),
+        };
+    }
+    let target = dir.join("train-done.ckpt");
+    let Ok(bytes) = std::fs::read(&target) else {
+        return Outcome::Check {
+            ok: false,
+            detail: "train-done.ckpt missing after a completed checkpointed run".to_owned(),
+        };
+    };
+    // The envelope header: magic + version + payload length + payload CRC
+    // + header checksum.
+    const HEADER: usize = 28;
+    let tampered = match kind {
+        ScenarioKind::TruncatedCheckpoint => {
+            // Cut anywhere — mid-header and mid-payload must both refuse.
+            let cut = 1 + rng.pick(bytes.len().saturating_sub(1));
+            tamper_write(&target, &bytes[..cut])
+        }
+        ScenarioKind::CorruptCheckpoint => {
+            let mut bad = bytes.clone();
+            let site = HEADER + rng.pick(bad.len().saturating_sub(HEADER));
+            bad[site] ^= 0x40;
+            tamper_write(&target, &bad)
+        }
+        ScenarioKind::StaleCheckpointVersion => match mmp_ckpt::read(&target) {
+            Ok(payload) => {
+                mmp_ckpt::write_at_version(&target, &payload, mmp_ckpt::FORMAT_VERSION + 1).is_ok()
+            }
+            Err(_) => false,
+        },
+        _ => false,
+    };
+    if !tampered {
+        return Outcome::Check {
+            ok: false,
+            detail: "injector failed to damage the checkpoint file".to_owned(),
+        };
+    }
+    match MacroPlacer::new(matrix_config())
+        .with_checkpoints(CheckpointPlan::resume(&dir))
+        .place(&design)
+    {
+        Err(e) => Outcome::Error {
+            stage: e.stage().name().to_owned(),
+            exit_code: e.exit_code(),
+            message: e.to_string(),
+        },
+        Ok(_) => Outcome::Check {
+            ok: false,
+            detail: "resume from a damaged checkpoint completed instead of refusing".to_owned(),
+        },
+    }
+}
+
 /// Runs one scenario. Deterministic: the same `(kind, seed)` always
 /// produces the same [`ScenarioReport`].
 pub fn run_scenario(kind: ScenarioKind, seed: u64) -> ScenarioReport {
@@ -409,6 +577,15 @@ pub fn run_scenario(kind: ScenarioKind, seed: u64) -> ScenarioReport {
                 },
             }
         }
+        ScenarioKind::KillMidTrain => {
+            kill_and_resume(kind, CrashPoint::after_train_writes(1), &mut rng, seed)
+        }
+        ScenarioKind::KillMidSearch => {
+            kill_and_resume(kind, CrashPoint::after_search_writes(1), &mut rng, seed)
+        }
+        ScenarioKind::TruncatedCheckpoint
+        | ScenarioKind::CorruptCheckpoint
+        | ScenarioKind::StaleCheckpointVersion => tampered_checkpoint(kind, &mut rng, seed),
     };
     ScenarioReport {
         kind,

@@ -136,6 +136,38 @@ fn zero_spread_calibration_keeps_rewards_finite() {
 }
 
 #[test]
+fn killed_runs_resume_bitwise_identically() {
+    for kind in [ScenarioKind::KillMidTrain, ScenarioKind::KillMidSearch] {
+        let report = run_caught(kind, SEED);
+        match &report.outcome {
+            Outcome::Check { ok, detail } => {
+                assert!(ok, "{}: {detail}", kind.name());
+            }
+            other => panic!("{}: expected a check outcome, got {other:?}", kind.name()),
+        }
+    }
+}
+
+#[test]
+fn damaged_checkpoints_are_typed_errors_not_panics() {
+    assert_typed_error(
+        &run_caught(ScenarioKind::TruncatedCheckpoint, SEED),
+        "checkpoint",
+        16,
+    );
+    assert_typed_error(
+        &run_caught(ScenarioKind::CorruptCheckpoint, SEED),
+        "checkpoint",
+        16,
+    );
+    assert_typed_error(
+        &run_caught(ScenarioKind::StaleCheckpointVersion, SEED),
+        "checkpoint",
+        16,
+    );
+}
+
+#[test]
 fn no_scenario_panics_across_seeds() {
     for seed in [0, 1, SEED] {
         for kind in ScenarioKind::ALL {

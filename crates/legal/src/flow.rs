@@ -42,6 +42,20 @@ pub enum LegalizeError {
         /// Entries supplied.
         got: usize,
     },
+    /// An assignment entry points outside the ζ×ζ grid. Assignments built
+    /// by the search are in-grid by construction; this guards externally
+    /// restored ones (e.g. a resumed checkpoint) so a bad index surfaces
+    /// as a typed error instead of garbage geometry.
+    AssignmentOutOfGrid {
+        /// Macro group with the bad entry.
+        group: usize,
+        /// Column supplied.
+        col: usize,
+        /// Row supplied.
+        row: usize,
+        /// Grid resolution ζ (both axes must be `< zeta`).
+        zeta: usize,
+    },
 }
 
 impl fmt::Display for LegalizeError {
@@ -50,6 +64,16 @@ impl fmt::Display for LegalizeError {
             LegalizeError::AssignmentMismatch { expected, got } => write!(
                 f,
                 "grid assignment has {got} entries but the design has {expected} macro groups"
+            ),
+            LegalizeError::AssignmentOutOfGrid {
+                group,
+                col,
+                row,
+                zeta,
+            } => write!(
+                f,
+                "macro group {group} is assigned to cell ({col}, {row}) outside the \
+                 {zeta}x{zeta} grid"
             ),
         }
     }
@@ -179,6 +203,16 @@ impl MacroLegalizer {
                 expected: groups.len(),
                 got: assignment.len(),
             });
+        }
+        for (group, idx) in assignment.iter().enumerate() {
+            if idx.col >= grid.zeta() || idx.row >= grid.zeta() {
+                return Err(LegalizeError::AssignmentOutOfGrid {
+                    group,
+                    col: idx.col,
+                    row: idx.row,
+                    zeta: grid.zeta(),
+                });
+            }
         }
 
         // Macro-group anchors: the centers of their assigned grid cells.
@@ -1066,6 +1100,18 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, LegalizeError::AssignmentMismatch { .. }));
         assert!(err.to_string().contains("macro groups"));
+    }
+
+    #[test]
+    fn out_of_grid_assignment_is_an_error() {
+        let (d, coarse, grid) = setup(6, 0, 60, 1);
+        let mut assignment = vec![GridIndex::new(0, 0); coarse.macro_groups().len()];
+        assignment[0] = GridIndex::new(grid.zeta(), 0);
+        let err = MacroLegalizer::new()
+            .legalize(&d, &coarse, &assignment, &grid)
+            .unwrap_err();
+        assert!(matches!(err, LegalizeError::AssignmentOutOfGrid { .. }));
+        assert!(err.to_string().contains("outside"));
     }
 
     #[test]

@@ -7,12 +7,45 @@
 //! Dirichlet root noise), searches independently, and the best-scoring
 //! terminal allocation is kept. Determinism is preserved: worker `k`
 //! always uses noise seed `seed + k`, so results are reproducible.
+//!
+//! Workers are *supervised*: each runs under `catch_unwind`, so one
+//! panicking worker is dropped and the ensemble proceeds on the surviving
+//! quorum (≥ 1) instead of taking down the whole run. The loss is visible
+//! in [`EnsembleOutcome::panicked_runs`] (the flow records it as a
+//! degradation event); only an ensemble with *no* survivors fails, with
+//! the typed [`EnsembleError::AllWorkersPanicked`].
 
 use crate::search::{MctsConfig, MctsOutcome, MctsPlacer};
 use mmp_obs::{field, Obs};
 use mmp_rl::{Agent, InferenceCtx, RewardScale, Trainer};
 use serde::{Deserialize, Serialize};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
+
+/// Why the ensemble could not produce any result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EnsembleError {
+    /// `runs == 0` was configured — there is nothing to search.
+    NoRuns,
+    /// Every worker panicked; no surviving quorum to pick a result from.
+    AllWorkersPanicked {
+        /// How many workers were launched (and lost).
+        runs: usize,
+    },
+}
+
+impl std::fmt::Display for EnsembleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EnsembleError::NoRuns => write!(f, "ensemble needs at least one run"),
+            EnsembleError::AllWorkersPanicked { runs } => {
+                write!(f, "all {runs} ensemble workers panicked; no surviving run")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EnsembleError {}
 
 /// Ensemble parameters.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -32,6 +65,11 @@ pub struct EnsembleConfig {
     /// join. Not part of the serialized configuration.
     #[serde(skip)]
     pub obs: Obs,
+    /// Fault injection (test support): worker `k` panics right after
+    /// spawning, exercising the supervised-quorum path deterministically.
+    /// `None` in production.
+    #[serde(default)]
+    pub fault_panic_worker: Option<usize>,
 }
 
 impl Default for EnsembleConfig {
@@ -42,6 +80,7 @@ impl Default for EnsembleConfig {
             noise: 0.25,
             seed: 0,
             obs: Obs::off(),
+            fault_panic_worker: None,
         }
     }
 }
@@ -49,26 +88,32 @@ impl Default for EnsembleConfig {
 /// Result of an ensemble run: the winning outcome plus each run's score.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EnsembleOutcome {
-    /// The best (lowest-wirelength) run's outcome.
+    /// The best (lowest-wirelength) surviving run's outcome.
     pub best: MctsOutcome,
-    /// Final wirelength of every run, in run order.
+    /// Final wirelength of every *surviving* run, in run order.
     pub run_wirelengths: Vec<f64>,
+    /// Indices of workers that panicked and were dropped (empty on a clean
+    /// run). The flow surfaces these as degradation events.
+    pub panicked_runs: Vec<usize>,
 }
 
 /// Runs the ensemble across `config.runs` threads.
 ///
-/// Run 0 uses zero noise (the deterministic single-search result), so the
-/// ensemble can only improve on [`MctsPlacer::place`].
+/// Run 0 uses zero noise (the deterministic single-search result), so a
+/// full-strength ensemble can only improve on [`MctsPlacer::place`].
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics when `config.runs == 0` or a worker thread panics.
+/// [`EnsembleError::NoRuns`] when `config.runs == 0`;
+/// [`EnsembleError::AllWorkersPanicked`] when no worker survives. A
+/// partial loss is *not* an error — see
+/// [`EnsembleOutcome::panicked_runs`].
 pub fn place_ensemble(
     trainer: &Trainer<'_>,
     agent: &Agent,
     scale: &RewardScale,
     config: &EnsembleConfig,
-) -> EnsembleOutcome {
+) -> Result<EnsembleOutcome, EnsembleError> {
     place_ensemble_with_deadline(trainer, agent, scale, config, None)
 }
 
@@ -77,17 +122,19 @@ pub fn place_ensemble(
 /// [`MctsPlacer::place_with_ctx_deadline`]), so the ensemble still returns
 /// a complete assignment when the deadline expires mid-search.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics when `config.runs == 0` or a worker thread panics.
+/// See [`place_ensemble`].
 pub fn place_ensemble_with_deadline(
     trainer: &Trainer<'_>,
     agent: &Agent,
     scale: &RewardScale,
     config: &EnsembleConfig,
     deadline: Option<Instant>,
-) -> EnsembleOutcome {
-    assert!(config.runs > 0, "ensemble needs at least one run");
+) -> Result<EnsembleOutcome, EnsembleError> {
+    if config.runs == 0 {
+        return Err(EnsembleError::NoRuns);
+    }
     let mut outcomes: Vec<Option<MctsOutcome>> = vec![None; config.runs];
     std::thread::scope(|scope| {
         for (k, slot) in outcomes.iter_mut().enumerate() {
@@ -108,29 +155,57 @@ pub fn place_ensemble_with_deadline(
             } else {
                 Obs::off()
             };
+            let fault = config.fault_panic_worker;
             scope.spawn(move || {
-                let placer = MctsPlacer::new(cfg).with_obs(obs);
-                let mut ctx = InferenceCtx::new();
-                *slot =
-                    Some(placer.place_with_ctx_deadline(trainer, agent, scale, &mut ctx, deadline));
+                // Supervision: the catch_unwind must wrap the worker body
+                // *inside* the spawned closure — `thread::scope` re-raises
+                // any panic that escapes a worker at the join. A panicked
+                // worker leaves its slot `None` and is dropped from the
+                // quorum; unwind-safety is fine because the only shared
+                // mutable state is the slot, which stays untouched on the
+                // panic path.
+                *slot = catch_unwind(AssertUnwindSafe(|| {
+                    if fault == Some(k) {
+                        panic!("injected ensemble worker fault (run {k})");
+                    }
+                    let placer = MctsPlacer::new(cfg).with_obs(obs);
+                    let mut ctx = InferenceCtx::new();
+                    placer.place_with_ctx_deadline(trainer, agent, scale, &mut ctx, deadline)
+                }))
+                .ok();
             });
         }
     });
 
-    let outcomes: Vec<MctsOutcome> = outcomes.into_iter().flatten().collect();
-    let run_wirelengths: Vec<f64> = outcomes.iter().map(|o| o.wirelength).collect();
+    let mut panicked_runs = Vec::new();
+    let mut survivors: Vec<MctsOutcome> = Vec::new();
+    for (k, slot) in outcomes.into_iter().enumerate() {
+        match slot {
+            Some(o) => survivors.push(o),
+            None => panicked_runs.push(k),
+        }
+    }
+    if survivors.is_empty() {
+        return Err(EnsembleError::AllWorkersPanicked { runs: config.runs });
+    }
+    let run_wirelengths: Vec<f64> = survivors.iter().map(|o| o.wirelength).collect();
     // NaN-sane: a poisoned wirelength sorts above every real score, so it
     // can never win.
     let sane = |w: f64| if w.is_nan() { f64::INFINITY } else { w };
     #[allow(clippy::expect_used)]
-    let best = outcomes
+    let best = survivors
         .into_iter()
         .min_by(|a, b| sane(a.wirelength).total_cmp(&sane(b.wirelength)))
-        .expect("at least one run");
+        .expect("at least one surviving run");
     if config.obs.enabled() {
         config
             .obs
             .count("mcts.ensemble_runs", run_wirelengths.len() as u64);
+        if !panicked_runs.is_empty() {
+            config
+                .obs
+                .count("mcts.ensemble_panics", panicked_runs.len() as u64);
+        }
         if config.obs.tracing() {
             let best_run = run_wirelengths
                 .iter()
@@ -143,16 +218,18 @@ pub fn place_ensemble_with_deadline(
                 "done",
                 &[
                     field("runs", run_wirelengths.len()),
+                    field("panicked", panicked_runs.len()),
                     field("best_run", best_run),
                     field("best_wirelength", best.wirelength),
                 ],
             );
         }
     }
-    EnsembleOutcome {
+    Ok(EnsembleOutcome {
         best,
         run_wirelengths,
-    }
+        panicked_runs,
+    })
 }
 
 #[cfg(test)]
@@ -190,9 +267,11 @@ mod tests {
                 },
                 ..EnsembleConfig::default()
             },
-        );
+        )
+        .unwrap();
         assert!(ens.best.wirelength <= single.wirelength + 1e-9);
         assert_eq!(ens.run_wirelengths.len(), 3);
+        assert!(ens.panicked_runs.is_empty());
         // Run 0 is the noise-free search.
         assert_eq!(ens.run_wirelengths[0], single.wirelength);
     }
@@ -210,19 +289,18 @@ mod tests {
             },
             ..EnsembleConfig::default()
         };
-        let a = place_ensemble(&trainer, &out.agent, &out.scale, &config);
-        let b = place_ensemble(&trainer, &out.agent, &out.scale, &config);
+        let a = place_ensemble(&trainer, &out.agent, &out.scale, &config).unwrap();
+        let b = place_ensemble(&trainer, &out.agent, &out.scale, &config).unwrap();
         assert_eq!(a.run_wirelengths, b.run_wirelengths);
         assert_eq!(a.best.assignment, b.best.assignment);
     }
 
     #[test]
-    #[should_panic(expected = "at least one run")]
-    fn zero_runs_is_rejected() {
+    fn zero_runs_is_a_typed_error() {
         let (d, cfg) = setup();
         let trainer = Trainer::new(&d, cfg);
         let out = trainer.train();
-        let _ = place_ensemble(
+        let err = place_ensemble(
             &trainer,
             &out.agent,
             &out.scale,
@@ -230,7 +308,75 @@ mod tests {
                 runs: 0,
                 ..EnsembleConfig::default()
             },
-        );
+        )
+        .unwrap_err();
+        assert_eq!(err, EnsembleError::NoRuns);
+        assert!(err.to_string().contains("at least one run"));
+    }
+
+    #[test]
+    fn panicked_worker_is_dropped_and_quorum_survives() {
+        let (d, cfg) = setup();
+        let trainer = Trainer::new(&d, cfg);
+        let out = trainer.train();
+        let config = EnsembleConfig {
+            runs: 3,
+            base: MctsConfig {
+                explorations: 8,
+                ..MctsConfig::default()
+            },
+            fault_panic_worker: Some(1),
+            ..EnsembleConfig::default()
+        };
+        let ens = place_ensemble(&trainer, &out.agent, &out.scale, &config).unwrap();
+        assert_eq!(ens.panicked_runs, vec![1]);
+        assert_eq!(ens.run_wirelengths.len(), 2, "two survivors of three");
+        assert!(ens.best.wirelength.is_finite() && ens.best.wirelength > 0.0);
+        // The degraded ensemble is still deterministic.
+        let again = place_ensemble(&trainer, &out.agent, &out.scale, &config).unwrap();
+        assert_eq!(ens.run_wirelengths, again.run_wirelengths);
+        assert_eq!(ens.best.assignment, again.best.assignment);
+    }
+
+    #[test]
+    fn losing_a_noisy_worker_does_not_change_the_survivors() {
+        // Worker k's noise seed depends only on k, never on which other
+        // workers are alive — killing worker 2 must leave runs 0 and 1
+        // byte-identical to the clean ensemble's.
+        let (d, cfg) = setup();
+        let trainer = Trainer::new(&d, cfg);
+        let out = trainer.train();
+        let mut config = EnsembleConfig {
+            runs: 3,
+            base: MctsConfig {
+                explorations: 8,
+                ..MctsConfig::default()
+            },
+            ..EnsembleConfig::default()
+        };
+        let clean = place_ensemble(&trainer, &out.agent, &out.scale, &config).unwrap();
+        config.fault_panic_worker = Some(2);
+        let degraded = place_ensemble(&trainer, &out.agent, &out.scale, &config).unwrap();
+        assert_eq!(degraded.run_wirelengths, clean.run_wirelengths[..2]);
+    }
+
+    #[test]
+    fn all_workers_panicking_is_a_typed_error() {
+        let (d, cfg) = setup();
+        let trainer = Trainer::new(&d, cfg);
+        let out = trainer.train();
+        let err = place_ensemble(
+            &trainer,
+            &out.agent,
+            &out.scale,
+            &EnsembleConfig {
+                runs: 1,
+                fault_panic_worker: Some(0),
+                ..EnsembleConfig::default()
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err, EnsembleError::AllWorkersPanicked { runs: 1 });
     }
 
     #[test]
@@ -251,7 +397,8 @@ mod tests {
                 },
                 ..EnsembleConfig::default()
             },
-        );
+        )
+        .unwrap();
         // With strong noise, at least two runs should differ in score.
         let first = ens.run_wirelengths[0];
         assert!(

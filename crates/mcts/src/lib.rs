@@ -40,6 +40,10 @@ pub mod ensemble;
 pub mod search;
 pub mod tree;
 
-pub use ensemble::{place_ensemble, place_ensemble_with_deadline, EnsembleConfig, EnsembleOutcome};
-pub use search::{MctsConfig, MctsOutcome, MctsPlacer, SearchStats};
+pub use ensemble::{
+    place_ensemble, place_ensemble_with_deadline, EnsembleConfig, EnsembleError, EnsembleOutcome,
+};
+pub use search::{
+    MctsConfig, MctsOutcome, MctsPlacer, SearchCheckpoint, SearchCheckpointSink, SearchStats,
+};
 pub use tree::{EdgeStats, SearchTree};

@@ -15,6 +15,7 @@
 //! for fewer, larger calls.
 
 use crate::tree::SearchTree;
+use mmp_ckpt::CkptError;
 use mmp_geom::GridIndex;
 use mmp_obs::{field, Obs};
 use mmp_rl::{Agent, InferenceCtx, PlacementEnv, RewardScale, State, Trainer};
@@ -100,6 +101,32 @@ pub struct SearchStats {
     #[serde(default)]
     pub nan_evaluations: usize,
 }
+
+/// The complete mid-search state captured after a committed macro group.
+///
+/// The tree is carried whole: [`SearchTree::advance_root`] reuses the
+/// committed child's subtree across groups, so resuming from the actions
+/// alone would rebuild different statistics. Restoring the tree, the
+/// effort counters and the prior-noise RNG stream makes the continuation
+/// bitwise-identical to an uninterrupted search.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SearchCheckpoint {
+    /// Macro groups committed so far.
+    pub groups_done: usize,
+    /// The flat grid action committed for each finished group, in order.
+    pub actions: Vec<usize>,
+    /// The search tree, rooted at the next group's decision.
+    pub tree: SearchTree,
+    /// Effort counters accumulated so far.
+    pub stats: SearchStats,
+    /// The prior-noise RNG's exact stream position.
+    pub rng: [u64; 4],
+}
+
+/// Receiver for the partial [`SearchCheckpoint`]s
+/// [`MctsPlacer::place_resumable`] emits after each committed group; a
+/// sink error aborts the search.
+pub type SearchCheckpointSink<'a> = &'a mut dyn FnMut(&SearchCheckpoint) -> Result<(), CkptError>;
 
 /// Result of one MCTS placement run.
 #[derive(Debug, Clone, PartialEq)]
@@ -232,12 +259,95 @@ impl MctsPlacer {
         ctx: &mut InferenceCtx,
         deadline: Option<Instant>,
     ) -> MctsOutcome {
-        let mut env = PlacementEnv::new(trainer.design(), trainer.coarse(), trainer.grid().clone());
-        let mut tree = SearchTree::new();
-        let mut stats = SearchStats::default();
+        match self.place_resumable(trainer, agent, scale, ctx, deadline, None, None) {
+            Ok(out) => out,
+            // No sink and no resume checkpoint means no fallible operation
+            // runs; this arm is structurally unreachable.
+            Err(e) => panic!("checkpoint-free search cannot fail: {e}"),
+        }
+    }
 
+    /// [`MctsPlacer::place_with_ctx_deadline`] with crash-safe
+    /// checkpointing.
+    ///
+    /// `sink` is invoked with a fresh [`SearchCheckpoint`] after every
+    /// committed macro group; with `resume = Some(ck)` the committed
+    /// actions are replayed through a fresh environment, the search tree
+    /// and noise stream are restored, and the search continues at group
+    /// `ck.groups_done` — bitwise-identical to an uninterrupted run. The
+    /// deadline-degraded greedy fallback writes no checkpoints (it is
+    /// already the cheapest path to completion).
+    ///
+    /// # Errors
+    ///
+    /// [`CkptError::Invalid`] when the resume checkpoint does not fit this
+    /// problem (wrong group/action counts, out-of-grid actions); any error
+    /// the sink returns is propagated.
+    #[allow(clippy::too_many_arguments)]
+    pub fn place_resumable(
+        &self,
+        trainer: &Trainer<'_>,
+        agent: &Agent,
+        scale: &RewardScale,
+        ctx: &mut InferenceCtx,
+        deadline: Option<Instant>,
+        resume: Option<SearchCheckpoint>,
+        mut sink: Option<SearchCheckpointSink<'_>>,
+    ) -> Result<MctsOutcome, CkptError> {
+        let mut env = PlacementEnv::new(trainer.design(), trainer.coarse(), trainer.grid().clone());
         let steps = env.episode_len();
-        'groups: for group in 0..steps {
+        let cells = trainer.grid().cell_count();
+
+        let (mut tree, mut stats, mut committed, start_group);
+        match resume {
+            Some(ck) => {
+                if ck.actions.len() != ck.groups_done || ck.groups_done > steps {
+                    return Err(CkptError::Invalid {
+                        detail: format!(
+                            "search checkpoint claims {} groups with {} actions for a \
+                             {steps}-group problem",
+                            ck.groups_done,
+                            ck.actions.len()
+                        ),
+                    });
+                }
+                if let Some(&bad) = ck.actions.iter().find(|&&a| a >= cells) {
+                    return Err(CkptError::Invalid {
+                        detail: format!(
+                            "search checkpoint action {bad} is outside the {cells}-cell grid"
+                        ),
+                    });
+                }
+                if ck.tree.root() >= ck.tree.len() {
+                    return Err(CkptError::Invalid {
+                        detail: format!(
+                            "search checkpoint tree root {} is outside its {} nodes",
+                            ck.tree.root(),
+                            ck.tree.len()
+                        ),
+                    });
+                }
+                // Replay the committed prefix through a fresh environment;
+                // occupancy and assignment land exactly where the
+                // interrupted run left them.
+                for &a in &ck.actions {
+                    env.step(a);
+                }
+                *self.noise.borrow_mut() = SmallRng::from_state(ck.rng);
+                tree = ck.tree;
+                stats = ck.stats;
+                start_group = ck.groups_done;
+                committed = ck.actions;
+            }
+            None => {
+                tree = SearchTree::new();
+                stats = SearchStats::default();
+                committed = Vec::new();
+                start_group = 0;
+            }
+        }
+
+        'groups: for group in start_group..steps {
             let goal = self.config.explorations.max(1);
             let mut done = 0;
             while done < goal {
@@ -293,6 +403,20 @@ impl MctsPlacer {
                     env.step(action);
                     let child = tree.child_of(root, edge_idx);
                     tree.advance_root(child);
+                    committed.push(action);
+                    if let Some(sink) = sink.as_deref_mut() {
+                        let ck = SearchCheckpoint {
+                            groups_done: group + 1,
+                            actions: committed.clone(),
+                            tree: tree.clone(),
+                            stats,
+                            rng: self.noise.borrow().state(),
+                        };
+                        sink(&ck)?;
+                        if self.obs.enabled() {
+                            self.obs.count("ckpt.search_writes", 1);
+                        }
+                    }
                 }
                 None => {
                     // The deadline expired before this group saw a single
@@ -324,12 +448,12 @@ impl MctsPlacer {
                 ],
             );
         }
-        MctsOutcome {
+        Ok(MctsOutcome {
             assignment: env.assignment().to_vec(),
             wirelength,
             reward: scale.reward(wirelength),
             stats,
-        }
+        })
     }
 
     /// Selects a leaf by PUCT from the current root. `inflight` (per-edge
@@ -775,6 +899,144 @@ mod tests {
         assert_eq!(plain.assignment, dl.assignment);
         assert!(!dl.stats.deadline_expired);
         assert_eq!(dl.stats.policy_greedy_groups, 0);
+    }
+
+    /// Runs a full search while recording every per-group checkpoint.
+    fn search_recording(
+        placer: &MctsPlacer,
+        trainer: &Trainer<'_>,
+        agent: &Agent,
+        scale: &RewardScale,
+    ) -> (MctsOutcome, Vec<SearchCheckpoint>) {
+        let mut ctx = InferenceCtx::new();
+        let mut taken: Vec<SearchCheckpoint> = Vec::new();
+        let mut sink = |ck: &SearchCheckpoint| {
+            taken.push(ck.clone());
+            Ok(())
+        };
+        let out = placer
+            .place_resumable(trainer, agent, scale, &mut ctx, None, None, Some(&mut sink))
+            .unwrap();
+        (out, taken)
+    }
+
+    #[test]
+    fn interrupted_search_resumes_bitwise_identically() {
+        let (d, cfg) = trained(13, 3);
+        let trainer = Trainer::new(&d, cfg);
+        let out = trainer.train();
+        let mcts_cfg = MctsConfig {
+            explorations: 6,
+            ..MctsConfig::default()
+        };
+        let placer = MctsPlacer::new(mcts_cfg.clone());
+        let full = placer.place(&trainer, &out.agent, &out.scale);
+        let (recorded, taken) = search_recording(&placer, &trainer, &out.agent, &out.scale);
+        assert_eq!(recorded.assignment, full.assignment);
+        let groups = trainer.coarse().macro_groups().len();
+        assert_eq!(taken.len(), groups, "one checkpoint per committed group");
+        // Resume from every mid-run checkpoint with a *fresh* placer (no
+        // hidden state may be needed beyond the checkpoint itself).
+        for ck in taken.into_iter().take(groups.saturating_sub(1)) {
+            let mut ctx = InferenceCtx::new();
+            let resumed = MctsPlacer::new(mcts_cfg.clone())
+                .place_resumable(
+                    &trainer,
+                    &out.agent,
+                    &out.scale,
+                    &mut ctx,
+                    None,
+                    Some(ck),
+                    None,
+                )
+                .unwrap();
+            assert_eq!(resumed.assignment, full.assignment);
+            assert_eq!(resumed.wirelength, full.wirelength);
+            assert_eq!(resumed.stats, full.stats);
+        }
+    }
+
+    #[test]
+    fn noisy_interrupted_search_resumes_bitwise_identically() {
+        // prior_noise > 0 exercises the RNG stream restore: the resumed
+        // search must draw exactly the noise the uninterrupted one did.
+        let (d, cfg) = trained(14, 3);
+        let trainer = Trainer::new(&d, cfg);
+        let out = trainer.train();
+        let mcts_cfg = MctsConfig {
+            explorations: 6,
+            prior_noise: 0.4,
+            noise_seed: 9,
+            ..MctsConfig::default()
+        };
+        let placer = MctsPlacer::new(mcts_cfg.clone());
+        let (full, taken) = search_recording(&placer, &trainer, &out.agent, &out.scale);
+        let mid = taken.len() / 2;
+        let ck = taken.into_iter().nth(mid).unwrap();
+        // Round-trip through JSON too: what the flow persists is the
+        // serialized form.
+        let ck: SearchCheckpoint =
+            serde_json::from_str(&serde_json::to_string(&ck).unwrap()).unwrap();
+        let mut ctx = InferenceCtx::new();
+        let resumed = MctsPlacer::new(mcts_cfg)
+            .place_resumable(
+                &trainer,
+                &out.agent,
+                &out.scale,
+                &mut ctx,
+                None,
+                Some(ck),
+                None,
+            )
+            .unwrap();
+        assert_eq!(resumed.assignment, full.assignment);
+        assert_eq!(resumed.wirelength, full.wirelength);
+        assert_eq!(resumed.stats, full.stats);
+    }
+
+    #[test]
+    fn unusable_search_checkpoint_is_a_typed_error() {
+        let (d, cfg) = trained(15, 2);
+        let trainer = Trainer::new(&d, cfg);
+        let out = trainer.train();
+        let placer = MctsPlacer::new(MctsConfig {
+            explorations: 4,
+            ..MctsConfig::default()
+        });
+        let (_, taken) = search_recording(&placer, &trainer, &out.agent, &out.scale);
+        let mut ctx = InferenceCtx::new();
+
+        // Action/group count mismatch.
+        let mut bad = taken[0].clone();
+        bad.groups_done += 1;
+        let err = placer
+            .place_resumable(
+                &trainer,
+                &out.agent,
+                &out.scale,
+                &mut ctx,
+                None,
+                Some(bad),
+                None,
+            )
+            .unwrap_err();
+        assert!(matches!(err, CkptError::Invalid { .. }), "{err}");
+
+        // Out-of-grid action.
+        let mut bad = taken[0].clone();
+        bad.actions[0] = trainer.grid().cell_count() + 7;
+        let err = placer
+            .place_resumable(
+                &trainer,
+                &out.agent,
+                &out.scale,
+                &mut ctx,
+                None,
+                Some(bad),
+                None,
+            )
+            .unwrap_err();
+        assert!(matches!(err, CkptError::Invalid { .. }), "{err}");
     }
 
     #[test]

@@ -326,6 +326,10 @@ pub fn read_aux(
 /// # Errors
 ///
 /// Propagates file-creation/write failures.
+// Bare `fs::write` is sanctioned here: `.aux` bundles are one-shot export
+// artifacts, not resumable state, so the crash-safe checkpoint envelope
+// (whose clippy ban this allow scopes out) does not apply.
+#[allow(clippy::disallowed_methods)]
 pub fn write_aux(
     design: &Design,
     placement: &Placement,
@@ -421,6 +425,9 @@ pub fn write_aux(
 }
 
 #[cfg(test)]
+// Tests write fixture files directly; the checkpoint-envelope ban on bare
+// `fs::write` targets resumable production state only.
+#[allow(clippy::disallowed_methods)]
 mod tests {
     use super::*;
     use crate::SyntheticSpec;

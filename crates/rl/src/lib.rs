@@ -48,4 +48,7 @@ pub use eval::{CoarseEvaluator, FullEvaluator, WirelengthEvaluator};
 pub use mmp_nn::InferenceCtx;
 pub use net::{AgentConfig, NetOutput, PolicyValueNet, StateRef};
 pub use reward::{CalibrationError, RewardKind, RewardScale};
-pub use trainer::{TrainError, Trainer, TrainerConfig, TrainingHistory, TrainingOutcome};
+pub use trainer::{
+    TrainCheckpoint, TrainCheckpointSink, TrainError, Trainer, TrainerConfig, TrainingHistory,
+    TrainingOutcome,
+};

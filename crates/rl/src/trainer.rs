@@ -13,6 +13,7 @@ use crate::eval::{CoarseEvaluator, FullEvaluator, WirelengthEvaluator};
 use crate::net::{AgentConfig, StateRef};
 use crate::reward::{CalibrationError, RewardKind, RewardScale};
 use mmp_analytic::{GlobalPlacer, GlobalPlacerConfig};
+use mmp_ckpt::CkptError;
 use mmp_cluster::{ClusterError, ClusterParams, CoarsenedNetlist, Coarsener};
 use mmp_geom::Grid;
 use mmp_netlist::{Design, Placement};
@@ -37,6 +38,9 @@ pub enum TrainError {
     Cluster(ClusterError),
     /// Reward calibration had no usable samples.
     Calibration(CalibrationError),
+    /// A checkpoint could not be written, or a resume checkpoint is not
+    /// usable for this trainer (wrong network size, impossible progress).
+    Checkpoint(CkptError),
 }
 
 impl std::fmt::Display for TrainError {
@@ -48,6 +52,7 @@ impl std::fmt::Display for TrainError {
             ),
             TrainError::Cluster(e) => write!(f, "clustering failed: {e}"),
             TrainError::Calibration(e) => write!(f, "reward calibration failed: {e}"),
+            TrainError::Checkpoint(e) => write!(f, "checkpoint: {e}"),
         }
     }
 }
@@ -63,6 +68,12 @@ impl From<ClusterError> for TrainError {
 impl From<CalibrationError> for TrainError {
     fn from(e: CalibrationError) -> Self {
         TrainError::Calibration(e)
+    }
+}
+
+impl From<CkptError> for TrainError {
+    fn from(e: CkptError) -> Self {
+        TrainError::Checkpoint(e)
     }
 }
 
@@ -174,6 +185,41 @@ pub struct TrainingHistory {
     #[serde(default)]
     pub early_stopped: bool,
 }
+
+/// The complete mid-training state captured at an optimizer-step boundary
+/// (the transition buffer is empty there, so nothing in flight is lost).
+///
+/// Restarting [`Trainer::train_resumable`] from a `TrainCheckpoint`
+/// continues the *exact* uninterrupted run: weights, optimizer moments,
+/// per-episode curves, reward calibration, agent snapshots and the RNG
+/// stream position are all restored, so the continuation is
+/// bitwise-identical to never having stopped.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainCheckpoint {
+    /// Fully-completed episodes; training resumes at this episode index.
+    pub episodes_done: usize,
+    /// Optimizer steps applied so far (the sink cadence counter).
+    pub updates_done: usize,
+    /// Gradient chunks processed so far (drives fault injection replay).
+    pub chunk_no: usize,
+    /// The training RNG's exact stream position.
+    pub rng: [u64; 4],
+    /// Weights as of the last optimizer step.
+    pub agent: Agent,
+    /// Adam moments and step count.
+    pub optimizer: Adam,
+    /// Per-episode curves so far.
+    pub history: TrainingHistory,
+    /// The reward calibration (computed once, before episode 0).
+    pub scale: RewardScale,
+    /// `(episode, agent)` snapshots taken so far via `checkpoint_every`.
+    pub snapshots: Vec<(usize, Agent)>,
+}
+
+/// Receiver for the partial [`TrainCheckpoint`]s
+/// [`Trainer::train_resumable`] emits after each optimizer step; a sink
+/// error aborts training as [`TrainError::Checkpoint`].
+pub type TrainCheckpointSink<'a> = &'a mut dyn FnMut(&TrainCheckpoint) -> Result<(), CkptError>;
 
 /// Everything `train` produces.
 #[derive(Debug, Clone)]
@@ -342,24 +388,88 @@ impl<'d> Trainer<'d> {
         &self,
         deadline: Option<Instant>,
     ) -> Result<TrainingOutcome, TrainError> {
-        let mut rng = SmallRng::seed_from_u64(self.config.seed ^ 0x7e41);
+        self.train_resumable(deadline, None, None)
+    }
+
+    /// [`Trainer::train_with_deadline`] with crash-safe checkpointing.
+    ///
+    /// With `resume = Some(ck)` calibration is skipped (the checkpoint
+    /// carries the calibrated scale and an RNG stream already past it) and
+    /// training continues from `ck.episodes_done`; the continuation is
+    /// bitwise-identical to an uninterrupted run. `sink` is invoked with a
+    /// fresh [`TrainCheckpoint`] after every `checkpoint_every`-th
+    /// optimizer step (every step when unset); a sink failure aborts
+    /// training with [`TrainError::Checkpoint`] — losing checkpoint
+    /// durability silently would defeat the point.
+    ///
+    /// # Errors
+    ///
+    /// See [`TrainError`]; a resume checkpoint whose network size differs
+    /// from this trainer's, or whose progress exceeds the configured
+    /// episode count, is rejected as [`TrainError::Checkpoint`].
+    pub fn train_resumable(
+        &self,
+        deadline: Option<Instant>,
+        resume: Option<TrainCheckpoint>,
+        mut sink: Option<TrainCheckpointSink<'_>>,
+    ) -> Result<TrainingOutcome, TrainError> {
         let mut env = PlacementEnv::new(self.design, &self.coarse, self.grid.clone());
-        // 1) Random warm-up → reward calibration (Sec. III-E).
-        let samples: Vec<f64> = (0..self.config.calibration_episodes.max(1))
-            .map(|_| self.random_episode(&mut env, &mut rng))
-            .collect();
-        let scale = RewardScale::try_calibrate(self.config.reward, &samples)?;
+        let mut ctx = InferenceCtx::new();
+        let (mut rng, scale, mut agent, mut opt, mut history, mut checkpoints);
+        let (mut chunk_no, mut updates_done, start_episode);
+        match resume {
+            Some(ck) => {
+                if *ck.agent.config() != self.config.net {
+                    return Err(TrainError::Checkpoint(CkptError::Invalid {
+                        detail: format!(
+                            "resume checkpoint was trained with a different network \
+                             ({:?} vs {:?})",
+                            ck.agent.config(),
+                            self.config.net
+                        ),
+                    }));
+                }
+                if ck.episodes_done > self.config.episodes {
+                    return Err(TrainError::Checkpoint(CkptError::Invalid {
+                        detail: format!(
+                            "resume checkpoint has {} episodes done but only {} are configured",
+                            ck.episodes_done, self.config.episodes
+                        ),
+                    }));
+                }
+                // The snapshot was taken *after* calibration, so the restored
+                // stream position already accounts for the warm-up draws.
+                rng = SmallRng::from_state(ck.rng);
+                scale = ck.scale;
+                agent = ck.agent;
+                opt = ck.optimizer;
+                history = ck.history;
+                checkpoints = ck.snapshots;
+                chunk_no = ck.chunk_no;
+                updates_done = ck.updates_done;
+                start_episode = ck.episodes_done;
+            }
+            None => {
+                rng = SmallRng::seed_from_u64(self.config.seed ^ 0x7e41);
+                // 1) Random warm-up → reward calibration (Sec. III-E).
+                let samples: Vec<f64> = (0..self.config.calibration_episodes.max(1))
+                    .map(|_| self.random_episode(&mut env, &mut rng))
+                    .collect();
+                scale = RewardScale::try_calibrate(self.config.reward, &samples)?;
+                agent = Agent::new(self.config.net);
+                opt = Adam::new(self.config.lr);
+                history = TrainingHistory::default();
+                checkpoints = Vec::new();
+                chunk_no = 0;
+                updates_done = 0;
+                start_episode = 0;
+            }
+        }
 
         // 2) A2C training.
-        let mut ctx = InferenceCtx::new();
-        let mut agent = Agent::new(self.config.net);
-        let mut opt = Adam::new(self.config.lr);
-        let mut history = TrainingHistory::default();
-        let mut checkpoints = Vec::new();
         let mut buffer: Vec<Transition> = Vec::new();
-        let mut chunk_no = 0usize;
 
-        for episode in 0..self.config.episodes {
+        for episode in start_episode..self.config.episodes {
             if deadline.is_some_and(|d| Instant::now() >= d) {
                 history.early_stopped = true;
                 if self.obs.tracing() {
@@ -400,8 +510,10 @@ impl<'d> Trainer<'d> {
                 buffer.push((s_p, s_a, t, total, action, r as f32));
             }
 
+            let mut did_update = false;
             if (episode + 1) % self.config.update_every == 0 || episode + 1 == self.config.episodes
             {
+                did_update = true;
                 let net = agent.net_mut();
                 let beta = self.config.entropy_beta;
                 // One batched forward/backward per chunk instead of a
@@ -474,6 +586,32 @@ impl<'d> Trainer<'d> {
             if let Some(k) = self.config.checkpoint_every {
                 if (episode + 1) % k == 0 {
                     checkpoints.push((episode + 1, agent.clone()));
+                }
+            }
+            if did_update {
+                updates_done += 1;
+                if let Some(sink) = sink.as_deref_mut() {
+                    // Only optimizer-step boundaries are safe snapshot
+                    // points: the transition buffer is empty, so the
+                    // checkpoint is the whole training state.
+                    let k = self.config.checkpoint_every.unwrap_or(1).max(1);
+                    if updates_done % k == 0 {
+                        let ck = TrainCheckpoint {
+                            episodes_done: episode + 1,
+                            updates_done,
+                            chunk_no,
+                            rng: rng.state(),
+                            agent: agent.clone(),
+                            optimizer: opt.clone(),
+                            history: history.clone(),
+                            scale: scale.clone(),
+                            snapshots: checkpoints.clone(),
+                        };
+                        sink(&ck)?;
+                        if self.obs.enabled() {
+                            self.obs.count("ckpt.train_writes", 1);
+                        }
+                    }
                 }
             }
         }
@@ -632,6 +770,116 @@ mod tests {
         let b = Trainer::new(&d, cfg).train();
         assert_eq!(a.history, b.history);
         assert!(a.history.rejected_updates >= 1);
+    }
+
+    /// Runs training with a sink that records every checkpoint.
+    fn train_recording(trainer: &Trainer<'_>) -> (TrainingOutcome, Vec<TrainCheckpoint>) {
+        let mut taken: Vec<TrainCheckpoint> = Vec::new();
+        let mut sink = |ck: &TrainCheckpoint| {
+            taken.push(ck.clone());
+            Ok(())
+        };
+        let out = trainer
+            .train_resumable(None, None, Some(&mut sink))
+            .unwrap();
+        (out, taken)
+    }
+
+    #[test]
+    fn resumed_training_is_bitwise_identical() {
+        let d = design(11);
+        let mut cfg = TrainerConfig::tiny(4);
+        cfg.episodes = 6;
+        cfg.update_every = 2;
+        let trainer = Trainer::new(&d, cfg);
+        let (full, taken) = train_recording(&trainer);
+        assert_eq!(taken.len(), 3, "one checkpoint per optimizer step");
+        // Resume from every intermediate checkpoint: each continuation must
+        // land on the identical history and identical weights.
+        for ck in taken.into_iter().take(2) {
+            let resumed = trainer.train_resumable(None, Some(ck), None).unwrap();
+            assert_eq!(resumed.history, full.history);
+            assert_eq!(
+                serde_json::to_string(&resumed.agent).unwrap(),
+                serde_json::to_string(&full.agent).unwrap(),
+                "weights diverged after resume"
+            );
+        }
+    }
+
+    #[test]
+    fn checkpoint_survives_serde_and_still_resumes_identically() {
+        let d = design(12);
+        let mut cfg = TrainerConfig::tiny(4);
+        cfg.episodes = 4;
+        cfg.update_every = 2;
+        cfg.checkpoint_every = Some(2);
+        let trainer = Trainer::new(&d, cfg);
+        let (full, taken) = train_recording(&trainer);
+        let json = serde_json::to_string(&taken[0]).unwrap();
+        let reloaded: TrainCheckpoint = serde_json::from_str(&json).unwrap();
+        assert_eq!(reloaded.episodes_done, taken[0].episodes_done);
+        assert_eq!(reloaded.rng, taken[0].rng);
+        let resumed = trainer.train_resumable(None, Some(reloaded), None).unwrap();
+        assert_eq!(resumed.history, full.history);
+        assert_eq!(
+            serde_json::to_string(&resumed.agent).unwrap(),
+            serde_json::to_string(&full.agent).unwrap()
+        );
+        // Agent snapshots survive the round trip too.
+        let eps: Vec<usize> = resumed.checkpoints.iter().map(|(e, _)| *e).collect();
+        assert_eq!(eps, vec![2, 4]);
+    }
+
+    #[test]
+    fn mismatched_resume_checkpoint_is_rejected() {
+        let d = design(13);
+        let mut cfg = TrainerConfig::tiny(4);
+        cfg.episodes = 4;
+        cfg.update_every = 2;
+        let trainer = Trainer::new(&d, cfg.clone());
+        let (_, taken) = train_recording(&trainer);
+
+        // Wrong network size.
+        let mut wrong_net = taken[0].clone();
+        wrong_net.agent = Agent::new(AgentConfig::tiny(8));
+        let err = trainer
+            .train_resumable(None, Some(wrong_net), None)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            TrainError::Checkpoint(mmp_ckpt::CkptError::Invalid { .. })
+        ));
+
+        // Impossible progress.
+        let mut too_far = taken[0].clone();
+        too_far.episodes_done = 99;
+        let err = trainer
+            .train_resumable(None, Some(too_far), None)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            TrainError::Checkpoint(mmp_ckpt::CkptError::Invalid { .. })
+        ));
+    }
+
+    #[test]
+    fn sink_failure_aborts_training_with_typed_error() {
+        let d = design(14);
+        let mut cfg = TrainerConfig::tiny(4);
+        cfg.episodes = 4;
+        cfg.update_every = 2;
+        let trainer = Trainer::new(&d, cfg);
+        let mut sink = |_: &TrainCheckpoint| {
+            Err(CkptError::Io {
+                path: "/nonexistent/ck".into(),
+                detail: "disk gone".into(),
+            })
+        };
+        let err = trainer
+            .train_resumable(None, None, Some(&mut sink))
+            .unwrap_err();
+        assert!(matches!(err, TrainError::Checkpoint(CkptError::Io { .. })));
     }
 
     #[test]
