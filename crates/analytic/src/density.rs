@@ -545,7 +545,7 @@ mod tests {
             let out = shift_axis(&pts, &areas, 0.0, 100.0, 8, &cap, 1.0);
             // The bin remap is monotone, so global order is preserved.
             let mut idx: Vec<usize> = (0..pts.len()).collect();
-            idx.sort_by(|&a, &b| pts[a].partial_cmp(&pts[b]).unwrap());
+            idx.sort_by(|&a, &b| pts[a].total_cmp(&pts[b]));
             for w in idx.windows(2) {
                 prop_assert!(out[w[0]] <= out[w[1]] + 1e-9);
             }

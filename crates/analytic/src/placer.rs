@@ -154,6 +154,7 @@ impl GlobalPlacer {
         let region = *design.region();
         let nbins = self.auto_bins(n);
 
+        // mmp-lint: allow(hash-order) why: node→column lookup built once and only probed, never iterated
         let mut var_index: HashMap<NodeRef, usize> = HashMap::with_capacity(n);
         for (i, &node) in movables.iter().enumerate() {
             var_index.insert(node, i);
@@ -181,6 +182,7 @@ impl GlobalPlacer {
         // caller) blocked out of bin capacity.
         let mut grid = SpreadGrid::new(region.x, region.y, region.width, region.height, nbins);
         {
+            // mmp-lint: allow(hash-order) why: membership probe over the macro loop below, never iterated
             let movable_set: std::collections::HashSet<NodeRef> =
                 movables.iter().copied().collect();
             for i in 0..design.macros().len() {

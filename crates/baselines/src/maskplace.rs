@@ -92,13 +92,7 @@ impl MacroPlacer for MaskPlaceLike {
         }
         // Largest macros first (as in MaskPlace and the paper).
         let mut order = design.movable_macros();
-        order.sort_by(|&a, &b| {
-            design
-                .macro_(b)
-                .area()
-                .partial_cmp(&design.macro_(a).area())
-                .expect("finite areas")
-        });
+        order.sort_by(|&a, &b| design.macro_(b).area().total_cmp(&design.macro_(a).area()));
 
         for id in order {
             let m = design.macro_(id);
@@ -117,7 +111,7 @@ impl MacroPlacer for MaskPlaceLike {
             let flat = best.map(|(f, _)| f).unwrap_or_else(|| {
                 free.iter()
                     .enumerate()
-                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                    .max_by(|a, b| a.1.total_cmp(b.1))
                     .map(|(i, _)| i)
                     .expect("grid non-empty")
             });

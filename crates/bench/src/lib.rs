@@ -25,6 +25,7 @@ use std::path::PathBuf;
 /// The workspace bans `std::env::var` in library code (the observability
 /// layer replaced the old `MMP_TRACE` toggles); the bench harness is the
 /// sanctioned edge where the environment is read, like the CLI's flags.
+// why: the bench harness is the sanctioned env-reading edge
 #[allow(clippy::disallowed_methods)]
 pub fn env_f64(name: &str, default: f64) -> f64 {
     std::env::var(name)
@@ -36,6 +37,7 @@ pub fn env_f64(name: &str, default: f64) -> f64 {
 
 /// The report-archival directory, when `MMP_REPORT_DIR` is set and
 /// non-empty.
+// why: the bench harness is the sanctioned env-reading edge
 #[allow(clippy::disallowed_methods)]
 pub fn report_dir() -> Option<PathBuf> {
     std::env::var("MMP_REPORT_DIR")
@@ -100,7 +102,7 @@ pub fn run_ours(spec: &SyntheticSpec, zeta: usize) -> PlacementResult {
         let report = RunReport::new(spec.name.as_str(), &result, &obs.snapshot());
         match report.to_json() {
             Ok(json) => {
-                // Archived reports are best-effort output artifacts, not
+                // why: archived reports are best-effort output artifacts, not
                 // resumable state, so the bench edge keeps bare `fs::write`
                 // under a scoped allow.
                 #[allow(clippy::disallowed_methods)]

@@ -313,7 +313,7 @@ pub fn read_opt(path: &Path) -> Result<Option<Vec<u8>>, CkptError> {
 }
 
 #[cfg(test)]
-// Tests tamper with checkpoint bytes on purpose; the workspace-wide ban on
+// why: tests tamper with checkpoint bytes on purpose; the workspace-wide ban on
 // bare `std::fs::write` exists to route *production* state through the
 // atomic writer above.
 #[allow(clippy::disallowed_methods)]

@@ -16,7 +16,7 @@ use crate::params::ClusterParams;
 use mmp_geom::Point;
 use mmp_netlist::{CellId, Design, NetId, Placement};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// A cluster of standard cells, used to anchor macro-group legalization and
 /// coarse wirelength estimation.
@@ -67,17 +67,17 @@ impl CellGroup {
 
 /// Connectivity between two cell sets: total weight of nets touching both.
 fn set_connectivity(design: &Design, a: &[CellId], b: &[CellId]) -> f64 {
-    let mut nets_a: HashMap<NetId, ()> = HashMap::new();
+    let mut nets_a: BTreeSet<NetId> = BTreeSet::new();
     for &c in a {
         for &n in design.nets_of_cell(c) {
-            nets_a.insert(n, ());
+            nets_a.insert(n);
         }
     }
     let mut total = 0.0;
-    let mut counted: HashMap<NetId, ()> = HashMap::new();
+    let mut counted: BTreeSet<NetId> = BTreeSet::new();
     for &c in b {
         for &n in design.nets_of_cell(c) {
-            if nets_a.contains_key(&n) && counted.insert(n, ()).is_none() {
+            if nets_a.contains(&n) && counted.insert(n) {
                 total += design.net(n).weight;
             }
         }
@@ -173,7 +173,9 @@ fn cluster_cells_bucketed(
             .min(SPATIAL_BINS - 1);
         (bx, by)
     };
-    let mut buckets: HashMap<(String, usize, usize), Vec<CellId>> = HashMap::new();
+    // BTreeMap: bucket iteration order is the sorted key order, so the
+    // group sequence is deterministic by construction.
+    let mut buckets: BTreeMap<(String, usize, usize), Vec<CellId>> = BTreeMap::new();
     for i in 0..design.cells().len() {
         let id = CellId::from_index(i);
         let (bx, by) = bin_of(placement.cell_center(id));
@@ -182,11 +184,8 @@ fn cluster_cells_bucketed(
             .or_default()
             .push(id);
     }
-    let mut keys: Vec<_> = buckets.keys().cloned().collect();
-    keys.sort(); // deterministic order
     let mut out = Vec::new();
-    for key in keys {
-        let cells = &buckets[&key];
+    for cells in buckets.values() {
         let mut current: Option<CellGroup> = None;
         for &id in cells {
             let single = CellGroup::singleton(design, placement, id);
@@ -313,7 +312,7 @@ mod tests {
         params.exact_limit = 0; // force bucketed path
         let gs = cluster_cells(&d, &pl, &params);
         for g in &gs {
-            let hiers: std::collections::HashSet<&str> = g
+            let hiers: std::collections::BTreeSet<&str> = g
                 .members
                 .iter()
                 .map(|&c| d.cell(c).hierarchy.as_str())

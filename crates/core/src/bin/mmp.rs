@@ -15,7 +15,7 @@ use mmp_core::{
 use mmp_legal::BoundaryRefiner;
 use mmp_netlist::{bookshelf, bookshelf_aux, svg, Placement};
 use mmp_obs::{JsonlSink, Obs, StderrSink};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::path::Path;
@@ -55,8 +55,8 @@ fn usage() -> ExitCode {
     ExitCode::from(2)
 }
 
-fn parse_flags(args: &[String]) -> (HashMap<String, String>, Vec<String>) {
-    let mut flags = HashMap::new();
+fn parse_flags(args: &[String]) -> (BTreeMap<String, String>, Vec<String>) {
+    let mut flags = BTreeMap::new();
     let mut bare = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -261,7 +261,7 @@ fn run() -> Result<(), CliError> {
                 let json = report
                     .to_json()
                     .map_err(|e| io(format!("cannot serialize run report: {e}")))?;
-                // The run report is a plain output file, not a checkpoint:
+                // why: the run report is a plain output file, not a checkpoint:
                 // the crash-safe envelope (and its clippy ban on bare
                 // `fs::write`) is for state the flow must resume from.
                 #[allow(clippy::disallowed_methods)]

@@ -34,6 +34,17 @@ pub struct RunBudget {
     pub legalize: Option<Duration>,
 }
 
+/// The flow's wall-clock read point.
+///
+/// This module is the sanctioned home for `Instant::now` in `mmp-core`
+/// (enforced by `mmp-lint`'s `wallclock` rule): stage timing and deadline
+/// arithmetic in `flow.rs` call through here, so every clock read the
+/// flow makes is auditable in one place and none can leak into placement
+/// decisions unseen.
+pub fn now() -> Instant {
+    Instant::now()
+}
+
 impl RunBudget {
     /// No limits anywhere — the default.
     pub fn unlimited() -> Self {

@@ -5,7 +5,7 @@
 //! [`RunBudget`], and records every graceful-degradation event in the
 //! result's [`DegradationReport`].
 
-use crate::budget::RunBudget;
+use crate::budget::{self, RunBudget};
 use crate::checkpoint::{
     fingerprint, CheckpointPlan, CheckpointSummary, CkptCtx, CrashPoint, CrashStage,
     SearchDoneCkpt, TrainDoneCkpt, SEARCH_DONE, SEARCH_PARTIAL, TRAIN_DONE, TRAIN_PARTIAL,
@@ -24,7 +24,7 @@ use mmp_rl::{
     Agent, InferenceCtx, TrainCheckpoint, Trainer, TrainerConfig, TrainingHistory, TrainingOutcome,
 };
 use serde::{Deserialize, Serialize};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Full-flow configuration. `fast(ζ)` gives laptop-scale settings used by
 /// tests; `paper()` the published ones.
@@ -230,7 +230,7 @@ impl MacroPlacer {
     /// trivially infeasible, or [`SearchError::NoRuns`] when
     /// `ensemble_runs` is 0.
     pub fn place(&self, design: &Design) -> Result<PlacementResult, PlaceError> {
-        let start = Instant::now();
+        let start = budget::now();
         let run_deadline = self.config.budget.total.map(|d| start + d);
         let mut degradation = DegradationReport::default();
 
@@ -262,7 +262,7 @@ impl MacroPlacer {
             }
             None => None,
         };
-        let t0 = Instant::now();
+        let t0 = budget::now();
         let span = self.obs.span("stage.preprocess");
         let trainer =
             Trainer::try_new(design, self.config.trainer.clone())?.with_obs(self.obs.clone());
@@ -271,7 +271,7 @@ impl MacroPlacer {
 
         if design.movable_macros().is_empty() {
             // ibm05 path: nothing to allocate.
-            let t3 = Instant::now();
+            let t3 = budget::now();
             let span = self.obs.span("stage.finalize");
             let out = GlobalPlacer::new(self.config.final_placer.clone())
                 .with_obs(self.obs.clone())
@@ -300,7 +300,7 @@ impl MacroPlacer {
         }
 
         // Stage 2: pre-training by RL.
-        let t1 = Instant::now();
+        let t1 = budget::now();
         let train_deadline = RunBudget::stage_deadline(run_deadline, t1, self.config.budget.train);
         let span = self.obs.span("stage.train");
         let outcome = match &ckpt {
@@ -384,7 +384,7 @@ impl MacroPlacer {
 
         // Stage 3: placement optimization by MCTS (optionally an ensemble
         // of diversified parallel searches).
-        let t2 = Instant::now();
+        let t2 = budget::now();
         let search_deadline =
             RunBudget::stage_deadline(run_deadline, t2, self.config.budget.search);
         let span = self.obs.span("stage.search");
@@ -513,7 +513,7 @@ impl MacroPlacer {
         }
 
         // Stage 4: legalization + final cell placement.
-        let t3 = Instant::now();
+        let t3 = budget::now();
         let legalize_deadline =
             RunBudget::stage_deadline(run_deadline, t3, self.config.budget.legalize);
         let span = self.obs.span("stage.finalize");

@@ -345,6 +345,7 @@ fn checkpoint_dir(kind: ScenarioKind, seed: u64) -> PathBuf {
 
 /// Overwrites `path` with raw bytes. Deliberately bypasses the atomic
 /// `mmp_ckpt::write` envelope — simulating on-disk damage is the point.
+// why: simulating on-disk damage requires bypassing the atomic envelope
 #[allow(clippy::disallowed_methods)]
 fn tamper_write(path: &Path, bytes: &[u8]) -> bool {
     std::fs::write(path, bytes).is_ok()

@@ -25,6 +25,7 @@ use std::fmt;
 use std::time::Instant;
 
 fn expired(deadline: Option<Instant>) -> bool {
+    // mmp-lint: allow(wallclock) why: budget-deadline probe; expiry only degrades to deterministic shelf packing
     deadline.is_some_and(|d| Instant::now() >= d)
 }
 
@@ -549,8 +550,8 @@ impl MacroLegalizer {
         macro_centers: &mut [Point],
         deadline: Option<Instant>,
     ) -> usize {
-        use std::collections::HashMap;
-        let mut per_cell: HashMap<GridIndex, Vec<MacroId>> = HashMap::new();
+        use std::collections::BTreeMap;
+        let mut per_cell: BTreeMap<GridIndex, Vec<MacroId>> = BTreeMap::new();
         for id in design.movable_macros() {
             if let Some(g) = coarse.group_of_macro(id) {
                 per_cell.entry(assignment[g]).or_default().push(id);
@@ -772,7 +773,7 @@ impl MacroLegalizer {
                             // Fully boxed in: smallest push, clamped (genuinely
                             // infeasible designs stay overlapped, reported).
                             None => {
-                                // Invariant, not input: `pushes` is a fixed
+                                // why: invariant, not input: `pushes` is a fixed
                                 // 4-element array, so min_by always finds one.
                                 #[allow(clippy::expect_used)]
                                 let p = pushes
@@ -1268,6 +1269,7 @@ mod tests {
     fn expired_deadline_degrades_but_completes() {
         let (d, coarse, grid) = setup(10, 0, 80, 2);
         let assignment = spread_assignment(&coarse, &grid);
+        // mmp-lint: allow(wallclock) why: test constructs an already-expired deadline on purpose
         let past = std::time::Instant::now() - std::time::Duration::from_millis(10);
         let out = MacroLegalizer::new()
             .legalize_with_deadline(&d, &coarse, &assignment, &grid, Some(past))

@@ -216,7 +216,7 @@ mod tests {
             // Blocks spaced strictly along x at equal y: every pair must be
             // Left/Right related in x order.
             let mut sorted = xs.clone();
-            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            sorted.sort_by(|a, b| a.total_cmp(b));
             sorted.dedup_by(|a, b| (*a - *b).abs() < 1e-6);
             prop_assume!(sorted.len() >= 2);
             let centers: Vec<Point> = sorted.iter().map(|&x| Point::new(x, 5.0)).collect();

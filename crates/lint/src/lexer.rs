@@ -1,0 +1,399 @@
+//! A minimal Rust lexer: line/column-tracked tokens, string/comment aware.
+//!
+//! This is deliberately *not* a full Rust parser — the lint rules only
+//! need to see identifiers and punctuation with source positions, and to
+//! know that text inside string literals and comments is not code.
+//! Comments are captured separately so suppression directives and
+//! `why:` justifications can be matched against findings by line.
+
+/// What a [`Tok`] is. Literal payloads are not retained — the rules only
+/// match identifiers and punctuation; literals merely need to be skipped
+/// correctly so their contents never masquerade as code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`HashMap`, `use`, `partial_cmp`, ...).
+    Ident,
+    /// One punctuation character (`::` arrives as two `Punct(':')`).
+    Punct(char),
+    /// String / raw-string / byte-string literal.
+    Str,
+    /// Character or byte literal.
+    Char,
+    /// Numeric literal (scanned loosely; never inspected by rules).
+    Num,
+    /// Lifetime (`'a`) — distinguished from char literals.
+    Lifetime,
+}
+
+/// One token with its source position (1-based line and column).
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    /// Identifier text; empty for non-ident tokens.
+    pub text: String,
+    pub line: usize,
+    pub col: usize,
+}
+
+impl Tok {
+    /// `true` when this token is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == name
+    }
+
+    /// `true` when this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+}
+
+/// One comment (line or block) with the line it starts on. The text
+/// includes the comment markers (`//`, `///`, `/*`), so callers can
+/// distinguish doc comments from plain ones.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub text: String,
+    pub line: usize,
+}
+
+/// The lexed file: code tokens plus the comment side-table.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Tok>,
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `src` into tokens and comments. Never fails: unterminated
+/// literals or comments are closed at end of input, which is the useful
+/// behaviour for a linter (rustc will reject the file anyway).
+pub fn lex(src: &str) -> Lexed {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+    col: usize,
+    out: Lexed,
+    _src: &'a str,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            chars: src.chars().collect(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            out: Lexed::default(),
+            _src: src,
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            let (line, col) = (self.line, self.col);
+            if c.is_whitespace() {
+                self.bump();
+            } else if c == '/' && self.peek(1) == Some('/') {
+                self.line_comment(line);
+            } else if c == '/' && self.peek(1) == Some('*') {
+                self.block_comment(line);
+            } else if c == '"' {
+                self.cooked_string();
+                self.push(TokKind::Str, String::new(), line, col);
+            } else if c == '\'' {
+                self.char_or_lifetime(line, col);
+            } else if self.raw_or_byte_string_start(c) {
+                self.push(TokKind::Str, String::new(), line, col);
+            } else if c == 'b' && self.peek(1) == Some('\'') {
+                self.bump(); // b
+                self.char_literal();
+                self.push(TokKind::Char, String::new(), line, col);
+            } else if c.is_ascii_digit() {
+                self.number();
+                self.push(TokKind::Num, String::new(), line, col);
+            } else if c.is_alphabetic() || c == '_' {
+                let mut text = String::new();
+                while let Some(ch) = self.peek(0) {
+                    if ch.is_alphanumeric() || ch == '_' {
+                        text.push(ch);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                self.push(TokKind::Ident, text, line, col);
+            } else {
+                self.bump();
+                self.push(TokKind::Punct(c), String::new(), line, col);
+            }
+        }
+        self.out
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: usize, col: usize) {
+        self.out.tokens.push(Tok {
+            kind,
+            text,
+            line,
+            col,
+        });
+    }
+
+    fn line_comment(&mut self, line: usize) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.out.comments.push(Comment { text, line });
+    }
+
+    fn block_comment(&mut self, line: usize) {
+        let mut text = String::new();
+        let mut depth = 0usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                text.push_str("*/");
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.out.comments.push(Comment { text, line });
+    }
+
+    /// Consumes a `"..."` string body, honouring `\` escapes.
+    fn cooked_string(&mut self) {
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            if c == '\\' {
+                self.bump();
+            } else if c == '"' {
+                break;
+            }
+        }
+    }
+
+    /// Detects and consumes `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#` and
+    /// friends. Returns `false` (consuming nothing) when the current
+    /// position is not a raw/byte string start.
+    fn raw_or_byte_string_start(&mut self, c: char) -> bool {
+        let mut ahead = 0usize;
+        if c == 'b' {
+            ahead = 1;
+        }
+        match self.peek(ahead) {
+            Some('r') => ahead += 1,
+            Some('"') if c == 'b' => {
+                // b"..." — a cooked byte string.
+                self.bump(); // b
+                self.cooked_string();
+                return true;
+            }
+            _ => return false,
+        }
+        // Count `#`s after `r` / `br`.
+        let mut hashes = 0usize;
+        while self.peek(ahead + hashes) == Some('#') {
+            hashes += 1;
+        }
+        if self.peek(ahead + hashes) != Some('"') {
+            return false; // `r` was just an identifier start (e.g. `rows`)
+        }
+        for _ in 0..(ahead + hashes + 1) {
+            self.bump(); // prefix, hashes, opening quote
+        }
+        // Scan to `"` followed by `hashes` `#`s.
+        while let Some(ch) = self.bump() {
+            if ch == '"' {
+                let mut ok = true;
+                for i in 0..hashes {
+                    if self.peek(i) != Some('#') {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    for _ in 0..hashes {
+                        self.bump();
+                    }
+                    break;
+                }
+            }
+        }
+        true
+    }
+
+    /// `'a` (lifetime) vs `'x'` / `'\n'` (char literal).
+    fn char_or_lifetime(&mut self, line: usize, col: usize) {
+        let next = self.peek(1);
+        let after = self.peek(2);
+        let is_lifetime =
+            matches!(next, Some(ch) if ch.is_alphabetic() || ch == '_') && after != Some('\'');
+        if is_lifetime {
+            self.bump(); // '
+            while let Some(ch) = self.peek(0) {
+                if ch.is_alphanumeric() || ch == '_' {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push(TokKind::Lifetime, String::new(), line, col);
+        } else {
+            self.char_literal();
+            self.push(TokKind::Char, String::new(), line, col);
+        }
+    }
+
+    fn char_literal(&mut self) {
+        self.bump(); // opening '
+        match self.bump() {
+            Some('\\') => {
+                self.bump(); // escaped char (enough for \n, \', \u{..} start)
+                             // Consume to the closing quote (covers \u{1F600}).
+                while let Some(c) = self.peek(0) {
+                    self.bump();
+                    if c == '\'' {
+                        return;
+                    }
+                }
+            }
+            _ => {
+                if self.peek(0) == Some('\'') {
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    /// Loose numeric scan: digits, `_`, alphanumeric suffixes, and a
+    /// fraction part when `.` is followed by a digit. Exponent signs are
+    /// left as separate punctuation — rules never look inside numbers.
+    fn number(&mut self) {
+        while let Some(c) = self.peek(0) {
+            let fraction = c == '.' && matches!(self.peek(1), Some(d) if d.is_ascii_digit());
+            if c.is_alphanumeric() || c == '_' || fraction {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn identifiers_carry_positions() {
+        let l = lex("fn main() {\n    let x = 1;\n}\n");
+        let x = l.tokens.iter().find(|t| t.is_ident("x")).unwrap();
+        assert_eq!((x.line, x.col), (2, 9));
+    }
+
+    #[test]
+    fn string_contents_are_not_tokens() {
+        assert_eq!(idents(r#"let s = "HashMap::new()";"#), vec!["let", "s"]);
+    }
+
+    #[test]
+    fn raw_strings_and_hashes_are_skipped() {
+        let src = "let s = r#\"Instant::now() \"quoted\" \"#; let t = 1;";
+        assert_eq!(idents(src), vec!["let", "s", "let", "t"]);
+    }
+
+    #[test]
+    fn byte_strings_are_skipped() {
+        assert_eq!(idents(r#"let b = b"SystemTime"; x"#), vec!["let", "b", "x"]);
+    }
+
+    #[test]
+    fn comments_are_captured_not_tokenized() {
+        let l = lex("// HashMap here\nlet y = 2; /* block\nspans */ z");
+        assert_eq!(idents("// HashMap here\nlet y = 2;"), vec!["let", "y"]);
+        assert_eq!(l.comments.len(), 2);
+        assert_eq!(l.comments[0].line, 1);
+        assert!(l.comments[0].text.starts_with("//"));
+        assert_eq!(l.comments[1].line, 2);
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let l = lex("/* a /* b */ c */ real");
+        assert_eq!(
+            l.tokens.iter().filter(|t| t.kind == TokKind::Ident).count(),
+            1
+        );
+        assert_eq!(l.comments.len(), 1);
+    }
+
+    #[test]
+    fn lifetimes_do_not_eat_char_literals() {
+        let l = lex("fn f<'a>(x: &'a str) { let c = 'q'; let n = '\\n'; }");
+        assert!(l.tokens.iter().any(|t| t.kind == TokKind::Lifetime));
+        assert_eq!(
+            l.tokens.iter().filter(|t| t.kind == TokKind::Char).count(),
+            2
+        );
+        assert!(l.tokens.iter().any(|t| t.is_ident("str")));
+    }
+
+    #[test]
+    fn floats_do_not_split_method_calls() {
+        // `1.max(2)` must keep `max` as an identifier.
+        assert_eq!(idents("let v = 1.max(2) + 1.5e3;"), vec!["let", "v", "max"]);
+    }
+
+    #[test]
+    fn double_colon_arrives_as_two_puncts() {
+        let l = lex("Instant::now()");
+        let t = &l.tokens;
+        assert!(t[0].is_ident("Instant"));
+        assert!(t[1].is_punct(':') && t[2].is_punct(':'));
+        assert!(t[3].is_ident("now"));
+    }
+}

@@ -1,0 +1,463 @@
+//! `mmp-lint` — workspace static analysis for determinism and
+//! stage-invariant conventions.
+//!
+//! The placement flow (RL pre-training → PUCT-guided MCTS → legalization)
+//! is only reproducible if every stage is bitwise deterministic. The
+//! conventions that guarantee it — seeded vendored RNG only, `total_cmp`
+//! instead of `partial_cmp().unwrap()`, no hash-order-dependent
+//! iteration, no wall-clock reads outside the budget/obs layers — cannot
+//! all be expressed as clippy lints, so this crate machine-enforces them
+//! with a hand-rolled, dependency-free lexer (see [`lexer`]).
+//!
+//! # Rules
+//!
+//! | id | scope | enforces |
+//! |----|-------|----------|
+//! | `hash-order` (R1)  | decision crates | no `HashMap`/`HashSet` whose order could reach decisions |
+//! | `partial-cmp` (R2) | all crates | `f64::total_cmp` instead of `partial_cmp` |
+//! | `wallclock` (R3)   | all but budget/obs/bench | no `Instant::now`/`SystemTime::now` |
+//! | `rng-source` (R4)  | all crates | no `thread_rng`/`rand::random`/`RandomState` |
+//! | `allow-why` (R5)   | all crates | `#[allow(..)]` of a denied lint carries a `why:` |
+//! | `suppression`      | all crates | suppression comments parse, justify, and bite |
+//!
+//! # Suppressions
+//!
+//! A finding is silenced in-source by a plain line comment on the same
+//! line or the line directly above, of the form
+//!
+//! ```text
+//! // mmp-lint: allow(hash-order) why: lookup table only, never iterated
+//! ```
+//!
+//! The `why:` text is mandatory and must be non-empty; a malformed,
+//! unknown-rule, or unused suppression is itself a (non-suppressible)
+//! finding, so stale directives cannot accumulate.
+
+pub mod lexer;
+pub mod rules;
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::{Path, PathBuf};
+
+pub use rules::{ALLOW_WHY, HASH_ORDER, PARTIAL_CMP, RNG_SOURCE, RULES, SUPPRESSION, WALLCLOCK};
+
+/// What the engine enforces where. [`LintConfig::default`] encodes this
+/// workspace's conventions; tests construct narrower configs.
+#[derive(Debug, Clone)]
+pub struct LintConfig {
+    /// Crate directory names (under `crates/`) whose code makes or feeds
+    /// placement decisions — the `hash-order` rule applies only here.
+    pub decision_crates: Vec<String>,
+    /// Path prefixes (workspace-relative, `/`-separated) where wall-clock
+    /// reads are sanctioned: the budget/obs timing layers and the bench
+    /// harness edge.
+    pub wallclock_sanctioned: Vec<String>,
+    /// Lints that CI denies; `#[allow(..)]`-ing one needs a `why:`.
+    pub denied_lints: Vec<String>,
+}
+
+impl Default for LintConfig {
+    fn default() -> Self {
+        let s = |v: &[&str]| v.iter().map(|x| (*x).to_owned()).collect();
+        LintConfig {
+            decision_crates: s(&[
+                "analytic", "cluster", "core", "legal", "mcts", "netlist", "rl",
+            ]),
+            wallclock_sanctioned: s(&[
+                "crates/obs/src",
+                "crates/core/src/budget.rs",
+                "crates/bench/src",
+            ]),
+            denied_lints: s(&[
+                "clippy::disallowed_methods",
+                "clippy::unwrap_used",
+                "clippy::expect_used",
+                "clippy::print_stdout",
+                "clippy::print_stderr",
+            ]),
+        }
+    }
+}
+
+impl LintConfig {
+    /// `true` when `path_rel` lives in a decision crate's `src/`.
+    pub fn is_decision_crate(&self, path_rel: &str) -> bool {
+        self.decision_crates
+            .iter()
+            .any(|c| path_rel.starts_with(&format!("crates/{c}/src/")))
+    }
+
+    /// `true` when `path_rel` is a sanctioned wall-clock module.
+    pub fn is_wallclock_sanctioned(&self, path_rel: &str) -> bool {
+        self.wallclock_sanctioned
+            .iter()
+            .any(|p| path_rel.starts_with(p.as_str()))
+    }
+}
+
+/// One finding, after suppression matching.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule id (`hash-order`, `partial-cmp`, ...).
+    pub rule: String,
+    /// Workspace-relative path, `/`-separated.
+    pub path: String,
+    /// 1-based source line.
+    pub line: usize,
+    /// 1-based source column.
+    pub col: usize,
+    /// Human-readable explanation.
+    pub message: String,
+    /// `true` when an in-source directive silenced this finding.
+    pub suppressed: bool,
+    /// The justification text of the matching directive, if suppressed.
+    pub why: Option<String>,
+}
+
+/// A parsed `mmp-lint: allow(..) why: ..` directive.
+struct Suppression {
+    line: usize,
+    rules: Vec<String>,
+    why: String,
+    used: bool,
+}
+
+/// Lints one file's source. `path_rel` scopes the crate-sensitive rules,
+/// so fixtures can pretend to live anywhere in the workspace.
+pub fn lint_source(path_rel: &str, src: &str, cfg: &LintConfig) -> Vec<Finding> {
+    let lexed = lexer::lex(src);
+    let raw = rules::scan(path_rel, &lexed, cfg);
+
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut sups: Vec<Suppression> = Vec::new();
+    for c in &lexed.comments {
+        match parse_directive(&c.text) {
+            Directive::None => {}
+            Directive::Malformed(msg) => findings.push(Finding {
+                rule: SUPPRESSION.to_owned(),
+                path: path_rel.to_owned(),
+                line: c.line,
+                col: 1,
+                message: msg,
+                suppressed: false,
+                why: None,
+            }),
+            Directive::Allow { rules, why } => sups.push(Suppression {
+                line: c.line,
+                rules,
+                why,
+                used: false,
+            }),
+        }
+    }
+
+    for f in raw {
+        let hit = sups.iter_mut().find(|s| {
+            (s.line == f.line || s.line + 1 == f.line) && s.rules.iter().any(|r| r == f.rule)
+        });
+        let (suppressed, why) = match hit {
+            Some(s) => {
+                s.used = true;
+                (true, Some(s.why.clone()))
+            }
+            None => (false, None),
+        };
+        findings.push(Finding {
+            rule: f.rule.to_owned(),
+            path: path_rel.to_owned(),
+            line: f.line,
+            col: f.col,
+            message: f.message,
+            suppressed,
+            why,
+        });
+    }
+
+    for s in &sups {
+        if !s.used {
+            findings.push(Finding {
+                rule: SUPPRESSION.to_owned(),
+                path: path_rel.to_owned(),
+                line: s.line,
+                col: 1,
+                message: format!(
+                    "unused suppression for ({}) — it matches no finding on \
+                     this or the next line; remove it",
+                    s.rules.join(", ")
+                ),
+                suppressed: false,
+                why: None,
+            });
+        }
+    }
+
+    findings
+        .sort_by(|a, b| (a.line, a.col, a.rule.as_str()).cmp(&(b.line, b.col, b.rule.as_str())));
+    findings
+}
+
+enum Directive {
+    None,
+    Malformed(String),
+    Allow { rules: Vec<String>, why: String },
+}
+
+/// Parses one comment. Only plain `//` line comments carry directives —
+/// doc comments (`///`, `//!`) and block comments never do, so rustdoc
+/// can *describe* the syntax without tripping the meta rule.
+fn parse_directive(text: &str) -> Directive {
+    if !text.starts_with("//") || text.starts_with("///") || text.starts_with("//!") {
+        return Directive::None;
+    }
+    let body = text.trim_start_matches('/').trim_start();
+    let Some(rest) = body.strip_prefix("mmp-lint:") else {
+        return Directive::None;
+    };
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix("allow(") else {
+        return Directive::Malformed(
+            "malformed mmp-lint directive: expected `mmp-lint: allow(<rule>) why: <text>`"
+                .to_owned(),
+        );
+    };
+    let Some(close) = rest.find(')') else {
+        return Directive::Malformed(
+            "malformed mmp-lint directive: unclosed allow( rule list".to_owned(),
+        );
+    };
+    let rules: Vec<String> = rest[..close]
+        .split(',')
+        .map(|r| r.trim().to_owned())
+        .filter(|r| !r.is_empty())
+        .collect();
+    if rules.is_empty() {
+        return Directive::Malformed(
+            "malformed mmp-lint directive: empty allow( ) rule list".to_owned(),
+        );
+    }
+    for r in &rules {
+        if r == SUPPRESSION {
+            return Directive::Malformed(
+                "the suppression meta rule cannot be suppressed".to_owned(),
+            );
+        }
+        if !rules::known_rule(r) {
+            return Directive::Malformed(format!(
+                "mmp-lint directive names unknown rule `{r}` (known: {})",
+                rules::RULES
+                    .iter()
+                    .map(|(id, _)| *id)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ));
+        }
+    }
+    let after = rest[close + 1..].trim_start();
+    let Some(why) = after.strip_prefix("why:") else {
+        return Directive::Malformed(
+            "mmp-lint directive is missing its `why:` justification".to_owned(),
+        );
+    };
+    if why.trim().is_empty() {
+        return Directive::Malformed(
+            "mmp-lint directive has an empty `why:` justification".to_owned(),
+        );
+    }
+    Directive::Allow {
+        rules,
+        why: why.trim().to_owned(),
+    }
+}
+
+/// Lints every `crates/*/src/**/*.rs` under `root` (the workspace
+/// checkout). `vendor/` is never walked: the vendored stubs mirror
+/// external crates and are not held to project conventions.
+///
+/// # Errors
+///
+/// Propagates I/O errors from walking or reading the tree (a missing
+/// `crates/` directory, unreadable files).
+pub fn lint_workspace(root: &Path, cfg: &LintConfig) -> io::Result<Vec<Finding>> {
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = Vec::new();
+    for entry in crates_dir.read_dir()? {
+        let entry = entry?;
+        if entry.file_type()?.is_dir() {
+            crate_dirs.push(entry.path());
+        }
+    }
+    crate_dirs.sort();
+
+    let mut files: Vec<PathBuf> = Vec::new();
+    for dir in crate_dirs {
+        let src = dir.join("src");
+        if src.is_dir() {
+            collect_rs(&src, &mut files)?;
+        }
+    }
+    files.sort();
+
+    let mut findings = Vec::new();
+    for file in files {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(&file)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        let src = std::fs::read_to_string(&file)?;
+        findings.extend(lint_source(&rel, &src, cfg));
+    }
+    Ok(findings)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in dir.read_dir()? {
+        let entry = entry?;
+        let path = entry.path();
+        if entry.file_type()?.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Human-readable report: every unsuppressed finding, then a summary
+/// line. Suppressed findings are counted but not listed.
+pub fn render_text(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    let mut unsuppressed = 0usize;
+    for f in findings {
+        if f.suppressed {
+            continue;
+        }
+        unsuppressed += 1;
+        let _ = writeln!(
+            out,
+            "{}:{}:{}: [{}] {}",
+            f.path, f.line, f.col, f.rule, f.message
+        );
+    }
+    let _ = writeln!(
+        out,
+        "mmp-lint: {} finding(s), {} unsuppressed, {} suppressed",
+        findings.len(),
+        unsuppressed,
+        findings.len() - unsuppressed
+    );
+    out
+}
+
+/// Machine-readable report. Schema (stable, `version` guards changes):
+///
+/// ```text
+/// {"version":1,"total":N,"unsuppressed":M,
+///  "findings":[{"rule":"..","path":"..","line":L,"col":C,
+///               "message":"..","suppressed":false,"why":null}, ..]}
+/// ```
+pub fn render_json(findings: &[Finding]) -> String {
+    let unsuppressed = findings.iter().filter(|f| !f.suppressed).count();
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"version\":1,\"total\":{},\"unsuppressed\":{},\"findings\":[",
+        findings.len(),
+        unsuppressed
+    );
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"rule\":{},\"path\":{},\"line\":{},\"col\":{},\"message\":{},\
+             \"suppressed\":{},\"why\":{}}}",
+            json_str(&f.rule),
+            json_str(&f.path),
+            f.line,
+            f.col,
+            json_str(&f.message),
+            f.suppressed,
+            match &f.why {
+                Some(w) => json_str(w),
+                None => "null".to_owned(),
+            }
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Escapes a string as a JSON literal (quotes included).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn directive_roundtrip() {
+        match parse_directive("// mmp-lint: allow(hash-order, wallclock) why: lookup only") {
+            Directive::Allow { rules, why } => {
+                assert_eq!(rules, vec!["hash-order", "wallclock"]);
+                assert_eq!(why, "lookup only");
+            }
+            _ => panic!("expected Allow"),
+        }
+    }
+
+    #[test]
+    fn doc_comments_never_carry_directives() {
+        assert!(matches!(
+            parse_directive("/// mmp-lint: allow(hash-order) why: doc example"),
+            Directive::None
+        ));
+    }
+
+    #[test]
+    fn missing_why_is_malformed() {
+        assert!(matches!(
+            parse_directive("// mmp-lint: allow(hash-order)"),
+            Directive::Malformed(_)
+        ));
+        assert!(matches!(
+            parse_directive("// mmp-lint: allow(hash-order) why:   "),
+            Directive::Malformed(_)
+        ));
+    }
+
+    #[test]
+    fn unknown_rule_is_malformed() {
+        assert!(matches!(
+            parse_directive("// mmp-lint: allow(no-such-rule) why: x"),
+            Directive::Malformed(_)
+        ));
+    }
+
+    #[test]
+    fn json_escaping_is_sound() {
+        assert_eq!(json_str("a\"b\\c\nd"), r#""a\"b\\c\nd""#);
+    }
+}

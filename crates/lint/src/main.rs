@@ -1,0 +1,82 @@
+//! `mmp-lint` CLI.
+//!
+//! ```text
+//! mmp-lint check [--root PATH] [--format text|json]
+//! mmp-lint rules
+//! ```
+//!
+//! Exit codes: `0` clean (every finding fixed or suppressed with a
+//! `why:`), `1` unsuppressed findings, `2` usage error, `3` I/O error.
+
+use mmp_lint::{lint_workspace, render_json, render_text, LintConfig, RULES};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
+    match cmd.as_str() {
+        "rules" => {
+            for (id, summary) in RULES {
+                println!("{id:12} {summary}");
+            }
+            ExitCode::SUCCESS
+        }
+        "check" => check(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: mmp-lint check [--root PATH] [--format text|json]\n       mmp-lint rules");
+    ExitCode::from(2)
+}
+
+fn check(args: &[String]) -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut json = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => match it.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => return usage(),
+            },
+            "--format" => match it.next().map(String::as_str) {
+                Some("json") => json = true,
+                Some("text") => json = false,
+                _ => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    // `cargo run -p mmp-lint` executes from the workspace root; running
+    // the binary from a subdirectory needs --root pointed at a checkout
+    // with a `crates/` tree.
+    if !root.join("crates").is_dir() {
+        eprintln!(
+            "mmp-lint: {} has no crates/ directory (pass --root <workspace>)",
+            root.display()
+        );
+        return ExitCode::from(2);
+    }
+    let findings = match lint_workspace(&root, &LintConfig::default()) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("mmp-lint: {e}");
+            return ExitCode::from(3);
+        }
+    };
+    if json {
+        println!("{}", render_json(&findings));
+    } else {
+        print!("{}", render_text(&findings));
+    }
+    if findings.iter().any(|f| !f.suppressed) {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

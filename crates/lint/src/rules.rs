@@ -1,0 +1,279 @@
+//! The project lint rules clippy cannot express (R1–R5).
+//!
+//! Every rule works on the token stream of [`crate::lexer`], so string
+//! literals and comments never produce false positives. Rules are
+//! heuristic by design: they match the conventions this workspace
+//! actually uses (`HashMap` by that name, `Instant::now` spelled out) —
+//! aliasing a banned item through `use ... as` would evade them, and
+//! code review owns that residue.
+
+use crate::lexer::{Comment, Lexed, Tok};
+use crate::LintConfig;
+
+/// Rule R1: hashed-collection order must not reach placement decisions.
+pub const HASH_ORDER: &str = "hash-order";
+/// Rule R2: `partial_cmp` on floats panics or lies on NaN; use `total_cmp`.
+pub const PARTIAL_CMP: &str = "partial-cmp";
+/// Rule R3: wall-clock reads only in the sanctioned budget/obs modules.
+pub const WALLCLOCK: &str = "wallclock";
+/// Rule R4: randomness only from the vendored seeded RNG.
+pub const RNG_SOURCE: &str = "rng-source";
+/// Rule R5: every `#[allow(..)]` of a denied lint carries a `why:`.
+pub const ALLOW_WHY: &str = "allow-why";
+/// Meta rule: malformed or unused `mmp-lint:` suppression comments.
+/// Not suppressible — a broken suppression must never silence itself.
+pub const SUPPRESSION: &str = "suppression";
+
+/// Static rule descriptions, used by `mmp-lint rules` and the docs test.
+pub const RULES: &[(&str, &str)] = &[
+    (
+        HASH_ORDER,
+        "decision crates must not use HashMap/HashSet (iteration order is \
+         seed-dependent); use BTreeMap/BTreeSet or sorted keys, or suppress \
+         with a why: proving the collection is never iterated",
+    ),
+    (
+        PARTIAL_CMP,
+        "partial_cmp on floats panics or mis-sorts on NaN; use f64::total_cmp",
+    ),
+    (
+        WALLCLOCK,
+        "Instant::now/SystemTime::now outside the sanctioned budget/obs \
+         timing modules lets wall-clock leak into placement decisions",
+    ),
+    (
+        RNG_SOURCE,
+        "thread_rng/rand::random/RandomState are seeded from the OS; all \
+         randomness must flow from the vendored seeded RNG",
+    ),
+    (
+        ALLOW_WHY,
+        "an #[allow(..)] of a denied lint needs an adjacent comment with a \
+         why: justification",
+    ),
+    (
+        SUPPRESSION,
+        "mmp-lint suppression comments must parse, carry a non-empty why:, \
+         name known rules, and actually suppress something",
+    ),
+];
+
+/// `true` when `id` names a real (suppressible or meta) rule.
+pub fn known_rule(id: &str) -> bool {
+    RULES.iter().any(|(r, _)| *r == id)
+}
+
+/// One rule hit before suppression matching.
+#[derive(Debug, Clone)]
+pub struct RawFinding {
+    pub rule: &'static str,
+    pub line: usize,
+    pub col: usize,
+    pub message: String,
+}
+
+/// Runs every rule over one lexed file. `path_rel` is the
+/// workspace-relative path with `/` separators (used for crate scoping).
+pub fn scan(path_rel: &str, lexed: &Lexed, cfg: &LintConfig) -> Vec<RawFinding> {
+    let mut out = Vec::new();
+    let toks = &lexed.tokens;
+    let decision = cfg.is_decision_crate(path_rel);
+    let sanctioned_clock = cfg.is_wallclock_sanctioned(path_rel);
+
+    // R1 needs to skip `use` declarations: importing a hashed collection
+    // is inert, only construction/annotation sites matter (and they keep
+    // the import alive). Track `use ... ;` spans in token order.
+    let mut in_use = false;
+    // One R1 finding per line, not per token, so a multi-token type like
+    // `HashMap<GridIndex, Vec<MacroId>>` reads as one violation.
+    let mut last_hash_line = 0usize;
+
+    for (i, t) in toks.iter().enumerate() {
+        if t.is_ident("use") {
+            in_use = true;
+        } else if in_use && t.is_punct(';') {
+            in_use = false;
+        }
+
+        // R1 — hashed collections in decision crates.
+        if decision
+            && !in_use
+            && (t.is_ident("HashMap") || t.is_ident("HashSet"))
+            && t.line != last_hash_line
+        {
+            last_hash_line = t.line;
+            out.push(RawFinding {
+                rule: HASH_ORDER,
+                line: t.line,
+                col: t.col,
+                message: format!(
+                    "{} in a decision crate: iteration order is seed-dependent; \
+                     use BTreeMap/BTreeSet or sorted keys (or suppress with a \
+                     why: proving it is never iterated)",
+                    t.text
+                ),
+            });
+        }
+
+        // R2 — partial_cmp anywhere.
+        if t.is_ident("partial_cmp") {
+            out.push(RawFinding {
+                rule: PARTIAL_CMP,
+                line: t.line,
+                col: t.col,
+                message: "partial_cmp on floats panics or mis-sorts on NaN; \
+                          use f64::total_cmp"
+                    .to_owned(),
+            });
+        }
+
+        // R3 — `Instant::now` / `SystemTime::now` outside sanctioned modules.
+        if !sanctioned_clock
+            && (t.is_ident("Instant") || t.is_ident("SystemTime"))
+            && path_sep(toks, i)
+            && toks.get(i + 3).is_some_and(|n| n.is_ident("now"))
+        {
+            out.push(RawFinding {
+                rule: WALLCLOCK,
+                line: t.line,
+                col: t.col,
+                message: format!(
+                    "{}::now outside the sanctioned timing modules: wall-clock \
+                     must flow through the budget/obs layers, never into \
+                     placement decisions",
+                    t.text
+                ),
+            });
+        }
+
+        // R4 — OS-seeded randomness.
+        if t.is_ident("thread_rng") || t.is_ident("RandomState") {
+            out.push(RawFinding {
+                rule: RNG_SOURCE,
+                line: t.line,
+                col: t.col,
+                message: format!(
+                    "{} is seeded from the OS; use the vendored seeded RNG",
+                    t.text
+                ),
+            });
+        }
+        if t.is_ident("rand")
+            && path_sep(toks, i)
+            && toks.get(i + 3).is_some_and(|n| n.is_ident("random"))
+        {
+            out.push(RawFinding {
+                rule: RNG_SOURCE,
+                line: t.line,
+                col: t.col,
+                message: "rand::random is seeded from the OS; use the vendored \
+                          seeded RNG"
+                    .to_owned(),
+            });
+        }
+    }
+
+    scan_allow_attrs(lexed, cfg, &mut out);
+    out
+}
+
+/// `toks[i+1..=i+2]` is `::`.
+fn path_sep(toks: &[Tok], i: usize) -> bool {
+    toks.get(i + 1).is_some_and(|a| a.is_punct(':'))
+        && toks.get(i + 2).is_some_and(|b| b.is_punct(':'))
+}
+
+/// R5 — walks `#[allow(...)]` / `#![allow(...)]` attributes; any denied
+/// lint inside needs a `why:` in an adjacent comment (trailing on the
+/// attribute's line, or in the contiguous comment block directly above).
+fn scan_allow_attrs(lexed: &Lexed, cfg: &LintConfig, out: &mut Vec<RawFinding>) {
+    let toks = &lexed.tokens;
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !toks[i].is_punct('#') {
+            i += 1;
+            continue;
+        }
+        let attr_line = toks[i].line;
+        let attr_col = toks[i].col;
+        let mut j = i + 1;
+        if toks.get(j).is_some_and(|t| t.is_punct('!')) {
+            j += 1;
+        }
+        if !toks.get(j).is_some_and(|t| t.is_punct('[')) {
+            i += 1;
+            continue;
+        }
+        if !toks.get(j + 1).is_some_and(|t| t.is_ident("allow"))
+            || !toks.get(j + 2).is_some_and(|t| t.is_punct('('))
+        {
+            i += 1;
+            continue;
+        }
+        // Collect `::`-joined paths between the matching parentheses.
+        let mut depth = 0usize;
+        let mut k = j + 2;
+        let mut paths: Vec<String> = Vec::new();
+        let mut current = String::new();
+        while let Some(t) = toks.get(k) {
+            match t.kind {
+                crate::lexer::TokKind::Punct('(') => depth += 1,
+                crate::lexer::TokKind::Punct(')') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                crate::lexer::TokKind::Punct(':') => current.push(':'),
+                crate::lexer::TokKind::Punct(',') if !current.is_empty() => {
+                    paths.push(std::mem::take(&mut current));
+                }
+                crate::lexer::TokKind::Ident => current.push_str(&t.text),
+                _ => {}
+            }
+            k += 1;
+        }
+        if !current.is_empty() {
+            paths.push(current);
+        }
+        for p in &paths {
+            if cfg.denied_lints.iter().any(|d| d == p)
+                && !has_adjacent_why(&lexed.comments, attr_line)
+            {
+                out.push(RawFinding {
+                    rule: ALLOW_WHY,
+                    line: attr_line,
+                    col: attr_col,
+                    message: format!(
+                        "#[allow({p})] relaxes a denied lint without a why: \
+                         justification; add `// why: ...` on or directly \
+                         above the attribute"
+                    ),
+                });
+            }
+        }
+        i = k.max(i + 1);
+    }
+}
+
+/// A comment containing `why:` on `attr_line`, or in the contiguous run
+/// of comment-bearing lines immediately above it.
+fn has_adjacent_why(comments: &[Comment], attr_line: usize) -> bool {
+    let has = |line: usize| comments.iter().any(|c| c.line == line);
+    let why = |line: usize| {
+        comments
+            .iter()
+            .any(|c| c.line == line && c.text.contains("why:"))
+    };
+    if why(attr_line) {
+        return true;
+    }
+    let mut line = attr_line;
+    while line > 1 && has(line - 1) {
+        line -= 1;
+        if why(line) {
+            return true;
+        }
+    }
+    false
+}

@@ -1,0 +1,209 @@
+//! Fixture tests: for every rule R1–R5, one snippet that fires, one that
+//! is clean, and one that is suppressed with a `why:` justification.
+
+use mmp_lint::{
+    lint_source, LintConfig, ALLOW_WHY, HASH_ORDER, PARTIAL_CMP, RNG_SOURCE, WALLCLOCK,
+};
+
+const DECISION: &str = "crates/mcts/src/fixture.rs";
+const NON_DECISION: &str = "crates/geom/src/fixture.rs";
+
+fn unsuppressed(path: &str, src: &str) -> Vec<(String, usize)> {
+    lint_source(path, src, &LintConfig::default())
+        .into_iter()
+        .filter(|f| !f.suppressed)
+        .map(|f| (f.rule, f.line))
+        .collect()
+}
+
+fn suppressed(path: &str, src: &str) -> Vec<(String, String)> {
+    lint_source(path, src, &LintConfig::default())
+        .into_iter()
+        .filter(|f| f.suppressed)
+        .map(|f| (f.rule, f.why.unwrap_or_default()))
+        .collect()
+}
+
+// --- R1: hash-order ------------------------------------------------------
+
+#[test]
+fn hash_order_fires_in_decision_crates() {
+    let src = "fn f() {\n    let m: HashMap<u32, u32> = HashMap::new();\n}\n";
+    assert_eq!(unsuppressed(DECISION, src), vec![(HASH_ORDER.into(), 2)]);
+    let set = "fn f() {\n    let s: HashSet<u32> = HashSet::new();\n}\n";
+    assert_eq!(unsuppressed(DECISION, set), vec![(HASH_ORDER.into(), 2)]);
+}
+
+#[test]
+fn hash_order_is_clean_for_btree_and_non_decision_crates() {
+    let btree = "fn f() {\n    let m: BTreeMap<u32, u32> = BTreeMap::new();\n}\n";
+    assert!(unsuppressed(DECISION, btree).is_empty());
+    // The same HashMap is fine outside decision crates...
+    let hash = "fn f() {\n    let m: HashMap<u32, u32> = HashMap::new();\n}\n";
+    assert!(unsuppressed(NON_DECISION, hash).is_empty());
+    // ... and `use` declarations alone never fire.
+    let use_only = "use std::collections::HashMap;\n";
+    assert!(unsuppressed(DECISION, use_only).is_empty());
+    // String literals and comments are not code.
+    let quoted = "fn f() {\n    let s = \"HashMap\"; // HashMap in prose\n}\n";
+    assert!(unsuppressed(DECISION, quoted).is_empty());
+}
+
+#[test]
+fn hash_order_suppression_with_why_is_honoured() {
+    let src = "fn f() {\n    // mmp-lint: allow(hash-order) why: lookup only, never iterated\n    let m: HashMap<u32, u32> = HashMap::new();\n}\n";
+    assert!(unsuppressed(DECISION, src).is_empty());
+    assert_eq!(
+        suppressed(DECISION, src),
+        vec![(HASH_ORDER.into(), "lookup only, never iterated".into())]
+    );
+}
+
+// --- R2: partial-cmp -----------------------------------------------------
+
+#[test]
+fn partial_cmp_fires_everywhere() {
+    let src = "fn f(v: &mut [f64]) {\n    v.sort_by(|a, b| a.partial_cmp(b).unwrap());\n}\n";
+    assert_eq!(
+        unsuppressed(NON_DECISION, src),
+        vec![(PARTIAL_CMP.into(), 2)]
+    );
+}
+
+#[test]
+fn total_cmp_is_clean() {
+    let src = "fn f(v: &mut [f64]) {\n    v.sort_by(|a, b| a.total_cmp(b));\n}\n";
+    assert!(unsuppressed(NON_DECISION, src).is_empty());
+}
+
+#[test]
+fn partial_cmp_suppression_with_why_is_honoured() {
+    let src = "fn f(v: &mut [f64]) {\n    // mmp-lint: allow(partial-cmp) why: inputs are integers widened to f64, NaN impossible\n    v.sort_by(|a, b| a.partial_cmp(b).unwrap());\n}\n";
+    assert!(unsuppressed(NON_DECISION, src).is_empty());
+}
+
+// --- R3: wallclock -------------------------------------------------------
+
+#[test]
+fn wallclock_fires_outside_sanctioned_modules() {
+    let src =
+        "fn f() {\n    let t = Instant::now();\n    let s = std::time::SystemTime::now();\n}\n";
+    assert_eq!(
+        unsuppressed(DECISION, src),
+        vec![(WALLCLOCK.into(), 2), (WALLCLOCK.into(), 3)]
+    );
+}
+
+#[test]
+fn wallclock_is_clean_in_sanctioned_modules() {
+    let src = "fn f() {\n    let t = Instant::now();\n}\n";
+    assert!(unsuppressed("crates/obs/src/lib.rs", src).is_empty());
+    assert!(unsuppressed("crates/core/src/budget.rs", src).is_empty());
+    assert!(unsuppressed("crates/bench/src/bin/ablations.rs", src).is_empty());
+    // `Instant` in a type position is fine anywhere.
+    let ty = "fn f(deadline: Option<Instant>) -> bool {\n    deadline.is_some()\n}\n";
+    assert!(unsuppressed(DECISION, ty).is_empty());
+}
+
+#[test]
+fn wallclock_suppression_with_why_is_honoured() {
+    let src = "fn f() {\n    // mmp-lint: allow(wallclock) why: budget-deadline probe, degrades deterministically\n    let t = Instant::now();\n}\n";
+    assert!(unsuppressed(DECISION, src).is_empty());
+}
+
+// --- R4: rng-source ------------------------------------------------------
+
+#[test]
+fn rng_source_fires_on_os_seeded_randomness() {
+    let src = "fn f() {\n    let mut rng = thread_rng();\n    let x: f64 = rand::random();\n    let s = RandomState::new();\n}\n";
+    assert_eq!(
+        unsuppressed(NON_DECISION, src),
+        vec![
+            (RNG_SOURCE.into(), 2),
+            (RNG_SOURCE.into(), 3),
+            (RNG_SOURCE.into(), 4)
+        ]
+    );
+}
+
+#[test]
+fn seeded_rng_is_clean() {
+    let src =
+        "fn f() {\n    let mut rng = SmallRng::seed_from_u64(7);\n    let x: f64 = rng.gen();\n}\n";
+    assert!(unsuppressed(NON_DECISION, src).is_empty());
+}
+
+#[test]
+fn rng_source_suppression_with_why_is_honoured() {
+    let src = "fn f() {\n    // mmp-lint: allow(rng-source) why: fixture exercising the OS entropy path itself\n    let mut rng = thread_rng();\n}\n";
+    assert!(unsuppressed(NON_DECISION, src).is_empty());
+}
+
+// --- R5: allow-why -------------------------------------------------------
+
+#[test]
+fn allow_of_denied_lint_without_why_fires() {
+    let src = "#[allow(clippy::unwrap_used)]\nfn f() {}\n";
+    assert_eq!(unsuppressed(NON_DECISION, src), vec![(ALLOW_WHY.into(), 1)]);
+    // Inner attributes are covered too.
+    let inner = "#![allow(clippy::print_stdout)]\nfn f() {}\n";
+    assert_eq!(
+        unsuppressed(NON_DECISION, inner),
+        vec![(ALLOW_WHY.into(), 1)]
+    );
+}
+
+#[test]
+fn allow_with_adjacent_why_is_clean() {
+    // Trailing on the attribute line.
+    let trailing = "#[allow(clippy::unwrap_used)] // why: invariant, not input\nfn f() {}\n";
+    assert!(unsuppressed(NON_DECISION, trailing).is_empty());
+    // In the contiguous comment block directly above.
+    let above = "// why: invariant, not input: the slice is non-empty by construction\n#[allow(clippy::expect_used)]\nfn f() {}\n";
+    assert!(unsuppressed(NON_DECISION, above).is_empty());
+    // Allows of lints that are not denied need no justification.
+    let benign = "#[allow(clippy::too_many_arguments)]\nfn f() {}\n";
+    assert!(unsuppressed(NON_DECISION, benign).is_empty());
+}
+
+#[test]
+fn allow_why_directive_is_self_satisfying() {
+    // A directive targeting allow-why is self-defeating by design: its own
+    // `why:` text sits adjacent to the attribute, which already satisfies
+    // R5, so the rule never fires and the directive is flagged as unused.
+    // The justification requirement is met either way — there is no path
+    // to an unjustified denied-lint allow.
+    let src = "// mmp-lint: allow(allow-why) why: justification lives in the module docs\n#[allow(clippy::unwrap_used)]\nfn f() {}\n";
+    let rules = unsuppressed(NON_DECISION, src);
+    assert_eq!(rules, vec![("suppression".into(), 1)]);
+}
+
+// --- suppression meta rule -----------------------------------------------
+
+#[test]
+fn malformed_and_unused_suppressions_are_findings() {
+    let missing_why = "// mmp-lint: allow(hash-order)\nfn f() {}\n";
+    assert_eq!(
+        unsuppressed(NON_DECISION, missing_why),
+        vec![("suppression".into(), 1)]
+    );
+    let unknown_rule = "// mmp-lint: allow(made-up) why: x\nfn f() {}\n";
+    assert_eq!(
+        unsuppressed(NON_DECISION, unknown_rule),
+        vec![("suppression".into(), 1)]
+    );
+    let unused = "// mmp-lint: allow(wallclock) why: nothing here uses the clock\nfn f() {}\n";
+    assert_eq!(
+        unsuppressed(NON_DECISION, unused),
+        vec![("suppression".into(), 1)]
+    );
+}
+
+#[test]
+fn suppressions_only_reach_their_own_and_next_line() {
+    let too_far = "fn f() {\n    // mmp-lint: allow(wallclock) why: too far away\n\n    let t = Instant::now();\n}\n";
+    let rules: Vec<_> = unsuppressed(DECISION, too_far);
+    // The finding stays unsuppressed and the directive is flagged unused.
+    assert!(rules.iter().any(|(r, _)| r == WALLCLOCK));
+    assert!(rules.iter().any(|(r, _)| r == "suppression"));
+}

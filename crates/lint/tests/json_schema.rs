@@ -1,0 +1,83 @@
+//! The `--format json` output must stay machine-parseable with a stable
+//! shape: downstream CI tooling consumes it. These tests parse the
+//! hand-rolled emitter's output with the vendored JSON reader.
+
+use mmp_lint::{lint_source, render_json, LintConfig};
+use serde::{map_get, Value};
+use serde_json::parse_value;
+
+fn findings_for(src: &str) -> Vec<mmp_lint::Finding> {
+    lint_source("crates/mcts/src/fixture.rs", src, &LintConfig::default())
+}
+
+fn get<'a>(v: &'a Value, key: &str) -> &'a Value {
+    map_get(v, key).unwrap_or_else(|| panic!("missing key `{key}`"))
+}
+
+fn as_str(v: &Value) -> &str {
+    match v {
+        Value::Str(s) => s,
+        other => panic!("expected string, got {other:?}"),
+    }
+}
+
+#[test]
+fn json_output_matches_the_documented_schema() {
+    let src = "fn f() {\n    let t = Instant::now();\n    // mmp-lint: allow(hash-order) why: probe only\n    let m: HashMap<u32, u32> = HashMap::new();\n}\n";
+    let findings = findings_for(src);
+    let doc = parse_value(&render_json(&findings)).expect("valid JSON");
+
+    assert_eq!(get(&doc, "version").as_u64(), Some(1));
+    assert_eq!(get(&doc, "total").as_u64(), Some(findings.len() as u64));
+    let live = findings.iter().filter(|f| !f.suppressed).count();
+    assert_eq!(get(&doc, "unsuppressed").as_u64(), Some(live as u64));
+
+    let arr = match get(&doc, "findings") {
+        Value::Seq(items) => items,
+        other => panic!("expected findings array, got {other:?}"),
+    };
+    assert_eq!(arr.len(), findings.len());
+    for (j, f) in arr.iter().zip(&findings) {
+        assert_eq!(as_str(get(j, "rule")), f.rule);
+        assert_eq!(as_str(get(j, "path")), f.path);
+        assert_eq!(get(j, "line").as_u64(), Some(f.line as u64));
+        assert_eq!(get(j, "col").as_u64(), Some(f.col as u64));
+        assert!(matches!(get(j, "message"), Value::Str(_)));
+        assert_eq!(get(j, "suppressed"), &Value::Bool(f.suppressed));
+        match &f.why {
+            Some(w) => assert_eq!(as_str(get(j, "why")), w),
+            None => assert_eq!(get(j, "why"), &Value::Null),
+        }
+    }
+
+    // The fixture covers both states: one live wallclock finding and one
+    // suppressed hash-order finding carrying its why text.
+    assert_eq!(get(&doc, "unsuppressed").as_u64(), Some(1));
+    assert!(arr.iter().any(|j| as_str(get(j, "rule")) == "hash-order"
+        && get(j, "suppressed") == &Value::Bool(true)
+        && as_str(get(j, "why")) == "probe only"));
+}
+
+#[test]
+fn json_output_escapes_special_characters() {
+    // A suppression why containing quotes and backslashes must survive the
+    // round-trip through the hand-rolled emitter.
+    let src = "fn f() {\n    // mmp-lint: allow(wallclock) why: probe \"quoted\" and back\\slash\n    let t = Instant::now();\n}\n";
+    let doc = parse_value(&render_json(&findings_for(src))).expect("valid JSON");
+    let arr = match get(&doc, "findings") {
+        Value::Seq(items) => items,
+        other => panic!("expected findings array, got {other:?}"),
+    };
+    assert!(arr
+        .iter()
+        .any(|j| as_str(get(j, "why")) == "probe \"quoted\" and back\\slash"));
+}
+
+#[test]
+fn empty_findings_render_as_an_empty_report() {
+    let doc = parse_value(&render_json(&[])).expect("valid JSON");
+    assert_eq!(get(&doc, "version").as_u64(), Some(1));
+    assert_eq!(get(&doc, "total").as_u64(), Some(0));
+    assert_eq!(get(&doc, "unsuppressed").as_u64(), Some(0));
+    assert_eq!(get(&doc, "findings"), &Value::Seq(Vec::new()));
+}

@@ -1,0 +1,47 @@
+//! The workspace must lint clean against its own conventions: every
+//! finding in the real source tree is either fixed or suppressed with a
+//! `why:` justification. This is the same gate CI runs via
+//! `cargo run -p mmp-lint -- check`.
+
+use mmp_lint::{lint_source, lint_workspace, render_text, LintConfig};
+use std::path::Path;
+
+fn workspace_root() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+#[test]
+fn workspace_has_zero_unsuppressed_findings() {
+    let findings =
+        lint_workspace(&workspace_root(), &LintConfig::default()).expect("workspace walk succeeds");
+    let live: Vec<_> = findings.iter().filter(|f| !f.suppressed).cloned().collect();
+    assert!(
+        live.is_empty(),
+        "unsuppressed lint findings in the workspace:\n{}",
+        render_text(&live)
+    );
+    // The walk must actually have covered the tree — a silent empty walk
+    // would make this test vacuous.
+    assert!(
+        !findings.is_empty(),
+        "expected the workspace's justified suppressions to be reported"
+    );
+    assert!(findings.iter().all(|f| f.suppressed && f.why.is_some()));
+}
+
+#[test]
+fn introducing_a_violation_is_caught() {
+    // Acceptance check for the gate itself: the same engine that passes the
+    // real tree flags a freshly introduced violation in a decision crate.
+    let bad = "fn order(groups: &HashMap<u32, f64>) -> Vec<u32> {\n    let mut ids: Vec<u32> = groups.keys().copied().collect();\n    ids.sort_by(|a, b| groups[a].partial_cmp(&groups[b]).unwrap());\n    ids\n}\n";
+    let findings = lint_source("crates/mcts/src/injected.rs", bad, &LintConfig::default());
+    let live: Vec<_> = findings.iter().filter(|f| !f.suppressed).collect();
+    assert!(
+        live.iter().any(|f| f.rule == "hash-order"),
+        "injected HashMap not flagged"
+    );
+    assert!(
+        live.iter().any(|f| f.rule == "partial-cmp"),
+        "injected partial_cmp not flagged"
+    );
+}

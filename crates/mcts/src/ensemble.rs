@@ -192,6 +192,7 @@ pub fn place_ensemble_with_deadline(
     // NaN-sane: a poisoned wirelength sorts above every real score, so it
     // can never win.
     let sane = |w: f64| if w.is_nan() { f64::INFINITY } else { w };
+    // why: invariant, not input: the caller guarantees at least one survivor
     #[allow(clippy::expect_used)]
     let best = survivors
         .into_iter()

@@ -23,7 +23,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::time::Instant;
 
 /// MCTS parameters.
@@ -351,6 +351,7 @@ impl MctsPlacer {
             let goal = self.config.explorations.max(1);
             let mut done = 0;
             while done < goal {
+                // mmp-lint: allow(wallclock) why: budget-deadline probe; expiry only degrades to the deterministic policy-greedy path
                 if deadline.is_some_and(|d| Instant::now() >= d) {
                     stats.deadline_expired = true;
                     break;
@@ -463,8 +464,8 @@ impl MctsPlacer {
         &self,
         tree: &mut SearchTree,
         root_env: &PlacementEnv<'a>,
-        inflight_edge: &HashMap<(usize, usize), u32>,
-        inflight_node: &HashMap<usize, u32>,
+        inflight_edge: &BTreeMap<(usize, usize), u32>,
+        inflight_node: &BTreeMap<usize, u32>,
     ) -> (Vec<(usize, usize)>, usize, PlacementEnv<'a>) {
         let mut sim = root_env.clone();
         let mut node = tree.root();
@@ -571,14 +572,14 @@ impl MctsPlacer {
         budget: usize,
     ) -> usize {
         let wave = self.config.wave.max(1).min(budget.max(1));
-        let no_inflight: HashMap<(usize, usize), u32> = HashMap::new();
-        let no_inflight_node: HashMap<usize, u32> = HashMap::new();
+        let no_inflight: BTreeMap<(usize, usize), u32> = BTreeMap::new();
+        let no_inflight_node: BTreeMap<usize, u32> = BTreeMap::new();
 
         // --- Phase 1: speculate and batch-evaluate -----------------------
-        let mut results: HashMap<usize, mmp_rl::NetOutput> = HashMap::new();
+        let mut results: BTreeMap<usize, mmp_rl::NetOutput> = BTreeMap::new();
         if wave > 1 {
-            let mut inflight_edge: HashMap<(usize, usize), u32> = HashMap::new();
-            let mut inflight_node: HashMap<usize, u32> = HashMap::new();
+            let mut inflight_edge: BTreeMap<(usize, usize), u32> = BTreeMap::new();
+            let mut inflight_node: BTreeMap<usize, u32> = BTreeMap::new();
             let mut pending: Vec<PendingLeaf> = Vec::new();
             while pending.len() < wave {
                 let (path, node, sim) =
@@ -842,6 +843,7 @@ mod tests {
             ..MctsConfig::default()
         });
         let result =
+            // mmp-lint: allow(wallclock) why: test constructs an already-expired deadline on purpose
             placer.place_with_deadline(&trainer, &out.agent, &out.scale, Some(Instant::now()));
         let groups = trainer.coarse().macro_groups().len();
         assert!(result.stats.deadline_expired);
@@ -859,6 +861,7 @@ mod tests {
         let trainer = Trainer::new(&d, cfg);
         let out = trainer.train();
         let placer = MctsPlacer::new(MctsConfig::default());
+        // mmp-lint: allow(wallclock) why: test constructs an already-expired deadline on purpose
         let past = Instant::now();
         let a = placer.place_with_deadline(&trainer, &out.agent, &out.scale, Some(past));
         let b = placer.place_with_deadline(&trainer, &out.agent, &out.scale, Some(past));

@@ -124,7 +124,7 @@ impl SearchTree {
     }
 
     /// The child node behind `(node, edge_idx)`, created on first use.
-    // Invariant, not input: callers only descend through nodes they have
+    // why: invariant, not input: callers only descend through nodes they have
     // already expanded.
     #[allow(clippy::expect_used)]
     pub fn child_of(&mut self, node: usize, edge_idx: usize) -> usize {
@@ -147,7 +147,7 @@ impl SearchTree {
 
     /// Backpropagation (Eq. 12): every edge along `path` gains a visit and
     /// accumulates `value`.
-    // Invariant, not input: the selection path only contains expanded nodes.
+    // why: invariant, not input: the selection path only contains expanded nodes.
     #[allow(clippy::expect_used)]
     pub fn backpropagate(&mut self, path: &[(usize, usize)], value: f64) {
         for &(node, edge_idx) in path {

@@ -175,6 +175,7 @@ pub fn read<R: Read>(name: &str, r: R) -> Result<(Design, Option<Placement>), Re
     let reader = BufReader::new(r);
     let mut builder: Option<DesignBuilder> = None;
     let mut section = Section::Prelude;
+    // mmp-lint: allow(hash-order) why: name→node lookup for pin resolution, only probed, never iterated
     let mut node_refs: HashMap<String, NodeRef> = HashMap::new();
     let mut pl_lines: Vec<(String, Point)> = Vec::new();
     let mut saw_pl = false;

@@ -20,7 +20,7 @@ use crate::design::Design;
 use crate::ids::NodeRef;
 use crate::Placement;
 use mmp_geom::{Point, Rect};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -155,7 +155,7 @@ pub fn read_aux(
     }
 
     // --- .pl ------------------------------------------------------------
-    let mut positions: HashMap<String, (Point, bool)> = HashMap::new();
+    let mut positions: BTreeMap<String, (Point, bool)> = BTreeMap::new();
     let pl_src = read_file(&pl_file)?;
     for (lineno, line) in pl_src.lines().enumerate() {
         let line = line.trim();
@@ -221,7 +221,7 @@ pub fn read_aux(
             .unwrap_or_else(|| "aux".into()),
         region,
     );
-    let mut refs: HashMap<String, NodeRef> = HashMap::new();
+    let mut refs: BTreeMap<String, NodeRef> = BTreeMap::new();
     for (name, node) in &raw {
         let (ll, fixed) = positions
             .get(name)
@@ -326,7 +326,7 @@ pub fn read_aux(
 /// # Errors
 ///
 /// Propagates file-creation/write failures.
-// Bare `fs::write` is sanctioned here: `.aux` bundles are one-shot export
+// why: bare `fs::write` is sanctioned here: `.aux` bundles are one-shot export
 // artifacts, not resumable state, so the crash-safe checkpoint envelope
 // (whose clippy ban this allow scopes out) does not apply.
 #[allow(clippy::disallowed_methods)]
@@ -425,7 +425,7 @@ pub fn write_aux(
 }
 
 #[cfg(test)]
-// Tests write fixture files directly; the checkpoint-envelope ban on bare
+// why: tests write fixture files directly; the checkpoint-envelope ban on bare
 // `fs::write` targets resumable production state only.
 #[allow(clippy::disallowed_methods)]
 mod tests {

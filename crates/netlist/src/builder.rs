@@ -3,7 +3,7 @@
 use crate::design::{Cell, Design, Macro, Net, Pad, Pin};
 use crate::ids::{CellId, MacroId, NetId, NodeRef, PadId};
 use mmp_geom::{Point, Rect};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::error::Error;
 use std::fmt;
 
@@ -247,7 +247,7 @@ impl DesignBuilder {
         if self.region.is_empty() {
             return Err(BuildDesignError::EmptyRegion);
         }
-        let mut seen = HashSet::new();
+        let mut seen = BTreeSet::new();
         for name in self
             .macros
             .iter()

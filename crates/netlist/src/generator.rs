@@ -296,7 +296,7 @@ impl SyntheticSpec {
                 }
             }
             let weight = if rng.gen::<f64>() < 0.05 { 2.0 } else { 1.0 };
-            // Invariant, not input: the generator only emits nets over nodes
+            // why: invariant, not input: the generator only emits nets over nodes
             // it just created, so `add_net` cannot see an unknown reference.
             #[allow(clippy::expect_used)]
             b.add_net(format!("n{net_no}"), pins, weight)
@@ -416,7 +416,7 @@ impl SyntheticSpec {
             push_net(&mut b, &mut rng, pins, &mut macro_net_count, &mut net_no);
         }
 
-        // Invariant, not input: the spec clamps sizes to the region, so the
+        // why: invariant, not input: the spec clamps sizes to the region, so the
         // synthesized design always validates.
         #[allow(clippy::expect_used)]
         b.build().expect("generated design is valid")

@@ -136,6 +136,7 @@ mod tests {
     fn ids_are_ordered_and_hashable() {
         use std::collections::HashSet;
         assert!(MacroId(1) < MacroId(2));
+        // mmp-lint: allow(hash-order) why: this test exercises the Hash impl itself; the set is never iterated
         let set: HashSet<NodeRef> = [NodeRef::Macro(MacroId(0)), NodeRef::Cell(CellId(0))]
             .into_iter()
             .collect();

@@ -103,8 +103,8 @@ fn render_pretty(t_us: u64, scope: &str, name: &str, fields: &[Field]) -> String
 pub struct StderrSink;
 
 impl Sink for StderrSink {
-    // The whole workspace forbids `eprintln!` in library code; the stderr
-    // sink is the one sanctioned exit point.
+    // why: the whole workspace forbids `eprintln!` in library code, and the
+    // stderr sink is the one sanctioned exit point.
     #[allow(clippy::print_stderr)]
     fn record(&self, t_us: u64, scope: &str, name: &str, fields: &[Field]) {
         eprintln!("{}", render_pretty(t_us, scope, name, fields));

@@ -41,7 +41,7 @@ pub struct State {
 /// while !env.is_terminal() {
 ///     let state = env.state();
 ///     let action = state.s_a.iter().enumerate()
-///         .max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).map(|(i, _)| i).unwrap();
+///         .max_by(|a, b| a.1.total_cmp(b.1)).map(|(i, _)| i).unwrap();
 ///     env.step(action);
 /// }
 /// assert_eq!(env.assignment().len(), coarse.macro_groups().len());
@@ -65,7 +65,7 @@ impl<'d> PlacementEnv<'d> {
         let mut base = Occupancy::new(grid.zeta());
         for id in design.preplaced_macros() {
             let m = design.macro_(id);
-            // Invariant, not input: `preplaced_macros()` yields exactly the
+            // why: invariant, not input: `preplaced_macros()` yields exactly the
             // macros constructed with a fixed center.
             #[allow(clippy::expect_used)]
             let c = m.fixed_center.expect("preplaced macro has a center");

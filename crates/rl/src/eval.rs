@@ -46,7 +46,7 @@ impl FullEvaluator {
 
     /// Runs the pipeline and returns the final placement alongside HPWL.
     pub fn place(&self, env: &PlacementEnv<'_>) -> (Placement, f64) {
-        // Invariant, not input: the env only reaches a terminal state once
+        // why: invariant, not input: the env only reaches a terminal state once
         // every group has an assignment, so legalize cannot see a length
         // mismatch.
         #[allow(clippy::expect_used)]

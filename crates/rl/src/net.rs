@@ -243,7 +243,7 @@ impl PolicyValueNet {
         total: usize,
         ctx: &mut InferenceCtx,
     ) -> NetOutput {
-        // Invariant, not input: forward_batch returns one output per state.
+        // why: invariant, not input: forward_batch returns one output per state.
         #[allow(clippy::expect_used)]
         self.forward_batch(&[StateRef { s_p, s_a, t, total }], ctx)
             .pop()
@@ -274,7 +274,7 @@ impl PolicyValueNet {
                         scope.spawn(move || self.forward_batch_seq(part, &mut InferenceCtx::new()))
                     })
                     .collect();
-                // Invariant, not input: a worker can only fail by
+                // why: invariant, not input: a worker can only fail by
                 // panicking, which this join deliberately propagates.
                 #[allow(clippy::expect_used)]
                 parts.extend(
@@ -383,7 +383,7 @@ impl PolicyValueNet {
     /// Training-mode forward for one transition (a minibatch of one); see
     /// [`PolicyValueNet::forward_train_batch`].
     pub fn forward_train(&mut self, s_p: &[f32], s_a: &[f32], t: usize, total: usize) -> NetOutput {
-        // Invariant, not input: forward_train_batch returns one output per
+        // why: invariant, not input: forward_train_batch returns one output per
         // state.
         #[allow(clippy::expect_used)]
         self.forward_train_batch(&[StateRef { s_p, s_a, t, total }])
@@ -513,7 +513,7 @@ impl PolicyValueNet {
     /// Panics without a preceding training-mode forward or when
     /// `targets.len()` differs from the cached batch size.
     pub fn backward_batch(&mut self, targets: &[(usize, f32)], beta: f32) {
-        // Documented panic: callers must pair backward with a training
+        // why: documented panic: callers must pair backward with a training
         // forward; see the `# Panics` section.
         #[allow(clippy::expect_used)]
         let cache = self

@@ -470,6 +470,7 @@ impl<'d> Trainer<'d> {
         let mut buffer: Vec<Transition> = Vec::new();
 
         for episode in start_episode..self.config.episodes {
+            // mmp-lint: allow(wallclock) why: budget-deadline probe; expiry only early-stops onto last-good weights
             if deadline.is_some_and(|d| Instant::now() >= d) {
                 history.early_stopped = true;
                 if self.obs.tracing() {
@@ -730,6 +731,7 @@ mod tests {
         let mut cfg = TrainerConfig::tiny(4);
         cfg.episodes = 50;
         let trainer = Trainer::new(&d, cfg);
+        // mmp-lint: allow(wallclock) why: test constructs an already-expired deadline on purpose
         let out = trainer.train_with_deadline(Some(Instant::now())).unwrap();
         assert!(out.history.early_stopped);
         assert!(out.history.episode_rewards.is_empty());

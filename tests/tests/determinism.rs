@@ -1,0 +1,70 @@
+//! Two-run bitwise determinism regression: the invariant `mmp-lint`'s
+//! rules exist to protect. The full flow, run twice in one process on the
+//! same design and config, must produce bit-identical placements, HPWL,
+//! and run-report counters/gauges — any drift means unordered iteration,
+//! OS-seeded randomness, or wall-clock leakage reached a decision.
+
+use mmp_core::{MacroPlacer, PlacementResult, PlacerConfig, RunReport, SyntheticSpec};
+use mmp_netlist::MacroId;
+use mmp_obs::Obs;
+
+fn small_config() -> PlacerConfig {
+    let mut cfg = PlacerConfig::fast(6);
+    cfg.trainer.episodes = 8;
+    cfg.trainer.calibration_episodes = 4;
+    cfg.mcts.explorations = 12;
+    cfg
+}
+
+fn run_once(design: &mmp_netlist::Design) -> (PlacementResult, RunReport) {
+    // A fresh Obs per run: shared metrics would hide per-run drift.
+    let obs = Obs::metrics_only();
+    let result = MacroPlacer::new(small_config())
+        .with_obs(obs.clone())
+        .place(design)
+        .unwrap();
+    let report = RunReport::new(design.name(), &result, &obs.snapshot());
+    (result, report)
+}
+
+#[test]
+fn full_flow_is_bitwise_deterministic_across_two_runs() {
+    let design = SyntheticSpec::small("det_reg", 10, 2, 14, 120, 200, true, 21).generate();
+    let (ra, pa) = run_once(&design);
+    let (rb, pb) = run_once(&design);
+
+    // HPWL to the last bit — not an epsilon comparison.
+    assert_eq!(ra.hpwl.to_bits(), rb.hpwl.to_bits(), "HPWL drifted");
+
+    // The grid assignment (the MCTS/RL decision output) must be identical.
+    assert_eq!(ra.assignment, rb.assignment, "grid assignment drifted");
+
+    // Every macro coordinate, bit for bit.
+    for i in 0..design.macros().len() {
+        let ca = ra.placement.macro_center(MacroId::from_index(i));
+        let cb = rb.placement.macro_center(MacroId::from_index(i));
+        assert_eq!(
+            (ca.x.to_bits(), ca.y.to_bits()),
+            (cb.x.to_bits(), cb.y.to_bits()),
+            "macro {i} moved between runs"
+        );
+    }
+
+    // Run-report counters and gauges capture per-stage work (solver
+    // iterations, search visits, legalization rounds). Wall-clock fields
+    // (`timings`, `span_ms`) are excluded: they legitimately vary.
+    assert_eq!(pa.counters, pb.counters, "observability counters drifted");
+    assert_eq!(
+        pa.gauges.keys().collect::<Vec<_>>(),
+        pb.gauges.keys().collect::<Vec<_>>(),
+        "gauge set drifted"
+    );
+    for (k, va) in &pa.gauges {
+        let vb = pb.gauges[k];
+        assert_eq!(va.to_bits(), vb.to_bits(), "gauge {k} drifted");
+    }
+
+    // Deterministic report sections beyond the metrics registry.
+    assert_eq!(pa.training, pb.training, "training summary drifted");
+    assert_eq!(pa.search, pb.search, "search stats drifted");
+}
