@@ -6,7 +6,7 @@
 //! best assignment found.
 
 use crate::placer::MacroPlacer;
-use mmp_cluster::{ClusterParams, Coarsener};
+use mmp_cluster::{ClusterParams, CoarseHpwlCache, Coarsener};
 use mmp_geom::{Grid, GridIndex, Point};
 use mmp_legal::MacroLegalizer;
 use mmp_netlist::{Design, Placement};
@@ -39,19 +39,6 @@ impl SaPlacer {
             seed,
         }
     }
-
-    fn coarse_cost(
-        &self,
-        coarse: &mmp_cluster::CoarsenedNetlist,
-        grid: &Grid,
-        assignment: &[GridIndex],
-    ) -> f64 {
-        let centers: Vec<Point> = assignment
-            .iter()
-            .map(|&idx| grid.cell_at(idx).center())
-            .collect();
-        coarse.hpwl(&centers, &coarse.cell_group_centers())
-    }
 }
 
 impl MacroPlacer for SaPlacer {
@@ -71,7 +58,16 @@ impl MacroPlacer for SaPlacer {
         let mut assignment: Vec<GridIndex> = (0..groups)
             .map(|_| grid.unflatten(rng.gen_range(0..grid.cell_count())))
             .collect();
-        let mut cost = self.coarse_cost(&coarse, &grid, &assignment);
+        // The delta evaluator mirrors the incumbent assignment's centers;
+        // candidate moves re-score only the touched groups' nets, and its
+        // totals match the full `coarse.hpwl` pass bit for bit, so the
+        // anneal trajectory is unchanged by the migration.
+        let centers: Vec<Point> = assignment
+            .iter()
+            .map(|&idx| grid.cell_at(idx).center())
+            .collect();
+        let mut cache = CoarseHpwlCache::new(&coarse, centers, coarse.cell_group_centers());
+        let mut cost = cache.total();
         let mut best = (assignment.clone(), cost);
         let mut temp = cost * self.initial_temp;
 
@@ -82,21 +78,27 @@ impl MacroPlacer for SaPlacer {
                 let a = rng.gen_range(0..groups);
                 let b = rng.gen_range(0..groups);
                 candidate.swap(a, b);
+                cache.set_group(&coarse, a, grid.cell_at(candidate[a]).center());
+                cache.set_group(&coarse, b, grid.cell_at(candidate[b]).center());
             } else {
                 let g = rng.gen_range(0..groups);
                 candidate[g] = grid.unflatten(rng.gen_range(0..grid.cell_count()));
+                cache.set_group(&coarse, g, grid.cell_at(candidate[g]).center());
             }
-            let c = self.coarse_cost(&coarse, &grid, &candidate);
+            let c = cache.total();
             let accept = c < cost || {
                 let delta = c - cost;
                 temp > 0.0 && rng.gen::<f64>() < (-delta / temp).exp()
             };
             if accept {
+                cache.commit();
                 assignment = candidate;
                 cost = c;
                 if cost < best.1 {
                     best = (assignment.clone(), cost);
                 }
+            } else {
+                cache.revert();
             }
             temp *= self.cooling;
         }

@@ -1,0 +1,46 @@
+//! Single-macro delta evaluation vs full HPWL recompute.
+//!
+//! The hot loop of the swap-refinement stage (and of the migrated
+//! flip/refine/SA/SE consumers) is "move one macro, re-score": the
+//! incremental evaluator re-boxes only the nets touching the moved macro
+//! and re-sums cached per-net values, where the full pass re-boxes every
+//! net. The `snapshot` bin (`incremental_hpwl`) archives the same
+//! comparison as `results/BENCH_incremental_hpwl.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mmp_core::Point;
+use mmp_netlist::{Design, IncrementalHpwl, MacroId, Placement, SyntheticSpec};
+
+/// A paper-scale synthetic circuit (ICCAD04-like density at fixed size,
+/// so the bench does not depend on `MMP_SCALE`).
+fn bench_design() -> Design {
+    SyntheticSpec::small("inc_bench", 24, 4, 40, 1500, 2600, true, 7).generate()
+}
+
+fn bench_incremental_hpwl(c: &mut Criterion) {
+    let design = bench_design();
+    let placement = Placement::initial(&design);
+    let mut group = c.benchmark_group("incremental_hpwl");
+    group.sample_size(40);
+
+    group.bench_function("full_recompute", |b| {
+        b.iter(|| criterion::black_box(placement.hpwl(&design)))
+    });
+
+    let mut inc = IncrementalHpwl::new(&design, placement.clone());
+    let probe = MacroId::from_index(0);
+    group.bench_function("single_macro_delta", |b| {
+        b.iter(|| {
+            let c = inc.placement().macro_center(probe);
+            inc.move_macro(probe, Point::new(c.x + 1.0, c.y));
+            let total = criterion::black_box(inc.total());
+            inc.revert();
+            total
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_incremental_hpwl);
+criterion_main!(benches);

@@ -1,0 +1,274 @@
+//! Incremental (delta) HPWL evaluation over a [`CoarsenedNetlist`].
+//!
+//! The coarse-level siblings of `mmp_netlist::IncrementalHpwl`: annealing,
+//! evolutionary allocation and the coarse episode evaluator all perturb one
+//! macro-group center at a time, and a full
+//! [`CoarsenedNetlist::hpwl`] pass is O(all coarse nets) per probe.
+//! [`CoarseHpwlCache`] owns the center vectors, caches every net's
+//! *weighted* half-perimeter, and per move recomputes only the nets
+//! incident to the touched group — with the exact arithmetic of the full
+//! pass (same endpoint order, same `weight * half_perimeter` product).
+//! [`CoarseHpwlCache::total`] re-sums the cached values in ascending net
+//! order from `0.0`, the association [`CoarsenedNetlist::hpwl`] uses, so it
+//! is **bitwise-equal** to the full recompute at every point.
+//!
+//! The cache does not borrow the netlist; mutating methods take it as an
+//! argument. All methods assume the *same* netlist the cache was built
+//! from.
+
+use crate::coarsen::{CoarsenedNetlist, GroupRef};
+use mmp_geom::{BoundingBox, NetValueCache, Point};
+
+/// Journaled per-net weighted-HPWL cache over owned group centers.
+///
+/// # Example
+///
+/// ```
+/// use mmp_cluster::{ClusterParams, Coarsener, CoarseHpwlCache};
+/// use mmp_geom::Point;
+/// use mmp_netlist::{Placement, SyntheticSpec};
+///
+/// let design = SyntheticSpec::small("chc", 8, 0, 8, 60, 90, false, 4).generate();
+/// let coarse = Coarsener::new(&ClusterParams::paper(100.0))
+///     .coarsen(&design, &Placement::initial(&design));
+/// let mc = coarse.macro_group_centers();
+/// let cc = coarse.cell_group_centers();
+/// let mut cache = CoarseHpwlCache::new(&coarse, mc.clone(), cc.clone());
+/// assert_eq!(cache.total().to_bits(), coarse.hpwl(&mc, &cc).to_bits());
+///
+/// cache.set_group(&coarse, 0, Point::new(1.0, 1.0));
+/// cache.revert();
+/// assert_eq!(cache.total().to_bits(), coarse.hpwl(&mc, &cc).to_bits());
+/// ```
+#[derive(Debug, Clone)]
+pub struct CoarseHpwlCache {
+    /// Net indices touching each macro group, ascending per group.
+    nets_of_group: Vec<Vec<u32>>,
+    macro_centers: Vec<Point>,
+    cell_centers: Vec<Point>,
+    cache: NetValueCache,
+    undo: Vec<(u32, Point)>,
+}
+
+/// One net's weighted half-perimeter, computed exactly as
+/// [`CoarsenedNetlist::hpwl`] does per net.
+fn net_value(coarse: &CoarsenedNetlist, i: usize, mc: &[Point], cc: &[Point]) -> f64 {
+    let net = &coarse.nets()[i];
+    let mut bb = BoundingBox::empty();
+    for ep in &net.endpoints {
+        let p = match *ep {
+            GroupRef::MacroGroup(g) => mc[g],
+            GroupRef::CellGroup(g) => cc[g],
+            GroupRef::Fixed(p) => p,
+        };
+        bb.extend(p);
+    }
+    net.weight * bb.half_perimeter()
+}
+
+impl CoarseHpwlCache {
+    /// Builds the cache, scoring every coarse net once at the given
+    /// centers.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a center vector is shorter than its group count.
+    pub fn new(
+        coarse: &CoarsenedNetlist,
+        macro_centers: Vec<Point>,
+        cell_centers: Vec<Point>,
+    ) -> Self {
+        assert!(macro_centers.len() >= coarse.macro_groups().len());
+        assert!(cell_centers.len() >= coarse.cell_groups().len());
+        let mut nets_of_group = vec![Vec::new(); coarse.macro_groups().len()];
+        for (i, net) in coarse.nets().iter().enumerate() {
+            for ep in &net.endpoints {
+                if let GroupRef::MacroGroup(g) = *ep {
+                    // Coarsening dedups group endpoints, so each net
+                    // appears at most once per group and stays ascending.
+                    nets_of_group[g].push(i as u32);
+                }
+            }
+        }
+        let values = (0..coarse.nets().len())
+            .map(|i| net_value(coarse, i, &macro_centers, &cell_centers))
+            .collect();
+        CoarseHpwlCache {
+            nets_of_group,
+            macro_centers,
+            cell_centers,
+            cache: NetValueCache::new(values),
+            undo: Vec::new(),
+        }
+    }
+
+    /// `true` when the cache's shape matches `coarse` (group and net
+    /// counts) — the cheap guard consumers use before reusing a cache.
+    pub fn matches(&self, coarse: &CoarsenedNetlist) -> bool {
+        self.macro_centers.len() == coarse.macro_groups().len()
+            && self.cell_centers.len() == coarse.cell_groups().len()
+            && self.cache.len() == coarse.nets().len()
+    }
+
+    /// Current macro-group centers.
+    #[inline]
+    pub fn macro_centers(&self) -> &[Point] {
+        &self.macro_centers
+    }
+
+    /// Moves macro group `g` to `p`, re-scoring its incident nets; returns
+    /// the accumulated raw delta (diagnostic — exact totals come from
+    /// [`CoarseHpwlCache::total`]).
+    pub fn set_group(&mut self, coarse: &CoarsenedNetlist, g: usize, p: Point) -> f64 {
+        self.undo.push((g as u32, self.macro_centers[g]));
+        self.macro_centers[g] = p;
+        let mut delta = 0.0;
+        for k in 0..self.nets_of_group[g].len() {
+            let i = self.nets_of_group[g][k];
+            let v = net_value(coarse, i as usize, &self.macro_centers, &self.cell_centers);
+            delta += self.cache.stage(i, v);
+        }
+        delta
+    }
+
+    /// Sum of group `g`'s incident nets' cached values in ascending net
+    /// order, folded from `0.0` — bitwise-equal to a filter-and-sum pass
+    /// over the full netlist.
+    pub fn group_local(&self, g: usize) -> f64 {
+        let mut t = 0.0;
+        for &i in &self.nets_of_group[g] {
+            t += self.cache.value(i);
+        }
+        t
+    }
+
+    /// Number of speculative (uncommitted) center moves.
+    #[inline]
+    pub fn pending(&self) -> usize {
+        self.undo.len()
+    }
+
+    /// Accepts all speculative moves.
+    pub fn commit(&mut self) {
+        self.undo.clear();
+        self.cache.commit();
+    }
+
+    /// Rolls back all speculative moves, restoring centers and cached net
+    /// values (newest-first, so the oldest state wins).
+    pub fn revert(&mut self) {
+        while let Some((g, c)) = self.undo.pop() {
+            self.macro_centers[g as usize] = c;
+        }
+        self.cache.revert();
+    }
+
+    /// Total weighted HPWL: ascending-net-order sequential sum of the
+    /// cached values — bitwise-equal to a fresh
+    /// `coarse.hpwl(macro_centers, cell_centers)`.
+    #[inline]
+    pub fn total(&self) -> f64 {
+        self.cache.total()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::ClusterParams;
+    use crate::Coarsener;
+    use mmp_netlist::{Design, Placement, SyntheticSpec};
+
+    fn setup(seed: u64) -> (Design, CoarsenedNetlist) {
+        let d = SyntheticSpec::small("chc", 8, 1, 8, 60, 100, true, seed).generate();
+        let coarse =
+            Coarsener::new(&ClusterParams::paper(100.0)).coarsen(&d, &Placement::initial(&d));
+        (d, coarse)
+    }
+
+    #[test]
+    fn fresh_cache_matches_full_hpwl_bitwise() {
+        for seed in 0..4 {
+            let (_, c) = setup(seed);
+            let mc = c.macro_group_centers();
+            let cc = c.cell_group_centers();
+            let cache = CoarseHpwlCache::new(&c, mc.clone(), cc.clone());
+            assert!(cache.matches(&c));
+            assert_eq!(cache.total().to_bits(), c.hpwl(&mc, &cc).to_bits());
+        }
+    }
+
+    #[test]
+    fn random_group_moves_stay_bitwise_equal_to_full_recompute() {
+        let (_, c) = setup(11);
+        let cc = c.cell_group_centers();
+        let mut cache = CoarseHpwlCache::new(&c, c.macro_group_centers(), cc.clone());
+        let groups = c.macro_groups().len();
+        let mut s = 99u64;
+        for step in 0..200 {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let g = (s >> 33) as usize % groups;
+            let x = ((s >> 5) % 1000) as f64 / 10.0;
+            let y = ((s >> 15) % 1000) as f64 / 10.0;
+            cache.set_group(&c, g, Point::new(x, y));
+            match step % 3 {
+                0 => cache.commit(),
+                1 => cache.revert(),
+                _ => {}
+            }
+            let fresh = c.hpwl(cache.macro_centers(), &cc);
+            assert_eq!(
+                cache.total().to_bits(),
+                fresh.to_bits(),
+                "step {step}: cache drifted from full recompute"
+            );
+        }
+    }
+
+    #[test]
+    fn group_local_matches_filtered_scan_bitwise() {
+        let (_, c) = setup(7);
+        let mc = c.macro_group_centers();
+        let cc = c.cell_group_centers();
+        let cache = CoarseHpwlCache::new(&c, mc.clone(), cc.clone());
+        for g in 0..c.macro_groups().len() {
+            let mut manual = 0.0;
+            for net in c.nets() {
+                let touches = net
+                    .endpoints
+                    .iter()
+                    .any(|e| matches!(e, GroupRef::MacroGroup(i) if *i == g));
+                if touches {
+                    let mut bb = BoundingBox::empty();
+                    for ep in &net.endpoints {
+                        bb.extend(match *ep {
+                            GroupRef::MacroGroup(i) => mc[i],
+                            GroupRef::CellGroup(i) => cc[i],
+                            GroupRef::Fixed(p) => p,
+                        });
+                    }
+                    manual += net.weight * bb.half_perimeter();
+                }
+            }
+            assert_eq!(cache.group_local(g).to_bits(), manual.to_bits());
+        }
+    }
+
+    #[test]
+    fn revert_restores_centers_and_total() {
+        let (_, c) = setup(3);
+        let mc = c.macro_group_centers();
+        let cc = c.cell_group_centers();
+        let mut cache = CoarseHpwlCache::new(&c, mc.clone(), cc);
+        let t0 = cache.total();
+        cache.set_group(&c, 0, Point::new(5.0, 5.0));
+        cache.set_group(&c, 0, Point::new(9.0, 9.0));
+        assert_eq!(cache.pending(), 2);
+        cache.revert();
+        assert_eq!(cache.pending(), 0);
+        assert_eq!(cache.total().to_bits(), t0.to_bits());
+        assert_eq!(cache.macro_centers(), mc.as_slice());
+    }
+}

@@ -35,10 +35,12 @@
 
 pub mod cell_group;
 pub mod coarsen;
+pub mod incremental;
 pub mod macro_group;
 pub mod params;
 
 pub use cell_group::{cluster_cells, CellGroup};
 pub use coarsen::{ClusterError, CoarsenedNetlist, Coarsener, GroupNet, GroupRef};
+pub use incremental::CoarseHpwlCache;
 pub use macro_group::{cluster_macros, MacroGroup};
 pub use params::ClusterParams;

@@ -10,9 +10,9 @@
 //! ```
 
 use mmp_core::{
-    DesignStats, MacroPlacer, PlaceError, PlacerConfig, RunBudget, RunReport, SyntheticSpec,
+    DesignStats, MacroPlacer, PlaceError, PlacerConfig, RunBudget, RunReport, SwapRefineConfig,
+    SyntheticSpec,
 };
-use mmp_legal::BoundaryRefiner;
 use mmp_netlist::{bookshelf, bookshelf_aux, svg, Placement};
 use mmp_obs::{JsonlSink, Obs, StderrSink};
 use std::collections::BTreeMap;
@@ -46,7 +46,9 @@ fn usage() -> ExitCode {
          \x20              [--scale F] [--seed N] [--hierarchy] --out FILE\n\
          \x20 mmp stats    --in FILE\n\
          \x20 mmp place    --in FILE [--zeta N] [--episodes N] [--explorations N] \\\n\
-         \x20              [--seed N] [--ensemble N] [--budget-ms N] [--refine] \\\n\
+         \x20              [--seed N] [--ensemble N] [--budget-ms N] \\\n\
+         \x20              [--refine] [--refine-moves N] [--refine-seed N] \\\n\
+         \x20              [--refine-budget-ms N] \\\n\
          \x20              [--checkpoint-dir DIR] [--resume] \\\n\
          \x20              [--trace stderr|FILE] [--report-json FILE] \\\n\
          \x20              [--out FILE] [--svg FILE]\n\
@@ -198,6 +200,24 @@ fn run() -> Result<(), CliError> {
                     .map_err(|_| CliError::Usage(format!("bad --budget-ms: {ms}")))?;
                 cfg.budget = RunBudget::with_total(Duration::from_millis(ms));
             }
+            // Any refine flag opts into the in-flow swap-refinement stage.
+            if flags.contains_key("refine")
+                || flags.contains_key("refine-moves")
+                || flags.contains_key("refine-seed")
+                || flags.contains_key("refine-budget-ms")
+            {
+                let defaults = SwapRefineConfig::default();
+                cfg.refine = Some(SwapRefineConfig {
+                    moves: get_usize("refine-moves", defaults.moves)?,
+                    seed: get_usize("refine-seed", defaults.seed as usize)? as u64,
+                });
+                if let Some(ms) = flags.get("refine-budget-ms") {
+                    let ms: u64 = ms
+                        .parse()
+                        .map_err(|_| CliError::Usage(format!("bad --refine-budget-ms: {ms}")))?;
+                    cfg.budget.refine = Some(Duration::from_millis(ms));
+                }
+            }
             // Resolve the tracing toggle exactly once, here at the edge:
             // the library crates never read environment variables.
             let obs = match get("trace").as_deref() {
@@ -250,6 +270,13 @@ fn run() -> Result<(), CliError> {
                 result.placement.macro_overlap_area(&design),
                 result.timings.mcts
             );
+            if let Some(r) = &result.refine {
+                println!(
+                    "refined: HPWL {:.1} -> {:.1} ({}/{} proposals accepted: \
+                     {} swap(s), {} relocation(s))",
+                    r.hpwl_before, r.hpwl_after, r.accepted, r.proposed, r.swaps, r.relocations
+                );
+            }
             if !result.degradation.is_empty() {
                 eprintln!("run degraded under its budget/faults:");
                 for e in &result.degradation.events {
@@ -270,20 +297,7 @@ fn run() -> Result<(), CliError> {
                 println!("wrote {report_path}");
             }
             obs.flush();
-            let mut placement = result.placement;
-            if flags.contains_key("refine") {
-                let refined = BoundaryRefiner::new().refine(&design, &placement);
-                println!(
-                    "refined: HPWL {:.1} -> {:.1} ({} boundary moves)",
-                    refined.hpwl_before, refined.hpwl_after, refined.moves
-                );
-                let flipped = mmp_legal::optimize_orientations(&design, &refined.placement, 4);
-                println!(
-                    "flipped: HPWL {:.1} -> {:.1} ({} orientation changes)",
-                    flipped.hpwl_before, flipped.hpwl_after, flipped.flips
-                );
-                placement = flipped.placement;
-            }
+            let placement = result.placement;
             if let Some(out_path) = get("out") {
                 store(&design, &placement, &out_path).map_err(io)?;
                 println!("wrote {out_path}");

@@ -32,6 +32,8 @@ pub struct RunBudget {
     pub search: Option<Duration>,
     /// Allowance for macro legalization.
     pub legalize: Option<Duration>,
+    /// Allowance for the optional post-MCTS swap refinement.
+    pub refine: Option<Duration>,
 }
 
 /// The flow's wall-clock read point.
@@ -65,6 +67,7 @@ impl RunBudget {
             && self.train.is_none()
             && self.search.is_none()
             && self.legalize.is_none()
+            && self.refine.is_none()
     }
 
     /// The effective deadline for a stage starting at `stage_start`, given
@@ -111,6 +114,7 @@ impl Serialize for RunBudget {
             ("train_ms".to_owned(), millis_value(&self.train)),
             ("search_ms".to_owned(), millis_value(&self.search)),
             ("legalize_ms".to_owned(), millis_value(&self.legalize)),
+            ("refine_ms".to_owned(), millis_value(&self.refine)),
         ])
     }
 }
@@ -122,6 +126,7 @@ impl Deserialize for RunBudget {
             train: millis_from(v, "train_ms")?,
             search: millis_from(v, "search_ms")?,
             legalize: millis_from(v, "legalize_ms")?,
+            refine: millis_from(v, "refine_ms")?,
         })
     }
 }
@@ -143,6 +148,7 @@ mod tests {
             train: None,
             search: Some(Duration::from_millis(250)),
             legalize: Some(Duration::ZERO),
+            refine: Some(Duration::from_millis(40)),
         };
         let v = b.serialize();
         let back = RunBudget::deserialize(&v).unwrap();
@@ -157,6 +163,7 @@ mod tests {
         assert_eq!(b.train, None);
         assert_eq!(b.search, None);
         assert_eq!(b.legalize, None);
+        assert_eq!(b.refine, None);
     }
 
     #[test]

@@ -24,6 +24,8 @@ pub enum Stage {
     Legalize,
     /// Final analytical cell placement.
     FinalPlace,
+    /// Optional post-MCTS swap/relocate refinement.
+    Refine,
     /// Result aggregation and report emission (after placement).
     Report,
     /// Checkpoint persistence and resume (orthogonal to the flow stages;
@@ -40,6 +42,7 @@ impl Stage {
             Stage::Search => "search",
             Stage::Legalize => "legalize",
             Stage::FinalPlace => "final-place",
+            Stage::Refine => "refine",
             Stage::Report => "report",
             Stage::Checkpoint => "checkpoint",
         }

@@ -14,7 +14,7 @@ use crate::degrade::{DegradationReport, Stage};
 use crate::error::{FinalPlaceError, PlaceError, PreprocessError, SearchError};
 use mmp_analytic::{GlobalPlacer, GlobalPlacerConfig};
 use mmp_geom::GridIndex;
-use mmp_legal::MacroLegalizer;
+use mmp_legal::{MacroLegalizer, SwapRefineConfig, SwapRefiner};
 use mmp_mcts::{
     place_ensemble_with_deadline, EnsembleConfig, MctsConfig, MctsOutcome, MctsPlacer, SearchStats,
 };
@@ -43,6 +43,11 @@ pub struct PlacerConfig {
     /// [`RunBudget`]). Unlimited by default.
     #[serde(default)]
     pub budget: RunBudget,
+    /// Optional post-MCTS swap/relocate refinement over the committed
+    /// placement, driven by the incremental HPWL evaluator. `None` (the
+    /// default) skips the stage.
+    #[serde(default)]
+    pub refine: Option<SwapRefineConfig>,
     /// Fault-injection knob: forces the legalizer onto its row-greedy
     /// fallback path (test harness only; `false` in production).
     #[serde(default)]
@@ -68,6 +73,7 @@ impl PlacerConfig {
             ensemble_runs: 1,
             final_placer: GlobalPlacerConfig::quality(),
             budget: RunBudget::default(),
+            refine: None,
             fault_sp_failure: false,
             fault_ensemble_panic: None,
             fault_crash: None,
@@ -91,6 +97,7 @@ impl PlacerConfig {
             ensemble_runs: 1,
             final_placer: GlobalPlacerConfig::fast(),
             budget: RunBudget::default(),
+            refine: None,
             fault_sp_failure: false,
             fault_ensemble_panic: None,
             fault_crash: None,
@@ -123,17 +130,38 @@ pub struct StageTimings {
     pub mcts: Duration,
     /// Legalization + final cell placement.
     pub finalize: Duration,
+    /// Optional post-MCTS swap refinement (zero when the stage is off).
+    pub refine: Duration,
     /// End-to-end wall-clock of [`MacroPlacer::place`]; at least the sum
     /// of the stage fields (the difference is inter-stage overhead).
     pub total: Duration,
 }
 
 impl StageTimings {
-    /// Sum of the four per-stage durations (excludes inter-stage
-    /// overhead, so `stage_sum() <= total`).
+    /// Sum of the per-stage durations (excludes inter-stage overhead, so
+    /// `stage_sum() <= total`).
     pub fn stage_sum(&self) -> Duration {
-        self.preprocess + self.training + self.mcts + self.finalize
+        self.preprocess + self.training + self.mcts + self.finalize + self.refine
     }
+}
+
+/// What the optional swap-refinement stage did (present in a
+/// [`PlacementResult`] only when [`PlacerConfig::refine`] was set).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RefineSummary {
+    /// Full-netlist HPWL of the committed placement entering the stage.
+    pub hpwl_before: f64,
+    /// Full-netlist HPWL after refinement (`<= hpwl_before`: only strict
+    /// improvements are committed).
+    pub hpwl_after: f64,
+    /// Proposals drawn from the seeded stream.
+    pub proposed: usize,
+    /// Proposals accepted (strict HPWL improvements).
+    pub accepted: usize,
+    /// Accepted pair-swaps.
+    pub swaps: usize,
+    /// Accepted single-macro relocations.
+    pub relocations: usize,
 }
 
 /// Everything the flow returns.
@@ -158,6 +186,8 @@ pub struct PlacementResult {
     pub degradation: DegradationReport,
     /// What checkpointing did (disabled/default on plain runs).
     pub checkpoint: CheckpointSummary,
+    /// What the optional swap-refinement stage did (`None` when off).
+    pub refine: Option<RefineSummary>,
 }
 
 /// The end-to-end placer (Algorithm 1).
@@ -296,6 +326,7 @@ impl MacroPlacer {
                 agent: Agent::new(self.config.trainer.net),
                 degradation,
                 checkpoint: summary,
+                refine: None,
             });
         }
 
@@ -548,14 +579,56 @@ impl MacroPlacer {
         let finalize = t3.elapsed();
         check_finite(&out.placement, design)?;
 
+        // Stage 5 (optional): seeded swap/relocate refinement over the
+        // committed placement. Acceptance is a strict full-netlist HPWL
+        // improvement measured by the incremental evaluator, so the stage
+        // can only keep or lower the committed wirelength.
+        let mut placement = out.placement;
+        let mut hpwl = out.hpwl;
+        let mut refine_summary = None;
+        let mut refine_time = Duration::default();
+        if let Some(rcfg) = self.config.refine {
+            let t4 = budget::now();
+            let refine_deadline =
+                RunBudget::stage_deadline(run_deadline, t4, self.config.budget.refine);
+            let span = self.obs.span("stage.refine");
+            let refined = SwapRefiner::new(rcfg).refine(design, &placement, refine_deadline);
+            drop(span);
+            refine_time = t4.elapsed();
+            if refined.deadline_expired {
+                degradation.record(
+                    Stage::Refine,
+                    format!(
+                        "deadline expired after {} of {} proposal(s)",
+                        refined.proposed, rcfg.moves
+                    ),
+                );
+            }
+            if self.obs.enabled() {
+                self.obs.count("refine.moves", refined.proposed as u64);
+                self.obs.count("refine.accepted", refined.accepted as u64);
+            }
+            refine_summary = Some(RefineSummary {
+                hpwl_before: refined.hpwl_before,
+                hpwl_after: refined.hpwl_after,
+                proposed: refined.proposed,
+                accepted: refined.accepted,
+                swaps: refined.swaps,
+                relocations: refined.relocations,
+            });
+            placement = refined.placement;
+            hpwl = refined.hpwl_after;
+            check_finite(&placement, design)?;
+        }
+
         if self.obs.enabled() {
-            self.obs.gauge("flow.hpwl", out.hpwl);
+            self.obs.gauge("flow.hpwl", hpwl);
             if self.obs.tracing() {
                 self.obs.event(
                     "flow",
                     "done",
                     &[
-                        field("hpwl", out.hpwl),
+                        field("hpwl", hpwl),
                         field("degradations", degradation.events.len()),
                     ],
                 );
@@ -563,8 +636,8 @@ impl MacroPlacer {
         }
 
         Ok(PlacementResult {
-            placement: out.placement,
-            hpwl: out.hpwl,
+            placement,
+            hpwl,
             assignment: search.assignment,
             training: outcome.history,
             mcts_stats: search.stats,
@@ -573,6 +646,7 @@ impl MacroPlacer {
                 training: training_time,
                 mcts: mcts_time,
                 finalize,
+                refine: refine_time,
                 total: start.elapsed(),
             },
             agent: outcome.agent,
@@ -583,6 +657,7 @@ impl MacroPlacer {
                 }
                 summary
             },
+            refine: refine_summary,
         })
     }
 }
@@ -695,6 +770,61 @@ mod tests {
         let d = SyntheticSpec::small("clean", 5, 0, 8, 40, 70, false, 3).generate();
         let result = MacroPlacer::new(fast_config()).place(&d).unwrap();
         assert!(result.degradation.is_empty(), "{}", result.degradation);
+    }
+
+    #[test]
+    fn refine_stage_never_raises_hpwl_and_reports_a_summary() {
+        let d = SyntheticSpec::small("rf", 6, 1, 8, 50, 90, true, 1).generate();
+        let base = MacroPlacer::new(fast_config()).place(&d).unwrap();
+        let mut cfg = fast_config();
+        cfg.refine = Some(SwapRefineConfig {
+            moves: 128,
+            seed: 7,
+        });
+        let refined = MacroPlacer::new(cfg).place(&d).unwrap();
+        let summary = refined.refine.unwrap();
+        // The stage enters at the committed placement's exact HPWL (the
+        // incremental evaluator is bitwise-equal to Placement::hpwl)...
+        assert_eq!(summary.hpwl_before.to_bits(), base.hpwl.to_bits());
+        // ...and only strict improvements are committed.
+        assert!(summary.hpwl_after <= summary.hpwl_before);
+        assert_eq!(refined.hpwl.to_bits(), summary.hpwl_after.to_bits());
+        assert_eq!(summary.proposed, 128);
+        assert_eq!(summary.accepted, summary.swaps + summary.relocations);
+        assert!(refined.placement.macro_overlap_area(&d) < 1e-6);
+        assert!(refined.placement.macros_inside_region(&d));
+        assert!(base.refine.is_none(), "refine off must not report");
+    }
+
+    #[test]
+    fn refine_run_is_deterministic() {
+        let d = SyntheticSpec::small("rfd", 5, 0, 8, 40, 70, false, 2).generate();
+        let mut cfg = fast_config();
+        cfg.refine = Some(SwapRefineConfig::default());
+        let placer = MacroPlacer::new(cfg);
+        let a = placer.place(&d).unwrap();
+        let b = placer.place(&d).unwrap();
+        assert_eq!(a.hpwl.to_bits(), b.hpwl.to_bits());
+        assert_eq!(a.placement, b.placement);
+        assert_eq!(a.refine, b.refine);
+    }
+
+    #[test]
+    fn zero_refine_budget_degrades_and_keeps_the_committed_placement() {
+        let d = SyntheticSpec::small("rfz", 6, 1, 8, 50, 90, true, 1).generate();
+        let base = MacroPlacer::new(fast_config()).place(&d).unwrap();
+        let mut cfg = fast_config();
+        cfg.refine = Some(SwapRefineConfig::default());
+        cfg.budget.refine = Some(Duration::ZERO);
+        let result = MacroPlacer::new(cfg).place(&d).unwrap();
+        assert!(result.degradation.affects(Stage::Refine));
+        let summary = result.refine.unwrap();
+        assert_eq!(summary.proposed, 0);
+        assert_eq!(summary.accepted, 0);
+        // Nothing accepted: the committed placement and its exact HPWL
+        // pass through untouched.
+        assert_eq!(result.hpwl.to_bits(), base.hpwl.to_bits());
+        assert_eq!(result.placement, base.placement);
     }
 
     #[test]

@@ -52,7 +52,7 @@ pub use budget::RunBudget;
 pub use checkpoint::{CheckpointPlan, CheckpointSummary, CrashPoint, CrashStage};
 pub use degrade::{Degradation, DegradationReport, Stage};
 pub use error::{FinalPlaceError, PlaceError, PreprocessError, SearchError};
-pub use flow::{MacroPlacer, PlacementResult, PlacerConfig, StageTimings};
+pub use flow::{MacroPlacer, PlacementResult, PlacerConfig, RefineSummary, StageTimings};
 pub use report::{geometric_mean, normalize_rows, try_normalize_rows, ReportError, TableRow};
 pub use run_report::{RunReport, TimingsMs, TrainingSummary};
 
@@ -62,7 +62,7 @@ pub use mmp_analytic::{GlobalPlacer, GlobalPlacerConfig};
 pub use mmp_ckpt::CkptError;
 pub use mmp_cluster::{ClusterParams, CoarsenedNetlist, Coarsener};
 pub use mmp_geom::{Grid, GridIndex, Point, Rect};
-pub use mmp_legal::MacroLegalizer;
+pub use mmp_legal::{MacroLegalizer, SwapRefineConfig, SwapRefineOutcome, SwapRefiner};
 pub use mmp_mcts::{MctsConfig, MctsPlacer, SearchStats};
 pub use mmp_netlist::{
     iccad04_suite, industrial_suite, Design, DesignBuilder, DesignStats, Placement, SyntheticSpec,

@@ -9,7 +9,7 @@
 
 use crate::checkpoint::CheckpointSummary;
 use crate::degrade::DegradationReport;
-use crate::flow::{PlacementResult, StageTimings};
+use crate::flow::{PlacementResult, RefineSummary, StageTimings};
 use mmp_mcts::SearchStats;
 use mmp_obs::MetricsSnapshot;
 use mmp_rl::TrainingHistory;
@@ -37,6 +37,10 @@ pub struct TimingsMs {
     pub mcts_ms: f64,
     /// Legalization + final cell placement.
     pub finalize_ms: f64,
+    /// Optional swap refinement (zero when off; absent in reports written
+    /// before the refinement stage existed).
+    #[serde(default)]
+    pub refine_ms: f64,
     /// End-to-end wall-clock (at least the sum of the stages).
     pub total_ms: f64,
 }
@@ -49,13 +53,14 @@ impl TimingsMs {
             training_ms: ms(t.training),
             mcts_ms: ms(t.mcts),
             finalize_ms: ms(t.finalize),
+            refine_ms: ms(t.refine),
             total_ms: ms(t.total),
         }
     }
 
-    /// Sum of the four per-stage entries (excludes inter-stage overhead).
+    /// Sum of the per-stage entries (excludes inter-stage overhead).
     pub fn stage_sum_ms(&self) -> f64 {
-        self.preprocess_ms + self.training_ms + self.mcts_ms + self.finalize_ms
+        self.preprocess_ms + self.training_ms + self.mcts_ms + self.finalize_ms + self.refine_ms
     }
 }
 
@@ -113,6 +118,10 @@ pub struct RunReport {
     /// reports written before the checkpoint subsystem existed).
     #[serde(default)]
     pub checkpoint: CheckpointSummary,
+    /// What the optional swap-refinement stage did (`None` when off;
+    /// absent in reports written before the stage existed).
+    #[serde(default)]
+    pub refine: Option<RefineSummary>,
     /// Observability counters (e.g. `analytic.cg_iters`,
     /// `legal.global_rounds`) captured from the run's metrics registry.
     pub counters: BTreeMap<String, u64>,
@@ -141,6 +150,7 @@ impl RunReport {
             search: result.mcts_stats,
             degradation: result.degradation.clone(),
             checkpoint: result.checkpoint.clone(),
+            refine: result.refine,
             counters: metrics.counters.clone(),
             gauges: metrics.gauges.clone(),
             span_ms: metrics

@@ -28,7 +28,7 @@
 
 use mmp_core::{
     CheckpointPlan, CrashPoint, Design, MacroPlacer, PlacerConfig, RewardKind, RewardScale,
-    RunBudget, SyntheticSpec,
+    RunBudget, SwapRefineConfig, SyntheticSpec,
 };
 use mmp_netlist::bookshelf;
 use std::path::{Path, PathBuf};
@@ -94,6 +94,10 @@ pub enum ScenarioKind {
     ZeroSearchBudget,
     /// Zero legalization allowance only.
     ZeroLegalizeBudget,
+    /// Swap refinement requested with a zero allowance: the stage must
+    /// degrade (no proposals drawn) and pass the committed placement
+    /// through untouched.
+    ZeroRefineBudget,
     /// Macros that cannot fit the region: a typed preprocess error.
     InfeasibleDesign,
     /// Network grid ζ disagrees with the environment grid: a typed train
@@ -122,7 +126,7 @@ pub enum ScenarioKind {
 
 impl ScenarioKind {
     /// Every scenario, in matrix order.
-    pub const ALL: [ScenarioKind; 19] = [
+    pub const ALL: [ScenarioKind; 20] = [
         ScenarioKind::TruncatedBookshelf,
         ScenarioKind::GarbledNumber,
         ScenarioKind::UnknownNetNode,
@@ -133,6 +137,7 @@ impl ScenarioKind {
         ScenarioKind::ZeroTrainBudget,
         ScenarioKind::ZeroSearchBudget,
         ScenarioKind::ZeroLegalizeBudget,
+        ScenarioKind::ZeroRefineBudget,
         ScenarioKind::InfeasibleDesign,
         ScenarioKind::ZetaMismatch,
         ScenarioKind::ZeroEnsembleRuns,
@@ -157,6 +162,7 @@ impl ScenarioKind {
             ScenarioKind::ZeroTrainBudget => "zero-train-budget",
             ScenarioKind::ZeroSearchBudget => "zero-search-budget",
             ScenarioKind::ZeroLegalizeBudget => "zero-legalize-budget",
+            ScenarioKind::ZeroRefineBudget => "zero-refine-budget",
             ScenarioKind::InfeasibleDesign => "infeasible-design",
             ScenarioKind::ZetaMismatch => "zeta-mismatch",
             ScenarioKind::ZeroEnsembleRuns => "zero-ensemble-runs",
@@ -532,6 +538,13 @@ pub fn run_scenario(kind: ScenarioKind, seed: u64) -> ScenarioReport {
             let design = matrix_design(&mut rng);
             let mut cfg = matrix_config();
             cfg.budget.legalize = Some(Duration::ZERO);
+            run_flow(cfg, &design)
+        }
+        ScenarioKind::ZeroRefineBudget => {
+            let design = matrix_design(&mut rng);
+            let mut cfg = matrix_config();
+            cfg.refine = Some(SwapRefineConfig::default());
+            cfg.budget.refine = Some(Duration::ZERO);
             run_flow(cfg, &design)
         }
         ScenarioKind::InfeasibleDesign => {

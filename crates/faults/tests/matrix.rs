@@ -109,6 +109,10 @@ fn exhausted_budgets_degrade_but_complete_legally() {
         &run_caught(ScenarioKind::ZeroLegalizeBudget, SEED),
         &["legalize"],
     );
+    assert_placed_and_degraded(
+        &run_caught(ScenarioKind::ZeroRefineBudget, SEED),
+        &["refine"],
+    );
 }
 
 #[test]

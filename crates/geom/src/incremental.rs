@@ -1,0 +1,155 @@
+//! Journaled per-net value cache — the storage layer of the incremental
+//! HPWL evaluators.
+//!
+//! Holds one `f64` per net and supports speculative updates: [`stage`] a
+//! new value (journaling the old one), then either [`commit`] or
+//! [`revert`]. [`total`] re-sums the flat array in ascending net order with
+//! a sequential fold from `0.0` — exactly the association a full
+//! `(0..n).map(net_hpwl).sum()` pass uses — so a cache whose entries match
+//! the full evaluator's per-net values reproduces the full total **bit for
+//! bit**, never via delta arithmetic on stale spans.
+//!
+//! [`stage`]: NetValueCache::stage
+//! [`commit`]: NetValueCache::commit
+//! [`revert`]: NetValueCache::revert
+//! [`total`]: NetValueCache::total
+
+/// Per-net cached values with an undo journal for speculative moves.
+///
+/// # Example
+///
+/// ```
+/// use mmp_geom::NetValueCache;
+///
+/// let mut cache = NetValueCache::new(vec![1.0, 2.0, 3.0]);
+/// assert_eq!(cache.total(), 6.0);
+/// let delta = cache.stage(1, 5.0);
+/// assert_eq!(delta, 3.0);
+/// assert_eq!(cache.total(), 9.0);
+/// cache.revert();
+/// assert_eq!(cache.total(), 6.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct NetValueCache {
+    values: Vec<f64>,
+    journal: Vec<(u32, f64)>,
+}
+
+impl NetValueCache {
+    /// Wraps per-net values (index = net index).
+    pub fn new(values: Vec<f64>) -> Self {
+        NetValueCache {
+            values,
+            journal: Vec::new(),
+        }
+    }
+
+    /// Number of nets tracked.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` when no nets are tracked.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Current value of net `i`.
+    #[inline]
+    pub fn value(&self, i: u32) -> f64 {
+        self.values[i as usize]
+    }
+
+    /// Stages `v` as net `i`'s value, journaling the old one, and returns
+    /// the raw difference `v - old` (diagnostic only — totals must come
+    /// from [`NetValueCache::total`], not accumulated deltas).
+    #[inline]
+    pub fn stage(&mut self, i: u32, v: f64) -> f64 {
+        let old = self.values[i as usize];
+        self.journal.push((i, old));
+        self.values[i as usize] = v;
+        v - old
+    }
+
+    /// Number of staged-but-uncommitted updates.
+    #[inline]
+    pub fn pending(&self) -> usize {
+        self.journal.len()
+    }
+
+    /// Accepts all staged updates.
+    #[inline]
+    pub fn commit(&mut self) {
+        self.journal.clear();
+    }
+
+    /// Rolls back all staged updates. Entries are undone newest-first so
+    /// that when one net was staged twice, the oldest journaled value wins.
+    pub fn revert(&mut self) {
+        while let Some((i, old)) = self.journal.pop() {
+            self.values[i as usize] = old;
+        }
+    }
+
+    /// Sum of all net values in ascending net order, folded sequentially
+    /// from `0.0` — the same association as a fresh full-evaluation pass,
+    /// so equal per-net values give a bitwise-equal total.
+    pub fn total(&self) -> f64 {
+        let mut t = 0.0;
+        for &v in &self.values {
+            t += v;
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_commit_keeps_new_values() {
+        let mut c = NetValueCache::new(vec![1.0, 2.0]);
+        c.stage(0, 10.0);
+        c.commit();
+        assert_eq!(c.value(0), 10.0);
+        assert_eq!(c.pending(), 0);
+        assert_eq!(c.total(), 12.0);
+    }
+
+    #[test]
+    fn revert_restores_oldest_value_on_double_stage() {
+        let mut c = NetValueCache::new(vec![1.0, 2.0, 3.0]);
+        c.stage(1, 7.0);
+        c.stage(1, 9.0);
+        assert_eq!(c.pending(), 2);
+        c.revert();
+        assert_eq!(c.value(1), 2.0);
+        assert_eq!(c.pending(), 0);
+    }
+
+    #[test]
+    fn total_matches_sequential_sum_bitwise() {
+        // Values chosen so that re-association would change the result.
+        let values = vec![1e16, 1.0, -1e16, 3.5, 0.1, 7e-3];
+        let expected: f64 = values.iter().fold(0.0, |a, &b| a + b);
+        let c = NetValueCache::new(values);
+        assert_eq!(c.total().to_bits(), expected.to_bits());
+    }
+
+    #[test]
+    fn stage_returns_raw_difference() {
+        let mut c = NetValueCache::new(vec![4.0]);
+        assert_eq!(c.stage(0, 6.5), 2.5);
+    }
+
+    #[test]
+    fn empty_cache_totals_zero() {
+        let c = NetValueCache::new(Vec::new());
+        assert!(c.is_empty());
+        assert_eq!(c.len(), 0);
+        assert_eq!(c.total(), 0.0);
+    }
+}

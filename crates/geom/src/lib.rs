@@ -30,10 +30,12 @@
 
 pub mod grid;
 pub mod hpwl;
+pub mod incremental;
 pub mod point;
 pub mod rect;
 
 pub use grid::{Grid, GridIndex};
 pub use hpwl::{hpwl_of_points, BoundingBox};
+pub use incremental::NetValueCache;
 pub use point::Point;
 pub use rect::Rect;

@@ -6,7 +6,7 @@
 //! Sweeping the macros and keeping the best of the four orientations per
 //! macro is a classic zero-risk post-pass: HPWL can only go down.
 
-use mmp_netlist::{Design, Orientation, Placement};
+use mmp_netlist::{Design, IncrementalHpwl, Orientation, Placement};
 
 /// Outcome of an orientation sweep.
 #[derive(Debug, Clone, PartialEq)]
@@ -31,35 +31,35 @@ pub fn optimize_orientations(
     placement: &Placement,
     max_sweeps: usize,
 ) -> FlipOutcome {
-    let mut best = placement.clone();
-    let hpwl_before = best.hpwl(design);
+    // The delta evaluator re-scores only the nets touching the flipped
+    // macro, keeping the sweep O(pins) instead of O(design); its cached
+    // per-net values reproduce `Placement::hpwl` bit for bit.
+    let mut inc = IncrementalHpwl::new(design, placement.clone());
+    let hpwl_before = inc.total();
     let mut flips = 0usize;
 
     for _ in 0..max_sweeps.max(1) {
         let mut improved = false;
         for id in design.movable_macros() {
-            // Only nets touching this macro change; evaluating them alone
-            // keeps the sweep O(pins) instead of O(design).
-            let nets = design.nets_of_macro(id);
-            let current = best.macro_orientation(id);
-            let local =
-                |pl: &Placement| -> f64 { nets.iter().map(|&n| pl.net_hpwl(design, n)).sum() };
-            let base_local = local(&best);
+            let current = inc.placement().macro_orientation(id);
+            let base_local = inc.local_of_macro(id);
             let mut chosen = current;
             let mut chosen_local = base_local;
             for cand in Orientation::ALL {
                 if cand == current {
                     continue;
                 }
-                best.set_macro_orientation(id, cand);
-                let l = local(&best);
+                inc.set_macro_orientation(id, cand);
+                let l = inc.local_of_macro(id);
+                inc.revert();
                 if l < chosen_local - 1e-12 {
                     chosen = cand;
                     chosen_local = l;
                 }
             }
-            best.set_macro_orientation(id, chosen);
             if chosen != current {
+                inc.set_macro_orientation(id, chosen);
+                inc.commit();
                 debug_assert!(chosen_local < base_local);
                 flips += 1;
                 improved = true;
@@ -70,9 +70,9 @@ pub fn optimize_orientations(
         }
     }
 
-    let hpwl_after = best.hpwl(design);
+    let hpwl_after = inc.total();
     FlipOutcome {
-        placement: best,
+        placement: inc.into_placement(),
         hpwl_before,
         hpwl_after,
         flips,

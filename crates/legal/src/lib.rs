@@ -33,6 +33,7 @@ pub mod flow;
 pub mod median;
 pub mod refine;
 pub mod sequence_pair;
+pub mod swap_refine;
 
 pub use constraint::{pack, ConstraintGraph};
 pub use fallback::{shelf_pack, ShelfItem, ShelfOutcome, ShelfPlacement};
@@ -41,3 +42,4 @@ pub use flow::{LegalizeError, LegalizeOutcome, MacroLegalizer};
 pub use median::{optimize_axis, weighted_median, AxisTarget};
 pub use refine::{BoundaryRefiner, RefineOutcome};
 pub use sequence_pair::{Relation, SequencePair};
+pub use swap_refine::{SwapRefineConfig, SwapRefineOutcome, SwapRefiner};

@@ -12,7 +12,7 @@
 
 use crate::flow::MacroLegalizer;
 use mmp_geom::{Point, Rect};
-use mmp_netlist::{Design, Placement};
+use mmp_netlist::{Design, IncrementalHpwl, Placement};
 
 /// Configuration of the boundary refinement.
 #[derive(Debug, Clone, PartialEq)]
@@ -73,15 +73,18 @@ impl BoundaryRefiner {
         let legalizer = MacroLegalizer::new();
         let movable = design.movable_macros();
 
-        let mut best = placement.clone();
-        let hpwl_before = best.hpwl(design);
+        // Trial moves are scored by the delta evaluator: only the nets of
+        // macros the re-legalization actually displaced are re-scored, and
+        // its totals reproduce `Placement::hpwl` bit for bit.
+        let mut inc = IncrementalHpwl::new(design, placement.clone());
+        let hpwl_before = inc.total();
         let mut best_hpwl = hpwl_before;
         let mut moves = 0usize;
 
         for _ in 0..self.rounds.max(1) {
             let mut improved_this_round = false;
             for &id in &movable {
-                let c = best.macro_center(id);
+                let c = inc.placement().macro_center(id);
                 if !window.contains_point(c) {
                     continue;
                 }
@@ -103,7 +106,7 @@ impl BoundaryRefiner {
                             if other == id {
                                 cand
                             } else {
-                                best.macro_center(other)
+                                inc.placement().macro_center(other)
                             }
                         })
                         .collect();
@@ -111,19 +114,23 @@ impl BoundaryRefiner {
                     if overlap > 1e-6 {
                         continue;
                     }
-                    // Re-attach the cell coordinates of the incumbent.
-                    let mut trial = best.clone();
+                    // Apply only macros the legalizer actually displaced;
+                    // cells keep the incumbent's coordinates.
                     for &other in &movable {
-                        trial.set_macro_center(other, legal.macro_center(other));
+                        let to = legal.macro_center(other);
+                        if inc.placement().macro_center(other) != to {
+                            inc.move_macro(other, to);
+                        }
                     }
-                    let h = trial.hpwl(design);
+                    let h = inc.total();
                     if h < best_hpwl * (1.0 - self.min_gain) {
-                        best = trial;
+                        inc.commit();
                         best_hpwl = h;
                         moves += 1;
                         improved_this_round = true;
                         break; // re-evaluate remaining macros on the new base
                     }
+                    inc.revert();
                 }
             }
             if !improved_this_round {
@@ -132,7 +139,7 @@ impl BoundaryRefiner {
         }
 
         RefineOutcome {
-            placement: best,
+            placement: inc.into_placement(),
             hpwl_before,
             hpwl_after: best_hpwl,
             moves,

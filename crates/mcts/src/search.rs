@@ -434,6 +434,10 @@ impl MctsPlacer {
             }
         }
 
+        // Terminal scoring goes through the trainer's evaluator; in coarse
+        // mode that is the incremental `CoarseHpwlCache`-backed evaluator,
+        // which re-scores only groups whose center changed since the last
+        // call while staying bitwise-equal to a full recompute.
         let wirelength = trainer.wirelength_of(&env);
         stats.nodes = tree.len();
         if self.obs.tracing() {

@@ -49,6 +49,7 @@ pub mod design;
 pub mod generator;
 pub mod hierarchy;
 pub mod ids;
+pub mod incremental;
 pub mod orientation;
 pub mod placement;
 pub mod stats;
@@ -59,6 +60,7 @@ pub use design::{Cell, Design, Macro, Net, Pad, Pin};
 pub use generator::{iccad04_suite, industrial_suite, SyntheticSpec};
 pub use hierarchy::hierarchy_affinity;
 pub use ids::{CellId, MacroId, NetId, NodeRef, PadId};
+pub use incremental::IncrementalHpwl;
 pub use orientation::Orientation;
 pub use placement::Placement;
 pub use stats::DesignStats;

@@ -8,8 +8,10 @@
 
 use crate::env::PlacementEnv;
 use mmp_analytic::{GlobalPlacer, GlobalPlacerConfig};
+use mmp_cluster::CoarseHpwlCache;
 use mmp_legal::MacroLegalizer;
 use mmp_netlist::Placement;
+use std::sync::Mutex;
 
 /// Maps a finished episode to the wirelength W of Eq. 9 (lower is better).
 pub trait WirelengthEvaluator {
@@ -68,13 +70,33 @@ impl WirelengthEvaluator for FullEvaluator {
 
 /// Cheap proxy: weighted HPWL of the coarsened netlist with macro groups at
 /// their assigned cells and cell groups at their clustering centroids.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct CoarseEvaluator;
+///
+/// Terminal states of consecutive episodes differ in only a few group
+/// placements, so the evaluator keeps a [`CoarseHpwlCache`] and re-scores
+/// only the nets of groups whose center changed since the previous call.
+/// The cached per-net values are computed by the same arithmetic as
+/// [`mmp_cluster::CoarsenedNetlist::hpwl`] and re-summed in net order, so
+/// every result is bitwise-equal to the full recompute — regardless of
+/// which state the cache was left in (the cache is behind a [`Mutex`]
+/// because the ensemble shares one `Trainer` across worker threads, and
+/// any interleaving yields the same exact values).
+#[derive(Debug, Default)]
+pub struct CoarseEvaluator {
+    cache: Mutex<Option<CoarseHpwlCache>>,
+}
 
 impl CoarseEvaluator {
-    /// Creates the coarse evaluator.
+    /// Creates the coarse evaluator (empty cache; built on first use).
     pub fn new() -> Self {
-        CoarseEvaluator
+        CoarseEvaluator::default()
+    }
+}
+
+impl Clone for CoarseEvaluator {
+    /// Clones start with an empty cache: the cache is a pure accelerator,
+    /// never observable state.
+    fn clone(&self) -> Self {
+        CoarseEvaluator::new()
     }
 }
 
@@ -82,8 +104,33 @@ impl WirelengthEvaluator for CoarseEvaluator {
     fn wirelength(&self, env: &PlacementEnv<'_>) -> f64 {
         assert!(env.is_terminal(), "evaluate only terminal episodes");
         let macro_centers = env.group_centers();
-        let cell_centers = env.coarse().cell_group_centers();
-        env.coarse().hpwl(&macro_centers, &cell_centers)
+        let coarse = env.coarse();
+        // A poisoned lock only means another worker panicked mid-update
+        // with the journal non-empty; the state is still a valid cache and
+        // the diff below re-scores anything stale.
+        let mut guard = self
+            .cache
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        match guard.as_mut() {
+            Some(cache) if cache.matches(coarse) => {
+                cache.revert();
+                for (g, &p) in macro_centers.iter().enumerate() {
+                    if cache.macro_centers()[g] != p {
+                        cache.set_group(coarse, g, p);
+                    }
+                }
+                cache.commit();
+                cache.total()
+            }
+            _ => {
+                let cache =
+                    CoarseHpwlCache::new(coarse, macro_centers, coarse.cell_group_centers());
+                let total = cache.total();
+                *guard = Some(cache);
+                total
+            }
+        }
     }
 }
 
@@ -104,6 +151,27 @@ mod tests {
             env.step(action);
         }
         eval.wirelength(&env)
+    }
+
+    #[test]
+    fn coarse_evaluator_is_bitwise_equal_to_full_recompute_across_calls() {
+        // One evaluator, many assignments: every call must match the
+        // uncached full pass bit for bit, whatever state the cache holds.
+        let e = CoarseEvaluator::new();
+        for action in [0usize, 17, 63, 5, 17, 0] {
+            let d = SyntheticSpec::small("ev", 6, 0, 8, 50, 90, false, 1).generate();
+            let grid = Grid::new(*d.region(), 8);
+            let coarse = Coarsener::new(&ClusterParams::paper(grid.cell_area()))
+                .coarsen(&d, &Placement::initial(&d));
+            let mut env = PlacementEnv::new(&d, &coarse, grid);
+            while !env.is_terminal() {
+                env.step(action);
+            }
+            let full = env
+                .coarse()
+                .hpwl(&env.group_centers(), &env.coarse().cell_group_centers());
+            assert_eq!(e.wirelength(&env).to_bits(), full.to_bits());
+        }
     }
 
     #[test]

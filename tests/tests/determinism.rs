@@ -4,7 +4,9 @@
 //! and run-report counters/gauges — any drift means unordered iteration,
 //! OS-seeded randomness, or wall-clock leakage reached a decision.
 
-use mmp_core::{MacroPlacer, PlacementResult, PlacerConfig, RunReport, SyntheticSpec};
+use mmp_core::{
+    MacroPlacer, PlacementResult, PlacerConfig, RunReport, SwapRefineConfig, SyntheticSpec,
+};
 use mmp_netlist::MacroId;
 use mmp_obs::Obs;
 
@@ -16,15 +18,19 @@ fn small_config() -> PlacerConfig {
     cfg
 }
 
-fn run_once(design: &mmp_netlist::Design) -> (PlacementResult, RunReport) {
+fn run_config(design: &mmp_netlist::Design, cfg: PlacerConfig) -> (PlacementResult, RunReport) {
     // A fresh Obs per run: shared metrics would hide per-run drift.
     let obs = Obs::metrics_only();
-    let result = MacroPlacer::new(small_config())
+    let result = MacroPlacer::new(cfg)
         .with_obs(obs.clone())
         .place(design)
         .unwrap();
     let report = RunReport::new(design.name(), &result, &obs.snapshot());
     (result, report)
+}
+
+fn run_once(design: &mmp_netlist::Design) -> (PlacementResult, RunReport) {
+    run_config(design, small_config())
 }
 
 #[test]
@@ -67,4 +73,42 @@ fn full_flow_is_bitwise_deterministic_across_two_runs() {
     // Deterministic report sections beyond the metrics registry.
     assert_eq!(pa.training, pb.training, "training summary drifted");
     assert_eq!(pa.search, pb.search, "search stats drifted");
+}
+
+#[test]
+fn refine_enabled_flow_is_bitwise_deterministic_across_two_runs() {
+    // Same regression with the post-MCTS swap-refinement stage on: the
+    // seeded proposal stream and incremental-HPWL accept decisions must
+    // replay exactly, including the refine counters in the report.
+    let design = SyntheticSpec::small("det_ref", 10, 2, 14, 120, 200, true, 21).generate();
+    let cfg = || {
+        let mut c = small_config();
+        c.refine = Some(SwapRefineConfig {
+            moves: 200,
+            seed: 11,
+        });
+        c
+    };
+    let (ra, pa) = run_config(&design, cfg());
+    let (rb, pb) = run_config(&design, cfg());
+
+    assert_eq!(ra.hpwl.to_bits(), rb.hpwl.to_bits(), "HPWL drifted");
+    for i in 0..design.macros().len() {
+        let ca = ra.placement.macro_center(MacroId::from_index(i));
+        let cb = rb.placement.macro_center(MacroId::from_index(i));
+        assert_eq!(
+            (ca.x.to_bits(), ca.y.to_bits()),
+            (cb.x.to_bits(), cb.y.to_bits()),
+            "macro {i} moved between runs"
+        );
+    }
+    let sa = ra.refine.unwrap();
+    let sb = rb.refine.unwrap();
+    assert_eq!(sa, sb, "refine summary drifted");
+    assert!(sa.hpwl_after <= sa.hpwl_before, "refine raised HPWL");
+    assert_eq!(
+        pa.counters.get("refine.moves"),
+        pb.counters.get("refine.moves")
+    );
+    assert_eq!(pa.counters, pb.counters, "observability counters drifted");
 }
