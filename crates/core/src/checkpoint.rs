@@ -160,7 +160,11 @@ pub(crate) struct SearchDoneCkpt {
 /// configuration) pair. Budgets and the crash-injection knob are
 /// deliberately excluded: a run killed by a wall-clock budget (or by the
 /// fault harness) may legitimately resume with a different allowance.
-pub(crate) fn fingerprint(design: &Design, cfg: &PlacerConfig) -> u64 {
+///
+/// Public so serving layers can key caches of reusable checkpoint state
+/// (e.g. `mmpd`'s trained-policy cache) on exactly the identity the resume
+/// ladder itself enforces.
+pub fn fingerprint(design: &Design, cfg: &PlacerConfig) -> u64 {
     let mut canon = cfg.clone();
     canon.budget = RunBudget::default();
     canon.fault_crash = None;

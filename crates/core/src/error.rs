@@ -159,6 +159,39 @@ impl PlaceError {
         }
     }
 
+    /// `true` when retrying the same job may legitimately succeed.
+    ///
+    /// The placer is deterministic: for almost every failure, re-running
+    /// the identical input reproduces the identical error, so retrying is
+    /// pure waste — those are **permanent** (bad design, bad config,
+    /// numerical refusal). Two classes are **transient**, because their
+    /// cause lives outside the computation:
+    ///
+    /// - [`CkptError::Io`] under [`PlaceError::Checkpoint`] (directly or
+    ///   surfaced through [`TrainError::Checkpoint`]): the filesystem
+    ///   refused a read or write — disk pressure, a yanked volume, or an
+    ///   injected mid-run kill. The checkpoints already on disk make the
+    ///   retry cheaper than the first attempt, not just possible.
+    /// - [`SearchError::AllWorkersPanicked`]: every ensemble worker died,
+    ///   which the deterministic search itself cannot cause — it signals
+    ///   environmental pressure (e.g. OOM kills) on the worker threads.
+    ///
+    /// Every other variant — including non-`Io` checkpoint damage such as
+    /// a corrupt or version-stale file, which re-reading will refuse
+    /// again byte-for-byte — is permanent. `mmpd` uses this split for its
+    /// retry policy: transient failures back off and retry, permanent
+    /// ones are reported immediately, and a job that stays transient past
+    /// the attempt cap is quarantined.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            PlaceError::Checkpoint(e) | PlaceError::Train(TrainError::Checkpoint(e)) => {
+                matches!(e, CkptError::Io { .. })
+            }
+            PlaceError::Search(SearchError::AllWorkersPanicked { .. }) => true,
+            _ => false,
+        }
+    }
+
     /// The CLI exit code for this error: a distinct non-zero code per
     /// stage (10–16), leaving 1 for generic I/O errors and 2 for usage
     /// errors.
@@ -328,6 +361,57 @@ mod tests {
             detail: "disk full".to_owned(),
         }));
         assert_eq!(e.exit_code(), 16);
+    }
+
+    #[test]
+    fn transiency_split_is_exhaustive_and_conservative() {
+        // Transient: environmental causes a retry can outlive.
+        assert!(PlaceError::Checkpoint(CkptError::Io {
+            path: "train.ckpt".to_owned(),
+            detail: "disk full".to_owned(),
+        })
+        .is_transient());
+        assert!(PlaceError::Train(TrainError::Checkpoint(CkptError::Io {
+            path: "train.ckpt".to_owned(),
+            detail: "yanked volume".to_owned(),
+        }))
+        .is_transient());
+        assert!(PlaceError::Search(SearchError::AllWorkersPanicked { runs: 3 }).is_transient());
+
+        // Permanent: deterministic refusals a retry would reproduce.
+        let permanent = [
+            PlaceError::Preprocess(PreprocessError::MacrosExceedRegion {
+                macro_area: 2.0,
+                region_area: 1.0,
+            }),
+            PlaceError::Train(TrainError::ZetaMismatch { net: 4, env: 8 }),
+            PlaceError::Search(SearchError::NoRuns),
+            PlaceError::Legalize(LegalizeError::AssignmentMismatch {
+                expected: 3,
+                got: 0,
+            }),
+            PlaceError::FinalPlace(FinalPlaceError::NonFinitePlacement { nodes: 7 }),
+            PlaceError::Report(ReportError::EmptyRows),
+            // Non-Io checkpoint damage re-reads identically: permanent.
+            PlaceError::Checkpoint(CkptError::Corrupt {
+                path: "x.ckpt".to_owned(),
+                detail: "crc".to_owned(),
+            }),
+            PlaceError::Checkpoint(CkptError::BadMagic {
+                path: "x.ckpt".to_owned(),
+            }),
+            PlaceError::Checkpoint(CkptError::Truncated {
+                path: "x.ckpt".to_owned(),
+                expected: 100,
+                got: 12,
+            }),
+            PlaceError::Checkpoint(CkptError::Invalid {
+                detail: "fingerprint".to_owned(),
+            }),
+        ];
+        for e in permanent {
+            assert!(!e.is_transient(), "{e} must be permanent");
+        }
     }
 
     #[test]

@@ -49,7 +49,7 @@ pub mod report;
 pub mod run_report;
 
 pub use budget::RunBudget;
-pub use checkpoint::{CheckpointPlan, CheckpointSummary, CrashPoint, CrashStage};
+pub use checkpoint::{fingerprint, CheckpointPlan, CheckpointSummary, CrashPoint, CrashStage};
 pub use degrade::{Degradation, DegradationReport, Stage};
 pub use error::{FinalPlaceError, PlaceError, PreprocessError, SearchError};
 pub use flow::{MacroPlacer, PlacementResult, PlacerConfig, RefineSummary, StageTimings};

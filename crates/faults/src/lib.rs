@@ -25,12 +25,21 @@
 //! which digit to garble, which design seed to use — so different seeds
 //! exercise different corruption points while any single seed replays
 //! exactly.
+//!
+//! The serving scenarios extend the same contract to the `mmpd` daemon
+//! ([`mmp_serve::Server`]): adversarial request lines, queue-overflow
+//! bursts, clients that hang up mid-job, and daemon lives that end
+//! mid-job all must yield a typed rejection or a stored report whose
+//! recovery is bitwise-identical — never a panic, a hang, or a lost job.
 
 use mmp_core::{
     CheckpointPlan, CrashPoint, Design, MacroPlacer, PlacerConfig, RewardKind, RewardScale,
     RunBudget, SwapRefineConfig, SyntheticSpec,
 };
-use mmp_netlist::bookshelf;
+use mmp_netlist::{bookshelf, MacroId};
+use mmp_serve::{BackoffConfig, DesignSpec, JobDefaults, JobRequest, ServeConfig, Server};
+use serde::{map_get, Value};
+use std::net::{TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
 use std::time::Duration;
 
@@ -122,11 +131,26 @@ pub enum ScenarioKind {
     /// A checkpoint written by a newer format version: resume must refuse
     /// it as unsupported rather than misread it.
     StaleCheckpointVersion,
+    /// A request line cut short before the daemon can parse it: the
+    /// response must be a typed `bad-request` rejection, never a hangup
+    /// or a panic.
+    MalformedRequest,
+    /// More submissions than the bounded queue holds: the overflow must
+    /// get typed `queue-full` rejections and the rejected jobs must be
+    /// rolled back (unknown afterwards), never silently queued.
+    QueueFullBurst,
+    /// The client hangs up right after firing a blocking `place`: the
+    /// daemon must finish the orphaned job and store its report anyway.
+    ClientDisconnectMidJob,
+    /// The daemon dies mid-job (admitted, checkpoints written, no
+    /// report); the next daemon life must replay the journal and resume
+    /// to the exact bits of an uninterrupted run.
+    KillDaemonMidJob,
 }
 
 impl ScenarioKind {
     /// Every scenario, in matrix order.
-    pub const ALL: [ScenarioKind; 20] = [
+    pub const ALL: [ScenarioKind; 24] = [
         ScenarioKind::TruncatedBookshelf,
         ScenarioKind::GarbledNumber,
         ScenarioKind::UnknownNetNode,
@@ -147,6 +171,10 @@ impl ScenarioKind {
         ScenarioKind::TruncatedCheckpoint,
         ScenarioKind::CorruptCheckpoint,
         ScenarioKind::StaleCheckpointVersion,
+        ScenarioKind::MalformedRequest,
+        ScenarioKind::QueueFullBurst,
+        ScenarioKind::ClientDisconnectMidJob,
+        ScenarioKind::KillDaemonMidJob,
     ];
 
     /// Short stable name for logs and reports.
@@ -172,6 +200,10 @@ impl ScenarioKind {
             ScenarioKind::TruncatedCheckpoint => "truncated-checkpoint",
             ScenarioKind::CorruptCheckpoint => "corrupt-checkpoint",
             ScenarioKind::StaleCheckpointVersion => "stale-checkpoint-version",
+            ScenarioKind::MalformedRequest => "malformed-request",
+            ScenarioKind::QueueFullBurst => "queue-full-burst",
+            ScenarioKind::ClientDisconnectMidJob => "client-disconnect-mid-job",
+            ScenarioKind::KillDaemonMidJob => "kill-daemon-mid-job",
         }
     }
 }
@@ -480,6 +512,302 @@ fn tampered_checkpoint(kind: ScenarioKind, rng: &mut FaultRng, seed: u64) -> Out
     }
 }
 
+// ----- serving scenarios -----------------------------------------------
+
+/// The daemon-side job defaults shared by every serving scenario — and,
+/// crucially, by their direct baseline runs, so a daemon job and its
+/// baseline execute exactly one config.
+fn serve_defaults() -> JobDefaults {
+    JobDefaults {
+        zeta: 4,
+        episodes: Some(4),
+        explorations: Some(6),
+        budget: None,
+    }
+}
+
+/// A serving-scenario daemon over `state_dir`. Capacity is tiny on
+/// purpose: the burst scenario needs to overflow it with a handful of
+/// requests. Policy reuse is off so every daemon job is the plain flow
+/// the direct baselines execute.
+fn serve_config(state_dir: PathBuf, workers: usize) -> ServeConfig {
+    ServeConfig {
+        state_dir,
+        workers,
+        queue_capacity: 2,
+        max_attempts: 3,
+        max_budget_ms: None,
+        max_design_nodes: 2_000_000,
+        defaults: serve_defaults(),
+        backoff: BackoffConfig {
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(4),
+        },
+        policy_cache: false,
+    }
+}
+
+fn check(ok: bool, detail: impl Into<String>) -> Outcome {
+    Outcome::Check {
+        ok,
+        detail: detail.into(),
+    }
+}
+
+/// A job request line for a small synthetic design whose generator seed
+/// flows from the harness rng (mirrors [`matrix_design`]).
+fn serve_job_line(op: &str, id: &str, rng: &mut FaultRng) -> String {
+    let design_seed = 1 + (rng.next_u64() % 1000);
+    format!(
+        r#"{{"op":"{op}","id":"{id}","design":{{"spec":[6,0,8,40,70],"seed":{design_seed}}},"zeta":4,"episodes":6,"update_every":2,"explorations":10}}"#
+    )
+}
+
+/// Polls the daemon for a job's terminal response line. Bounded by
+/// iteration count rather than a deadline — the harness is wall-clock-free
+/// by lint policy. `unknown-job` is tolerated (a hangup can race the
+/// admission itself); anything else non-terminal keeps polling.
+fn serve_poll_done(server: &Server, id: &str) -> Option<String> {
+    for _ in 0..60_000 {
+        let resp = server.handle_request(&format!(r#"{{"op":"result","id":"{id}"}}"#));
+        if resp.contains(r#""state":"done""#)
+            || (resp.contains(r#""ok":false"#) && !resp.contains("unknown-job"))
+        {
+            return Some(resp);
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    None
+}
+
+/// `report.hpwl` of a done line, as bits.
+fn hpwl_bits_of_line(line: &str) -> Option<u64> {
+    let v = serde_json::parse_value(line).ok()?;
+    map_get(&v, "report")
+        .and_then(|r| map_get(r, "hpwl"))
+        .and_then(Value::as_f64)
+        .map(f64::to_bits)
+}
+
+/// `(name, x_bits, y_bits)` rows of a done line's `macros` array.
+fn macro_bits_of_line(line: &str) -> Option<Vec<(String, u64, u64)>> {
+    let v = serde_json::parse_value(line).ok()?;
+    let Some(Value::Seq(ms)) = map_get(&v, "macros") else {
+        return None;
+    };
+    let mut rows = Vec::new();
+    for m in ms {
+        let Some(Value::Str(name)) = map_get(m, "name") else {
+            return None;
+        };
+        let x = map_get(m, "x_bits").and_then(Value::as_u64)?;
+        let y = map_get(m, "y_bits").and_then(Value::as_u64)?;
+        rows.push((name.clone(), x, y));
+    }
+    Some(rows)
+}
+
+/// Scenario: a valid request line cut short at a pseudo-random byte (every
+/// strict prefix of a JSON object is invalid, including the empty line).
+/// The daemon must answer with a typed `bad-request`, not a hangup.
+fn malformed_request(kind: ScenarioKind, rng: &mut FaultRng, seed: u64) -> Outcome {
+    let dir = checkpoint_dir(kind, seed);
+    let server = match Server::start(serve_config(dir, 0)) {
+        Ok(s) => s,
+        Err(e) => return check(false, format!("daemon failed to start: {e}")),
+    };
+    let valid = serve_job_line("submit", "victim", rng);
+    // The line is ASCII, so any cut lands on a char boundary.
+    let cut = rng.pick(valid.len());
+    let resp = server.handle_request(&valid[..cut]);
+    server.abort();
+    if resp.contains(r#""ok":false"#) && resp.contains(r#""kind":"bad-request""#) {
+        check(
+            true,
+            "truncated request line drew a typed bad-request rejection",
+        )
+    } else {
+        check(
+            false,
+            format!("unexpected response to a truncated request: {resp}"),
+        )
+    }
+}
+
+/// Scenario: five submissions against a frozen (`workers = 0`) daemon with
+/// a 2-slot queue. The overflow must draw typed `queue-full` rejections
+/// and the rejected jobs must be rolled back completely.
+fn queue_full_burst(kind: ScenarioKind, rng: &mut FaultRng, seed: u64) -> Outcome {
+    let dir = checkpoint_dir(kind, seed);
+    let server = match Server::start(serve_config(dir, 0)) {
+        Ok(s) => s,
+        Err(e) => return check(false, format!("daemon failed to start: {e}")),
+    };
+    let mut queued = 0usize;
+    let mut rejected = 0usize;
+    for i in 0..5 {
+        let line = serve_job_line("submit", &format!("burst-{i}"), rng);
+        let resp = server.handle_request(&line);
+        if resp.contains(r#""state":"queued""#) {
+            queued += 1;
+        } else if resp.contains(r#""kind":"queue-full""#) {
+            rejected += 1;
+        }
+    }
+    let rolled_back = server
+        .handle_request(r#"{"op":"result","id":"burst-4"}"#)
+        .contains(r#""kind":"unknown-job""#);
+    server.abort();
+    check(
+        queued == 2 && rejected == 3 && rolled_back,
+        format!(
+            "burst of 5 into capacity 2: {queued} queued, {rejected} queue-full, rollback {rolled_back}"
+        ),
+    )
+}
+
+/// Scenario: real TCP, and the client hangs up right after firing a
+/// blocking `place`. The daemon must finish the orphaned job and store a
+/// finite-HPWL report a later `result` can fetch.
+fn client_disconnect_mid_job(kind: ScenarioKind, rng: &mut FaultRng, seed: u64) -> Outcome {
+    use std::io::Write as _;
+    let dir = checkpoint_dir(kind, seed);
+    let server = match Server::start(serve_config(dir, 1)) {
+        Ok(s) => s,
+        Err(e) => return check(false, format!("daemon failed to start: {e}")),
+    };
+    let listener = match TcpListener::bind("127.0.0.1:0") {
+        Ok(l) => l,
+        Err(e) => {
+            server.abort();
+            return check(false, format!("bind: {e}"));
+        }
+    };
+    let addr = match listener.local_addr() {
+        Ok(a) => a,
+        Err(e) => {
+            server.abort();
+            return check(false, format!("local addr: {e}"));
+        }
+    };
+    let acceptor = {
+        let s = server.clone();
+        std::thread::spawn(move || {
+            let _ = s.serve(listener);
+        })
+    };
+    let line = serve_job_line("place", "orphan", rng);
+    let sent = match TcpStream::connect(addr) {
+        Ok(mut stream) => stream.write_all(format!("{line}\n").as_bytes()).is_ok(),
+        Err(_) => false,
+    };
+    // The stream dropped right there: the client is gone while the job runs.
+    if !sent {
+        server.initiate_shutdown();
+        let _ = acceptor.join();
+        server.abort();
+        return check(false, "could not deliver the doomed request");
+    }
+    let done = serve_poll_done(&server, "orphan");
+    server.initiate_shutdown();
+    let _ = acceptor.join();
+    server.drain();
+    match done {
+        Some(l) if l.contains(r#""state":"done""#) => {
+            let finite = hpwl_bits_of_line(&l)
+                .map(|b| f64::from_bits(b).is_finite())
+                .unwrap_or(false);
+            check(
+                finite,
+                "orphaned job finished with a finite-HPWL stored report",
+            )
+        }
+        Some(l) => check(false, format!("orphaned job ended badly: {l}")),
+        None => check(false, "orphaned job never reached a terminal state"),
+    }
+}
+
+/// Scenario: the daemon dies mid-job. Life 1 (accept-only) journals the
+/// job and dies; the kill itself is an identically-configured run over
+/// the job's journal checkpoint ladder, crashed right after the first
+/// training checkpoint write — the on-disk state a SIGKILLed worker
+/// leaves. Life 2 must replay the journal, resume from the partial
+/// ladder, and land on the exact bits of an uninterrupted baseline.
+fn kill_daemon_mid_job(kind: ScenarioKind, rng: &mut FaultRng, seed: u64) -> Outcome {
+    let dir = checkpoint_dir(kind, seed);
+    let line = serve_job_line("submit", "victim", rng);
+    let req = match JobRequest::parse(&line) {
+        Ok(r) => r,
+        Err(e) => return check(false, format!("harness request does not parse: {e}")),
+    };
+    let design = match req.design.as_ref().map(DesignSpec::materialize) {
+        Some(Ok(d)) => d,
+        _ => return check(false, "harness design does not materialize"),
+    };
+    let baseline = match MacroPlacer::new(req.placer_config(&serve_defaults())).place(&design) {
+        Ok(r) => r,
+        Err(e) => return check(false, format!("baseline refused a healthy job: {e}")),
+    };
+    let life1 = match Server::start(serve_config(dir.clone(), 0)) {
+        Ok(s) => s,
+        Err(e) => return check(false, format!("daemon life 1 failed to start: {e}")),
+    };
+    let resp = life1.handle_request(&line);
+    life1.abort();
+    if !resp.contains(r#""state":"queued""#) {
+        return check(false, format!("life 1 refused the job: {resp}"));
+    }
+    let mut crash_cfg = req.placer_config(&serve_defaults());
+    crash_cfg.fault_crash = Some(CrashPoint::after_train_writes(1));
+    let ckpt = dir.join("jobs").join("victim").join("ckpt");
+    let killed = matches!(
+        MacroPlacer::new(crash_cfg)
+            .with_checkpoints(CheckpointPlan::new(&ckpt))
+            .place(&design),
+        Err(e) if e.exit_code() == 16
+    );
+    if !killed {
+        return check(
+            false,
+            "injected mid-job kill did not surface as a typed checkpoint error",
+        );
+    }
+    let life2 = match Server::start(serve_config(dir, 1)) {
+        Ok(s) => s,
+        Err(e) => return check(false, format!("daemon life 2 failed to start: {e}")),
+    };
+    let done = serve_poll_done(&life2, "victim");
+    life2.drain();
+    let Some(done) = done else {
+        return check(false, "recovered job never reached a terminal state");
+    };
+    let recovered = done.contains(r#""recovered":true"#);
+    let resumed = match serde_json::parse_value(&done) {
+        Ok(v) => matches!(
+            map_get(&v, "summary").and_then(|s| map_get(s, "recovery_events")),
+            Some(Value::Seq(events)) if !events.is_empty()
+        ),
+        Err(_) => false,
+    };
+    let hpwl_match = hpwl_bits_of_line(&done) == Some(baseline.hpwl.to_bits());
+    let baseline_bits: Vec<(String, u64, u64)> = design
+        .macros()
+        .iter()
+        .enumerate()
+        .map(|(i, m)| {
+            let c = baseline.placement.macro_center(MacroId::from_index(i));
+            (m.name.clone(), c.x.to_bits(), c.y.to_bits())
+        })
+        .collect();
+    let macros_match = macro_bits_of_line(&done) == Some(baseline_bits);
+    check(
+        recovered && resumed && hpwl_match && macros_match,
+        format!(
+            "journal replay: recovered={recovered} resumed={resumed} hpwl_bits_match={hpwl_match} macro_bits_match={macros_match}"
+        ),
+    )
+}
+
 /// Runs one scenario. Deterministic: the same `(kind, seed)` always
 /// produces the same [`ScenarioReport`].
 pub fn run_scenario(kind: ScenarioKind, seed: u64) -> ScenarioReport {
@@ -600,6 +928,10 @@ pub fn run_scenario(kind: ScenarioKind, seed: u64) -> ScenarioReport {
         ScenarioKind::TruncatedCheckpoint
         | ScenarioKind::CorruptCheckpoint
         | ScenarioKind::StaleCheckpointVersion => tampered_checkpoint(kind, &mut rng, seed),
+        ScenarioKind::MalformedRequest => malformed_request(kind, &mut rng, seed),
+        ScenarioKind::QueueFullBurst => queue_full_burst(kind, &mut rng, seed),
+        ScenarioKind::ClientDisconnectMidJob => client_disconnect_mid_job(kind, &mut rng, seed),
+        ScenarioKind::KillDaemonMidJob => kill_daemon_mid_job(kind, &mut rng, seed),
     };
     ScenarioReport {
         kind,

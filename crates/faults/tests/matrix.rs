@@ -172,6 +172,26 @@ fn damaged_checkpoints_are_typed_errors_not_panics() {
 }
 
 #[test]
+fn serving_faults_reject_or_recover_without_losing_jobs() {
+    // The daemon-facing quadrant of the matrix: adversarial request
+    // lines, queue overflow, client hangups, and a daemon life ending
+    // mid-job. Each scenario encodes its own invariant and reports it as
+    // a `Check`.
+    for kind in [
+        ScenarioKind::MalformedRequest,
+        ScenarioKind::QueueFullBurst,
+        ScenarioKind::ClientDisconnectMidJob,
+        ScenarioKind::KillDaemonMidJob,
+    ] {
+        let report = run_caught(kind, SEED);
+        match &report.outcome {
+            Outcome::Check { ok, detail } => assert!(ok, "{}: {detail}", kind.name()),
+            other => panic!("{}: expected a check outcome, got {other:?}", kind.name()),
+        }
+    }
+}
+
+#[test]
 fn no_scenario_panics_across_seeds() {
     for seed in [0, 1, SEED] {
         for kind in ScenarioKind::ALL {

@@ -68,6 +68,9 @@ impl Default for LintConfig {
                 "crates/obs/src",
                 "crates/core/src/budget.rs",
                 "crates/bench/src",
+                // The daemon's single clock chokepoint: queue-wait spans
+                // and nothing else (placement decisions never see it).
+                "crates/serve/src/clock.rs",
             ]),
             denied_lints: s(&[
                 "clippy::disallowed_methods",

@@ -1,0 +1,82 @@
+//! Deterministic capped exponential backoff for job retries.
+//!
+//! The schedule is a **pure function of the attempt number** — no clock
+//! reads, no jitter from an OS entropy source — so a retried job's timing
+//! policy is reproducible from its request alone and the daemon's fault
+//! matrix can assert it exactly. (The *sleeping* happens in the worker
+//! loop; this module only computes how long.)
+
+use std::time::Duration;
+
+/// Backoff policy: `base · 2^(attempt-1)`, saturating, capped at `cap`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackoffConfig {
+    /// Delay before the second attempt (i.e. after the first failure).
+    pub base: Duration,
+    /// Upper bound on any single delay.
+    pub cap: Duration,
+}
+
+impl Default for BackoffConfig {
+    fn default() -> Self {
+        BackoffConfig {
+            base: Duration::from_millis(50),
+            cap: Duration::from_millis(2000),
+        }
+    }
+}
+
+impl BackoffConfig {
+    /// The delay to sleep after the `attempt`-th failed attempt
+    /// (1-based), before attempt `attempt + 1` runs.
+    ///
+    /// `attempt = 0` (never failed) maps to zero. The doubling saturates
+    /// instead of overflowing, so absurd attempt numbers still return
+    /// `cap` rather than panicking.
+    pub fn delay(&self, attempt: usize) -> Duration {
+        if attempt == 0 || self.base.is_zero() {
+            return Duration::ZERO;
+        }
+        let shift = u32::try_from(attempt - 1).unwrap_or(u32::MAX).min(63);
+        let base_ms = u64::try_from(self.base.as_millis()).unwrap_or(u64::MAX);
+        let ms = base_ms.saturating_mul(1u64.checked_shl(shift).unwrap_or(u64::MAX));
+        Duration::from_millis(ms).min(self.cap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_doubles_from_base_and_caps() {
+        let b = BackoffConfig {
+            base: Duration::from_millis(50),
+            cap: Duration::from_millis(400),
+        };
+        assert_eq!(b.delay(0), Duration::ZERO);
+        assert_eq!(b.delay(1), Duration::from_millis(50));
+        assert_eq!(b.delay(2), Duration::from_millis(100));
+        assert_eq!(b.delay(3), Duration::from_millis(200));
+        assert_eq!(b.delay(4), Duration::from_millis(400));
+        assert_eq!(b.delay(5), Duration::from_millis(400), "capped");
+        assert_eq!(b.delay(500), Duration::from_millis(400), "no overflow");
+    }
+
+    #[test]
+    fn schedule_is_a_pure_function_of_the_attempt() {
+        let b = BackoffConfig::default();
+        for attempt in 0..80 {
+            assert_eq!(b.delay(attempt), b.delay(attempt));
+        }
+    }
+
+    #[test]
+    fn zero_base_means_no_delay() {
+        let b = BackoffConfig {
+            base: Duration::ZERO,
+            cap: Duration::from_secs(1),
+        };
+        assert_eq!(b.delay(7), Duration::ZERO);
+    }
+}

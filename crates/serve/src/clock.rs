@@ -1,0 +1,17 @@
+//! The serving layer's wall-clock read point.
+//!
+//! This module is the sanctioned home for `Instant::now` in `mmp-serve`
+//! (enforced by `mmp-lint`'s `wallclock` rule), mirroring
+//! `mmp_core::budget::now`. The daemon reads the clock for exactly one
+//! thing: measuring how long a job waited in the queue, which is reported
+//! back to the client as telemetry. Nothing decision-bearing flows from
+//! it — retry backoff is a pure function of the attempt number (see
+//! [`crate::backoff`]), and placement determinism is untouched because
+//! the flow's own clock reads stay behind `mmp_core::budget`.
+
+use std::time::Instant;
+
+/// Reads the monotonic clock.
+pub(crate) fn now() -> Instant {
+    Instant::now()
+}

@@ -1,0 +1,240 @@
+//! Typed rejections and failures of the serving layer.
+//!
+//! Every way `mmpd` can refuse or fail a request is a [`ServeError`]
+//! variant with a stable machine-readable `kind`, so clients never have
+//! to parse prose — and the fault matrix can assert exact outcomes.
+
+use mmp_core::PlaceError;
+use serde::Value;
+use std::error::Error;
+use std::fmt;
+
+/// One serving-layer failure, mapped onto the wire as
+/// `{"ok":false,"error":{"kind":...,...}}`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The request line is not a valid job request (bad JSON, unknown op,
+    /// missing design, oversized line, invalid id, unusable design spec).
+    BadRequest {
+        /// What was wrong.
+        detail: String,
+    },
+    /// The bounded job queue is at capacity; resubmit later.
+    QueueFull {
+        /// The configured queue capacity.
+        capacity: usize,
+    },
+    /// The requested budget exceeds the daemon's per-job ceiling.
+    OverBudget {
+        /// Milliseconds the request asked for.
+        requested_ms: u64,
+        /// The daemon's ceiling in milliseconds.
+        max_ms: u64,
+    },
+    /// The daemon is draining for shutdown and admits no new work.
+    ShuttingDown,
+    /// A `result` query named a job this daemon has never accepted.
+    UnknownJob {
+        /// The id queried.
+        id: String,
+    },
+    /// The job kept failing with transient-classed errors past the
+    /// attempt cap and was quarantined instead of retried forever.
+    Quarantined {
+        /// The job id.
+        id: String,
+        /// Attempts consumed before quarantine.
+        attempts: usize,
+        /// The last transient error's message.
+        last_error: String,
+    },
+    /// The placer refused the job with a permanent typed error.
+    Place {
+        /// The failing stage's name.
+        stage: String,
+        /// The stage's CLI exit code (10–16).
+        exit_code: u8,
+        /// Human-readable message.
+        message: String,
+        /// Attempts consumed (1 for a permanent first-attempt failure).
+        attempts: usize,
+    },
+    /// Daemon-side I/O trouble (journal write, state-dir access).
+    Internal {
+        /// What failed.
+        detail: String,
+    },
+}
+
+impl ServeError {
+    /// Stable machine-readable discriminator for the wire.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ServeError::BadRequest { .. } => "bad-request",
+            ServeError::QueueFull { .. } => "queue-full",
+            ServeError::OverBudget { .. } => "over-budget",
+            ServeError::ShuttingDown => "shutting-down",
+            ServeError::UnknownJob { .. } => "unknown-job",
+            ServeError::Quarantined { .. } => "quarantined",
+            ServeError::Place { .. } => "place",
+            ServeError::Internal { .. } => "internal",
+        }
+    }
+
+    /// `true` when the *client* may reasonably resubmit the same request
+    /// later: the rejection reflects daemon state, not the request.
+    pub fn retryable(&self) -> bool {
+        matches!(
+            self,
+            ServeError::QueueFull { .. } | ServeError::ShuttingDown | ServeError::Internal { .. }
+        )
+    }
+
+    /// Converts a flow failure plus the attempts consumed into the
+    /// serving-layer classification.
+    pub fn from_place(e: &PlaceError, attempts: usize) -> Self {
+        ServeError::Place {
+            stage: e.stage().name().to_owned(),
+            exit_code: e.exit_code(),
+            message: e.to_string(),
+            attempts,
+        }
+    }
+
+    /// The error as a JSON [`Value`] for the wire.
+    pub fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("kind".to_owned(), Value::Str(self.kind().to_owned())),
+            ("message".to_owned(), Value::Str(self.to_string())),
+            ("retryable".to_owned(), Value::Bool(self.retryable())),
+        ];
+        match self {
+            ServeError::QueueFull { capacity } => {
+                fields.push(("capacity".to_owned(), Value::U64(*capacity as u64)));
+            }
+            ServeError::OverBudget {
+                requested_ms,
+                max_ms,
+            } => {
+                fields.push(("requested_ms".to_owned(), Value::U64(*requested_ms)));
+                fields.push(("max_ms".to_owned(), Value::U64(*max_ms)));
+            }
+            ServeError::Quarantined { attempts, .. } => {
+                fields.push(("attempts".to_owned(), Value::U64(*attempts as u64)));
+            }
+            ServeError::Place {
+                stage,
+                exit_code,
+                attempts,
+                ..
+            } => {
+                fields.push(("stage".to_owned(), Value::Str(stage.clone())));
+                fields.push(("exit_code".to_owned(), Value::U64(u64::from(*exit_code))));
+                fields.push(("attempts".to_owned(), Value::U64(*attempts as u64)));
+            }
+            _ => {}
+        }
+        Value::Map(fields)
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::BadRequest { detail } => write!(f, "bad request: {detail}"),
+            ServeError::QueueFull { capacity } => {
+                write!(f, "job queue is full ({capacity} slots); resubmit later")
+            }
+            ServeError::OverBudget {
+                requested_ms,
+                max_ms,
+            } => write!(
+                f,
+                "requested budget {requested_ms} ms exceeds the daemon ceiling {max_ms} ms"
+            ),
+            ServeError::ShuttingDown => {
+                write!(f, "daemon is shutting down and admits no new work")
+            }
+            ServeError::UnknownJob { id } => write!(f, "unknown job id '{id}'"),
+            ServeError::Quarantined {
+                id,
+                attempts,
+                last_error,
+            } => write!(
+                f,
+                "job '{id}' quarantined after {attempts} transient failure(s); last: {last_error}"
+            ),
+            ServeError::Place { stage, message, .. } => {
+                write!(f, "placement failed in {stage}: {message}")
+            }
+            ServeError::Internal { detail } => write!(f, "internal: {detail}"),
+        }
+    }
+}
+
+impl Error for ServeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::map_get;
+
+    #[test]
+    fn kinds_are_stable_and_unique() {
+        let errs = [
+            ServeError::BadRequest { detail: "x".into() },
+            ServeError::QueueFull { capacity: 4 },
+            ServeError::OverBudget {
+                requested_ms: 100,
+                max_ms: 10,
+            },
+            ServeError::ShuttingDown,
+            ServeError::UnknownJob { id: "j".into() },
+            ServeError::Quarantined {
+                id: "j".into(),
+                attempts: 3,
+                last_error: "io".into(),
+            },
+            ServeError::Place {
+                stage: "search".into(),
+                exit_code: 12,
+                message: "m".into(),
+                attempts: 1,
+            },
+            ServeError::Internal { detail: "d".into() },
+        ];
+        let mut kinds: Vec<&str> = errs.iter().map(ServeError::kind).collect();
+        kinds.sort_unstable();
+        kinds.dedup();
+        assert_eq!(kinds.len(), errs.len());
+        for e in &errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn wire_value_carries_kind_and_extras() {
+        let v = ServeError::OverBudget {
+            requested_ms: 100,
+            max_ms: 10,
+        }
+        .to_value();
+        assert_eq!(map_get(&v, "kind"), Some(&Value::Str("over-budget".into())));
+        assert_eq!(map_get(&v, "requested_ms"), Some(&Value::U64(100)));
+        assert_eq!(map_get(&v, "retryable"), Some(&Value::Bool(false)));
+
+        let v = ServeError::QueueFull { capacity: 2 }.to_value();
+        assert_eq!(map_get(&v, "retryable"), Some(&Value::Bool(true)));
+        assert_eq!(map_get(&v, "capacity"), Some(&Value::U64(2)));
+    }
+
+    #[test]
+    fn place_errors_keep_stage_and_exit_code() {
+        let pe = PlaceError::Search(mmp_core::SearchError::NoRuns);
+        let e = ServeError::from_place(&pe, 1);
+        let v = e.to_value();
+        assert_eq!(map_get(&v, "stage"), Some(&Value::Str("search".into())));
+        assert_eq!(map_get(&v, "exit_code"), Some(&Value::U64(12)));
+        assert_eq!(map_get(&v, "attempts"), Some(&Value::U64(1)));
+    }
+}

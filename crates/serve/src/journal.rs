@@ -1,0 +1,300 @@
+//! The daemon's on-disk job journal: the recovery half of the tentpole.
+//!
+//! Layout under the state directory:
+//!
+//! ```text
+//! state/
+//!   jobs/<id>/request.ckpt   accepted request (written BEFORE queueing)
+//!   jobs/<id>/ckpt/          the job's mmp-ckpt checkpoint ladder
+//!   jobs/<id>/report.ckpt    final response line (written on completion)
+//! ```
+//!
+//! Every file is an `mmp-ckpt` envelope (magic, version, FNV header
+//! check, CRC payload check, atomic temp→fsync→rename), so a daemon
+//! killed mid-write leaves either the previous state or the new one —
+//! never garbage the next life would trip over. On restart,
+//! [`scan`] classifies each job directory: a readable `report.ckpt`
+//! means the job finished (keep the stored response); a readable
+//! `request.ckpt` without one means the job was interrupted and must be
+//! re-run — resuming from whatever its `ckpt/` ladder holds, which is
+//! what makes recovery bitwise-identical rather than merely eventual.
+
+use crate::error::ServeError;
+use crate::protocol::{valid_id, JobRequest};
+use serde::{map_get, Serialize, Value};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn internal(what: &str, path: &Path, detail: impl std::fmt::Display) -> ServeError {
+    ServeError::Internal {
+        detail: format!("{what} {}: {detail}", path.display()),
+    }
+}
+
+/// The daemon's state directory handle.
+#[derive(Debug, Clone)]
+pub struct Journal {
+    root: PathBuf,
+}
+
+/// One journaled job found by [`Journal::scan`].
+#[derive(Debug, Clone)]
+pub struct ScannedJob {
+    /// The job id (directory name).
+    pub id: String,
+    /// Admission sequence number (replay order).
+    pub seq: u64,
+    /// The accepted request.
+    pub request: JobRequest,
+    /// The stored final response line, when the job finished.
+    pub report_line: Option<String>,
+}
+
+impl Journal {
+    /// Opens (creating if needed) the journal under `root`.
+    pub fn open(root: &Path) -> Result<Self, ServeError> {
+        let jobs = root.join("jobs");
+        fs::create_dir_all(&jobs).map_err(|e| internal("create state dir", &jobs, e))?;
+        Ok(Journal {
+            root: root.to_path_buf(),
+        })
+    }
+
+    /// The directory holding one job's files.
+    pub fn job_dir(&self, id: &str) -> PathBuf {
+        debug_assert!(valid_id(id), "journal paths require validated ids");
+        self.root.join("jobs").join(id)
+    }
+
+    /// The job's checkpoint-ladder directory (handed to
+    /// `MacroPlacer::with_checkpoints`).
+    pub fn ckpt_dir(&self, id: &str) -> PathBuf {
+        self.job_dir(id).join("ckpt")
+    }
+
+    fn request_path(&self, id: &str) -> PathBuf {
+        self.job_dir(id).join("request.ckpt")
+    }
+
+    fn report_path(&self, id: &str) -> PathBuf {
+        self.job_dir(id).join("report.ckpt")
+    }
+
+    /// `true` when the journal already holds a job directory for `id`.
+    pub fn contains(&self, id: &str) -> bool {
+        self.request_path(id).is_file()
+    }
+
+    /// Journals an accepted request (with its admission sequence number)
+    /// before the job is queued. Crash-atomic: a daemon killed here
+    /// either never accepted the job or will replay it on restart.
+    pub fn record_request(&self, id: &str, seq: u64, req: &JobRequest) -> Result<(), ServeError> {
+        let dir = self.ckpt_dir(id);
+        fs::create_dir_all(&dir).map_err(|e| internal("create job dir", &dir, e))?;
+        let entry = Value::Map(vec![
+            ("id".to_owned(), Value::Str(id.to_owned())),
+            ("seq".to_owned(), Value::U64(seq)),
+            ("request".to_owned(), req.to_value()),
+        ]);
+        let path = self.request_path(id);
+        mmp_ckpt::write(&path, crate::protocol::render(&entry).as_bytes())
+            .map_err(|e| internal("journal request", &path, e))
+    }
+
+    /// Stores a job's final response line; its presence is what marks the
+    /// job complete to future daemon lives.
+    pub fn record_report(&self, id: &str, line: &str) -> Result<(), ServeError> {
+        let path = self.report_path(id);
+        mmp_ckpt::write(&path, line.as_bytes()).map_err(|e| internal("journal report", &path, e))
+    }
+
+    /// Reads back a stored final response line, if the job completed.
+    pub fn read_report(&self, id: &str) -> Result<Option<String>, ServeError> {
+        let path = self.report_path(id);
+        match mmp_ckpt::read_opt(&path) {
+            Ok(Some(bytes)) => String::from_utf8(bytes)
+                .map(Some)
+                .map_err(|e| internal("decode report", &path, e)),
+            Ok(None) => Ok(None),
+            Err(e) => Err(internal("read report", &path, e)),
+        }
+    }
+
+    /// Removes a job's directory (admission rollback: the queue was full
+    /// after the request was journaled, so the job never existed).
+    pub fn forget(&self, id: &str) {
+        let _ = fs::remove_dir_all(self.job_dir(id));
+    }
+
+    /// Walks the journal and returns every job in admission (`seq`)
+    /// order. Jobs whose `request.ckpt` is unreadable or unparsable are
+    /// reported in the second list — a robust daemon quarantines damage
+    /// and keeps serving rather than refusing to start.
+    pub fn scan(&self) -> Result<(Vec<ScannedJob>, Vec<String>), ServeError> {
+        let jobs_dir = self.root.join("jobs");
+        let mut jobs = Vec::new();
+        let mut damaged = Vec::new();
+        let entries =
+            fs::read_dir(&jobs_dir).map_err(|e| internal("scan state dir", &jobs_dir, e))?;
+        let mut names: Vec<String> = entries
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().is_dir())
+            .filter_map(|e| e.file_name().into_string().ok())
+            .collect();
+        names.sort_unstable(); // deterministic scan order before seq sort
+        for id in names {
+            if !valid_id(&id) {
+                damaged.push(id);
+                continue;
+            }
+            match self.scan_one(&id) {
+                Ok(job) => jobs.push(job),
+                Err(_) => damaged.push(id),
+            }
+        }
+        jobs.sort_by_key(|j| j.seq);
+        Ok((jobs, damaged))
+    }
+
+    fn scan_one(&self, id: &str) -> Result<ScannedJob, ServeError> {
+        let path = self.request_path(id);
+        let bytes = mmp_ckpt::read(&path).map_err(|e| internal("read request", &path, e))?;
+        let text = String::from_utf8(bytes).map_err(|e| internal("decode request", &path, e))?;
+        let entry = serde_json::parse_value(&text)
+            .map_err(|e| internal("parse request entry", &path, e))?;
+        let seq = map_get(&entry, "seq")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| internal("parse request entry", &path, "missing seq"))?;
+        let req_value = map_get(&entry, "request")
+            .ok_or_else(|| internal("parse request entry", &path, "missing request"))?;
+        let request = JobRequest::parse(&crate::protocol::render(req_value))?;
+        // The stored id must match the directory: a renamed job dir is
+        // damage, not a different job.
+        match map_get(&entry, "id") {
+            Some(Value::Str(s)) if s == id => {}
+            _ => return Err(internal("parse request entry", &path, "id mismatch")),
+        }
+        let report_line = self.read_report(id)?;
+        Ok(ScannedJob {
+            id: id.to_owned(),
+            seq,
+            request,
+            report_line,
+        })
+    }
+
+    /// Copies a donor `train-done.ckpt` into a job's ladder so the flow
+    /// skips training entirely (the daemon's trained-policy cache). The
+    /// copy goes through read→write so the destination is a freshly
+    /// checksummed atomic envelope, not a raw byte copy of a file another
+    /// job may be rewriting.
+    pub fn seed_train_done(&self, donor: &Path, id: &str) -> Result<(), ServeError> {
+        let payload =
+            mmp_ckpt::read(donor).map_err(|e| internal("read donor checkpoint", donor, e))?;
+        let dir = self.ckpt_dir(id);
+        fs::create_dir_all(&dir).map_err(|e| internal("create job dir", &dir, e))?;
+        let dst = dir.join("train-done.ckpt");
+        mmp_ckpt::write(&dst, &payload).map_err(|e| internal("seed checkpoint", &dst, e))
+    }
+
+    /// The path a completed job's reusable trained policy lives at.
+    pub fn train_done_path(&self, id: &str) -> PathBuf {
+        self.ckpt_dir(id).join("train-done.ckpt")
+    }
+}
+
+/// Renders the stored-report envelope for [`Journal::record_report`]
+/// callers that hold a structured response.
+pub fn render_line<T: Serialize>(v: &T) -> String {
+    serde_json::to_string(v).unwrap_or_else(|_| "null".to_owned())
+}
+
+#[cfg(test)]
+// why: the damage test plants a deliberately non-envelope file; production
+// journal state always goes through the atomic mmp_ckpt writer above.
+#[allow(clippy::disallowed_methods)]
+mod tests {
+    use super::*;
+    use crate::protocol::Op;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("mmp-serve-journal-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn req(id: &str) -> JobRequest {
+        JobRequest::parse(&format!(
+            r#"{{"op":"submit","id":"{id}","design":{{"spec":[5,0,8,40,70],"seed":1}},"episodes":4}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn scan_replays_requests_in_admission_order() {
+        let root = tmp("order");
+        let j = Journal::open(&root).unwrap();
+        // Admission order deliberately disagrees with lexicographic order.
+        j.record_request("zz", 1, &req("zz")).unwrap();
+        j.record_request("aa", 2, &req("aa")).unwrap();
+        j.record_request("mm", 3, &req("mm")).unwrap();
+        j.record_report("aa", r#"{"ok":true}"#).unwrap();
+
+        let (jobs, damaged) = j.scan().unwrap();
+        assert!(damaged.is_empty());
+        let ids: Vec<&str> = jobs.iter().map(|s| s.id.as_str()).collect();
+        assert_eq!(ids, ["zz", "aa", "mm"], "seq order, not name order");
+        assert!(jobs[0].report_line.is_none(), "zz was interrupted");
+        assert_eq!(jobs[1].report_line.as_deref(), Some(r#"{"ok":true}"#));
+        assert_eq!(jobs[0].request.op, Op::Submit);
+        assert_eq!(jobs[0].request, req("zz"), "request round-trips exactly");
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn damaged_entries_are_quarantined_not_fatal() {
+        let root = tmp("damage");
+        let j = Journal::open(&root).unwrap();
+        j.record_request("good", 1, &req("good")).unwrap();
+        // A job dir whose request envelope is corrupt.
+        let bad = j.job_dir("bad");
+        fs::create_dir_all(&bad).unwrap();
+        fs::write(bad.join("request.ckpt"), b"not an envelope").unwrap();
+        // A job dir with no request at all.
+        fs::create_dir_all(j.job_dir("empty")).unwrap();
+
+        let (jobs, mut damaged) = j.scan().unwrap();
+        assert_eq!(jobs.len(), 1);
+        assert_eq!(jobs[0].id, "good");
+        damaged.sort();
+        assert_eq!(damaged, ["bad", "empty"]);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn forget_rolls_back_an_admission() {
+        let root = tmp("forget");
+        let j = Journal::open(&root).unwrap();
+        j.record_request("j1", 1, &req("j1")).unwrap();
+        assert!(j.contains("j1"));
+        j.forget("j1");
+        assert!(!j.contains("j1"));
+        let (jobs, damaged) = j.scan().unwrap();
+        assert!(jobs.is_empty() && damaged.is_empty());
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn seeded_train_done_round_trips_payload_bytes() {
+        let root = tmp("seed");
+        let j = Journal::open(&root).unwrap();
+        let donor = root.join("donor.ckpt");
+        mmp_ckpt::write(&donor, b"policy-bytes").unwrap();
+        j.record_request("j1", 1, &req("j1")).unwrap();
+        j.seed_train_done(&donor, "j1").unwrap();
+        let got = mmp_ckpt::read(&j.train_done_path("j1")).unwrap();
+        assert_eq!(got, b"policy-bytes");
+        let _ = fs::remove_dir_all(&root);
+    }
+}

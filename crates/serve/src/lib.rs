@@ -1,0 +1,56 @@
+#![warn(missing_docs)]
+// Hardened crate: panicking extractors are denied in CI on library code
+// (tests may unwrap freely).
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+// Structured output goes through mmp_obs; stray prints are denied in CI
+// (the obs sinks and bin/ targets are the sanctioned exits).
+#![cfg_attr(not(test), warn(clippy::print_stdout, clippy::print_stderr))]
+
+//! Placement-as-a-service: the library behind the `mmpd` daemon.
+//!
+//! The paper's flow is train-once, serve-many; this crate turns the
+//! single-shot [`mmp_core::MacroPlacer`] into a long-running service that
+//! survives failure instead of merely reporting it. The transport is
+//! deliberately minimal — newline-delimited JSON over TCP, hand-rolled
+//! like `mmp-obs`/`mmp-ckpt`, no HTTP crates — because robustness is the
+//! headline, not the protocol:
+//!
+//! - **Admission control** ([`queue`], [`daemon`]): a bounded job queue
+//!   plus request-size, design-size and budget caps. Over-capacity or
+//!   over-budget work gets a typed [`ServeError`] rejection, never
+//!   unbounded memory.
+//! - **Per-job timeouts**: a request's `budget_ms` flows into the
+//!   existing [`mmp_core::RunBudget`] degradation ladder, so a budgeted
+//!   job still returns a complete (if cruder) placement.
+//! - **Retry with deterministic capped backoff** ([`backoff`]): failures
+//!   classed transient by [`mmp_core::PlaceError::is_transient`] are
+//!   retried — resuming from the job's own checkpoints — with a delay
+//!   that is a pure function of the attempt number. Jobs that stay
+//!   transient past the attempt cap are quarantined, not retried forever.
+//! - **Checkpoint-backed recovery** ([`journal`]): every accepted job is
+//!   journaled before it is queued, and every job runs under a
+//!   `mmp-ckpt` checkpoint ladder. On daemon restart the journal is
+//!   replayed: finished jobs keep their stored reports, interrupted jobs
+//!   resume **bitwise-identically** via the PR-4 machinery.
+//! - **Graceful shutdown**: a `shutdown` request rejects new work, drains
+//!   everything already admitted, and exits cleanly.
+//!
+//! The response for a completed job is the existing
+//! [`mmp_core::RunReport`] JSON extended with a [`protocol::JobSummary`]
+//! (attempts, queue wait, recovery events) and the exact macro
+//! coordinates (including their `f64::to_bits` images, so bitwise
+//! identity is checkable across processes).
+
+pub mod backoff;
+mod clock;
+pub mod daemon;
+pub mod error;
+pub mod journal;
+pub mod protocol;
+pub mod queue;
+
+pub use backoff::BackoffConfig;
+pub use daemon::{ServeConfig, Server};
+pub use error::ServeError;
+pub use protocol::{DesignSpec, JobDefaults, JobRequest, JobSummary, Op};
+pub use queue::JobQueue;

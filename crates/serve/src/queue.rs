@@ -1,0 +1,196 @@
+//! A bounded MPMC job queue (mutex + condvar, std only).
+//!
+//! Admission control starts here: [`JobQueue::try_push`] **fails fast**
+//! when the queue is at capacity instead of blocking the acceptor thread
+//! or growing without bound, which is what turns overload into a typed
+//! [`crate::ServeError::QueueFull`] rejection. Recovery replay uses
+//! [`JobQueue::force_push`] — journaled jobs were already admitted once,
+//! so a restart must never drop them even if the configured capacity
+//! shrank in between.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded FIFO handed between the acceptor and the worker pool.
+pub struct JobQueue<T> {
+    inner: Mutex<Inner<T>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl<T> JobQueue<T> {
+    /// A queue admitting at most `capacity` queued (not yet popped) items.
+    pub fn new(capacity: usize) -> Self {
+        JobQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        match self.inner.lock() {
+            Ok(g) => g.items.len(),
+            Err(p) => p.into_inner().items.len(),
+        }
+    }
+
+    /// `true` when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner<T>> {
+        // A poisoned queue mutex means a worker panicked while holding it;
+        // the queue state itself (a VecDeque) is still coherent, and
+        // refusing to serve would turn one job's panic into daemon loss.
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    /// Enqueues `item` unless the queue is full or closed; on failure the
+    /// item comes straight back so the caller can reject it in a typed
+    /// way.
+    pub fn try_push(&self, item: T) -> Result<(), T> {
+        let mut g = self.lock();
+        if g.closed || g.items.len() >= self.capacity {
+            return Err(item);
+        }
+        g.items.push_back(item);
+        drop(g);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Enqueues `item` regardless of capacity (still fails when closed).
+    /// Reserved for journal replay on restart: those jobs were admitted
+    /// by a previous daemon life and must not be lost to a capacity race.
+    pub fn force_push(&self, item: T) -> Result<(), T> {
+        let mut g = self.lock();
+        if g.closed {
+            return Err(item);
+        }
+        g.items.push_back(item);
+        drop(g);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until an item is available or the queue is closed; `None`
+    /// means closed-and-drained, i.e. the worker should exit.
+    pub fn pop(&self) -> Option<T> {
+        let mut g = self.lock();
+        loop {
+            if let Some(item) = g.items.pop_front() {
+                return Some(item);
+            }
+            if g.closed {
+                return None;
+            }
+            g = match self.ready.wait(g) {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+        }
+    }
+
+    /// Closes the queue: pending items still drain, new pushes fail, and
+    /// blocked workers wake to observe the close.
+    pub fn close(&self) {
+        let mut g = self.lock();
+        g.closed = true;
+        drop(g);
+        self.ready.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn bounded_fifo_with_typed_overflow() {
+        let q = JobQueue::new(2);
+        assert_eq!(q.capacity(), 2);
+        assert!(q.try_push(1).is_ok());
+        assert!(q.try_push(2).is_ok());
+        assert_eq!(q.try_push(3), Err(3), "over capacity comes back");
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert!(q.try_push(3).is_ok(), "slot freed by pop");
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+    }
+
+    #[test]
+    fn force_push_ignores_capacity_but_not_close() {
+        let q = JobQueue::new(1);
+        assert!(q.try_push(1).is_ok());
+        assert!(q.force_push(2).is_ok(), "replay bypasses capacity");
+        assert_eq!(q.len(), 2);
+        q.close();
+        assert_eq!(q.force_push(3), Err(3), "closed queue takes nothing");
+        assert_eq!(q.pop(), Some(1), "pending items still drain");
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn close_wakes_blocked_workers() {
+        let q = Arc::new(JobQueue::<u32>::new(4));
+        let worker = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop())
+        };
+        // The worker may or may not have reached `wait` yet; close must
+        // cover both interleavings.
+        q.close();
+        assert_eq!(worker.join().unwrap(), None);
+    }
+
+    #[test]
+    fn many_producers_one_consumer_sees_everything() {
+        let q = Arc::new(JobQueue::<u32>::new(64));
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    for i in 0..8 {
+                        while q.try_push(p * 100 + i).is_err() {
+                            std::thread::yield_now();
+                        }
+                    }
+                })
+            })
+            .collect();
+        for t in producers {
+            t.join().unwrap();
+        }
+        q.close();
+        let mut got = Vec::new();
+        while let Some(x) = q.pop() {
+            got.push(x);
+        }
+        assert_eq!(got.len(), 32);
+        got.sort_unstable();
+        got.dedup();
+        assert_eq!(got.len(), 32, "no duplicates, no losses");
+    }
+}
