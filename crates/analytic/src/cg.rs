@@ -1,7 +1,30 @@
 //! Jacobi-preconditioned conjugate gradient for the SPD placement systems.
+//!
+//! The solver is pool-aware: [`solve_pooled`] runs its reductions through
+//! the deterministic chunked helpers of [`ThreadPool`] (fixed
+//! [`SUM_CHUNK`](mmp_pool::SUM_CHUNK) partials, ascending fold) and its
+//! sparse matrix-vector products through a fixed row partition, so the
+//! solution is bitwise identical at every worker count.
 
 use crate::sparse::CsrMatrix;
+use mmp_pool::ThreadPool;
 use serde::{Deserialize, Serialize};
+
+/// Rows per parallel SpMV work unit. Fixed (never derived from the worker
+/// count) so the row partition — and with it every accumulation — is
+/// identical no matter how many workers execute it.
+const SPMV_CHUNK: usize = 512;
+
+/// `y = A·x` with rows computed in fixed [`SPMV_CHUNK`] blocks distributed
+/// over the pool. Bitwise identical to the serial kernel at any worker
+/// count: each output row is written exactly once, in the same per-row
+/// accumulation order.
+fn spmv(pool: &ThreadPool, a: &CsrMatrix, x: &[f64], y: &mut [f64]) {
+    assert_eq!(y.len(), a.dim(), "output length mismatch");
+    pool.for_each_chunk_mut(y, SPMV_CHUNK, |row0, block| {
+        a.multiply_rows_into(x, row0, block);
+    });
+}
 
 /// Result of a conjugate-gradient solve.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -45,6 +68,25 @@ pub struct CgOutcome {
 ///
 /// Panics when `b.len()` or `x0.len()` differ from the matrix dimension.
 pub fn solve(a: &CsrMatrix, b: &[f64], x0: &[f64], tol: f64, max_iters: usize) -> CgOutcome {
+    solve_pooled(&ThreadPool::single(), a, b, x0, tol, max_iters)
+}
+
+/// [`solve`] with the dot products and sparse matrix-vector products
+/// distributed over `pool`. The chunked reduction order and row partition
+/// are fixed independently of the worker count, so the outcome is bitwise
+/// identical to the single-worker solve.
+///
+/// # Panics
+///
+/// Panics when `b.len()` or `x0.len()` differ from the matrix dimension.
+pub fn solve_pooled(
+    pool: &ThreadPool,
+    a: &CsrMatrix,
+    b: &[f64],
+    x0: &[f64],
+    tol: f64,
+    max_iters: usize,
+) -> CgOutcome {
     let n = a.dim();
     assert_eq!(b.len(), n, "rhs length mismatch");
     assert_eq!(x0.len(), n, "warm start length mismatch");
@@ -81,7 +123,7 @@ pub fn solve(a: &CsrMatrix, b: &[f64], x0: &[f64], tol: f64, max_iters: usize) -
     let mut ax = vec![0.0; n];
     let mut ap = vec![0.0; n];
     'attempt: loop {
-        a.multiply_into(&x, &mut ax);
+        spmv(pool, a, &x, &mut ax);
         let mut r: Vec<f64> = b.iter().zip(&ax).map(|(bi, axi)| bi - axi).collect();
         // Zero residual components of unconstrained rows so they stay put;
         // also sanitise NaN residual entries coming from a poisoned system.
@@ -92,8 +134,8 @@ pub fn solve(a: &CsrMatrix, b: &[f64], x0: &[f64], tol: f64, max_iters: usize) -
         }
         let mut z: Vec<f64> = r.iter().zip(&inv_diag).map(|(ri, di)| ri * di).collect();
         let mut p = z.clone();
-        let mut rz: f64 = r.iter().zip(&z).map(|(a, b)| a * b).sum();
-        let mut residual = r.iter().map(|v| v * v).sum::<f64>().sqrt();
+        let mut rz = pool.dot_f64(&r, &z);
+        let mut residual = pool.dot_f64(&r, &r).sqrt();
         if !residual.is_finite() || !rz.is_finite() {
             if restarts == 0 {
                 restarts = 1;
@@ -121,8 +163,8 @@ pub fn solve(a: &CsrMatrix, b: &[f64], x0: &[f64], tol: f64, max_iters: usize) -
         }
 
         while total_iters < max_iters {
-            a.multiply_into(&p, &mut ap);
-            let pap: f64 = p.iter().zip(&ap).map(|(a, b)| a * b).sum();
+            spmv(pool, a, &p, &mut ap);
+            let pap = pool.dot_f64(&p, &ap);
             if pap.abs() < 1e-300 {
                 return CgOutcome {
                     x,
@@ -156,7 +198,7 @@ pub fn solve(a: &CsrMatrix, b: &[f64], x0: &[f64], tol: f64, max_iters: usize) -
                     r[i] = 0.0;
                 }
             }
-            residual = r.iter().map(|v| v * v).sum::<f64>().sqrt();
+            residual = pool.dot_f64(&r, &r).sqrt();
             total_iters += 1;
             if !residual.is_finite() {
                 if restarts == 0 {
@@ -186,7 +228,7 @@ pub fn solve(a: &CsrMatrix, b: &[f64], x0: &[f64], tol: f64, max_iters: usize) -
             for i in 0..n {
                 z[i] = r[i] * inv_diag[i];
             }
-            let rz_next: f64 = r.iter().zip(&z).map(|(a, b)| a * b).sum();
+            let rz_next = pool.dot_f64(&r, &z);
             let beta = rz_next / rz;
             rz = rz_next;
             for i in 0..n {
@@ -331,6 +373,29 @@ mod tests {
         let out = solve(&a, &b, &vec![0.0; 200], 1e-14, 3);
         assert_eq!(out.iterations, 3);
         assert!(!out.converged);
+    }
+
+    #[test]
+    fn pooled_solve_is_bitwise_invariant_in_worker_count() {
+        // Big enough that the SpMV row partition (SPMV_CHUNK) and the
+        // chunked dot reductions both actually split across workers.
+        let n = 1500;
+        let a = laplacian_2d(n);
+        let x_true: Vec<f64> = (0..n).map(|i| (i as f64 * 0.013).sin()).collect();
+        let b = a.multiply(&x_true);
+        let baseline = solve(&a, &b, &vec![0.0; n], 1e-10, 400);
+        for w in [2usize, 4, 8] {
+            let pool = ThreadPool::try_new(w).unwrap();
+            let out = solve_pooled(&pool, &a, &b, &vec![0.0; n], 1e-10, 400);
+            assert_eq!(out.iterations, baseline.iterations, "w={w}");
+            assert_eq!(out.residual.to_bits(), baseline.residual.to_bits(), "w={w}");
+            let same = out
+                .x
+                .iter()
+                .zip(&baseline.x)
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same, "w={w}: solution bits drifted");
+        }
     }
 
     proptest! {

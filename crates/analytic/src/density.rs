@@ -6,6 +6,14 @@
 //! `utilization + d` (dense bins widen, sparse bins narrow) and node
 //! coordinates are remapped linearly within their bin. The shifted
 //! positions then anchor the next quadratic solve through pseudo-nets.
+//!
+//! The 2-D spreader is pool-aware: strips (bin-rows in the x pass,
+//! bin-columns in the y pass) are independent units of work, so
+//! [`SpreadGrid::shift_pooled`] fans them out over a deterministic
+//! [`ThreadPool`] and scatters the results back in ascending strip order —
+//! bitwise identical to the serial pass at any worker count.
+
+use mmp_pool::ThreadPool;
 
 /// Free parameter `d` of the bin re-spacing rule; larger values damp the
 /// shift.
@@ -252,6 +260,25 @@ impl SpreadGrid {
         areas: &[f64],
         strength: f64,
     ) -> (Vec<f64>, Vec<f64>) {
+        self.shift_pooled(&ThreadPool::single(), xs, ys, areas, strength)
+    }
+
+    /// [`SpreadGrid::shift`] with the per-strip work distributed over
+    /// `pool` (one task per bin-row, then per bin-column). Strips are
+    /// independent and the scatter back runs sequentially in ascending
+    /// strip order, so the result is bitwise identical at any worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the slice lengths disagree.
+    pub fn shift_pooled(
+        &self,
+        pool: &ThreadPool,
+        xs: &[f64],
+        ys: &[f64],
+        areas: &[f64],
+        strength: f64,
+    ) -> (Vec<f64>, Vec<f64>) {
         assert_eq!(xs.len(), ys.len(), "length mismatch");
         assert_eq!(xs.len(), areas.len(), "length mismatch");
         let n = xs.len();
@@ -262,19 +289,22 @@ impl SpreadGrid {
         for i in 0..n {
             rows[self.row_of(ys[i])].push(i);
         }
-        for (r, members) in rows.iter().enumerate() {
+        let shifted_rows = pool.run(self.nbins, |r| {
+            let members = &rows[r];
             if members.is_empty() {
-                continue;
+                return Vec::new();
             }
             let caps: Vec<f64> = (0..self.nbins).map(|c| self.capacity(r, c)).collect();
-            let shifted = shift_strip(
+            shift_strip(
                 members.iter().map(|&i| xs[i]).collect(),
                 members.iter().map(|&i| areas[i]).collect(),
                 self.lo_x,
                 self.lo_x + self.width,
                 &caps,
                 strength,
-            );
+            )
+        });
+        for (members, shifted) in rows.iter().zip(&shifted_rows) {
             for (k, &i) in members.iter().enumerate() {
                 out_x[i] = shifted[k];
             }
@@ -286,19 +316,22 @@ impl SpreadGrid {
         for i in 0..n {
             cols[self.col_of(out_x[i])].push(i);
         }
-        for (c, members) in cols.iter().enumerate() {
+        let shifted_cols = pool.run(self.nbins, |c| {
+            let members = &cols[c];
             if members.is_empty() {
-                continue;
+                return Vec::new();
             }
             let caps: Vec<f64> = (0..self.nbins).map(|r| self.capacity(r, c)).collect();
-            let shifted = shift_strip(
+            shift_strip(
                 members.iter().map(|&i| ys[i]).collect(),
                 members.iter().map(|&i| areas[i]).collect(),
                 self.lo_y,
                 self.lo_y + self.height,
                 &caps,
                 strength,
-            );
+            )
+        });
+        for (members, shifted) in cols.iter().zip(&shifted_cols) {
             for (k, &i) in members.iter().enumerate() {
                 out_y[i] = shifted[k];
             }
@@ -490,6 +523,27 @@ mod tests {
         let (sx, sy) = grid.shift(&xs, &ys, &areas, 1.0);
         let after = grid.peak_utilization(&sx, &sy, &ws, &hs);
         assert!(after < before, "before {before}, after {after}");
+    }
+
+    #[test]
+    fn pooled_shift_is_bitwise_invariant_in_worker_count() {
+        let grid = SpreadGrid::new(0.0, 0.0, 100.0, 100.0, 8);
+        let n = 120;
+        let xs: Vec<f64> = (0..n)
+            .map(|i| 30.0 + (i as f64 * 0.37).sin() * 25.0)
+            .collect();
+        let ys: Vec<f64> = (0..n)
+            .map(|i| 50.0 + (i as f64 * 0.73).cos() * 40.0)
+            .collect();
+        let areas: Vec<f64> = (0..n).map(|i| 1.0 + (i % 7) as f64).collect();
+        let (bx, by) = grid.shift(&xs, &ys, &areas, 0.8);
+        for w in [2usize, 4, 8] {
+            let pool = ThreadPool::try_new(w).unwrap();
+            let (sx, sy) = grid.shift_pooled(&pool, &xs, &ys, &areas, 0.8);
+            let same_x = sx.iter().zip(&bx).all(|(a, b)| a.to_bits() == b.to_bits());
+            let same_y = sy.iter().zip(&by).all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same_x && same_y, "w={w}: shifted coordinates drifted");
+        }
     }
 
     #[test]

@@ -84,14 +84,17 @@ pub struct CellPlaceOutcome {
 pub struct GlobalPlacer {
     config: GlobalPlacerConfig,
     obs: Obs,
+    pool: mmp_pool::ThreadPool,
 }
 
 impl GlobalPlacer {
-    /// Creates a placer with the given configuration (observability off).
+    /// Creates a placer with the given configuration (observability off,
+    /// inline single-worker pool).
     pub fn new(config: GlobalPlacerConfig) -> Self {
         GlobalPlacer {
             config,
             obs: Obs::off(),
+            pool: mmp_pool::ThreadPool::single(),
         }
     }
 
@@ -101,6 +104,15 @@ impl GlobalPlacer {
     /// feed its metrics registry.
     pub fn with_obs(mut self, obs: Obs) -> Self {
         self.obs = obs;
+        self
+    }
+
+    /// Selects the deterministic executor for the CG solves and the density
+    /// spreading passes. The placement is bitwise identical at any worker
+    /// count.
+    #[must_use]
+    pub fn with_pool(mut self, pool: mmp_pool::ThreadPool) -> Self {
+        self.pool = pool;
         self
     }
 
@@ -242,7 +254,14 @@ impl GlobalPlacer {
                         b[i] += w * anchors[i];
                     }
                 }
-                let out = cg::solve(&a.to_csr(), &b, pos, cfg.cg_tol, cfg.cg_max_iters);
+                let out = cg::solve_pooled(
+                    &self.pool,
+                    &a.to_csr(),
+                    &b,
+                    pos,
+                    cfg.cg_tol,
+                    cfg.cg_max_iters,
+                );
                 if self.obs.enabled() {
                     self.obs.count("analytic.qp_solves", 1);
                     self.obs.count("analytic.cg_iters", out.iterations as u64);
@@ -259,7 +278,8 @@ impl GlobalPlacer {
             let full_w: Vec<f64> = half_w.iter().map(|h| h * 2.0).collect();
             let full_h: Vec<f64> = half_h.iter().map(|h| h * 2.0).collect();
             let peak = grid.peak_utilization(&xs, &ys, &full_w, &full_h);
-            let (shifted_x, shifted_y) = grid.shift(&xs, &ys, &areas, cfg.spread_strength);
+            let (shifted_x, shifted_y) =
+                grid.shift_pooled(&self.pool, &xs, &ys, &areas, cfg.spread_strength);
             // One branch when observability is off — never an env-var read
             // or any formatting in this per-iteration path.
             if self.obs.enabled() {
@@ -327,7 +347,14 @@ impl GlobalPlacer {
                     a.add(i, i, w);
                     b[i] += w * anchors[i];
                 }
-                let out = cg::solve(&a.to_csr(), &b, pos, cfg.cg_tol, cfg.cg_max_iters);
+                let out = cg::solve_pooled(
+                    &self.pool,
+                    &a.to_csr(),
+                    &b,
+                    pos,
+                    cfg.cg_tol,
+                    cfg.cg_max_iters,
+                );
                 if self.obs.enabled() {
                     self.obs.count("analytic.qp_solves", 1);
                     self.obs.count("analytic.cg_iters", out.iterations as u64);

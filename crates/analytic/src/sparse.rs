@@ -145,9 +145,25 @@ impl CsrMatrix {
     ///
     /// Panics when the slice lengths differ from `dim()`.
     pub fn multiply_into(&self, x: &[f64], y: &mut [f64]) {
-        assert_eq!(x.len(), self.n, "input length mismatch");
         assert_eq!(y.len(), self.n, "output length mismatch");
-        for (row, out) in y.iter_mut().enumerate() {
+        self.multiply_rows_into(x, 0, y);
+    }
+
+    /// `y[i] = (A·x)[row0 + i]` for the contiguous row block starting at
+    /// `row0` — the unit of work a row-partitioned parallel SpMV hands to
+    /// each worker. Every output row accumulates its non-zeros in stored
+    /// (ascending-column) order exactly as [`CsrMatrix::multiply_into`]
+    /// does, so any row partition reproduces the serial result bitwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x.len() != dim()` or the block reaches past the last
+    /// row.
+    pub fn multiply_rows_into(&self, x: &[f64], row0: usize, y: &mut [f64]) {
+        assert_eq!(x.len(), self.n, "input length mismatch");
+        assert!(row0 + y.len() <= self.n, "row block out of range");
+        for (i, out) in y.iter_mut().enumerate() {
+            let row = row0 + i;
             let mut acc = 0.0;
             for k in self.row_ptr[row]..self.row_ptr[row + 1] {
                 acc += self.values[k] * x[self.col_idx[k] as usize];

@@ -46,7 +46,7 @@ fn usage() -> ExitCode {
          \x20              [--scale F] [--seed N] [--hierarchy] --out FILE\n\
          \x20 mmp stats    --in FILE\n\
          \x20 mmp place    --in FILE [--zeta N] [--episodes N] [--explorations N] \\\n\
-         \x20              [--seed N] [--ensemble N] [--budget-ms N] \\\n\
+         \x20              [--seed N] [--ensemble N] [--workers N] [--budget-ms N] \\\n\
          \x20              [--refine] [--refine-moves N] [--refine-seed N] \\\n\
          \x20              [--refine-budget-ms N] \\\n\
          \x20              [--checkpoint-dir DIR] [--resume] \\\n\
@@ -194,6 +194,8 @@ fn run() -> Result<(), CliError> {
             cfg.mcts.explorations = get_usize("explorations", cfg.mcts.explorations)?;
             cfg.trainer.seed = get_usize("seed", 0)? as u64;
             cfg.ensemble_runs = get_usize("ensemble", 1)?;
+            // Deterministic: any worker count reproduces the same placement.
+            cfg.workers = get_usize("workers", 1)?;
             if let Some(ms) = flags.get("budget-ms") {
                 let ms: u64 = ms
                     .parse()

@@ -157,9 +157,12 @@ pub(crate) struct SearchDoneCkpt {
 }
 
 /// Fingerprint binding a checkpoint directory to one (design,
-/// configuration) pair. Budgets and the crash-injection knob are
-/// deliberately excluded: a run killed by a wall-clock budget (or by the
-/// fault harness) may legitimately resume with a different allowance.
+/// configuration) pair. Budgets, the worker count and the fault-injection
+/// knobs are deliberately excluded: a run killed by a wall-clock budget
+/// (or by the fault harness) may legitimately resume with a different
+/// allowance, and the compute pool is bitwise-neutral — any worker count
+/// reproduces the same placement, so it must not split checkpoint
+/// identities.
 ///
 /// Public so serving layers can key caches of reusable checkpoint state
 /// (e.g. `mmpd`'s trained-policy cache) on exactly the identity the resume
@@ -168,6 +171,8 @@ pub fn fingerprint(design: &Design, cfg: &PlacerConfig) -> u64 {
     let mut canon = cfg.clone();
     canon.budget = RunBudget::default();
     canon.fault_crash = None;
+    canon.workers = 1;
+    canon.fault_pool_panic = None;
     let cfg_json = serde_json::to_string(&canon).unwrap_or_default();
     let id = format!(
         "{}|{}m|{}c|{}n|{:?}|{}",
@@ -373,6 +378,8 @@ mod tests {
         let mut budgeted = cfg.clone();
         budgeted.budget = RunBudget::with_total(Duration::ZERO);
         budgeted.fault_crash = Some(CrashPoint::after_train_writes(1));
+        budgeted.workers = 4;
+        budgeted.fault_pool_panic = Some(0);
         assert_eq!(fingerprint(&d, &budgeted), base);
         let mut different = cfg.clone();
         different.trainer.episodes += 1;

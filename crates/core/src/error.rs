@@ -16,6 +16,7 @@ use mmp_ckpt::CkptError;
 use mmp_cluster::ClusterError;
 use mmp_legal::LegalizeError;
 use mmp_mcts::EnsembleError;
+use mmp_pool::PoolError;
 use mmp_rl::TrainError;
 use std::error::Error;
 use std::fmt;
@@ -33,6 +34,9 @@ pub enum PreprocessError {
     },
     /// Clustering/coarsening rejected the design.
     Cluster(ClusterError),
+    /// The configured compute-pool worker count is unusable (zero, or past
+    /// the pool's hard cap). Caught before any stage runs.
+    Pool(PoolError),
 }
 
 impl fmt::Display for PreprocessError {
@@ -46,6 +50,7 @@ impl fmt::Display for PreprocessError {
                 "total macro area exceeds the placement region ({macro_area:.1} > {region_area:.1})"
             ),
             PreprocessError::Cluster(e) => write!(f, "{e}"),
+            PreprocessError::Pool(e) => write!(f, "compute pool configuration: {e}"),
         }
     }
 }
@@ -54,6 +59,7 @@ impl Error for PreprocessError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             PreprocessError::Cluster(e) => Some(e),
+            PreprocessError::Pool(e) => Some(e),
             PreprocessError::MacrosExceedRegion { .. } => None,
         }
     }
@@ -392,6 +398,8 @@ mod tests {
             }),
             PlaceError::FinalPlace(FinalPlaceError::NonFinitePlacement { nodes: 7 }),
             PlaceError::Report(ReportError::EmptyRows),
+            // A bad worker count re-validates identically: permanent.
+            PlaceError::Preprocess(PreprocessError::Pool(PoolError::ZeroWorkers)),
             // Non-Io checkpoint damage re-reads identically: permanent.
             PlaceError::Checkpoint(CkptError::Corrupt {
                 path: "x.ckpt".to_owned(),
@@ -412,6 +420,23 @@ mod tests {
         for e in permanent {
             assert!(!e.is_transient(), "{e} must be permanent");
         }
+    }
+
+    #[test]
+    fn pool_misconfiguration_is_a_preprocess_error() {
+        let e = PlaceError::Preprocess(PreprocessError::Pool(PoolError::TooManyWorkers {
+            workers: 1000,
+            max: mmp_pool::MAX_WORKERS,
+        }));
+        assert_eq!(e.exit_code(), 10);
+        assert_eq!(e.stage(), Stage::Preprocess);
+        assert!(e.to_string().contains("preprocess"));
+        assert!(e.to_string().contains("1000"));
+        let src = std::error::Error::source(&e).expect("has source");
+        assert!(
+            std::error::Error::source(src).is_some(),
+            "chains to PoolError"
+        );
     }
 
     #[test]

@@ -37,6 +37,13 @@ pub struct PlacerConfig {
     /// Independent parallel MCTS runs (1 = the paper's single search;
     /// more runs diversify priors per worker and keep the best result).
     pub ensemble_runs: usize,
+    /// Worker count of the deterministic compute pool shared by batched
+    /// inference, the ensemble fan-out, the CG solver and the density
+    /// spreader. Always explicit — never derived from the machine — and
+    /// bitwise-neutral: any value produces the same placement. `1` (the
+    /// default) runs everything inline.
+    #[serde(default = "default_workers")]
+    pub workers: usize,
     /// Final cell-placement effort.
     pub final_placer: GlobalPlacerConfig,
     /// Wall-clock allowances; exceeded stages degrade gracefully (see
@@ -62,6 +69,16 @@ pub struct PlacerConfig {
     /// production). Only meaningful on checkpointed runs.
     #[serde(default)]
     pub fault_crash: Option<CrashPoint>,
+    /// Fault-injection knob: poisons the compute pool handed to the MCTS
+    /// ensemble stage so the given worker panics outside per-run
+    /// supervision (test harness only; `None` in production).
+    #[serde(default)]
+    pub fault_pool_panic: Option<usize>,
+}
+
+/// Serde default for [`PlacerConfig::workers`]: inline single-worker pool.
+fn default_workers() -> usize {
+    1
 }
 
 impl PlacerConfig {
@@ -71,12 +88,14 @@ impl PlacerConfig {
             trainer: TrainerConfig::paper(),
             mcts: MctsConfig::default(),
             ensemble_runs: 1,
+            workers: 1,
             final_placer: GlobalPlacerConfig::quality(),
             budget: RunBudget::default(),
             refine: None,
             fault_sp_failure: false,
             fault_ensemble_panic: None,
             fault_crash: None,
+            fault_pool_panic: None,
         }
     }
 
@@ -95,12 +114,14 @@ impl PlacerConfig {
                 ..MctsConfig::default()
             },
             ensemble_runs: 1,
+            workers: 1,
             final_placer: GlobalPlacerConfig::fast(),
             budget: RunBudget::default(),
             refine: None,
             fault_sp_failure: false,
             fault_ensemble_panic: None,
             fault_crash: None,
+            fault_pool_panic: None,
         }
     }
 
@@ -279,6 +300,12 @@ impl MacroPlacer {
         if self.config.ensemble_runs == 0 {
             return Err(PlaceError::Search(SearchError::NoRuns));
         }
+        // The deterministic compute pool every stage shares. Worker count
+        // is validated up front so a bad configuration fails before any
+        // work runs; the fault-injection knob poisons only the ensemble
+        // stage's handle, never the pool the other stages use.
+        let pool = mmp_pool::ThreadPool::try_new(self.config.workers)
+            .map_err(|e| PlaceError::Preprocess(PreprocessError::Pool(e)))?;
         let mut summary = CheckpointSummary::default();
         let ckpt = match &self.checkpoints {
             Some(plan) => {
@@ -305,6 +332,7 @@ impl MacroPlacer {
             let span = self.obs.span("stage.finalize");
             let out = GlobalPlacer::new(self.config.final_placer.clone())
                 .with_obs(self.obs.clone())
+                .with_pool(pool)
                 .place_cells(design, &Placement::initial(design));
             drop(span);
             check_finite(&out.placement, design)?;
@@ -449,6 +477,7 @@ impl MacroPlacer {
                         base: self.config.mcts.clone(),
                         obs: self.obs.clone(),
                         fault_panic_worker: self.config.fault_ensemble_panic,
+                        pool: pool.with_fault_panic_worker(self.config.fault_pool_panic),
                         ..EnsembleConfig::default()
                     },
                     search_deadline,
@@ -488,7 +517,7 @@ impl MacroPlacer {
                         let mut sink = |c: &mmp_mcts::SearchCheckpoint| {
                             ck.save(CrashStage::Search, SEARCH_PARTIAL, c)
                         };
-                        let mut ctx = InferenceCtx::new();
+                        let mut ctx = InferenceCtx::new().with_exec(pool);
                         placer.place_resumable(
                             &trainer,
                             &outcome.agent,
@@ -499,12 +528,16 @@ impl MacroPlacer {
                             Some(&mut sink),
                         )?
                     }
-                    None => placer.place_with_deadline(
-                        &trainer,
-                        &outcome.agent,
-                        &outcome.scale,
-                        search_deadline,
-                    ),
+                    None => {
+                        let mut ctx = InferenceCtx::new().with_exec(pool);
+                        placer.place_with_ctx_deadline(
+                            &trainer,
+                            &outcome.agent,
+                            &outcome.scale,
+                            &mut ctx,
+                            search_deadline,
+                        )
+                    }
                 }
             };
             if let Some(ck) = &ckpt {
@@ -574,6 +607,7 @@ impl MacroPlacer {
         }
         let out = GlobalPlacer::new(self.config.final_placer.clone())
             .with_obs(self.obs.clone())
+            .with_pool(pool)
             .place_cells(design, &legal.placement);
         drop(span);
         let finalize = t3.elapsed();
@@ -717,6 +751,72 @@ mod tests {
         let b = placer.place(&d).unwrap();
         assert_eq!(a.hpwl, b.hpwl);
         assert_eq!(a.assignment, b.assignment);
+    }
+
+    #[test]
+    fn multi_worker_flow_matches_single_worker_bitwise() {
+        let d = SyntheticSpec::small("poolflow", 5, 0, 8, 40, 70, false, 2).generate();
+        let baseline = MacroPlacer::new(fast_config()).place(&d).unwrap();
+        let mut cfg = fast_config();
+        cfg.workers = 4;
+        let pooled = MacroPlacer::new(cfg).place(&d).unwrap();
+        assert_eq!(pooled.hpwl.to_bits(), baseline.hpwl.to_bits());
+        assert_eq!(pooled.assignment, baseline.assignment);
+        for i in 0..baseline.placement.macro_count() {
+            let (a, b) = (
+                pooled
+                    .placement
+                    .macro_center(mmp_netlist::MacroId(i as u32)),
+                baseline
+                    .placement
+                    .macro_center(mmp_netlist::MacroId(i as u32)),
+            );
+            assert_eq!(a.x.to_bits(), b.x.to_bits(), "macro {i} x drifted");
+            assert_eq!(a.y.to_bits(), b.y.to_bits(), "macro {i} y drifted");
+        }
+        for i in 0..baseline.placement.cell_count() {
+            let (a, b) = (
+                pooled.placement.cell_center(mmp_netlist::CellId(i as u32)),
+                baseline
+                    .placement
+                    .cell_center(mmp_netlist::CellId(i as u32)),
+            );
+            assert_eq!(a.x.to_bits(), b.x.to_bits(), "cell {i} x drifted");
+            assert_eq!(a.y.to_bits(), b.y.to_bits(), "cell {i} y drifted");
+        }
+    }
+
+    #[test]
+    fn bad_worker_count_is_a_typed_preprocess_error() {
+        let d = SyntheticSpec::small("poolbad", 5, 0, 8, 40, 70, false, 2).generate();
+        for workers in [0usize, mmp_pool::MAX_WORKERS + 1] {
+            let mut cfg = fast_config();
+            cfg.workers = workers;
+            let err = MacroPlacer::new(cfg).place(&d).unwrap_err();
+            assert!(
+                matches!(err, PlaceError::Preprocess(PreprocessError::Pool(_))),
+                "workers={workers}: got {err}"
+            );
+            assert_eq!(err.exit_code(), 10);
+            assert!(!err.is_transient());
+        }
+    }
+
+    #[test]
+    fn config_without_workers_field_deserializes_to_one() {
+        // Forward compatibility: configs serialized before the pool existed
+        // must keep loading — and land on the inline single-worker pool,
+        // not on an invalid zero.
+        let json = serde_json::to_string(&PlacerConfig::fast(4)).unwrap();
+        assert!(json.contains("\"workers\":1"), "precondition: {json}");
+        // Renaming the keys makes the deserializer see them as absent
+        // (unknown keys are ignored).
+        let json = json
+            .replace("\"workers\"", "\"pre_pool_workers\"")
+            .replace("\"fault_pool_panic\"", "\"pre_pool_fault\"");
+        let cfg: PlacerConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(cfg.workers, 1);
+        assert_eq!(cfg.fault_pool_panic, None);
     }
 
     #[test]

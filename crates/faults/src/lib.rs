@@ -146,11 +146,15 @@ pub enum ScenarioKind {
     /// report); the next daemon life must replay the journal and resume
     /// to the exact bits of an uninterrupted run.
     KillDaemonMidJob,
+    /// A compute-pool worker panics inside the ensemble fan-out: the
+    /// flow must surface a typed (transient) search error, never a hang
+    /// on a dead worker or an unwind across the pool boundary.
+    PoolWorkerPanic,
 }
 
 impl ScenarioKind {
     /// Every scenario, in matrix order.
-    pub const ALL: [ScenarioKind; 24] = [
+    pub const ALL: [ScenarioKind; 25] = [
         ScenarioKind::TruncatedBookshelf,
         ScenarioKind::GarbledNumber,
         ScenarioKind::UnknownNetNode,
@@ -175,6 +179,7 @@ impl ScenarioKind {
         ScenarioKind::QueueFullBurst,
         ScenarioKind::ClientDisconnectMidJob,
         ScenarioKind::KillDaemonMidJob,
+        ScenarioKind::PoolWorkerPanic,
     ];
 
     /// Short stable name for logs and reports.
@@ -204,6 +209,7 @@ impl ScenarioKind {
             ScenarioKind::QueueFullBurst => "queue-full-burst",
             ScenarioKind::ClientDisconnectMidJob => "client-disconnect-mid-job",
             ScenarioKind::KillDaemonMidJob => "kill-daemon-mid-job",
+            ScenarioKind::PoolWorkerPanic => "pool-worker-panic",
         }
     }
 }
@@ -932,6 +938,16 @@ pub fn run_scenario(kind: ScenarioKind, seed: u64) -> ScenarioReport {
         ScenarioKind::QueueFullBurst => queue_full_burst(kind, &mut rng, seed),
         ScenarioKind::ClientDisconnectMidJob => client_disconnect_mid_job(kind, &mut rng, seed),
         ScenarioKind::KillDaemonMidJob => kill_daemon_mid_job(kind, &mut rng, seed),
+        ScenarioKind::PoolWorkerPanic => {
+            let design = matrix_design(&mut rng);
+            let mut cfg = matrix_config();
+            cfg.workers = 2;
+            cfg.ensemble_runs = 2;
+            // Either worker may be the victim; both must surface the same
+            // typed error.
+            cfg.fault_pool_panic = Some(rng.pick(2));
+            run_flow(cfg, &design)
+        }
     };
     ScenarioReport {
         kind,

@@ -131,6 +131,17 @@ fn unusable_configs_get_typed_stage_errors() {
 }
 
 #[test]
+fn poisoned_pool_workers_are_typed_search_errors() {
+    // A panicking compute-pool worker inside the ensemble fan-out must
+    // surface as a transient (retryable) search error, never an unwind.
+    assert_typed_error(
+        &run_caught(ScenarioKind::PoolWorkerPanic, SEED),
+        "search",
+        12,
+    );
+}
+
+#[test]
 fn zero_spread_calibration_keeps_rewards_finite() {
     let report = run_caught(ScenarioKind::ZeroSpreadCalibration, SEED);
     match &report.outcome {

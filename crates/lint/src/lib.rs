@@ -40,7 +40,9 @@ use std::fmt::Write as _;
 use std::io;
 use std::path::{Path, PathBuf};
 
-pub use rules::{ALLOW_WHY, HASH_ORDER, PARTIAL_CMP, RNG_SOURCE, RULES, SUPPRESSION, WALLCLOCK};
+pub use rules::{
+    ALLOW_WHY, HASH_ORDER, PARALLELISM, PARTIAL_CMP, RNG_SOURCE, RULES, SUPPRESSION, WALLCLOCK,
+};
 
 /// What the engine enforces where. [`LintConfig::default`] encodes this
 /// workspace's conventions; tests construct narrower configs.
@@ -55,6 +57,12 @@ pub struct LintConfig {
     pub wallclock_sanctioned: Vec<String>,
     /// Lints that CI denies; `#[allow(..)]`-ing one needs a `why:`.
     pub denied_lints: Vec<String>,
+    /// Path prefixes where `available_parallelism` is sanctioned: the
+    /// deterministic pool crate (which must never call it for partitioning,
+    /// but may reference it in docs/validation) and the bench harness edge
+    /// (machine reporting only). Everywhere else the worker count must come
+    /// from explicit configuration.
+    pub parallelism_sanctioned: Vec<String>,
 }
 
 impl Default for LintConfig {
@@ -79,6 +87,7 @@ impl Default for LintConfig {
                 "clippy::print_stdout",
                 "clippy::print_stderr",
             ]),
+            parallelism_sanctioned: s(&["crates/pool/src", "crates/bench/src"]),
         }
     }
 }
@@ -94,6 +103,13 @@ impl LintConfig {
     /// `true` when `path_rel` is a sanctioned wall-clock module.
     pub fn is_wallclock_sanctioned(&self, path_rel: &str) -> bool {
         self.wallclock_sanctioned
+            .iter()
+            .any(|p| path_rel.starts_with(p.as_str()))
+    }
+
+    /// `true` when `path_rel` may mention `available_parallelism`.
+    pub fn is_parallelism_sanctioned(&self, path_rel: &str) -> bool {
+        self.parallelism_sanctioned
             .iter()
             .any(|p| path_rel.starts_with(p.as_str()))
     }

@@ -1,4 +1,4 @@
-//! The project lint rules clippy cannot express (R1–R5).
+//! The project lint rules clippy cannot express (R1–R6).
 //!
 //! Every rule works on the token stream of [`crate::lexer`], so string
 //! literals and comments never produce false positives. Rules are
@@ -20,6 +20,8 @@ pub const WALLCLOCK: &str = "wallclock";
 pub const RNG_SOURCE: &str = "rng-source";
 /// Rule R5: every `#[allow(..)]` of a denied lint carries a `why:`.
 pub const ALLOW_WHY: &str = "allow-why";
+/// Rule R6: machine-derived thread counts never size compute partitions.
+pub const PARALLELISM: &str = "parallelism";
 /// Meta rule: malformed or unused `mmp-lint:` suppression comments.
 /// Not suppressible — a broken suppression must never silence itself.
 pub const SUPPRESSION: &str = "suppression";
@@ -52,6 +54,12 @@ pub const RULES: &[(&str, &str)] = &[
          why: justification",
     ),
     (
+        PARALLELISM,
+        "available_parallelism outside the pool/bench edges derives work \
+         partitions from the machine; worker counts must come from explicit \
+         configuration (mmp_pool::ThreadPool)",
+    ),
+    (
         SUPPRESSION,
         "mmp-lint suppression comments must parse, carry a non-empty why:, \
          name known rules, and actually suppress something",
@@ -79,6 +87,7 @@ pub fn scan(path_rel: &str, lexed: &Lexed, cfg: &LintConfig) -> Vec<RawFinding> 
     let toks = &lexed.tokens;
     let decision = cfg.is_decision_crate(path_rel);
     let sanctioned_clock = cfg.is_wallclock_sanctioned(path_rel);
+    let sanctioned_parallelism = cfg.is_parallelism_sanctioned(path_rel);
 
     // R1 needs to skip `use` declarations: importing a hashed collection
     // is inert, only construction/annotation sites matter (and they keep
@@ -143,6 +152,20 @@ pub fn scan(path_rel: &str, lexed: &Lexed, cfg: &LintConfig) -> Vec<RawFinding> 
                      placement decisions",
                     t.text
                 ),
+            });
+        }
+
+        // R6 — machine-derived parallelism outside the pool/bench edges.
+        if !sanctioned_parallelism && t.is_ident("available_parallelism") {
+            out.push(RawFinding {
+                rule: PARALLELISM,
+                line: t.line,
+                col: t.col,
+                message: "available_parallelism derives a work partition from \
+                          the machine, which breaks run-to-run determinism \
+                          across hosts; take the worker count from explicit \
+                          configuration (mmp_pool::ThreadPool)"
+                    .to_owned(),
             });
         }
 

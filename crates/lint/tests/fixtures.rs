@@ -1,8 +1,8 @@
-//! Fixture tests: for every rule R1–R5, one snippet that fires, one that
+//! Fixture tests: for every rule R1–R6, one snippet that fires, one that
 //! is clean, and one that is suppressed with a `why:` justification.
 
 use mmp_lint::{
-    lint_source, LintConfig, ALLOW_WHY, HASH_ORDER, PARTIAL_CMP, RNG_SOURCE, WALLCLOCK,
+    lint_source, LintConfig, ALLOW_WHY, HASH_ORDER, PARALLELISM, PARTIAL_CMP, RNG_SOURCE, WALLCLOCK,
 };
 
 const DECISION: &str = "crates/mcts/src/fixture.rs";
@@ -206,4 +206,42 @@ fn suppressions_only_reach_their_own_and_next_line() {
     // The finding stays unsuppressed and the directive is flagged unused.
     assert!(rules.iter().any(|(r, _)| r == WALLCLOCK));
     assert!(rules.iter().any(|(r, _)| r == "suppression"));
+}
+
+// --- R6: parallelism -----------------------------------------------------
+
+#[test]
+fn available_parallelism_fires_outside_sanctioned_paths() {
+    let src =
+        "fn f() -> usize {\n    std::thread::available_parallelism().map_or(1, |n| n.get())\n}\n";
+    assert_eq!(unsuppressed(DECISION, src), vec![(PARALLELISM.into(), 2)]);
+    assert_eq!(
+        unsuppressed(NON_DECISION, src),
+        vec![(PARALLELISM.into(), 2)]
+    );
+}
+
+#[test]
+fn available_parallelism_is_clean_in_pool_and_bench() {
+    let src =
+        "fn f() -> usize {\n    std::thread::available_parallelism().map_or(1, |n| n.get())\n}\n";
+    assert!(unsuppressed("crates/pool/src/lib.rs", src).is_empty());
+    assert!(unsuppressed("crates/bench/src/bin/compute.rs", src).is_empty());
+    // Prose mentions are not code.
+    let quoted =
+        "fn f() {\n    let s = \"available_parallelism\"; // available_parallelism in prose\n}\n";
+    assert!(unsuppressed(DECISION, quoted).is_empty());
+}
+
+#[test]
+fn parallelism_suppression_with_why_is_honoured() {
+    let src = "fn f() -> usize {\n    // mmp-lint: allow(parallelism) why: report-only, never partitions work\n    std::thread::available_parallelism().map_or(1, |n| n.get())\n}\n";
+    assert!(unsuppressed(DECISION, src).is_empty());
+    assert_eq!(
+        suppressed(DECISION, src),
+        vec![(
+            PARALLELISM.into(),
+            "report-only, never partitions work".into()
+        )]
+    );
 }

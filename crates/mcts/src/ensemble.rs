@@ -17,6 +17,7 @@
 
 use crate::search::{MctsConfig, MctsOutcome, MctsPlacer};
 use mmp_obs::{field, Obs};
+use mmp_pool::ThreadPool;
 use mmp_rl::{Agent, InferenceCtx, RewardScale, Trainer};
 use serde::{Deserialize, Serialize};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -70,6 +71,14 @@ pub struct EnsembleConfig {
     /// `None` in production.
     #[serde(default)]
     pub fault_panic_worker: Option<usize>,
+    /// Deterministic executor for the run fan-out (fixed partition of the
+    /// `runs` indices; single-worker inline by default). A pool-level
+    /// panic — outside the per-run supervision, e.g. the poisoned-pool
+    /// fault scenario — is typed as
+    /// [`EnsembleError::AllWorkersPanicked`]. Not part of the serialized
+    /// configuration.
+    #[serde(skip)]
+    pub pool: ThreadPool,
 }
 
 impl Default for EnsembleConfig {
@@ -81,6 +90,7 @@ impl Default for EnsembleConfig {
             seed: 0,
             obs: Obs::off(),
             fault_panic_worker: None,
+            pool: ThreadPool::single(),
         }
     }
 }
@@ -135,9 +145,17 @@ pub fn place_ensemble_with_deadline(
     if config.runs == 0 {
         return Err(EnsembleError::NoRuns);
     }
-    let mut outcomes: Vec<Option<MctsOutcome>> = vec![None; config.runs];
-    std::thread::scope(|scope| {
-        for (k, slot) in outcomes.iter_mut().enumerate() {
+    // Runs fan out over the deterministic pool (fixed partition of the run
+    // indices; inline when the pool has one worker). Each run is
+    // *supervised*: the catch_unwind wraps the run body inside the task, so
+    // a panicking run resolves to `None` and is dropped from the quorum. A
+    // panic that escapes the supervision — the pool's own fault-injection
+    // knob, used by the poisoned-pool scenario — surfaces as a typed pool
+    // error instead, which downgrades to the all-workers-lost error here.
+    let fault = config.fault_panic_worker;
+    let outcomes: Vec<Option<MctsOutcome>> = config
+        .pool
+        .try_run(config.runs, |k| {
             // Workers share the read-only agent; each brings only a private
             // scratch context (no network clone per worker).
             let mut cfg = config.base.clone();
@@ -155,27 +173,17 @@ pub fn place_ensemble_with_deadline(
             } else {
                 Obs::off()
             };
-            let fault = config.fault_panic_worker;
-            scope.spawn(move || {
-                // Supervision: the catch_unwind must wrap the worker body
-                // *inside* the spawned closure — `thread::scope` re-raises
-                // any panic that escapes a worker at the join. A panicked
-                // worker leaves its slot `None` and is dropped from the
-                // quorum; unwind-safety is fine because the only shared
-                // mutable state is the slot, which stays untouched on the
-                // panic path.
-                *slot = catch_unwind(AssertUnwindSafe(|| {
-                    if fault == Some(k) {
-                        panic!("injected ensemble worker fault (run {k})");
-                    }
-                    let placer = MctsPlacer::new(cfg).with_obs(obs);
-                    let mut ctx = InferenceCtx::new();
-                    placer.place_with_ctx_deadline(trainer, agent, scale, &mut ctx, deadline)
-                }))
-                .ok();
-            });
-        }
-    });
+            catch_unwind(AssertUnwindSafe(|| {
+                if fault == Some(k) {
+                    panic!("injected ensemble worker fault (run {k})");
+                }
+                let placer = MctsPlacer::new(cfg).with_obs(obs);
+                let mut ctx = InferenceCtx::new();
+                placer.place_with_ctx_deadline(trainer, agent, scale, &mut ctx, deadline)
+            }))
+            .ok()
+        })
+        .map_err(|_pool_panic| EnsembleError::AllWorkersPanicked { runs: config.runs })?;
 
     let mut panicked_runs = Vec::new();
     let mut survivors: Vec<MctsOutcome> = Vec::new();
@@ -378,6 +386,65 @@ mod tests {
         )
         .unwrap_err();
         assert_eq!(err, EnsembleError::AllWorkersPanicked { runs: 1 });
+    }
+
+    #[test]
+    fn multi_worker_pool_matches_single_worker_bitwise() {
+        let (d, cfg) = setup();
+        let trainer = Trainer::new(&d, cfg);
+        let out = trainer.train();
+        let mut config = EnsembleConfig {
+            runs: 3,
+            base: MctsConfig {
+                explorations: 8,
+                ..MctsConfig::default()
+            },
+            ..EnsembleConfig::default()
+        };
+        let single = place_ensemble(&trainer, &out.agent, &out.scale, &config).unwrap();
+        for workers in [2, 4] {
+            config.pool = ThreadPool::try_new(workers).unwrap();
+            let multi = place_ensemble(&trainer, &out.agent, &out.scale, &config).unwrap();
+            assert_eq!(
+                multi
+                    .run_wirelengths
+                    .iter()
+                    .map(|w| w.to_bits())
+                    .collect::<Vec<_>>(),
+                single
+                    .run_wirelengths
+                    .iter()
+                    .map(|w| w.to_bits())
+                    .collect::<Vec<_>>(),
+                "workers={workers}: run scores drifted from the inline pool"
+            );
+            assert_eq!(multi.best.assignment, single.best.assignment);
+        }
+    }
+
+    #[test]
+    fn poisoned_pool_is_a_typed_error() {
+        // A panic at the *pool* level (outside per-run supervision) must not
+        // crash the process or silently drop runs: it is typed as the
+        // all-workers-lost ensemble error, deterministically.
+        let (d, cfg) = setup();
+        let trainer = Trainer::new(&d, cfg);
+        let out = trainer.train();
+        let config = EnsembleConfig {
+            runs: 3,
+            base: MctsConfig {
+                explorations: 8,
+                ..MctsConfig::default()
+            },
+            pool: ThreadPool::try_new(2)
+                .unwrap()
+                .with_fault_panic_worker(Some(1)),
+            ..EnsembleConfig::default()
+        };
+        let err = place_ensemble(&trainer, &out.agent, &out.scale, &config).unwrap_err();
+        assert_eq!(err, EnsembleError::AllWorkersPanicked { runs: 3 });
+        let again = place_ensemble(&trainer, &out.agent, &out.scale, &config).unwrap_err();
+        assert_eq!(err, again);
     }
 
     #[test]

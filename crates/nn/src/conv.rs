@@ -213,12 +213,18 @@ impl Layer for Conv2d {
         // One pooled column buffer serves every sample: padding slots stay
         // zero across iterations, data slots are fully overwritten.
         let mut cols = ctx.take(ckk * hw);
+        // Kernel kinds are bitwise identical; Reference is the benchmark
+        // baseline (see `matmul`'s summation-order contract).
+        let gemm: crate::matmul::Gemm = match ctx.kernel() {
+            crate::KernelKind::Tiled => matmul,
+            crate::KernelKind::Reference => crate::matmul::reference::matmul,
+        };
         for s in 0..n {
             let sample = &input.as_slice()[s * c * hw..(s + 1) * c * hw];
             self.im2col_into(sample, h, w, &mut cols);
             let out_s = &mut out.as_mut_slice()
                 [s * self.out_channels * hw..(s + 1) * self.out_channels * hw];
-            matmul(
+            gemm(
                 self.weight.value.as_slice(),
                 &cols,
                 out_s,

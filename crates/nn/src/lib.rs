@@ -45,7 +45,7 @@ pub mod tensor;
 pub use activation::{relu, relu_backward, softmax, Relu};
 pub use batchnorm::BatchNorm2d;
 pub use conv::Conv2d;
-pub use infer::InferenceCtx;
+pub use infer::{InferenceCtx, KernelKind};
 pub use layer::{Layer, Param};
 pub use linear::Linear;
 pub use matmul::matmul;

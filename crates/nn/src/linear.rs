@@ -118,7 +118,13 @@ impl Layer for Linear {
         let [n, d]: [usize; 2] = input.shape().try_into().expect("linear input is (N, in)");
         assert_eq!(d, self.in_features, "feature mismatch");
         let mut out = ctx.take_tensor(&[n, self.out_features]);
-        crate::matmul::matmul_a_bt(
+        // Kernel kinds are bitwise identical; Reference is the benchmark
+        // baseline (see `matmul`'s summation-order contract).
+        let gemm: crate::matmul::Gemm = match ctx.kernel() {
+            crate::KernelKind::Tiled => crate::matmul::matmul_a_bt,
+            crate::KernelKind::Reference => crate::matmul::reference::matmul_a_bt,
+        };
+        gemm(
             input.as_slice(),
             self.weight.value.as_slice(),
             out.as_mut_slice(),

@@ -101,7 +101,12 @@ impl ResBlock {
     fn infer(&self, x: &Tensor, ctx: &mut InferenceCtx) -> Tensor {
         let mut h = bn_consuming(&self.bn_a, self.conv_a.infer(x, ctx), ctx);
         relu_in_place(&mut h);
-        let mut h = bn_consuming(&self.bn_b, self.conv_b.infer(&h, ctx), ctx);
+        // Recycle bn_a's plane before rebinding `h`: shadowing it would
+        // silently drop the buffer and leak one allocation per block per
+        // forward (caught by the no-alloc-after-warmup assertion).
+        let conv_b_out = self.conv_b.infer(&h, ctx);
+        ctx.recycle_tensor(h);
+        let mut h = bn_consuming(&self.bn_b, conv_b_out, ctx);
         h.add_assign(x);
         relu_in_place(&mut h);
         h
@@ -255,35 +260,28 @@ impl PolicyValueNet {
     /// N single-state calls (inference batch-norm uses running statistics,
     /// so samples never interact).
     ///
-    /// Large batches are split across available cores — the weights are
-    /// shared `&self`, each worker brings its own scratch — so the batched
-    /// call scales with hardware without changing any result.
+    /// Large batches are split across the deterministic pool carried by
+    /// `ctx` ([`InferenceCtx::exec`]) — the weights are shared `&self`,
+    /// each worker reuses a persistent warm sub-context owned by `ctx` —
+    /// so worker count and chunk size come from config, never the host,
+    /// and the hot path stays allocation-free after warm-up. Per-state
+    /// outputs are independent, so any partition is bitwise identical to
+    /// the sequential pass.
     ///
     /// # Panics
     ///
     /// Panics when any state's maps are not ζ² long.
     pub fn forward_batch(&self, states: &[StateRef<'_>], ctx: &mut InferenceCtx) -> Vec<NetOutput> {
-        let threads = std::thread::available_parallelism().map_or(1, |t| t.get());
-        if states.len() >= 2 * PAR_MIN_CHUNK && threads > 1 {
-            let chunk = states.len().div_ceil(threads).max(PAR_MIN_CHUNK);
-            let mut parts: Vec<Vec<NetOutput>> = Vec::with_capacity(states.len().div_ceil(chunk));
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = states
-                    .chunks(chunk)
-                    .map(|part| {
-                        scope.spawn(move || self.forward_batch_seq(part, &mut InferenceCtx::new()))
-                    })
-                    .collect();
-                // why: invariant, not input: a worker can only fail by
-                // panicking, which this join deliberately propagates.
-                #[allow(clippy::expect_used)]
-                parts.extend(
-                    handles
-                        .into_iter()
-                        .map(|h| h.join().expect("worker panicked")),
-                );
+        let exec = ctx.exec();
+        if exec.workers() > 1 && states.len() >= 2 * PAR_MIN_CHUNK {
+            let chunk = states.len().div_ceil(exec.workers()).max(PAR_MIN_CHUNK);
+            let parts: Vec<&[StateRef<'_>]> = states.chunks(chunk).collect();
+            let mut worker_ctxs = ctx.take_worker_ctxs();
+            let outs = exec.run_with_scratch(parts.len(), &mut worker_ctxs, |i, wctx| {
+                self.forward_batch_seq(parts[i], wctx)
             });
-            return parts.into_iter().flatten().collect();
+            ctx.restore_worker_ctxs(worker_ctxs);
+            return outs.into_iter().flatten().collect();
         }
         self.forward_batch_seq(states, ctx)
     }
@@ -770,14 +768,70 @@ mod tests {
         let batched = net.forward_batch(&refs, &mut ctx);
         for (k, (s_p, s_a, t)) in states.iter().enumerate() {
             let single = net.forward(s_p, s_a, *t, 5, &mut ctx);
-            assert!(
-                (single.value - batched[k].value).abs() < 1e-5,
+            // Per-state outputs are fully independent (inference BN uses
+            // running stats), so batching must not change a single bit.
+            assert_eq!(
+                single.value.to_bits(),
+                batched[k].value.to_bits(),
                 "value {k}: {} vs {}",
                 single.value,
                 batched[k].value
             );
             for (a, b) in single.probs.iter().zip(&batched[k].probs) {
-                assert!((a - b).abs() < 1e-5, "probs {k}: {a} vs {b}");
+                assert_eq!(a.to_bits(), b.to_bits(), "probs {k}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_batch_is_bitwise_identical_and_alloc_free_after_warmup() {
+        let net = tiny_net();
+        // Large enough to trigger the parallel path (2·PAR_MIN_CHUNK).
+        let states: Vec<(Vec<f32>, Vec<f32>, usize)> = (0..10)
+            .map(|k| {
+                let s_p: Vec<f32> = (0..16).map(|i| ((i + k) % 5) as f32 * 0.2).collect();
+                let mut s_a = vec![1.0f32; 16];
+                s_a[k] = 0.0;
+                (s_p, s_a, k)
+            })
+            .collect();
+        let refs: Vec<StateRef<'_>> = states
+            .iter()
+            .map(|(s_p, s_a, t)| StateRef {
+                s_p,
+                s_a,
+                t: *t,
+                total: 12,
+            })
+            .collect();
+        let mut seq_ctx = InferenceCtx::new();
+        let want = net.forward_batch(&refs, &mut seq_ctx);
+        for workers in [2usize, 4] {
+            let pool = mmp_pool::ThreadPool::try_new(workers).unwrap();
+            let mut ctx = InferenceCtx::new().with_exec(pool);
+            let got = net.forward_batch(&refs, &mut ctx);
+            for (k, (a, b)) in got.iter().zip(&want).enumerate() {
+                assert_eq!(
+                    a.value.to_bits(),
+                    b.value.to_bits(),
+                    "w={workers} value {k}"
+                );
+                for (x, y) in a.probs.iter().zip(&b.probs) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "w={workers} probs {k}");
+                }
+            }
+            // The caller's ctx keeps the per-worker sub-contexts warm:
+            // repeat calls must not heap-allocate a single buffer.
+            let warm = ctx.fresh_allocations();
+            assert!(warm > 0, "warm-up must have populated the pools");
+            for _ in 0..3 {
+                let again = net.forward_batch(&refs, &mut ctx);
+                assert_eq!(again.len(), want.len());
+                assert_eq!(
+                    ctx.fresh_allocations(),
+                    warm,
+                    "w={workers}: parallel path allocated after warm-up"
+                );
             }
         }
     }

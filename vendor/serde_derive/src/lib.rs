@@ -7,16 +7,20 @@
 //!
 //! Supported shapes: non-generic structs (named, tuple, unit) and enums
 //! (unit, tuple and struct variants) with externally tagged encoding, plus
-//! the `#[serde(skip)]` and `#[serde(default)]` field attributes. Generic
+//! the `#[serde(skip)]`, `#[serde(default)]` and
+//! `#[serde(default = "path")]` field attributes. Generic
 //! items panic with a clear message — nothing in this workspace derives on
 //! generics.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
-#[derive(Default, Clone, Copy)]
+#[derive(Default, Clone)]
 struct FieldAttrs {
     skip: bool,
     default: bool,
+    /// `#[serde(default = "path")]`: call `path()` for a missing field
+    /// instead of `Default::default()`.
+    default_path: Option<String>,
 }
 
 struct Field {
@@ -69,14 +73,34 @@ fn scan_attr(group_tokens: Vec<TokenTree>, attrs: &mut FieldAttrs) {
     let Some(TokenTree::Group(args)) = it.next() else {
         return;
     };
-    for tok in args.stream() {
-        if let TokenTree::Ident(id) = tok {
+    let toks: Vec<TokenTree> = args.stream().into_iter().collect();
+    let mut i = 0;
+    while i < toks.len() {
+        if let TokenTree::Ident(id) = &toks[i] {
             match id.to_string().as_str() {
                 "skip" => attrs.skip = true,
-                "default" => attrs.default = true,
+                "default" => {
+                    attrs.default = true;
+                    if is_punct(toks.get(i + 1), '=') {
+                        let Some(TokenTree::Literal(lit)) = toks.get(i + 2) else {
+                            panic!(
+                                "serde_derive stub: #[serde(default = ...)] takes a \
+                                 string literal naming a function"
+                            );
+                        };
+                        let path = lit.to_string();
+                        let path = path.trim_matches('"');
+                        if path.is_empty() {
+                            panic!("serde_derive stub: empty path in #[serde(default = ...)]");
+                        }
+                        attrs.default_path = Some(path.to_string());
+                        i += 2;
+                    }
+                }
                 other => panic!("serde_derive stub: unsupported #[serde({other})]"),
             }
         }
+        i += 1;
     }
 }
 
@@ -238,7 +262,9 @@ fn de_named_fields(fields: &[Field], source: &str) -> String {
             if f.attrs.skip {
                 return format!("{}: ::std::default::Default::default(),", f.name);
             }
-            let missing = if f.attrs.default {
+            let missing = if let Some(path) = &f.attrs.default_path {
+                format!("{path}()")
+            } else if f.attrs.default {
                 "::std::default::Default::default()".to_string()
             } else {
                 format!("return Err(::serde::Error::missing_field(\"{}\"))", f.name)
