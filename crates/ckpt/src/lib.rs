@@ -21,11 +21,12 @@
 //! 28      —     payload bytes
 //! ```
 //!
-//! Both checksums are hand-rolled (this crate is dependency-free by
-//! design: checkpointing must not be able to fail because of an optional
-//! dependency). The header FNV detects a corrupted *header* before any
-//! length field is trusted; the payload CRC detects flipped payload bytes;
-//! the length field detects truncation (a partially-written or cut file).
+//! Both checksums are hand-rolled (this crate pulls in nothing but
+//! `mmp-vfs`, itself dependency-free: checkpointing must not be able to
+//! fail because of an optional dependency). The header FNV detects a
+//! corrupted *header* before any length field is trusted; the payload CRC
+//! detects flipped payload bytes; the length field detects truncation (a
+//! partially-written or cut file).
 //!
 //! [`write`] is atomic on POSIX rename semantics: the payload goes to a
 //! sibling temp file, is flushed with `fsync`, and is renamed over the
@@ -33,9 +34,14 @@
 //! none — never a half-written one. Readers classify every failure as a
 //! typed [`CkptError`], which the flow maps to
 //! `PlaceError::Checkpoint` (exit code 16); no corruption path panics.
+//!
+//! Every filesystem touch goes through an injectable [`Vfs`] chokepoint:
+//! the `*_with` variants take an explicit handle so the disk-fault
+//! torture harness can fail any single create/write/fsync/rename
+//! deterministically; the plain functions use the zero-overhead real
+//! backend.
 
-use std::fs;
-use std::io::Write as _;
+use mmp_vfs::Vfs;
 use std::path::Path;
 
 /// Envelope magic bytes.
@@ -177,6 +183,17 @@ fn encode(payload: &[u8], version: u32) -> Vec<u8> {
     buf
 }
 
+/// What a successful write additionally observed. The data file itself is
+/// durable whenever a write returns `Ok`; `dir_fsync_failed` reports that
+/// the *directory entry* fsync after the rename failed, which callers
+/// surface to operators (flaky storage) instead of the old silent
+/// `let _ = d.sync_all()`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WriteReceipt {
+    /// The best-effort directory fsync after the rename failed.
+    pub dir_fsync_failed: bool,
+}
+
 /// Writes `payload` to `path` atomically under the current
 /// [`FORMAT_VERSION`].
 ///
@@ -193,6 +210,16 @@ pub fn write(path: &Path, payload: &[u8]) -> Result<(), CkptError> {
     write_at_version(path, payload, FORMAT_VERSION)
 }
 
+/// [`write`] through an explicit [`Vfs`] handle, reporting the
+/// directory-fsync outcome.
+///
+/// # Errors
+///
+/// [`CkptError::Io`] on any filesystem failure.
+pub fn write_with(vfs: &Vfs, path: &Path, payload: &[u8]) -> Result<WriteReceipt, CkptError> {
+    write_at_version_with(vfs, path, payload, FORMAT_VERSION)
+}
+
 /// [`write`] with an explicit format version.
 ///
 /// Production code always writes [`FORMAT_VERSION`]; the fault harness
@@ -203,6 +230,26 @@ pub fn write(path: &Path, payload: &[u8]) -> Result<(), CkptError> {
 ///
 /// [`CkptError::Io`] on any filesystem failure.
 pub fn write_at_version(path: &Path, payload: &[u8], version: u32) -> Result<(), CkptError> {
+    write_at_version_with(&Vfs::real(), path, payload, version).map(|_| ())
+}
+
+/// [`write_at_version`] through an explicit [`Vfs`] handle.
+///
+/// The write protocol exposes five independently faultable boundaries:
+/// temp-file create, payload write, file fsync, rename, directory fsync.
+/// A failed directory fsync does not fail the write (the data file is
+/// already durable) unless it is crash-marked — it is reported in the
+/// [`WriteReceipt`] so callers can count it.
+///
+/// # Errors
+///
+/// [`CkptError::Io`] on any filesystem failure.
+pub fn write_at_version_with(
+    vfs: &Vfs,
+    path: &Path,
+    payload: &[u8],
+    version: u32,
+) -> Result<WriteReceipt, CkptError> {
     let tmp = match path.file_name() {
         Some(name) => {
             let mut tmp_name = name.to_os_string();
@@ -217,21 +264,25 @@ pub fn write_at_version(path: &Path, payload: &[u8], version: u32) -> Result<(),
         }
     };
     let buf = encode(payload, version);
-    let mut file = fs::File::create(&tmp).map_err(|e| io_err(&tmp, e))?;
-    file.write_all(&buf).map_err(|e| io_err(&tmp, e))?;
-    // fsync before rename: the rename must never land before the data.
-    file.sync_all().map_err(|e| io_err(&tmp, e))?;
-    drop(file);
-    fs::rename(&tmp, path).map_err(|e| io_err(path, e))?;
+    // Create + write + fsync before rename: the rename must never land
+    // before the data.
+    vfs.write_file(&tmp, &buf).map_err(|e| io_err(&tmp, e))?;
+    vfs.rename(&tmp, path).map_err(|e| io_err(path, e))?;
     // Best-effort directory fsync so the rename itself is durable; not all
-    // platforms allow opening a directory for sync, so failures are
-    // ignored (the data file is already safe either way).
+    // platforms allow opening a directory for sync, so a failure does not
+    // fail the write (the data file is already safe either way) — but it
+    // is no longer silent: the receipt reports it, and a crash-marked
+    // injection still aborts like the power loss it models.
+    let mut receipt = WriteReceipt::default();
     if let Some(dir) = path.parent() {
-        if let Ok(d) = fs::File::open(dir) {
-            let _ = d.sync_all();
+        if let Err(e) = vfs.sync_dir(dir) {
+            if mmp_vfs::is_crash(&e) {
+                return Err(io_err(dir, e));
+            }
+            receipt.dir_fsync_failed = true;
         }
     }
-    Ok(())
+    Ok(receipt)
 }
 
 fn decode(path: &Path, bytes: &[u8]) -> Result<Vec<u8>, CkptError> {
@@ -293,7 +344,16 @@ fn decode(path: &Path, bytes: &[u8]) -> Result<Vec<u8>, CkptError> {
 ///
 /// A [`CkptError`] naming exactly which check failed.
 pub fn read(path: &Path) -> Result<Vec<u8>, CkptError> {
-    let bytes = fs::read(path).map_err(|e| io_err(path, e))?;
+    read_with(&Vfs::real(), path)
+}
+
+/// [`read`] through an explicit [`Vfs`] handle.
+///
+/// # Errors
+///
+/// A [`CkptError`] naming exactly which check failed.
+pub fn read_with(vfs: &Vfs, path: &Path) -> Result<Vec<u8>, CkptError> {
+    let bytes = vfs.read_file(path).map_err(|e| io_err(path, e))?;
     decode(path, &bytes)
 }
 
@@ -305,7 +365,16 @@ pub fn read(path: &Path) -> Result<Vec<u8>, CkptError> {
 /// Every failure except `NotFound` is still a [`CkptError`]: an *existing*
 /// but unreadable checkpoint must surface, not silently restart the run.
 pub fn read_opt(path: &Path) -> Result<Option<Vec<u8>>, CkptError> {
-    match fs::read(path) {
+    read_opt_with(&Vfs::real(), path)
+}
+
+/// [`read_opt`] through an explicit [`Vfs`] handle.
+///
+/// # Errors
+///
+/// Every failure except `NotFound` is still a [`CkptError`].
+pub fn read_opt_with(vfs: &Vfs, path: &Path) -> Result<Option<Vec<u8>>, CkptError> {
+    match vfs.read_file(path) {
         Ok(bytes) => decode(path, &bytes).map(Some),
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
         Err(e) => Err(io_err(path, e)),
@@ -327,15 +396,26 @@ mod tests {
 
     #[test]
     fn crc32_matches_known_vectors() {
-        // IEEE CRC-32 of "123456789" is the classic check value.
+        // Published IEEE CRC-32 check values: a refactor of the bitwise
+        // loop (e.g. to a table) must reproduce these exactly.
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
         assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+        assert_eq!(crc32(b"abc"), 0x3524_41C2);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
     }
 
     #[test]
     fn fnv1a64_matches_known_vectors() {
+        // Vectors from the reference FNV test suite (Noll's fnv64a).
         assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
         assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"abc"), 0xe71f_a219_0541_574b);
+        assert_eq!(fnv1a64(b"foobar"), 0x8594_4171_f739_67e8);
+        assert_eq!(fnv1a64(b"chongo was here!\n"), 0x4681_0940_eff5_f915);
     }
 
     #[test]
@@ -444,6 +524,55 @@ mod tests {
             path.file_name().unwrap().to_string_lossy()
         ));
         assert!(!tmp_sibling.exists(), "temp file must not survive a write");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn injected_dir_fsync_failure_is_reported_not_fatal() {
+        use mmp_vfs::{FailPlan, FaultKind, OpKind, Vfs};
+        let path = tmp("dirfsync.ckpt");
+        std::fs::remove_file(&path).ok();
+        // Fsync op 1 is the temp file, op 2 is the directory.
+        let vfs = Vfs::with_plan(FailPlan::new(FaultKind::Eio, 2).on(OpKind::Fsync));
+        let receipt = write_with(&vfs, &path, b"payload").unwrap();
+        assert!(receipt.dir_fsync_failed);
+        // The data file is durable and readable regardless.
+        assert_eq!(read(&path).unwrap(), b"payload");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn injected_rename_failure_leaves_the_temp_orphan() {
+        use mmp_vfs::{FailPlan, FaultKind, OpKind, Vfs};
+        let path = tmp("torn.ckpt");
+        std::fs::remove_file(&path).ok();
+        let vfs = Vfs::with_plan(FailPlan::new(FaultKind::Eio, 1).on(OpKind::Rename));
+        match write_with(&vfs, &path, b"payload") {
+            Err(CkptError::Io { detail, .. }) => assert!(detail.contains("EIO"), "{detail}"),
+            other => panic!("expected an I/O error, got {other:?}"),
+        }
+        let orphan = path.with_file_name(format!(
+            "{}.tmp",
+            path.file_name().unwrap().to_string_lossy()
+        ));
+        assert!(orphan.exists(), "a torn rename leaves the .tmp orphan");
+        assert!(!path.exists());
+        std::fs::remove_file(&orphan).ok();
+    }
+
+    #[test]
+    fn crash_marked_write_fault_is_an_io_error_with_the_marker() {
+        use mmp_vfs::{FailPlan, FaultKind, OpKind, Vfs};
+        let path = tmp("crashmark.ckpt");
+        std::fs::remove_file(&path).ok();
+        let vfs = Vfs::with_plan(FailPlan::new(FaultKind::CrashAfter, 1).on(OpKind::Rename));
+        match write_with(&vfs, &path, b"payload") {
+            Err(CkptError::Io { detail, .. }) => assert!(mmp_vfs::is_crash_detail(&detail)),
+            other => panic!("expected a crash-marked I/O error, got {other:?}"),
+        }
+        // CrashAfter models power loss *after* the syscall: the rename
+        // landed, so a resuming reader sees the complete envelope.
+        assert_eq!(read(&path).unwrap(), b"payload");
         std::fs::remove_file(&path).ok();
     }
 

@@ -49,7 +49,7 @@ fn usage() -> ExitCode {
          \x20              [--seed N] [--ensemble N] [--workers N] [--budget-ms N] \\\n\
          \x20              [--refine] [--refine-moves N] [--refine-seed N] \\\n\
          \x20              [--refine-budget-ms N] \\\n\
-         \x20              [--checkpoint-dir DIR] [--resume] \\\n\
+         \x20              [--checkpoint-dir DIR] [--resume] [--fault-io SPEC] \\\n\
          \x20              [--trace stderr|FILE] [--report-json FILE] \\\n\
          \x20              [--out FILE] [--svg FILE]\n\
          \x20 mmp svg      --in FILE --out FILE [--labels]"
@@ -259,7 +259,17 @@ fn run() -> Result<(), CliError> {
                 }
                 (None, false) => {}
             }
+            // Dev knob mirroring the fault_crash/fault_pool_panic family:
+            // arm a deterministic disk fault (spec: FAULT:NTH[:KINDS[:PATH]],
+            // e.g. `enospc:3`, `crash:2:rename`) on the checkpoint I/O path.
+            if let Some(spec) = get("fault-io") {
+                let plan = mmp_core::FailPlan::parse(&spec).map_err(CliError::Usage)?;
+                placer = placer.with_vfs(mmp_core::Vfs::with_plan(plan));
+            }
             let result = placer.place(&design).map_err(CliError::Place)?;
+            if result.checkpoint.disabled {
+                println!("warning: checkpointing was disabled mid-run (see degradation report)");
+            }
             if !result.checkpoint.resumes.is_empty() {
                 println!(
                     "resumed from checkpoint: {}",

@@ -28,8 +28,9 @@ use mmp_mcts::SearchStats;
 use mmp_netlist::Design;
 use mmp_obs::Obs;
 use mmp_rl::{Agent, RewardScale, TrainingHistory};
+use mmp_vfs::Vfs;
 use serde::{Deserialize, Serialize};
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::path::PathBuf;
 
 /// In-progress RL training checkpoint file.
@@ -127,6 +128,16 @@ pub struct CheckpointSummary {
     /// Checkpoint files written (including stage-done markers).
     #[serde(default)]
     pub writes: usize,
+    /// `true` when checkpointing was disabled mid-run because writes
+    /// started failing (e.g. disk full): the placement finished, but no
+    /// further checkpoints were persisted. Details are in the run's
+    /// degradation report under the `checkpoint` stage.
+    #[serde(default)]
+    pub disabled: bool,
+    /// Stale `*.tmp` orphans (left by a crash between temp-file write and
+    /// rename) swept from the checkpoint directory when it was opened.
+    #[serde(default)]
+    pub stale_tmp_removed: usize,
 }
 
 /// Completed-training marker payload: everything stage 3 and later need
@@ -187,7 +198,8 @@ pub fn fingerprint(design: &Design, cfg: &PlacerConfig) -> u64 {
 }
 
 /// The flow's live checkpoint context: directory + fingerprint + write
-/// counters + crash injection.
+/// counters + crash injection + graceful degradation when the disk turns
+/// against the run.
 pub(crate) struct CkptCtx {
     dir: PathBuf,
     resume: bool,
@@ -197,21 +209,34 @@ pub(crate) struct CkptCtx {
     train_writes: Cell<usize>,
     search_writes: Cell<usize>,
     obs: Obs,
+    vfs: Vfs,
+    /// Set when a non-crash write failure disabled further checkpointing.
+    disabled: Cell<bool>,
+    /// One-shot guard for the dir-fsync operator note.
+    dir_fsync_noted: Cell<bool>,
+    /// Stale `*.tmp` orphans removed when the directory was opened.
+    stale_tmp_removed: Cell<usize>,
+    /// Operator-facing notes, drained into the degradation report under
+    /// `Stage::Checkpoint` when the run finishes.
+    notes: RefCell<Vec<String>>,
 }
 
 impl CkptCtx {
-    /// Opens (creating if needed) the checkpoint directory.
+    /// Opens (creating if needed) the checkpoint directory and sweeps
+    /// stale `*.tmp` orphans left by an earlier crash between temp-file
+    /// write and rename.
+    ///
+    /// A non-crash-marked failure to create the directory does not abort
+    /// the run: the context comes up with checkpointing disabled and a
+    /// degradation note, mirroring the mid-run disk-full policy.
     pub(crate) fn new(
         plan: &CheckpointPlan,
         fingerprint: u64,
         crash: Option<CrashPoint>,
         obs: Obs,
+        vfs: Vfs,
     ) -> Result<Self, CkptError> {
-        std::fs::create_dir_all(&plan.dir).map_err(|e| CkptError::Io {
-            path: plan.dir.display().to_string(),
-            detail: format!("create checkpoint directory: {e}"),
-        })?;
-        Ok(CkptCtx {
+        let ctx = CkptCtx {
             dir: plan.dir.clone(),
             resume: plan.resume,
             fingerprint,
@@ -220,7 +245,73 @@ impl CkptCtx {
             train_writes: Cell::new(0),
             search_writes: Cell::new(0),
             obs,
-        })
+            vfs,
+            disabled: Cell::new(false),
+            dir_fsync_noted: Cell::new(false),
+            stale_tmp_removed: Cell::new(0),
+            notes: RefCell::new(Vec::new()),
+        };
+        if let Err(e) = ctx.vfs.create_dir_all(&plan.dir) {
+            if mmp_vfs::is_crash(&e) {
+                return Err(CkptError::Io {
+                    path: plan.dir.display().to_string(),
+                    detail: format!("create checkpoint directory: {e}"),
+                });
+            }
+            ctx.disable(format!(
+                "checkpoint directory {} unusable ({e}); checkpointing disabled",
+                plan.dir.display()
+            ));
+            return Ok(ctx);
+        }
+        ctx.sweep_stale_tmps()?;
+        Ok(ctx)
+    }
+
+    /// Removes `*.tmp` orphans from the checkpoint directory. Best-effort:
+    /// listing or removal failures are ignored unless crash-marked (the
+    /// torture driver's "process died here").
+    fn sweep_stale_tmps(&self) -> Result<(), CkptError> {
+        let names = match self.vfs.read_dir_names(&self.dir) {
+            Ok(names) => names,
+            Err(_) => return Ok(()),
+        };
+        let mut removed = 0usize;
+        for name in names {
+            if !name.ends_with(".tmp") {
+                continue;
+            }
+            let path = self.dir.join(&name);
+            match self.vfs.remove_file(&path) {
+                Ok(()) => removed += 1,
+                Err(e) if mmp_vfs::is_crash(&e) => {
+                    return Err(CkptError::Io {
+                        path: path.display().to_string(),
+                        detail: format!("sweep stale temp file: {e}"),
+                    });
+                }
+                Err(_) => {}
+            }
+        }
+        if removed > 0 {
+            self.stale_tmp_removed.set(removed);
+            if self.obs.enabled() {
+                self.obs.count("ckpt.stale_tmp_removed", removed as u64);
+            }
+            self.notes.borrow_mut().push(format!(
+                "swept {removed} stale checkpoint temp file(s) from {}",
+                self.dir.display()
+            ));
+        }
+        Ok(())
+    }
+
+    fn disable(&self, note: String) {
+        self.disabled.set(true);
+        if self.obs.enabled() {
+            self.obs.count("ckpt.disabled", 1);
+        }
+        self.notes.borrow_mut().push(note);
     }
 
     /// `true` when existing checkpoints should be consulted.
@@ -233,6 +324,22 @@ impl CkptCtx {
         self.writes.get()
     }
 
+    /// `true` when a write failure disabled further checkpointing.
+    pub(crate) fn disabled(&self) -> bool {
+        self.disabled.get()
+    }
+
+    /// Stale `*.tmp` orphans swept when the directory was opened.
+    pub(crate) fn stale_tmp_removed(&self) -> usize {
+        self.stale_tmp_removed.get()
+    }
+
+    /// Drains the operator-facing notes accumulated so far (degradation
+    /// report material, `Stage::Checkpoint`).
+    pub(crate) fn take_notes(&self) -> Vec<String> {
+        std::mem::take(&mut self.notes.borrow_mut())
+    }
+
     fn path(&self, file: &str) -> PathBuf {
         self.dir.join(file)
     }
@@ -242,12 +349,21 @@ impl CkptCtx {
     /// configured [`CrashPoint`] matches this (stage, write-count), the
     /// write *completes on disk* and the call returns a typed error —
     /// the state a real mid-run kill would leave.
+    ///
+    /// A plain I/O failure (disk full, EIO — anything not crash-marked)
+    /// does **not** abort the run: checkpointing is disabled, the failure
+    /// is recorded as a degradation note + obs counter, and the placement
+    /// carries on without persistence. Crash-marked failures propagate;
+    /// the torture driver treats them as process death.
     pub(crate) fn save<T: Serialize>(
         &self,
         stage: CrashStage,
         file: &str,
         value: &T,
     ) -> Result<(), CkptError> {
+        if self.disabled.get() {
+            return Ok(());
+        }
         let json = serde_json::to_string(value).map_err(|e| CkptError::Invalid {
             detail: format!("serialize {file}: {e}"),
         })?;
@@ -255,7 +371,33 @@ impl CkptCtx {
         payload.extend_from_slice(&self.fingerprint.to_le_bytes());
         payload.extend_from_slice(json.as_bytes());
         let path = self.path(file);
-        mmp_ckpt::write(&path, &payload)?;
+        match mmp_ckpt::write_with(&self.vfs, &path, &payload) {
+            Ok(receipt) => {
+                if receipt.dir_fsync_failed {
+                    if self.obs.enabled() {
+                        self.obs.count("ckpt.dir_fsync_failed", 1);
+                    }
+                    if !self.dir_fsync_noted.replace(true) {
+                        self.notes.borrow_mut().push(format!(
+                            "directory fsync failed after writing {file}; \
+                             checkpoint data is durable but its directory entry \
+                             may not survive a power loss (flaky storage?)"
+                        ));
+                    }
+                }
+            }
+            Err(CkptError::Io { detail, .. }) if !mmp_vfs::is_crash_detail(&detail) => {
+                if self.obs.enabled() {
+                    self.obs.count("ckpt.write_failed", 1);
+                }
+                self.disable(format!(
+                    "checkpoint write of {file} failed ({detail}); \
+                     further checkpointing disabled, run continues without persistence"
+                ));
+                return Ok(());
+            }
+            Err(e) => return Err(e),
+        }
         self.writes.set(self.writes.get() + 1);
         if self.obs.enabled() {
             self.obs.count("ckpt.writes", 1);
@@ -283,7 +425,7 @@ impl CkptCtx {
     /// deserializing.
     pub(crate) fn load<T: Deserialize>(&self, file: &str) -> Result<Option<T>, CkptError> {
         let path = self.path(file);
-        let Some(payload) = mmp_ckpt::read_opt(&path)? else {
+        let Some(payload) = mmp_ckpt::read_opt_with(&self.vfs, &path)? else {
             return Ok(None);
         };
         let shown = path.display().to_string();
@@ -325,7 +467,18 @@ mod tests {
     }
 
     fn ctx(dir: &Path, fp: u64, crash: Option<CrashPoint>) -> CkptCtx {
-        CkptCtx::new(&CheckpointPlan::new(dir), fp, crash, Obs::off()).unwrap()
+        CkptCtx::new(
+            &CheckpointPlan::new(dir),
+            fp,
+            crash,
+            Obs::off(),
+            Vfs::real(),
+        )
+        .unwrap()
+    }
+
+    fn ctx_with(dir: &Path, vfs: Vfs) -> CkptCtx {
+        CkptCtx::new(&CheckpointPlan::new(dir), 7, None, Obs::off(), vfs).unwrap()
     }
 
     #[test]
@@ -367,6 +520,85 @@ mod tests {
         // file on disk holds the *new* value, like a real post-write kill.
         let back: usize = c.load(TRAIN_PARTIAL).unwrap().unwrap();
         assert_eq!(back, 2);
+    }
+
+    #[test]
+    // why: plants torn .tmp orphans on purpose — the sweep under test
+    // exists to clean up exactly such non-envelope debris.
+    #[allow(clippy::disallowed_methods)]
+    fn stale_tmp_orphans_are_swept_on_open() {
+        let dir = tmp("sweep");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("train.ckpt.tmp"), b"torn").unwrap();
+        std::fs::write(dir.join("search.ckpt.tmp"), b"torn too").unwrap();
+        std::fs::write(dir.join("unrelated.txt"), b"keep me").unwrap();
+        let c = ctx(&dir, 5, None);
+        assert_eq!(c.stale_tmp_removed(), 2);
+        assert!(!dir.join("train.ckpt.tmp").exists());
+        assert!(dir.join("unrelated.txt").exists());
+        let notes = c.take_notes();
+        assert!(notes.iter().any(|n| n.contains("stale")), "{notes:?}");
+    }
+
+    #[test]
+    fn disk_full_disables_checkpointing_instead_of_failing() {
+        use mmp_vfs::{FailPlan, FaultKind, OpKind};
+        let dir = tmp("degrade");
+        let c = ctx_with(
+            &dir,
+            Vfs::with_plan(FailPlan::new(FaultKind::Enospc, 1).on(OpKind::Write)),
+        );
+        assert!(!c.disabled());
+        // The failing write degrades instead of erroring...
+        c.save(CrashStage::Train, TRAIN_PARTIAL, &1usize).unwrap();
+        assert!(c.disabled());
+        assert_eq!(c.writes(), 0);
+        // ...and later saves become silent no-ops (plan is spent, but the
+        // context stays disabled: one failure means the disk is suspect).
+        c.save(CrashStage::Train, TRAIN_DONE, &2usize).unwrap();
+        assert_eq!(c.writes(), 0);
+        assert!(!dir.join(TRAIN_DONE).exists());
+        let notes = c.take_notes();
+        assert!(
+            notes.iter().any(|n| n.contains("disabled")),
+            "expected a disable note, got {notes:?}"
+        );
+    }
+
+    #[test]
+    fn crash_marked_write_fault_still_propagates() {
+        use mmp_vfs::{FailPlan, FaultKind, OpKind};
+        let dir = tmp("crashfault");
+        let c = ctx_with(
+            &dir,
+            Vfs::with_plan(FailPlan::new(FaultKind::CrashAfter, 1).on(OpKind::Rename)),
+        );
+        let err = c
+            .save(CrashStage::Train, TRAIN_PARTIAL, &1usize)
+            .unwrap_err();
+        assert!(matches!(err, CkptError::Io { .. }), "{err:?}");
+        assert!(mmp_vfs::is_crash_detail(&err.to_string()));
+        assert!(!c.disabled(), "a crash is death, not degradation");
+    }
+
+    #[test]
+    fn dir_fsync_failure_is_counted_once_and_not_fatal() {
+        use mmp_vfs::{FailPlan, FaultKind, OpKind};
+        let dir = tmp("dirfsync");
+        // Fsync ops per save: temp file (odd), directory (even). Fail the
+        // first directory fsync.
+        let c = ctx_with(
+            &dir,
+            Vfs::with_plan(FailPlan::new(FaultKind::Eio, 2).on(OpKind::Fsync)),
+        );
+        c.save(CrashStage::Train, TRAIN_PARTIAL, &1usize).unwrap();
+        assert!(!c.disabled());
+        assert_eq!(c.writes(), 1, "the write itself is durable and counted");
+        let notes = c.take_notes();
+        assert!(
+            notes.iter().any(|n| n.contains("fsync")),
+            "expected a dir-fsync note, got {notes:?}"
+        );
     }
 
     #[test]

@@ -23,6 +23,7 @@ use mmp_obs::{field, Obs};
 use mmp_rl::{
     Agent, InferenceCtx, TrainCheckpoint, Trainer, TrainerConfig, TrainingHistory, TrainingOutcome,
 };
+use mmp_vfs::Vfs;
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
@@ -217,6 +218,7 @@ pub struct MacroPlacer {
     config: PlacerConfig,
     obs: Obs,
     checkpoints: Option<CheckpointPlan>,
+    vfs: Vfs,
 }
 
 impl MacroPlacer {
@@ -226,6 +228,7 @@ impl MacroPlacer {
             config,
             obs: Obs::off(),
             checkpoints: None,
+            vfs: Vfs::real(),
         }
     }
 
@@ -249,6 +252,19 @@ impl MacroPlacer {
     #[must_use]
     pub fn with_obs(mut self, obs: Obs) -> Self {
         self.obs = obs;
+        self
+    }
+
+    /// Attaches a filesystem handle, threaded through every checkpoint
+    /// read and write. The default is the zero-overhead real backend;
+    /// the disk-fault torture harness passes `mmp_vfs::Vfs::with_plan`
+    /// handles to fail a chosen write boundary deterministically. Like
+    /// the crash knob, this is a dev/test facility — it is not part of
+    /// the serialized configuration and never affects the checkpoint
+    /// fingerprint.
+    #[must_use]
+    pub fn with_vfs(mut self, vfs: Vfs) -> Self {
+        self.vfs = vfs;
         self
     }
 
@@ -315,6 +331,7 @@ impl MacroPlacer {
                     fingerprint(design, &self.config),
                     self.config.fault_crash,
                     self.obs.clone(),
+                    self.vfs.clone(),
                 )?)
             }
             None => None,
@@ -338,6 +355,9 @@ impl MacroPlacer {
             check_finite(&out.placement, design)?;
             if self.obs.enabled() {
                 self.obs.gauge("flow.hpwl", out.hpwl);
+            }
+            if let Some(ck) = &ckpt {
+                finish_checkpoint_summary(ck, &mut summary, &mut degradation);
             }
             return Ok(PlacementResult {
                 placement: out.placement,
@@ -684,15 +704,32 @@ impl MacroPlacer {
                 total: start.elapsed(),
             },
             agent: outcome.agent,
-            degradation,
-            checkpoint: {
+            degradation: {
                 if let Some(ck) = &ckpt {
-                    summary.writes = ck.writes();
+                    finish_checkpoint_summary(ck, &mut summary, &mut degradation);
                 }
-                summary
+                degradation
             },
+            checkpoint: summary,
             refine: refine_summary,
         })
+    }
+}
+
+/// Folds the checkpoint context's end-of-run state into the summary and
+/// the degradation report: write counts, the disabled-mid-run flag, the
+/// stale-temp sweep count, and every operator note (disk-full disable,
+/// dir-fsync failure, sweep) as a `Stage::Checkpoint` degradation entry.
+fn finish_checkpoint_summary(
+    ck: &CkptCtx,
+    summary: &mut CheckpointSummary,
+    degradation: &mut DegradationReport,
+) {
+    summary.writes = ck.writes();
+    summary.disabled = ck.disabled();
+    summary.stale_tmp_removed = ck.stale_tmp_removed();
+    for note in ck.take_notes() {
+        degradation.record(Stage::Checkpoint, note);
     }
 }
 

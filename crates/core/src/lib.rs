@@ -70,3 +70,4 @@ pub use mmp_netlist::{
 pub use mmp_rl::{
     Agent, AgentConfig, RewardKind, RewardScale, Trainer, TrainerConfig, TrainingHistory,
 };
+pub use mmp_vfs::{FailPlan, FaultKind, OpKind, Vfs};

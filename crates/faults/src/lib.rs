@@ -32,9 +32,11 @@
 //! mid-job all must yield a typed rejection or a stored report whose
 //! recovery is bitwise-identical — never a panic, a hang, or a lost job.
 
+pub mod torture;
+
 use mmp_core::{
-    CheckpointPlan, CrashPoint, Design, MacroPlacer, PlacerConfig, RewardKind, RewardScale,
-    RunBudget, SwapRefineConfig, SyntheticSpec,
+    CheckpointPlan, CrashPoint, Design, FailPlan, FaultKind, MacroPlacer, OpKind, PlacerConfig,
+    RewardKind, RewardScale, RunBudget, Stage, SwapRefineConfig, SyntheticSpec, Vfs,
 };
 use mmp_netlist::{bookshelf, MacroId};
 use mmp_serve::{BackoffConfig, DesignSpec, JobDefaults, JobRequest, ServeConfig, Server};
@@ -150,11 +152,33 @@ pub enum ScenarioKind {
     /// flow must surface a typed (transient) search error, never a hang
     /// on a dead worker or an unwind across the pool boundary.
     PoolWorkerPanic,
+    /// The disk fills while the first training checkpoint is being
+    /// written: the flow must disable checkpointing, record the
+    /// degradation, and still finish bitwise-identical to a run that
+    /// never checkpointed.
+    DiskFullMidTrainCkpt,
+    /// An fsync (file or directory) fails with EIO mid-ladder: the run
+    /// must complete with a checkpoint-stage degradation entry, never
+    /// abort.
+    EioOnFsync,
+    /// The atomic rename of a checkpoint envelope fails, stranding the
+    /// fully-written `.tmp` file: the run degrades, and the next run
+    /// over the same directory sweeps the orphan.
+    TornRename,
+    /// A journal request record is torn mid-write: the daemon must
+    /// reject the submission with a typed error, and the next daemon
+    /// life must quarantine the damage and sweep the orphan — never
+    /// parse garbage.
+    PartialJournalWrite,
+    /// The disk fills while a daemon job writes its checkpoint ladder:
+    /// the job must complete (checkpointing degraded) with the same bits
+    /// as a direct baseline run.
+    DiskFullMidJob,
 }
 
 impl ScenarioKind {
     /// Every scenario, in matrix order.
-    pub const ALL: [ScenarioKind; 25] = [
+    pub const ALL: [ScenarioKind; 30] = [
         ScenarioKind::TruncatedBookshelf,
         ScenarioKind::GarbledNumber,
         ScenarioKind::UnknownNetNode,
@@ -180,6 +204,11 @@ impl ScenarioKind {
         ScenarioKind::ClientDisconnectMidJob,
         ScenarioKind::KillDaemonMidJob,
         ScenarioKind::PoolWorkerPanic,
+        ScenarioKind::DiskFullMidTrainCkpt,
+        ScenarioKind::EioOnFsync,
+        ScenarioKind::TornRename,
+        ScenarioKind::PartialJournalWrite,
+        ScenarioKind::DiskFullMidJob,
     ];
 
     /// Short stable name for logs and reports.
@@ -210,6 +239,11 @@ impl ScenarioKind {
             ScenarioKind::ClientDisconnectMidJob => "client-disconnect-mid-job",
             ScenarioKind::KillDaemonMidJob => "kill-daemon-mid-job",
             ScenarioKind::PoolWorkerPanic => "pool-worker-panic",
+            ScenarioKind::DiskFullMidTrainCkpt => "disk-full-mid-train-ckpt",
+            ScenarioKind::EioOnFsync => "eio-on-fsync",
+            ScenarioKind::TornRename => "torn-rename",
+            ScenarioKind::PartialJournalWrite => "partial-journal-write",
+            ScenarioKind::DiskFullMidJob => "disk-full-mid-job",
         }
     }
 }
@@ -550,6 +584,8 @@ fn serve_config(state_dir: PathBuf, workers: usize) -> ServeConfig {
             cap: Duration::from_millis(4),
         },
         policy_cache: false,
+        keep_completed: Some(1024),
+        fault_io: None,
     }
 }
 
@@ -814,6 +850,208 @@ fn kill_daemon_mid_job(kind: ScenarioKind, rng: &mut FaultRng, seed: u64) -> Out
     )
 }
 
+// ----- disk-fault scenarios --------------------------------------------
+
+/// Runs a checkpointed flow with a fault-armed [`Vfs`] and classifies the
+/// graceful-degradation contract: the run must *complete*, match an
+/// unfaulted baseline bit-for-bit (checkpointing is result-neutral), and
+/// record a checkpoint-stage degradation event. When `require_disabled`
+/// is set the fault must also have tripped the disable latch.
+fn faulted_flow_degrades(
+    kind: ScenarioKind,
+    plan: FailPlan,
+    require_disabled: bool,
+    rng: &mut FaultRng,
+    seed: u64,
+) -> Outcome {
+    let design = matrix_design(rng);
+    let baseline = match MacroPlacer::new(matrix_config()).place(&design) {
+        Ok(r) => r,
+        Err(e) => return check(false, format!("baseline refused a healthy design: {e}")),
+    };
+    let dir = checkpoint_dir(kind, seed);
+    match MacroPlacer::new(matrix_config())
+        .with_checkpoints(CheckpointPlan::new(&dir))
+        .with_vfs(Vfs::with_plan(plan))
+        .place(&design)
+    {
+        Ok(r) => {
+            let bitwise =
+                r.hpwl.to_bits() == baseline.hpwl.to_bits() && r.assignment == baseline.assignment;
+            let degraded = r.degradation.affects(Stage::Checkpoint);
+            let disabled_ok = !require_disabled || r.checkpoint.disabled;
+            check(
+                bitwise && degraded && disabled_ok,
+                format!(
+                    "bitwise={bitwise} ckpt_degraded={degraded} disabled={}",
+                    r.checkpoint.disabled
+                ),
+            )
+        }
+        Err(e) => check(
+            false,
+            format!("disk fault aborted the run instead of degrading: {e}"),
+        ),
+    }
+}
+
+/// Scenario: a checkpoint envelope's atomic rename fails, stranding the
+/// fully-written `.tmp` file. The run must degrade; the next run over
+/// the same directory must sweep the orphan and still match the
+/// baseline bits.
+fn torn_rename(kind: ScenarioKind, rng: &mut FaultRng, seed: u64) -> Outcome {
+    let design = matrix_design(rng);
+    let baseline = match MacroPlacer::new(matrix_config()).place(&design) {
+        Ok(r) => r,
+        Err(e) => return check(false, format!("baseline refused a healthy design: {e}")),
+    };
+    let dir = checkpoint_dir(kind, seed);
+    let nth = 1 + rng.pick(3) as u64;
+    let first = match MacroPlacer::new(matrix_config())
+        .with_checkpoints(CheckpointPlan::new(&dir))
+        .with_vfs(Vfs::with_plan(
+            FailPlan::new(FaultKind::Eio, nth).on(OpKind::Rename),
+        ))
+        .place(&design)
+    {
+        Ok(r) => r,
+        Err(e) => return check(false, format!("torn rename aborted the run: {e}")),
+    };
+    let orphan_left = std::fs::read_dir(&dir)
+        .map(|entries| {
+            entries
+                .filter_map(Result::ok)
+                .any(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+        })
+        .unwrap_or(false);
+    let second = match MacroPlacer::new(matrix_config())
+        .with_checkpoints(CheckpointPlan::new(&dir))
+        .place(&design)
+    {
+        Ok(r) => r,
+        Err(e) => return check(false, format!("run over the orphaned dir refused: {e}")),
+    };
+    let swept = second.checkpoint.stale_tmp_removed >= 1;
+    let bitwise = second.hpwl.to_bits() == baseline.hpwl.to_bits()
+        && second.assignment == baseline.assignment;
+    check(
+        first.checkpoint.disabled && orphan_left && swept && bitwise,
+        format!(
+            "disabled={} orphan_left={orphan_left} swept={swept} bitwise={bitwise}",
+            first.checkpoint.disabled
+        ),
+    )
+}
+
+/// Scenario: a journal request record is torn mid-write. The daemon must
+/// reject the submission with a typed internal error; the next life must
+/// quarantine the damaged job dir, sweep the `.tmp` orphan, and keep
+/// admitting fresh work.
+fn partial_journal_write(kind: ScenarioKind, rng: &mut FaultRng, seed: u64) -> Outcome {
+    let dir = checkpoint_dir(kind, seed);
+    let torn_line = serve_job_line("submit", "torn", rng);
+    let fresh_line = serve_job_line("submit", "fresh", rng);
+    // Any cut below the 28-byte envelope header guarantees damage.
+    let cut = rng.pick(24);
+    let mut cfg = serve_config(dir.clone(), 0);
+    cfg.fault_io = Some(
+        FailPlan::new(FaultKind::PartialWrite(cut), 1)
+            .on(OpKind::Write)
+            .matching("request"),
+    );
+    let life1 = match Server::start(cfg) {
+        Ok(s) => s,
+        Err(e) => return check(false, format!("daemon life 1 failed to start: {e}")),
+    };
+    let resp = life1.handle_request(&torn_line);
+    life1.abort();
+    let rejected = resp.contains(r#""ok":false"#) && resp.contains("internal");
+    let life2 = match Server::start(serve_config(dir, 0)) {
+        Ok(s) => s,
+        Err(e) => return check(false, format!("daemon life 2 failed to start: {e}")),
+    };
+    let quarantined = life2
+        .handle_request(r#"{"op":"result","id":"torn"}"#)
+        .contains("unknown-job");
+    let swept = life2
+        .metrics()
+        .counters
+        .get("ckpt.stale_tmp_removed")
+        .copied()
+        .unwrap_or(0)
+        >= 1;
+    let readmits = life2
+        .handle_request(&fresh_line)
+        .contains(r#""state":"queued""#);
+    life2.abort();
+    check(
+        rejected && quarantined && swept && readmits,
+        format!("rejected={rejected} quarantined={quarantined} swept={swept} readmits={readmits}"),
+    )
+}
+
+/// Scenario: the disk fills while a daemon job writes its checkpoint
+/// ladder. The job must complete with checkpointing disabled and the
+/// exact bits of a direct baseline run — a degraded job, not a failed
+/// one.
+fn disk_full_mid_job(kind: ScenarioKind, rng: &mut FaultRng, seed: u64) -> Outcome {
+    let dir = checkpoint_dir(kind, seed);
+    let line = serve_job_line("submit", "victim", rng);
+    let req = match JobRequest::parse(&line) {
+        Ok(r) => r,
+        Err(e) => return check(false, format!("harness request does not parse: {e}")),
+    };
+    let design = match req.design.as_ref().map(DesignSpec::materialize) {
+        Some(Ok(d)) => d,
+        _ => return check(false, "harness design does not materialize"),
+    };
+    let baseline = match MacroPlacer::new(req.placer_config(&serve_defaults())).place(&design) {
+        Ok(r) => r,
+        Err(e) => return check(false, format!("baseline refused a healthy job: {e}")),
+    };
+    let mut cfg = serve_config(dir, 1);
+    // Scope the fault to the per-job ladder directory (`.../ckpt/...`),
+    // leaving the journal records (`request.ckpt`, `report.ckpt`) alone.
+    cfg.fault_io = Some(
+        FailPlan::new(FaultKind::Enospc, 1)
+            .on(OpKind::Write)
+            .matching(&format!("ckpt{}", std::path::MAIN_SEPARATOR)),
+    );
+    let server = match Server::start(cfg) {
+        Ok(s) => s,
+        Err(e) => return check(false, format!("daemon failed to start: {e}")),
+    };
+    let resp = server.handle_request(&line);
+    if !resp.contains(r#""ok":true"#) {
+        server.abort();
+        return check(false, format!("daemon refused the job: {resp}"));
+    }
+    let done = serve_poll_done(&server, "victim");
+    server.drain();
+    let Some(done) = done else {
+        return check(false, "degraded job never reached a terminal state");
+    };
+    let completed = done.contains(r#""state":"done""#);
+    let degraded = done.contains(r#""disabled":true"#);
+    let hpwl_match = hpwl_bits_of_line(&done) == Some(baseline.hpwl.to_bits());
+    let baseline_bits: Vec<(String, u64, u64)> = design
+        .macros()
+        .iter()
+        .enumerate()
+        .map(|(i, m)| {
+            let c = baseline.placement.macro_center(MacroId::from_index(i));
+            (m.name.clone(), c.x.to_bits(), c.y.to_bits())
+        })
+        .collect();
+    let macros_match = macro_bits_of_line(&done) == Some(baseline_bits);
+    check(
+        completed && degraded && hpwl_match && macros_match,
+        format!(
+            "completed={completed} ckpt_disabled={degraded} hpwl_bits_match={hpwl_match} macro_bits_match={macros_match}"
+        ),
+    )
+}
+
 /// Runs one scenario. Deterministic: the same `(kind, seed)` always
 /// produces the same [`ScenarioReport`].
 pub fn run_scenario(kind: ScenarioKind, seed: u64) -> ScenarioReport {
@@ -948,6 +1186,22 @@ pub fn run_scenario(kind: ScenarioKind, seed: u64) -> ScenarioReport {
             cfg.fault_pool_panic = Some(rng.pick(2));
             run_flow(cfg, &design)
         }
+        ScenarioKind::DiskFullMidTrainCkpt => {
+            // The first payload write of a train-stage envelope fails.
+            let plan = FailPlan::new(FaultKind::Enospc, 1)
+                .on(OpKind::Write)
+                .matching("train");
+            faulted_flow_degrades(kind, plan, true, &mut rng, seed)
+        }
+        ScenarioKind::EioOnFsync => {
+            // Any of the first few fsyncs — file or directory — fails.
+            let nth = 1 + rng.pick(4) as u64;
+            let plan = FailPlan::new(FaultKind::Eio, nth).on(OpKind::Fsync);
+            faulted_flow_degrades(kind, plan, false, &mut rng, seed)
+        }
+        ScenarioKind::TornRename => torn_rename(kind, &mut rng, seed),
+        ScenarioKind::PartialJournalWrite => partial_journal_write(kind, &mut rng, seed),
+        ScenarioKind::DiskFullMidJob => disk_full_mid_job(kind, &mut rng, seed),
     };
     ScenarioReport {
         kind,

@@ -203,6 +203,28 @@ fn serving_faults_reject_or_recover_without_losing_jobs() {
 }
 
 #[test]
+fn disk_faults_degrade_quarantine_or_self_heal() {
+    // The disk-fault quadrant: torn writes, failed fsyncs, stranded
+    // temp files and mid-run disk exhaustion — against both the direct
+    // flow (graceful checkpoint degradation, bitwise-neutral results)
+    // and the daemon journal (typed rejection, quarantine, orphan
+    // sweep). Each scenario encodes its own invariant as a `Check`.
+    for kind in [
+        ScenarioKind::DiskFullMidTrainCkpt,
+        ScenarioKind::EioOnFsync,
+        ScenarioKind::TornRename,
+        ScenarioKind::PartialJournalWrite,
+        ScenarioKind::DiskFullMidJob,
+    ] {
+        let report = run_caught(kind, SEED);
+        match &report.outcome {
+            Outcome::Check { ok, detail } => assert!(ok, "{}: {detail}", kind.name()),
+            other => panic!("{}: expected a check outcome, got {other:?}", kind.name()),
+        }
+    }
+}
+
+#[test]
 fn no_scenario_panics_across_seeds() {
     for seed in [0, 1, SEED] {
         for kind in ScenarioKind::ALL {

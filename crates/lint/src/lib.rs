@@ -18,6 +18,8 @@
 //! | `wallclock` (R3)   | all but budget/obs/bench | no `Instant::now`/`SystemTime::now` |
 //! | `rng-source` (R4)  | all crates | no `thread_rng`/`rand::random`/`RandomState` |
 //! | `allow-why` (R5)   | all crates | `#[allow(..)]` of a denied lint carries a `why:` |
+//! | `parallelism` (R6) | all but pool/bench | no `available_parallelism`-derived partitioning |
+//! | `fs-route` (R7)    | ckpt/serve lib code | fs mutations only through the `mmp-vfs` chokepoint |
 //! | `suppression`      | all crates | suppression comments parse, justify, and bite |
 //!
 //! # Suppressions
@@ -41,7 +43,8 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 pub use rules::{
-    ALLOW_WHY, HASH_ORDER, PARALLELISM, PARTIAL_CMP, RNG_SOURCE, RULES, SUPPRESSION, WALLCLOCK,
+    ALLOW_WHY, FS_ROUTE, HASH_ORDER, PARALLELISM, PARTIAL_CMP, RNG_SOURCE, RULES, SUPPRESSION,
+    WALLCLOCK,
 };
 
 /// What the engine enforces where. [`LintConfig::default`] encodes this
@@ -63,6 +66,11 @@ pub struct LintConfig {
     /// (machine reporting only). Everywhere else the worker count must come
     /// from explicit configuration.
     pub parallelism_sanctioned: Vec<String>,
+    /// Path prefixes whose library code must route every filesystem
+    /// mutation through the `mmp-vfs` chokepoint (`fs-route` rule): the
+    /// checkpoint and serving crates, whose durable writes the torture
+    /// harness must be able to intercept. Unit-test modules are exempt.
+    pub fs_route_scoped: Vec<String>,
 }
 
 impl Default for LintConfig {
@@ -88,6 +96,7 @@ impl Default for LintConfig {
                 "clippy::print_stderr",
             ]),
             parallelism_sanctioned: s(&["crates/pool/src", "crates/bench/src"]),
+            fs_route_scoped: s(&["crates/ckpt/src", "crates/serve/src"]),
         }
     }
 }
@@ -110,6 +119,13 @@ impl LintConfig {
     /// `true` when `path_rel` may mention `available_parallelism`.
     pub fn is_parallelism_sanctioned(&self, path_rel: &str) -> bool {
         self.parallelism_sanctioned
+            .iter()
+            .any(|p| path_rel.starts_with(p.as_str()))
+    }
+
+    /// `true` when `path_rel` must route fs mutations through `mmp-vfs`.
+    pub fn is_fs_route_scoped(&self, path_rel: &str) -> bool {
+        self.fs_route_scoped
             .iter()
             .any(|p| path_rel.starts_with(p.as_str()))
     }

@@ -22,6 +22,9 @@ pub const RNG_SOURCE: &str = "rng-source";
 pub const ALLOW_WHY: &str = "allow-why";
 /// Rule R6: machine-derived thread counts never size compute partitions.
 pub const PARALLELISM: &str = "parallelism";
+/// Rule R7: durable-state crates mutate the filesystem only through the
+/// `mmp-vfs` chokepoint, never via bare `std::fs`.
+pub const FS_ROUTE: &str = "fs-route";
 /// Meta rule: malformed or unused `mmp-lint:` suppression comments.
 /// Not suppressible — a broken suppression must never silence itself.
 pub const SUPPRESSION: &str = "suppression";
@@ -60,6 +63,13 @@ pub const RULES: &[(&str, &str)] = &[
          configuration (mmp_pool::ThreadPool)",
     ),
     (
+        FS_ROUTE,
+        "checkpoint/journal crates must not mutate the filesystem through \
+         bare std::fs (write/rename/remove/create_dir/...); every durable \
+         write routes through the mmp-vfs chokepoint so fault injection \
+         and the crash-consistency torture harness see it",
+    ),
+    (
         SUPPRESSION,
         "mmp-lint suppression comments must parse, carry a non-empty why:, \
          name known rules, and actually suppress something",
@@ -88,6 +98,12 @@ pub fn scan(path_rel: &str, lexed: &Lexed, cfg: &LintConfig) -> Vec<RawFinding> 
     let decision = cfg.is_decision_crate(path_rel);
     let sanctioned_clock = cfg.is_wallclock_sanctioned(path_rel);
     let sanctioned_parallelism = cfg.is_parallelism_sanctioned(path_rel);
+    let fs_routed = cfg.is_fs_route_scoped(path_rel);
+
+    // R7 stops at the unit-test module: tests legitimately tamper with
+    // files (torn writes, orphaned temps) to exercise the recovery paths,
+    // and the workspace convention keeps `mod tests` last in the file.
+    let mut in_tests = false;
 
     // R1 needs to skip `use` declarations: importing a hashed collection
     // is inert, only construction/annotation sites matter (and they keep
@@ -169,6 +185,49 @@ pub fn scan(path_rel: &str, lexed: &Lexed, cfg: &LintConfig) -> Vec<RawFinding> 
             });
         }
 
+        // R7 — bare std::fs mutations in the durable-state crates. The
+        // `use` skip does not apply: importing `std::fs::write` into a
+        // routed file is the same evasion as calling it qualified.
+        if t.is_ident("mod") && toks.get(i + 1).is_some_and(|n| n.is_ident("tests")) {
+            in_tests = true;
+        }
+        if fs_routed && !in_tests {
+            if t.is_ident("fs")
+                && path_sep(toks, i)
+                && toks.get(i + 3).is_some_and(|n| is_fs_mutation(&n.text))
+            {
+                let name = &toks[i + 3].text;
+                out.push(RawFinding {
+                    rule: FS_ROUTE,
+                    line: t.line,
+                    col: t.col,
+                    message: format!(
+                        "fs::{name} bypasses the mmp-vfs chokepoint: durable \
+                         mutations here are invisible to fault injection and \
+                         the torture harness; route through Vfs instead"
+                    ),
+                });
+            }
+            if (t.is_ident("File") || t.is_ident("OpenOptions"))
+                && path_sep(toks, i)
+                && toks
+                    .get(i + 3)
+                    .is_some_and(|n| n.is_ident("create") || n.is_ident("new"))
+            {
+                out.push(RawFinding {
+                    rule: FS_ROUTE,
+                    line: t.line,
+                    col: t.col,
+                    message: format!(
+                        "{}::{} opens a writable handle outside the mmp-vfs \
+                         chokepoint; route durable writes through Vfs instead",
+                        t.text,
+                        toks[i + 3].text
+                    ),
+                });
+            }
+        }
+
         // R4 — OS-seeded randomness.
         if t.is_ident("thread_rng") || t.is_ident("RandomState") {
             out.push(RawFinding {
@@ -198,6 +257,25 @@ pub fn scan(path_rel: &str, lexed: &Lexed, cfg: &LintConfig) -> Vec<RawFinding> 
 
     scan_allow_attrs(lexed, cfg, &mut out);
     out
+}
+
+/// Mutating entry points of `std::fs` (R7). Reads (`read`, `read_dir`,
+/// `metadata`, `File::open`) are deliberately absent: only mutations
+/// need the chokepoint, and reads through `Vfs` stay optional.
+fn is_fs_mutation(name: &str) -> bool {
+    matches!(
+        name,
+        "write"
+            | "rename"
+            | "remove_file"
+            | "remove_dir"
+            | "remove_dir_all"
+            | "create_dir"
+            | "create_dir_all"
+            | "copy"
+            | "hard_link"
+            | "set_permissions"
+    )
 }
 
 /// `toks[i+1..=i+2]` is `::`.

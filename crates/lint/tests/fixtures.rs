@@ -1,8 +1,9 @@
-//! Fixture tests: for every rule R1–R6, one snippet that fires, one that
+//! Fixture tests: for every rule R1–R7, one snippet that fires, one that
 //! is clean, and one that is suppressed with a `why:` justification.
 
 use mmp_lint::{
-    lint_source, LintConfig, ALLOW_WHY, HASH_ORDER, PARALLELISM, PARTIAL_CMP, RNG_SOURCE, WALLCLOCK,
+    lint_source, LintConfig, ALLOW_WHY, FS_ROUTE, HASH_ORDER, PARALLELISM, PARTIAL_CMP, RNG_SOURCE,
+    WALLCLOCK,
 };
 
 const DECISION: &str = "crates/mcts/src/fixture.rs";
@@ -231,6 +232,57 @@ fn available_parallelism_is_clean_in_pool_and_bench() {
     let quoted =
         "fn f() {\n    let s = \"available_parallelism\"; // available_parallelism in prose\n}\n";
     assert!(unsuppressed(DECISION, quoted).is_empty());
+}
+
+// --- R7: fs-route --------------------------------------------------------
+
+const ROUTED: &str = "crates/ckpt/src/fixture.rs";
+
+#[test]
+fn fs_mutations_fire_in_routed_crates() {
+    let src = "fn f(p: &Path) {\n    std::fs::write(p, b\"x\").unwrap();\n    fs::rename(p, p).unwrap();\n}\n";
+    assert_eq!(
+        unsuppressed(ROUTED, src),
+        vec![(FS_ROUTE.into(), 2), (FS_ROUTE.into(), 3)]
+    );
+    // Writable handles opened around the chokepoint count too.
+    let handle = "fn f(p: &Path) {\n    let _ = File::create(p);\n    let _ = OpenOptions::new().write(true).open(p);\n}\n";
+    assert_eq!(
+        unsuppressed("crates/serve/src/fixture.rs", handle),
+        vec![(FS_ROUTE.into(), 2), (FS_ROUTE.into(), 3)]
+    );
+    // Importing a mutation helper is the same evasion as calling it.
+    let import = "use std::fs::write;\n";
+    assert_eq!(unsuppressed(ROUTED, import), vec![(FS_ROUTE.into(), 1)]);
+}
+
+#[test]
+fn fs_reads_tests_and_unrouted_crates_are_clean() {
+    // Reads never need the chokepoint.
+    let reads =
+        "fn f(p: &Path) -> Vec<u8> {\n    let _ = fs::metadata(p);\n    fs::read(p).unwrap()\n}\n";
+    assert!(unsuppressed(ROUTED, reads).is_empty());
+    // The same mutation is fine outside the routed crates...
+    let write = "fn f(p: &Path) {\n    std::fs::write(p, b\"x\").unwrap();\n}\n";
+    assert!(unsuppressed(NON_DECISION, write).is_empty());
+    // ... and inside the trailing unit-test module, where tests tamper
+    // with files on purpose to exercise recovery.
+    let in_tests =
+        "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t(p: &Path) {\n        std::fs::write(p, b\"torn\").unwrap();\n    }\n}\n";
+    assert!(unsuppressed(ROUTED, in_tests).is_empty());
+}
+
+#[test]
+fn fs_route_suppression_with_why_is_honoured() {
+    let src = "fn f(p: &Path) {\n    // mmp-lint: allow(fs-route) why: test-only tamper helper behind cfg(test)\n    std::fs::write(p, b\"x\").unwrap();\n}\n";
+    assert!(unsuppressed(ROUTED, src).is_empty());
+    assert_eq!(
+        suppressed(ROUTED, src),
+        vec![(
+            FS_ROUTE.into(),
+            "test-only tamper helper behind cfg(test)".into()
+        )]
+    );
 }
 
 #[test]

@@ -37,7 +37,8 @@ fn usage() -> ExitCode {
          \x20      [--queue-capacity N] [--max-attempts N] [--max-budget-ms N] \\\n\
          \x20      [--max-design-nodes N] [--zeta N] [--episodes N] \\\n\
          \x20      [--explorations N] [--default-budget-ms N] \\\n\
-         \x20      [--backoff-base-ms N] [--backoff-cap-ms N] [--no-policy-cache]"
+         \x20      [--backoff-base-ms N] [--backoff-cap-ms N] [--no-policy-cache] \\\n\
+         \x20      [--keep-completed N] [--fault-io SPEC]"
     );
     ExitCode::from(2)
 }
@@ -74,7 +75,7 @@ fn run() -> Result<(), CliError> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let flags = parse_flags(&args)?;
     for key in flags.keys() {
-        const KNOWN: [&str; 14] = [
+        const KNOWN: [&str; 16] = [
             "addr",
             "state-dir",
             "workers",
@@ -89,6 +90,8 @@ fn run() -> Result<(), CliError> {
             "backoff-base-ms",
             "backoff-cap-ms",
             "no-policy-cache",
+            "keep-completed",
+            "fault-io",
         ];
         if !KNOWN.contains(&key.as_str()) {
             return Err(CliError::Usage(format!("unknown flag --{key}")));
@@ -134,6 +137,18 @@ fn run() -> Result<(), CliError> {
             cap: Duration::from_millis(get_u64("backoff-cap-ms")?.unwrap_or(2000)),
         },
         policy_cache: !flags.contains_key("no-policy-cache"),
+        keep_completed: match get_u64("keep-completed")? {
+            None => Some(1024),
+            Some(0) => None, // 0 = unbounded, the pre-retention behavior
+            Some(n) => Some(n as usize),
+        },
+        fault_io: match flags.get("fault-io") {
+            None => None,
+            Some(spec) => Some(
+                mmp_serve::FailPlan::parse(spec)
+                    .map_err(|e| CliError::Usage(format!("bad --fault-io: {e}")))?,
+            ),
+        },
     };
 
     let listener =

@@ -33,8 +33,9 @@ use crate::queue::JobQueue;
 use mmp_core::{fingerprint, CheckpointPlan, CrashPoint, MacroPlacer, RunReport};
 use mmp_netlist::{Design, MacroId, Placement};
 use mmp_obs::{MetricsSnapshot, Obs};
+use mmp_vfs::{FailPlan, Vfs};
 use serde::{Serialize, Value};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -71,6 +72,15 @@ pub struct ServeConfig {
     /// (design, config) fingerprint by seeding the new job's ladder with
     /// the donor's `train-done.ckpt`.
     pub policy_cache: bool,
+    /// Journal retention: keep at most this many *successfully completed*
+    /// jobs on disk; older ones are forgotten oldest-first once the cap
+    /// is exceeded. Quarantined and failed jobs are exempt (their records
+    /// are the evidence). `None` = unbounded.
+    pub keep_completed: Option<usize>,
+    /// Dev/test knob mirroring `fault_pool_panic`: inject one disk fault
+    /// according to the plan into every filesystem touch the daemon makes
+    /// (journal *and* per-job checkpoint ladders share the op counter).
+    pub fault_io: Option<FailPlan>,
 }
 
 impl Default for ServeConfig {
@@ -85,6 +95,8 @@ impl Default for ServeConfig {
             defaults: JobDefaults::default(),
             backoff: BackoffConfig::default(),
             policy_cache: true,
+            keep_completed: Some(1024),
+            fault_io: None,
         }
     }
 }
@@ -125,6 +137,12 @@ struct Inner {
     seq: AtomicU64,
     shutting_down: AtomicBool,
     obs: Obs,
+    /// The filesystem chokepoint shared by the journal and every job's
+    /// checkpoint ladder (one fault-plan counter spans both).
+    vfs: Vfs,
+    /// Successfully completed job ids, oldest first — the retention
+    /// window trimmed by `keep_completed`.
+    completed: Mutex<VecDeque<String>>,
     /// fingerprint → donor `train-done.ckpt` path of a completed job.
     policy_cache: Mutex<BTreeMap<u64, PathBuf>>,
     workers: Mutex<Vec<JoinHandle<()>>>,
@@ -197,22 +215,46 @@ impl Server {
     ///
     /// [`ServeError::Internal`] when the state directory is unusable.
     pub fn start(config: ServeConfig) -> Result<Self, ServeError> {
-        let journal = Journal::open(&config.state_dir)?;
-        let (scanned, _damaged) = journal.scan()?;
+        let vfs = config
+            .fault_io
+            .clone()
+            .map(Vfs::with_plan)
+            .unwrap_or_default();
+        Self::start_with_vfs(config, vfs)
+    }
+
+    /// [`Server::start`] with an explicit filesystem chokepoint. The
+    /// torture harness uses this to hand the daemon a recording or
+    /// fault-armed [`Vfs`]; `start` derives one from `config.fault_io`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Internal`] when the state directory is unusable.
+    pub fn start_with_vfs(config: ServeConfig, vfs: Vfs) -> Result<Self, ServeError> {
         let obs = Obs::metrics_only();
+        let journal = Journal::open_with(&config.state_dir, vfs.clone(), obs.clone())?;
+        let (scanned, _damaged) = journal.scan()?;
         let queue = JobQueue::new(config.queue_capacity);
         let mut jobs = BTreeMap::new();
         let mut max_seq = 0u64;
         let mut replayed = Vec::new();
+        let mut done_in_seq_order = Vec::new();
         for job in scanned {
             max_seq = max_seq.max(job.seq);
             match job.report_line {
                 Some(line) => {
+                    if line.starts_with(r#"{"ok":true"#) {
+                        done_in_seq_order.push((job.seq, job.id.clone()));
+                    }
                     jobs.insert(job.id, JobState::Done(line));
                 }
                 None => replayed.push(job),
             }
         }
+        // Rebuild the retention window oldest-first so eviction order
+        // survives restarts.
+        done_in_seq_order.sort();
+        let completed: VecDeque<String> = done_in_seq_order.into_iter().map(|(_, id)| id).collect();
         let now = clock::now();
         for job in replayed {
             obs.count("serve.recovered", 1);
@@ -240,11 +282,16 @@ impl Server {
                 seq: AtomicU64::new(max_seq),
                 shutting_down: AtomicBool::new(false),
                 obs,
+                vfs,
+                completed: Mutex::new(completed),
                 policy_cache: Mutex::new(BTreeMap::new()),
                 workers: Mutex::new(Vec::new()),
                 listen_addr: Mutex::new(None),
             }),
         };
+        // A restarted daemon may come up over a journal larger than its
+        // (possibly newly lowered) retention cap; trim before serving.
+        server.enforce_retention();
         let mut handles = server.lock_workers();
         for _ in 0..server.inner.config.workers {
             let s = server.clone();
@@ -324,6 +371,10 @@ impl Server {
     }
 
     fn status_line(&self) -> String {
+        let journal_bytes = self.inner.journal.total_bytes();
+        self.inner
+            .obs
+            .gauge("serve.journal_bytes", journal_bytes as f64);
         let snapshot = self.inner.obs.snapshot();
         let counters = Value::Map(
             snapshot
@@ -350,6 +401,7 @@ impl Server {
                 "capacity".to_owned(),
                 Value::U64(self.inner.queue.capacity() as u64),
             ),
+            ("journal_bytes".to_owned(), Value::U64(journal_bytes)),
             ("counters".to_owned(), counters),
         ]))
     }
@@ -479,8 +531,47 @@ impl Server {
             }
             if line.starts_with(r#"{"ok":true"#) {
                 self.inner.obs.count("serve.completed", 1);
+                match self.inner.completed.lock() {
+                    Ok(mut g) => g.push_back(job.id.clone()),
+                    Err(p) => p.into_inner().push_back(job.id.clone()),
+                }
             }
+            // Trim *before* announcing completion so a client that sees
+            // this job done also sees the eviction it triggered.
+            self.enforce_retention();
             self.set_state(&job.id, JobState::Done(line));
+        }
+    }
+
+    /// Trims the journal to `keep_completed` successfully finished jobs,
+    /// forgetting the oldest first. Quarantined and failed jobs never
+    /// enter the retention window, so their records are kept.
+    fn enforce_retention(&self) {
+        let Some(keep) = self.inner.config.keep_completed else {
+            return;
+        };
+        loop {
+            let evict = {
+                let mut g = match self.inner.completed.lock() {
+                    Ok(g) => g,
+                    Err(p) => p.into_inner(),
+                };
+                if g.len() <= keep {
+                    return;
+                }
+                g.pop_front()
+            };
+            let Some(id) = evict else { return };
+            // Drop any policy-cache entry donated by the evicted job; its
+            // ladder is about to vanish from disk.
+            let donor = self.inner.journal.train_done_path(&id);
+            match self.inner.policy_cache.lock() {
+                Ok(mut g) => g.retain(|_, p| p != &donor),
+                Err(p) => p.into_inner().retain(|_, p| p != &donor),
+            }
+            self.inner.journal.forget(&id);
+            self.lock_jobs().map.remove(&id);
+            self.inner.obs.count("serve.journal_evicted", 1);
         }
     }
 
@@ -549,7 +640,8 @@ impl Server {
             let job_obs = Obs::metrics_only();
             let placer = MacroPlacer::new(cfg)
                 .with_checkpoints(plan)
-                .with_obs(job_obs.clone());
+                .with_obs(job_obs.clone())
+                .with_vfs(self.inner.vfs.clone());
             match placer.place(&design) {
                 Ok(result) => {
                     if self.inner.config.policy_cache {
@@ -754,6 +846,8 @@ mod tests {
                 cap: std::time::Duration::from_millis(4),
             },
             policy_cache: true,
+            keep_completed: Some(1024),
+            fault_io: None,
         }
     }
 
@@ -967,6 +1061,96 @@ mod tests {
         assert_eq!(server.metrics().counters.get("serve.recovered"), None);
         let again = poll_done(&server, "j1");
         assert_eq!(macro_bits(&again), bits);
+        server.drain();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn retention_evicts_oldest_completed_jobs_and_reports_journal_size() {
+        let dir = tmp("retention");
+        let mut cfg = config(&dir, 1);
+        cfg.keep_completed = Some(1);
+        cfg.policy_cache = false;
+        let server = Server::start(cfg).unwrap();
+
+        server.handle_request(&submit_line("old1", ""));
+        poll_done(&server, "old1");
+        server.handle_request(&submit_line("old2", ""));
+        poll_done(&server, "old2");
+        server.handle_request(&submit_line("new1", ""));
+        let keep = poll_done(&server, "new1");
+        assert_eq!(map_get(&keep, "state"), Some(&Value::Str("done".into())));
+
+        // Oldest-first eviction: old1 and old2 are gone, new1 survives.
+        let line = server.handle_request(r#"{"op":"result","id":"old1"}"#);
+        assert!(line.contains("unknown-job"), "{line}");
+        let line = server.handle_request(r#"{"op":"result","id":"old2"}"#);
+        assert!(line.contains("unknown-job"), "{line}");
+        let m = server.metrics();
+        assert_eq!(m.counters.get("serve.journal_evicted"), Some(&2));
+
+        // Status reports a non-zero journal footprint (one job's record).
+        let status = server.handle_request(r#"{"op":"status"}"#);
+        let v = serde_json::parse_value(&status).unwrap();
+        let bytes = map_get(&v, "journal_bytes")
+            .and_then(Value::as_u64)
+            .unwrap();
+        assert!(bytes > 0, "{status}");
+        server.drain();
+
+        // The eviction is durable: a restart replays only the survivor.
+        let server = Server::start(config(&dir, 1)).unwrap();
+        let line = server.handle_request(r#"{"op":"result","id":"old2"}"#);
+        assert!(line.contains("unknown-job"), "{line}");
+        let again = poll_done(&server, "new1");
+        assert_eq!(map_get(&again, "state"), Some(&Value::Str("done".into())));
+        server.drain();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn quarantined_jobs_are_exempt_from_retention() {
+        let dir = tmp("retention-quarantine");
+        let mut cfg = config(&dir, 1);
+        cfg.keep_completed = Some(0);
+        cfg.max_attempts = 1;
+        cfg.policy_cache = false;
+        let server = Server::start(cfg).unwrap();
+        server.handle_request(&submit_line("poison", r#","fault_fail_attempts":99"#));
+        let v = poll_done(&server, "poison");
+        assert_eq!(map_get(&v, "ok"), Some(&Value::Bool(false)));
+        server.handle_request(&submit_line("fine", ""));
+        poll_done(&server, "fine");
+        // keep_completed=0 evicts every successful job, but the
+        // quarantined record survives a restart.
+        assert_eq!(
+            server.metrics().counters.get("serve.journal_evicted"),
+            Some(&1)
+        );
+        server.drain();
+        let server = Server::start(config(&dir, 1)).unwrap();
+        let line = server.handle_request(r#"{"op":"result","id":"poison"}"#);
+        assert!(line.contains("quarantined"), "{line}");
+        let line = server.handle_request(r#"{"op":"result","id":"fine"}"#);
+        assert!(line.contains("unknown-job"), "{line}");
+        server.drain();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fault_io_plan_surfaces_as_a_typed_rejection_then_clears() {
+        let dir = tmp("fault-io");
+        let mut cfg = config(&dir, 1);
+        // Fail the very first journal payload write (the request record).
+        cfg.fault_io = Some(mmp_vfs::FailPlan::parse("enospc:1:write").unwrap());
+        let server = Server::start(cfg).unwrap();
+        let line = server.handle_request(&submit_line("j1", ""));
+        assert!(line.contains("internal"), "{line}");
+        // One-shot plan: the fault cleared, the resubmission succeeds.
+        let line = server.handle_request(&submit_line("j1", ""));
+        assert!(line.contains(r#""ok":true"#), "{line}");
+        let done = poll_done(&server, "j1");
+        assert_eq!(map_get(&done, "state"), Some(&Value::Str("done".into())));
         server.drain();
         let _ = std::fs::remove_dir_all(&dir);
     }

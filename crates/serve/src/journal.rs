@@ -21,6 +21,8 @@
 
 use crate::error::ServeError;
 use crate::protocol::{valid_id, JobRequest};
+use mmp_obs::Obs;
+use mmp_vfs::Vfs;
 use serde::{map_get, Serialize, Value};
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -31,10 +33,14 @@ fn internal(what: &str, path: &Path, detail: impl std::fmt::Display) -> ServeErr
     }
 }
 
-/// The daemon's state directory handle.
+/// The daemon's state directory handle. Every mutation goes through the
+/// injectable [`Vfs`] chokepoint so the disk-fault torture harness can
+/// fail any single journal write deterministically.
 #[derive(Debug, Clone)]
 pub struct Journal {
     root: PathBuf,
+    vfs: Vfs,
+    obs: Obs,
 }
 
 /// One journaled job found by [`Journal::scan`].
@@ -51,13 +57,31 @@ pub struct ScannedJob {
 }
 
 impl Journal {
-    /// Opens (creating if needed) the journal under `root`.
+    /// Opens (creating if needed) the journal under `root` on the real
+    /// filesystem backend.
     pub fn open(root: &Path) -> Result<Self, ServeError> {
+        Journal::open_with(root, Vfs::real(), Obs::off())
+    }
+
+    /// [`Journal::open`] with an explicit filesystem handle and an obs
+    /// registry for the journal's own counters (`ckpt.stale_tmp_removed`,
+    /// `ckpt.dir_fsync_failed`).
+    pub fn open_with(root: &Path, vfs: Vfs, obs: Obs) -> Result<Self, ServeError> {
         let jobs = root.join("jobs");
-        fs::create_dir_all(&jobs).map_err(|e| internal("create state dir", &jobs, e))?;
+        vfs.create_dir_all(&jobs)
+            .map_err(|e| internal("create state dir", &jobs, e))?;
         Ok(Journal {
             root: root.to_path_buf(),
+            vfs,
+            obs,
         })
+    }
+
+    /// Counts a dir-fsync failure reported by a write receipt.
+    fn note_receipt(&self, receipt: mmp_ckpt::WriteReceipt) {
+        if receipt.dir_fsync_failed && self.obs.enabled() {
+            self.obs.count("ckpt.dir_fsync_failed", 1);
+        }
     }
 
     /// The directory holding one job's files.
@@ -90,28 +114,36 @@ impl Journal {
     /// either never accepted the job or will replay it on restart.
     pub fn record_request(&self, id: &str, seq: u64, req: &JobRequest) -> Result<(), ServeError> {
         let dir = self.ckpt_dir(id);
-        fs::create_dir_all(&dir).map_err(|e| internal("create job dir", &dir, e))?;
+        self.vfs
+            .create_dir_all(&dir)
+            .map_err(|e| internal("create job dir", &dir, e))?;
         let entry = Value::Map(vec![
             ("id".to_owned(), Value::Str(id.to_owned())),
             ("seq".to_owned(), Value::U64(seq)),
             ("request".to_owned(), req.to_value()),
         ]);
         let path = self.request_path(id);
-        mmp_ckpt::write(&path, crate::protocol::render(&entry).as_bytes())
-            .map_err(|e| internal("journal request", &path, e))
+        let receipt =
+            mmp_ckpt::write_with(&self.vfs, &path, crate::protocol::render(&entry).as_bytes())
+                .map_err(|e| internal("journal request", &path, e))?;
+        self.note_receipt(receipt);
+        Ok(())
     }
 
     /// Stores a job's final response line; its presence is what marks the
     /// job complete to future daemon lives.
     pub fn record_report(&self, id: &str, line: &str) -> Result<(), ServeError> {
         let path = self.report_path(id);
-        mmp_ckpt::write(&path, line.as_bytes()).map_err(|e| internal("journal report", &path, e))
+        let receipt = mmp_ckpt::write_with(&self.vfs, &path, line.as_bytes())
+            .map_err(|e| internal("journal report", &path, e))?;
+        self.note_receipt(receipt);
+        Ok(())
     }
 
     /// Reads back a stored final response line, if the job completed.
     pub fn read_report(&self, id: &str) -> Result<Option<String>, ServeError> {
         let path = self.report_path(id);
-        match mmp_ckpt::read_opt(&path) {
+        match mmp_ckpt::read_opt_with(&self.vfs, &path) {
             Ok(Some(bytes)) => String::from_utf8(bytes)
                 .map(Some)
                 .map_err(|e| internal("decode report", &path, e)),
@@ -123,13 +155,17 @@ impl Journal {
     /// Removes a job's directory (admission rollback: the queue was full
     /// after the request was journaled, so the job never existed).
     pub fn forget(&self, id: &str) {
-        let _ = fs::remove_dir_all(self.job_dir(id));
+        let _ = self.vfs.remove_dir_all(&self.job_dir(id));
     }
 
     /// Walks the journal and returns every job in admission (`seq`)
     /// order. Jobs whose `request.ckpt` is unreadable or unparsable are
     /// reported in the second list — a robust daemon quarantines damage
     /// and keeps serving rather than refusing to start.
+    ///
+    /// The scan also sweeps stale `*.tmp` orphans (a daemon killed
+    /// between temp-file write and rename) from each job directory,
+    /// counting removals via `ckpt.stale_tmp_removed`.
     pub fn scan(&self) -> Result<(Vec<ScannedJob>, Vec<String>), ServeError> {
         let jobs_dir = self.root.join("jobs");
         let mut jobs = Vec::new();
@@ -147,6 +183,7 @@ impl Journal {
                 damaged.push(id);
                 continue;
             }
+            self.sweep_stale_tmps(&self.job_dir(&id));
             match self.scan_one(&id) {
                 Ok(job) => jobs.push(job),
                 Err(_) => damaged.push(id),
@@ -156,9 +193,49 @@ impl Journal {
         Ok((jobs, damaged))
     }
 
+    /// Best-effort removal of `*.tmp` orphans directly inside `dir` (the
+    /// job's own checkpoint ladder sweeps itself when the flow opens it).
+    fn sweep_stale_tmps(&self, dir: &Path) {
+        let Ok(names) = self.vfs.read_dir_names(dir) else {
+            return;
+        };
+        let mut removed = 0u64;
+        for name in names {
+            if name.ends_with(".tmp") && self.vfs.remove_file(&dir.join(&name)).is_ok() {
+                removed += 1;
+            }
+        }
+        if removed > 0 && self.obs.enabled() {
+            self.obs.count("ckpt.stale_tmp_removed", removed);
+        }
+    }
+
+    /// Total bytes currently stored under the journal root (the
+    /// `serve.journal_bytes` gauge). Read-only metadata walk; errors count
+    /// as zero rather than failing a status query.
+    pub fn total_bytes(&self) -> u64 {
+        fn walk(dir: &Path) -> u64 {
+            let Ok(entries) = fs::read_dir(dir) else {
+                return 0;
+            };
+            let mut total = 0;
+            for entry in entries.filter_map(|e| e.ok()) {
+                let path = entry.path();
+                if path.is_dir() {
+                    total += walk(&path);
+                } else if let Ok(meta) = entry.metadata() {
+                    total += meta.len();
+                }
+            }
+            total
+        }
+        walk(&self.root)
+    }
+
     fn scan_one(&self, id: &str) -> Result<ScannedJob, ServeError> {
         let path = self.request_path(id);
-        let bytes = mmp_ckpt::read(&path).map_err(|e| internal("read request", &path, e))?;
+        let bytes = mmp_ckpt::read_with(&self.vfs, &path)
+            .map_err(|e| internal("read request", &path, e))?;
         let text = String::from_utf8(bytes).map_err(|e| internal("decode request", &path, e))?;
         let entry = serde_json::parse_value(&text)
             .map_err(|e| internal("parse request entry", &path, e))?;
@@ -189,12 +266,17 @@ impl Journal {
     /// checksummed atomic envelope, not a raw byte copy of a file another
     /// job may be rewriting.
     pub fn seed_train_done(&self, donor: &Path, id: &str) -> Result<(), ServeError> {
-        let payload =
-            mmp_ckpt::read(donor).map_err(|e| internal("read donor checkpoint", donor, e))?;
+        let payload = mmp_ckpt::read_with(&self.vfs, donor)
+            .map_err(|e| internal("read donor checkpoint", donor, e))?;
         let dir = self.ckpt_dir(id);
-        fs::create_dir_all(&dir).map_err(|e| internal("create job dir", &dir, e))?;
+        self.vfs
+            .create_dir_all(&dir)
+            .map_err(|e| internal("create job dir", &dir, e))?;
         let dst = dir.join("train-done.ckpt");
-        mmp_ckpt::write(&dst, &payload).map_err(|e| internal("seed checkpoint", &dst, e))
+        let receipt = mmp_ckpt::write_with(&self.vfs, &dst, &payload)
+            .map_err(|e| internal("seed checkpoint", &dst, e))?;
+        self.note_receipt(receipt);
+        Ok(())
     }
 
     /// The path a completed job's reusable trained policy lives at.
@@ -282,6 +364,60 @@ mod tests {
         assert!(!j.contains("j1"));
         let (jobs, damaged) = j.scan().unwrap();
         assert!(jobs.is_empty() && damaged.is_empty());
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn scan_sweeps_stale_tmp_orphans() {
+        let root = tmp("sweep");
+        let j = Journal::open(&root).unwrap();
+        j.record_request("j1", 1, &req("j1")).unwrap();
+        // A torn rename leaves the temp sibling behind.
+        fs::write(j.job_dir("j1").join("report.ckpt.tmp"), b"torn").unwrap();
+        let (jobs, damaged) = j.scan().unwrap();
+        assert_eq!(jobs.len(), 1);
+        assert!(damaged.is_empty());
+        assert!(
+            !j.job_dir("j1").join("report.ckpt.tmp").exists(),
+            "scan must sweep the orphan"
+        );
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn total_bytes_tracks_journal_growth() {
+        let root = tmp("bytes");
+        let j = Journal::open(&root).unwrap();
+        let empty = j.total_bytes();
+        j.record_request("j1", 1, &req("j1")).unwrap();
+        let with_request = j.total_bytes();
+        assert!(with_request > empty);
+        j.record_report("j1", r#"{"ok":true}"#).unwrap();
+        assert!(j.total_bytes() > with_request);
+        j.forget("j1");
+        assert_eq!(j.total_bytes(), empty);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn injected_journal_write_fault_is_a_typed_internal_error() {
+        use mmp_vfs::{FailPlan, FaultKind, OpKind};
+        let root = tmp("fault");
+        let vfs = Vfs::with_plan(
+            FailPlan::new(FaultKind::PartialWrite(10), 1)
+                .on(OpKind::Write)
+                .matching("request"),
+        );
+        let j = Journal::open_with(&root, vfs, Obs::off()).unwrap();
+        let err = j.record_request("j1", 1, &req("j1")).unwrap_err();
+        assert!(matches!(err, ServeError::Internal { .. }), "{err:?}");
+        // The partial temp file never renamed: no request.ckpt, so a
+        // rescan quarantines the entry instead of parsing garbage.
+        assert!(!j.contains("j1"));
+        let j2 = Journal::open(&root).unwrap();
+        let (jobs, damaged) = j2.scan().unwrap();
+        assert!(jobs.is_empty());
+        assert_eq!(damaged, ["j1"]);
         let _ = fs::remove_dir_all(&root);
     }
 

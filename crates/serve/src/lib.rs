@@ -51,6 +51,10 @@ pub mod queue;
 
 pub use backoff::BackoffConfig;
 pub use daemon::{ServeConfig, Server};
+// Re-exported so callers configuring `ServeConfig::fault_io` (and the
+// torture harness using `Server::start_with_vfs`) need no direct
+// mmp-vfs dependency.
 pub use error::ServeError;
+pub use mmp_vfs::{FailPlan, FaultKind, OpKind, Vfs};
 pub use protocol::{DesignSpec, JobDefaults, JobRequest, JobSummary, Op};
 pub use queue::JobQueue;

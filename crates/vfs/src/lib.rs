@@ -1,0 +1,631 @@
+#![warn(missing_docs)]
+// Hardened crate: panicking extractors are denied in CI on library code
+// (tests may unwrap freely).
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+#![cfg_attr(not(test), warn(clippy::print_stdout, clippy::print_stderr))]
+
+//! Injectable filesystem chokepoint for the MMP workspace.
+//!
+//! Every durable write in `mmp-ckpt` (the checkpoint envelope) and
+//! `mmp-serve` (the journal) goes through a [`Vfs`] handle instead of
+//! calling `std::fs` directly. A `Vfs` has two backends:
+//!
+//! * **real** (the default): forwards straight to `std::fs`. The hot path
+//!   costs exactly one branch per operation — `Vfs` is a newtype around
+//!   `Option<Arc<_>>` and the real backend is `None`.
+//! * **fault plan**: a deterministic op counter plus a [`FailPlan`] that
+//!   fails the Nth operation matching a per-kind / per-path filter with a
+//!   chosen [`FaultKind`] — `Enospc`, `Eio`, `PartialWrite` (a prefix of
+//!   the payload reaches the disk) or `CrashAfter` (the operation
+//!   *succeeds* on disk, then a crash-marked error is returned; the
+//!   torture driver treats it as process death at the next instruction).
+//!
+//! The counter is deterministic: operations are counted in program order,
+//! so the same seed → same plan → same failing boundary on every run.
+//! A plan fires **once** and is then disarmed, which models both a
+//! one-shot power loss and a transient I/O error that a retry survives.
+//!
+//! A third mode, [`Vfs::recording`], performs every operation for real
+//! while counting mutation ops. The torture harness uses it to enumerate
+//! the write boundaries of a clean run before replaying the run with a
+//! fault injected at each boundary in turn.
+
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Marker substring carried by every crash-typed error produced by
+/// [`FaultKind::CrashAfter`]. Callers use [`is_crash`] / [`is_crash_detail`]
+/// to distinguish "the process died here" (propagate, the torture driver
+/// restarts) from an ordinary I/O failure (degrade gracefully).
+///
+/// The text deliberately matches the `mmp-core` crash-point convention
+/// ("injected crash after checkpoint write") so a single predicate covers
+/// both injection substrates.
+pub const CRASH_MARKER: &str = "injected crash";
+
+/// The filesystem operations the chokepoint distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum OpKind {
+    /// File or directory creation (`File::create`, `create_dir_all`).
+    Create,
+    /// Payload bytes written to an open file.
+    Write,
+    /// `sync_all` on a file or directory handle.
+    Fsync,
+    /// Atomic rename of a temp file over its final name.
+    Rename,
+    /// Whole-file reads and directory listings.
+    Read,
+    /// File or directory-tree removal.
+    Remove,
+}
+
+impl OpKind {
+    /// Every operation kind, in counter-index order.
+    pub const ALL: [OpKind; 6] = [
+        OpKind::Create,
+        OpKind::Write,
+        OpKind::Fsync,
+        OpKind::Rename,
+        OpKind::Read,
+        OpKind::Remove,
+    ];
+
+    /// Stable lowercase name, used by `FailPlan::parse` specs.
+    pub fn name(self) -> &'static str {
+        match self {
+            OpKind::Create => "create",
+            OpKind::Write => "write",
+            OpKind::Fsync => "fsync",
+            OpKind::Rename => "rename",
+            OpKind::Read => "read",
+            OpKind::Remove => "remove",
+        }
+    }
+
+    /// Parse a lowercase op name back into a kind.
+    pub fn parse(s: &str) -> Option<OpKind> {
+        OpKind::ALL.into_iter().find(|k| k.name() == s)
+    }
+
+    /// Whether the op changes on-disk state. Mutation ops are the write
+    /// boundaries the torture harness enumerates; `Read` is excluded.
+    pub fn is_mutation(self) -> bool {
+        self != OpKind::Read
+    }
+}
+
+/// What happens when a [`FailPlan`] fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The operation fails up front with an ENOSPC-flavoured error;
+    /// nothing reaches the disk.
+    Enospc,
+    /// The operation fails up front with an EIO-flavoured error.
+    Eio,
+    /// Only for `Write` ops: the first `bytes` bytes reach the disk, then
+    /// the write fails. Models a torn write / power brown-out. On other
+    /// op kinds it behaves like `Eio`.
+    PartialWrite(usize),
+    /// The operation completes on disk, then a crash-marked error is
+    /// returned. Models power loss immediately after the syscall; the
+    /// torture driver treats it as process death.
+    CrashAfter,
+}
+
+/// A deterministic one-shot fault: fail the `nth` operation (1-based)
+/// matching the kind and path filters with `fault`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailPlan {
+    /// 1-based index among *matching* operations.
+    pub nth: u64,
+    /// The failure injected when the plan fires.
+    pub fault: FaultKind,
+    /// Op kinds the plan matches. Empty = every mutation kind.
+    pub kinds: Vec<OpKind>,
+    /// Optional substring the operation's path must contain.
+    pub path_contains: Option<String>,
+}
+
+impl FailPlan {
+    /// A plan matching every mutation op, firing on the `nth` one.
+    pub fn new(fault: FaultKind, nth: u64) -> FailPlan {
+        FailPlan {
+            nth: nth.max(1),
+            fault,
+            kinds: Vec::new(),
+            path_contains: None,
+        }
+    }
+
+    /// Restrict the plan to a single op kind (may be called repeatedly
+    /// to build up a set).
+    pub fn on(mut self, kind: OpKind) -> FailPlan {
+        self.kinds.push(kind);
+        self
+    }
+
+    /// Restrict the plan to paths containing `substr`.
+    pub fn matching(mut self, substr: &str) -> FailPlan {
+        self.path_contains = Some(substr.to_owned());
+        self
+    }
+
+    /// Parse a CLI spec: `FAULT:NTH[:KINDS[:PATH_SUBSTR]]`, where `FAULT`
+    /// is `enospc`, `eio`, `crash` or `partial-<bytes>`, `NTH` is the
+    /// 1-based matching-op index, and `KINDS` is a `+`-joined list of op
+    /// names (or `any` for every mutation op).
+    ///
+    /// Examples: `crash:5`, `eio:1:fsync`, `partial-16:2:write:request`.
+    pub fn parse(spec: &str) -> Result<FailPlan, String> {
+        let parts: Vec<&str> = spec.splitn(4, ':').collect();
+        if parts.len() < 2 {
+            return Err(format!(
+                "bad fault spec '{spec}': want FAULT:NTH[:KINDS[:PATH]]"
+            ));
+        }
+        let fault = match parts[0] {
+            "enospc" => FaultKind::Enospc,
+            "eio" => FaultKind::Eio,
+            "crash" => FaultKind::CrashAfter,
+            other => match other.strip_prefix("partial-") {
+                Some(n) => FaultKind::PartialWrite(
+                    n.parse::<usize>()
+                        .map_err(|_| format!("bad partial byte count '{n}' in '{spec}'"))?,
+                ),
+                None => return Err(format!("unknown fault kind '{other}' in '{spec}'")),
+            },
+        };
+        let nth: u64 = parts[1]
+            .parse()
+            .map_err(|_| format!("bad op index '{}' in '{spec}'", parts[1]))?;
+        if nth == 0 {
+            return Err(format!("op index must be >= 1 in '{spec}'"));
+        }
+        let mut plan = FailPlan::new(fault, nth);
+        if let Some(kinds) = parts.get(2) {
+            if !kinds.is_empty() && *kinds != "any" {
+                for name in kinds.split('+') {
+                    match OpKind::parse(name) {
+                        Some(k) => plan.kinds.push(k),
+                        None => return Err(format!("unknown op kind '{name}' in '{spec}'")),
+                    }
+                }
+            }
+        }
+        if let Some(path) = parts.get(3) {
+            if !path.is_empty() {
+                plan.path_contains = Some((*path).to_owned());
+            }
+        }
+        Ok(plan)
+    }
+
+    fn matches(&self, kind: OpKind, path: &Path) -> bool {
+        let kind_ok = if self.kinds.is_empty() {
+            kind.is_mutation()
+        } else {
+            self.kinds.contains(&kind)
+        };
+        if !kind_ok {
+            return false;
+        }
+        match &self.path_contains {
+            Some(sub) => path.to_string_lossy().contains(sub.as_str()),
+            None => true,
+        }
+    }
+}
+
+/// Armed plan plus its deterministic matching-op counter.
+#[derive(Debug)]
+struct Armed {
+    plan: FailPlan,
+    seen: u64,
+}
+
+#[derive(Debug)]
+struct State {
+    /// `Some` while the plan is armed; taken when it fires.
+    armed: Mutex<Option<Armed>>,
+    /// Mutation ops performed (or attempted), in program order.
+    mutations: AtomicU64,
+    /// Per-kind op counts, indexed by `OpKind as usize`.
+    per_kind: [AtomicU64; 6],
+}
+
+/// The filesystem handle. Cheap to clone; clones share the op counter
+/// and fault plan, so one handle can span a daemon's journal and every
+/// job it runs while keeping a single deterministic counter.
+#[derive(Debug, Clone, Default)]
+pub struct Vfs {
+    state: Option<Arc<State>>,
+}
+
+/// Decision taken for one intercepted operation.
+enum Decision {
+    Pass,
+    Fail(FaultKind),
+}
+
+impl Vfs {
+    /// The real backend: every op forwards to `std::fs`, one branch of
+    /// overhead, nothing counted.
+    pub fn real() -> Vfs {
+        Vfs { state: None }
+    }
+
+    /// A counting backend with an armed fault plan.
+    pub fn with_plan(plan: FailPlan) -> Vfs {
+        Vfs {
+            state: Some(Arc::new(State {
+                armed: Mutex::new(Some(Armed { plan, seen: 0 })),
+                mutations: AtomicU64::new(0),
+                per_kind: Default::default(),
+            })),
+        }
+    }
+
+    /// A counting backend with no plan: every op runs for real while the
+    /// mutation counter enumerates write boundaries.
+    pub fn recording() -> Vfs {
+        Vfs {
+            state: Some(Arc::new(State {
+                armed: Mutex::new(None),
+                mutations: AtomicU64::new(0),
+                per_kind: Default::default(),
+            })),
+        }
+    }
+
+    /// Whether this handle can inject faults or count ops at all.
+    pub fn is_real(&self) -> bool {
+        self.state.is_none()
+    }
+
+    /// Mutation ops seen so far (0 on the real backend).
+    pub fn mutation_ops(&self) -> u64 {
+        self.state
+            .as_ref()
+            .map_or(0, |s| s.mutations.load(Ordering::SeqCst))
+    }
+
+    /// Ops of one kind seen so far (0 on the real backend).
+    pub fn ops_of(&self, kind: OpKind) -> u64 {
+        self.state
+            .as_ref()
+            .map_or(0, |s| s.per_kind[kind as usize].load(Ordering::SeqCst))
+    }
+
+    /// Whether a fault plan is still armed (i.e. has not fired yet).
+    pub fn plan_armed(&self) -> bool {
+        match &self.state {
+            None => false,
+            Some(s) => match s.armed.lock() {
+                Ok(g) => g.is_some(),
+                Err(p) => p.into_inner().is_some(),
+            },
+        }
+    }
+
+    /// Count the op and decide whether the armed plan fires on it.
+    fn decide(&self, kind: OpKind, path: &Path) -> Decision {
+        let Some(state) = &self.state else {
+            return Decision::Pass;
+        };
+        if kind.is_mutation() {
+            state.mutations.fetch_add(1, Ordering::SeqCst);
+        }
+        state.per_kind[kind as usize].fetch_add(1, Ordering::SeqCst);
+        let mut guard = match state.armed.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        let fires = match guard.as_mut() {
+            Some(armed) if armed.plan.matches(kind, path) => {
+                armed.seen += 1;
+                armed.seen == armed.plan.nth
+            }
+            _ => false,
+        };
+        if fires {
+            // One-shot: disarm so retries (and the rest of the run) see a
+            // healthy filesystem again.
+            match guard.take() {
+                Some(armed) => Decision::Fail(armed.plan.fault),
+                None => Decision::Pass,
+            }
+        } else {
+            Decision::Pass
+        }
+    }
+
+    /// Run `op` through the chokepoint with full fault semantics.
+    fn intercept<T>(
+        &self,
+        kind: OpKind,
+        path: &Path,
+        op: impl FnOnce() -> io::Result<T>,
+    ) -> io::Result<T> {
+        match self.decide(kind, path) {
+            Decision::Pass => op(),
+            Decision::Fail(FaultKind::Enospc) => Err(injected_err("ENOSPC", kind, path)),
+            Decision::Fail(FaultKind::Eio | FaultKind::PartialWrite(_)) => {
+                Err(injected_err("EIO", kind, path))
+            }
+            Decision::Fail(FaultKind::CrashAfter) => {
+                op()?;
+                Err(crash_err(kind, path))
+            }
+        }
+    }
+
+    /// `std::fs::create_dir_all` through the chokepoint (`Create`).
+    pub fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        self.intercept(OpKind::Create, path, || fs::create_dir_all(path))
+    }
+
+    /// Create `path` and write `bytes` durably: a `Create`, a `Write` and
+    /// a file `Fsync`, each an independently faultable boundary. Under
+    /// `PartialWrite` a prefix of `bytes` reaches the disk before the
+    /// error surfaces, modelling a torn write.
+    pub fn write_file(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let mut file = self.intercept(OpKind::Create, path, || fs::File::create(path))?;
+        match self.decide(OpKind::Write, path) {
+            Decision::Pass => file.write_all(bytes)?,
+            Decision::Fail(FaultKind::Enospc) => {
+                return Err(injected_err("ENOSPC", OpKind::Write, path))
+            }
+            Decision::Fail(FaultKind::Eio) => return Err(injected_err("EIO", OpKind::Write, path)),
+            Decision::Fail(FaultKind::PartialWrite(n)) => {
+                let cut = n.min(bytes.len());
+                file.write_all(&bytes[..cut])?;
+                let _ = file.sync_all();
+                return Err(io::Error::other(format!(
+                    "injected partial write ({cut} of {} bytes) on {}",
+                    bytes.len(),
+                    path.display()
+                )));
+            }
+            Decision::Fail(FaultKind::CrashAfter) => {
+                file.write_all(bytes)?;
+                let _ = file.sync_all();
+                return Err(crash_err(OpKind::Write, path));
+            }
+        }
+        self.intercept(OpKind::Fsync, path, || file.sync_all())
+    }
+
+    /// `std::fs::rename` through the chokepoint (`Rename`, keyed on the
+    /// destination path).
+    pub fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        self.intercept(OpKind::Rename, to, || fs::rename(from, to))
+    }
+
+    /// Open `dir` and `sync_all` it (`Fsync`). Publishes a just-renamed
+    /// entry; callers treat failure as degraded-but-survivable unless it
+    /// is crash-marked.
+    pub fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        self.intercept(OpKind::Fsync, dir, || fs::File::open(dir)?.sync_all())
+    }
+
+    /// `std::fs::read` through the chokepoint (`Read`).
+    pub fn read_file(&self, path: &Path) -> io::Result<Vec<u8>> {
+        self.intercept(OpKind::Read, path, || fs::read(path))
+    }
+
+    /// Directory listing through the chokepoint (`Read`): entry names,
+    /// sorted for determinism.
+    pub fn read_dir_names(&self, dir: &Path) -> io::Result<Vec<String>> {
+        self.intercept(OpKind::Read, dir, || {
+            let mut names = Vec::new();
+            for entry in fs::read_dir(dir)? {
+                names.push(entry?.file_name().to_string_lossy().into_owned());
+            }
+            names.sort();
+            Ok(names)
+        })
+    }
+
+    /// `std::fs::remove_file` through the chokepoint (`Remove`).
+    pub fn remove_file(&self, path: &Path) -> io::Result<()> {
+        self.intercept(OpKind::Remove, path, || fs::remove_file(path))
+    }
+
+    /// `std::fs::remove_dir_all` through the chokepoint (`Remove`).
+    pub fn remove_dir_all(&self, path: &Path) -> io::Result<()> {
+        self.intercept(OpKind::Remove, path, || fs::remove_dir_all(path))
+    }
+}
+
+fn injected_err(what: &str, kind: OpKind, path: &Path) -> io::Error {
+    io::Error::other(format!(
+        "injected {what} on {} of {}",
+        kind.name(),
+        path.display()
+    ))
+}
+
+fn crash_err(kind: OpKind, path: &Path) -> io::Error {
+    io::Error::other(format!(
+        "{CRASH_MARKER} after {} of {}",
+        kind.name(),
+        path.display()
+    ))
+}
+
+/// Whether an I/O error is crash-marked (see [`CRASH_MARKER`]).
+pub fn is_crash(err: &io::Error) -> bool {
+    is_crash_detail(&err.to_string())
+}
+
+/// Whether an error detail string is crash-marked.
+pub fn is_crash_detail(detail: &str) -> bool {
+    detail.contains(CRASH_MARKER)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("mmp-vfs-{name}"));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn real_backend_is_transparent() {
+        let dir = tmp_dir("real");
+        let vfs = Vfs::real();
+        assert!(vfs.is_real());
+        let p = dir.join("a.bin");
+        vfs.write_file(&p, b"hello").unwrap();
+        vfs.rename(&p, &dir.join("b.bin")).unwrap();
+        vfs.sync_dir(&dir).unwrap();
+        assert_eq!(vfs.read_file(&dir.join("b.bin")).unwrap(), b"hello");
+        assert_eq!(vfs.read_dir_names(&dir).unwrap(), vec!["b.bin".to_owned()]);
+        vfs.remove_file(&dir.join("b.bin")).unwrap();
+        assert_eq!(vfs.mutation_ops(), 0, "real backend counts nothing");
+    }
+
+    #[test]
+    fn recording_counts_every_mutation_boundary() {
+        let dir = tmp_dir("recording");
+        let vfs = Vfs::recording();
+        let p = dir.join("a.bin");
+        vfs.write_file(&p, b"payload").unwrap(); // create + write + fsync
+        vfs.rename(&p, &dir.join("b.bin")).unwrap(); // rename
+        vfs.sync_dir(&dir).unwrap(); // fsync
+        let _ = vfs.read_file(&dir.join("b.bin")).unwrap(); // read: not a mutation
+        assert_eq!(vfs.mutation_ops(), 5);
+        assert_eq!(vfs.ops_of(OpKind::Fsync), 2);
+        assert_eq!(vfs.ops_of(OpKind::Read), 1);
+    }
+
+    #[test]
+    fn enospc_fires_once_on_the_nth_matching_op() {
+        let dir = tmp_dir("enospc");
+        let vfs = Vfs::with_plan(FailPlan::new(FaultKind::Enospc, 2).on(OpKind::Write));
+        let a = dir.join("a.bin");
+        let b = dir.join("b.bin");
+        vfs.write_file(&a, b"first").unwrap();
+        let err = vfs.write_file(&b, b"second").unwrap_err();
+        assert!(err.to_string().contains("ENOSPC"), "{err}");
+        assert!(!is_crash(&err));
+        assert!(!vfs.plan_armed(), "plan is one-shot");
+        // Third write sees a healthy filesystem again.
+        vfs.write_file(&b, b"third").unwrap();
+        assert_eq!(fs::read(&b).unwrap(), b"third");
+    }
+
+    #[test]
+    fn crash_after_completes_the_op_then_errors() {
+        let dir = tmp_dir("crash");
+        let vfs = Vfs::with_plan(FailPlan::new(FaultKind::CrashAfter, 1).on(OpKind::Rename));
+        let a = dir.join("a.bin");
+        vfs.write_file(&a, b"x").unwrap();
+        let err = vfs.rename(&a, &dir.join("b.bin")).unwrap_err();
+        assert!(is_crash(&err), "{err}");
+        // The rename itself happened before the "power loss".
+        assert!(dir.join("b.bin").exists());
+        assert!(!a.exists());
+    }
+
+    #[test]
+    fn partial_write_leaves_a_prefix_on_disk() {
+        let dir = tmp_dir("partial");
+        let vfs = Vfs::with_plan(FailPlan::new(FaultKind::PartialWrite(3), 1).on(OpKind::Write));
+        let p = dir.join("a.bin");
+        let err = vfs.write_file(&p, b"abcdef").unwrap_err();
+        assert!(err.to_string().contains("partial write"), "{err}");
+        assert_eq!(fs::read(&p).unwrap(), b"abc");
+    }
+
+    #[test]
+    fn path_filter_scopes_the_plan() {
+        let dir = tmp_dir("pathfilter");
+        let vfs = Vfs::with_plan(
+            FailPlan::new(FaultKind::Eio, 1)
+                .on(OpKind::Write)
+                .matching("victim"),
+        );
+        vfs.write_file(&dir.join("innocent.bin"), b"ok").unwrap();
+        let err = vfs.write_file(&dir.join("victim.bin"), b"no").unwrap_err();
+        assert!(err.to_string().contains("EIO"), "{err}");
+    }
+
+    #[test]
+    fn default_kind_filter_is_every_mutation() {
+        let dir = tmp_dir("anykind");
+        let vfs = Vfs::with_plan(FailPlan::new(FaultKind::Eio, 1));
+        // Reads never match the default filter.
+        let _ = vfs.read_dir_names(&dir).unwrap();
+        let err = vfs.create_dir_all(&dir.join("sub")).unwrap_err();
+        assert!(err.to_string().contains("EIO"), "{err}");
+    }
+
+    #[test]
+    fn counters_are_deterministic_across_identical_runs() {
+        let run = |tag: &str| -> (u64, u64) {
+            let dir = tmp_dir(tag);
+            let vfs = Vfs::recording();
+            vfs.create_dir_all(&dir.join("sub")).unwrap();
+            vfs.write_file(&dir.join("sub/a.bin"), b"abc").unwrap();
+            vfs.rename(&dir.join("sub/a.bin"), &dir.join("sub/b.bin"))
+                .unwrap();
+            vfs.remove_dir_all(&dir.join("sub")).unwrap();
+            (vfs.mutation_ops(), vfs.ops_of(OpKind::Create))
+        };
+        assert_eq!(run("det-a"), run("det-b"));
+    }
+
+    #[test]
+    fn parse_round_trips_the_cli_grammar() {
+        assert_eq!(
+            FailPlan::parse("crash:5").unwrap(),
+            FailPlan::new(FaultKind::CrashAfter, 5)
+        );
+        assert_eq!(
+            FailPlan::parse("eio:1:fsync").unwrap(),
+            FailPlan::new(FaultKind::Eio, 1).on(OpKind::Fsync)
+        );
+        assert_eq!(
+            FailPlan::parse("partial-16:2:write:request").unwrap(),
+            FailPlan::new(FaultKind::PartialWrite(16), 2)
+                .on(OpKind::Write)
+                .matching("request")
+        );
+        assert_eq!(
+            FailPlan::parse("enospc:3:create+write").unwrap(),
+            FailPlan::new(FaultKind::Enospc, 3)
+                .on(OpKind::Create)
+                .on(OpKind::Write)
+        );
+        assert_eq!(
+            FailPlan::parse("enospc:3:any").unwrap(),
+            FailPlan::new(FaultKind::Enospc, 3)
+        );
+        assert!(FailPlan::parse("bogus:1").is_err());
+        assert!(FailPlan::parse("eio:0").is_err());
+        assert!(FailPlan::parse("eio").is_err());
+        assert!(FailPlan::parse("eio:1:teleport").is_err());
+        assert!(FailPlan::parse("partial-x:1").is_err());
+    }
+
+    #[test]
+    fn clones_share_one_counter() {
+        let dir = tmp_dir("clones");
+        let vfs = Vfs::recording();
+        let other = vfs.clone();
+        vfs.write_file(&dir.join("a.bin"), b"x").unwrap();
+        other.write_file(&dir.join("b.bin"), b"y").unwrap();
+        assert_eq!(vfs.mutation_ops(), 6);
+        assert_eq!(other.mutation_ops(), 6);
+    }
+}

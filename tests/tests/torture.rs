@@ -1,0 +1,56 @@
+//! The crash-consistency torture harness: enumerate *every* write
+//! boundary of (a) one full checkpointed flow run and (b) one daemon
+//! job, then replay each run once per boundary with a disk fault armed
+//! exactly there.
+//!
+//! The invariants (see `mmp_faults::torture`):
+//!
+//! * no panic, ever — a boundary fault yields a typed error or a
+//!   completed placement;
+//! * a crash boundary is survivable: resume (or the next daemon life)
+//!   lands on the **bitwise** baseline — HPWL bits, macro coordinate
+//!   bits, group assignment;
+//! * a clean failure (disk full) degrades checkpointing and never the
+//!   placement;
+//! * the journal quarantines damage and sweeps orphans, never parses
+//!   garbage.
+//!
+//! These sweeps are exhaustive, not sampled, so they run as their own CI
+//! job (`torture`) on the smallest fixture that still exercises every
+//! envelope kind.
+
+use mmp_faults::torture::{torture_daemon, torture_flow};
+use std::panic::catch_unwind;
+
+#[test]
+fn every_flow_write_boundary_survives_crash_and_disk_full() {
+    let report = catch_unwind(|| torture_flow("flow")).expect("flow torture must never panic");
+    assert!(
+        report.boundaries > 20,
+        "the fixture should expose a few dozen write boundaries, saw {}",
+        report.boundaries
+    );
+    assert!(
+        report.ok(),
+        "flow torture violations at {} boundaries:\n{}",
+        report.failures.len(),
+        report.failures.join("\n")
+    );
+}
+
+#[test]
+fn every_daemon_job_write_boundary_survives_a_crash() {
+    let report =
+        catch_unwind(|| torture_daemon("daemon")).expect("daemon torture must never panic");
+    assert!(
+        report.boundaries > 20,
+        "the daemon job should expose a few dozen write boundaries, saw {}",
+        report.boundaries
+    );
+    assert!(
+        report.ok(),
+        "daemon torture violations at {} boundaries:\n{}",
+        report.failures.len(),
+        report.failures.join("\n")
+    );
+}
