@@ -112,6 +112,7 @@ pub fn solve_pooled(
         .iter()
         .filter(|v| v.is_finite())
         .map(|v| v * v)
+        // mmp-lint: allow(float-reduction) why: sequential sum in source order; feeds the convergence tolerance only
         .sum::<f64>()
         .sqrt()
         .max(1e-30);

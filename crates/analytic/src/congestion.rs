@@ -49,6 +49,7 @@ impl CongestionMap {
         if self.density.is_empty() {
             0.0
         } else {
+            // mmp-lint: allow(float-reduction) why: sequential sum over the bin slice, order fixed by construction
             self.density.iter().sum::<f64>() / self.density.len() as f64
         }
     }

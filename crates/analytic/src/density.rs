@@ -46,6 +46,7 @@ pub fn utilization_profile(
     if total_area <= 0.0 {
         return vec![0.0; nbins];
     }
+    // mmp-lint: allow(float-reduction) why: sequential sum over the bin slice, order fixed by construction
     let scale_sum: f64 = capacity_scale.iter().sum::<f64>().max(1e-12);
     occupied
         .iter()
@@ -366,6 +367,7 @@ fn shift_strip(
     if occ_sum <= 0.0 {
         return positions;
     }
+    // mmp-lint: allow(float-reduction) why: sequential sum over the bin slice, order fixed by construction
     let cap_sum: f64 = caps.iter().sum::<f64>().max(1e-12);
     let weights: Vec<f64> = (0..nbins)
         .map(|b| {

@@ -247,6 +247,7 @@ impl GlobalPlacer {
                     // connectivity so spreading forces keep pace with
                     // wirelength forces (the FastPlace recipe).
                     let diag = a.diagonal();
+                    // mmp-lint: allow(float-reduction) why: sequential sum over the diagonal slice, order fixed by construction
                     let mean_diag = diag.iter().sum::<f64>() / (n as f64).max(1.0);
                     for i in 0..n {
                         let w = anchor_w * diag[i].max(0.1 * mean_diag);
@@ -285,10 +286,12 @@ impl GlobalPlacer {
             if self.obs.enabled() {
                 self.obs.count("analytic.spread_iters", 1);
                 if self.obs.tracing() {
-                    let mx = xs.iter().sum::<f64>() / n as f64;
-                    let my = ys.iter().sum::<f64>() / n as f64;
-                    let ax = shifted_x.iter().sum::<f64>() / n as f64;
-                    let ay = shifted_y.iter().sum::<f64>() / n as f64;
+                    // Fixed-chunk pool reductions so trace payloads match
+                    // across worker counts, like every other sum on this path.
+                    let mx = self.pool.sum_f64(&xs) / n as f64;
+                    let my = self.pool.sum_f64(&ys) / n as f64;
+                    let ax = self.pool.sum_f64(&shifted_x) / n as f64;
+                    let ay = self.pool.sum_f64(&shifted_y) / n as f64;
                     self.obs.event(
                         "analytic.spread",
                         "iter",
@@ -341,6 +344,7 @@ impl GlobalPlacer {
             for (axis, pos, anchors) in [(Axis::X, &mut xs, ax), (Axis::Y, &mut ys, ay)] {
                 let (mut a, mut b) = build_system(design, axis, &var_of, &pos_of, n);
                 let diag = a.diagonal();
+                // mmp-lint: allow(float-reduction) why: sequential sum over the diagonal slice, order fixed by construction
                 let mean_diag = diag.iter().sum::<f64>() / (n as f64).max(1.0);
                 for i in 0..n {
                     let w = final_w * diag[i].max(0.1 * mean_diag);

@@ -138,7 +138,9 @@ impl Grid {
         if !self.region.contains_point(p) {
             return None;
         }
+        // mmp-lint: allow(cast-truncation) why: operand is finite and non-negative after the contains_point guard; truncation toward zero is the binning rule
         let col = (((p.x - self.region.x) / self.cell_width()) as usize).min(self.zeta - 1);
+        // mmp-lint: allow(cast-truncation) why: operand is finite and non-negative after the contains_point guard; truncation toward zero is the binning rule
         let row = (((p.y - self.region.y) / self.cell_height()) as usize).min(self.zeta - 1);
         Some(GridIndex::new(col, row))
     }
@@ -171,7 +173,9 @@ impl Grid {
     /// This is the dimension of the paper's s_m matrix (Fig. 1): an outline
     /// that occupies two grid cells yields a 2×1 window.
     pub fn span_of(&self, w: f64, h: f64) -> (usize, usize) {
+        // mmp-lint: allow(cast-truncation) why: ceil().max(1.0) makes the operand an integral f64 of at least 1, and the next line clamps to ζ
         let cols = (w / self.cell_width()).ceil().max(1.0) as usize;
+        // mmp-lint: allow(cast-truncation) why: ceil().max(1.0) makes the operand an integral f64 of at least 1, and the next line clamps to ζ
         let rows = (h / self.cell_height()).ceil().max(1.0) as usize;
         (cols.min(self.zeta), rows.min(self.zeta))
     }

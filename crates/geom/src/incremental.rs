@@ -59,6 +59,7 @@ impl NetValueCache {
     /// Current value of net `i`.
     #[inline]
     pub fn value(&self, i: u32) -> f64 {
+        // mmp-lint: allow(cast-truncation) why: u32 to usize is widening on every supported target
         self.values[i as usize]
     }
 
@@ -67,8 +68,10 @@ impl NetValueCache {
     /// from [`NetValueCache::total`], not accumulated deltas).
     #[inline]
     pub fn stage(&mut self, i: u32, v: f64) -> f64 {
+        // mmp-lint: allow(cast-truncation) why: u32 to usize is widening on every supported target
         let old = self.values[i as usize];
         self.journal.push((i, old));
+        // mmp-lint: allow(cast-truncation) why: u32 to usize is widening on every supported target
         self.values[i as usize] = v;
         v - old
     }
@@ -89,6 +92,7 @@ impl NetValueCache {
     /// that when one net was staged twice, the oldest journaled value wins.
     pub fn revert(&mut self) {
         while let Some((i, old)) = self.journal.pop() {
+            // mmp-lint: allow(cast-truncation) why: u32 to usize is widening on every supported target
             self.values[i as usize] = old;
         }
     }

@@ -245,6 +245,7 @@ impl MacroLegalizer {
 
         if self.obs.enabled() {
             self.obs
+                // mmp-lint: allow(cast-truncation) why: usize to u64 is widening on every supported target
                 .count("legal.fallback_cells", fallback_grid_cells as u64);
             if global_fallback {
                 self.obs.count("legal.global_fallback", 1);

@@ -1,0 +1,406 @@
+//! The ratchet: `lint.baseline.json` grandfathers pre-existing findings
+//! so `--deny-new` can fail on regressions without demanding the whole
+//! backlog be fixed first.
+//!
+//! # Key scheme
+//!
+//! Entries are keyed `(rule, path, item, kind)` with a **count** — no
+//! line numbers, so reformatting or editing elsewhere in a file never
+//! churns the baseline. The count ratchets: if a function holds 3
+//! baselined `index` sites and someone adds a 4th, exactly one finding
+//! is new. The trade-off is positional blindness *within* one
+//! `(rule, path, item, kind)` bucket — deleting site A and adding site B
+//! in the same function cancels out — which is acceptable: the bucket's
+//! total never grows.
+//!
+//! # Regeneration policy
+//!
+//! `mmp-lint check --update-baseline` rewrites the file. Running it is
+//! acceptable in a PR only when the diff **shrinks** entries (you fixed
+//! or properly why-noted sites) or when a PR deliberately introduces a
+//! new rule; a baseline diff that grows a count is a regression and
+//! belongs in the code, not the baseline. CI runs `--deny-new`, so a
+//! stale (too-small) baseline fails loudly and an inflated one shows up
+//! in review as a grown count.
+//!
+//! The file format is versioned, sorted, and hand-rolled (the lint
+//! library is deliberately dependency-free):
+//!
+//! ```text
+//! {"version":1,"entries":[
+//!   {"rule":"panic-path","path":"crates/nn/src/linear.rs",
+//!    "item":"mmp_nn::linear::Linear::forward","kind":"expect","count":2},
+//!   ...]}
+//! ```
+
+use crate::Finding;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Grandfather key: everything stable about a finding except position.
+pub type Key = (String, String, String, String);
+
+/// A parsed (or freshly computed) baseline.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Baseline {
+    /// Key → grandfathered count. `BTreeMap` keeps serialization sorted
+    /// and therefore diff-stable.
+    pub entries: BTreeMap<Key, usize>,
+}
+
+fn key_of(f: &Finding) -> Key {
+    (
+        f.rule.clone(),
+        f.path.clone(),
+        f.item.clone(),
+        f.kind.clone(),
+    )
+}
+
+/// Computes the baseline that grandfathers every *unsuppressed* finding
+/// in `findings` (suppressed sites already carry a why-note and need no
+/// grandfathering).
+pub fn compute(findings: &[Finding]) -> Baseline {
+    let mut b = Baseline::default();
+    for f in findings.iter().filter(|f| !f.suppressed) {
+        *b.entries.entry(key_of(f)).or_insert(0) += 1;
+    }
+    b
+}
+
+/// Marks findings covered by `base` as `baselined`, in appearance
+/// order: the first `count` unsuppressed findings of each key are
+/// grandfathered, any beyond that stay new. Suppressed findings never
+/// consume a slot.
+pub fn mark(findings: &mut [Finding], base: &Baseline) {
+    let mut used: BTreeMap<Key, usize> = BTreeMap::new();
+    for f in findings.iter_mut() {
+        if f.suppressed {
+            continue;
+        }
+        let key = key_of(f);
+        let allowed = base.entries.get(&key).copied().unwrap_or(0);
+        let slot = used.entry(key).or_insert(0);
+        if *slot < allowed {
+            *slot += 1;
+            f.baselined = true;
+        }
+    }
+}
+
+/// Serializes to the committed file format (one entry per line, sorted,
+/// trailing newline — the shape `git diff` reviews best).
+pub fn to_json(base: &Baseline) -> String {
+    let mut out = String::from("{\"version\":1,\"entries\":[\n");
+    for (i, ((rule, path, item, kind), count)) in base.entries.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        let _ = write!(
+            out,
+            "  {{\"rule\":{},\"path\":{},\"item\":{},\"kind\":{},\"count\":{}}}",
+            crate::json_str(rule),
+            crate::json_str(path),
+            crate::json_str(item),
+            crate::json_str(kind),
+            count
+        );
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Parses a baseline file.
+///
+/// # Errors
+///
+/// Returns a human-readable message on malformed input — the CLI treats
+/// that as fatal rather than silently linting against an empty baseline
+/// (which would fail CI on every grandfathered finding at once).
+pub fn parse(src: &str) -> Result<Baseline, String> {
+    let mut p = Reader {
+        b: src.as_bytes(),
+        i: 0,
+    };
+    p.ws();
+    p.expect(b'{')?;
+    let mut version: Option<u64> = None;
+    let mut base = Baseline::default();
+    loop {
+        p.ws();
+        let field = p.string()?;
+        p.ws();
+        p.expect(b':')?;
+        p.ws();
+        match field.as_str() {
+            "version" => version = Some(p.number()?),
+            "entries" => {
+                p.expect(b'[')?;
+                p.ws();
+                if !p.eat(b']') {
+                    loop {
+                        let (key, count) = parse_entry(&mut p)?;
+                        *base.entries.entry(key).or_insert(0) += count;
+                        p.ws();
+                        if p.eat(b']') {
+                            break;
+                        }
+                        p.expect(b',')?;
+                        p.ws();
+                    }
+                }
+            }
+            other => return Err(format!("unknown baseline field `{other}`")),
+        }
+        p.ws();
+        if p.eat(b'}') {
+            break;
+        }
+        p.expect(b',')?;
+    }
+    match version {
+        Some(1) => Ok(base),
+        Some(v) => Err(format!("unsupported baseline version {v} (expected 1)")),
+        None => Err("baseline file is missing its version".to_owned()),
+    }
+}
+
+fn parse_entry(p: &mut Reader) -> Result<(Key, usize), String> {
+    p.ws();
+    p.expect(b'{')?;
+    let mut rule = None;
+    let mut path = None;
+    let mut item = None;
+    let mut kind = None;
+    let mut count = None;
+    loop {
+        p.ws();
+        let field = p.string()?;
+        p.ws();
+        p.expect(b':')?;
+        p.ws();
+        match field.as_str() {
+            "rule" => rule = Some(p.string()?),
+            "path" => path = Some(p.string()?),
+            "item" => item = Some(p.string()?),
+            "kind" => kind = Some(p.string()?),
+            "count" => count = Some(p.number()? as usize),
+            other => return Err(format!("unknown baseline entry field `{other}`")),
+        }
+        p.ws();
+        if p.eat(b'}') {
+            break;
+        }
+        p.expect(b',')?;
+    }
+    match (rule, path, item, kind, count) {
+        (Some(r), Some(pa), Some(it), Some(k), Some(c)) => Ok(((r, pa, it, k), c)),
+        _ => Err("baseline entry is missing a field (rule/path/item/kind/count)".to_owned()),
+    }
+}
+
+/// Minimal JSON reader for exactly the subset [`to_json`] emits (plus
+/// whitespace tolerance for hand edits). Not a general parser on
+/// purpose: the lint library carries no dependencies, and the baseline
+/// format is closed.
+struct Reader<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Reader<'_> {
+    fn ws(&mut self) {
+        while self
+            .b
+            .get(self.i)
+            .is_some_and(|c| matches!(c, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.i += 1;
+        }
+    }
+
+    fn eat(&mut self, c: u8) -> bool {
+        if self.b.get(self.i) == Some(&c) {
+            self.i += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        if self.eat(c) {
+            Ok(())
+        } else {
+            Err(format!(
+                "baseline parse error at byte {}: expected `{}`",
+                self.i, c as char
+            ))
+        }
+    }
+
+    fn number(&mut self) -> Result<u64, String> {
+        let start = self.i;
+        while self.b.get(self.i).is_some_and(u8::is_ascii_digit) {
+            self.i += 1;
+        }
+        if self.i == start {
+            return Err(format!(
+                "baseline parse error at byte {}: expected a number",
+                self.i
+            ));
+        }
+        std::str::from_utf8(&self.b[start..self.i])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| "baseline number out of range".to_owned())
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.b.get(self.i) {
+                None => return Err("unterminated string in baseline".to_owned()),
+                Some(b'"') => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    match self.b.get(self.i) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .b
+                                .get(self.i + 1..self.i + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .and_then(char::from_u32)
+                                .ok_or_else(|| "bad \\u escape in baseline".to_owned())?;
+                            out.push(hex);
+                            self.i += 4;
+                        }
+                        _ => return Err("bad escape in baseline string".to_owned()),
+                    }
+                    self.i += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8 passes through byte-wise; the
+                    // source is a &str so the bytes are valid.
+                    let start = self.i;
+                    while self
+                        .b
+                        .get(self.i)
+                        .is_some_and(|c| *c != b'"' && *c != b'\\')
+                    {
+                        self.i += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.b[start..self.i])
+                            .map_err(|_| "invalid utf-8 in baseline".to_owned())?,
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &str, path: &str, item: &str, kind: &str) -> Finding {
+        Finding {
+            rule: rule.to_owned(),
+            path: path.to_owned(),
+            line: 1,
+            col: 1,
+            message: String::new(),
+            item: item.to_owned(),
+            kind: kind.to_owned(),
+            call_chain: Vec::new(),
+            suppressed: false,
+            why: None,
+            baselined: false,
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_identity() {
+        let findings = vec![
+            finding("panic-path", "crates/nn/src/a.rs", "mmp_nn::a::f", "unwrap"),
+            finding("panic-path", "crates/nn/src/a.rs", "mmp_nn::a::f", "unwrap"),
+            finding(
+                "cast-truncation",
+                "crates/geom/src/g.rs",
+                "mmp_geom::g::h",
+                "u32",
+            ),
+        ];
+        let base = compute(&findings);
+        assert_eq!(parse(&to_json(&base)), Ok(base));
+    }
+
+    #[test]
+    fn mark_grandfathers_counts_in_order() {
+        let mut findings = vec![
+            finding("panic-path", "a.rs", "f", "unwrap"),
+            finding("panic-path", "a.rs", "f", "unwrap"),
+            finding("panic-path", "a.rs", "f", "unwrap"),
+        ];
+        let base = compute(&findings[..2]);
+        mark(&mut findings, &base);
+        assert_eq!(
+            findings.iter().map(|f| f.baselined).collect::<Vec<_>>(),
+            vec![true, true, false]
+        );
+    }
+
+    #[test]
+    fn suppressed_findings_do_not_consume_slots() {
+        let mut findings = vec![
+            finding("panic-path", "a.rs", "f", "unwrap"),
+            finding("panic-path", "a.rs", "f", "unwrap"),
+        ];
+        findings[0].suppressed = true;
+        let base = Baseline {
+            entries: [(
+                (
+                    "panic-path".to_owned(),
+                    "a.rs".to_owned(),
+                    "f".to_owned(),
+                    "unwrap".to_owned(),
+                ),
+                1,
+            )]
+            .into_iter()
+            .collect(),
+        };
+        mark(&mut findings, &base);
+        assert!(!findings[0].baselined, "suppressed finding is not marked");
+        assert!(findings[1].baselined, "the one slot covers the live site");
+    }
+
+    #[test]
+    fn line_numbers_are_not_part_of_the_key() {
+        let mut a = finding("panic-path", "a.rs", "f", "index");
+        a.line = 10;
+        let base = compute(&[a.clone()]);
+        a.line = 99; // file reformatted
+        let mut moved = vec![a];
+        mark(&mut moved, &base);
+        assert!(moved[0].baselined);
+    }
+
+    #[test]
+    fn malformed_baselines_are_loud() {
+        assert!(parse("{}").is_err());
+        assert!(parse("{\"version\":2,\"entries\":[]}").is_err());
+        assert!(parse("{\"version\":1,\"entries\":[{\"rule\":\"x\"}]}").is_err());
+    }
+}

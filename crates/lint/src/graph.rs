@@ -1,0 +1,487 @@
+//! Approximate intra-workspace call graph over [`crate::items`].
+//!
+//! The graph exists for one purpose: giving R8 (`panic-path`) a shortest
+//! call chain from a flow entrypoint (`Daemon::serve`,
+//! `MacroPlacer::place`, `Trainer::train`) to each panic site, so
+//! robustness work is prioritized by reachability. Precision rules:
+//!
+//! * **Over-approximate, never under-approximate.** A method call
+//!   `.place(x)` links to *every* impl fn named `place` in the
+//!   workspace; a bare call prefers the `use`-imported or same-crate
+//!   definition but falls back to any free fn of that name. Spurious
+//!   edges inflate a chain, which is harmless; a missing edge would hide
+//!   a reachable panic, which is not.
+//! * **Deterministic.** All resolution maps are `BTreeMap`s, adjacency
+//!   lists are sorted and deduplicated, and the BFS visits neighbors in
+//!   node order — the same workspace always yields the same chains.
+
+use std::collections::BTreeMap;
+
+use crate::items::{is_expr_keyword, ParsedFile};
+use crate::lexer::{Lexed, TokKind};
+
+/// One function node in the graph.
+#[derive(Debug)]
+pub struct Node {
+    /// Index into the `files` slice the graph was built from.
+    pub file: usize,
+    /// Index into that file's `items`.
+    pub item: usize,
+    /// Display-qualified name (`mmp_serve::daemon::Server::serve`).
+    pub qual: String,
+}
+
+/// The workspace call graph plus reachability from the entrypoints.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    pub nodes: Vec<Node>,
+    /// `edges[n]` = sorted, deduplicated callee node ids.
+    edges: Vec<Vec<usize>>,
+    /// `(file, item)` → node id.
+    by_loc: BTreeMap<(usize, usize), usize>,
+    /// BFS parent (`usize::MAX` for entrypoints), `None` if unreachable.
+    parent: Vec<Option<usize>>,
+}
+
+impl CallGraph {
+    /// Builds the graph and runs multi-source BFS from every item whose
+    /// qualified name ends in one of `entrypoints` (e.g. `Server::serve`
+    /// matches `mmp_serve::daemon::Server::serve`).
+    pub fn build(files: &[(ParsedFile, Lexed)], entrypoints: &[String]) -> CallGraph {
+        let mut g = CallGraph::default();
+        for (fi, (pf, _)) in files.iter().enumerate() {
+            for (ii, item) in pf.items.iter().enumerate() {
+                let id = g.nodes.len();
+                g.nodes.push(Node {
+                    file: fi,
+                    item: ii,
+                    qual: item.qual.clone(),
+                });
+                g.by_loc.insert((fi, ii), id);
+            }
+        }
+        g.edges = vec![Vec::new(); g.nodes.len()];
+
+        // Resolution maps. `by_pair` answers `Qual::name`; bare names go
+        // through the free-fn maps; method names through `methods`.
+        let mut by_pair: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        let mut free_in_crate: BTreeMap<(String, String), Vec<usize>> = BTreeMap::new();
+        let mut free_any: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        let mut methods: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (id, n) in g.nodes.iter().enumerate() {
+            let (pf, _) = &files[n.file];
+            let item = &pf.items[n.item];
+            match &item.self_ty {
+                Some(ty) => {
+                    by_pair
+                        .entry(format!("{ty}::{}", item.name))
+                        .or_default()
+                        .push(id);
+                    methods.entry(item.name.clone()).or_default().push(id);
+                }
+                None => {
+                    // Free fns answer to `module::name` and `crate::name`
+                    // (last path segment is qualifier enough for this
+                    // workspace's call style) and to their bare name.
+                    let segs: Vec<&str> = item.qual.split("::").collect();
+                    if segs.len() >= 2 {
+                        by_pair
+                            .entry(format!("{}::{}", segs[segs.len() - 2], item.name))
+                            .or_default()
+                            .push(id);
+                    }
+                    by_pair
+                        .entry(format!("{}::{}", pf.crate_name, item.name))
+                        .or_default()
+                        .push(id);
+                    free_in_crate
+                        .entry((pf.crate_name.clone(), item.name.clone()))
+                        .or_default()
+                        .push(id);
+                    free_any.entry(item.name.clone()).or_default().push(id);
+                }
+            }
+        }
+
+        for (fi, (pf, lexed)) in files.iter().enumerate() {
+            for call in extract_calls(pf, lexed) {
+                let Some(&caller) = g.by_loc.get(&(fi, call.caller_item)) else {
+                    continue;
+                };
+                let callees: Vec<usize> = match &call.kind {
+                    CallKind::Method(name) => methods.get(name).cloned().unwrap_or_default(),
+                    CallKind::Path { qual, name } => {
+                        let qual = if qual == "Self" {
+                            match &pf.items[call.caller_item].self_ty {
+                                Some(ty) => ty.clone(),
+                                None => qual.clone(),
+                            }
+                        } else {
+                            qual.clone()
+                        };
+                        by_pair
+                            .get(&format!("{qual}::{name}"))
+                            .cloned()
+                            .unwrap_or_default()
+                    }
+                    CallKind::Bare(name) => {
+                        // `use`-imported path wins, then same-crate free
+                        // fn, then any free fn of that name.
+                        let imported = pf.resolve_use(name).and_then(|path| {
+                            if path.len() >= 2 {
+                                let q = &path[path.len() - 2];
+                                let q = if q == "crate" {
+                                    pf.crate_name.as_str()
+                                } else {
+                                    q.as_str()
+                                };
+                                by_pair.get(&format!("{q}::{name}")).cloned()
+                            } else {
+                                None
+                            }
+                        });
+                        imported
+                            .or_else(|| {
+                                free_in_crate
+                                    .get(&(pf.crate_name.clone(), name.clone()))
+                                    .cloned()
+                            })
+                            .or_else(|| free_any.get(name).cloned())
+                            .unwrap_or_default()
+                    }
+                };
+                g.edges[caller].extend(callees);
+            }
+        }
+        for adj in &mut g.edges {
+            adj.sort_unstable();
+            adj.dedup();
+        }
+
+        // Multi-source BFS. Entrypoints are matched by qualified-name
+        // suffix so config stays short (`Server::serve`, not the full
+        // module path).
+        g.parent = vec![None; g.nodes.len()];
+        let mut queue: Vec<usize> = Vec::new();
+        for (id, n) in g.nodes.iter().enumerate() {
+            if entrypoints
+                .iter()
+                .any(|e| n.qual == *e || n.qual.ends_with(&format!("::{e}")))
+            {
+                g.parent[id] = Some(usize::MAX);
+                queue.push(id);
+            }
+        }
+        let mut head = 0usize;
+        while head < queue.len() {
+            let cur = queue[head];
+            head += 1;
+            for &next in &g.edges[cur] {
+                if g.parent[next].is_none() {
+                    g.parent[next] = Some(cur);
+                    queue.push(next);
+                }
+            }
+        }
+        g
+    }
+
+    /// Shortest chain of qualified names from an entrypoint to the item
+    /// at `(file, item)`, entrypoint first; `None` if unreachable.
+    pub fn chain(&self, file: usize, item: usize) -> Option<Vec<String>> {
+        let &id = self.by_loc.get(&(file, item))?;
+        self.parent[id]?;
+        let mut rev = vec![id];
+        let mut cur = id;
+        while let Some(p) = self.parent[cur] {
+            if p == usize::MAX {
+                break;
+            }
+            rev.push(p);
+            cur = p;
+        }
+        Some(
+            rev.iter()
+                .rev()
+                .map(|&n| self.nodes[n].qual.clone())
+                .collect(),
+        )
+    }
+}
+
+enum CallKind {
+    /// `.name(...)` — resolved to every impl fn of that name.
+    Method(String),
+    /// `Qual::name(...)` or `Qual::name` used as a value.
+    Path { qual: String, name: String },
+    /// `name(...)` with no qualifier.
+    Bare(String),
+}
+
+struct Call {
+    caller_item: usize,
+    kind: CallKind,
+}
+
+/// Scans one file's tokens for call expressions and attributes each to
+/// its innermost enclosing item.
+fn extract_calls(pf: &ParsedFile, lexed: &Lexed) -> Vec<Call> {
+    let toks = &lexed.tokens;
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident || is_expr_keyword(&t.text) {
+            i += 1;
+            continue;
+        }
+        // Skip mid-path idents (`B` in `A::B::c`) — the path is consumed
+        // from its head below. A leading `.` means a method call site.
+        let prev_colon = i >= 2 && toks[i - 1].is_punct(':') && toks[i - 2].is_punct(':');
+        let prev_dot = i >= 1 && toks[i - 1].is_punct('.');
+        let prev_fn = i >= 1 && toks[i - 1].is_ident("fn");
+        if prev_colon || prev_fn {
+            i += 1;
+            continue;
+        }
+        if prev_dot {
+            // `.name` then optional turbofish then `(`.
+            let mut j = i + 1;
+            if toks.get(j).is_some_and(|a| a.is_punct(':'))
+                && toks.get(j + 1).is_some_and(|a| a.is_punct(':'))
+                && toks.get(j + 2).is_some_and(|a| a.is_punct('<'))
+            {
+                j = skip_angles(toks, j + 2);
+            }
+            if toks.get(j).is_some_and(|a| a.is_punct('(')) {
+                if let Some(item) = pf.enclosing_item(i) {
+                    out.push(Call {
+                        caller_item: item,
+                        kind: CallKind::Method(t.text.clone()),
+                    });
+                }
+            }
+            i += 1;
+            continue;
+        }
+        // Path head: collect `A::B::c` segments (skipping turbofish).
+        let mut segs: Vec<String> = vec![t.text.clone()];
+        let mut j = i + 1;
+        loop {
+            if toks.get(j).is_some_and(|a| a.is_punct(':'))
+                && toks.get(j + 1).is_some_and(|a| a.is_punct(':'))
+            {
+                if toks.get(j + 2).is_some_and(|a| a.is_punct('<')) {
+                    j = skip_angles(toks, j + 2);
+                    continue;
+                }
+                if toks
+                    .get(j + 2)
+                    .is_some_and(|a| a.kind == TokKind::Ident && !is_expr_keyword(&a.text))
+                {
+                    segs.push(toks[j + 2].text.clone());
+                    j += 3;
+                    continue;
+                }
+            }
+            break;
+        }
+        let next_is_call = toks.get(j).is_some_and(|a| a.is_punct('('));
+        // `!` right after the path is a macro invocation, not a call.
+        let next_is_bang = toks.get(j).is_some_and(|a| a.is_punct('!'));
+        // A multi-segment path used as a value (`.map(Design::load)`)
+        // counts as an edge when it sits in argument position.
+        let next_is_value_pos = toks
+            .get(j)
+            .is_some_and(|a| a.is_punct(')') || a.is_punct(','));
+        if !next_is_bang {
+            if let Some(item) = pf.enclosing_item(i) {
+                if segs.len() >= 2 && (next_is_call || next_is_value_pos) {
+                    let name = segs.pop().unwrap_or_default();
+                    let qual = segs.pop().unwrap_or_default();
+                    out.push(Call {
+                        caller_item: item,
+                        kind: CallKind::Path { qual, name },
+                    });
+                } else if segs.len() == 1 && next_is_call {
+                    out.push(Call {
+                        caller_item: item,
+                        kind: CallKind::Bare(segs.pop().unwrap_or_default()),
+                    });
+                }
+            }
+        }
+        i = j.max(i + 1);
+    }
+    out
+}
+
+/// With `toks[open]` = `<`, returns the index just past the matching `>`.
+/// `>>` closing two levels arrives as two separate puncts, so plain
+/// depth counting works; `->`-style arrows cannot appear inside a
+/// turbofish argument list at depth > 0 without their `>` being part of
+/// a real generic close in this workspace's code, and a mis-skip only
+/// costs one spurious/missing edge.
+fn skip_angles(toks: &[crate::lexer::Tok], open: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = open;
+    while let Some(t) = toks.get(j) {
+        match t.kind {
+            TokKind::Punct('<') => depth += 1,
+            TokKind::Punct('>') => {
+                depth -= 1;
+                if depth <= 0 {
+                    return j + 1;
+                }
+            }
+            TokKind::Punct(';') | TokKind::Punct('{') => return j, // bail: not a turbofish
+            _ => {}
+        }
+        j += 1;
+    }
+    j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::items::parse;
+    use crate::lexer::lex;
+
+    fn graph_of(sources: &[(&str, &str)], entries: &[&str]) -> (CallGraph, Vec<ParsedFile>) {
+        let files: Vec<(ParsedFile, Lexed)> = sources
+            .iter()
+            .map(|(p, s)| {
+                let lexed = lex(s);
+                (parse(p, &lexed), lexed)
+            })
+            .collect();
+        let entries: Vec<String> = entries.iter().map(|e| (*e).to_owned()).collect();
+        let g = CallGraph::build(&files, &entries);
+        (g, files.into_iter().map(|(p, _)| p).collect())
+    }
+
+    fn chain_for(g: &CallGraph, pfs: &[ParsedFile], name: &str) -> Option<Vec<String>> {
+        for (fi, pf) in pfs.iter().enumerate() {
+            for (ii, item) in pf.items.iter().enumerate() {
+                if item.name == name {
+                    return g.chain(fi, ii);
+                }
+            }
+        }
+        panic!("no item named {name}");
+    }
+
+    #[test]
+    fn direct_and_transitive_chains() {
+        let src = "impl Server {\n\
+                   fn serve(&self) { self.handle(); }\n\
+                   fn handle(&self) { decode(); }\n\
+                   }\n\
+                   fn decode() { inner(); }\n\
+                   fn inner() {}\n\
+                   fn unrelated() {}\n";
+        let (g, pfs) = graph_of(&[("crates/serve/src/daemon.rs", src)], &["Server::serve"]);
+        let chain = chain_for(&g, &pfs, "inner").expect("inner reachable");
+        assert_eq!(
+            chain,
+            vec![
+                "mmp_serve::daemon::Server::serve",
+                "mmp_serve::daemon::Server::handle",
+                "mmp_serve::daemon::decode",
+                "mmp_serve::daemon::inner",
+            ]
+        );
+        assert!(chain_for(&g, &pfs, "unrelated").is_none());
+    }
+
+    #[test]
+    fn cross_file_path_calls_resolve() {
+        let a = "impl Placer {\n  pub fn place(&self) { Grid::snap(3); }\n}\n";
+        let b = "impl Grid {\n  pub fn snap(x: u32) -> u32 { x }\n}\n";
+        let (g, pfs) = graph_of(
+            &[
+                ("crates/core/src/placer.rs", a),
+                ("crates/geom/src/grid.rs", b),
+            ],
+            &["Placer::place"],
+        );
+        let chain = chain_for(&g, &pfs, "snap").expect("snap reachable");
+        assert_eq!(chain.len(), 2);
+        assert!(chain[1].ends_with("Grid::snap"));
+    }
+
+    #[test]
+    fn self_paths_substitute_the_impl_type() {
+        let src = "impl Tree {\n\
+                   fn grow(&self) { Self::expand(); }\n\
+                   fn expand() {}\n\
+                   }\n";
+        let (g, pfs) = graph_of(&[("crates/mcts/src/tree.rs", src)], &["Tree::grow"]);
+        assert!(chain_for(&g, &pfs, "expand").is_some());
+    }
+
+    #[test]
+    fn function_references_in_argument_position_count() {
+        let src = "impl Job {\n\
+                   fn run(&self) { self.spec.and_then(Design::load); }\n\
+                   }\n\
+                   impl Design {\n  fn load() {}\n}\n";
+        let (g, pfs) = graph_of(&[("crates/serve/src/job.rs", src)], &["Job::run"]);
+        assert!(chain_for(&g, &pfs, "load").is_some());
+    }
+
+    #[test]
+    fn use_imports_steer_bare_calls() {
+        let a = "use crate::util::decode;\n\
+                 impl Server { fn serve(&self) { decode(); } }\n";
+        let b = "pub fn decode() { helper(); }\nfn helper() {}\n";
+        let (g, pfs) = graph_of(
+            &[
+                ("crates/serve/src/daemon.rs", a),
+                ("crates/serve/src/util.rs", b),
+            ],
+            &["Server::serve"],
+        );
+        assert!(chain_for(&g, &pfs, "helper").is_some());
+    }
+
+    #[test]
+    fn macros_are_not_calls() {
+        let src = "impl S { fn serve(&self) { log!(target); } }\nfn target() {}\n";
+        let (g, pfs) = graph_of(&[("crates/serve/src/daemon.rs", src)], &["S::serve"]);
+        // `log!(target)` must not create an edge to fn target — but
+        // `target` in value position inside the macro body is token soup;
+        // single-segment value positions are not counted.
+        assert!(chain_for(&g, &pfs, "target").is_none());
+    }
+
+    #[test]
+    fn method_calls_over_approximate_across_types() {
+        let a = "impl Daemon { fn serve(&self, p: Placer) { p.place(); } }\n";
+        let b = "impl Placer { fn place(&self) {} }\nimpl Other { fn place(&self) {} }\n";
+        let (g, pfs) = graph_of(
+            &[
+                ("crates/serve/src/daemon.rs", a),
+                ("crates/core/src/placer.rs", b),
+            ],
+            &["Daemon::serve"],
+        );
+        // Both `place` impls become reachable — documented over-approximation.
+        for (fi, pf) in pfs.iter().enumerate() {
+            for (ii, item) in pf.items.iter().enumerate() {
+                if item.name == "place" {
+                    assert!(g.chain(fi, ii).is_some(), "{} unreachable", item.qual);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn turbofish_does_not_break_paths() {
+        let src = "impl S { fn serve(&self) { Vec::<u32>::with_capacity(4); pack::<f32>(1); } }\n\
+                   fn pack(x: u32) {}\n";
+        let (g, pfs) = graph_of(&[("crates/serve/src/daemon.rs", src)], &["S::serve"]);
+        assert!(chain_for(&g, &pfs, "pack").is_some());
+    }
+}

@@ -19,7 +19,8 @@ pub enum TokKind {
     Str,
     /// Character or byte literal.
     Char,
-    /// Numeric literal (scanned loosely; never inspected by rules).
+    /// Numeric literal (scanned loosely; text preserved so the
+    /// float-reduction rule can recognise float literals like `0.0`).
     Num,
     /// Lifetime (`'a`) — distinguished from char literals.
     Lifetime,
@@ -29,7 +30,7 @@ pub enum TokKind {
 #[derive(Debug, Clone)]
 pub struct Tok {
     pub kind: TokKind,
-    /// Identifier text; empty for non-ident tokens.
+    /// Identifier or numeric-literal text; empty for other tokens.
     pub text: String,
     pub line: usize,
     pub col: usize,
@@ -123,13 +124,36 @@ impl<'a> Lexer<'a> {
                 self.char_or_lifetime(line, col);
             } else if self.raw_or_byte_string_start(c) {
                 self.push(TokKind::Str, String::new(), line, col);
+            } else if c == 'r'
+                && self.peek(1) == Some('#')
+                && matches!(self.peek(2), Some(ch) if ch.is_alphabetic() || ch == '_')
+            {
+                // Raw identifier (`r#match`, `r#type`): one Ident token.
+                // `raw_or_byte_string_start` already rejected this position
+                // (no quote after the hashes), so without this arm the
+                // prefix would mislex as `r`, `#`, `match` — and a stray
+                // `#` token is exactly what the attribute scanner keys on.
+                // The text keeps the `r#` prefix so a raw identifier never
+                // masquerades as the keyword it escapes (`r#use` ≠ `use`).
+                let mut text = String::from("r#");
+                self.bump();
+                self.bump();
+                while let Some(ch) = self.peek(0) {
+                    if ch.is_alphanumeric() || ch == '_' {
+                        text.push(ch);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                self.push(TokKind::Ident, text, line, col);
             } else if c == 'b' && self.peek(1) == Some('\'') {
                 self.bump(); // b
                 self.char_literal();
                 self.push(TokKind::Char, String::new(), line, col);
             } else if c.is_ascii_digit() {
-                self.number();
-                self.push(TokKind::Num, String::new(), line, col);
+                let text = self.number();
+                self.push(TokKind::Num, text, line, col);
             } else if c.is_alphabetic() || c == '_' {
                 let mut text = String::new();
                 while let Some(ch) = self.peek(0) {
@@ -303,15 +327,18 @@ impl<'a> Lexer<'a> {
     /// Loose numeric scan: digits, `_`, alphanumeric suffixes, and a
     /// fraction part when `.` is followed by a digit. Exponent signs are
     /// left as separate punctuation — rules never look inside numbers.
-    fn number(&mut self) {
+    fn number(&mut self) -> String {
+        let mut text = String::new();
         while let Some(c) = self.peek(0) {
             let fraction = c == '.' && matches!(self.peek(1), Some(d) if d.is_ascii_digit());
             if c.is_alphanumeric() || c == '_' || fraction {
+                text.push(c);
                 self.bump();
             } else {
                 break;
             }
         }
+        text
     }
 }
 
@@ -386,6 +413,42 @@ mod tests {
     fn floats_do_not_split_method_calls() {
         // `1.max(2)` must keep `max` as an identifier.
         assert_eq!(idents("let v = 1.max(2) + 1.5e3;"), vec!["let", "v", "max"]);
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_one_token() {
+        // `r#match` must not split into `r`, `#`, `match`.
+        let l = lex("let r#match = 1; let r#type = 2;");
+        assert!(l.tokens.iter().any(|t| t.is_ident("r#match")));
+        assert!(l.tokens.iter().any(|t| t.is_ident("r#type")));
+        assert!(!l.tokens.iter().any(|t| t.is_punct('#')));
+        // A raw identifier never impersonates the keyword it escapes.
+        assert!(!l.tokens.iter().any(|t| t.is_ident("match")));
+        assert!(!l.tokens.iter().any(|t| t.is_ident("type")));
+    }
+
+    #[test]
+    fn raw_identifiers_coexist_with_raw_strings() {
+        // The `r#` prefix must still dispatch to the raw-string scanner
+        // when a quote follows the hashes.
+        let src = "let r#fn = r#\"Instant::now() #\"#; let r#use = r\"x\"; y";
+        let l = lex(src);
+        assert_eq!(
+            idents(src),
+            vec!["let", "r#fn", "let", "r#use", "y"],
+            "raw identifiers next to raw strings mislexed"
+        );
+        assert_eq!(
+            l.tokens.iter().filter(|t| t.kind == TokKind::Str).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn raw_identifier_positions_are_tracked() {
+        let l = lex("fn f() {\n    let r#loop = 3;\n}\n");
+        let t = l.tokens.iter().find(|t| t.is_ident("r#loop")).unwrap();
+        assert_eq!((t.line, t.col), (2, 9));
     }
 
     #[test]

@@ -20,7 +20,24 @@
 //! | `allow-why` (R5)   | all crates | `#[allow(..)]` of a denied lint carries a `why:` |
 //! | `parallelism` (R6) | all but pool/bench | no `available_parallelism`-derived partitioning |
 //! | `fs-route` (R7)    | ckpt/serve lib code | fs mutations only through the `mmp-vfs` chokepoint |
+//! | `panic-path` (R8)  | library crates | panic sites, ranked by call-chain reachability from the flow entrypoints |
+//! | `float-reduction` (R9) | all but pool/bench | no unpinned-order float accumulation outside the pool's fixed-chunk reductions |
+//! | `cast-truncation` (R10) | geom/netlist/legal | no bare lossy `as` casts in index/coordinate math |
 //! | `suppression`      | all crates | suppression comments parse, justify, and bite |
+//!
+//! R1–R7 are token-local. R8–R10 are semantic: the engine first parses
+//! every file into an item table ([`items`]), builds an approximate
+//! intra-workspace call graph ([`graph`]), and only then scans — which
+//! is how R8 findings carry a shortest call chain from the serving/flow
+//! entrypoints (`Daemon::serve`, `MacroPlacer::place`, `Trainer::train`).
+//!
+//! # Baseline + ratchet
+//!
+//! Pre-existing findings are grandfathered in `lint.baseline.json`
+//! (committed at the workspace root). `mmp-lint check --deny-new` fails
+//! only on findings *not* covered by the baseline, so the count can
+//! ratchet down but never up; `--update-baseline` regenerates the file
+//! (see [`baseline`] for the key scheme and the regeneration policy).
 //!
 //! # Suppressions
 //!
@@ -35,6 +52,9 @@
 //! unknown-rule, or unused suppression is itself a (non-suppressible)
 //! finding, so stale directives cannot accumulate.
 
+pub mod baseline;
+pub mod graph;
+pub mod items;
 pub mod lexer;
 pub mod rules;
 
@@ -43,8 +63,8 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 pub use rules::{
-    ALLOW_WHY, FS_ROUTE, HASH_ORDER, PARALLELISM, PARTIAL_CMP, RNG_SOURCE, RULES, SUPPRESSION,
-    WALLCLOCK,
+    ALLOW_WHY, CAST_TRUNCATION, FLOAT_REDUCTION, FS_ROUTE, HASH_ORDER, PANIC_PATH, PARALLELISM,
+    PARTIAL_CMP, RNG_SOURCE, RULES, SUPPRESSION, WALLCLOCK,
 };
 
 /// What the engine enforces where. [`LintConfig::default`] encodes this
@@ -71,6 +91,23 @@ pub struct LintConfig {
     /// checkpoint and serving crates, whose durable writes the torture
     /// harness must be able to intercept. Unit-test modules are exempt.
     pub fs_route_scoped: Vec<String>,
+    /// Crate directory names (under `crates/`) whose library code the
+    /// `panic-path` rule scans. Binary roots (`main.rs`, `src/bin/`)
+    /// and unit tests are exempt everywhere: a CLI may panic on broken
+    /// invariants, a library must not.
+    pub panic_path_scoped: Vec<String>,
+    /// Path prefixes where unpinned-order float accumulation is
+    /// sanctioned: the pool crate (it *implements* the fixed-chunk
+    /// reductions) and the bench harness edge.
+    pub float_sanctioned: Vec<String>,
+    /// Path prefixes the `cast-truncation` rule scans: the crates doing
+    /// index/coordinate arithmetic where a silent wrap corrupts
+    /// geometry instead of crashing.
+    pub cast_scoped: Vec<String>,
+    /// Entrypoint suffixes for R8 reachability, matched against
+    /// qualified item names (`Server::serve` matches
+    /// `mmp_serve::daemon::Server::serve`).
+    pub entrypoints: Vec<String>,
 }
 
 impl Default for LintConfig {
@@ -97,6 +134,35 @@ impl Default for LintConfig {
             ]),
             parallelism_sanctioned: s(&["crates/pool/src", "crates/bench/src"]),
             fs_route_scoped: s(&["crates/ckpt/src", "crates/serve/src"]),
+            panic_path_scoped: s(&[
+                "analytic",
+                "baselines",
+                "ckpt",
+                "cluster",
+                "core",
+                "geom",
+                "legal",
+                "mcts",
+                "netlist",
+                "nn",
+                "obs",
+                "pool",
+                "rl",
+                "serve",
+                "vfs",
+            ]),
+            float_sanctioned: s(&["crates/pool/src", "crates/bench/src"]),
+            cast_scoped: s(&["crates/geom/src", "crates/netlist/src", "crates/legal/src"]),
+            entrypoints: s(&[
+                // `Daemon::serve` is the paper-facing name; `Server` is
+                // the concrete daemon type, and `Server::start` roots
+                // the worker_loop → run_job placement path.
+                "Daemon::serve",
+                "Server::serve",
+                "Server::start",
+                "MacroPlacer::place",
+                "Trainer::train",
+            ]),
         }
     }
 }
@@ -129,6 +195,27 @@ impl LintConfig {
             .iter()
             .any(|p| path_rel.starts_with(p.as_str()))
     }
+
+    /// `true` when `path_rel` is library code the `panic-path` rule scans.
+    pub fn is_panic_path_scoped(&self, path_rel: &str) -> bool {
+        self.panic_path_scoped
+            .iter()
+            .any(|c| path_rel.starts_with(&format!("crates/{c}/src/")))
+    }
+
+    /// `true` when `path_rel` may accumulate floats in iterator order.
+    pub fn is_float_sanctioned(&self, path_rel: &str) -> bool {
+        self.float_sanctioned
+            .iter()
+            .any(|p| path_rel.starts_with(p.as_str()))
+    }
+
+    /// `true` when `path_rel` is in the `cast-truncation` scope.
+    pub fn is_cast_scoped(&self, path_rel: &str) -> bool {
+        self.cast_scoped
+            .iter()
+            .any(|p| path_rel.starts_with(p.as_str()))
+    }
 }
 
 /// One finding, after suppression matching.
@@ -144,10 +231,24 @@ pub struct Finding {
     pub col: usize,
     /// Human-readable explanation.
     pub message: String,
+    /// Qualified name of the enclosing `fn` item
+    /// (`mmp_serve::daemon::Server::serve`); empty outside any item.
+    pub item: String,
+    /// Site kind within the rule — the matched token for R1–R7,
+    /// `unwrap`/`expect`/`panic`/`assert`/`index` for R8,
+    /// `sum`/`fold`/`reduce` for R9, the cast target type for R10.
+    pub kind: String,
+    /// R8 only: shortest call chain from a flow entrypoint to the
+    /// enclosing item (entrypoint first, enclosing item last); empty
+    /// when unreachable or for other rules.
+    pub call_chain: Vec<String>,
     /// `true` when an in-source directive silenced this finding.
     pub suppressed: bool,
     /// The justification text of the matching directive, if suppressed.
     pub why: Option<String>,
+    /// `true` when the committed baseline grandfathers this finding
+    /// (set by [`baseline::mark`], never by the engine itself).
+    pub baselined: bool,
 }
 
 /// A parsed `mmp-lint: allow(..) why: ..` directive.
@@ -159,11 +260,49 @@ struct Suppression {
 }
 
 /// Lints one file's source. `path_rel` scopes the crate-sensitive rules,
-/// so fixtures can pretend to live anywhere in the workspace.
+/// so fixtures can pretend to live anywhere in the workspace. R8 chains
+/// only span this one file — use [`lint_files`] for workspace-wide
+/// reachability.
 pub fn lint_source(path_rel: &str, src: &str, cfg: &LintConfig) -> Vec<Finding> {
-    let lexed = lexer::lex(src);
-    let raw = rules::scan(path_rel, &lexed, cfg);
+    lint_files(&[(path_rel.to_owned(), src.to_owned())], cfg)
+}
 
+/// The two-pass engine behind [`lint_source`] and [`lint_workspace`]:
+/// pass 1 lexes and item-parses every file and builds the call graph,
+/// pass 2 runs the rules and attaches enclosing items, R8 call chains,
+/// and suppressions. Findings arrive in file order, sorted by position
+/// within each file, and no finding is `baselined` — ratcheting is a
+/// separate, explicit step ([`baseline::mark`]).
+pub fn lint_files(files: &[(String, String)], cfg: &LintConfig) -> Vec<Finding> {
+    let parsed: Vec<(items::ParsedFile, lexer::Lexed)> = files
+        .iter()
+        .map(|(path_rel, src)| {
+            let lexed = lexer::lex(src);
+            (items::parse(path_rel, &lexed), lexed)
+        })
+        .collect();
+    let g = graph::CallGraph::build(&parsed, &cfg.entrypoints);
+
+    let mut findings: Vec<Finding> = Vec::new();
+    for (fi, ((path_rel, _), (pf, lexed))) in files.iter().zip(&parsed).enumerate() {
+        let mut raw = rules::scan(path_rel, lexed, cfg);
+        raw.extend(rules::scan_semantic(path_rel, lexed, pf, cfg));
+        findings.extend(decorate_and_suppress(path_rel, lexed, pf, fi, &g, raw));
+    }
+    findings
+}
+
+/// Turns one file's raw findings into [`Finding`]s: attributes each to
+/// its enclosing item, attaches R8 call chains, and applies the
+/// suppression directives from the file's comments.
+fn decorate_and_suppress(
+    path_rel: &str,
+    lexed: &lexer::Lexed,
+    pf: &items::ParsedFile,
+    file_idx: usize,
+    g: &graph::CallGraph,
+    raw: Vec<rules::RawFinding>,
+) -> Vec<Finding> {
     let mut findings: Vec<Finding> = Vec::new();
     let mut sups: Vec<Suppression> = Vec::new();
     for c in &lexed.comments {
@@ -175,8 +314,12 @@ pub fn lint_source(path_rel: &str, src: &str, cfg: &LintConfig) -> Vec<Finding> 
                 line: c.line,
                 col: 1,
                 message: msg,
+                item: String::new(),
+                kind: String::new(),
+                call_chain: Vec::new(),
                 suppressed: false,
                 why: None,
+                baselined: false,
             }),
             Directive::Allow { rules, why } => sups.push(Suppression {
                 line: c.line,
@@ -188,6 +331,17 @@ pub fn lint_source(path_rel: &str, src: &str, cfg: &LintConfig) -> Vec<Finding> 
     }
 
     for f in raw {
+        let item_idx = pf.enclosing_item(f.tok);
+        let item = item_idx
+            .map(|i| pf.items[i].qual.clone())
+            .unwrap_or_default();
+        let call_chain = if f.rule == PANIC_PATH {
+            item_idx
+                .and_then(|i| g.chain(file_idx, i))
+                .unwrap_or_default()
+        } else {
+            Vec::new()
+        };
         let hit = sups.iter_mut().find(|s| {
             (s.line == f.line || s.line + 1 == f.line) && s.rules.iter().any(|r| r == f.rule)
         });
@@ -204,8 +358,12 @@ pub fn lint_source(path_rel: &str, src: &str, cfg: &LintConfig) -> Vec<Finding> 
             line: f.line,
             col: f.col,
             message: f.message,
+            item,
+            kind: f.kind,
+            call_chain,
             suppressed,
             why,
+            baselined: false,
         });
     }
 
@@ -221,8 +379,12 @@ pub fn lint_source(path_rel: &str, src: &str, cfg: &LintConfig) -> Vec<Finding> 
                      this or the next line; remove it",
                     s.rules.join(", ")
                 ),
+                item: String::new(),
+                kind: String::new(),
+                call_chain: Vec::new(),
                 suppressed: false,
                 why: None,
+                baselined: false,
             });
         }
     }
@@ -333,7 +495,7 @@ pub fn lint_workspace(root: &Path, cfg: &LintConfig) -> io::Result<Vec<Finding>>
     }
     files.sort();
 
-    let mut findings = Vec::new();
+    let mut sources: Vec<(String, String)> = Vec::new();
     for file in files {
         let rel = file
             .strip_prefix(root)
@@ -343,9 +505,9 @@ pub fn lint_workspace(root: &Path, cfg: &LintConfig) -> io::Result<Vec<Finding>>
             .collect::<Vec<_>>()
             .join("/");
         let src = std::fs::read_to_string(&file)?;
-        findings.extend(lint_source(&rel, &src, cfg));
+        sources.push((rel, src));
     }
-    Ok(findings)
+    Ok(lint_files(&sources, cfg))
 }
 
 fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
@@ -361,27 +523,43 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
     Ok(())
 }
 
-/// Human-readable report: every unsuppressed finding, then a summary
-/// line. Suppressed findings are counted but not listed.
-pub fn render_text(findings: &[Finding]) -> String {
+/// Human-readable report: every unsuppressed finding (with its R8 call
+/// chain when one exists), then a summary line. Suppressed findings are
+/// counted but not listed; baselined findings are listed only when
+/// `show_baselined` (plain `check` shows everything, `--deny-new` hides
+/// the grandfathered noise).
+pub fn render_text(findings: &[Finding], show_baselined: bool) -> String {
     let mut out = String::new();
     let mut unsuppressed = 0usize;
+    let mut baselined = 0usize;
     for f in findings {
         if f.suppressed {
             continue;
         }
         unsuppressed += 1;
+        if f.baselined {
+            baselined += 1;
+            if !show_baselined {
+                continue;
+            }
+        }
+        let tag = if f.baselined { " (baselined)" } else { "" };
         let _ = writeln!(
             out,
-            "{}:{}:{}: [{}] {}",
-            f.path, f.line, f.col, f.rule, f.message
+            "{}:{}:{}: [{}] {}{}",
+            f.path, f.line, f.col, f.rule, f.message, tag
         );
+        if !f.call_chain.is_empty() {
+            let _ = writeln!(out, "    via {}", f.call_chain.join(" -> "));
+        }
     }
     let _ = writeln!(
         out,
-        "mmp-lint: {} finding(s), {} unsuppressed, {} suppressed",
+        "mmp-lint: {} finding(s), {} unsuppressed ({} new, {} baselined), {} suppressed",
         findings.len(),
         unsuppressed,
+        unsuppressed - baselined,
+        baselined,
         findings.len() - unsuppressed
     );
     out
@@ -390,37 +568,58 @@ pub fn render_text(findings: &[Finding]) -> String {
 /// Machine-readable report. Schema (stable, `version` guards changes):
 ///
 /// ```text
-/// {"version":1,"total":N,"unsuppressed":M,
+/// {"version":2,"total":N,"unsuppressed":M,"new":K,
 ///  "findings":[{"rule":"..","path":"..","line":L,"col":C,
-///               "message":"..","suppressed":false,"why":null}, ..]}
+///               "message":"..","item":"..","kind":"..",
+///               "call_chain":["..",".."],"suppressed":false,
+///               "why":null,"baselined":false}, ..]}
 /// ```
+///
+/// v2 (this PR) added `item`, `kind`, `call_chain`, `baselined`, and the
+/// top-level `new` count to the v1 shape.
 pub fn render_json(findings: &[Finding]) -> String {
     let unsuppressed = findings.iter().filter(|f| !f.suppressed).count();
+    let new = findings
+        .iter()
+        .filter(|f| !f.suppressed && !f.baselined)
+        .count();
     let mut out = String::new();
     let _ = write!(
         out,
-        "{{\"version\":1,\"total\":{},\"unsuppressed\":{},\"findings\":[",
+        "{{\"version\":2,\"total\":{},\"unsuppressed\":{},\"new\":{},\"findings\":[",
         findings.len(),
-        unsuppressed
+        unsuppressed,
+        new
     );
     for (i, f) in findings.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
+        let chain = f
+            .call_chain
+            .iter()
+            .map(|s| json_str(s))
+            .collect::<Vec<_>>()
+            .join(",");
         let _ = write!(
             out,
             "{{\"rule\":{},\"path\":{},\"line\":{},\"col\":{},\"message\":{},\
-             \"suppressed\":{},\"why\":{}}}",
+             \"item\":{},\"kind\":{},\"call_chain\":[{}],\
+             \"suppressed\":{},\"why\":{},\"baselined\":{}}}",
             json_str(&f.rule),
             json_str(&f.path),
             f.line,
             f.col,
             json_str(&f.message),
+            json_str(&f.item),
+            json_str(&f.kind),
+            chain,
             f.suppressed,
             match &f.why {
                 Some(w) => json_str(w),
                 None => "null".to_owned(),
-            }
+            },
+            f.baselined
         );
     }
     out.push_str("]}");
@@ -428,7 +627,7 @@ pub fn render_json(findings: &[Finding]) -> String {
 }
 
 /// Escapes a string as a JSON literal (quotes included).
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

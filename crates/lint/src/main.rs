@@ -2,13 +2,24 @@
 //!
 //! ```text
 //! mmp-lint check [--root PATH] [--format text|json]
+//!                [--deny-new] [--update-baseline] [--baseline PATH]
 //! mmp-lint rules
 //! ```
 //!
-//! Exit codes: `0` clean (every finding fixed or suppressed with a
-//! `why:`), `1` unsuppressed findings, `2` usage error, `3` I/O error.
+//! Three check modes:
+//!
+//! * plain `check` — strict: any unsuppressed finding fails. Useful
+//!   locally once a crate is fully swept.
+//! * `check --deny-new` — the ratchet CI runs: findings covered by the
+//!   committed `lint.baseline.json` are grandfathered; only *new*
+//!   findings fail.
+//! * `check --update-baseline` — regenerates the baseline from the
+//!   current tree (see `baseline.rs` for when that is acceptable).
+//!
+//! Exit codes: `0` clean, `1` (new) unsuppressed findings, `2` usage
+//! error, `3` I/O or baseline-file error.
 
-use mmp_lint::{lint_workspace, render_json, render_text, LintConfig, RULES};
+use mmp_lint::{baseline, lint_workspace, render_json, render_text, LintConfig, RULES};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -20,7 +31,7 @@ fn main() -> ExitCode {
     match cmd.as_str() {
         "rules" => {
             for (id, summary) in RULES {
-                println!("{id:12} {summary}");
+                println!("{id:16} {summary}");
             }
             ExitCode::SUCCESS
         }
@@ -30,13 +41,20 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> ExitCode {
-    eprintln!("usage: mmp-lint check [--root PATH] [--format text|json]\n       mmp-lint rules");
+    eprintln!(
+        "usage: mmp-lint check [--root PATH] [--format text|json]\n\
+         \x20                     [--deny-new] [--update-baseline] [--baseline PATH]\n\
+         \x20      mmp-lint rules"
+    );
     ExitCode::from(2)
 }
 
 fn check(args: &[String]) -> ExitCode {
     let mut root = PathBuf::from(".");
     let mut json = false;
+    let mut deny_new = false;
+    let mut update_baseline = false;
+    let mut baseline_path: Option<PathBuf> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -49,8 +67,18 @@ fn check(args: &[String]) -> ExitCode {
                 Some("text") => json = false,
                 _ => return usage(),
             },
+            "--deny-new" => deny_new = true,
+            "--update-baseline" => update_baseline = true,
+            "--baseline" => match it.next() {
+                Some(p) => baseline_path = Some(PathBuf::from(p)),
+                None => return usage(),
+            },
             _ => return usage(),
         }
+    }
+    if deny_new && update_baseline {
+        eprintln!("mmp-lint: --deny-new and --update-baseline are mutually exclusive");
+        return usage();
     }
     // `cargo run -p mmp-lint` executes from the workspace root; running
     // the binary from a subdirectory needs --root pointed at a checkout
@@ -62,19 +90,65 @@ fn check(args: &[String]) -> ExitCode {
         );
         return ExitCode::from(2);
     }
-    let findings = match lint_workspace(&root, &LintConfig::default()) {
+    let baseline_path = baseline_path.unwrap_or_else(|| root.join("lint.baseline.json"));
+    let mut findings = match lint_workspace(&root, &LintConfig::default()) {
         Ok(f) => f,
         Err(e) => {
             eprintln!("mmp-lint: {e}");
             return ExitCode::from(3);
         }
     };
+
+    if update_baseline {
+        let base = baseline::compute(&findings);
+        // why: one-shot CLI output artifact at the tool edge, not state the
+        // flow resumes from — the atomic ckpt envelope is not warranted.
+        #[allow(clippy::disallowed_methods)]
+        if let Err(e) = std::fs::write(&baseline_path, baseline::to_json(&base)) {
+            eprintln!("mmp-lint: writing {}: {e}", baseline_path.display());
+            return ExitCode::from(3);
+        }
+        println!(
+            "mmp-lint: wrote {} ({} entr{}, {} finding(s) grandfathered)",
+            baseline_path.display(),
+            base.entries.len(),
+            if base.entries.len() == 1 { "y" } else { "ies" },
+            base.entries.values().sum::<usize>()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    if deny_new {
+        let src = match std::fs::read_to_string(&baseline_path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!(
+                    "mmp-lint: reading baseline {}: {e} (run `mmp-lint check \
+                     --update-baseline` to create it)",
+                    baseline_path.display()
+                );
+                return ExitCode::from(3);
+            }
+        };
+        let base = match baseline::parse(&src) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("mmp-lint: {}: {e}", baseline_path.display());
+                return ExitCode::from(3);
+            }
+        };
+        baseline::mark(&mut findings, &base);
+    }
+
     if json {
         println!("{}", render_json(&findings));
     } else {
-        print!("{}", render_text(&findings));
+        // Plain `check` shows every unsuppressed finding; `--deny-new`
+        // hides the grandfathered ones so regressions stand out.
+        print!("{}", render_text(&findings, !deny_new));
     }
-    if findings.iter().any(|f| !f.suppressed) {
+    let failing = findings.iter().any(|f| !f.suppressed && !f.baselined);
+    if failing {
         ExitCode::from(1)
     } else {
         ExitCode::SUCCESS

@@ -1,13 +1,16 @@
-//! The project lint rules clippy cannot express (R1–R6).
+//! The project lint rules clippy cannot express (R1–R10).
 //!
-//! Every rule works on the token stream of [`crate::lexer`], so string
-//! literals and comments never produce false positives. Rules are
-//! heuristic by design: they match the conventions this workspace
-//! actually uses (`HashMap` by that name, `Instant::now` spelled out) —
-//! aliasing a banned item through `use ... as` would evade them, and
-//! code review owns that residue.
+//! R1–R7 work on the token stream of [`crate::lexer`] alone, so string
+//! literals and comments never produce false positives. R8–R10
+//! additionally consult the item table of [`crate::items`] (and, for
+//! R8's call chains, the graph of [`crate::graph`], attached by the
+//! engine in `lib.rs`). Rules are heuristic by design: they match the
+//! conventions this workspace actually uses (`HashMap` by that name,
+//! `Instant::now` spelled out) — aliasing a banned item through
+//! `use ... as` would evade them, and code review owns that residue.
 
-use crate::lexer::{Comment, Lexed, Tok};
+use crate::items::{is_expr_keyword, ParsedFile};
+use crate::lexer::{Comment, Lexed, Tok, TokKind};
 use crate::LintConfig;
 
 /// Rule R1: hashed-collection order must not reach placement decisions.
@@ -25,6 +28,14 @@ pub const PARALLELISM: &str = "parallelism";
 /// Rule R7: durable-state crates mutate the filesystem only through the
 /// `mmp-vfs` chokepoint, never via bare `std::fs`.
 pub const FS_ROUTE: &str = "fs-route";
+/// Rule R8: panic sites in library crates, reported with their shortest
+/// call chain from the serving/flow entrypoints.
+pub const PANIC_PATH: &str = "panic-path";
+/// Rule R9: float accumulation whose order is not pinned (`.sum::<f64>`,
+/// `fold`/`reduce` with `+`) outside the pool's fixed-chunk reductions.
+pub const FLOAT_REDUCTION: &str = "float-reduction";
+/// Rule R10: lossy `as` casts in index/coordinate arithmetic.
+pub const CAST_TRUNCATION: &str = "cast-truncation";
 /// Meta rule: malformed or unused `mmp-lint:` suppression comments.
 /// Not suppressible — a broken suppression must never silence itself.
 pub const SUPPRESSION: &str = "suppression";
@@ -70,6 +81,28 @@ pub const RULES: &[(&str, &str)] = &[
          and the crash-consistency torture harness see it",
     ),
     (
+        PANIC_PATH,
+        "panic sites (unwrap/expect/panic!/assert!/slice indexing) in \
+         library crates can take the daemon or the flow down; sites are \
+         reported with their shortest call chain from the entrypoints \
+         (Daemon::serve, MacroPlacer::place, Trainer::train) so the most \
+         reachable ones get converted to typed errors first",
+    ),
+    (
+        FLOAT_REDUCTION,
+        "float accumulation without a pinned order (.sum::<f32/f64>(), \
+         fold/reduce with +) breaks the bitwise worker-invariance contract \
+         the moment it is parallelized; route through mmp_pool's \
+         fixed-chunk reductions or why-note why the site must stay \
+         sequential",
+    ),
+    (
+        CAST_TRUNCATION,
+        "`as` casts to narrower integer types (or f32) in geometry/netlist \
+         index arithmetic silently truncate or wrap out-of-range values; \
+         use try_from/checked conversions or why-note the proven range",
+    ),
+    (
         SUPPRESSION,
         "mmp-lint suppression comments must parse, carry a non-empty why:, \
          name known rules, and actually suppress something",
@@ -88,6 +121,15 @@ pub struct RawFinding {
     pub line: usize,
     pub col: usize,
     pub message: String,
+    /// The site kind within the rule — the matched token for R1–R7
+    /// (`HashMap`, `partial_cmp`, ...), `unwrap`/`expect`/`panic`/
+    /// `assert`/`index` for R8, `sum`/`fold`/`reduce` for R9, the cast
+    /// target type for R10. Part of the baseline key, so it must be
+    /// stable under unrelated edits to the same file.
+    pub kind: String,
+    /// Index of the triggering token (the engine uses it to attribute
+    /// the finding to its enclosing `fn` item).
+    pub tok: usize,
 }
 
 /// Runs every rule over one lexed file. `path_rel` is the
@@ -131,6 +173,8 @@ pub fn scan(path_rel: &str, lexed: &Lexed, cfg: &LintConfig) -> Vec<RawFinding> 
                 rule: HASH_ORDER,
                 line: t.line,
                 col: t.col,
+                kind: t.text.clone(),
+                tok: i,
                 message: format!(
                     "{} in a decision crate: iteration order is seed-dependent; \
                      use BTreeMap/BTreeSet or sorted keys (or suppress with a \
@@ -146,6 +190,8 @@ pub fn scan(path_rel: &str, lexed: &Lexed, cfg: &LintConfig) -> Vec<RawFinding> 
                 rule: PARTIAL_CMP,
                 line: t.line,
                 col: t.col,
+                kind: "partial_cmp".to_owned(),
+                tok: i,
                 message: "partial_cmp on floats panics or mis-sorts on NaN; \
                           use f64::total_cmp"
                     .to_owned(),
@@ -162,6 +208,8 @@ pub fn scan(path_rel: &str, lexed: &Lexed, cfg: &LintConfig) -> Vec<RawFinding> 
                 rule: WALLCLOCK,
                 line: t.line,
                 col: t.col,
+                kind: t.text.clone(),
+                tok: i,
                 message: format!(
                     "{}::now outside the sanctioned timing modules: wall-clock \
                      must flow through the budget/obs layers, never into \
@@ -177,6 +225,8 @@ pub fn scan(path_rel: &str, lexed: &Lexed, cfg: &LintConfig) -> Vec<RawFinding> 
                 rule: PARALLELISM,
                 line: t.line,
                 col: t.col,
+                kind: "available_parallelism".to_owned(),
+                tok: i,
                 message: "available_parallelism derives a work partition from \
                           the machine, which breaks run-to-run determinism \
                           across hosts; take the worker count from explicit \
@@ -201,6 +251,8 @@ pub fn scan(path_rel: &str, lexed: &Lexed, cfg: &LintConfig) -> Vec<RawFinding> 
                     rule: FS_ROUTE,
                     line: t.line,
                     col: t.col,
+                    kind: format!("fs::{name}"),
+                    tok: i,
                     message: format!(
                         "fs::{name} bypasses the mmp-vfs chokepoint: durable \
                          mutations here are invisible to fault injection and \
@@ -218,6 +270,8 @@ pub fn scan(path_rel: &str, lexed: &Lexed, cfg: &LintConfig) -> Vec<RawFinding> 
                     rule: FS_ROUTE,
                     line: t.line,
                     col: t.col,
+                    kind: format!("{}::{}", t.text, toks[i + 3].text),
+                    tok: i,
                     message: format!(
                         "{}::{} opens a writable handle outside the mmp-vfs \
                          chokepoint; route durable writes through Vfs instead",
@@ -234,6 +288,8 @@ pub fn scan(path_rel: &str, lexed: &Lexed, cfg: &LintConfig) -> Vec<RawFinding> 
                 rule: RNG_SOURCE,
                 line: t.line,
                 col: t.col,
+                kind: t.text.clone(),
+                tok: i,
                 message: format!(
                     "{} is seeded from the OS; use the vendored seeded RNG",
                     t.text
@@ -248,6 +304,8 @@ pub fn scan(path_rel: &str, lexed: &Lexed, cfg: &LintConfig) -> Vec<RawFinding> 
                 rule: RNG_SOURCE,
                 line: t.line,
                 col: t.col,
+                kind: "rand::random".to_owned(),
+                tok: i,
                 message: "rand::random is seeded from the OS; use the vendored \
                           seeded RNG"
                     .to_owned(),
@@ -257,6 +315,242 @@ pub fn scan(path_rel: &str, lexed: &Lexed, cfg: &LintConfig) -> Vec<RawFinding> 
 
     scan_allow_attrs(lexed, cfg, &mut out);
     out
+}
+
+/// Runs the semantic rules (R8–R10) over one lexed + item-parsed file.
+/// Chains for R8 are attached later by the engine, which owns the
+/// workspace-wide call graph; this pass only locates the sites.
+///
+/// All three rules skip unit-test ranges: tests assert and unwrap by
+/// design, and the determinism/robustness contracts only bind library
+/// code.
+pub fn scan_semantic(
+    path_rel: &str,
+    lexed: &Lexed,
+    pf: &ParsedFile,
+    cfg: &LintConfig,
+) -> Vec<RawFinding> {
+    let toks = &lexed.tokens;
+    let mut out = Vec::new();
+    let panic_scope = cfg.is_panic_path_scoped(path_rel) && !pf.is_bin;
+    let float_scope = !cfg.is_float_sanctioned(path_rel);
+    let cast_scope = cfg.is_cast_scoped(path_rel);
+    if !panic_scope && !float_scope && !cast_scope {
+        return out;
+    }
+    // One `index` finding per line: `grid[x][y]` or `a[i] + b[i]` is one
+    // site to fix, not two.
+    let mut last_index_line = 0usize;
+
+    for (i, t) in toks.iter().enumerate() {
+        if pf.in_tests(i) {
+            continue;
+        }
+        let prev_dot = i >= 1 && toks[i - 1].is_punct('.');
+
+        // R8 — panic sites in library code.
+        if panic_scope {
+            if prev_dot
+                && (t.is_ident("unwrap") || t.is_ident("expect"))
+                && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+            {
+                out.push(RawFinding {
+                    rule: PANIC_PATH,
+                    line: t.line,
+                    col: t.col,
+                    kind: t.text.clone(),
+                    tok: i,
+                    message: format!(
+                        ".{}() panics on the failure case; in library code \
+                         return a typed error instead",
+                        t.text
+                    ),
+                });
+            }
+            if !prev_dot
+                && (t.is_ident("panic")
+                    || t.is_ident("unreachable")
+                    || t.is_ident("todo")
+                    || t.is_ident("unimplemented"))
+                && toks.get(i + 1).is_some_and(|n| n.is_punct('!'))
+            {
+                out.push(RawFinding {
+                    rule: PANIC_PATH,
+                    line: t.line,
+                    col: t.col,
+                    kind: "panic".to_owned(),
+                    tok: i,
+                    message: format!(
+                        "{}! aborts the thread; in library code return a \
+                         typed error instead",
+                        t.text
+                    ),
+                });
+            }
+            if (t.is_ident("assert") || t.is_ident("assert_eq") || t.is_ident("assert_ne"))
+                && toks.get(i + 1).is_some_and(|n| n.is_punct('!'))
+            {
+                out.push(RawFinding {
+                    rule: PANIC_PATH,
+                    line: t.line,
+                    col: t.col,
+                    kind: "assert".to_owned(),
+                    tok: i,
+                    message: format!(
+                        "{}! in library code panics on violation; use \
+                         debug_assert! for invariants or return a typed error \
+                         for input validation",
+                        t.text
+                    ),
+                });
+            }
+            // Slice/array indexing: `expr[...]` where the `[` follows a
+            // value (ident, `)`, or `]`). Attribute brackets (`#[`),
+            // macro brackets (`vec![`), and type/slice-pattern brackets
+            // never follow a value token.
+            if t.is_punct('[') && t.line != last_index_line && i >= 1 {
+                let p = &toks[i - 1];
+                let after_value = (p.kind == TokKind::Ident && !is_expr_keyword(&p.text))
+                    || p.is_punct(')')
+                    || p.is_punct(']');
+                if after_value {
+                    last_index_line = t.line;
+                    out.push(RawFinding {
+                        rule: PANIC_PATH,
+                        line: t.line,
+                        col: t.col,
+                        kind: "index".to_owned(),
+                        tok: i,
+                        message: "slice indexing panics when out of bounds; \
+                                  use .get()/.get_mut() or why-note the \
+                                  proven bound"
+                            .to_owned(),
+                    });
+                }
+            }
+        }
+
+        // R9 — unpinned-order float accumulation.
+        if float_scope && prev_dot {
+            if t.is_ident("sum")
+                && toks.get(i + 1).is_some_and(|n| n.is_punct(':'))
+                && toks.get(i + 2).is_some_and(|n| n.is_punct(':'))
+                && toks.get(i + 3).is_some_and(|n| n.is_punct('<'))
+                && toks
+                    .get(i + 4)
+                    .is_some_and(|n| n.is_ident("f32") || n.is_ident("f64"))
+            {
+                out.push(RawFinding {
+                    rule: FLOAT_REDUCTION,
+                    line: t.line,
+                    col: t.col,
+                    kind: "sum".to_owned(),
+                    tok: i,
+                    message: format!(
+                        ".sum::<{}>() accumulates in iterator order, which the \
+                         worker-invariance contract does not pin; route \
+                         through mmp_pool's fixed-chunk reductions or why-note \
+                         why this stays sequential",
+                        toks[i + 4].text
+                    ),
+                });
+            }
+            // `fold` shows its init literal, so float evidence is
+            // required; `reduce` closures show nothing, so any `+` in
+            // the span fires (over-approximation by design).
+            let is_fold = t.is_ident("fold");
+            let is_reduce = t.is_ident("reduce");
+            if (is_fold || is_reduce)
+                && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+                && span_accumulates(toks, i + 1, is_fold)
+            {
+                out.push(RawFinding {
+                    rule: FLOAT_REDUCTION,
+                    line: t.line,
+                    col: t.col,
+                    kind: t.text.clone(),
+                    tok: i,
+                    message: format!(
+                        ".{}(..) with a float `+` accumulates in iterator \
+                         order, which the worker-invariance contract does not \
+                         pin; route through mmp_pool's fixed-chunk reductions \
+                         or why-note why this stays sequential",
+                        t.text
+                    ),
+                });
+            }
+        }
+
+        // R10 — narrowing `as` casts in index/coordinate arithmetic.
+        if cast_scope
+            && t.is_ident("as")
+            && toks
+                .get(i + 1)
+                .is_some_and(|n| n.kind == TokKind::Ident && is_narrowing_cast_target(&n.text))
+            // A literal cast (`7 as u32`) has its value in plain sight.
+            && !(i >= 1 && toks[i - 1].kind == TokKind::Num)
+        {
+            let ty = &toks[i + 1].text;
+            out.push(RawFinding {
+                rule: CAST_TRUNCATION,
+                line: t.line,
+                col: t.col,
+                kind: ty.clone(),
+                tok: i,
+                message: format!(
+                    "`as {ty}` silently truncates/wraps out-of-range values; \
+                     use try_from/a checked helper, or why-note the proven \
+                     range (widening casts included: prove the source type)"
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// `true` when the balanced-paren span opening at `toks[open]` contains
+/// a `+` — and, when `need_float_evidence`, also a float literal or an
+/// `f32`/`f64` mention (the shape of `fold(0.0, |a, b| a + b)`; integer
+/// folds with `+` are order-insensitive and deliberately not flagged).
+fn span_accumulates(toks: &[Tok], open: usize, need_float_evidence: bool) -> bool {
+    let mut depth = 0usize;
+    let mut has_plus = false;
+    let mut has_float = false;
+    for t in &toks[open..] {
+        match t.kind {
+            TokKind::Punct('(') => depth += 1,
+            TokKind::Punct(')') => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            TokKind::Punct('+') => has_plus = true,
+            TokKind::Ident if t.text == "f32" || t.text == "f64" => has_float = true,
+            TokKind::Num => {
+                let s = &t.text;
+                let float_literal = s.contains('.')
+                    || s.ends_with("f32")
+                    || s.ends_with("f64")
+                    || (!s.starts_with("0x") && (s.contains('e') || s.contains('E')));
+                if float_literal {
+                    has_float = true;
+                }
+            }
+            _ => {}
+        }
+    }
+    has_plus && (has_float || !need_float_evidence)
+}
+
+/// Cast targets R10 treats as truncation-prone in coordinate/index math.
+/// `u64`/`i64` are included even though most casts *to* them widen: the
+/// rule cannot see the source type, and a why-note naming it is cheap.
+fn is_narrowing_cast_target(ty: &str) -> bool {
+    matches!(
+        ty,
+        "u8" | "u16" | "u32" | "u64" | "usize" | "i8" | "i16" | "i32" | "i64" | "isize" | "f32"
+    )
 }
 
 /// Mutating entry points of `std::fs` (R7). Reads (`read`, `read_dir`,
@@ -345,6 +639,8 @@ fn scan_allow_attrs(lexed: &Lexed, cfg: &LintConfig, out: &mut Vec<RawFinding>) 
                     rule: ALLOW_WHY,
                     line: attr_line,
                     col: attr_col,
+                    kind: p.clone(),
+                    tok: i,
                     message: format!(
                         "#[allow({p})] relaxes a denied lint without a why: \
                          justification; add `// why: ...` on or directly \

@@ -1,0 +1,170 @@
+//! End-to-end exercise of the CLI ratchet on a throwaway mini-workspace:
+//! `--update-baseline` writes the grandfather file, `--deny-new` passes
+//! on the unchanged tree, fails on an injected panic site, and the plain
+//! strict mode still fails on everything unsuppressed.
+
+// why: test scaffolding writing throwaway fixture trees under temp_dir —
+// nothing here is state the flow resumes from.
+#![allow(clippy::disallowed_methods)]
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+struct Sandbox {
+    root: PathBuf,
+}
+
+impl Sandbox {
+    fn new(tag: &str) -> Sandbox {
+        let root =
+            std::env::temp_dir().join(format!("mmp-lint-ratchet-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+        fs::create_dir_all(root.join("crates/serve/src")).expect("mkdir");
+        Sandbox { root }
+    }
+
+    fn write(&self, rel: &str, src: &str) {
+        let p = self.root.join(rel);
+        fs::create_dir_all(p.parent().expect("parent")).expect("mkdir");
+        fs::write(p, src).expect("write");
+    }
+
+    fn run(&self, args: &[&str]) -> (i32, String) {
+        let out = Command::new(env!("CARGO_BIN_EXE_mmp-lint"))
+            .args(args)
+            .arg("--root")
+            .arg(&self.root)
+            .output()
+            .expect("mmp-lint runs");
+        let text = format!(
+            "{}{}",
+            String::from_utf8_lossy(&out.stdout),
+            String::from_utf8_lossy(&out.stderr)
+        );
+        (out.status.code().unwrap_or(-1), text)
+    }
+}
+
+impl Drop for Sandbox {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.root);
+    }
+}
+
+fn base_tree(sb: &Sandbox) {
+    // One grandfathered panic site in library code.
+    sb.write(
+        "crates/serve/src/lib.rs",
+        "pub fn parse(v: &[u8]) -> u8 {\n    v.first().copied().unwrap()\n}\n",
+    );
+}
+
+#[test]
+fn deny_new_passes_on_baselined_tree_and_fails_on_injection() {
+    let sb = Sandbox::new("inject");
+    base_tree(&sb);
+
+    // Strict mode fails: the unwrap is unsuppressed.
+    let (code, _) = sb.run(&["check"]);
+    assert_eq!(code, 1, "strict check fails on the unswept tree");
+
+    // Ratchet: grandfather it, then --deny-new is clean.
+    let (code, out) = sb.run(&["check", "--update-baseline"]);
+    assert_eq!(code, 0, "--update-baseline succeeds: {out}");
+    assert!(sb.root.join("lint.baseline.json").is_file());
+    let (code, out) = sb.run(&["check", "--deny-new"]);
+    assert_eq!(code, 0, "--deny-new clean on baselined tree: {out}");
+
+    // The baselined site may move lines without becoming new.
+    sb.write(
+        "crates/serve/src/lib.rs",
+        "// a comment shifting everything down\n\npub fn parse(v: &[u8]) -> u8 {\n    v.first().copied().unwrap()\n}\n",
+    );
+    let (code, out) = sb.run(&["check", "--deny-new"]);
+    assert_eq!(code, 0, "line moves do not churn the ratchet: {out}");
+
+    // A fresh panic site in a new function IS new.
+    sb.write(
+        "crates/serve/src/injected.rs",
+        "pub fn decode(o: Option<u32>) -> u32 {\n    o.unwrap()\n}\n",
+    );
+    let (code, out) = sb.run(&["check", "--deny-new"]);
+    assert_eq!(code, 1, "--deny-new fails on the injected unwrap");
+    assert!(
+        out.contains("panic-path") && out.contains("injected.rs"),
+        "report names the new finding: {out}"
+    );
+
+    // Fixing it restores green without touching the baseline.
+    fs::remove_file(sb.root.join("crates/serve/src/injected.rs")).expect("rm");
+    let (code, _) = sb.run(&["check", "--deny-new"]);
+    assert_eq!(code, 0);
+}
+
+#[test]
+fn deny_new_without_a_baseline_is_a_loud_error() {
+    let sb = Sandbox::new("nobase");
+    base_tree(&sb);
+    let (code, out) = sb.run(&["check", "--deny-new"]);
+    assert_eq!(code, 3, "missing baseline is an I/O error, not a pass");
+    assert!(out.contains("--update-baseline"), "hint offered: {out}");
+}
+
+#[test]
+fn a_why_noted_site_needs_no_baseline_slot() {
+    let sb = Sandbox::new("whynote");
+    sb.write(
+        "crates/serve/src/lib.rs",
+        "pub fn parse(v: &[u8]) -> u8 {\n    // mmp-lint: allow(panic-path) why: caller checked is_empty on the frame\n    v.first().copied().unwrap()\n}\n",
+    );
+    let (code, out) = sb.run(&["check"]);
+    assert_eq!(code, 0, "suppressed site is strict-clean: {out}");
+    let (code, out) = sb.run(&["check", "--update-baseline"]);
+    assert_eq!(code, 0, "{out}");
+    assert!(
+        out.contains("0 finding(s) grandfathered"),
+        "nothing to grandfather: {out}"
+    );
+}
+
+#[test]
+fn conflicting_flags_are_a_usage_error() {
+    let sb = Sandbox::new("usage");
+    base_tree(&sb);
+    let (code, _) = sb.run(&["check", "--deny-new", "--update-baseline"]);
+    assert_eq!(code, 2);
+}
+
+#[test]
+fn baseline_flag_overrides_the_default_path() {
+    let sb = Sandbox::new("path");
+    base_tree(&sb);
+    let alt = sb.root.join("ci/alt-baseline.json");
+    fs::create_dir_all(alt.parent().expect("parent")).expect("mkdir");
+    let alt_s = alt.to_string_lossy().into_owned();
+    let (code, out) = sb.run(&["check", "--update-baseline", "--baseline", &alt_s]);
+    assert_eq!(code, 0, "{out}");
+    assert!(alt.is_file());
+    assert!(!sb.root.join("lint.baseline.json").exists());
+    let (code, out) = sb.run(&["check", "--deny-new", "--baseline", &alt_s]);
+    assert_eq!(code, 0, "{out}");
+}
+
+#[test]
+fn update_baseline_rewrite_is_deterministic() {
+    let sb = Sandbox::new("det");
+    base_tree(&sb);
+    sb.write(
+        "crates/serve/src/extra.rs",
+        "pub fn pick(v: &[u8], i: usize) -> u8 {\n    v[i]\n}\n",
+    );
+    let (code, _) = sb.run(&["check", "--update-baseline"]);
+    assert_eq!(code, 0);
+    let first = fs::read_to_string(sb.root.join("lint.baseline.json")).expect("read");
+    let (code, _) = sb.run(&["check", "--update-baseline"]);
+    assert_eq!(code, 0);
+    let second = fs::read_to_string(sb.root.join("lint.baseline.json")).expect("read");
+    assert_eq!(first, second, "regeneration is byte-stable");
+    assert!(Path::new(&sb.root.join("lint.baseline.json")).is_file());
+}

@@ -1,18 +1,24 @@
-//! Fixture tests: for every rule R1–R7, one snippet that fires, one that
-//! is clean, and one that is suppressed with a `why:` justification.
+//! Fixture tests: for every rule R1–R10, one snippet that fires, one
+//! that is clean, and one that is suppressed with a `why:` justification
+//! (plus, for the semantic rules, baseline-grandfathering coverage).
 
 use mmp_lint::{
-    lint_source, LintConfig, ALLOW_WHY, FS_ROUTE, HASH_ORDER, PARALLELISM, PARTIAL_CMP, RNG_SOURCE,
-    WALLCLOCK,
+    baseline, lint_source, Finding, LintConfig, ALLOW_WHY, CAST_TRUNCATION, FLOAT_REDUCTION,
+    FS_ROUTE, HASH_ORDER, PANIC_PATH, PARALLELISM, PARTIAL_CMP, RNG_SOURCE, WALLCLOCK,
 };
 
 const DECISION: &str = "crates/mcts/src/fixture.rs";
 const NON_DECISION: &str = "crates/geom/src/fixture.rs";
 
+/// The rules that arrived with the item-graph engine; the R1–R7 helpers
+/// below filter them out so a `.unwrap()` inside an R7 fixture doesn't
+/// perturb that fixture's expected findings.
+const SEMANTIC: &[&str] = &[PANIC_PATH, FLOAT_REDUCTION, CAST_TRUNCATION];
+
 fn unsuppressed(path: &str, src: &str) -> Vec<(String, usize)> {
     lint_source(path, src, &LintConfig::default())
         .into_iter()
-        .filter(|f| !f.suppressed)
+        .filter(|f| !f.suppressed && !SEMANTIC.contains(&f.rule.as_str()))
         .map(|f| (f.rule, f.line))
         .collect()
 }
@@ -20,8 +26,25 @@ fn unsuppressed(path: &str, src: &str) -> Vec<(String, usize)> {
 fn suppressed(path: &str, src: &str) -> Vec<(String, String)> {
     lint_source(path, src, &LintConfig::default())
         .into_iter()
-        .filter(|f| f.suppressed)
+        .filter(|f| f.suppressed && !SEMANTIC.contains(&f.rule.as_str()))
         .map(|f| (f.rule, f.why.unwrap_or_default()))
+        .collect()
+}
+
+/// All findings of one semantic rule, suppressed or not.
+fn rule_findings(path: &str, src: &str, rule: &str) -> Vec<Finding> {
+    lint_source(path, src, &LintConfig::default())
+        .into_iter()
+        .filter(|f| f.rule == rule)
+        .collect()
+}
+
+/// `(kind, line)` of the unsuppressed findings of one semantic rule.
+fn fired(path: &str, src: &str, rule: &str) -> Vec<(String, usize)> {
+    rule_findings(path, src, rule)
+        .into_iter()
+        .filter(|f| !f.suppressed)
+        .map(|f| (f.kind, f.line))
         .collect()
 }
 
@@ -296,4 +319,219 @@ fn parallelism_suppression_with_why_is_honoured() {
             "report-only, never partitions work".into()
         )]
     );
+}
+
+// --- R8: panic-path ------------------------------------------------------
+
+const SERVE: &str = "crates/serve/src/fixture.rs";
+
+#[test]
+fn panic_sites_fire_with_their_kinds() {
+    let src = "fn f(v: &[u32], o: Option<u32>) -> u32 {\n\
+               \x20   let a = o.unwrap();\n\
+               \x20   let b = o.expect(\"set\");\n\
+               \x20   assert!(a < 10);\n\
+               \x20   if a > b { panic!(\"bad\") }\n\
+               \x20   v[0]\n\
+               }\n";
+    assert_eq!(
+        fired(SERVE, src, PANIC_PATH),
+        vec![
+            ("unwrap".into(), 2),
+            ("expect".into(), 3),
+            ("assert".into(), 4),
+            ("panic".into(), 5),
+            ("index".into(), 6),
+        ]
+    );
+}
+
+#[test]
+fn panic_path_skips_tests_bins_and_unscoped_code() {
+    let src = "fn f(o: Option<u32>) -> u32 { o.unwrap() }\n";
+    // Binary roots may panic: a CLI's broken invariant should abort.
+    assert!(fired("crates/serve/src/bin/mmpd.rs", src, PANIC_PATH).is_empty());
+    assert!(fired("crates/serve/src/main.rs", src, PANIC_PATH).is_empty());
+    // Crates outside the library scope (the lint tool itself, bench).
+    assert!(fired("crates/bench/src/report.rs", src, PANIC_PATH).is_empty());
+    // Unit tests unwrap by design.
+    let in_tests = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t(o: Option<u32>) {\n        o.unwrap();\n        assert_eq!(1, 1);\n    }\n}\n";
+    assert!(fired(SERVE, in_tests, PANIC_PATH).is_empty());
+    // debug_assert! is compiled out of release builds; attribute and
+    // macro brackets are not slice indexing; unwrap_or is total.
+    let clean = "fn f(v: &[u32], o: Option<u32>) -> u32 {\n\
+                 \x20   debug_assert!(!v.is_empty());\n\
+                 \x20   let x = vec![1, 2];\n\
+                 \x20   o.unwrap_or(0) + v.first().copied().unwrap_or_default() + x.len() as u32\n\
+                 }\n#[derive(Clone)]\nstruct S;\n";
+    assert!(fired(SERVE, clean, PANIC_PATH).is_empty());
+}
+
+#[test]
+fn panic_path_reports_the_chain_from_daemon_serve() {
+    // A pre-sweep shape of the daemon: serve -> handle_request -> a
+    // helper that unwraps a malformed-input Option. The chain names
+    // every hop so the report is actionable without opening the file.
+    let src = "impl Daemon {\n\
+               \x20   pub fn serve(&self) {\n\
+               \x20       self.handle_request();\n\
+               \x20   }\n\
+               \x20   fn handle_request(&self) {\n\
+               \x20       decode_header(b\"x\");\n\
+               \x20   }\n\
+               }\n\
+               fn decode_header(b: &[u8]) -> u8 {\n\
+               \x20   let first = b.first().copied();\n\
+               \x20   first.unwrap()\n\
+               }\n";
+    let hits = rule_findings(SERVE, src, PANIC_PATH);
+    let unwrap_site = hits
+        .iter()
+        .find(|f| f.kind == "unwrap")
+        .expect("unwrap site found");
+    assert_eq!(
+        unwrap_site.call_chain,
+        vec![
+            "mmp_serve::fixture::Daemon::serve",
+            "mmp_serve::fixture::Daemon::handle_request",
+            "mmp_serve::fixture::decode_header",
+        ],
+        "shortest chain from the entrypoint, entrypoint first"
+    );
+    assert_eq!(unwrap_site.item, "mmp_serve::fixture::decode_header");
+}
+
+#[test]
+fn unreachable_panic_sites_have_empty_chains() {
+    let src = "fn helper(o: Option<u32>) -> u32 { o.unwrap() }\n";
+    let hits = rule_findings(SERVE, src, PANIC_PATH);
+    assert_eq!(hits.len(), 1);
+    assert!(hits[0].call_chain.is_empty());
+}
+
+#[test]
+fn panic_path_suppression_with_why_is_honoured() {
+    let src = "fn f(v: &[u32]) -> u32 {\n    // mmp-lint: allow(panic-path) why: index bounded by the loop above\n    v[0]\n}\n";
+    assert!(fired(SERVE, src, PANIC_PATH).is_empty());
+    let hits = rule_findings(SERVE, src, PANIC_PATH);
+    assert_eq!(hits.len(), 1);
+    assert!(hits[0].suppressed);
+}
+
+// --- R9: float-reduction -------------------------------------------------
+
+#[test]
+fn float_reductions_fire() {
+    let src = "fn f(v: &[f64], w: &[f32]) -> f64 {\n\
+               \x20   let a: f64 = v.iter().sum::<f64>();\n\
+               \x20   let b = w.iter().copied().sum::<f32>();\n\
+               \x20   let c = v.iter().fold(0.0, |acc, x| acc + x);\n\
+               \x20   let d = v.iter().copied().reduce(|acc, x| acc + x);\n\
+               \x20   a + f64::from(b) + c + d.unwrap_or(0.0)\n\
+               }\n";
+    assert_eq!(
+        fired(DECISION, src, FLOAT_REDUCTION),
+        vec![
+            ("sum".into(), 2),
+            ("sum".into(), 3),
+            ("fold".into(), 4),
+            ("reduce".into(), 5),
+        ]
+    );
+}
+
+#[test]
+fn integer_and_order_insensitive_reductions_are_clean() {
+    let src = "fn f(v: &[u64]) -> u64 {\n\
+               \x20   let a: u64 = v.iter().sum::<u64>();\n\
+               \x20   let b = v.iter().fold(0u64, |acc, x| acc + x);\n\
+               \x20   let m = v.iter().fold(0u64, |acc, x| acc.max(*x));\n\
+               \x20   a + b + m\n\
+               }\n";
+    assert!(fired(DECISION, src, FLOAT_REDUCTION).is_empty());
+}
+
+#[test]
+fn pool_and_tests_are_sanctioned_for_float_reduction() {
+    let src = "fn f(v: &[f64]) -> f64 { v.iter().sum::<f64>() }\n";
+    // The pool implements the fixed-chunk reductions themselves.
+    assert!(fired("crates/pool/src/lib.rs", src, FLOAT_REDUCTION).is_empty());
+    let in_tests = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t(v: &[f64]) -> f64 {\n        v.iter().sum::<f64>()\n    }\n}\n";
+    assert!(fired(DECISION, in_tests, FLOAT_REDUCTION).is_empty());
+}
+
+#[test]
+fn float_reduction_suppression_with_why_is_honoured() {
+    let src = "fn f(v: &[f64]) -> f64 {\n    // mmp-lint: allow(float-reduction) why: sequential by contract, feeds the solver\n    v.iter().sum::<f64>()\n}\n";
+    assert!(fired(DECISION, src, FLOAT_REDUCTION).is_empty());
+    let hits = rule_findings(DECISION, src, FLOAT_REDUCTION);
+    assert_eq!(hits.len(), 1);
+    assert!(hits[0].suppressed);
+}
+
+// --- R10: cast-truncation ------------------------------------------------
+
+#[test]
+fn narrowing_casts_fire_in_scoped_crates() {
+    let src = "fn f(x: usize, y: f64) -> u32 {\n\
+               \x20   let a = x as u32;\n\
+               \x20   let b = y as usize;\n\
+               \x20   a + b as u32\n\
+               }\n";
+    assert_eq!(
+        fired(NON_DECISION, src, CAST_TRUNCATION),
+        vec![("u32".into(), 2), ("usize".into(), 3), ("u32".into(), 4),]
+    );
+    assert!(!fired("crates/netlist/src/fixture.rs", src, CAST_TRUNCATION).is_empty());
+    assert!(!fired("crates/legal/src/fixture.rs", src, CAST_TRUNCATION).is_empty());
+}
+
+#[test]
+fn benign_casts_and_unscoped_crates_are_clean() {
+    // Widening to f64 never truncates an index; literal casts show
+    // their value; unscoped crates are not the rule's business.
+    let src = "fn f(x: u32) -> f64 {\n    let k = 7 as u32;\n    f64::from(x) + x as f64 + f64::from(k)\n}\n";
+    assert!(fired(NON_DECISION, src, CAST_TRUNCATION).is_empty());
+    let narrowing = "fn f(x: usize) -> u32 { x as u32 }\n";
+    assert!(fired(DECISION, narrowing, CAST_TRUNCATION).is_empty());
+}
+
+#[test]
+fn cast_truncation_suppression_with_why_is_honoured() {
+    let src = "fn f(x: usize) -> u32 {\n    // mmp-lint: allow(cast-truncation) why: grid dims are u16-bounded at parse\n    x as u32\n}\n";
+    assert!(fired(NON_DECISION, src, CAST_TRUNCATION).is_empty());
+    let hits = rule_findings(NON_DECISION, src, CAST_TRUNCATION);
+    assert_eq!(hits.len(), 1);
+    assert!(hits[0].suppressed);
+}
+
+// --- baseline grandfathering over real findings --------------------------
+
+#[test]
+fn baseline_grandfathers_old_sites_but_not_new_ones() {
+    let old = "fn f(o: Option<u32>) -> u32 { o.unwrap() }\n";
+    let base = baseline::compute(&lint_source(SERVE, old, &LintConfig::default()));
+
+    // Same file later: the old site moved (different line) and a second
+    // unwrap appeared in another fn. Only the second is new.
+    let grown = "\nfn f(o: Option<u32>) -> u32 { o.unwrap() }\n\
+                 fn g(o: Option<u32>) -> u32 { o.unwrap() }\n";
+    let mut findings = lint_source(SERVE, grown, &LintConfig::default());
+    baseline::mark(&mut findings, &base);
+    let news: Vec<_> = findings
+        .iter()
+        .filter(|f| !f.suppressed && !f.baselined)
+        .collect();
+    assert_eq!(news.len(), 1);
+    assert_eq!(news[0].item, "mmp_serve::fixture::g");
+
+    // Fixing the extra site makes --deny-new clean again even though
+    // the surviving site sits on a different line than when baselined.
+    let mut shrunk = lint_source(
+        SERVE,
+        "\n\nfn f(o: Option<u32>) -> u32 { o.unwrap() }\n",
+        &LintConfig::default(),
+    );
+    baseline::mark(&mut shrunk, &base);
+    assert!(shrunk.iter().all(|f| f.suppressed || f.baselined));
 }

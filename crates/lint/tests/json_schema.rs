@@ -1,12 +1,15 @@
 //! The `--format json` output must stay machine-parseable with a stable
 //! shape: downstream CI tooling consumes it. These tests parse the
 //! hand-rolled emitter's output with the vendored JSON reader.
+//!
+//! Schema v2 (this PR) added `item`, `kind`, `call_chain`, `baselined`
+//! per finding and the top-level `new` count.
 
-use mmp_lint::{lint_source, render_json, LintConfig};
+use mmp_lint::{baseline, lint_source, render_json, Finding, LintConfig};
 use serde::{map_get, Value};
 use serde_json::parse_value;
 
-fn findings_for(src: &str) -> Vec<mmp_lint::Finding> {
+fn findings_for(src: &str) -> Vec<Finding> {
     lint_source("crates/mcts/src/fixture.rs", src, &LintConfig::default())
 }
 
@@ -27,10 +30,12 @@ fn json_output_matches_the_documented_schema() {
     let findings = findings_for(src);
     let doc = parse_value(&render_json(&findings)).expect("valid JSON");
 
-    assert_eq!(get(&doc, "version").as_u64(), Some(1));
+    assert_eq!(get(&doc, "version").as_u64(), Some(2));
     assert_eq!(get(&doc, "total").as_u64(), Some(findings.len() as u64));
     let live = findings.iter().filter(|f| !f.suppressed).count();
     assert_eq!(get(&doc, "unsuppressed").as_u64(), Some(live as u64));
+    // Nothing is baselined here, so new == unsuppressed.
+    assert_eq!(get(&doc, "new").as_u64(), Some(live as u64));
 
     let arr = match get(&doc, "findings") {
         Value::Seq(items) => items,
@@ -43,7 +48,19 @@ fn json_output_matches_the_documented_schema() {
         assert_eq!(get(j, "line").as_u64(), Some(f.line as u64));
         assert_eq!(get(j, "col").as_u64(), Some(f.col as u64));
         assert!(matches!(get(j, "message"), Value::Str(_)));
+        assert_eq!(as_str(get(j, "item")), f.item);
+        assert_eq!(as_str(get(j, "kind")), f.kind);
+        match get(j, "call_chain") {
+            Value::Seq(hops) => {
+                assert_eq!(hops.len(), f.call_chain.len());
+                for (h, expect) in hops.iter().zip(&f.call_chain) {
+                    assert_eq!(as_str(h), expect);
+                }
+            }
+            other => panic!("expected call_chain array, got {other:?}"),
+        }
         assert_eq!(get(j, "suppressed"), &Value::Bool(f.suppressed));
+        assert_eq!(get(j, "baselined"), &Value::Bool(f.baselined));
         match &f.why {
             Some(w) => assert_eq!(as_str(get(j, "why")), w),
             None => assert_eq!(get(j, "why"), &Value::Null),
@@ -52,10 +69,68 @@ fn json_output_matches_the_documented_schema() {
 
     // The fixture covers both states: one live wallclock finding and one
     // suppressed hash-order finding carrying its why text.
-    assert_eq!(get(&doc, "unsuppressed").as_u64(), Some(1));
+    assert!(arr.iter().any(|j| as_str(get(j, "rule")) == "wallclock"
+        && get(j, "suppressed") == &Value::Bool(false)
+        && as_str(get(j, "item")) == "mmp_mcts::fixture::f"));
     assert!(arr.iter().any(|j| as_str(get(j, "rule")) == "hash-order"
         && get(j, "suppressed") == &Value::Bool(true)
         && as_str(get(j, "why")) == "probe only"));
+}
+
+#[test]
+fn panic_path_chain_from_daemon_serve_survives_the_json_roundtrip() {
+    // Golden capture of the pre-sweep daemon shape: a request-path
+    // helper unwraps, and the JSON report carries the full chain from
+    // `Daemon::serve` so CI consumers can rank by reachability.
+    let src = "impl Daemon {\n\
+               \x20   pub fn serve(&self) { self.handle_request(); }\n\
+               \x20   fn handle_request(&self) { parse_len(b\"x\"); }\n\
+               }\n\
+               fn parse_len(b: &[u8]) -> u8 {\n\
+               \x20   b.first().copied().unwrap()\n\
+               }\n";
+    let findings = lint_source("crates/serve/src/fixture.rs", src, &LintConfig::default());
+    let doc = parse_value(&render_json(&findings)).expect("valid JSON");
+    let arr = match get(&doc, "findings") {
+        Value::Seq(items) => items,
+        other => panic!("expected findings array, got {other:?}"),
+    };
+    let unwrap_site = arr
+        .iter()
+        .find(|j| as_str(get(j, "rule")) == "panic-path" && as_str(get(j, "kind")) == "unwrap")
+        .expect("unwrap finding present");
+    let chain = match get(unwrap_site, "call_chain") {
+        Value::Seq(hops) => hops
+            .iter()
+            .map(|h| as_str(h).to_owned())
+            .collect::<Vec<_>>(),
+        other => panic!("expected call_chain array, got {other:?}"),
+    };
+    assert_eq!(
+        chain,
+        vec![
+            "mmp_serve::fixture::Daemon::serve",
+            "mmp_serve::fixture::Daemon::handle_request",
+            "mmp_serve::fixture::parse_len",
+        ]
+    );
+}
+
+#[test]
+fn baselined_findings_are_marked_in_json() {
+    let src = "fn f(o: Option<u32>) -> u32 { o.unwrap() }\n";
+    let mut findings = lint_source("crates/serve/src/fixture.rs", src, &LintConfig::default());
+    let base = baseline::compute(&findings);
+    baseline::mark(&mut findings, &base);
+    let doc = parse_value(&render_json(&findings)).expect("valid JSON");
+    assert_eq!(get(&doc, "new").as_u64(), Some(0));
+    let arr = match get(&doc, "findings") {
+        Value::Seq(items) => items,
+        other => panic!("expected findings array, got {other:?}"),
+    };
+    assert!(arr
+        .iter()
+        .all(|j| get(j, "baselined") == &Value::Bool(true)));
 }
 
 #[test]
@@ -76,8 +151,9 @@ fn json_output_escapes_special_characters() {
 #[test]
 fn empty_findings_render_as_an_empty_report() {
     let doc = parse_value(&render_json(&[])).expect("valid JSON");
-    assert_eq!(get(&doc, "version").as_u64(), Some(1));
+    assert_eq!(get(&doc, "version").as_u64(), Some(2));
     assert_eq!(get(&doc, "total").as_u64(), Some(0));
     assert_eq!(get(&doc, "unsuppressed").as_u64(), Some(0));
+    assert_eq!(get(&doc, "new").as_u64(), Some(0));
     assert_eq!(get(&doc, "findings"), &Value::Seq(Vec::new()));
 }

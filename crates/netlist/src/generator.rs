@@ -110,11 +110,11 @@ impl SyntheticSpec {
         let sq = factor.sqrt();
         SyntheticSpec {
             name: self.name.clone(),
-            movable_macros: ((self.movable_macros as f64 * sq).round() as usize).max(4),
-            preplaced_macros: (self.preplaced_macros as f64 * sq).round() as usize,
-            io_pads: ((self.io_pads as f64 * factor).round() as usize).max(4),
-            std_cells: ((self.std_cells as f64 * factor).round() as usize).max(16),
-            nets: ((self.nets as f64 * factor).round() as usize).max(24),
+            movable_macros: scale_count(self.movable_macros, sq, 4),
+            preplaced_macros: scale_count(self.preplaced_macros, sq, 0),
+            io_pads: scale_count(self.io_pads, factor, 4),
+            std_cells: scale_count(self.std_cells, factor, 16),
+            nets: scale_count(self.nets, factor, 24),
             with_hierarchy: self.with_hierarchy,
             seed: self.seed,
         }
@@ -241,6 +241,7 @@ impl SyntheticSpec {
         let mut pad_ids = Vec::with_capacity(self.io_pads);
         for i in 0..self.io_pads {
             let t = i as f64 / self.io_pads.max(1) as f64 * 4.0;
+            // mmp-lint: allow(cast-truncation) why: t is in [0, 4); truncation toward zero selects the perimeter side
             let pos = match t as usize {
                 0 => Point::new(side * (t - 0.0), 0.0),
                 1 => Point::new(side, side * (t - 1.0)),
@@ -423,6 +424,13 @@ impl SyntheticSpec {
     }
 }
 
+/// Scales a count by `factor` and clamps it to `floor`. Counts round-trip
+/// through `f64`, which is exact for every value below 2^53.
+fn scale_count(n: usize, factor: f64, floor: usize) -> usize {
+    // mmp-lint: allow(cast-truncation) why: round() makes the operand an integral, non-negative f64 far below 2^53
+    ((n as f64 * factor).round() as usize).max(floor)
+}
+
 /// Paper row: (name, movable macros, std cells, nets) of Table III.
 /// `ibm05` carries zero macros — the paper excludes it from comparison and
 /// we keep it to exercise the zero-macro code path.
@@ -474,6 +482,7 @@ pub fn iccad04_suite() -> Vec<SyntheticSpec> {
             std_cells: cells,
             nets,
             with_hierarchy: false,
+            // mmp-lint: allow(cast-truncation) why: usize to u64 is widening on every supported target
             seed: 0x1B_u64.wrapping_add(i as u64 * 7919),
         })
         .collect()
@@ -494,6 +503,7 @@ pub fn industrial_suite() -> Vec<SyntheticSpec> {
                 std_cells: cells,
                 nets,
                 with_hierarchy: true,
+                // mmp-lint: allow(cast-truncation) why: usize to u64 is widening on every supported target
                 seed: 0xC1C_u64.wrapping_add(i as u64 * 104_729),
             },
         )

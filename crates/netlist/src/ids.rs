@@ -22,6 +22,13 @@ macro_rules! id_newtype {
                 self.0 as usize
             }
 
+            /// The raw `u32` payload, for `u32`-keyed dense caches. Unlike
+            /// `id.index() as u32` at call sites, this cannot truncate.
+            #[inline]
+            pub fn raw(self) -> u32 {
+                self.0
+            }
+
             /// Builds an id from a dense vector index.
             ///
             /// # Panics

@@ -94,7 +94,7 @@ impl<'d> IncrementalHpwl<'d> {
         let mut delta = 0.0;
         for &n in nets {
             let v = self.placement.net_hpwl(self.design, n);
-            delta += self.cache.stage(n.index() as u32, v);
+            delta += self.cache.stage(n.raw(), v);
         }
         delta
     }
@@ -161,7 +161,7 @@ impl<'d> IncrementalHpwl<'d> {
     pub fn local_of_macro(&self, id: MacroId) -> f64 {
         let mut t = 0.0;
         for &n in self.design.nets_of_macro(id) {
-            t += self.cache.value(n.index() as u32);
+            t += self.cache.value(n.raw());
         }
         t
     }

@@ -69,6 +69,7 @@ impl Layer for BatchNorm2d {
                 let mut mean = 0.0f32;
                 for s in 0..n {
                     let base = (s * c + ch) * hw;
+                    // mmp-lint: allow(float-reduction) why: sequential sum over a contiguous channel slice, order fixed by layout
                     mean += input.as_slice()[base..base + hw].iter().sum::<f32>();
                 }
                 mean /= count;
@@ -78,6 +79,7 @@ impl Layer for BatchNorm2d {
                     var += input.as_slice()[base..base + hw]
                         .iter()
                         .map(|x| (x - mean).powi(2))
+                        // mmp-lint: allow(float-reduction) why: sequential sum over a contiguous channel slice, order fixed by layout
                         .sum::<f32>();
                 }
                 var /= count;

@@ -102,6 +102,7 @@ impl RewardScale {
         }
         let max = finite.iter().cloned().fold(f64::MIN, f64::max);
         let min = finite.iter().cloned().fold(f64::MAX, f64::min);
+        // mmp-lint: allow(float-reduction) why: sequential sum in sample order; calibration statistic, not a placement decision
         let mean = finite.iter().sum::<f64>() / finite.len() as f64;
         Ok(RewardScale {
             kind,

@@ -157,8 +157,8 @@ impl DesignSpec {
                 return Err(Self::bad("design.spec must be [M,P,IO,CELLS,NETS]"));
             }
             let mut counts = [0usize; 5];
-            for (i, item) in items.iter().enumerate() {
-                counts[i] = item
+            for (slot, item) in counts.iter_mut().zip(items) {
+                *slot = item
                     .as_u64()
                     .and_then(|u| usize::try_from(u).ok())
                     .ok_or_else(|| Self::bad("design.spec entries must be integers"))?;
@@ -216,7 +216,10 @@ impl DesignSpec {
                 Some(spec.movable_macros + spec.preplaced_macros + spec.io_pads + spec.std_cells)
             }
             // The first four entries are nodes; the fifth is nets.
-            DesignSpec::Synthetic { counts, .. } => Some(counts[..4].iter().sum()),
+            DesignSpec::Synthetic {
+                counts: [movable, preplaced, io, cells, _nets],
+                ..
+            } => Some(movable + preplaced + io + cells),
             DesignSpec::Bookshelf { .. } => None,
         }
     }
@@ -247,11 +250,11 @@ impl DesignSpec {
                 Ok(Self::scaled_spec(spec, *scale, *seed).generate())
             }
             DesignSpec::Synthetic {
-                counts,
+                counts: [movable, preplaced, io, cells, nets],
                 hierarchy,
                 seed,
             } => Ok(SyntheticSpec::small(
-                "request", counts[0], counts[1], counts[2], counts[3], counts[4], *hierarchy, *seed,
+                "request", *movable, *preplaced, *io, *cells, *nets, *hierarchy, *seed,
             )
             .generate()),
             DesignSpec::Bookshelf { text } => bookshelf::read("request", text.as_bytes())
